@@ -1,0 +1,80 @@
+//! Component microbenches: throughput of the simulator's hot structures.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mi6_core::{Btb, Tournament};
+use mi6_isa::{decode, encode, Inst, PhysAddr, Reg};
+use mi6_mem::{DramConfig, LlcConfig, Llc, RegionMap};
+use mi6_monitor::sha256;
+
+fn bench_predictor(c: &mut Criterion) {
+    let mut t = Tournament::new();
+    c.bench_function("tournament predict+update", |b| {
+        let mut pc = 0x1000u64;
+        b.iter(|| {
+            let p = t.predict(black_box(pc));
+            t.speculate(p.taken);
+            t.update(pc, p, pc % 3 == 0);
+            pc = pc.wrapping_add(4) & 0xffff;
+        })
+    });
+}
+
+fn bench_btb(c: &mut Criterion) {
+    let mut btb = Btb::new(256);
+    for i in 0..256u64 {
+        btb.update(0x1000 + i * 4, 0x2000 + i * 8);
+    }
+    c.bench_function("btb lookup", |b| {
+        let mut pc = 0x1000u64;
+        b.iter(|| {
+            black_box(btb.lookup(black_box(pc)));
+            pc = 0x1000 + ((pc + 4) & 0x3ff);
+        })
+    });
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let inst = Inst::Load {
+        rd: Reg::A0,
+        rs1: Reg::SP,
+        off: -64,
+        width: mi6_isa::MemWidth::D,
+        signed: true,
+    };
+    c.bench_function("encode+decode round trip", |b| {
+        b.iter(|| {
+            let w = encode(black_box(inst)).unwrap();
+            black_box(decode(w).unwrap())
+        })
+    });
+}
+
+fn bench_llc_index(c: &mut Criterion) {
+    let secure = LlcConfig::paper_secure(4, 24);
+    let llc = Llc::new(secure, 4, RegionMap::new(&DramConfig::paper()));
+    c.bench_function("partitioned llc set_index", |b| {
+        let mut addr = 0u64;
+        b.iter(|| {
+            let s = llc.set_index(black_box(PhysAddr::new(addr)));
+            addr = (addr + 64) & ((2 << 30) - 1);
+            black_box(s)
+        })
+    });
+}
+
+fn bench_sha256(c: &mut Criterion) {
+    let data = vec![0xabu8; 4096];
+    c.bench_function("sha256 4KiB (enclave page measurement)", |b| {
+        b.iter(|| black_box(sha256::sha256(black_box(&data))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_predictor,
+    bench_btb,
+    bench_encode_decode,
+    bench_llc_index,
+    bench_sha256
+);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Figure 4: the insecure baseline (BASE) configuration table.
+
+use mi6_core::CoreConfig;
+use mi6_mem::MemConfig;
+
+fn main() {
+    let core = CoreConfig::paper();
+    let mem = MemConfig::paper_base();
+    println!("=== Figure 4: insecure baseline (BASE) configuration ===");
+    println!("Front-end    {}-wide fetch/decode/rename", core.fetch_width);
+    println!("             {}-entry direct-mapped BTB", core.btb_entries);
+    println!("             tournament predictor (Alpha 21264 style)");
+    println!("             {}-entry return address stack", core.ras_entries);
+    println!("Exec engine  {}-entry ROB, {}-way insert/commit", core.rob_entries, core.commit_width);
+    println!("             4 pipelines: 2 ALU, 1 MEM, 1 FP/MUL/DIV; {}-entry IQ each", core.iq_entries);
+    println!("Ld-St unit   {}-entry LQ, {}-entry SQ, {}-entry SB (64B wide)", core.lq_entries, core.sq_entries, core.sb_entries);
+    println!("L1 TLBs      {}-entry fully associative (I and D); D-TLB max {} requests", core.l1_tlb_entries, core.dtlb_max_misses);
+    println!("L2 TLB       {}-entry, {}-way; translation cache {} entries/step", core.l2_tlb_entries, core.l2_tlb_ways, core.tcache_entries);
+    println!("L1 caches    {} KiB, {}-way, max {} requests (I and D)", mem.l1d.size_bytes >> 10, mem.l1d.ways, mem.l1d.mshrs);
+    println!("L2 (LLC)     {} MiB, {}-way, {:?} MSHRs, coherent+inclusive", mem.llc.size_bytes >> 20, mem.llc.ways, mem.llc.mshrs);
+    println!("Memory       {} GiB, {}-cycle latency, max {} requests", mem.dram.size_bytes >> 30, mem.dram.latency, mem.dram.max_inflight);
+}

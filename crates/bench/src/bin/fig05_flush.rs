@@ -1,0 +1,19 @@
+//! Figure 5: runtime overhead of FLUSH (scrub per-core state on every
+//! trap/return) vs BASE. Paper: average 5.4 %, max 10.9 % (astar).
+
+use mi6_bench::{print_overhead_figure, run_all, HarnessOpts, PAPER_FIG5};
+use mi6_soc::Variant;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    eprintln!("fig05: BASE pass");
+    let base = run_all(Variant::Base, &opts);
+    eprintln!("fig05: FLUSH pass");
+    let flush = run_all(Variant::Flush, &opts);
+    print_overhead_figure(
+        "Figure 5: FLUSH runtime overhead vs BASE",
+        PAPER_FIG5,
+        &base,
+        &flush,
+    );
+}

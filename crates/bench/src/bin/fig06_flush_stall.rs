@@ -1,0 +1,21 @@
+//! Figure 6: stall time waiting for flushes, as % of execution time.
+//! Paper: average 0.4 %, max 3.2 % (xalancbmk, syscall-heavy).
+
+use mi6_bench::{mean, run_all, HarnessOpts};
+use mi6_soc::Variant;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let flush = run_all(Variant::Flush, &opts);
+    println!("\n=== Figure 6: flush stall time (% of execution) ===");
+    println!("{:<12} {:>12} {:>10}", "benchmark", "stall cycles", "stall %");
+    for r in &flush {
+        println!("{:<12} {:>12} {:>9.2}%", r.name, r.flush_stall_cycles, r.flush_stall_pct());
+    }
+    println!(
+        "{:<12} {:>12} {:>9.2}%   (paper avg 0.4%, max xalancbmk 3.2%)",
+        "average",
+        "",
+        mean(flush.iter().map(|r| r.flush_stall_pct()))
+    );
+}

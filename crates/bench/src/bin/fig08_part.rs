@@ -1,0 +1,18 @@
+//! Figure 8: runtime overhead of PART (LLC set partitioning) vs BASE.
+//! Paper: average 7.4 %, max 21.6 % (gcc).
+
+use mi6_bench::{print_overhead_figure, run_all, HarnessOpts, PAPER_FIG8};
+use mi6_soc::Variant;
+
+fn main() {
+    let mut opts = HarnessOpts::from_args();
+    opts.timer = 0; // PART is a steady-state effect; no scheduler noise
+    let base = run_all(Variant::Base, &opts);
+    let part = run_all(Variant::Part, &opts);
+    print_overhead_figure(
+        "Figure 8: PART runtime overhead vs BASE",
+        PAPER_FIG8,
+        &base,
+        &part,
+    );
+}

@@ -1,0 +1,21 @@
+//! Figure 9: LLC misses per kilo-instruction, BASE vs PART.
+//! Paper: average 17.4 -> 19.6; gcc doubles; mcf 91.5 -> 97.7.
+
+use mi6_bench::{print_metric_figure, run_all, HarnessOpts};
+use mi6_soc::Variant;
+
+fn main() {
+    let mut opts = HarnessOpts::from_args();
+    opts.timer = 0;
+    let base = run_all(Variant::Base, &opts);
+    let part = run_all(Variant::Part, &opts);
+    print_metric_figure(
+        "Figure 9: LLC MPKI, BASE vs PART",
+        "LLC MPKI",
+        (17.4, 19.6),
+        ("BASE", "PART"),
+        &base,
+        &part,
+        |r| r.llc_mpki,
+    );
+}

@@ -1,0 +1,18 @@
+//! Figure 10: runtime overhead of MISS (LLC MSHR partitioning/sizing:
+//! 12 entries in 4 banks) vs BASE. Paper: average 3.2 %, max 8.3 %.
+
+use mi6_bench::{print_overhead_figure, run_all, HarnessOpts, PAPER_FIG10};
+use mi6_soc::Variant;
+
+fn main() {
+    let mut opts = HarnessOpts::from_args();
+    opts.timer = 0;
+    let base = run_all(Variant::Base, &opts);
+    let miss = run_all(Variant::Miss, &opts);
+    print_overhead_figure(
+        "Figure 10: MISS runtime overhead vs BASE",
+        PAPER_FIG10,
+        &base,
+        &miss,
+    );
+}

@@ -1,0 +1,19 @@
+//! Figure 11: runtime overhead of ARB (LLC pipeline +8 cycles, modelling
+//! the 16-core round-robin arbiter) vs BASE. Paper: average 8.5 %, max
+//! 14 % (libquantum).
+
+use mi6_bench::{print_overhead_figure, run_all, HarnessOpts, PAPER_FIG11};
+use mi6_soc::Variant;
+
+fn main() {
+    let mut opts = HarnessOpts::from_args();
+    opts.timer = 0;
+    let base = run_all(Variant::Base, &opts);
+    let arb = run_all(Variant::Arb, &opts);
+    print_overhead_figure(
+        "Figure 11: ARB runtime overhead vs BASE",
+        PAPER_FIG11,
+        &base,
+        &arb,
+    );
+}

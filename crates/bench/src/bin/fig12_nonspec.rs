@@ -1,0 +1,20 @@
+//! Figure 12: runtime overhead of NONSPEC (memory instructions rename
+//! only on an empty ROB) vs BASE. Paper: average 205 %, max 427 %
+//! (h264ref). Like the paper, the runs are truncated (NONSPEC is slow).
+
+use mi6_bench::{print_overhead_figure, run_all, HarnessOpts, PAPER_FIG12};
+use mi6_soc::Variant;
+
+fn main() {
+    let mut opts = HarnessOpts::from_args();
+    opts.timer = 0;
+    opts.kinsts = opts.kinsts.min(500); // truncate, as in the paper
+    let base = run_all(Variant::Base, &opts);
+    let nonspec = run_all(Variant::NonSpec, &opts);
+    print_overhead_figure(
+        "Figure 12: NONSPEC runtime overhead vs BASE (truncated runs)",
+        PAPER_FIG12,
+        &base,
+        &nonspec,
+    );
+}

@@ -1,0 +1,17 @@
+//! Figure 13: overall enclave overhead — F+P+M+A (FLUSH + PART + MISS +
+//! ARB) vs BASE. Paper: average 16.4 %, max 34.8 % (gcc).
+
+use mi6_bench::{print_overhead_figure, run_all, HarnessOpts, PAPER_FIG13};
+use mi6_soc::Variant;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let base = run_all(Variant::Base, &opts);
+    let fpma = run_all(Variant::Fpma, &opts);
+    print_overhead_figure(
+        "Figure 13: F+P+M+A (enclave) runtime overhead vs BASE",
+        PAPER_FIG13,
+        &base,
+        &fpma,
+    );
+}

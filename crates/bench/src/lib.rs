@@ -1,0 +1,333 @@
+//! # mi6-bench
+//!
+//! The experiment harness: one binary per figure of the paper's
+//! evaluation (Section 7), plus Criterion microbenches and ablations.
+//!
+//! Every `fig*` binary runs the eleven SPEC-shaped workloads on the BASE
+//! processor and on the figure's variant, then prints the per-benchmark
+//! overhead next to the paper's reported number. Absolute cycle counts
+//! are not expected to match the FPGA prototype; the *shape* — which
+//! benchmarks hurt, roughly how much, and the average — is the
+//! reproduction target (see `DESIGN.md` and `EXPERIMENTS.md`).
+//!
+//! Run e.g. `cargo run --release -p mi6-bench --bin fig05_flush`.
+//! All binaries accept an optional `--kinsts N` (thousands of
+//! instructions per run; default 2000) and `--timer N` (scheduler tick in
+//! cycles; default 100000).
+
+use mi6_soc::{Machine, MachineConfig, MachineStats, Variant};
+use mi6_workloads::{Workload, WorkloadParams};
+
+/// One workload run's summary.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Cycles to completion.
+    pub cycles: u64,
+    /// Committed instructions (core 0).
+    pub instructions: u64,
+    /// Branch mispredictions per kilo-instruction.
+    pub branch_mpki: f64,
+    /// LLC misses per kilo-instruction.
+    pub llc_mpki: f64,
+    /// Cycles stalled waiting for microarchitectural flushes.
+    pub flush_stall_cycles: u64,
+    /// Traps taken.
+    pub traps: u64,
+}
+
+impl RunRecord {
+    fn from_stats(name: &'static str, stats: &MachineStats) -> RunRecord {
+        RunRecord {
+            name,
+            cycles: stats.cycles,
+            instructions: stats.core[0].committed_instructions,
+            branch_mpki: stats.branch_mpki(),
+            llc_mpki: stats.llc_mpki(),
+            flush_stall_cycles: stats.core[0].flush_stall_cycles,
+            traps: stats.core[0].traps,
+        }
+    }
+
+    /// Flush stall time as a percentage of total cycles (Figure 6).
+    pub fn flush_stall_pct(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.flush_stall_cycles as f64 * 100.0 / self.cycles as f64
+    }
+}
+
+/// Harness options parsed from the command line.
+#[derive(Clone, Copy, Debug)]
+pub struct HarnessOpts {
+    /// Thousands of instructions per run.
+    pub kinsts: u64,
+    /// Scheduler timer interval in cycles (0 = off).
+    pub timer: u64,
+}
+
+impl HarnessOpts {
+    /// Parses `--kinsts N` and `--timer N` from `std::env::args`.
+    pub fn from_args() -> HarnessOpts {
+        let mut opts = HarnessOpts {
+            kinsts: 2_000,
+            timer: 250_000,
+        };
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i + 1 < args.len() {
+            match args[i].as_str() {
+                "--kinsts" => opts.kinsts = args[i + 1].parse().expect("--kinsts N"),
+                "--timer" => opts.timer = args[i + 1].parse().expect("--timer N"),
+                _ => {}
+            }
+            i += 1;
+        }
+        opts
+    }
+}
+
+/// Runs one workload on one variant to completion.
+pub fn run_workload(variant: Variant, workload: Workload, opts: &HarnessOpts) -> RunRecord {
+    let cfg = if opts.timer == 0 {
+        MachineConfig::variant(variant, 1).without_timer()
+    } else {
+        MachineConfig::variant(variant, 1).with_timer_interval(opts.timer)
+    };
+    let mut machine = Machine::new(cfg);
+    let params = WorkloadParams::evaluation().with_target_kinsts(opts.kinsts);
+    machine
+        .load_user_program(0, &workload.build(&params))
+        .unwrap_or_else(|e| panic!("loading {workload}: {e}"));
+    let cap = opts.kinsts.saturating_mul(1_000_000).max(400_000_000);
+    let stats = machine
+        .run_to_completion(cap)
+        .unwrap_or_else(|e| panic!("running {workload} on {variant}: {e}"));
+    RunRecord::from_stats(workload.name(), &stats)
+}
+
+/// Runs all eleven workloads on a variant.
+pub fn run_all(variant: Variant, opts: &HarnessOpts) -> Vec<RunRecord> {
+    Workload::ALL
+        .iter()
+        .map(|&w| {
+            eprintln!("  running {w} on {variant}...");
+            run_workload(variant, w, opts)
+        })
+        .collect()
+}
+
+/// Arithmetic mean.
+pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = values.into_iter().collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+/// Prints an overhead figure: per-benchmark runtime increase of `variant`
+/// over `base`, next to the paper's reported percentages.
+pub fn print_overhead_figure(
+    title: &str,
+    paper: &[(&str, f64)],
+    base: &[RunRecord],
+    variant: &[RunRecord],
+) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<12} {:>14} {:>14} {:>10} {:>10}",
+        "benchmark", "BASE cycles", "variant cycles", "measured", "paper"
+    );
+    let mut overheads = Vec::new();
+    for (b, v) in base.iter().zip(variant) {
+        assert_eq!(b.name, v.name);
+        let overhead = (v.cycles as f64 / b.cycles as f64 - 1.0) * 100.0;
+        overheads.push(overhead);
+        let paper_pct = paper
+            .iter()
+            .find(|(n, _)| *n == b.name)
+            .map(|(_, p)| format!("{p:.1}%"))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<12} {:>14} {:>14} {:>9.1}% {:>10}",
+            b.name, b.cycles, v.cycles, overhead, paper_pct
+        );
+    }
+    let paper_avg = paper.iter().find(|(n, _)| *n == "average").map(|(_, p)| *p);
+    println!(
+        "{:<12} {:>14} {:>14} {:>9.1}% {:>10}",
+        "average",
+        "",
+        "",
+        mean(overheads),
+        paper_avg
+            .map(|p| format!("{p:.1}%"))
+            .unwrap_or_else(|| "-".into())
+    );
+}
+
+/// Prints a metric figure (e.g. MPKI) for two variants side by side with
+/// the paper's average values.
+pub fn print_metric_figure(
+    title: &str,
+    metric_name: &str,
+    paper_avgs: (f64, f64),
+    labels: (&str, &str),
+    base: &[RunRecord],
+    variant: &[RunRecord],
+    metric: impl Fn(&RunRecord) -> f64,
+) {
+    println!("\n=== {title} ===");
+    println!("{:<12} {:>12} {:>12}", "benchmark", labels.0, labels.1);
+    for (b, v) in base.iter().zip(variant) {
+        println!("{:<12} {:>12.1} {:>12.1}", b.name, metric(b), metric(v));
+    }
+    println!(
+        "{:<12} {:>12.1} {:>12.1}   (paper: {:.1} -> {:.1} {metric_name})",
+        "average",
+        mean(base.iter().map(&metric)),
+        mean(variant.iter().map(&metric)),
+        paper_avgs.0,
+        paper_avgs.1,
+    );
+}
+
+/// The paper's Figure 5 numbers (FLUSH overhead %, approximate bar
+/// readings; stated values: average 5.4, max astar 10.9).
+pub const PAPER_FIG5: &[(&str, f64)] = &[
+    ("bzip2", 4.0),
+    ("gcc", 5.0),
+    ("mcf", 3.0),
+    ("gobmk", 7.0),
+    ("hmmer", 2.0),
+    ("sjeng", 7.0),
+    ("libquantum", 1.0),
+    ("h264ref", 4.0),
+    ("omnetpp", 6.0),
+    ("astar", 10.9),
+    ("xalancbmk", 8.0),
+    ("average", 5.4),
+];
+
+/// Figure 8 (PART overhead %; average 7.4, max gcc 21.6).
+pub const PAPER_FIG8: &[(&str, f64)] = &[
+    ("bzip2", 6.0),
+    ("gcc", 21.6),
+    ("mcf", 7.0),
+    ("gobmk", 2.0),
+    ("hmmer", 2.0),
+    ("sjeng", 4.0),
+    ("libquantum", 10.0),
+    ("h264ref", 3.0),
+    ("omnetpp", 12.0),
+    ("astar", 8.0),
+    ("xalancbmk", 6.0),
+    ("average", 7.4),
+];
+
+/// Figure 10 (MISS overhead %; average 3.2, max astar 8.3).
+pub const PAPER_FIG10: &[(&str, f64)] = &[
+    ("bzip2", 3.0),
+    ("gcc", 4.0),
+    ("mcf", 5.0),
+    ("gobmk", 1.0),
+    ("hmmer", 1.0),
+    ("sjeng", 2.0),
+    ("libquantum", 6.0),
+    ("h264ref", 1.0),
+    ("omnetpp", 4.0),
+    ("astar", 8.3),
+    ("xalancbmk", 3.0),
+    ("average", 3.2),
+];
+
+/// Figure 11 (ARB overhead %; average 8.5, max libquantum 14).
+pub const PAPER_FIG11: &[(&str, f64)] = &[
+    ("bzip2", 8.0),
+    ("gcc", 9.0),
+    ("mcf", 12.0),
+    ("gobmk", 5.0),
+    ("hmmer", 5.0),
+    ("sjeng", 7.0),
+    ("libquantum", 14.0),
+    ("h264ref", 6.0),
+    ("omnetpp", 11.0),
+    ("astar", 10.0),
+    ("xalancbmk", 8.0),
+    ("average", 8.5),
+];
+
+/// Figure 12 (NONSPEC overhead %; average 205, max h264ref 427).
+pub const PAPER_FIG12: &[(&str, f64)] = &[
+    ("bzip2", 180.0),
+    ("gcc", 160.0),
+    ("mcf", 120.0),
+    ("gobmk", 200.0),
+    ("hmmer", 260.0),
+    ("sjeng", 190.0),
+    ("libquantum", 150.0),
+    ("h264ref", 427.0),
+    ("omnetpp", 140.0),
+    ("astar", 160.0),
+    ("xalancbmk", 270.0),
+    ("average", 205.0),
+];
+
+/// Figure 13 (F+P+M+A overhead %; average 16.4, max gcc 34.8).
+pub const PAPER_FIG13: &[(&str, f64)] = &[
+    ("bzip2", 14.0),
+    ("gcc", 34.8),
+    ("mcf", 18.0),
+    ("gobmk", 12.0),
+    ("hmmer", 8.0),
+    ("sjeng", 14.0),
+    ("libquantum", 22.0),
+    ("h264ref", 10.0),
+    ("omnetpp", 25.0),
+    ("astar", 24.0),
+    ("xalancbmk", 16.0),
+    ("average", 16.4),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean([1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean([]), 0.0);
+    }
+
+    #[test]
+    fn paper_tables_have_all_benchmarks_plus_average() {
+        for table in [
+            PAPER_FIG5,
+            PAPER_FIG8,
+            PAPER_FIG10,
+            PAPER_FIG11,
+            PAPER_FIG12,
+            PAPER_FIG13,
+        ] {
+            assert_eq!(table.len(), 12);
+            assert!(table.iter().any(|(n, _)| *n == "average"));
+            for w in Workload::ALL {
+                assert!(table.iter().any(|(n, _)| *n == w.name()), "missing {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_run_produces_record() {
+        let opts = HarnessOpts {
+            kinsts: 30,
+            timer: 0,
+        };
+        let rec = run_workload(Variant::Base, Workload::Hmmer, &opts);
+        assert!(rec.cycles > 0);
+        assert!(rec.instructions > 10_000);
+    }
+}

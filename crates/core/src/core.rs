@@ -1,0 +1,1931 @@
+//! The cycle-level speculative out-of-order core.
+//!
+//! Models the RiscyOO pipeline of Figure 4: a 2-wide front end with BTB,
+//! tournament predictor, and RAS; ROB-based register renaming (the RAT maps
+//! architectural registers to in-flight producers); four issue pipelines
+//! (2 ALU, 1 MEM, 1 FP/MUL/DIV) with 16-entry issue queues; a 24-entry load
+//! queue, 14-entry store queue, and 4-entry store buffer; L1/L2 TLBs with a
+//! translation cache and a hardware page-table walker whose accesses go
+//! through the data port (and are therefore region-checked, Section 5.3).
+//!
+//! MI6 behaviours (all toggled by [`SecurityConfig`]):
+//! - **purge** (Section 6.1): scrubs BTB, tournament predictor, RAS, both
+//!   TLBs, the translation cache, and the L1 caches; the core stalls for
+//!   [`CoreConfig::purge_cycles`] while the sweeps run.
+//! - **flush-on-trap** (FLUSH variant, Section 7.1): the same scrub on
+//!   every trap entry and trap return.
+//! - **non-speculative mode** (NONSPEC, Section 7.5): a memory instruction
+//!   renames only when the ROB is empty.
+//! - **machine-mode speculation guard** (Section 6.2): in machine mode,
+//!   fetch is restricted to the monitor's physical window and memory
+//!   instructions are serialized as in NONSPEC.
+//! - **DRAM-region checks** (Section 5.3): every physical access —
+//!   speculative fetch, load, store, or page-walk — outside the `mregions`
+//!   bitvector is suppressed, and faults only when it commits.
+
+use crate::branch::{Btb, Prediction, Ras, Tournament};
+use crate::config::{CoreConfig, SecurityConfig};
+use crate::exec;
+use crate::stats::CoreStats;
+use crate::tlb::{Tlb, TlbEntry, TranslationCache};
+use mi6_isa::csr::CsrFile;
+use mi6_isa::paging::{leaf_span, AccessKind, LEVELS};
+use mi6_isa::trap::{Exception, TrapCause};
+use mi6_isa::{Inst, PageTableEntry, PhysAddr, PrivLevel, Reg, VirtAddr, PAGE_SHIFT};
+use mi6_mem::{L1Access, MemSystem, Port, RegionBitvec};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Tag bits distinguishing token owners on the two memory ports.
+const TOKEN_TAG_SHIFT: u32 = 62;
+const TOKEN_LOAD: u64 = 0 << TOKEN_TAG_SHIFT;
+const TOKEN_FETCH: u64 = 1 << TOKEN_TAG_SHIFT;
+const TOKEN_PTW: u64 = 2 << TOKEN_TAG_SHIFT;
+const TOKEN_SB: u64 = 3 << TOKEN_TAG_SHIFT;
+const TOKEN_MASK: u64 = (1 << TOKEN_TAG_SHIFT) - 1;
+
+/// Extra latency charged for an L2 TLB hit after an L1 TLB miss.
+const L2_TLB_LATENCY: u64 = 4;
+/// Front-end refill delay after a redirect (squash or trap).
+const REDIRECT_PENALTY: u64 = 2;
+
+/// A source operand: either already a value, or waiting on a producer.
+#[derive(Clone, Copy, Debug)]
+enum Src {
+    Ready(u64),
+    Wait { seq: u64, reg: Reg },
+}
+
+/// Which issue pipeline an instruction uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Pipe {
+    Alu0,
+    Alu1,
+    Mem,
+    MulDiv,
+}
+
+/// Progress of a memory instruction after it leaves the MEM issue queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MemPhase {
+    /// Address generation in flight.
+    AddrGen { done_at: u64 },
+    /// Attempting translation (TLB lookup) this cycle.
+    Translate,
+    /// L2 TLB hit: waiting out the extra latency.
+    TlbLatency { ready_at: u64 },
+    /// Page-table walk outstanding.
+    WaitWalk,
+    /// Translated; loads try forwarding or issue to L1D, stores are done.
+    ReadyToAccess,
+    /// L1D request outstanding (loads only).
+    WaitMem,
+    /// Value arrives at `ready_at` (forwarding or L1 hit).
+    WaitValue { ready_at: u64 },
+    /// Finished.
+    Done,
+}
+
+#[derive(Clone, Debug)]
+struct MemState {
+    vaddr: u64,
+    paddr: Option<u64>,
+    bytes: u64,
+    is_store: bool,
+    store_data: Option<u64>,
+    phase: MemPhase,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct BranchState {
+    pred_taken: bool,
+    pred_target: u64,
+    tournament: Option<Prediction>,
+    /// Set when the branch resolves at execute.
+    actual_taken: Option<bool>,
+    actual_target: u64,
+}
+
+/// Where an instruction is in the backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Stage {
+    /// Waiting in an issue queue.
+    InIq,
+    /// Executing; result valid at `done_at`.
+    Exec { done_at: u64 },
+    /// A memory instruction past issue (see [`MemPhase`]).
+    MemOp,
+    /// Executes at commit (system instructions).
+    AtCommit,
+    /// Finished; eligible for commit.
+    Done,
+}
+
+#[derive(Clone, Debug)]
+struct RobEntry {
+    seq: u64,
+    pc: u64,
+    inst: Inst,
+    stage: Stage,
+    srcs: [Option<Src>; 2],
+    dest: Option<Reg>,
+    /// Previous RAT mapping of `dest`, for squash undo.
+    prev_map: Option<u64>,
+    result: u64,
+    branch: Option<BranchState>,
+    mem: Option<MemState>,
+    exception: Option<(Exception, u64)>,
+}
+
+impl RobEntry {
+    fn is_done(&self) -> bool {
+        matches!(self.stage, Stage::Done | Stage::AtCommit) || self.exception.is_some()
+    }
+}
+
+/// A pending or active page-table walk.
+#[derive(Clone, Copy, Debug)]
+struct WalkReq {
+    vpn: u64,
+    kind: AccessKind,
+    client: WalkClient,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum WalkClient {
+    Fetch,
+    Rob(u64),
+}
+
+#[derive(Clone, Debug)]
+struct ActiveWalk {
+    req: WalkReq,
+    level: usize,
+    table: u64,
+    /// Outstanding L1D token, or a ready time for an L1 hit.
+    pending: WalkPending,
+    pte_addr: u64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum WalkPending {
+    Issue,
+    Token(u64),
+    ReadyAt(u64),
+}
+
+/// Outcome of a completed walk, delivered to the client.
+#[derive(Clone, Copy, Debug)]
+enum WalkResult {
+    Ok,
+    Fault(Exception),
+}
+
+/// Outcome of a TLB lookup attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TranslateOutcome {
+    /// Translation available.
+    Hit {
+        paddr: u64,
+        region_ok: bool,
+        /// Extra cycles charged (L2 TLB hit latency).
+        extra: u64,
+    },
+    /// A page-table walk is in flight for this requester.
+    Walking,
+    /// The walker cannot accept another miss; retry next cycle.
+    Busy,
+}
+
+/// State of the front end's current fetch.
+#[derive(Clone, Debug, PartialEq)]
+enum FetchState {
+    /// Ready to translate and issue.
+    Idle,
+    /// ITLB walk outstanding.
+    WaitWalk,
+    /// L2 TLB latency, then issue the I-cache access.
+    TlbDelay { ready_at: u64, paddr: u64, region_ok: bool },
+    /// I-cache access outstanding (miss).
+    WaitICache { token: u64, paddr: u64 },
+    /// I-cache hit: deliver at `ready_at`.
+    Deliver { ready_at: u64, paddr: u64 },
+    /// A poisoned instruction was delivered; wait for redirect.
+    Stalled,
+}
+
+#[derive(Clone, Debug)]
+struct FetchedInst {
+    pc: u64,
+    inst: Inst,
+    pred: Option<BranchState>,
+    poison: Option<(Exception, u64)>,
+}
+
+/// Purge / flush-on-trap sequencing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PurgePhase {
+    /// No purge in progress.
+    Idle,
+    /// Waiting for in-flight memory traffic and the store buffer to drain.
+    DrainMem,
+    /// Sweeps running; done at the given cycle.
+    Flushing { until: u64 },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct SbEntry {
+    line: u64,
+    issued: bool,
+    token: u64,
+    done: bool,
+}
+
+/// The out-of-order core.
+#[derive(Debug)]
+pub struct Core {
+    /// Core index (selects the memory-system ports).
+    pub id: usize,
+    cfg: CoreConfig,
+    sec: SecurityConfig,
+    /// Committed architectural registers.
+    pub regs: [u64; 32],
+    /// Committed PC of the next instruction to commit (trap EPC source).
+    pub pc: u64,
+    /// Current privilege level.
+    pub priv_level: PrivLevel,
+    /// Control and status registers.
+    pub csrs: CsrFile,
+    /// True once the core retired an `ebreak` in machine mode — the
+    /// simulation halt convention.
+    pub halted: bool,
+
+    // Front end.
+    btb: Btb,
+    tournament: Tournament,
+    ras: Ras,
+    fetch_pc: u64,
+    fetch_state: FetchState,
+    fetch_queue: VecDeque<FetchedInst>,
+    fetch_stall_until: u64,
+    next_fetch_token: u64,
+    itlb: Tlb,
+    decode_cache: HashMap<u64, Inst>,
+
+    // Backend.
+    rob: VecDeque<RobEntry>,
+    next_seq: u64,
+    rat: [Option<u64>; 32],
+    iqs: [Vec<u64>; 4],
+    muldiv_busy_until: u64,
+    lq_used: usize,
+    sq_used: usize,
+    sb: Vec<SbEntry>,
+    next_sb_token: u64,
+    committed_ghist: u16,
+
+    // Data-side translation.
+    dtlb: Tlb,
+    l2_tlb: Tlb,
+    tcache: TranslationCache,
+    walker_queue: VecDeque<WalkReq>,
+    walker_active: Option<ActiveWalk>,
+    walk_results: Vec<(WalkClient, WalkResult)>,
+    next_ptw_token: u64,
+
+    // Tokens owned by squashed instructions; completions are dropped.
+    zombies: HashSet<u64>,
+    // Completions that arrived this cycle, keyed by token.
+    data_completions: HashMap<u64, u64>,
+    ifetch_completions: HashMap<u64, u64>,
+
+    purge: PurgePhase,
+    /// Pending trap redirect after purge completes (handler pc, priv).
+    purge_resume: Option<(u64, PrivLevel)>,
+
+    /// Exported statistics.
+    pub stats: CoreStats,
+}
+
+impl Core {
+    /// Creates a core in reset: PC 0, machine mode, empty pipeline.
+    pub fn new(id: usize, cfg: CoreConfig, sec: SecurityConfig) -> Core {
+        Core {
+            id,
+            cfg,
+            sec,
+            regs: [0; 32],
+            pc: 0,
+            priv_level: PrivLevel::Machine,
+            csrs: CsrFile::new(),
+            halted: false,
+            btb: Btb::new(cfg.btb_entries),
+            tournament: Tournament::new(),
+            ras: Ras::new(cfg.ras_entries),
+            fetch_pc: 0,
+            fetch_state: FetchState::Idle,
+            fetch_queue: VecDeque::new(),
+            fetch_stall_until: 0,
+            next_fetch_token: 0,
+            itlb: Tlb::new(cfg.l1_tlb_entries, 1),
+            decode_cache: HashMap::new(),
+            rob: VecDeque::new(),
+            next_seq: 0,
+            rat: [None; 32],
+            iqs: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
+            muldiv_busy_until: 0,
+            lq_used: 0,
+            sq_used: 0,
+            sb: Vec::new(),
+            next_sb_token: 0,
+            committed_ghist: 0,
+            dtlb: Tlb::new(cfg.l1_tlb_entries, 1),
+            l2_tlb: Tlb::new(cfg.l2_tlb_entries, cfg.l2_tlb_entries / cfg.l2_tlb_ways),
+            tcache: TranslationCache::new(cfg.tcache_entries),
+            walker_queue: VecDeque::new(),
+            walker_active: None,
+            walk_results: Vec::new(),
+            next_ptw_token: 0,
+            zombies: HashSet::new(),
+            data_completions: HashMap::new(),
+            ifetch_completions: HashMap::new(),
+            purge: PurgePhase::Idle,
+            purge_resume: None,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// Resets the program counter and privilege level (boot or test setup).
+    pub fn reset_to(&mut self, pc: u64, priv_level: PrivLevel) {
+        self.pc = pc;
+        self.fetch_pc = pc;
+        self.priv_level = priv_level;
+        self.fetch_state = FetchState::Idle;
+    }
+
+    /// The security configuration in force.
+    pub fn security(&self) -> &SecurityConfig {
+        &self.sec
+    }
+
+    /// Whether the pipeline holds no in-flight instructions.
+    pub fn pipeline_empty(&self) -> bool {
+        self.rob.is_empty() && self.fetch_queue.is_empty()
+    }
+
+    /// Whether a purge/flush sequence is in progress.
+    pub fn purging(&self) -> bool {
+        self.purge != PurgePhase::Idle
+    }
+
+    fn region_bitvec(&self) -> RegionBitvec {
+        RegionBitvec(self.csrs.mregions)
+    }
+
+    fn region_allowed(&self, mem: &MemSystem, paddr: u64) -> bool {
+        // The security monitor (machine mode) has access to all physical
+        // addresses (Section 4.1); its isolation comes from the fetch
+        // window and the speculation guard, not the region bitvector.
+        if !self.sec.region_checks || self.priv_level == PrivLevel::Machine {
+            return true;
+        }
+        let map = mem.region_map();
+        if paddr >= mem.phys.size() {
+            return false;
+        }
+        self.region_bitvec().allows(map.region_of(PhysAddr::new(paddr)))
+    }
+
+    fn bare_translation(&self) -> bool {
+        self.priv_level == PrivLevel::Machine || self.csrs.satp == 0
+    }
+
+    fn nonspec_gate(&self) -> bool {
+        self.sec.nonspec_all_modes
+            || (self.sec.machine_mode_guard && self.priv_level == PrivLevel::Machine)
+    }
+
+    // ---------------------------------------------------------------- ROB
+
+    fn head_seq(&self) -> u64 {
+        self.rob.front().map(|e| e.seq).unwrap_or(self.next_seq)
+    }
+
+    fn rob_index(&self, seq: u64) -> Option<usize> {
+        // Seqs are strictly increasing but NOT contiguous (a squash leaves
+        // a gap before the next rename), so binary-search.
+        let head = self.rob.front()?.seq;
+        if seq < head {
+            return None;
+        }
+        let (a, b) = self.rob.as_slices();
+        match a.binary_search_by_key(&seq, |e| e.seq) {
+            Ok(i) => Some(i),
+            Err(_) => b
+                .binary_search_by_key(&seq, |e| e.seq)
+                .ok()
+                .map(|i| a.len() + i),
+        }
+    }
+
+    fn producer_value(&self, src: Src) -> Option<u64> {
+        match src {
+            Src::Ready(v) => Some(v),
+            Src::Wait { seq, reg } => match self.rob_index(seq) {
+                None => Some(self.regs[reg.index() as usize]),
+                Some(idx) => {
+                    let e = &self.rob[idx];
+                    (e.stage == Stage::Done).then_some(e.result)
+                }
+            },
+        }
+    }
+
+    fn srcs_ready(&self, entry: &RobEntry) -> Option<(u64, u64)> {
+        let a = match entry.srcs[0] {
+            None => 0,
+            Some(s) => self.producer_value(s)?,
+        };
+        let b = match entry.srcs[1] {
+            None => 0,
+            Some(s) => self.producer_value(s)?,
+        };
+        Some((a, b))
+    }
+
+    // ------------------------------------------------------------- squash
+
+    /// Squashes all entries with `seq >= from_seq`; redirects fetch to
+    /// `new_pc`.
+    fn squash_from(&mut self, now: u64, from_seq: u64, new_pc: u64) {
+        while let Some(back) = self.rob.back() {
+            if back.seq < from_seq {
+                break;
+            }
+            let e = self.rob.pop_back().expect("non-empty");
+            self.stats.squashed_instructions += 1;
+            // Undo RAT.
+            if let Some(d) = e.dest {
+                if self.rat[d.index() as usize] == Some(e.seq) {
+                    self.rat[d.index() as usize] = e.prev_map;
+                }
+            }
+            // Remove from issue queues.
+            for iq in &mut self.iqs {
+                iq.retain(|&s| s != e.seq);
+            }
+            // Release LQ/SQ slots and orphan in-flight tokens.
+            if let Some(m) = &e.mem {
+                if m.is_store {
+                    self.sq_used -= 1;
+                } else {
+                    self.lq_used -= 1;
+                }
+                if m.phase == MemPhase::WaitMem {
+                    self.zombies.insert(TOKEN_LOAD | (e.seq & TOKEN_MASK));
+                }
+                if m.phase == MemPhase::WaitWalk {
+                    self.cancel_walk(WalkClient::Rob(e.seq));
+                }
+            }
+        }
+        // Flush the front end.
+        self.fetch_queue.clear();
+        match &self.fetch_state {
+            FetchState::WaitICache { token, .. } => {
+                self.zombies.insert(*token);
+            }
+            FetchState::WaitWalk => self.cancel_walk(WalkClient::Fetch),
+            _ => {}
+        }
+        self.fetch_state = FetchState::Idle;
+        self.fetch_pc = new_pc;
+        self.fetch_stall_until = now + REDIRECT_PENALTY;
+        self.rebuild_ghist();
+    }
+
+    /// Recomputes the speculative global history from the committed
+    /// history plus surviving in-flight branches (actual outcome where
+    /// resolved, predicted otherwise).
+    fn rebuild_ghist(&mut self) {
+        let mut g = self.committed_ghist;
+        for e in &self.rob {
+            if let Some(b) = &e.branch {
+                if e.inst.is_cond_branch() {
+                    g = (g << 1) | b.actual_taken.unwrap_or(b.pred_taken) as u16;
+                }
+            }
+        }
+        self.tournament.ghist = g;
+    }
+
+    fn cancel_walk(&mut self, client: WalkClient) {
+        self.walker_queue.retain(|r| r.client != client);
+        if let Some(active) = &mut self.walker_active {
+            if active.req.client == client {
+                // Let the memory access finish but drop the result.
+                if let WalkPending::Token(t) = active.pending {
+                    self.zombies.insert(t);
+                }
+                self.walker_active = None;
+            }
+        }
+        self.walk_results.retain(|(c, _)| *c != client);
+    }
+
+    // ---------------------------------------------------------------- TLB
+
+    /// Attempts a translation through the TLB hierarchy.
+    ///
+    /// Returns:
+    /// - `Ok(Hit { .. })` on a TLB hit,
+    /// - `Ok(Walking)` if a page-table walk is pending for this client,
+    /// - `Ok(Busy)` if the walker could not accept the request (D-TLB
+    ///   outstanding-miss limit) — the requester retries next cycle,
+    /// - `Err(exception)` on a permission fault detected at TLB-hit time.
+    fn try_translate(
+        &mut self,
+        vaddr: u64,
+        kind: AccessKind,
+        client: WalkClient,
+    ) -> Result<TranslateOutcome, Exception> {
+        let va = VirtAddr::new(vaddr);
+        let vpn = va.raw() >> PAGE_SHIFT;
+        let user = self.priv_level == PrivLevel::User;
+        let l1 = match kind {
+            AccessKind::Fetch => &mut self.itlb,
+            _ => &mut self.dtlb,
+        };
+        let fault = |kind: AccessKind| match kind {
+            AccessKind::Fetch => Exception::InstPageFault,
+            AccessKind::Load => Exception::LoadPageFault,
+            AccessKind::Store => Exception::StorePageFault,
+        };
+        if let Some(entry) = l1.lookup(vpn) {
+            if !kind.permitted(entry.pte, user) {
+                return Err(fault(kind));
+            }
+            return Ok(TranslateOutcome::Hit {
+                paddr: entry.translate(va).raw(),
+                region_ok: entry.region_ok,
+                extra: 0,
+            });
+        }
+        if let Some(entry) = self.l2_tlb.lookup(vpn) {
+            if !kind.permitted(entry.pte, user) {
+                return Err(fault(kind));
+            }
+            let l1 = match kind {
+                AccessKind::Fetch => &mut self.itlb,
+                _ => &mut self.dtlb,
+            };
+            l1.insert(entry);
+            return Ok(TranslateOutcome::Hit {
+                paddr: entry.translate(va).raw(),
+                region_ok: entry.region_ok,
+                extra: L2_TLB_LATENCY,
+            });
+        }
+        // A walk already pending for this client?
+        let pending = self.walker_queue.iter().any(|r| r.client == client)
+            || self
+                .walker_active
+                .as_ref()
+                .is_some_and(|a| a.req.client == client);
+        if pending {
+            return Ok(TranslateOutcome::Walking);
+        }
+        // The D-TLB supports at most `dtlb_max_misses` outstanding misses
+        // (Figure 4); beyond that the requester must retry.
+        let data_walks = self
+            .walker_queue
+            .iter()
+            .filter(|r| r.kind != AccessKind::Fetch)
+            .count()
+            + self
+                .walker_active
+                .as_ref()
+                .is_some_and(|a| a.req.kind != AccessKind::Fetch) as usize;
+        if kind != AccessKind::Fetch && data_walks >= self.cfg.dtlb_max_misses {
+            return Ok(TranslateOutcome::Busy);
+        }
+        self.walker_queue.push_back(WalkReq { vpn, kind, client });
+        Ok(TranslateOutcome::Walking)
+    }
+
+    /// Advances the page-table walker by one cycle.
+    fn tick_walker(&mut self, now: u64, mem: &mut MemSystem) {
+        if self.walker_active.is_none() {
+            let Some(req) = self.walker_queue.pop_front() else {
+                return;
+            };
+            // Start from the deepest translation-cache hit.
+            let root = (self.csrs.satp & ((1 << 44) - 1)) << PAGE_SHIFT;
+            let (level, table) = if let Some(t) = self.tcache.lookup(1, req.vpn >> 9) {
+                (0, t.raw())
+            } else if let Some(t) = self.tcache.lookup(2, req.vpn >> 18) {
+                (1, t.raw())
+            } else {
+                (LEVELS - 1, root)
+            };
+            self.walker_active = Some(ActiveWalk {
+                req,
+                level,
+                table,
+                pending: WalkPending::Issue,
+                pte_addr: 0,
+            });
+        }
+        let Some(mut walk) = self.walker_active.take() else {
+            return;
+        };
+        match walk.pending {
+            WalkPending::Issue => {
+                let idx = (walk.req.vpn >> (9 * walk.level)) & 0x1ff;
+                let pte_addr = walk.table + idx * 8;
+                walk.pte_addr = pte_addr;
+                // Region check on the walk access itself (Section 5.3):
+                // a violating PTW access is suppressed, never emitted.
+                if !self.region_allowed(mem, pte_addr) {
+                    self.stats.region_suppressed += 1;
+                    self.walk_results
+                        .push((walk.req.client, WalkResult::Fault(Exception::DramRegionFault)));
+                    return; // walker freed
+                }
+                let token = TOKEN_PTW | (self.next_ptw_token & TOKEN_MASK);
+                self.next_ptw_token += 1;
+                match mem.access(now, self.id, Port::Data, token, PhysAddr::new(pte_addr), false) {
+                    L1Access::Hit { ready_at } => {
+                        walk.pending = WalkPending::ReadyAt(ready_at);
+                        self.walker_active = Some(walk);
+                    }
+                    L1Access::Miss => {
+                        walk.pending = WalkPending::Token(token);
+                        self.walker_active = Some(walk);
+                    }
+                    L1Access::Blocked => {
+                        walk.pending = WalkPending::Issue;
+                        self.walker_active = Some(walk);
+                    }
+                }
+            }
+            WalkPending::Token(token) => {
+                if let Some(&ready_at) = self.data_completions.get(&token) {
+                    self.data_completions.remove(&token);
+                    walk.pending = WalkPending::ReadyAt(ready_at);
+                }
+                self.walker_active = Some(walk);
+            }
+            WalkPending::ReadyAt(ready_at) => {
+                if now < ready_at {
+                    self.walker_active = Some(walk);
+                    return;
+                }
+                let pte = PageTableEntry(mem.phys.read_u64(PhysAddr::new(walk.pte_addr)));
+                let fault = || match walk.req.kind {
+                    AccessKind::Fetch => Exception::InstPageFault,
+                    AccessKind::Load => Exception::LoadPageFault,
+                    AccessKind::Store => Exception::StorePageFault,
+                };
+                if !pte.valid() {
+                    self.walk_results
+                        .push((walk.req.client, WalkResult::Fault(fault())));
+                    self.stats.page_walks += 1;
+                    return;
+                }
+                if pte.is_leaf() {
+                    let leaf_base = pte.ppn() << PAGE_SHIFT;
+                    let span = leaf_span(walk.level);
+                    let region_ok = {
+                        // One check suffices: no page straddles a region.
+                        let probe = leaf_base & !(span - 1);
+                        self.region_allowed(mem, probe)
+                    };
+                    let entry = TlbEntry {
+                        vpn: walk.req.vpn & !((1u64 << (9 * walk.level)) - 1),
+                        level: walk.level,
+                        pte,
+                        region_ok,
+                    };
+                    self.l2_tlb.insert(entry);
+                    match walk.req.kind {
+                        AccessKind::Fetch => self.itlb.insert(entry),
+                        _ => self.dtlb.insert(entry),
+                    }
+                    self.walk_results.push((walk.req.client, WalkResult::Ok));
+                    self.stats.page_walks += 1;
+                } else {
+                    let next_table = pte.ppn() << PAGE_SHIFT;
+                    // Record the intermediate step in the translation
+                    // cache: the table consulted at level-1 is determined
+                    // by the vpn bits above it.
+                    if walk.level >= 1 {
+                        self.tcache.insert(
+                            walk.level,
+                            walk.req.vpn >> (9 * walk.level),
+                            PhysAddr::new(next_table),
+                        );
+                    }
+                    walk.level -= 1;
+                    walk.table = next_table;
+                    walk.pending = WalkPending::Issue;
+                    self.walker_active = Some(walk);
+                }
+            }
+        }
+    }
+
+    fn take_walk_result(&mut self, client: WalkClient) -> Option<WalkResult> {
+        let idx = self.walk_results.iter().position(|(c, _)| *c == client)?;
+        Some(self.walk_results.remove(idx).1)
+    }
+
+    // -------------------------------------------------------------- fetch
+
+    fn decode_at(&mut self, mem: &MemSystem, paddr: u64) -> Result<Inst, Exception> {
+        if let Some(inst) = self.decode_cache.get(&paddr) {
+            return Ok(*inst);
+        }
+        let word = mem.phys.read_u32(PhysAddr::new(paddr));
+        match mi6_isa::decode(word) {
+            Ok(inst) => {
+                self.decode_cache.insert(paddr, inst);
+                Ok(inst)
+            }
+            Err(_) => Err(Exception::IllegalInst),
+        }
+    }
+
+    fn push_poison(&mut self, exception: Exception, tval: u64) {
+        self.fetch_queue.push_back(FetchedInst {
+            pc: self.fetch_pc,
+            inst: Inst::NOP,
+            pred: None,
+            poison: Some((exception, tval)),
+        });
+        self.fetch_state = FetchState::Stalled;
+    }
+
+    fn tick_fetch(&mut self, now: u64, mem: &mut MemSystem) {
+        if now < self.fetch_stall_until {
+            return;
+        }
+        if self.fetch_queue.len() + self.cfg.fetch_width > self.cfg.fetch_queue {
+            return;
+        }
+        match self.fetch_state.clone() {
+            FetchState::Stalled => {}
+            FetchState::Idle => {
+                // Translate the fetch PC.
+                if self.fetch_pc % 4 != 0 {
+                    self.push_poison(Exception::InstMisaligned, self.fetch_pc);
+                    return;
+                }
+                let (paddr, region_ok, extra) = if self.bare_translation() {
+                    let pa = self.fetch_pc;
+                    (pa, self.region_allowed(mem, pa), 0)
+                } else {
+                    match self.try_translate(self.fetch_pc, AccessKind::Fetch, WalkClient::Fetch)
+                    {
+                        Err(e) => {
+                            self.push_poison(e, self.fetch_pc);
+                            return;
+                        }
+                        Ok(TranslateOutcome::Walking) => {
+                            self.fetch_state = FetchState::WaitWalk;
+                            return;
+                        }
+                        Ok(TranslateOutcome::Busy) => return, // retry next cycle
+                        Ok(TranslateOutcome::Hit { paddr, region_ok, extra }) => {
+                            (paddr, region_ok, extra)
+                        }
+                    }
+                };
+                // Machine-mode fetch window (Section 6.2).
+                if self.sec.machine_mode_guard
+                    && self.priv_level == PrivLevel::Machine
+                    && !(self.csrs.mfetchbase..self.csrs.mfetchbound).contains(&paddr)
+                {
+                    self.push_poison(Exception::InstAccessFault, self.fetch_pc);
+                    return;
+                }
+                if !region_ok {
+                    // Suppressed speculative fetch; faults only if it
+                    // becomes non-speculative.
+                    self.stats.region_suppressed += 1;
+                    self.push_poison(Exception::DramRegionFault, self.fetch_pc);
+                    return;
+                }
+                if paddr + 4 > mem.phys.size() {
+                    self.push_poison(Exception::InstAccessFault, self.fetch_pc);
+                    return;
+                }
+                if extra > 0 {
+                    self.fetch_state = FetchState::TlbDelay {
+                        ready_at: now + extra,
+                        paddr,
+                        region_ok,
+                    };
+                    return;
+                }
+                self.issue_icache(now, mem, paddr);
+            }
+            FetchState::TlbDelay { ready_at, paddr, .. } => {
+                if now >= ready_at {
+                    self.issue_icache(now, mem, paddr);
+                }
+            }
+            FetchState::WaitWalk => {
+                if let Some(result) = self.take_walk_result(WalkClient::Fetch) {
+                    match result {
+                        WalkResult::Ok => self.fetch_state = FetchState::Idle,
+                        WalkResult::Fault(e) => self.push_poison(e, self.fetch_pc),
+                    }
+                }
+            }
+            FetchState::WaitICache { token, paddr } => {
+                if let Some(&ready_at) = self.ifetch_completions.get(&token) {
+                    self.ifetch_completions.remove(&token);
+                    self.fetch_state = FetchState::Deliver { ready_at, paddr };
+                }
+            }
+            FetchState::Deliver { ready_at, paddr } => {
+                if now >= ready_at {
+                    self.deliver_fetch_group(mem, paddr);
+                }
+            }
+        }
+    }
+
+    fn issue_icache(&mut self, now: u64, mem: &mut MemSystem, paddr: u64) {
+        let token = TOKEN_FETCH | (self.next_fetch_token & TOKEN_MASK);
+        self.next_fetch_token += 1;
+        match mem.access(now, self.id, Port::IFetch, token, PhysAddr::new(paddr), false) {
+            L1Access::Hit { ready_at } => {
+                self.fetch_state = FetchState::Deliver { ready_at, paddr };
+            }
+            L1Access::Miss => {
+                self.fetch_state = FetchState::WaitICache { token, paddr };
+            }
+            L1Access::Blocked => {
+                self.fetch_state = FetchState::Idle; // retry next cycle
+            }
+        }
+    }
+
+    /// Decodes and predicts up to `fetch_width` instructions from the
+    /// fetched line, pushing them into the fetch queue.
+    fn deliver_fetch_group(&mut self, mem: &MemSystem, paddr: u64) {
+        let mut pc = self.fetch_pc;
+        let mut pa = paddr;
+        self.fetch_state = FetchState::Idle;
+        for slot in 0..self.cfg.fetch_width {
+            // The group ends at a line boundary.
+            if slot > 0 && pa & 63 == 0 {
+                break;
+            }
+            let inst = match self.decode_at(mem, pa) {
+                Ok(i) => i,
+                Err(e) => {
+                    self.fetch_pc = pc;
+                    self.push_poison(e, pc);
+                    return;
+                }
+            };
+            let mut pred = None;
+            let mut next_pc = pc.wrapping_add(4);
+            let mut redirect = false;
+            match inst {
+                Inst::Branch { off, .. } => {
+                    let p = self.tournament.predict(pc);
+                    self.tournament.speculate(p.taken);
+                    let target = pc.wrapping_add(off as i64 as u64);
+                    if p.taken {
+                        next_pc = target;
+                        redirect = true;
+                    }
+                    pred = Some(BranchState {
+                        pred_taken: p.taken,
+                        pred_target: target,
+                        tournament: Some(p),
+                        actual_taken: None,
+                        actual_target: 0,
+                    });
+                }
+                Inst::Jal { rd, off } => {
+                    let target = pc.wrapping_add(off as i64 as u64);
+                    if rd == Reg::RA {
+                        self.ras.push(pc.wrapping_add(4));
+                    }
+                    next_pc = target;
+                    redirect = true;
+                    pred = Some(BranchState {
+                        pred_taken: true,
+                        pred_target: target,
+                        tournament: None,
+                        actual_taken: None,
+                        actual_target: 0,
+                    });
+                }
+                Inst::Jalr { rd, rs1, .. } => {
+                    let predicted = if rd == Reg::ZERO && rs1 == Reg::RA {
+                        self.ras.pop()
+                    } else {
+                        if rd == Reg::RA {
+                            self.ras.push(pc.wrapping_add(4));
+                        }
+                        self.btb.lookup(pc)
+                    };
+                    let target = predicted.unwrap_or(pc.wrapping_add(4));
+                    next_pc = target;
+                    redirect = true;
+                    pred = Some(BranchState {
+                        pred_taken: true,
+                        pred_target: target,
+                        tournament: None,
+                        actual_taken: None,
+                        actual_target: 0,
+                    });
+                }
+                _ => {}
+            }
+            self.fetch_queue.push_back(FetchedInst {
+                pc,
+                inst,
+                pred,
+                poison: None,
+            });
+            pc = next_pc;
+            if redirect {
+                self.fetch_pc = pc;
+                return;
+            }
+            pa += 4;
+        }
+        self.fetch_pc = pc;
+    }
+
+    // ------------------------------------------------------------- rename
+
+    fn tick_rename(&mut self, now: u64) {
+        let mut renamed = 0;
+        while renamed < self.cfg.fetch_width {
+            if self.rob.len() >= self.cfg.rob_entries {
+                break;
+            }
+            let Some(front) = self.fetch_queue.front() else {
+                break;
+            };
+            let inst = front.inst;
+            let poisoned = front.poison.is_some();
+            // Serialization: system instructions and (under the
+            // non-speculative gate) memory instructions rename only into
+            // an empty ROB.
+            let serialize = !poisoned
+                && (inst.is_system() || (self.nonspec_gate() && inst.is_mem()));
+            if serialize && (!self.rob.is_empty() || renamed > 0) {
+                if self.nonspec_gate() && inst.is_mem() {
+                    self.stats.nonspec_stall_cycles += 1;
+                }
+                break;
+            }
+            // Structural slots.
+            let pipe = if poisoned {
+                None
+            } else {
+                match inst {
+                    _ if inst.is_mem() => Some(Pipe::Mem),
+                    _ if inst.is_muldiv_fp() => Some(Pipe::MulDiv),
+                    Inst::Jal { .. } => None,
+                    _ if inst.is_system() => None,
+                    _ => {
+                        // Pick the shorter ALU queue.
+                        if self.iqs[0].len() <= self.iqs[1].len() {
+                            Some(Pipe::Alu0)
+                        } else {
+                            Some(Pipe::Alu1)
+                        }
+                    }
+                }
+            };
+            if let Some(p) = pipe {
+                let iq = &self.iqs[p as usize];
+                if iq.len() >= self.cfg.iq_entries {
+                    break;
+                }
+            }
+            if inst.is_load() && self.lq_used >= self.cfg.lq_entries {
+                break;
+            }
+            if inst.is_store() && self.sq_used >= self.cfg.sq_entries {
+                break;
+            }
+            let fetched = self.fetch_queue.pop_front().expect("peeked");
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            // Sources.
+            let (s1, s2) = fetched.inst.sources();
+            let mk_src = |r: Option<Reg>, core: &Core| -> Option<Src> {
+                let r = r?;
+                if r.is_zero() {
+                    return Some(Src::Ready(0));
+                }
+                Some(match core.rat[r.index() as usize] {
+                    Some(pseq) => Src::Wait { seq: pseq, reg: r },
+                    None => Src::Ready(core.regs[r.index() as usize]),
+                })
+            };
+            let srcs = [mk_src(s1, self), mk_src(s2, self)];
+            // Destination renaming.
+            let dest = fetched.inst.dest();
+            let mut prev_map = None;
+            if let Some(d) = dest {
+                prev_map = self.rat[d.index() as usize];
+                self.rat[d.index() as usize] = Some(seq);
+            }
+            let stage = if poisoned {
+                Stage::Done
+            } else if fetched.inst.is_system() {
+                Stage::AtCommit
+            } else if matches!(fetched.inst, Inst::Jal { .. }) {
+                Stage::Done
+            } else {
+                Stage::InIq
+            };
+            let mem_state = fetched.inst.is_mem().then(|| {
+                let bytes = match fetched.inst {
+                    Inst::Load { width, .. } | Inst::Store { width, .. } => width.bytes(),
+                    _ => unreachable!(),
+                };
+                if fetched.inst.is_store() {
+                    self.sq_used += 1;
+                } else {
+                    self.lq_used += 1;
+                }
+                MemState {
+                    vaddr: 0,
+                    paddr: None,
+                    bytes,
+                    is_store: fetched.inst.is_store(),
+                    store_data: None,
+                    phase: MemPhase::AddrGen { done_at: 0 },
+                }
+            });
+            let result = if matches!(fetched.inst, Inst::Jal { .. }) {
+                fetched.pc.wrapping_add(4)
+            } else {
+                0
+            };
+            let entry = RobEntry {
+                seq,
+                pc: fetched.pc,
+                inst: fetched.inst,
+                stage,
+                srcs,
+                dest,
+                prev_map,
+                result,
+                branch: fetched.pred,
+                mem: mem_state,
+                exception: fetched.poison,
+            };
+            if let Some(p) = pipe {
+                self.iqs[p as usize].push(seq);
+            }
+            self.rob.push_back(entry);
+            renamed += 1;
+            let _ = now;
+        }
+    }
+
+    // -------------------------------------------------------------- issue
+
+    fn tick_issue(&mut self, now: u64) {
+        for pipe in [Pipe::Alu0, Pipe::Alu1, Pipe::MulDiv, Pipe::Mem] {
+            if pipe == Pipe::MulDiv && now < self.muldiv_busy_until {
+                continue;
+            }
+            let iq = &self.iqs[pipe as usize];
+            // Oldest-first: find the lowest seq whose sources are ready.
+            let mut chosen: Option<u64> = None;
+            let mut sorted: Vec<u64> = iq.clone();
+            sorted.sort_unstable();
+            for &seq in &sorted {
+                let Some(idx) = self.rob_index(seq) else {
+                    continue;
+                };
+                if self.srcs_ready(&self.rob[idx]).is_some() {
+                    chosen = Some(seq);
+                    break;
+                }
+            }
+            let Some(seq) = chosen else {
+                continue;
+            };
+            self.iqs[pipe as usize].retain(|&s| s != seq);
+            let idx = self.rob_index(seq).expect("chosen entry exists");
+            let (a, b) = self.srcs_ready(&self.rob[idx]).expect("ready");
+            let entry = &mut self.rob[idx];
+            match pipe {
+                Pipe::Alu0 | Pipe::Alu1 => {
+                    let done_at = now + 1;
+                    match entry.inst {
+                        Inst::Branch { cond, .. } => {
+                            let taken = cond.eval(a, b);
+                            let b_state = entry.branch.as_mut().expect("branch state");
+                            b_state.actual_taken = Some(taken);
+                            b_state.actual_target = if taken {
+                                b_state.pred_target
+                            } else {
+                                entry.pc.wrapping_add(4)
+                            };
+                            entry.stage = Stage::Exec { done_at };
+                        }
+                        Inst::Jalr { off, .. } => {
+                            let target = a.wrapping_add(off as i64 as u64) & !1;
+                            let b_state = entry.branch.as_mut().expect("jalr state");
+                            b_state.actual_taken = Some(true);
+                            b_state.actual_target = target;
+                            entry.result = entry.pc.wrapping_add(4);
+                            entry.stage = Stage::Exec { done_at };
+                        }
+                        _ => {
+                            entry.result = exec::eval(&entry.inst, a, b, entry.pc);
+                            entry.stage = Stage::Exec { done_at };
+                        }
+                    }
+                }
+                Pipe::MulDiv => {
+                    let lat = match entry.inst {
+                        Inst::Div { .. } | Inst::Divu { .. } | Inst::Rem { .. }
+                        | Inst::Remu { .. } => self.cfg.div_latency,
+                        Inst::Fdiv { .. } => self.cfg.fdiv_latency,
+                        Inst::Fadd { .. } | Inst::Fmul { .. } => self.cfg.fp_latency,
+                        _ => self.cfg.mul_latency,
+                    };
+                    let pipelined = matches!(
+                        entry.inst,
+                        Inst::Mul { .. } | Inst::Mulh { .. } | Inst::Fadd { .. } | Inst::Fmul { .. }
+                    );
+                    entry.result = exec::eval(&entry.inst, a, b, entry.pc);
+                    entry.stage = Stage::Exec { done_at: now + lat as u64 };
+                    self.muldiv_busy_until = if pipelined { now + 1 } else { now + lat as u64 };
+                }
+                Pipe::Mem => {
+                    let vaddr = exec::effective_address(&entry.inst, a);
+                    let m = entry.mem.as_mut().expect("mem state");
+                    m.vaddr = vaddr;
+                    if m.is_store {
+                        m.store_data = Some(b);
+                    }
+                    m.phase = MemPhase::AddrGen { done_at: now + 1 };
+                    entry.stage = Stage::MemOp;
+                }
+            }
+        }
+    }
+
+    // ----------------------------------------------------- memory pipeline
+
+    /// Reads the architectural value for a load, overlaying older
+    /// uncommitted stores from the store queue.
+    fn load_value(&self, mem: &MemSystem, seq: u64, paddr: u64, bytes: u64) -> u64 {
+        let mut buf = [0u8; 8];
+        for (i, b) in buf.iter_mut().enumerate().take(bytes as usize) {
+            *b = mem.phys.read_u8(PhysAddr::new(paddr + i as u64));
+        }
+        for e in &self.rob {
+            if e.seq >= seq {
+                break;
+            }
+            let Some(m) = &e.mem else { continue };
+            if !m.is_store {
+                continue;
+            }
+            let (Some(sp), Some(data)) = (m.paddr, m.store_data) else {
+                continue;
+            };
+            for i in 0..bytes {
+                let a = paddr + i;
+                if a >= sp && a < sp + m.bytes {
+                    buf[i as usize] = (data >> (8 * (a - sp))) as u8;
+                }
+            }
+        }
+        u64::from_le_bytes(buf)
+    }
+
+    /// Whether an older store blocks this load from producing a value yet
+    /// (overlapping store with unknown data), or may alias (unknown
+    /// address — RiscyOO speculates past those; violations are caught when
+    /// the store resolves).
+    fn older_store_blocks(&self, seq: u64, paddr: u64, bytes: u64) -> bool {
+        for e in &self.rob {
+            if e.seq >= seq {
+                break;
+            }
+            let Some(m) = &e.mem else { continue };
+            if !m.is_store {
+                continue;
+            }
+            if let Some(sp) = m.paddr {
+                let overlap = paddr < sp + m.bytes && sp < paddr + bytes;
+                if overlap && m.store_data.is_none() {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn advance_mem_ops(&mut self, now: u64, mem: &mut MemSystem) {
+        // Collect transitions first to keep borrows simple.
+        let seqs: Vec<u64> = self
+            .rob
+            .iter()
+            .filter(|e| e.stage == Stage::MemOp)
+            .map(|e| e.seq)
+            .collect();
+        for seq in seqs {
+            let Some(idx) = self.rob_index(seq) else { continue };
+            let (pc, inst) = (self.rob[idx].pc, self.rob[idx].inst);
+            let m = self.rob[idx].mem.clone().expect("mem state");
+            match m.phase {
+                MemPhase::AddrGen { done_at } => {
+                    if now >= done_at {
+                        if m.vaddr % m.bytes != 0 {
+                            let e = if m.is_store {
+                                Exception::StoreMisaligned
+                            } else {
+                                Exception::LoadMisaligned
+                            };
+                            self.rob[idx].exception = Some((e, m.vaddr));
+                            self.rob[idx].stage = Stage::Done;
+                            self.rob[idx].mem.as_mut().expect("mem").phase = MemPhase::Done;
+                            continue;
+                        }
+                        self.rob[idx].mem.as_mut().expect("mem").phase = MemPhase::Translate;
+                    }
+                }
+                MemPhase::Translate => {
+                    let kind = if m.is_store { AccessKind::Store } else { AccessKind::Load };
+                    let (paddr, region_ok, extra) = if self.bare_translation() {
+                        (m.vaddr, self.region_allowed(mem, m.vaddr), 0)
+                    } else {
+                        match self.try_translate(m.vaddr, kind, WalkClient::Rob(seq)) {
+                            Err(e) => {
+                                self.rob[idx].exception = Some((e, m.vaddr));
+                                self.rob[idx].stage = Stage::Done;
+                                continue;
+                            }
+                            Ok(TranslateOutcome::Walking) => {
+                                self.rob[idx].mem.as_mut().expect("mem").phase = MemPhase::WaitWalk;
+                                continue;
+                            }
+                            Ok(TranslateOutcome::Busy) => continue, // retry in Translate
+                            Ok(TranslateOutcome::Hit { paddr, region_ok, extra }) => {
+                                (paddr, region_ok, extra)
+                            }
+                        }
+                    };
+                    if !region_ok || paddr + m.bytes > mem.phys.size() {
+                        // Suppressed: no memory traffic; fault if it
+                        // reaches commit (Section 5.3).
+                        if !region_ok {
+                            self.stats.region_suppressed += 1;
+                            self.rob[idx].exception = Some((Exception::DramRegionFault, m.vaddr));
+                        } else {
+                            let e = if m.is_store {
+                                Exception::StoreAccessFault
+                            } else {
+                                Exception::LoadAccessFault
+                            };
+                            self.rob[idx].exception = Some((e, m.vaddr));
+                        }
+                        self.rob[idx].stage = Stage::Done;
+                        self.rob[idx].mem.as_mut().expect("mem").phase = MemPhase::Done;
+                        continue;
+                    }
+                    {
+                        let ms = self.rob[idx].mem.as_mut().expect("mem");
+                        ms.paddr = Some(paddr);
+                        ms.phase = if extra > 0 {
+                            MemPhase::TlbLatency { ready_at: now + extra }
+                        } else {
+                            MemPhase::ReadyToAccess
+                        };
+                    }
+                    if self.rob[idx].mem.as_ref().expect("mem").phase == MemPhase::ReadyToAccess {
+                        self.mem_ready_to_access(now, mem, seq);
+                    }
+                }
+                MemPhase::TlbLatency { ready_at } => {
+                    if now >= ready_at {
+                        self.rob[idx].mem.as_mut().expect("mem").phase = MemPhase::ReadyToAccess;
+                        self.mem_ready_to_access(now, mem, seq);
+                    }
+                }
+                MemPhase::WaitWalk => {
+                    if let Some(result) = self.take_walk_result(WalkClient::Rob(seq)) {
+                        match result {
+                            WalkResult::Ok => {
+                                self.rob[idx].mem.as_mut().expect("mem").phase =
+                                    MemPhase::Translate;
+                            }
+                            WalkResult::Fault(e) => {
+                                self.rob[idx].exception = Some((e, m.vaddr));
+                                self.rob[idx].stage = Stage::Done;
+                            }
+                        }
+                    }
+                }
+                MemPhase::ReadyToAccess => {
+                    self.mem_ready_to_access(now, mem, seq);
+                }
+                MemPhase::WaitMem => {
+                    let token = TOKEN_LOAD | (seq & TOKEN_MASK);
+                    if let Some(&ready_at) = self.data_completions.get(&token) {
+                        self.data_completions.remove(&token);
+                        let ms = self.rob[idx].mem.as_mut().expect("mem");
+                        ms.phase = MemPhase::WaitValue { ready_at };
+                    }
+                }
+                MemPhase::WaitValue { ready_at } => {
+                    if now >= ready_at {
+                        let paddr = m.paddr.expect("translated");
+                        let raw = self.load_value(mem, seq, paddr, m.bytes);
+                        let entry = &mut self.rob[idx];
+                        entry.result = exec::extend_load(&inst, raw);
+                        entry.stage = Stage::Done;
+                        entry.mem.as_mut().expect("mem").phase = MemPhase::Done;
+                        let _ = pc;
+                    }
+                }
+                MemPhase::Done => {}
+            }
+        }
+    }
+
+    /// A memory op has its physical address: stores record it (and check
+    /// for memory-order violations); loads forward or issue to the L1D.
+    fn mem_ready_to_access(&mut self, now: u64, mem: &mut MemSystem, seq: u64) {
+        let Some(idx) = self.rob_index(seq) else { return };
+        let m = self.rob[idx].mem.clone().expect("mem state");
+        let paddr = m.paddr.expect("translated");
+        if m.is_store {
+            // Store: address + data recorded; done (data written at
+            // commit). First check younger loads that already executed to
+            // an overlapping address — memory-order violation.
+            let mut violating: Option<(u64, u64)> = None; // (seq, pc)
+            for e in self.rob.iter() {
+                if e.seq <= seq {
+                    continue;
+                }
+                let Some(lm) = &e.mem else { continue };
+                if lm.is_store {
+                    continue;
+                }
+                let issued = matches!(
+                    lm.phase,
+                    MemPhase::WaitMem | MemPhase::WaitValue { .. } | MemPhase::Done
+                );
+                if !issued {
+                    continue;
+                }
+                let Some(lp) = lm.paddr else { continue };
+                let overlap = lp < paddr + m.bytes && paddr < lp + lm.bytes;
+                if overlap {
+                    violating = Some((e.seq, e.pc));
+                    break;
+                }
+            }
+            self.rob[idx].stage = Stage::Done;
+            self.rob[idx].mem.as_mut().expect("mem").phase = MemPhase::Done;
+            if let Some((lseq, lpc)) = violating {
+                self.stats.mem_order_violations += 1;
+                self.squash_from(now, lseq, lpc);
+            }
+            return;
+        }
+        // Load.
+        if self.older_store_blocks(seq, paddr, m.bytes) {
+            return; // retry next cycle
+        }
+        // Full-cover forwarding from the youngest older store?
+        let mut forwarded = false;
+        for e in self.rob.iter().rev() {
+            if e.seq >= seq {
+                continue;
+            }
+            let Some(sm) = &e.mem else { continue };
+            if !sm.is_store {
+                continue;
+            }
+            let (Some(sp), Some(_)) = (sm.paddr, sm.store_data) else { continue };
+            let overlap = paddr < sp + sm.bytes && sp < paddr + m.bytes;
+            if overlap {
+                let covers = sp <= paddr && paddr + m.bytes <= sp + sm.bytes;
+                if covers {
+                    forwarded = true;
+                }
+                break; // youngest overlapping store decides
+            }
+        }
+        if forwarded {
+            let ms = self.rob[idx].mem.as_mut().expect("mem");
+            ms.phase = MemPhase::WaitValue { ready_at: now + 1 };
+            return;
+        }
+        let token = TOKEN_LOAD | (seq & TOKEN_MASK);
+        match mem.access(now, self.id, Port::Data, token, PhysAddr::new(paddr), false) {
+            L1Access::Hit { ready_at } => {
+                let ms = self.rob[idx].mem.as_mut().expect("mem");
+                ms.phase = MemPhase::WaitValue { ready_at };
+            }
+            L1Access::Miss => {
+                let ms = self.rob[idx].mem.as_mut().expect("mem");
+                ms.phase = MemPhase::WaitMem;
+            }
+            L1Access::Blocked => {} // retry next cycle
+        }
+    }
+
+    // ---------------------------------------------------------- writeback
+
+    /// Completes executing instructions and resolves branches.
+    fn tick_writeback(&mut self, now: u64) {
+        // Find resolved branches / finished ALU ops.
+        let mut mispredict: Option<(u64, u64)> = None; // (squash-from, new pc)
+        for idx in 0..self.rob.len() {
+            let e = &self.rob[idx];
+            let Stage::Exec { done_at } = e.stage else { continue };
+            if now < done_at {
+                continue;
+            }
+            let seq = e.seq;
+            let entry = &mut self.rob[idx];
+            entry.stage = Stage::Done;
+            if let Some(b) = entry.branch.clone() {
+                let actual_taken = b.actual_taken.expect("resolved at execute");
+                let wrong = if entry.inst.is_cond_branch() {
+                    actual_taken != b.pred_taken
+                } else {
+                    b.actual_target != b.pred_target
+                };
+                if wrong && mispredict.is_none() {
+                    if entry.inst.is_cond_branch() {
+                        self.stats.branch_mispredicts += 1;
+                    } else {
+                        self.stats.jump_mispredicts += 1;
+                    }
+                    mispredict = Some((seq + 1, b.actual_target));
+                }
+            }
+        }
+        if let Some((from, target)) = mispredict {
+            self.squash_from(now, from, target);
+        }
+    }
+
+    // ------------------------------------------------------------- commit
+
+    fn begin_purge_sequence(&mut self, now: u64, resume: Option<(u64, PrivLevel)>) {
+        // Scrub the zero-cost-to-reset front-end structures immediately;
+        // the timed sweeps (L1s, L2 TLB sets, predictor tables) are
+        // charged by the Flushing phase.
+        self.btb.reset();
+        self.tournament.reset();
+        self.ras.reset();
+        self.itlb.flush_all();
+        self.dtlb.flush_all();
+        self.l2_tlb.flush_all();
+        self.tcache.flush();
+        self.committed_ghist = 0;
+        self.purge = PurgePhase::DrainMem;
+        self.purge_resume = resume;
+        let _ = now;
+    }
+
+    fn tick_purge(&mut self, now: u64, mem: &mut MemSystem) {
+        match self.purge {
+            PurgePhase::Idle => {}
+            PurgePhase::DrainMem => {
+                self.stats.flush_stall_cycles += 1;
+                // Wait for zombie traffic and the store buffer.
+                self.tick_store_buffer(now, mem);
+                if mem.core_quiescent(self.id) && self.sb.is_empty() && self.walker_active.is_none()
+                {
+                    mem.start_flush(self.id);
+                    self.purge = PurgePhase::Flushing {
+                        until: now + self.cfg.purge_cycles as u64,
+                    };
+                }
+            }
+            PurgePhase::Flushing { until } => {
+                self.stats.flush_stall_cycles += 1;
+                if now >= until && !mem.flush_active(self.id) {
+                    self.purge = PurgePhase::Idle;
+                    if let Some((pc, lvl)) = self.purge_resume.take() {
+                        self.fetch_pc = pc;
+                        self.pc = pc;
+                        self.priv_level = lvl;
+                    }
+                    self.fetch_state = FetchState::Idle;
+                    self.fetch_stall_until = now + REDIRECT_PENALTY;
+                }
+            }
+        }
+    }
+
+    /// Takes a trap: squashes everything and redirects (possibly after a
+    /// flush, under the FLUSH variant).
+    fn take_trap(&mut self, now: u64, cause: TrapCause, epc: u64, tval: u64) {
+        self.stats.traps += 1;
+        let (lvl, handler) = self.csrs.take_trap(cause, epc, tval, self.priv_level);
+        self.squash_from(now, self.head_seq(), handler);
+        self.pc = handler;
+        if self.sec.flush_on_trap {
+            self.begin_purge_sequence(now, Some((handler, lvl)));
+        } else {
+            self.priv_level = lvl;
+        }
+    }
+
+    fn tick_commit(&mut self, now: u64, mem: &mut MemSystem) {
+        // Asynchronous interrupts preempt at the commit boundary.
+        if let Some(irq) = self.csrs.pending_interrupt(self.priv_level) {
+            let epc = self.rob.front().map(|e| e.pc).unwrap_or(self.fetch_pc);
+            self.take_trap(now, TrapCause::Interrupt(irq), epc, 0);
+            return;
+        }
+        let mut committed = 0;
+        while committed < self.cfg.commit_width {
+            let Some(head) = self.rob.front() else { break };
+            if !head.is_done() {
+                break;
+            }
+            let seq = head.seq;
+            let pc = head.pc;
+            let inst = head.inst;
+            // Exceptions (including poisoned fetches and region faults).
+            if let Some((e, tval)) = head.exception {
+                if e == Exception::DramRegionFault {
+                    self.stats.region_faults += 1;
+                }
+                self.take_trap(now, TrapCause::Exception(e), pc, tval);
+                return;
+            }
+            // System instructions execute here, serialized.
+            if head.stage == Stage::AtCommit {
+                if !self.commit_system(now, mem, seq) {
+                    return; // stalled (fence/wfi) or redirected (trap)
+                }
+                committed += 1;
+                continue;
+            }
+            debug_assert_eq!(head.stage, Stage::Done);
+            // Stores: write memory and enter the store buffer.
+            if inst.is_store() {
+                let m = self.rob.front().expect("head").mem.clone().expect("mem");
+                let paddr = m.paddr.expect("resolved");
+                let line = paddr & !63;
+                let have_slot = self.sb.iter().any(|s| s.line == line && !s.issued)
+                    || self.sb.len() < self.cfg.sb_entries;
+                if !have_slot {
+                    break; // store buffer full: stall commit
+                }
+                mem.phys.write_bytes(
+                    PhysAddr::new(paddr),
+                    m.store_data.expect("data"),
+                    m.bytes as usize,
+                );
+                if !self.sb.iter().any(|s| s.line == line && !s.issued) {
+                    let token = TOKEN_SB | (self.next_sb_token & TOKEN_MASK);
+                    self.next_sb_token += 1;
+                    self.sb.push(SbEntry { line, issued: false, token, done: false });
+                }
+                self.sq_used -= 1;
+                self.stats.stores += 1;
+            }
+            if inst.is_load() {
+                self.lq_used -= 1;
+                self.stats.loads += 1;
+            }
+            // Branch training.
+            if let Some(b) = self.rob.front().expect("head").branch.clone() {
+                let taken = b.actual_taken.unwrap_or(b.pred_taken);
+                if inst.is_cond_branch() {
+                    self.stats.committed_branches += 1;
+                    if let Some(p) = b.tournament {
+                        self.tournament.update(pc, p, taken);
+                    }
+                    self.committed_ghist = (self.committed_ghist << 1) | taken as u16;
+                    if taken {
+                        self.btb.update(pc, b.actual_target);
+                    }
+                } else if matches!(inst, Inst::Jalr { .. }) {
+                    self.btb.update(pc, b.actual_target);
+                }
+            }
+            // Register writeback.
+            let entry = self.rob.pop_front().expect("head");
+            if let Some(d) = entry.dest {
+                self.regs[d.index() as usize] = entry.result;
+                if self.rat[d.index() as usize] == Some(seq) {
+                    self.rat[d.index() as usize] = None;
+                }
+            }
+            self.pc = entry
+                .branch
+                .as_ref()
+                .and_then(|b| b.actual_taken.map(|t| if t { b.actual_target } else { pc + 4 }))
+                .unwrap_or(pc + 4);
+            self.stats.committed_instructions += 1;
+            self.csrs.instret += 1;
+            committed += 1;
+        }
+    }
+
+    /// Executes a system instruction at the head of the ROB. Returns true
+    /// if it retired (the caller continues committing).
+    fn commit_system(&mut self, now: u64, mem: &mut MemSystem, seq: u64) -> bool {
+        let idx = self.rob_index(seq).expect("head");
+        let inst = self.rob[idx].inst;
+        let pc = self.rob[idx].pc;
+        let retire_simple = |core: &mut Core| {
+            let entry = core.rob.pop_front().expect("head");
+            if let Some(d) = entry.dest {
+                core.regs[d.index() as usize] = entry.result;
+                if core.rat[d.index() as usize] == Some(entry.seq) {
+                    core.rat[d.index() as usize] = None;
+                }
+            }
+            core.pc = entry.pc + 4;
+            core.stats.committed_instructions += 1;
+            core.csrs.instret += 1;
+        };
+        match inst {
+            Inst::Ecall => {
+                let e = Exception::ecall_from(self.priv_level);
+                // The ecall itself retires; EPC is the ecall's own PC (the
+                // handler returns past it via epc+4, as the toy kernel and
+                // monitor do).
+                self.stats.committed_instructions += 1;
+                self.csrs.instret += 1;
+                self.rob.pop_front();
+                self.take_trap(now, TrapCause::Exception(e), pc, 0);
+                false
+            }
+            Inst::Ebreak => {
+                if self.priv_level == PrivLevel::Machine {
+                    self.halted = true;
+                    self.rob.pop_front();
+                    self.stats.committed_instructions += 1;
+                    return false;
+                }
+                self.stats.committed_instructions += 1;
+                self.csrs.instret += 1;
+                self.rob.pop_front();
+                self.take_trap(now, TrapCause::Exception(Exception::Breakpoint), pc, pc);
+                false
+            }
+            Inst::Sret => {
+                if self.priv_level < PrivLevel::Supervisor {
+                    self.rob.pop_front();
+                    self.take_trap(now, Exception::IllegalInst.into(), pc, 0);
+                    return false;
+                }
+                self.stats.trap_returns += 1;
+                self.stats.committed_instructions += 1;
+                self.csrs.instret += 1;
+                self.rob.pop_front();
+                let (lvl, epc) = self.csrs.sret();
+                self.squash_from(now, self.head_seq(), epc);
+                self.pc = epc;
+                if self.sec.flush_on_trap {
+                    self.begin_purge_sequence(now, Some((epc, lvl)));
+                } else {
+                    self.priv_level = lvl;
+                }
+                false
+            }
+            Inst::Mret => {
+                if self.priv_level < PrivLevel::Machine {
+                    self.rob.pop_front();
+                    self.take_trap(now, Exception::IllegalInst.into(), pc, 0);
+                    return false;
+                }
+                self.stats.trap_returns += 1;
+                self.stats.committed_instructions += 1;
+                self.csrs.instret += 1;
+                self.rob.pop_front();
+                let (lvl, epc) = self.csrs.mret();
+                self.squash_from(now, self.head_seq(), epc);
+                self.pc = epc;
+                if self.sec.flush_on_trap {
+                    self.begin_purge_sequence(now, Some((epc, lvl)));
+                } else {
+                    self.priv_level = lvl;
+                }
+                false
+            }
+            Inst::Wfi => {
+                if self.csrs.pending_interrupt(self.priv_level).is_some()
+                    || self.csrs.mip & self.csrs.mie != 0
+                {
+                    retire_simple(self);
+                    true
+                } else {
+                    false // stall at commit until an interrupt pends
+                }
+            }
+            Inst::Fence => {
+                self.tick_store_buffer(now, mem);
+                if self.sb.is_empty() {
+                    retire_simple(self);
+                    true
+                } else {
+                    false
+                }
+            }
+            Inst::FenceI => {
+                self.decode_cache.clear();
+                retire_simple(self);
+                // Refetch everything younger.
+                let next = pc + 4;
+                self.squash_from(now, self.head_seq(), next);
+                true
+            }
+            Inst::SfenceVma => {
+                self.itlb.flush_all();
+                self.dtlb.flush_all();
+                self.l2_tlb.flush_all();
+                self.tcache.flush();
+                retire_simple(self);
+                true
+            }
+            Inst::Csr { op, rd, rs1, csr } => {
+                let old = match self.csrs.read(csr, self.priv_level) {
+                    Ok(v) => v,
+                    Err(_) => {
+                        self.rob.pop_front();
+                        self.take_trap(now, Exception::IllegalInst.into(), pc, csr as u64);
+                        return false;
+                    }
+                };
+                let arg = self.regs[rs1.index() as usize];
+                let new = match op {
+                    mi6_isa::CsrOp::Rw => Some(arg),
+                    mi6_isa::CsrOp::Rs => (!rs1.is_zero()).then_some(old | arg),
+                    mi6_isa::CsrOp::Rc => (!rs1.is_zero()).then_some(old & !arg),
+                };
+                if let Some(v) = new {
+                    if let Err(_e) = self.csrs.write(csr, v, self.priv_level) {
+                        self.rob.pop_front();
+                        self.take_trap(now, Exception::IllegalInst.into(), pc, csr as u64);
+                        return false;
+                    }
+                }
+                let idx = self.rob_index(seq).expect("head");
+                self.rob[idx].result = old;
+                if rd.is_zero() {
+                    self.rob[idx].dest = None;
+                }
+                retire_simple(self);
+                true
+            }
+            Inst::Purge => {
+                if self.priv_level != PrivLevel::Machine {
+                    self.rob.pop_front();
+                    self.take_trap(now, Exception::IllegalInst.into(), pc, 0);
+                    return false;
+                }
+                self.stats.purges += 1;
+                self.stats.committed_instructions += 1;
+                self.csrs.instret += 1;
+                self.rob.pop_front();
+                let next = pc + 4;
+                self.squash_from(now, self.head_seq(), next);
+                self.pc = next;
+                self.begin_purge_sequence(now, Some((next, self.priv_level)));
+                false
+            }
+            other => unreachable!("not a system instruction: {other}"),
+        }
+    }
+
+    // -------------------------------------------------------- store buffer
+
+    fn tick_store_buffer(&mut self, now: u64, mem: &mut MemSystem) {
+        // Issue the oldest unissued entry.
+        if let Some(entry) = self.sb.iter_mut().find(|s| !s.issued) {
+            let token = entry.token;
+            let line = entry.line;
+            match mem.access(now, self.id, Port::Data, token, PhysAddr::new(line), true) {
+                L1Access::Hit { ready_at } => {
+                    entry.issued = true;
+                    entry.done = true;
+                    let _ = ready_at;
+                }
+                L1Access::Miss => {
+                    entry.issued = true;
+                }
+                L1Access::Blocked => {}
+            }
+        }
+        // Retire completed entries.
+        let completions = &mut self.data_completions;
+        for entry in self.sb.iter_mut() {
+            if entry.issued && !entry.done {
+                if completions.remove(&entry.token).is_some() {
+                    entry.done = true;
+                }
+            }
+        }
+        self.sb.retain(|s| !s.done);
+    }
+
+    // ---------------------------------------------------------------- tick
+
+    /// Begins a purge sequence directly (the security monitor's path:
+    /// architecturally this is the monitor executing `purge`, but the
+    /// monitor model drives the machine from outside). The core stalls
+    /// for the full purge duration and resumes at `resume_pc` in
+    /// `resume_priv`.
+    pub fn start_purge(&mut self, now: u64, resume_pc: u64, resume_priv: PrivLevel) {
+        self.squash_from(now, self.head_seq(), resume_pc);
+        self.stats.purges += 1;
+        self.begin_purge_sequence(now, Some((resume_pc, resume_priv)));
+    }
+
+    /// A one-line diagnostic snapshot of pipeline state (for debugging
+    /// stuck simulations from tests and examples).
+    pub fn debug_state(&self) -> String {
+        let head = self.rob.front().map(|e| {
+            format!(
+                "seq={} pc={:#x} `{}` stage={:?} mem={:?} exc={:?}",
+                e.seq,
+                e.pc,
+                e.inst,
+                e.stage,
+                e.mem.as_ref().map(|m| (m.phase, m.paddr)),
+                e.exception
+            )
+        });
+        format!(
+            "rob={} head=[{}] iq={:?} lq={} sq={} sb={} fetchq={} fetch={:?} purge={:?} walker_active={} walkq={}",
+            self.rob.len(),
+            head.unwrap_or_default(),
+            [self.iqs[0].len(), self.iqs[1].len(), self.iqs[2].len(), self.iqs[3].len()],
+            self.lq_used,
+            self.sq_used,
+            self.sb.len(),
+            self.fetch_queue.len(),
+            self.fetch_state,
+            self.purge,
+            self.walker_active.is_some(),
+            self.walker_queue.len(),
+        )
+    }
+
+    /// Advances the core one cycle. Call before `mem.tick(now)`.
+    pub fn tick(&mut self, now: u64, mem: &mut MemSystem) {
+        if self.halted {
+            return;
+        }
+        self.stats.cycles += 1;
+        self.csrs.cycle = now;
+        // Timer interrupts (simplified CLINT: compare CSRs against `now`).
+        self.csrs
+            .set_pending(mi6_isa::Interrupt::MachineTimer, now >= self.csrs.mtimecmp);
+        self.csrs.set_pending(
+            mi6_isa::Interrupt::SupervisorTimer,
+            now >= self.csrs.stimecmp,
+        );
+        // Collect completions from both ports, dropping zombies.
+        for c in mem.take_completions(self.id, Port::Data) {
+            if !self.zombies.remove(&c.token) {
+                self.data_completions.insert(c.token, c.ready_at);
+            }
+        }
+        for c in mem.take_completions(self.id, Port::IFetch) {
+            if !self.zombies.remove(&c.token) {
+                self.ifetch_completions.insert(c.token, c.ready_at);
+            }
+        }
+        if self.purge != PurgePhase::Idle {
+            self.tick_purge(now, mem);
+            return;
+        }
+        self.tick_commit(now, mem);
+        if self.purge != PurgePhase::Idle || self.halted {
+            return;
+        }
+        self.tick_writeback(now);
+        self.advance_mem_ops(now, mem);
+        self.tick_walker(now, mem);
+        self.tick_issue(now);
+        self.tick_rename(now);
+        self.tick_fetch(now, mem);
+        self.tick_store_buffer(now, mem);
+    }
+}

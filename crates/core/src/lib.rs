@@ -1,0 +1,32 @@
+//! # mi6-core
+//!
+//! A cycle-level model of the RiscyOO speculative out-of-order core
+//! (paper Figure 4) with MI6's hardware modifications:
+//!
+//! - the `purge` instruction that scrubs all per-core microarchitectural
+//!   state (Section 6.1),
+//! - flush-on-trap for the FLUSH evaluation variant (Section 7.1),
+//! - non-speculative execution of memory instructions for NONSPEC
+//!   (Section 7.5),
+//! - the machine-mode speculation guard: restricted fetch window and
+//!   serialized memory instructions (Section 6.2),
+//! - per-core DRAM-region access checks on every physical access,
+//!   including speculative fetches, loads, and page-table walks
+//!   (Section 5.3).
+//!
+//! The core talks to the `mi6-mem` hierarchy through its per-core fetch
+//! and data ports; the `mi6-soc` crate wires multiple cores and the shared
+//! LLC into a machine.
+
+pub mod branch;
+pub mod config;
+pub mod core;
+pub mod exec;
+pub mod stats;
+pub mod tlb;
+
+pub use crate::core::Core;
+pub use branch::{Btb, Prediction, Ras, Tournament};
+pub use config::{CoreConfig, SecurityConfig};
+pub use stats::CoreStats;
+pub use tlb::{Tlb, TlbEntry, TranslationCache};

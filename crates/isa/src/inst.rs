@@ -1,0 +1,610 @@
+//! Instruction definitions.
+//!
+//! Every instruction the MI6 cores execute is a variant of [`Inst`]. The set
+//! covers the integer RV64-style operations the SPEC-shaped workloads need
+//! (ALU, mul/div, loads/stores, branches, jumps), the privileged instructions
+//! required by the untrusted OS and the security monitor (`ecall`, `sret`,
+//! `mret`, CSR accesses, fences), a small floating-point group that exercises
+//! the FP/MUL/DIV pipeline, and the MI6 paper's new [`Inst::Purge`]
+//! instruction.
+
+use crate::reg::Reg;
+use std::fmt;
+
+/// Memory access width for loads and stores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemWidth {
+    /// 1 byte.
+    B,
+    /// 2 bytes.
+    H,
+    /// 4 bytes.
+    W,
+    /// 8 bytes.
+    D,
+}
+
+impl MemWidth {
+    /// Access size in bytes.
+    pub const fn bytes(self) -> u64 {
+        match self {
+            MemWidth::B => 1,
+            MemWidth::H => 2,
+            MemWidth::W => 4,
+            MemWidth::D => 8,
+        }
+    }
+
+    /// All widths, smallest first.
+    pub const ALL: [MemWidth; 4] = [MemWidth::B, MemWidth::H, MemWidth::W, MemWidth::D];
+}
+
+/// Branch comparison condition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// `rs1 == rs2`
+    Eq,
+    /// `rs1 != rs2`
+    Ne,
+    /// signed `rs1 < rs2`
+    Lt,
+    /// signed `rs1 >= rs2`
+    Ge,
+    /// unsigned `rs1 < rs2`
+    Ltu,
+    /// unsigned `rs1 >= rs2`
+    Geu,
+}
+
+impl BranchCond {
+    /// Evaluates the condition on two register values.
+    ///
+    /// ```
+    /// use mi6_isa::BranchCond;
+    /// assert!(BranchCond::Lt.eval(u64::MAX, 0)); // -1 < 0 signed
+    /// assert!(!BranchCond::Ltu.eval(u64::MAX, 0));
+    /// ```
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::Lt => (a as i64) < (b as i64),
+            BranchCond::Ge => (a as i64) >= (b as i64),
+            BranchCond::Ltu => a < b,
+            BranchCond::Geu => a >= b,
+        }
+    }
+
+    /// All conditions.
+    pub const ALL: [BranchCond; 6] = [
+        BranchCond::Eq,
+        BranchCond::Ne,
+        BranchCond::Lt,
+        BranchCond::Ge,
+        BranchCond::Ltu,
+        BranchCond::Geu,
+    ];
+}
+
+/// CSR access operation (read-write / read-set / read-clear).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CsrOp {
+    /// Atomic swap: `rd = csr; csr = rs1`.
+    Rw,
+    /// Read and set bits: `rd = csr; csr |= rs1`.
+    Rs,
+    /// Read and clear bits: `rd = csr; csr &= !rs1`.
+    Rc,
+}
+
+/// A decoded instruction.
+///
+/// Offsets in control-flow instructions are byte offsets relative to the
+/// instruction's own PC and must be multiples of 4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Inst {
+    // ---- register-register ALU (1-cycle ALU pipes) ----
+    /// `rd = rs1 + rs2`
+    Add { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 - rs2`
+    Sub { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 & rs2`
+    And { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 | rs2`
+    Or { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 ^ rs2`
+    Xor { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 << (rs2 & 63)`
+    Sll { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 >> (rs2 & 63)` (logical)
+    Srl { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 >> (rs2 & 63)` (arithmetic)
+    Sra { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = (rs1 <s rs2) ? 1 : 0`
+    Slt { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = (rs1 <u rs2) ? 1 : 0`
+    Sltu { rd: Reg, rs1: Reg, rs2: Reg },
+
+    // ---- multiply / divide (FP/MUL/DIV pipe, multi-cycle) ----
+    /// `rd = rs1 * rs2` (low 64 bits)
+    Mul { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = (rs1 * rs2) >> 64` (signed high)
+    Mulh { rd: Reg, rs1: Reg, rs2: Reg },
+    /// signed division (RISC-V semantics: x/0 = -1, overflow wraps)
+    Div { rd: Reg, rs1: Reg, rs2: Reg },
+    /// unsigned division (x/0 = all ones)
+    Divu { rd: Reg, rs1: Reg, rs2: Reg },
+    /// signed remainder (x%0 = x)
+    Rem { rd: Reg, rs1: Reg, rs2: Reg },
+    /// unsigned remainder (x%0 = x)
+    Remu { rd: Reg, rs1: Reg, rs2: Reg },
+
+    // ---- floating point on f64 bit patterns (FP/MUL/DIV pipe) ----
+    /// `rd = f64(rs1) + f64(rs2)` as bit patterns
+    Fadd { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = f64(rs1) * f64(rs2)` as bit patterns
+    Fmul { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = f64(rs1) / f64(rs2)` as bit patterns
+    Fdiv { rd: Reg, rs1: Reg, rs2: Reg },
+
+    // ---- register-immediate ALU ----
+    /// `rd = rs1 + imm` (also the canonical NOP as `addi x0,x0,0`)
+    Addi { rd: Reg, rs1: Reg, imm: i32 },
+    /// `rd = rs1 & imm`
+    Andi { rd: Reg, rs1: Reg, imm: i32 },
+    /// `rd = rs1 | imm`
+    Ori { rd: Reg, rs1: Reg, imm: i32 },
+    /// `rd = rs1 ^ imm`
+    Xori { rd: Reg, rs1: Reg, imm: i32 },
+    /// `rd = (rs1 <s imm) ? 1 : 0`
+    Slti { rd: Reg, rs1: Reg, imm: i32 },
+    /// `rd = (rs1 <u imm) ? 1 : 0`
+    Sltiu { rd: Reg, rs1: Reg, imm: i32 },
+    /// `rd = rs1 << sh`
+    Slli { rd: Reg, rs1: Reg, sh: u8 },
+    /// `rd = rs1 >> sh` (logical)
+    Srli { rd: Reg, rs1: Reg, sh: u8 },
+    /// `rd = rs1 >> sh` (arithmetic)
+    Srai { rd: Reg, rs1: Reg, sh: u8 },
+
+    // ---- wide-constant construction (ARM-style move wide) ----
+    /// `rd = imm16 << (sh16 * 16)` (other bits zeroed)
+    Movz { rd: Reg, imm16: u16, sh16: u8 },
+    /// keep other bits, replace 16-bit field: `rd = (rd & !mask) | imm16 << (sh16*16)`
+    Movk { rd: Reg, imm16: u16, sh16: u8 },
+
+    // ---- memory ----
+    /// Load `width` bytes from `rs1 + off` into `rd`.
+    Load {
+        rd: Reg,
+        rs1: Reg,
+        off: i32,
+        width: MemWidth,
+        /// Sign-extend the loaded value when true.
+        signed: bool,
+    },
+    /// Store the low `width` bytes of `rs2` to `rs1 + off`.
+    Store {
+        rs2: Reg,
+        rs1: Reg,
+        off: i32,
+        width: MemWidth,
+    },
+
+    // ---- control flow ----
+    /// Conditional branch to `pc + off`.
+    Branch {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        off: i32,
+    },
+    /// `rd = pc + 4; pc += off`
+    Jal { rd: Reg, off: i32 },
+    /// `rd = pc + 4; pc = (rs1 + off) & !1`
+    Jalr { rd: Reg, rs1: Reg, off: i32 },
+
+    // ---- system ----
+    /// Environment call (syscall / monitor call depending on privilege).
+    Ecall,
+    /// Breakpoint.
+    Ebreak,
+    /// Return from supervisor trap.
+    Sret,
+    /// Return from machine trap.
+    Mret,
+    /// Wait for interrupt.
+    Wfi,
+    /// Memory fence (orders the store buffer).
+    Fence,
+    /// Instruction fence (synchronizes I-cache with stores).
+    FenceI,
+    /// Supervisor fence: flush TLBs and translation caches.
+    SfenceVma,
+    /// CSR access.
+    Csr {
+        op: CsrOp,
+        rd: Reg,
+        rs1: Reg,
+        csr: u16,
+    },
+    /// MI6's microarchitectural purge (paper Section 6.1): scrub all per-core
+    /// microarchitectural state (L1 caches, TLBs, translation caches, branch
+    /// predictors, in-flight bookkeeping). Machine-mode only.
+    Purge,
+}
+
+impl Inst {
+    /// Canonical no-op.
+    pub const NOP: Inst = Inst::Addi {
+        rd: Reg::ZERO,
+        rs1: Reg::ZERO,
+        imm: 0,
+    };
+
+    /// Convenience constructor for `add`.
+    pub const fn add(rd: Reg, rs1: Reg, rs2: Reg) -> Inst {
+        Inst::Add { rd, rs1, rs2 }
+    }
+
+    /// Convenience constructor for `addi`.
+    pub const fn addi(rd: Reg, rs1: Reg, imm: i32) -> Inst {
+        Inst::Addi { rd, rs1, imm }
+    }
+
+    /// Convenience constructor for a 64-bit (`D`) load.
+    pub const fn ld(rd: Reg, rs1: Reg, off: i32) -> Inst {
+        Inst::Load {
+            rd,
+            rs1,
+            off,
+            width: MemWidth::D,
+            signed: true,
+        }
+    }
+
+    /// Convenience constructor for a 64-bit (`D`) store.
+    pub const fn sd(rs2: Reg, rs1: Reg, off: i32) -> Inst {
+        Inst::Store {
+            rs2,
+            rs1,
+            off,
+            width: MemWidth::D,
+        }
+    }
+
+    /// True for conditional branches and unconditional jumps.
+    pub fn is_control_flow(&self) -> bool {
+        matches!(
+            self,
+            Inst::Branch { .. } | Inst::Jal { .. } | Inst::Jalr { .. }
+        )
+    }
+
+    /// True for conditional branches only.
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self, Inst::Branch { .. })
+    }
+
+    /// True for loads and stores.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Inst::Load { .. } | Inst::Store { .. })
+    }
+
+    /// True for loads.
+    pub fn is_load(&self) -> bool {
+        matches!(self, Inst::Load { .. })
+    }
+
+    /// True for stores.
+    pub fn is_store(&self) -> bool {
+        matches!(self, Inst::Store { .. })
+    }
+
+    /// True for instructions executed on the FP/MUL/DIV pipeline.
+    pub fn is_muldiv_fp(&self) -> bool {
+        matches!(
+            self,
+            Inst::Mul { .. }
+                | Inst::Mulh { .. }
+                | Inst::Div { .. }
+                | Inst::Divu { .. }
+                | Inst::Rem { .. }
+                | Inst::Remu { .. }
+                | Inst::Fadd { .. }
+                | Inst::Fmul { .. }
+                | Inst::Fdiv { .. }
+        )
+    }
+
+    /// True for system instructions that serialize the pipeline (traps,
+    /// returns, CSR accesses, fences, purge).
+    pub fn is_system(&self) -> bool {
+        matches!(
+            self,
+            Inst::Ecall
+                | Inst::Ebreak
+                | Inst::Sret
+                | Inst::Mret
+                | Inst::Wfi
+                | Inst::Fence
+                | Inst::FenceI
+                | Inst::SfenceVma
+                | Inst::Csr { .. }
+                | Inst::Purge
+        )
+    }
+
+    /// The destination register written by this instruction, if any.
+    /// `Reg::ZERO` destinations are reported as `None` (writes to x0 are
+    /// discarded architecturally).
+    pub fn dest(&self) -> Option<Reg> {
+        let rd = match *self {
+            Inst::Add { rd, .. }
+            | Inst::Sub { rd, .. }
+            | Inst::And { rd, .. }
+            | Inst::Or { rd, .. }
+            | Inst::Xor { rd, .. }
+            | Inst::Sll { rd, .. }
+            | Inst::Srl { rd, .. }
+            | Inst::Sra { rd, .. }
+            | Inst::Slt { rd, .. }
+            | Inst::Sltu { rd, .. }
+            | Inst::Mul { rd, .. }
+            | Inst::Mulh { rd, .. }
+            | Inst::Div { rd, .. }
+            | Inst::Divu { rd, .. }
+            | Inst::Rem { rd, .. }
+            | Inst::Remu { rd, .. }
+            | Inst::Fadd { rd, .. }
+            | Inst::Fmul { rd, .. }
+            | Inst::Fdiv { rd, .. }
+            | Inst::Addi { rd, .. }
+            | Inst::Andi { rd, .. }
+            | Inst::Ori { rd, .. }
+            | Inst::Xori { rd, .. }
+            | Inst::Slti { rd, .. }
+            | Inst::Sltiu { rd, .. }
+            | Inst::Slli { rd, .. }
+            | Inst::Srli { rd, .. }
+            | Inst::Srai { rd, .. }
+            | Inst::Movz { rd, .. }
+            | Inst::Movk { rd, .. }
+            | Inst::Load { rd, .. }
+            | Inst::Jal { rd, .. }
+            | Inst::Jalr { rd, .. }
+            | Inst::Csr { rd, .. } => rd,
+            _ => return None,
+        };
+        if rd.is_zero() {
+            None
+        } else {
+            Some(rd)
+        }
+    }
+
+    /// Source registers read by this instruction (up to two; `Reg::ZERO`
+    /// sources are kept — reading x0 is free but uniform handling is simpler).
+    pub fn sources(&self) -> (Option<Reg>, Option<Reg>) {
+        match *self {
+            Inst::Add { rs1, rs2, .. }
+            | Inst::Sub { rs1, rs2, .. }
+            | Inst::And { rs1, rs2, .. }
+            | Inst::Or { rs1, rs2, .. }
+            | Inst::Xor { rs1, rs2, .. }
+            | Inst::Sll { rs1, rs2, .. }
+            | Inst::Srl { rs1, rs2, .. }
+            | Inst::Sra { rs1, rs2, .. }
+            | Inst::Slt { rs1, rs2, .. }
+            | Inst::Sltu { rs1, rs2, .. }
+            | Inst::Mul { rs1, rs2, .. }
+            | Inst::Mulh { rs1, rs2, .. }
+            | Inst::Div { rs1, rs2, .. }
+            | Inst::Divu { rs1, rs2, .. }
+            | Inst::Rem { rs1, rs2, .. }
+            | Inst::Remu { rs1, rs2, .. }
+            | Inst::Fadd { rs1, rs2, .. }
+            | Inst::Fmul { rs1, rs2, .. }
+            | Inst::Fdiv { rs1, rs2, .. }
+            | Inst::Branch { rs1, rs2, .. } => (Some(rs1), Some(rs2)),
+            Inst::Addi { rs1, .. }
+            | Inst::Andi { rs1, .. }
+            | Inst::Ori { rs1, .. }
+            | Inst::Xori { rs1, .. }
+            | Inst::Slti { rs1, .. }
+            | Inst::Sltiu { rs1, .. }
+            | Inst::Slli { rs1, .. }
+            | Inst::Srli { rs1, .. }
+            | Inst::Srai { rs1, .. }
+            | Inst::Load { rs1, .. }
+            | Inst::Jalr { rs1, .. }
+            | Inst::Csr { rs1, .. } => (Some(rs1), None),
+            Inst::Store { rs1, rs2, .. } => (Some(rs1), Some(rs2)),
+            Inst::Movk { rd, .. } => (Some(rd), None),
+            Inst::Movz { .. }
+            | Inst::Jal { .. }
+            | Inst::Ecall
+            | Inst::Ebreak
+            | Inst::Sret
+            | Inst::Mret
+            | Inst::Wfi
+            | Inst::Fence
+            | Inst::FenceI
+            | Inst::SfenceVma
+            | Inst::Purge => (None, None),
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Add { rd, rs1, rs2 } => write!(f, "add {rd}, {rs1}, {rs2}"),
+            Inst::Sub { rd, rs1, rs2 } => write!(f, "sub {rd}, {rs1}, {rs2}"),
+            Inst::And { rd, rs1, rs2 } => write!(f, "and {rd}, {rs1}, {rs2}"),
+            Inst::Or { rd, rs1, rs2 } => write!(f, "or {rd}, {rs1}, {rs2}"),
+            Inst::Xor { rd, rs1, rs2 } => write!(f, "xor {rd}, {rs1}, {rs2}"),
+            Inst::Sll { rd, rs1, rs2 } => write!(f, "sll {rd}, {rs1}, {rs2}"),
+            Inst::Srl { rd, rs1, rs2 } => write!(f, "srl {rd}, {rs1}, {rs2}"),
+            Inst::Sra { rd, rs1, rs2 } => write!(f, "sra {rd}, {rs1}, {rs2}"),
+            Inst::Slt { rd, rs1, rs2 } => write!(f, "slt {rd}, {rs1}, {rs2}"),
+            Inst::Sltu { rd, rs1, rs2 } => write!(f, "sltu {rd}, {rs1}, {rs2}"),
+            Inst::Mul { rd, rs1, rs2 } => write!(f, "mul {rd}, {rs1}, {rs2}"),
+            Inst::Mulh { rd, rs1, rs2 } => write!(f, "mulh {rd}, {rs1}, {rs2}"),
+            Inst::Div { rd, rs1, rs2 } => write!(f, "div {rd}, {rs1}, {rs2}"),
+            Inst::Divu { rd, rs1, rs2 } => write!(f, "divu {rd}, {rs1}, {rs2}"),
+            Inst::Rem { rd, rs1, rs2 } => write!(f, "rem {rd}, {rs1}, {rs2}"),
+            Inst::Remu { rd, rs1, rs2 } => write!(f, "remu {rd}, {rs1}, {rs2}"),
+            Inst::Fadd { rd, rs1, rs2 } => write!(f, "fadd {rd}, {rs1}, {rs2}"),
+            Inst::Fmul { rd, rs1, rs2 } => write!(f, "fmul {rd}, {rs1}, {rs2}"),
+            Inst::Fdiv { rd, rs1, rs2 } => write!(f, "fdiv {rd}, {rs1}, {rs2}"),
+            Inst::Addi { rd, rs1, imm } => write!(f, "addi {rd}, {rs1}, {imm}"),
+            Inst::Andi { rd, rs1, imm } => write!(f, "andi {rd}, {rs1}, {imm}"),
+            Inst::Ori { rd, rs1, imm } => write!(f, "ori {rd}, {rs1}, {imm}"),
+            Inst::Xori { rd, rs1, imm } => write!(f, "xori {rd}, {rs1}, {imm}"),
+            Inst::Slti { rd, rs1, imm } => write!(f, "slti {rd}, {rs1}, {imm}"),
+            Inst::Sltiu { rd, rs1, imm } => write!(f, "sltiu {rd}, {rs1}, {imm}"),
+            Inst::Slli { rd, rs1, sh } => write!(f, "slli {rd}, {rs1}, {sh}"),
+            Inst::Srli { rd, rs1, sh } => write!(f, "srli {rd}, {rs1}, {sh}"),
+            Inst::Srai { rd, rs1, sh } => write!(f, "srai {rd}, {rs1}, {sh}"),
+            Inst::Movz { rd, imm16, sh16 } => write!(f, "movz {rd}, {imm16:#x}, lsl {}", sh16 * 16),
+            Inst::Movk { rd, imm16, sh16 } => write!(f, "movk {rd}, {imm16:#x}, lsl {}", sh16 * 16),
+            Inst::Load {
+                rd,
+                rs1,
+                off,
+                width,
+                signed,
+            } => {
+                let u = if signed { "" } else { "u" };
+                let w = match width {
+                    MemWidth::B => "b",
+                    MemWidth::H => "h",
+                    MemWidth::W => "w",
+                    MemWidth::D => "d",
+                };
+                write!(f, "l{w}{u} {rd}, {off}({rs1})")
+            }
+            Inst::Store {
+                rs2,
+                rs1,
+                off,
+                width,
+            } => {
+                let w = match width {
+                    MemWidth::B => "b",
+                    MemWidth::H => "h",
+                    MemWidth::W => "w",
+                    MemWidth::D => "d",
+                };
+                write!(f, "s{w} {rs2}, {off}({rs1})")
+            }
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                off,
+            } => {
+                let c = match cond {
+                    BranchCond::Eq => "beq",
+                    BranchCond::Ne => "bne",
+                    BranchCond::Lt => "blt",
+                    BranchCond::Ge => "bge",
+                    BranchCond::Ltu => "bltu",
+                    BranchCond::Geu => "bgeu",
+                };
+                write!(f, "{c} {rs1}, {rs2}, {off}")
+            }
+            Inst::Jal { rd, off } => write!(f, "jal {rd}, {off}"),
+            Inst::Jalr { rd, rs1, off } => write!(f, "jalr {rd}, {off}({rs1})"),
+            Inst::Ecall => f.write_str("ecall"),
+            Inst::Ebreak => f.write_str("ebreak"),
+            Inst::Sret => f.write_str("sret"),
+            Inst::Mret => f.write_str("mret"),
+            Inst::Wfi => f.write_str("wfi"),
+            Inst::Fence => f.write_str("fence"),
+            Inst::FenceI => f.write_str("fence.i"),
+            Inst::SfenceVma => f.write_str("sfence.vma"),
+            Inst::Csr { op, rd, rs1, csr } => {
+                let o = match op {
+                    CsrOp::Rw => "csrrw",
+                    CsrOp::Rs => "csrrs",
+                    CsrOp::Rc => "csrrc",
+                };
+                write!(f, "{o} {rd}, {csr:#x}, {rs1}")
+            }
+            Inst::Purge => f.write_str("purge"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nop_has_no_dest() {
+        assert_eq!(Inst::NOP.dest(), None);
+        assert!(!Inst::NOP.is_mem());
+    }
+
+    #[test]
+    fn dest_skips_x0() {
+        let i = Inst::add(Reg::ZERO, Reg::A0, Reg::A1);
+        assert_eq!(i.dest(), None);
+        let i = Inst::add(Reg::A0, Reg::A1, Reg::A2);
+        assert_eq!(i.dest(), Some(Reg::A0));
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Inst::ld(Reg::A0, Reg::SP, 0).is_load());
+        assert!(Inst::sd(Reg::A0, Reg::SP, 0).is_store());
+        assert!(Inst::Purge.is_system());
+        assert!(Inst::Jal {
+            rd: Reg::RA,
+            off: 8
+        }
+        .is_control_flow());
+        assert!(Inst::Mul {
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2
+        }
+        .is_muldiv_fp());
+    }
+
+    #[test]
+    fn branch_cond_eval_signed_unsigned() {
+        assert!(BranchCond::Eq.eval(3, 3));
+        assert!(BranchCond::Ne.eval(3, 4));
+        assert!(BranchCond::Ge.eval(0, u64::MAX)); // 0 >= -1 signed
+        assert!(BranchCond::Geu.eval(u64::MAX, 0));
+        assert!(!BranchCond::Geu.eval(0, 1));
+    }
+
+    #[test]
+    fn movk_reads_its_own_dest() {
+        let i = Inst::Movk {
+            rd: Reg::A0,
+            imm16: 7,
+            sh16: 1,
+        };
+        assert_eq!(i.sources().0, Some(Reg::A0));
+    }
+
+    #[test]
+    fn store_sources() {
+        let i = Inst::sd(Reg::A1, Reg::SP, 16);
+        let (s1, s2) = i.sources();
+        assert_eq!(s1, Some(Reg::SP));
+        assert_eq!(s2, Some(Reg::A1));
+    }
+
+    #[test]
+    fn display_smoke() {
+        assert_eq!(Inst::add(Reg::A0, Reg::A1, Reg::A2).to_string(), "add a0, a1, a2");
+        assert_eq!(Inst::ld(Reg::A0, Reg::SP, 8).to_string(), "ld a0, 8(sp)");
+        assert_eq!(Inst::Purge.to_string(), "purge");
+    }
+}

@@ -1,0 +1,109 @@
+//! Privilege levels.
+//!
+//! The ISA has the three RISC-V privilege levels. The untrusted OS runs in
+//! supervisor mode, applications and enclaves run in user mode, and the
+//! security monitor is the *only* software that ever runs in machine mode
+//! (paper Section 2.2). Machine mode is where MI6 turns speculation off and
+//! restricts instruction fetch (paper Section 6.2).
+
+use std::fmt;
+
+/// A privilege level, ordered from least to most privileged.
+///
+/// ```
+/// use mi6_isa::PrivLevel;
+/// assert!(PrivLevel::User < PrivLevel::Machine);
+/// assert_eq!(PrivLevel::Supervisor.encode(), 1);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum PrivLevel {
+    /// User mode (applications, enclave code).
+    #[default]
+    User,
+    /// Supervisor mode (the untrusted OS).
+    Supervisor,
+    /// Machine mode (the security monitor, and nothing else).
+    Machine,
+}
+
+impl PrivLevel {
+    /// All levels, least privileged first.
+    pub const ALL: [PrivLevel; 3] = [PrivLevel::User, PrivLevel::Supervisor, PrivLevel::Machine];
+
+    /// RISC-V style 2-bit encoding (U=0, S=1, M=3).
+    pub const fn encode(self) -> u8 {
+        match self {
+            PrivLevel::User => 0,
+            PrivLevel::Supervisor => 1,
+            PrivLevel::Machine => 3,
+        }
+    }
+
+    /// Decodes a 2-bit privilege encoding. Returns `None` for the reserved
+    /// hypervisor encoding `2` and anything above 3.
+    pub const fn decode(bits: u8) -> Option<PrivLevel> {
+        match bits {
+            0 => Some(PrivLevel::User),
+            1 => Some(PrivLevel::Supervisor),
+            3 => Some(PrivLevel::Machine),
+            _ => None,
+        }
+    }
+
+    /// Whether code at this level may execute privileged instructions
+    /// reserved to `at_least`.
+    pub fn can_access(self, at_least: PrivLevel) -> bool {
+        self >= at_least
+    }
+
+    /// Short lowercase name (`"user"`, `"supervisor"`, `"machine"`).
+    pub const fn name(self) -> &'static str {
+        match self {
+            PrivLevel::User => "user",
+            PrivLevel::Supervisor => "supervisor",
+            PrivLevel::Machine => "machine",
+        }
+    }
+}
+
+impl fmt::Display for PrivLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_privilege() {
+        assert!(PrivLevel::User < PrivLevel::Supervisor);
+        assert!(PrivLevel::Supervisor < PrivLevel::Machine);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for p in PrivLevel::ALL {
+            assert_eq!(PrivLevel::decode(p.encode()), Some(p));
+        }
+    }
+
+    #[test]
+    fn hypervisor_encoding_rejected() {
+        assert_eq!(PrivLevel::decode(2), None);
+        assert_eq!(PrivLevel::decode(4), None);
+    }
+
+    #[test]
+    fn access_control() {
+        assert!(PrivLevel::Machine.can_access(PrivLevel::Supervisor));
+        assert!(!PrivLevel::User.can_access(PrivLevel::Supervisor));
+        assert!(PrivLevel::Supervisor.can_access(PrivLevel::Supervisor));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(PrivLevel::Machine.to_string(), "machine");
+    }
+}

@@ -1,0 +1,205 @@
+//! Architectural integer registers.
+//!
+//! The ISA has 32 general-purpose 64-bit registers. Register 0 ([`Reg::ZERO`])
+//! is hard-wired to zero, exactly as in RISC-V. The ABI names used by the
+//! assembler and the workload generators follow the RISC-V calling convention
+//! so generated listings read naturally.
+
+use std::fmt;
+
+/// An architectural register index in `0..32`.
+///
+/// ```
+/// use mi6_isa::Reg;
+/// assert_eq!(Reg::new(10), Reg::A0);
+/// assert_eq!(Reg::A0.index(), 10);
+/// assert_eq!(Reg::ZERO.to_string(), "zero");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Hard-wired zero register (`x0`).
+    pub const ZERO: Reg = Reg(0);
+    /// Return address (`x1`).
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer (`x2`).
+    pub const SP: Reg = Reg(2);
+    /// Global pointer (`x3`).
+    pub const GP: Reg = Reg(3);
+    /// Thread pointer (`x4`).
+    pub const TP: Reg = Reg(4);
+    /// Temporary 0 (`x5`).
+    pub const T0: Reg = Reg(5);
+    /// Temporary 1 (`x6`).
+    pub const T1: Reg = Reg(6);
+    /// Temporary 2 (`x7`).
+    pub const T2: Reg = Reg(7);
+    /// Saved register / frame pointer (`x8`).
+    pub const S0: Reg = Reg(8);
+    /// Saved register 1 (`x9`).
+    pub const S1: Reg = Reg(9);
+    /// Argument / return value 0 (`x10`).
+    pub const A0: Reg = Reg(10);
+    /// Argument / return value 1 (`x11`).
+    pub const A1: Reg = Reg(11);
+    /// Argument 2 (`x12`).
+    pub const A2: Reg = Reg(12);
+    /// Argument 3 (`x13`).
+    pub const A3: Reg = Reg(13);
+    /// Argument 4 (`x14`).
+    pub const A4: Reg = Reg(14);
+    /// Argument 5 (`x15`).
+    pub const A5: Reg = Reg(15);
+    /// Argument 6 (`x16`).
+    pub const A6: Reg = Reg(16);
+    /// Argument 7 (`x17`), syscall number by convention.
+    pub const A7: Reg = Reg(17);
+    /// Saved register 2 (`x18`).
+    pub const S2: Reg = Reg(18);
+    /// Saved register 3 (`x19`).
+    pub const S3: Reg = Reg(19);
+    /// Saved register 4 (`x20`).
+    pub const S4: Reg = Reg(20);
+    /// Saved register 5 (`x21`).
+    pub const S5: Reg = Reg(21);
+    /// Saved register 6 (`x22`).
+    pub const S6: Reg = Reg(22);
+    /// Saved register 7 (`x23`).
+    pub const S7: Reg = Reg(23);
+    /// Saved register 8 (`x24`).
+    pub const S8: Reg = Reg(24);
+    /// Saved register 9 (`x25`).
+    pub const S9: Reg = Reg(25);
+    /// Saved register 10 (`x26`).
+    pub const S10: Reg = Reg(26);
+    /// Saved register 11 (`x27`).
+    pub const S11: Reg = Reg(27);
+    /// Temporary 3 (`x28`).
+    pub const T3: Reg = Reg(28);
+    /// Temporary 4 (`x29`).
+    pub const T4: Reg = Reg(29);
+    /// Temporary 5 (`x30`).
+    pub const T5: Reg = Reg(30);
+    /// Temporary 6 (`x31`).
+    pub const T6: Reg = Reg(31);
+
+    /// Number of architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub const fn new(index: u8) -> Reg {
+        assert!(index < 32, "register index out of range");
+        Reg(index)
+    }
+
+    /// Creates a register from its index, returning `None` when out of range.
+    pub const fn try_new(index: u8) -> Option<Reg> {
+        if index < 32 {
+            Some(Reg(index))
+        } else {
+            None
+        }
+    }
+
+    /// The register's index in `0..32`.
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hard-wired zero register.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over all 32 architectural registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32).map(Reg)
+    }
+
+    /// The RISC-V ABI name of the register (e.g. `a0`, `sp`).
+    pub const fn abi_name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+            "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+            "t3", "t4", "t5", "t6",
+        ];
+        NAMES[self.0 as usize]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Reg({}={})", self.0, self.abi_name())
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(r: Reg) -> u8 {
+        r.0
+    }
+}
+
+impl From<Reg> for usize {
+    fn from(r: Reg) -> usize {
+        r.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_round_trip() {
+        for i in 0..32 {
+            assert_eq!(Reg::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn try_new_rejects_out_of_range() {
+        assert_eq!(Reg::try_new(32), None);
+        assert_eq!(Reg::try_new(255), None);
+        assert_eq!(Reg::try_new(31), Some(Reg::T6));
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn new_panics_out_of_range() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn zero_is_zero() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::A0.is_zero());
+    }
+
+    #[test]
+    fn abi_names_are_distinct() {
+        let names: std::collections::HashSet<_> = Reg::all().map(|r| r.abi_name()).collect();
+        assert_eq!(names.len(), 32);
+    }
+
+    #[test]
+    fn all_yields_32() {
+        assert_eq!(Reg::all().count(), Reg::COUNT);
+    }
+
+    #[test]
+    fn display_matches_abi_name() {
+        assert_eq!(Reg::SP.to_string(), "sp");
+        assert_eq!(Reg::T6.to_string(), "t6");
+    }
+}

@@ -1,0 +1,150 @@
+//! Fixed-latency bounded FIFOs modelling on-chip links.
+//!
+//! Each core has a dedicated link to the LLC carrying three independent
+//! FIFOs (paper Figure 1): upgrade requests up, downgrade responses up, and
+//! parent messages down. [`DelayFifo`] models one such FIFO: bounded
+//! capacity (backpressure when full) and a fixed propagation latency —
+//! a message enqueued in cycle `T` becomes visible to the consumer at
+//! `T + latency`.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO whose entries become visible `latency` cycles after
+/// being pushed.
+///
+/// The simulator calls [`DelayFifo::push`]/[`DelayFifo::pop`] freely within
+/// a cycle; `now` is the current cycle number supplied by the caller.
+#[derive(Clone, Debug)]
+pub struct DelayFifo<T> {
+    items: VecDeque<(u64, T)>,
+    capacity: usize,
+    latency: u64,
+}
+
+impl<T> DelayFifo<T> {
+    /// Creates a FIFO with the given capacity and propagation latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, latency: u32) -> DelayFifo<T> {
+        assert!(capacity > 0, "fifo capacity must be positive");
+        DelayFifo {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            latency: latency as u64,
+        }
+    }
+
+    /// Whether a push would be accepted this cycle.
+    pub fn can_push(&self) -> bool {
+        self.items.len() < self.capacity
+    }
+
+    /// Number of queued messages (visible or still propagating).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the FIFO holds no messages at all.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Enqueues a message at cycle `now`. Returns `false` (dropping
+    /// nothing) when full — callers must check [`DelayFifo::can_push`] and
+    /// hold the message if the FIFO is full, since that backpressure *is*
+    /// the timing channel under study.
+    #[must_use]
+    pub fn push(&mut self, now: u64, value: T) -> bool {
+        if !self.can_push() {
+            return false;
+        }
+        self.items.push_back((now + self.latency, value));
+        true
+    }
+
+    /// The head message, if it has propagated by cycle `now`.
+    pub fn peek(&self, now: u64) -> Option<&T> {
+        match self.items.front() {
+            Some((ready, value)) if *ready <= now => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Pops the head message if it has propagated by cycle `now`.
+    pub fn pop(&mut self, now: u64) -> Option<T> {
+        if self.peek(now).is_some() {
+            self.items.pop_front().map(|(_, v)| v)
+        } else {
+            None
+        }
+    }
+
+    /// Discards all messages (used by whole-machine resets in tests).
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_respected() {
+        let mut f = DelayFifo::new(4, 3);
+        assert!(f.push(10, "a"));
+        assert_eq!(f.pop(10), None);
+        assert_eq!(f.pop(12), None);
+        assert_eq!(f.pop(13), Some("a"));
+    }
+
+    #[test]
+    fn zero_latency_visible_same_cycle() {
+        let mut f = DelayFifo::new(1, 0);
+        assert!(f.push(5, 42));
+        assert_eq!(f.pop(5), Some(42));
+    }
+
+    #[test]
+    fn capacity_backpressure() {
+        let mut f = DelayFifo::new(2, 1);
+        assert!(f.push(0, 1));
+        assert!(f.push(0, 2));
+        assert!(!f.can_push());
+        assert!(!f.push(0, 3));
+        assert_eq!(f.pop(1), Some(1));
+        assert!(f.can_push());
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut f = DelayFifo::new(8, 2);
+        for i in 0..5 {
+            assert!(f.push(i, i));
+        }
+        let mut got = Vec::new();
+        for now in 0..10 {
+            while let Some(v) = f.pop(now) {
+                got.push(v);
+            }
+        }
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut f = DelayFifo::new(2, 0);
+        assert!(f.push(0, 9));
+        assert_eq!(f.peek(0), Some(&9));
+        assert_eq!(f.pop(0), Some(9));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = DelayFifo::<u8>::new(0, 1);
+    }
+}

@@ -1,0 +1,1310 @@
+//! The shared last-level cache (LLC).
+//!
+//! This module implements both LLC microarchitectures from the paper:
+//!
+//! - **Figure 2 (RiscyOO baseline)**: a shared MSHR pool, a single
+//!   upgrade-response queue (UQ), a single Downgrade-L1 logic scanning all
+//!   MSHRs, a DQ whose dequeue blocks one extra cycle when an entry sends
+//!   both a writeback and a read, and a two-level entry mux with fixed
+//!   priority — every one of which Section 5.4.2 identifies as a minor
+//!   timing leak.
+//! - **Figure 3 (MI6)**: per-core MSHR partitions, per-core merge followed
+//!   by a strict round-robin arbiter at the cache-access-pipeline entry,
+//!   per-core split UQs, duplicated Downgrade-L1 logic per partition, and
+//!   the DQ retry-bit scheme making every dequeue take exactly one cycle.
+//!
+//! Which behaviour is active is selected field-by-field in [`LlcConfig`],
+//! so the evaluation variants (PART / MISS / ARB) and ablations can toggle
+//! each mechanism independently.
+//!
+//! ### Structure
+//!
+//! Every incoming message — an L1 upgrade request, an L1 downgrade
+//! response, or a DRAM response — passes through the cache-access pipeline
+//! (latency [`LlcConfig::pipeline_latency`], one entry per cycle, never
+//! backpressured) and is handled at the Process stage. Upgrade requests
+//! reserve an MSHR *before* entering the pipeline; DRAM responses are
+//! buffered in their MSHR, so neither ever backpressures the pipeline
+//! (paper Section 5.4.1).
+
+use crate::config::{
+    DowngradeOrg, DqOrg, LlcArbitration, LlcConfig, LlcIndexing, MshrOrg, UqOrg, LINE_SHIFT,
+};
+use crate::dram::{Dram, DramReq};
+use crate::link::DelayFifo;
+use crate::msi::{ChildId, DowngradeResp, MsiState, ParentMsg, UpgradeReq};
+use crate::region::RegionMap;
+use mi6_isa::PhysAddr;
+use std::collections::VecDeque;
+
+/// A message admitted into the cache-access pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PipeMsg {
+    /// Initial processing of an upgrade request (MSHR index).
+    Req(u32),
+    /// An MSHR re-entering: a buffered DRAM fill, or a retry-bit re-entry.
+    Reentry(u32),
+    /// An L1 downgrade response (ack or voluntary eviction).
+    DownResp(DowngradeResp),
+}
+
+/// MSHR life-cycle states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MshrState {
+    /// Waiting for a pipeline entry slot.
+    WaitPipe,
+    /// Travelling through the cache-access pipeline.
+    InPipe,
+    /// Blocked on another MSHR (same line or no free way); index recorded.
+    Blocked(u32),
+    /// Waiting for child downgrade responses.
+    WaitDowngrade,
+    /// Queued in DQ (DRAM request pending).
+    InDq,
+    /// DRAM read outstanding.
+    WaitDram,
+    /// DRAM data buffered in the entry; waiting to re-enter the pipeline.
+    FillReady,
+    /// Response queued in UQ.
+    InUq,
+}
+
+/// What the MSHR is trying to do once pending downgrades complete.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum AfterDowngrade {
+    /// Grant the request on the already-present line.
+    Grant,
+    /// Proceed with the replacement of the victim way.
+    Replace,
+}
+
+#[derive(Clone, Debug)]
+struct MshrEntry {
+    child: ChildId,
+    line: PhysAddr,
+    want: MsiState,
+    state: MshrState,
+    set: usize,
+    way: usize,
+    /// Replacement writeback still owed to DRAM.
+    needs_wb: bool,
+    victim_line: PhysAddr,
+    /// The line whose downgrade we are waiting on (request line for a
+    /// grant, victim line for a replacement).
+    wait_line: PhysAddr,
+    /// Children we still expect a downgrade response from (bitmap).
+    pending_downgrades: u32,
+    /// Downgrade requests not yet sent (child, line, to).
+    to_downgrade: Vec<(ChildId, PhysAddr, MsiState)>,
+    after: AfterDowngrade,
+    /// MI6 retry bit (Section 5.4.3): the entry re-enters the pipeline
+    /// after sending only the writeback.
+    retry: bool,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct LlcLine {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Children holding the line (bitmap by `ChildId::index`).
+    sharers: u32,
+    /// Exactly one sharer holds M.
+    child_m: bool,
+    /// Way reserved by an in-flight MSHR.
+    locked_by: Option<u32>,
+}
+
+/// Counters exported by the LLC.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LlcStats {
+    /// Upgrade requests that hit.
+    pub hits: u64,
+    /// Upgrade requests that missed (DRAM read issued).
+    pub misses: u64,
+    /// LLC line evictions (replacements).
+    pub evictions: u64,
+    /// Writebacks sent to DRAM.
+    pub writebacks: u64,
+    /// Downgrade requests sent to children.
+    pub downgrades_sent: u64,
+    /// Cycles an admissible message waited because the round-robin slot
+    /// belonged to another core.
+    pub arb_wait_cycles: u64,
+    /// Messages blocked at Process on a same-line or same-set conflict.
+    pub conflicts: u64,
+    /// Retry-bit re-entries (MI6 DQ scheme).
+    pub dq_retries: u64,
+    /// Extra DQ port cycles consumed by two-cycle dequeues (baseline).
+    pub dq_double_cycles: u64,
+}
+
+/// Per-core link endpoints as seen by the LLC.
+///
+/// Each core has one link with three FIFOs (paper Figure 1): upgrade
+/// requests up, downgrade responses up, and parent messages down. The down
+/// FIFO carries the destination child so the core side can route to L1I or
+/// L1D.
+#[derive(Debug)]
+pub struct CoreLink {
+    /// L1 → LLC upgrade requests.
+    pub up_req: DelayFifo<UpgradeReq>,
+    /// L1 → LLC downgrade responses / eviction notifications.
+    pub up_resp: DelayFifo<DowngradeResp>,
+    /// LLC → L1 upgrade responses and downgrade requests.
+    pub down: DelayFifo<(ChildId, ParentMsg)>,
+}
+
+impl CoreLink {
+    /// Creates a link with the given FIFO capacity and hop latency.
+    pub fn new(capacity: usize, latency: u32) -> CoreLink {
+        CoreLink {
+            up_req: DelayFifo::new(capacity, latency),
+            up_resp: DelayFifo::new(capacity, latency),
+            down: DelayFifo::new(capacity, latency),
+        }
+    }
+}
+
+/// The last-level cache with its MSHRs, pipeline, queues, and directory.
+#[derive(Debug)]
+pub struct Llc {
+    cfg: LlcConfig,
+    cores: usize,
+    region_map: RegionMap,
+    sets: Vec<Vec<LlcLine>>,
+    mshrs: Vec<Option<MshrEntry>>,
+    /// (exit cycle, message); one admission per cycle keeps this ordered.
+    pipe: VecDeque<(u64, PipeMsg)>,
+    /// Upgrade-response queues: one (shared) or one per core.
+    uqs: Vec<VecDeque<u32>>,
+    dq: VecDeque<u32>,
+    /// Baseline two-cycle dequeue: DQ port busy until this cycle.
+    dq_port_busy_until: u64,
+    /// Rotating scan start for the single Downgrade-L1 logic.
+    downgrade_scan: usize,
+    set_bits: u32,
+    /// Exported statistics.
+    pub stats: LlcStats,
+}
+
+impl Llc {
+    /// Creates an empty LLC for `cores` cores.
+    pub fn new(cfg: LlcConfig, cores: usize, region_map: RegionMap) -> Llc {
+        let sets = cfg.sets();
+        assert!(sets.is_power_of_two());
+        let n_mshrs = cfg.mshrs.total(cores);
+        let n_uqs = match cfg.uq {
+            UqOrg::Shared => 1,
+            UqOrg::PerCore => cores,
+        };
+        Llc {
+            cfg,
+            cores,
+            region_map,
+            sets: vec![vec![LlcLine::default(); cfg.ways]; sets],
+            mshrs: vec![None; n_mshrs],
+            pipe: VecDeque::new(),
+            uqs: vec![VecDeque::new(); n_uqs],
+            dq: VecDeque::new(),
+            dq_port_busy_until: 0,
+            downgrade_scan: 0,
+            set_bits: sets.trailing_zeros(),
+            stats: LlcStats::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LlcConfig {
+        &self.cfg
+    }
+
+    /// Computes the set index for a line address under the configured
+    /// indexing function (paper Section 7.2: BASE uses `A[set_bits-1:0]`
+    /// of the line index; PART replaces the top `region_bits` with the low
+    /// bits of the DRAM-region ID).
+    pub fn set_index(&self, line: PhysAddr) -> usize {
+        let line_index = line.raw() >> LINE_SHIFT;
+        match self.cfg.indexing {
+            LlcIndexing::Base => (line_index & ((1 << self.set_bits) - 1)) as usize,
+            LlcIndexing::Partitioned { region_bits } => {
+                let low_bits = self.set_bits - region_bits;
+                let region = self.region_map.region_of(line).0 as u64;
+                let low = line_index & ((1 << low_bits) - 1);
+                (((region & ((1 << region_bits) - 1)) << low_bits) | low) as usize
+            }
+        }
+    }
+
+    fn tag_of(&self, line: PhysAddr) -> u64 {
+        line.raw() >> LINE_SHIFT
+    }
+
+    /// MSHR bank for a set index (MISS model).
+    fn bank_of(&self, set: usize, banks: usize) -> usize {
+        set & (banks - 1)
+    }
+
+    fn find_free_mshr(&self, core: usize, set: usize) -> Option<usize> {
+        match self.cfg.mshrs {
+            MshrOrg::Shared { .. } => self.mshrs.iter().position(Option::is_none),
+            MshrOrg::PerCore { per_core } => {
+                let base = core * per_core;
+                (base..base + per_core).find(|&i| self.mshrs[i].is_none())
+            }
+            MshrOrg::Banked { total, banks } => {
+                // Entries are striped across banks: entry i belongs to bank
+                // i % banks. A request may only use an entry of its bank.
+                let bank = self.bank_of(set, banks);
+                (0..total).find(|&i| i % banks == bank && self.mshrs[i].is_none())
+            }
+        }
+    }
+
+    /// Accepts upgrade requests from the per-core links into MSHRs.
+    fn accept_requests(&mut self, now: u64, links: &mut [CoreLink]) {
+        for (core, link) in links.iter_mut().enumerate() {
+            // Head-of-line: only the head request of each core's FIFO is a
+            // candidate; if it cannot allocate, the FIFO stalls.
+            let Some(req) = link.up_req.peek(now).copied() else {
+                continue;
+            };
+            let set = self.set_index(req.line);
+            let Some(idx) = self.find_free_mshr(core, set) else {
+                // In the banked (MISS) model a full target bank stalls the
+                // whole structure: stop accepting from every core.
+                if matches!(self.cfg.mshrs, MshrOrg::Banked { .. }) {
+                    break;
+                }
+                continue;
+            };
+            let popped = link.up_req.pop(now);
+            debug_assert!(popped.is_some());
+            self.mshrs[idx] = Some(MshrEntry {
+                child: req.child,
+                line: req.line,
+                want: req.want,
+                state: MshrState::WaitPipe,
+                set,
+                way: usize::MAX,
+                needs_wb: false,
+                victim_line: PhysAddr::new(0),
+                wait_line: PhysAddr::new(0),
+                pending_downgrades: 0,
+                to_downgrade: Vec::new(),
+                after: AfterDowngrade::Grant,
+                retry: false,
+            });
+        }
+    }
+
+    /// Picks at most one message to admit into the cache-access pipeline.
+    fn arbitrate_entry(&mut self, now: u64, links: &mut [CoreLink]) {
+        let pick_for_core = |llc: &Llc, links: &mut [CoreLink], core: usize| -> Option<PipeMsg> {
+            // Local priority: downgrade responses, then buffered fills /
+            // retries, then fresh upgrade requests.
+            if links[core].up_resp.peek(now).is_some() {
+                let resp = links[core].up_resp.pop(now).expect("peeked");
+                return Some(PipeMsg::DownResp(resp));
+            }
+            for (i, slot) in llc.mshrs.iter().enumerate() {
+                if let Some(m) = slot {
+                    if m.child.core() == core && m.state == MshrState::FillReady {
+                        return Some(PipeMsg::Reentry(i as u32));
+                    }
+                }
+            }
+            for (i, slot) in llc.mshrs.iter().enumerate() {
+                if let Some(m) = slot {
+                    if m.child.core() == core && m.state == MshrState::WaitPipe {
+                        return Some(if m.retry {
+                            PipeMsg::Reentry(i as u32)
+                        } else {
+                            PipeMsg::Req(i as u32)
+                        });
+                    }
+                }
+            }
+            None
+        };
+
+        let msg = match self.cfg.arbitration {
+            LlcArbitration::RoundRobin => {
+                // Cycle T belongs to core T % N, even if that core is idle.
+                let turn = (now % self.cores as u64) as usize;
+                let chosen = pick_for_core(self, links, turn);
+                if chosen.is_none() {
+                    // Count cycles where *some other* core had a message
+                    // but the slot went idle — the arbiter's latency cost.
+                    let someone_waiting = (0..self.cores).any(|c| {
+                        c != turn
+                            && (links[c].up_resp.peek(now).is_some()
+                                || self.mshrs.iter().flatten().any(|m| {
+                                    m.child.core() == c
+                                        && matches!(
+                                            m.state,
+                                            MshrState::WaitPipe | MshrState::FillReady
+                                        )
+                                }))
+                    });
+                    if someone_waiting {
+                        self.stats.arb_wait_cycles += 1;
+                    }
+                }
+                chosen
+            }
+            LlcArbitration::Base => {
+                // Two-level mux: merge by type, fixed priority across types
+                // (downgrade responses > fills > requests), fixed child
+                // order within a type. Admits whenever anything is pending.
+                let mut chosen = None;
+                for link in links.iter_mut() {
+                    if link.up_resp.peek(now).is_some() {
+                        chosen = Some(PipeMsg::DownResp(link.up_resp.pop(now).expect("peeked")));
+                        break;
+                    }
+                }
+                if chosen.is_none() {
+                    chosen = self
+                        .mshrs
+                        .iter()
+                        .position(|m| {
+                            m.as_ref()
+                                .is_some_and(|m| m.state == MshrState::FillReady)
+                        })
+                        .map(|i| PipeMsg::Reentry(i as u32));
+                }
+                if chosen.is_none() {
+                    chosen = self.mshrs.iter().enumerate().find_map(|(i, m)| {
+                        m.as_ref().and_then(|m| {
+                            (m.state == MshrState::WaitPipe).then_some(if m.retry {
+                                PipeMsg::Reentry(i as u32)
+                            } else {
+                                PipeMsg::Req(i as u32)
+                            })
+                        })
+                    });
+                }
+                chosen
+            }
+        };
+        if let Some(msg) = msg {
+            if let PipeMsg::Req(i) | PipeMsg::Reentry(i) = msg {
+                let entry = self.mshrs[i as usize].as_mut().expect("live MSHR");
+                entry.state = MshrState::InPipe;
+            }
+            self.pipe
+                .push_back((now + self.cfg.pipeline_latency as u64, msg));
+        }
+    }
+
+    /// Process stage at the pipeline exit: at most one message per cycle.
+    fn process_exit(&mut self, now: u64) {
+        let Some(&(ready, msg)) = self.pipe.front() else {
+            return;
+        };
+        if ready > now {
+            return;
+        }
+        self.pipe.pop_front();
+        match msg {
+            PipeMsg::DownResp(resp) => self.process_down_resp(resp),
+            PipeMsg::Req(m) => self.process_request(m),
+            PipeMsg::Reentry(m) => self.process_reentry(m),
+        }
+    }
+
+    fn process_down_resp(&mut self, resp: DowngradeResp) {
+        // Update the directory.
+        let set = self.set_index(resp.line);
+        let tag = self.tag_of(resp.line);
+        if let Some(way) = self.sets[set]
+            .iter()
+            .position(|l| l.valid && l.tag == tag)
+        {
+            let line = &mut self.sets[set][way];
+            let bit = 1u32 << resp.child.index();
+            if resp.now == MsiState::I {
+                line.sharers &= !bit;
+            }
+            // The M owner is always the sole sharer, so after its
+            // downgrade either the sharer set is empty (to I) or it was
+            // demoted in place (to S).
+            if line.child_m && (line.sharers == 0 || resp.now == MsiState::S) {
+                line.child_m = false;
+            }
+            if resp.dirty {
+                line.dirty = true;
+            }
+        }
+        // Wake MSHRs waiting on this downgrade (request or voluntary).
+        let bit = 1u32 << resp.child.index();
+        let mut to_continue = Vec::new();
+        for (i, slot) in self.mshrs.iter_mut().enumerate() {
+            if let Some(m) = slot {
+                if m.state == MshrState::WaitDowngrade
+                    && m.wait_line == resp.line
+                    && m.pending_downgrades & bit != 0
+                {
+                    m.pending_downgrades &= !bit;
+                    // Also cancel an unsent downgrade to this child.
+                    m.to_downgrade.retain(|&(c, _, _)| c != resp.child);
+                    if m.pending_downgrades == 0 {
+                        to_continue.push(i as u32);
+                    }
+                }
+            }
+        }
+        for m in to_continue {
+            self.after_downgrades(m);
+        }
+    }
+
+    fn after_downgrades(&mut self, m: u32) {
+        let entry = self.mshrs[m as usize].as_ref().expect("live MSHR");
+        match entry.after {
+            AfterDowngrade::Grant => self.grant(m),
+            AfterDowngrade::Replace => {
+                let (set, way) = (entry.set, entry.way);
+                let line = &mut self.sets[set][way];
+                debug_assert!(line.sharers == 0, "victim still shared");
+                let dirty = line.dirty;
+                let entry = self.mshrs[m as usize].as_mut().expect("live MSHR");
+                if dirty {
+                    entry.needs_wb = true;
+                    self.stats.writebacks += 1;
+                }
+                self.stats.evictions += 1;
+                // Invalidate the victim; the way stays locked for the fill.
+                let line = &mut self.sets[set][way];
+                line.valid = false;
+                line.dirty = false;
+                line.child_m = false;
+                self.enqueue_dq(m);
+            }
+        }
+    }
+
+    fn enqueue_dq(&mut self, m: u32) {
+        let entry = self.mshrs[m as usize].as_mut().expect("live MSHR");
+        entry.state = MshrState::InDq;
+        self.dq.push_back(m);
+        debug_assert!(self.dq.len() <= self.mshrs.len(), "DQ sized to MSHR count");
+    }
+
+    fn enqueue_uq(&mut self, m: u32) {
+        let entry = self.mshrs[m as usize].as_mut().expect("live MSHR");
+        entry.state = MshrState::InUq;
+        let qi = match self.cfg.uq {
+            UqOrg::Shared => 0,
+            UqOrg::PerCore => entry.child.core(),
+        };
+        self.uqs[qi].push_back(m);
+        let total: usize = self.uqs.iter().map(VecDeque::len).sum();
+        debug_assert!(total <= self.mshrs.len(), "UQs sized to MSHR count");
+    }
+
+    /// Grants the request: the line is present and all conflicting child
+    /// copies have been downgraded. Updates the directory and queues the
+    /// upgrade response.
+    fn grant(&mut self, m: u32) {
+        let entry = self.mshrs[m as usize].as_ref().expect("live MSHR");
+        let (set, way, child, want) = (entry.set, entry.way, entry.child, entry.want);
+        let line = &mut self.sets[set][way];
+        debug_assert!(line.valid);
+        let bit = 1u32 << child.index();
+        match want {
+            MsiState::S => {
+                debug_assert!(!line.child_m || line.sharers == bit);
+                line.sharers |= bit;
+            }
+            MsiState::M => {
+                debug_assert!(line.sharers & !bit == 0, "other sharers remain");
+                line.sharers = bit;
+                line.child_m = true;
+            }
+            MsiState::I => unreachable!("no request downgrades itself"),
+        }
+        self.enqueue_uq(m);
+    }
+
+    /// Initial processing of an upgrade request at the Process stage.
+    fn process_request(&mut self, m: u32) {
+        let entry = self.mshrs[m as usize].as_ref().expect("live MSHR");
+        let (line_addr, set, child, want) = (entry.line, entry.set, entry.child, entry.want);
+        let tag = self.tag_of(line_addr);
+
+        // Conflict: another MSHR holds (or is ahead in line for) the same
+        // line. Block on it when it already *owns* a transaction (passed
+        // Process), or — to serialize two not-yet-processed same-line
+        // entries without creating a blocking cycle — when it has the
+        // lower MSHR index. Lower indices never block on higher
+        // non-owning ones, so chains always terminate at an owning entry
+        // or a processable one.
+        let owning = |s: MshrState| {
+            matches!(
+                s,
+                MshrState::WaitDowngrade
+                    | MshrState::InDq
+                    | MshrState::WaitDram
+                    | MshrState::FillReady
+                    | MshrState::InUq
+            )
+        };
+        if let Some(other) = self.mshrs.iter().enumerate().position(|(i, o)| {
+            i != m as usize
+                && o.as_ref().is_some_and(|o| {
+                    o.line == line_addr && (owning(o.state) || i < m as usize)
+                })
+        }) {
+            let entry = self.mshrs[m as usize].as_mut().expect("live MSHR");
+            entry.state = MshrState::Blocked(other as u32);
+            self.stats.conflicts += 1;
+            return;
+        }
+
+        if let Some(way) = self.sets[set].iter().position(|l| l.valid && l.tag == tag) {
+            // Hit. Check whether the way is locked by another MSHR's
+            // replacement (shouldn't happen for a valid line, but a fill
+            // in flight locks its way while invalid).
+            if let Some(locker) = self.sets[set][way].locked_by {
+                if locker != m {
+                    let entry = self.mshrs[m as usize].as_mut().expect("live MSHR");
+                    entry.state = MshrState::Blocked(locker);
+                    self.stats.conflicts += 1;
+                    return;
+                }
+            }
+            self.stats.hits += 1;
+            let line = &self.sets[set][way];
+            let bit = 1u32 << child.index();
+            // Which children must downgrade before we can grant?
+            let mut to_downgrade = Vec::new();
+            let conflicting = match want {
+                MsiState::S => {
+                    if line.child_m && line.sharers & !bit != 0 {
+                        line.sharers & !bit
+                    } else {
+                        0
+                    }
+                }
+                MsiState::M => line.sharers & !bit,
+                MsiState::I => unreachable!(),
+            };
+            if conflicting != 0 {
+                let to = if want == MsiState::M { MsiState::I } else { MsiState::S };
+                for c in 0..32 {
+                    if conflicting >> c & 1 != 0 {
+                        to_downgrade.push((ChildId(c as u16), line_addr, to));
+                    }
+                }
+                let entry = self.mshrs[m as usize].as_mut().expect("live MSHR");
+                entry.way = way;
+                entry.state = MshrState::WaitDowngrade;
+                entry.wait_line = line_addr;
+                entry.pending_downgrades = conflicting;
+                entry.to_downgrade = to_downgrade;
+                entry.after = AfterDowngrade::Grant;
+                return;
+            }
+            let entry = self.mshrs[m as usize].as_mut().expect("live MSHR");
+            entry.way = way;
+            self.grant(m);
+            return;
+        }
+
+        // Miss.
+        self.stats.misses += 1;
+        // Free (invalid, unlocked) way?
+        if let Some(way) = self.sets[set]
+            .iter()
+            .position(|l| !l.valid && l.locked_by.is_none())
+        {
+            let entry = self.mshrs[m as usize].as_mut().expect("live MSHR");
+            entry.way = way;
+            self.sets[set][way].locked_by = Some(m);
+            self.enqueue_dq(m);
+            return;
+        }
+        // Replacement: pick an unlocked victim (lowest way; the LLC has no
+        // replacement metadata worth modelling — RiscyOO uses pseudo-random
+        // and the set-partitioning evaluation is insensitive to it).
+        let Some(way) = self.sets[set]
+            .iter()
+            .position(|l| l.locked_by.is_none())
+        else {
+            // Every way locked by in-flight fills: block on the first.
+            let locker = self.sets[set][0].locked_by.expect("all locked");
+            let entry = self.mshrs[m as usize].as_mut().expect("live MSHR");
+            entry.state = MshrState::Blocked(locker);
+            self.stats.conflicts += 1;
+            return;
+        };
+        let victim = self.sets[set][way];
+        let victim_line = PhysAddr::new(
+            // Reconstruct the victim address from its tag (the tag is the
+            // full line index).
+            victim.tag << LINE_SHIFT,
+        );
+        self.sets[set][way].locked_by = Some(m);
+        let entry = self.mshrs[m as usize].as_mut().expect("live MSHR");
+        entry.way = way;
+        entry.victim_line = victim_line;
+        if victim.sharers != 0 {
+            // Inclusive: children must drop the victim first.
+            let mut to_downgrade = Vec::new();
+            for c in 0..32 {
+                if victim.sharers >> c & 1 != 0 {
+                    to_downgrade.push((ChildId(c as u16), victim_line, MsiState::I));
+                }
+            }
+            entry.state = MshrState::WaitDowngrade;
+            entry.wait_line = victim_line;
+            entry.pending_downgrades = victim.sharers;
+            entry.to_downgrade = to_downgrade;
+            entry.after = AfterDowngrade::Replace;
+        } else {
+            entry.after = AfterDowngrade::Replace;
+            entry.pending_downgrades = 0;
+            self.after_downgrades(m);
+        }
+    }
+
+    /// Re-entry processing: a DRAM fill completing, or a retry-bit entry
+    /// coming back as a pure miss.
+    fn process_reentry(&mut self, m: u32) {
+        let entry = self.mshrs[m as usize].as_mut().expect("live MSHR");
+        if entry.retry {
+            // Retry-bit path: the writeback has been sent; re-issue as a
+            // pure miss (the way is still locked for us).
+            entry.retry = false;
+            entry.needs_wb = false;
+            self.stats.dq_retries += 1;
+            self.enqueue_dq(m);
+            return;
+        }
+        // Fill: install the line and grant.
+        let (set, way, child, want, line_addr) =
+            (entry.set, entry.way, entry.child, entry.want, entry.line);
+        let tag = self.tag_of(line_addr);
+        let line = &mut self.sets[set][way];
+        debug_assert_eq!(line.locked_by, Some(m));
+        line.tag = tag;
+        line.valid = true;
+        line.dirty = false;
+        line.sharers = 1u32 << child.index();
+        line.child_m = want == MsiState::M;
+        self.enqueue_uq(m);
+    }
+
+    /// UQ dequeue: sends upgrade responses to the cores. Returns which
+    /// core ports were used this cycle (downgrade requests contend for the
+    /// remainder — paper Section 5.4.2 "UQ and Downgrade requests").
+    fn dequeue_uq(&mut self, now: u64, links: &mut [CoreLink]) -> Vec<bool> {
+        let mut port_used = vec![false; self.cores];
+        let mut freed = Vec::new();
+        match self.cfg.uq {
+            UqOrg::Shared => {
+                // One dequeue attempt per cycle; head-of-line blocking
+                // across cores is possible (the Section 5.4.2 leak): if
+                // the head's core port is busy, responses to other cores
+                // behind it wait too.
+                if let Some(&m) = self.uqs[0].front() {
+                    if self.try_send_upgrade_resp(now, links, m, &mut port_used) {
+                        self.uqs[0].pop_front();
+                        freed.push(m);
+                    }
+                }
+            }
+            UqOrg::PerCore => {
+                for qi in 0..self.uqs.len() {
+                    if let Some(&m) = self.uqs[qi].front() {
+                        if self.try_send_upgrade_resp(now, links, m, &mut port_used) {
+                            self.uqs[qi].pop_front();
+                            freed.push(m);
+                        }
+                    }
+                }
+            }
+        }
+        for m in freed {
+            self.free_mshr(m);
+        }
+        port_used
+    }
+
+    fn try_send_upgrade_resp(
+        &mut self,
+        now: u64,
+        links: &mut [CoreLink],
+        m: u32,
+        port_used: &mut [bool],
+    ) -> bool {
+        let entry = self.mshrs[m as usize].as_ref().expect("live MSHR");
+        let core = entry.child.core();
+        if port_used[core] || !links[core].down.can_push() {
+            return false;
+        }
+        let msg = (
+            entry.child,
+            ParentMsg::UpgradeResp {
+                line: entry.line,
+                granted: entry.want,
+            },
+        );
+        let pushed = links[core].down.push(now, msg);
+        debug_assert!(pushed);
+        port_used[core] = true;
+        true
+    }
+
+    fn free_mshr(&mut self, m: u32) {
+        let entry = self.mshrs[m as usize].take().expect("double free");
+        if entry.way != usize::MAX {
+            let line = &mut self.sets[entry.set][entry.way];
+            if line.locked_by == Some(m) {
+                line.locked_by = None;
+            }
+        }
+        // Wake MSHRs blocked on us.
+        for slot in self.mshrs.iter_mut() {
+            if let Some(o) = slot {
+                if o.state == MshrState::Blocked(m) {
+                    o.state = MshrState::WaitPipe;
+                }
+            }
+        }
+    }
+
+    /// The Downgrade-L1 logic: sends downgrade requests to children over
+    /// the remaining port budget.
+    fn send_downgrades(&mut self, now: u64, links: &mut [CoreLink], port_used: &mut [bool]) {
+        let n = self.mshrs.len();
+        match self.cfg.downgrade {
+            DowngradeOrg::Single => {
+                // One request per cycle from a rotating scan over all
+                // MSHRs (the unfair arbitration Section 5.4.2 warns about
+                // is modeled by the scan order itself).
+                for off in 0..n {
+                    let i = (self.downgrade_scan + off) % n;
+                    if self.try_send_one_downgrade(now, links, i, port_used) {
+                        self.downgrade_scan = (i + 1) % n;
+                        return;
+                    }
+                }
+            }
+            DowngradeOrg::PerPartition => {
+                // Duplicated logic: one request per cycle per partition.
+                let parts: Vec<(usize, usize)> = match self.cfg.mshrs {
+                    MshrOrg::PerCore { per_core } => (0..self.cores)
+                        .map(|c| (c * per_core, (c + 1) * per_core))
+                        .collect(),
+                    // Degenerate fallback: treat the whole pool as one
+                    // partition (configuration mixes are allowed in
+                    // ablations).
+                    _ => vec![(0, n)],
+                };
+                for (lo, hi) in parts {
+                    for i in lo..hi {
+                        if self.try_send_one_downgrade(now, links, i, port_used) {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn try_send_one_downgrade(
+        &mut self,
+        now: u64,
+        links: &mut [CoreLink],
+        i: usize,
+        port_used: &mut [bool],
+    ) -> bool {
+        let Some(entry) = self.mshrs[i].as_mut() else {
+            return false;
+        };
+        if entry.state != MshrState::WaitDowngrade || entry.to_downgrade.is_empty() {
+            return false;
+        }
+        let (child, line, to) = entry.to_downgrade[0];
+        let core = child.core();
+        if port_used[core] || !links[core].down.can_push() {
+            return false;
+        }
+        let pushed = links[core]
+            .down
+            .push(now, (child, ParentMsg::DowngradeReq { line, to }));
+        debug_assert!(pushed);
+        port_used[core] = true;
+        entry.to_downgrade.remove(0);
+        self.stats.downgrades_sent += 1;
+        true
+    }
+
+    /// DQ dequeue: sends DRAM requests.
+    fn dequeue_dq(&mut self, now: u64, dram: &mut Dram) {
+        if now < self.dq_port_busy_until {
+            return;
+        }
+        let Some(&m) = self.dq.front() else {
+            return;
+        };
+        let entry = self.mshrs[m as usize].as_ref().expect("live MSHR");
+        let (needs_wb, victim_line, line) = (entry.needs_wb, entry.victim_line, entry.line);
+        match self.cfg.dq {
+            DqOrg::TwoCycleDequeue => {
+                if needs_wb {
+                    // Send writeback and read together; the port blocks one
+                    // extra cycle (the Section 5.4.2 DQ leak).
+                    if !dram.can_accept() {
+                        return; // DRAM backpressure: retry next cycle
+                    }
+                    let ok = dram.submit(
+                        now,
+                        DramReq { line: victim_line, is_write: true, tag: m },
+                    );
+                    debug_assert!(ok);
+                    if !dram.can_accept() {
+                        // Second request refused: keep the entry at the
+                        // head with the writeback already sent.
+                        let entry = self.mshrs[m as usize].as_mut().expect("live MSHR");
+                        entry.needs_wb = false;
+                        return;
+                    }
+                    let ok = dram.submit(now, DramReq { line, is_write: false, tag: m });
+                    debug_assert!(ok);
+                    self.dq.pop_front();
+                    self.dq_port_busy_until = now + 2;
+                    self.stats.dq_double_cycles += 1;
+                    let entry = self.mshrs[m as usize].as_mut().expect("live MSHR");
+                    entry.needs_wb = false;
+                    entry.state = MshrState::WaitDram;
+                } else {
+                    if !dram.can_accept() {
+                        return;
+                    }
+                    let ok = dram.submit(now, DramReq { line, is_write: false, tag: m });
+                    debug_assert!(ok);
+                    self.dq.pop_front();
+                    let entry = self.mshrs[m as usize].as_mut().expect("live MSHR");
+                    entry.state = MshrState::WaitDram;
+                }
+            }
+            DqOrg::RetryBit => {
+                if !dram.can_accept() {
+                    return;
+                }
+                if needs_wb {
+                    // Send only the writeback; set the retry bit and
+                    // re-enter the pipeline as a pure miss. Dequeue takes
+                    // exactly one cycle (Section 5.4.3).
+                    let ok = dram.submit(
+                        now,
+                        DramReq { line: victim_line, is_write: true, tag: m },
+                    );
+                    debug_assert!(ok);
+                    self.dq.pop_front();
+                    let entry = self.mshrs[m as usize].as_mut().expect("live MSHR");
+                    entry.retry = true;
+                    entry.state = MshrState::WaitPipe;
+                } else {
+                    let ok = dram.submit(now, DramReq { line, is_write: false, tag: m });
+                    debug_assert!(ok);
+                    self.dq.pop_front();
+                    let entry = self.mshrs[m as usize].as_mut().expect("live MSHR");
+                    entry.state = MshrState::WaitDram;
+                }
+            }
+        }
+    }
+
+    /// One LLC cycle. `links` is indexed by core. DRAM responses are
+    /// collected, the Process stage runs, queues drain, new requests are
+    /// accepted, and the entry arbiter admits at most one message.
+    pub fn tick(&mut self, now: u64, links: &mut [CoreLink], dram: &mut Dram) {
+        debug_assert_eq!(links.len(), self.cores);
+        // DRAM responses: buffered into their MSHR, never backpressured.
+        for resp in dram.tick(now) {
+            let entry = self.mshrs[resp.tag as usize]
+                .as_mut()
+                .expect("DRAM response for a freed MSHR");
+            debug_assert_eq!(entry.state, MshrState::WaitDram);
+            debug_assert_eq!(entry.line, resp.line);
+            entry.state = MshrState::FillReady;
+        }
+        self.process_exit(now);
+        let mut port_used = self.dequeue_uq(now, links);
+        self.send_downgrades(now, links, &mut port_used);
+        self.dequeue_dq(now, dram);
+        self.accept_requests(now, links);
+        self.arbitrate_entry(now, links);
+    }
+
+    /// Applies an L1 purge-flush invalidation directly to the directory.
+    ///
+    /// During a purge the core is stalled and, under MI6's invariants, no
+    /// other traffic from that core is in flight, so the notification is
+    /// applied out of band rather than through the cache-access pipeline;
+    /// the paper's 512-cycle flush figure (Section 7.1) counts the L1
+    /// sweep, with the LLC absorbing one eviction per cycle in parallel.
+    pub fn flush_notify(&mut self, child: ChildId, line: PhysAddr, dirty: bool) {
+        let set = self.set_index(line);
+        let tag = self.tag_of(line);
+        if let Some(way) = self.sets[set].iter().position(|l| l.valid && l.tag == tag) {
+            let entry = &mut self.sets[set][way];
+            entry.sharers &= !(1u32 << child.index());
+            if entry.sharers == 0 {
+                entry.child_m = false;
+            }
+            if dirty {
+                entry.dirty = true;
+            }
+        }
+    }
+
+    /// Whether the LLC has no in-flight work (test aid).
+    pub fn quiescent(&self) -> bool {
+        self.mshrs.iter().all(Option::is_none)
+            && self.pipe.is_empty()
+            && self.dq.is_empty()
+            && self.uqs.iter().all(VecDeque::is_empty)
+    }
+
+    /// Directory probe for tests: the set of children holding a line.
+    pub fn probe_sharers(&self, line: PhysAddr) -> u32 {
+        let set = self.set_index(line);
+        let tag = self.tag_of(line);
+        self.sets[set]
+            .iter()
+            .find(|l| l.valid && l.tag == tag)
+            .map(|l| l.sharers)
+            .unwrap_or(0)
+    }
+
+    /// Whether a line is resident in the LLC (test aid).
+    pub fn contains(&self, line: PhysAddr) -> bool {
+        let set = self.set_index(line);
+        let tag = self.tag_of(line);
+        self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DramConfig, LINK_CAPACITY};
+
+    const LAT: u32 = 0; // zero link latency makes cycle math exact
+
+    struct Rig {
+        llc: Llc,
+        links: Vec<CoreLink>,
+        dram: Dram,
+        now: u64,
+    }
+
+    impl Rig {
+        fn new(cfg: LlcConfig, cores: usize) -> Rig {
+            let dram_cfg = DramConfig::paper();
+            Rig {
+                llc: Llc::new(cfg, cores, RegionMap::new(&dram_cfg)),
+                links: (0..cores).map(|_| CoreLink::new(LINK_CAPACITY, LAT)).collect(),
+                dram: Dram::new(&dram_cfg),
+                now: 0,
+            }
+        }
+
+        fn request(&mut self, core: usize, line: u64, want: MsiState) {
+            let child = ChildId::l1d(core);
+            let ok = self.links[core].up_req.push(
+                self.now,
+                UpgradeReq { child, line: PhysAddr::new(line), want },
+            );
+            assert!(ok, "request fifo full");
+        }
+
+        fn tick(&mut self) {
+            self.llc.tick(self.now, &mut self.links, &mut self.dram);
+            self.now += 1;
+        }
+
+        /// Runs until `core` receives an upgrade response for `line`, or
+        /// panics after `limit` cycles. Returns the arrival cycle.
+        fn run_until_resp(&mut self, core: usize, line: u64, limit: u64) -> u64 {
+            let deadline = self.now + limit;
+            while self.now < deadline {
+                self.tick();
+                if let Some(&(_, msg)) = self.links[core].down.peek(self.now) {
+                    if let ParentMsg::UpgradeResp { line: l, .. } = msg {
+                        if l == PhysAddr::new(line) {
+                            let _ = self.links[core].down.pop(self.now);
+                            return self.now;
+                        }
+                    }
+                    // Drain other messages (downgrade reqs handled by tests
+                    // that need them).
+                    let _ = self.links[core].down.pop(self.now);
+                }
+            }
+            panic!("no response for line {line:#x} within {limit} cycles");
+        }
+    }
+
+    #[test]
+    fn miss_fills_from_dram_and_hits_after() {
+        let mut rig = Rig::new(LlcConfig::paper_base(), 1);
+        rig.request(0, 0x4_0000, MsiState::S);
+        let t_miss = rig.run_until_resp(0, 0x4_0000, 400);
+        // Miss cost at least the DRAM latency.
+        assert!(t_miss >= 120, "miss too fast: {t_miss}");
+        assert_eq!(rig.llc.stats.misses, 1);
+        assert!(rig.llc.contains(PhysAddr::new(0x4_0000)));
+        // Second access from the same child after eviction from its L1:
+        // the L1 would have it, but model a re-request (e.g. I-cache).
+        let start = rig.now;
+        rig.request(0, 0x4_0000, MsiState::S);
+        let t_hit = rig.run_until_resp(0, 0x4_0000, 400) - start;
+        assert!(t_hit < 30, "hit too slow: {t_hit}");
+        assert_eq!(rig.llc.stats.hits, 1);
+    }
+
+    #[test]
+    fn store_request_grants_m_and_tracks_directory() {
+        let mut rig = Rig::new(LlcConfig::paper_base(), 1);
+        rig.request(0, 0x8000, MsiState::M);
+        rig.run_until_resp(0, 0x8000, 400);
+        assert_eq!(
+            rig.llc.probe_sharers(PhysAddr::new(0x8000)),
+            1 << ChildId::l1d(0).index()
+        );
+    }
+
+    #[test]
+    fn second_core_store_downgrades_first() {
+        let mut rig = Rig::new(LlcConfig::paper_base(), 2);
+        rig.request(0, 0x8000, MsiState::M);
+        rig.run_until_resp(0, 0x8000, 400);
+        // Core 1 wants the same line M: LLC must downgrade core 0 first.
+        rig.request(1, 0x8000, MsiState::M);
+        // Run until core 0 sees the downgrade request, then ack it.
+        let mut acked = false;
+        for _ in 0..200 {
+            rig.tick();
+            if let Some(&(child, msg)) = rig.links[0].down.peek(rig.now) {
+                if let ParentMsg::DowngradeReq { line, to } = msg {
+                    assert_eq!(line, PhysAddr::new(0x8000));
+                    assert_eq!(to, MsiState::I);
+                    let _ = rig.links[0].down.pop(rig.now);
+                    let ok = rig.links[0].up_resp.push(
+                        rig.now,
+                        DowngradeResp { child, line, now: MsiState::I, dirty: true },
+                    );
+                    assert!(ok);
+                    acked = true;
+                    break;
+                }
+            }
+        }
+        assert!(acked, "no downgrade request reached core 0");
+        rig.run_until_resp(1, 0x8000, 400);
+        assert_eq!(
+            rig.llc.probe_sharers(PhysAddr::new(0x8000)),
+            1 << ChildId::l1d(1).index()
+        );
+        assert_eq!(rig.llc.stats.downgrades_sent, 1);
+    }
+
+    #[test]
+    fn replacement_writes_back_dirty_victim() {
+        // Fill all 16 ways of one set, dirty one line, then force a 17th.
+        let mut rig = Rig::new(LlcConfig::paper_base(), 1);
+        let sets = LlcConfig::paper_base().sets() as u64; // 1024
+        let stride = sets * 64;
+        // Use want=M then "write back" via voluntary eviction so the LLC
+        // copy becomes dirty.
+        rig.request(0, 0, MsiState::M);
+        rig.run_until_resp(0, 0, 2000);
+        let ok = rig.links[0].up_resp.push(
+            rig.now,
+            DowngradeResp {
+                child: ChildId::l1d(0),
+                line: PhysAddr::new(0),
+                now: MsiState::I,
+                dirty: true,
+            },
+        );
+        assert!(ok);
+        for w in 1..16u64 {
+            rig.request(0, w * stride, MsiState::S);
+            rig.run_until_resp(0, w * stride, 2000);
+            // Evict from L1 so the directory shows no sharers.
+            let ok = rig.links[0].up_resp.push(
+                rig.now,
+                DowngradeResp {
+                    child: ChildId::l1d(0),
+                    line: PhysAddr::new(w * stride),
+                    now: MsiState::I,
+                    dirty: false,
+                },
+            );
+            assert!(ok);
+        }
+        // Let the evictions drain through the pipeline.
+        for _ in 0..200 {
+            rig.tick();
+        }
+        let wb_before = rig.dram.writes;
+        rig.request(0, 16 * stride, MsiState::S);
+        rig.run_until_resp(0, 16 * stride, 2000);
+        assert_eq!(rig.llc.stats.evictions, 1);
+        // One of the 16 victims was the dirty line only if it was chosen;
+        // way 0 (the dirty one) is chosen by the lowest-way policy.
+        assert_eq!(rig.dram.writes, wb_before + 1, "dirty victim written back");
+        assert_eq!(rig.llc.stats.writebacks, 1);
+    }
+
+    #[test]
+    fn retry_bit_takes_single_cycle_dequeues() {
+        let mut base = Rig::new(LlcConfig::paper_base(), 1);
+        let mut cfg = LlcConfig::paper_base();
+        cfg.dq = DqOrg::RetryBit;
+        let mut secure = Rig::new(cfg, 1);
+        for rig in [&mut base, &mut secure] {
+            let sets = LlcConfig::paper_base().sets() as u64;
+            let stride = sets * 64;
+            rig.request(0, 0, MsiState::M);
+            rig.run_until_resp(0, 0, 2000);
+            let ok = rig.links[0].up_resp.push(
+                rig.now,
+                DowngradeResp {
+                    child: ChildId::l1d(0),
+                    line: PhysAddr::new(0),
+                    now: MsiState::I,
+                    dirty: true,
+                },
+            );
+            assert!(ok);
+            for w in 1..16u64 {
+                rig.request(0, w * stride, MsiState::S);
+                rig.run_until_resp(0, w * stride, 2000);
+                let ok = rig.links[0].up_resp.push(
+                    rig.now,
+                    DowngradeResp {
+                        child: ChildId::l1d(0),
+                        line: PhysAddr::new(w * stride),
+                        now: MsiState::I,
+                        dirty: false,
+                    },
+                );
+                assert!(ok);
+            }
+            for _ in 0..200 {
+                rig.tick();
+            }
+            rig.request(0, 16 * stride, MsiState::S);
+            rig.run_until_resp(0, 16 * stride, 3000);
+        }
+        assert_eq!(base.llc.stats.dq_double_cycles, 1);
+        assert_eq!(base.llc.stats.dq_retries, 0);
+        assert_eq!(secure.llc.stats.dq_double_cycles, 0);
+        assert_eq!(secure.llc.stats.dq_retries, 1);
+    }
+
+    #[test]
+    fn per_core_mshrs_isolate_capacity() {
+        // Core 0 saturates its partition; core 1's single miss must still
+        // be accepted immediately.
+        let cfg = LlcConfig::paper_secure(2, 24); // 6 MSHRs per core
+        let mut rig = Rig::new(cfg, 2);
+        // 6 outstanding misses for core 0 (distinct region-0 lines).
+        let mut big = CoreLink::new(16, LAT);
+        std::mem::swap(&mut rig.links[0], &mut big);
+        for i in 0..6u64 {
+            rig.request(0, 0x10000 + i * 64, MsiState::S);
+        }
+        // A 7th core-0 request must wait for a free partition slot, but a
+        // core-1 request sails through.
+        rig.request(0, 0x20000, MsiState::S);
+        rig.request(1, 0x100_0000 * 4, MsiState::S); // a different region
+        rig.run_until_resp(1, 0x100_0000 * 4, 1000);
+        // Core-0's 7th is still pending behind its partition.
+        assert!(rig.links[0].up_req.len() > 0 || !rig.llc.quiescent());
+    }
+
+    #[test]
+    fn partitioned_index_maps_regions_to_disjoint_sets() {
+        let cfg = LlcConfig::paper_secure(2, 24);
+        let dram_cfg = DramConfig::paper();
+        let llc = Llc::new(cfg, 2, RegionMap::new(&dram_cfg));
+        // Addresses in region 0 and region 1 must land in disjoint sets
+        // when the regions differ in their low 2 bits.
+        let region_bytes = dram_cfg.region_bytes();
+        let mut sets0 = std::collections::HashSet::new();
+        let mut sets1 = std::collections::HashSet::new();
+        for i in 0..4096u64 {
+            sets0.insert(llc.set_index(PhysAddr::new(i * 64)));
+            sets1.insert(llc.set_index(PhysAddr::new(region_bytes + i * 64)));
+        }
+        assert!(sets0.is_disjoint(&sets1));
+        // Regions 4k and 4k+4 share low bits and thus sets (an enclave can
+        // claim multiple aligned regions to grow its share).
+        let s0 = llc.set_index(PhysAddr::new(0));
+        let s4 = llc.set_index(PhysAddr::new(4 * region_bytes));
+        assert_eq!(s0, s4);
+    }
+
+    #[test]
+    fn base_index_uses_low_bits() {
+        let llc = Llc::new(LlcConfig::paper_base(), 1, RegionMap::new(&DramConfig::paper()));
+        assert_eq!(llc.set_index(PhysAddr::new(0)), 0);
+        assert_eq!(llc.set_index(PhysAddr::new(64)), 1);
+        assert_eq!(llc.set_index(PhysAddr::new(1023 * 64)), 1023);
+        assert_eq!(llc.set_index(PhysAddr::new(1024 * 64)), 0);
+    }
+
+    #[test]
+    fn round_robin_slot_gating() {
+        // With RR arbitration and 2 cores, a core-1 message arriving in
+        // core 0's slot waits exactly one cycle.
+        let mut cfg = LlcConfig::paper_base();
+        cfg.arbitration = LlcArbitration::RoundRobin;
+        let mut rig = Rig::new(cfg, 2);
+        rig.request(1, 0x40, MsiState::S);
+        let t = rig.run_until_resp(1, 0x40, 500);
+        // Now repeat, shifted by one cycle: latency must be identical
+        // modulo the slot alignment — i.e. the response time depends only
+        // on the request's phase, not on core 0's activity.
+        let mut rig2 = Rig::new(cfg, 2);
+        // Core 0 is busy with many requests.
+        let mut big = CoreLink::new(16, LAT);
+        std::mem::swap(&mut rig2.links[0], &mut big);
+        for i in 0..6u64 {
+            rig2.request(0, 0x8000 + 64 * i, MsiState::S);
+        }
+        rig2.request(1, 0x100_0000, MsiState::S);
+        let t2 = rig2.run_until_resp(1, 0x100_0000, 500);
+        assert_eq!(t, t2, "core 1 latency changed with core 0 load");
+    }
+
+    #[test]
+    fn secure_sizing_never_backpressures_dram() {
+        // 1 core, 12 MSHRs (24/2): even a flood of misses with writebacks
+        // keeps DRAM inflight <= 24.
+        let mut cfg = LlcConfig::paper_secure(1, 24);
+        cfg.indexing = LlcIndexing::Base;
+        let mut rig = Rig::new(cfg, 1);
+        let mut big = CoreLink::new(64, LAT);
+        std::mem::swap(&mut rig.links[0], &mut big);
+        for i in 0..64u64 {
+            rig.request(0, 0x100000 + i * 64 * 1024, MsiState::M);
+        }
+        for _ in 0..5000 {
+            rig.tick();
+            let _ = rig.links[0].down.pop(rig.now);
+            assert!(rig.dram.inflight() <= 24);
+        }
+        assert_eq!(rig.dram.backpressure_events, 0);
+    }
+}

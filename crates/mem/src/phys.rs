@@ -1,0 +1,232 @@
+//! Sparse physical memory.
+//!
+//! The simulator separates *function* from *timing*: [`PhysMem`] holds the
+//! architectural contents of DRAM and is read/written directly by the
+//! functional side of the core (and by loaders and the security monitor),
+//! while the cache models in this crate track tags and dirtiness only.
+//! This is the standard functional/timing split of architectural
+//! simulators; it is safe here because MI6 forbids memory sharing between
+//! protection domains, so there is never a cross-core data race whose value
+//! timing could change.
+
+use mi6_isa::{PhysAddr, PAGE_SIZE};
+use std::collections::HashMap;
+
+const PAGE_BYTES: usize = PAGE_SIZE as usize;
+
+/// Byte-addressable sparse physical memory.
+///
+/// Pages are allocated lazily on first write; reads of untouched memory
+/// return zero, like zero-initialized DRAM.
+///
+/// ```
+/// use mi6_mem::PhysMem;
+/// use mi6_isa::PhysAddr;
+///
+/// let mut mem = PhysMem::new(2 << 30);
+/// mem.write_u64(PhysAddr::new(0x1000), 0xdead_beef);
+/// assert_eq!(mem.read_u64(PhysAddr::new(0x1000)), 0xdead_beef);
+/// assert_eq!(mem.read_u64(PhysAddr::new(0x2000)), 0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PhysMem {
+    size: u64,
+    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+}
+
+impl PhysMem {
+    /// Creates a memory of `size` bytes (must be page-aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not a multiple of the page size.
+    pub fn new(size: u64) -> PhysMem {
+        assert!(size % PAGE_SIZE == 0, "memory size must be page aligned");
+        PhysMem {
+            size,
+            pages: HashMap::new(),
+        }
+    }
+
+    /// Total size in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Whether `addr` is within the memory.
+    pub fn contains(&self, addr: PhysAddr) -> bool {
+        addr.raw() < self.size
+    }
+
+    /// Number of pages actually allocated.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads one byte. Out-of-range reads return 0 (the caller is expected
+    /// to have validated the address; the core raises access faults before
+    /// reaching memory).
+    pub fn read_u8(&self, addr: PhysAddr) -> u8 {
+        let page = addr.raw() / PAGE_SIZE;
+        match self.pages.get(&page) {
+            Some(data) => data[(addr.raw() % PAGE_SIZE) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the memory.
+    pub fn write_u8(&mut self, addr: PhysAddr, value: u8) {
+        assert!(self.contains(addr), "physical write out of range: {addr}");
+        let page = addr.raw() / PAGE_SIZE;
+        let data = self
+            .pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0u8; PAGE_BYTES]));
+        data[(addr.raw() % PAGE_SIZE) as usize] = value;
+    }
+
+    /// Reads `n <= 8` little-endian bytes as a u64. Accesses may straddle
+    /// page boundaries.
+    pub fn read_bytes(&self, addr: PhysAddr, n: usize) -> u64 {
+        debug_assert!(n <= 8);
+        let mut out = 0u64;
+        for i in 0..n {
+            out |= (self.read_u8(PhysAddr::new(addr.raw() + i as u64)) as u64) << (8 * i);
+        }
+        out
+    }
+
+    /// Writes the low `n <= 8` bytes of `value`, little-endian.
+    pub fn write_bytes(&mut self, addr: PhysAddr, value: u64, n: usize) {
+        debug_assert!(n <= 8);
+        for i in 0..n {
+            self.write_u8(
+                PhysAddr::new(addr.raw() + i as u64),
+                (value >> (8 * i)) as u8,
+            );
+        }
+    }
+
+    /// Reads a little-endian u64.
+    pub fn read_u64(&self, addr: PhysAddr) -> u64 {
+        self.read_bytes(addr, 8)
+    }
+
+    /// Writes a little-endian u64.
+    pub fn write_u64(&mut self, addr: PhysAddr, value: u64) {
+        self.write_bytes(addr, value, 8)
+    }
+
+    /// Reads a little-endian u32 (one instruction word).
+    pub fn read_u32(&self, addr: PhysAddr) -> u32 {
+        self.read_bytes(addr, 4) as u32
+    }
+
+    /// Writes a little-endian u32.
+    pub fn write_u32(&mut self, addr: PhysAddr, value: u32) {
+        self.write_bytes(addr, value as u64, 4)
+    }
+
+    /// Copies a program image (32-bit words) to consecutive addresses.
+    pub fn load_words(&mut self, base: PhysAddr, words: &[u32]) {
+        for (i, &w) in words.iter().enumerate() {
+            self.write_u32(PhysAddr::new(base.raw() + 4 * i as u64), w);
+        }
+    }
+
+    /// Zeroes `len` bytes starting at `base` (used by the security monitor
+    /// to scrub DRAM regions before reassignment).
+    pub fn scrub(&mut self, base: PhysAddr, len: u64) {
+        // Drop whole pages where possible; zero partial pages.
+        let mut addr = base.raw();
+        let end = base.raw() + len;
+        while addr < end {
+            let page = addr / PAGE_SIZE;
+            let page_start = page * PAGE_SIZE;
+            let page_end = page_start + PAGE_SIZE;
+            if addr == page_start && page_end <= end {
+                self.pages.remove(&page);
+                addr = page_end;
+            } else {
+                let stop = end.min(page_end);
+                while addr < stop {
+                    if self.pages.contains_key(&page) {
+                        self.write_u8(PhysAddr::new(addr), 0);
+                    }
+                    addr += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialized() {
+        let mem = PhysMem::new(1 << 20);
+        assert_eq!(mem.read_u64(PhysAddr::new(0x500)), 0);
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut mem = PhysMem::new(1 << 20);
+        mem.write_u64(PhysAddr::new(0x100), 0x0102_0304_0506_0708);
+        assert_eq!(mem.read_u64(PhysAddr::new(0x100)), 0x0102_0304_0506_0708);
+        assert_eq!(mem.read_u8(PhysAddr::new(0x100)), 0x08); // little endian
+        assert_eq!(mem.read_u32(PhysAddr::new(0x104)), 0x0102_0304);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut mem = PhysMem::new(1 << 20);
+        mem.write_u64(PhysAddr::new(PAGE_SIZE - 4), 0x1122_3344_5566_7788);
+        assert_eq!(
+            mem.read_u64(PhysAddr::new(PAGE_SIZE - 4)),
+            0x1122_3344_5566_7788
+        );
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn partial_width_writes() {
+        let mut mem = PhysMem::new(1 << 20);
+        mem.write_u64(PhysAddr::new(0), u64::MAX);
+        mem.write_bytes(PhysAddr::new(2), 0, 2);
+        assert_eq!(mem.read_u64(PhysAddr::new(0)), 0xffff_ffff_0000_ffff);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn write_out_of_range_panics() {
+        let mut mem = PhysMem::new(1 << 20);
+        mem.write_u8(PhysAddr::new(1 << 20), 1);
+    }
+
+    #[test]
+    fn load_words_places_program() {
+        let mut mem = PhysMem::new(1 << 20);
+        mem.load_words(PhysAddr::new(0x1000), &[0xaabbccdd, 0x11223344]);
+        assert_eq!(mem.read_u32(PhysAddr::new(0x1000)), 0xaabbccdd);
+        assert_eq!(mem.read_u32(PhysAddr::new(0x1004)), 0x11223344);
+    }
+
+    #[test]
+    fn scrub_zeroes_and_releases() {
+        let mut mem = PhysMem::new(1 << 20);
+        mem.write_u64(PhysAddr::new(0x1000), 7);
+        mem.write_u64(PhysAddr::new(0x2008), 9);
+        mem.scrub(PhysAddr::new(0x1000), PAGE_SIZE);
+        assert_eq!(mem.read_u64(PhysAddr::new(0x1000)), 0);
+        // partial scrub
+        mem.scrub(PhysAddr::new(0x2008), 8);
+        assert_eq!(mem.read_u64(PhysAddr::new(0x2008)), 0);
+    }
+}

@@ -1,0 +1,245 @@
+//! DRAM regions and the per-core access bitvector.
+//!
+//! MI6 divides physical memory equally into contiguous DRAM regions (paper
+//! Section 5.2; 64 regions of 32 MiB for the 2 GiB Figure-4 machine). The
+//! region ID is the highest bits of the physical address. Regions serve two
+//! purposes:
+//!
+//! 1. **Cache isolation**: the partitioned LLC index uses the low bits of
+//!    the region ID, so disjoint regions occupy disjoint LLC sets.
+//! 2. **Access control**: each core carries a machine-mode-writable
+//!    bitvector ([`RegionBitvec`], architecturally the `mregions` CSR); any
+//!    physical access — speculative or not — outside the allowed regions is
+//!    suppressed and faults only when it becomes non-speculative
+//!    (paper Section 5.3).
+
+use crate::config::DramConfig;
+use mi6_isa::PhysAddr;
+use std::fmt;
+
+/// A DRAM region ID in `0..regions`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegionId(pub u32);
+
+impl RegionId {
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RegionId({})", self.0)
+    }
+}
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "region {}", self.0)
+    }
+}
+
+/// Maps physical addresses to DRAM regions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegionMap {
+    region_shift: u32,
+    regions: u32,
+}
+
+impl RegionMap {
+    /// Builds the map for a DRAM configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the region count is a power of two that divides the
+    /// memory size into power-of-two regions (required so that region bits
+    /// are literally "the highest bits of the physical address").
+    pub fn new(dram: &DramConfig) -> RegionMap {
+        assert!(dram.regions.is_power_of_two(), "region count must be 2^k");
+        let region_bytes = dram.region_bytes();
+        assert!(
+            region_bytes.is_power_of_two(),
+            "region size must be a power of two"
+        );
+        RegionMap {
+            region_shift: region_bytes.trailing_zeros(),
+            regions: dram.regions as u32,
+        }
+    }
+
+    /// Number of regions.
+    pub const fn regions(&self) -> u32 {
+        self.regions
+    }
+
+    /// Size of one region in bytes.
+    pub const fn region_bytes(&self) -> u64 {
+        1 << self.region_shift
+    }
+
+    /// The region containing a physical address.
+    pub fn region_of(&self, addr: PhysAddr) -> RegionId {
+        let r = (addr.raw() >> self.region_shift) as u32;
+        debug_assert!(r < self.regions, "address outside DRAM: {addr}");
+        RegionId(r.min(self.regions - 1))
+    }
+
+    /// The first byte of a region.
+    pub fn base_of(&self, region: RegionId) -> PhysAddr {
+        PhysAddr::new((region.0 as u64) << self.region_shift)
+    }
+
+    /// Whether a 4 KiB page fits entirely in one region (always true by
+    /// construction; asserted in tests as the paper's TLB-caching argument
+    /// relies on it).
+    pub fn page_within_one_region(&self, page_base: PhysAddr) -> bool {
+        self.region_of(page_base)
+            == self.region_of(PhysAddr::new(page_base.raw() + mi6_isa::PAGE_SIZE - 1))
+    }
+}
+
+/// A per-core DRAM-region permission bitvector (the `mregions` CSR).
+///
+/// ```
+/// use mi6_mem::RegionBitvec;
+/// use mi6_mem::RegionId;
+///
+/// let mut bv = RegionBitvec::none();
+/// bv.allow(RegionId(3));
+/// assert!(bv.allows(RegionId(3)));
+/// assert!(!bv.allows(RegionId(4)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegionBitvec(pub u64);
+
+impl RegionBitvec {
+    /// No regions allowed.
+    pub const fn none() -> RegionBitvec {
+        RegionBitvec(0)
+    }
+
+    /// All regions allowed (the hardware reset state; the monitor
+    /// restricts it before running untrusted software).
+    pub const fn all() -> RegionBitvec {
+        RegionBitvec(u64::MAX)
+    }
+
+    /// Allows exactly the given regions.
+    pub fn of(regions: impl IntoIterator<Item = RegionId>) -> RegionBitvec {
+        let mut bv = RegionBitvec::none();
+        for r in regions {
+            bv.allow(r);
+        }
+        bv
+    }
+
+    /// Whether the region is allowed.
+    pub const fn allows(self, region: RegionId) -> bool {
+        self.0 >> region.0 & 1 != 0
+    }
+
+    /// Grants access to a region.
+    pub fn allow(&mut self, region: RegionId) {
+        self.0 |= 1 << region.0;
+    }
+
+    /// Revokes access to a region.
+    pub fn deny(&mut self, region: RegionId) {
+        self.0 &= !(1 << region.0);
+    }
+
+    /// Whether two bitvectors share any region (protection domains must
+    /// not overlap).
+    pub const fn overlaps(self, other: RegionBitvec) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Number of allowed regions.
+    pub const fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Iterates over the allowed regions, lowest first.
+    pub fn iter(self) -> impl Iterator<Item = RegionId> {
+        (0..64).filter(move |&i| self.0 >> i & 1 != 0).map(RegionId)
+    }
+}
+
+impl fmt::Debug for RegionBitvec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RegionBitvec({:#018x}, {} regions)",
+            self.0,
+            self.count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mi6_isa::PAGE_SIZE;
+
+    fn paper_map() -> RegionMap {
+        RegionMap::new(&DramConfig::paper())
+    }
+
+    #[test]
+    fn region_boundaries() {
+        let map = paper_map();
+        assert_eq!(map.regions(), 64);
+        assert_eq!(map.region_bytes(), 32 << 20);
+        assert_eq!(map.region_of(PhysAddr::new(0)), RegionId(0));
+        assert_eq!(map.region_of(PhysAddr::new((32 << 20) - 1)), RegionId(0));
+        assert_eq!(map.region_of(PhysAddr::new(32 << 20)), RegionId(1));
+        assert_eq!(map.region_of(PhysAddr::new((2u64 << 30) - 1)), RegionId(63));
+    }
+
+    #[test]
+    fn base_of_round_trips() {
+        let map = paper_map();
+        for r in [0u32, 1, 17, 63] {
+            assert_eq!(map.region_of(map.base_of(RegionId(r))), RegionId(r));
+        }
+    }
+
+    #[test]
+    fn no_page_straddles_regions() {
+        // Section 5.3: "no 4 KB page falls in two DRAM regions".
+        let map = paper_map();
+        for page in (0..(2u64 << 30)).step_by((256 << 20) as usize + PAGE_SIZE as usize) {
+            let base = PhysAddr::new(page & !(PAGE_SIZE - 1));
+            assert!(map.page_within_one_region(base), "page at {base}");
+        }
+    }
+
+    #[test]
+    fn bitvec_allow_deny() {
+        let mut bv = RegionBitvec::none();
+        bv.allow(RegionId(0));
+        bv.allow(RegionId(63));
+        assert!(bv.allows(RegionId(0)));
+        assert!(bv.allows(RegionId(63)));
+        assert_eq!(bv.count(), 2);
+        bv.deny(RegionId(0));
+        assert!(!bv.allows(RegionId(0)));
+    }
+
+    #[test]
+    fn bitvec_overlap() {
+        let a = RegionBitvec::of([RegionId(1), RegionId(2)]);
+        let b = RegionBitvec::of([RegionId(2), RegionId(3)]);
+        let c = RegionBitvec::of([RegionId(4)]);
+        assert!(a.overlaps(b));
+        assert!(!a.overlaps(c));
+    }
+
+    #[test]
+    fn bitvec_iter() {
+        let bv = RegionBitvec::of([RegionId(5), RegionId(1)]);
+        let got: Vec<_> = bv.iter().collect();
+        assert_eq!(got, vec![RegionId(1), RegionId(5)]);
+    }
+}

@@ -1,0 +1,344 @@
+//! The assembled memory system: per-core L1I/L1D, links, LLC, and DRAM.
+//!
+//! [`MemSystem`] is what a core (or the SoC) talks to. Each core has two
+//! ports — instruction fetch and data — multiplexed onto the core's single
+//! coherence link to the LLC (paper Figure 1). One call to
+//! [`MemSystem::tick`] advances the whole hierarchy by one cycle in a fixed
+//! deterministic order.
+
+use crate::config::{MemConfig, LINE_SHIFT, LINK_CAPACITY, LINK_LATENCY};
+use crate::dram::Dram;
+use crate::l1::{L1Access, L1Cache, L1Completion, ReqToken};
+use crate::llc::{CoreLink, Llc};
+use crate::msi::{ChildId, MsiState};
+use crate::phys::PhysMem;
+use crate::region::RegionMap;
+use mi6_isa::PhysAddr;
+
+/// Which per-core port a request uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Port {
+    /// Instruction fetch (L1I).
+    IFetch,
+    /// Loads, stores, and page-table walks (L1D).
+    Data,
+}
+
+/// The memory hierarchy below the cores.
+#[derive(Debug)]
+pub struct MemSystem {
+    cfg: MemConfig,
+    /// Architectural DRAM contents (functional side).
+    pub phys: PhysMem,
+    l1is: Vec<L1Cache>,
+    l1ds: Vec<L1Cache>,
+    links: Vec<CoreLink>,
+    llc: Llc,
+    dram: Dram,
+    region_map: RegionMap,
+    completions: Vec<[Vec<L1Completion>; 2]>,
+}
+
+impl MemSystem {
+    /// Builds the hierarchy for `cores` cores.
+    pub fn new(cfg: MemConfig, cores: usize) -> MemSystem {
+        let region_map = RegionMap::new(&cfg.dram);
+        MemSystem {
+            cfg,
+            phys: PhysMem::new(cfg.dram.size_bytes),
+            l1is: (0..cores)
+                .map(|c| L1Cache::new(cfg.l1i, ChildId::l1i(c)))
+                .collect(),
+            l1ds: (0..cores)
+                .map(|c| L1Cache::new(cfg.l1d, ChildId::l1d(c)))
+                .collect(),
+            links: (0..cores)
+                .map(|_| CoreLink::new(LINK_CAPACITY, LINK_LATENCY))
+                .collect(),
+            llc: Llc::new(cfg.llc, cores, region_map),
+            dram: Dram::new(&cfg.dram),
+            region_map,
+            completions: (0..cores).map(|_| [Vec::new(), Vec::new()]).collect(),
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.l1is.len()
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// The DRAM-region map (shared by cores for access checks).
+    pub fn region_map(&self) -> RegionMap {
+        self.region_map
+    }
+
+    /// Issues a timing access for the line containing `addr`.
+    ///
+    /// `store` requests M (write permission); otherwise S. On
+    /// [`L1Access::Miss`] the completion is delivered later via
+    /// [`MemSystem::take_completions`] with the same `token`.
+    pub fn access(
+        &mut self,
+        now: u64,
+        core: usize,
+        port: Port,
+        token: ReqToken,
+        addr: PhysAddr,
+        store: bool,
+    ) -> L1Access {
+        let line = addr.line_base();
+        let want = if store { MsiState::M } else { MsiState::S };
+        // Split borrows: link and L1 are separate fields.
+        let link = &mut self.links[core];
+        let l1 = match port {
+            Port::IFetch => &mut self.l1is[core],
+            Port::Data => &mut self.l1ds[core],
+        };
+        l1.access(now, token, line, want, &mut link.up_req, &mut link.up_resp)
+    }
+
+    /// Drains completed misses for one core port.
+    pub fn take_completions(&mut self, core: usize, port: Port) -> Vec<L1Completion> {
+        let idx = match port {
+            Port::IFetch => 0,
+            Port::Data => 1,
+        };
+        std::mem::take(&mut self.completions[core][idx])
+    }
+
+    /// Starts the purge flush sweep of both L1s of a core. The caller must
+    /// have drained in-flight misses first (the purge sequence flushes the
+    /// core pipeline before scrubbing).
+    pub fn start_flush(&mut self, core: usize) {
+        self.l1is[core].start_flush();
+        self.l1ds[core].start_flush();
+    }
+
+    /// Whether a flush sweep is still running on a core.
+    pub fn flush_active(&self, core: usize) -> bool {
+        self.l1is[core].flush_active() || self.l1ds[core].flush_active()
+    }
+
+    /// Whether a core has in-flight misses on either port.
+    pub fn core_quiescent(&self, core: usize) -> bool {
+        !self.l1is[core].has_inflight() && !self.l1ds[core].has_inflight()
+    }
+
+    /// Advances the hierarchy one cycle.
+    pub fn tick(&mut self, now: u64) {
+        let cores = self.cores();
+        for core in 0..cores {
+            // Deliver at most one parent message per link per cycle (the
+            // per-core down-port).
+            if let Some((child, msg)) = self.links[core].down.pop(now) {
+                let link = &mut self.links[core];
+                let l1 = if child.is_data() {
+                    &mut self.l1ds[core]
+                } else {
+                    &mut self.l1is[core]
+                };
+                l1.handle_parent(now, msg, &mut link.up_resp);
+            }
+            // L1 maintenance: retry blocked downgrade responses; advance
+            // flush sweeps (one line per cycle per cache, notifications
+            // applied out of band — see `Llc::flush_notify`).
+            for is_data in [false, true] {
+                let link = &mut self.links[core];
+                let l1 = if is_data {
+                    &mut self.l1ds[core]
+                } else {
+                    &mut self.l1is[core]
+                };
+                l1.tick(now, &mut link.up_resp);
+                if l1.flush_active() {
+                    let child = l1.child();
+                    if let Some((line, dirty)) = l1.flush_step() {
+                        self.llc.flush_notify(child, line, dirty);
+                    }
+                }
+            }
+        }
+        self.llc.tick(now, &mut self.links, &mut self.dram);
+        // Collect L1 completions into the per-port queues.
+        for core in 0..cores {
+            let done = self.l1is[core].take_completions();
+            self.completions[core][0].extend(done);
+            let done = self.l1ds[core].take_completions();
+            self.completions[core][1].extend(done);
+        }
+    }
+
+    /// L1 statistics for a core port.
+    pub fn l1_stats(&self, core: usize, port: Port) -> crate::l1::L1Stats {
+        match port {
+            Port::IFetch => self.l1is[core].stats,
+            Port::Data => self.l1ds[core].stats,
+        }
+    }
+
+    /// LLC statistics.
+    pub fn llc_stats(&self) -> crate::llc::LlcStats {
+        self.llc.stats
+    }
+
+    /// DRAM read/write/backpressure counters as (reads, writes, stalls).
+    pub fn dram_stats(&self) -> (u64, u64, u64) {
+        (self.dram.reads, self.dram.writes, self.dram.backpressure_events)
+    }
+
+    /// The LLC set index of an address under the active indexing function
+    /// (exposed for the PART experiment's working-set analysis).
+    pub fn llc_set_index(&self, addr: PhysAddr) -> usize {
+        self.llc.set_index(addr.line_base())
+    }
+
+    /// The line base address for a byte address.
+    pub fn line_of(addr: PhysAddr) -> PhysAddr {
+        PhysAddr::new(addr.raw() >> LINE_SHIFT << LINE_SHIFT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system(cores: usize) -> MemSystem {
+        MemSystem::new(MemConfig::paper_base(), cores)
+    }
+
+    /// Issues an access and runs until it completes; returns total cycles.
+    fn complete(sys: &mut MemSystem, now: &mut u64, core: usize, port: Port, addr: u64, store: bool) -> u64 {
+        let start = *now;
+        let token = 42;
+        loop {
+            match sys.access(*now, core, port, token, PhysAddr::new(addr), store) {
+                L1Access::Hit { ready_at } => {
+                    while *now < ready_at {
+                        sys.tick(*now);
+                        *now += 1;
+                    }
+                    return *now - start;
+                }
+                L1Access::Miss => break,
+                L1Access::Blocked => {
+                    sys.tick(*now);
+                    *now += 1;
+                }
+            }
+        }
+        loop {
+            sys.tick(*now);
+            *now += 1;
+            let done = sys.take_completions(core, port);
+            if done.iter().any(|c| c.token == token) {
+                return *now - start;
+            }
+            assert!(*now - start < 100_000, "access never completed");
+        }
+    }
+
+    #[test]
+    fn cold_miss_then_warm_hit() {
+        let mut sys = system(1);
+        let mut now = 0;
+        let t_cold = complete(&mut sys, &mut now, 0, Port::Data, 0x1_0000, false);
+        let t_warm = complete(&mut sys, &mut now, 0, Port::Data, 0x1_0000, false);
+        assert!(t_cold > 120, "cold miss must include DRAM latency, got {t_cold}");
+        assert_eq!(t_warm, L1Config_paper_hit() as u64);
+        assert_eq!(sys.l1_stats(0, Port::Data).misses, 1);
+        assert_eq!(sys.l1_stats(0, Port::Data).hits, 1);
+    }
+
+    fn L1Config_paper_hit() -> u32 {
+        crate::config::L1Config::paper().hit_latency
+    }
+
+    #[test]
+    fn llc_hit_much_faster_than_dram() {
+        let mut sys = system(1);
+        let mut now = 0;
+        // Warm the LLC via the data port...
+        let t_cold = complete(&mut sys, &mut now, 0, Port::Data, 0x2_0000, false);
+        // ...then fetch the same line through the I-port: L1I misses but
+        // the LLC hits.
+        let t_llc = complete(&mut sys, &mut now, 0, Port::IFetch, 0x2_0000, false);
+        assert!(t_llc < t_cold / 2, "LLC hit {t_llc} vs cold {t_cold}");
+        assert!(t_llc > L1Config_paper_hit() as u64);
+    }
+
+    #[test]
+    fn store_then_load_same_line() {
+        let mut sys = system(1);
+        let mut now = 0;
+        complete(&mut sys, &mut now, 0, Port::Data, 0x3_0000, true);
+        let t = complete(&mut sys, &mut now, 0, Port::Data, 0x3_0000, false);
+        assert_eq!(t, L1Config_paper_hit() as u64);
+    }
+
+    #[test]
+    fn flush_then_refetch_misses() {
+        let mut sys = system(1);
+        let mut now = 0;
+        complete(&mut sys, &mut now, 0, Port::Data, 0x4_0000, false);
+        sys.start_flush(0);
+        while sys.flush_active(0) {
+            sys.tick(now);
+            now += 1;
+        }
+        let stats_before = sys.l1_stats(0, Port::Data);
+        let t = complete(&mut sys, &mut now, 0, Port::Data, 0x4_0000, false);
+        let stats_after = sys.l1_stats(0, Port::Data);
+        assert_eq!(stats_after.misses, stats_before.misses + 1);
+        // But the line is still in the LLC (L2 keeps de-scheduled domains'
+        // lines — Section 6.1), so no DRAM access.
+        assert!(t < 60, "refetch after flush should hit LLC, took {t}");
+    }
+
+    #[test]
+    fn flush_takes_512_cycles() {
+        let mut sys = system(1);
+        let mut now = 0;
+        complete(&mut sys, &mut now, 0, Port::Data, 0x5_0000, false);
+        sys.start_flush(0);
+        let start = now;
+        while sys.flush_active(0) {
+            sys.tick(now);
+            now += 1;
+        }
+        assert_eq!(now - start, 512, "paper Section 7.1: 512-cycle flush");
+    }
+
+    #[test]
+    fn two_cores_independent_lines() {
+        let mut sys = system(2);
+        let mut now = 0;
+        complete(&mut sys, &mut now, 0, Port::Data, 0x10_0000, true);
+        complete(&mut sys, &mut now, 1, Port::Data, 0x20_0000, true);
+        assert_eq!(sys.l1_stats(0, Port::Data).misses, 1);
+        assert_eq!(sys.l1_stats(1, Port::Data).misses, 1);
+    }
+
+    #[test]
+    fn cross_core_coherence_transfers_ownership() {
+        let mut sys = system(2);
+        let mut now = 0;
+        complete(&mut sys, &mut now, 0, Port::Data, 0x30_0000, true);
+        // Core 1 writes the same line: core 0 must be invalidated.
+        complete(&mut sys, &mut now, 1, Port::Data, 0x30_0000, true);
+        assert!(sys.l1_stats(0, Port::Data).downgrades >= 1);
+    }
+
+    #[test]
+    fn functional_memory_is_separate() {
+        let mut sys = system(1);
+        sys.phys.write_u64(PhysAddr::new(0x100), 7);
+        assert_eq!(sys.phys.read_u64(PhysAddr::new(0x100)), 7);
+        // no timing traffic was generated
+        assert_eq!(sys.l1_stats(0, Port::Data).misses, 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests for the memory hierarchy's data structures and a
+//! liveness property of the full LLC protocol under random traffic.
+
+use mi6_isa::PhysAddr;
+use mi6_mem::{
+    DelayFifo, L1Access, LlcConfig, MemConfig, MemSystem, MshrOrg, PhysMem, Port, RegionBitvec,
+    RegionId,
+};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+proptest! {
+    /// PhysMem behaves like a flat byte array (model-based).
+    #[test]
+    fn physmem_matches_model(ops in prop::collection::vec(
+        (0u64..8192, any::<u64>(), 1usize..=8, any::<bool>()), 1..200))
+    {
+        let mut mem = PhysMem::new(16384);
+        let mut model = vec![0u8; 16384];
+        for (addr, value, n, is_write) in ops {
+            let addr = addr.min(16384 - 8);
+            if is_write {
+                mem.write_bytes(PhysAddr::new(addr), value, n);
+                for i in 0..n {
+                    model[addr as usize + i] = (value >> (8 * i)) as u8;
+                }
+            } else {
+                let got = mem.read_bytes(PhysAddr::new(addr), n);
+                let mut want = 0u64;
+                for i in 0..n {
+                    want |= (model[addr as usize + i] as u64) << (8 * i);
+                }
+                prop_assert_eq!(got, want);
+            }
+        }
+    }
+
+    /// DelayFifo preserves order and never delivers early.
+    #[test]
+    fn delay_fifo_order_and_latency(
+        latency in 0u32..8,
+        pushes in prop::collection::vec(0u64..100, 1..50),
+    ) {
+        let mut fifo = DelayFifo::new(64, latency);
+        let mut model: VecDeque<(u64, u64)> = VecDeque::new();
+        let mut now = 0u64;
+        for (i, gap) in pushes.iter().enumerate() {
+            now += gap;
+            if fifo.push(now, i as u64) {
+                model.push_back((now + latency as u64, i as u64));
+            }
+            // Drain anything ready.
+            while let Some(v) = fifo.pop(now) {
+                let (ready, want) = model.pop_front().expect("model has it");
+                prop_assert!(ready <= now, "delivered {} early", v);
+                prop_assert_eq!(v, want);
+            }
+        }
+        // Drain the rest far in the future.
+        now += 1000;
+        while let Some(v) = fifo.pop(now) {
+            let (_, want) = model.pop_front().expect("model has it");
+            prop_assert_eq!(v, want);
+        }
+        prop_assert!(model.is_empty());
+    }
+
+    /// Region bitvector set operations match a HashSet model.
+    #[test]
+    fn region_bitvec_model(ops in prop::collection::vec((0u32..64, any::<bool>()), 1..100)) {
+        let mut bv = RegionBitvec::none();
+        let mut model = std::collections::HashSet::new();
+        for (r, add) in ops {
+            if add {
+                bv.allow(RegionId(r));
+                model.insert(r);
+            } else {
+                bv.deny(RegionId(r));
+                model.remove(&r);
+            }
+            prop_assert_eq!(bv.count() as usize, model.len());
+            prop_assert_eq!(bv.allows(RegionId(r)), model.contains(&r));
+        }
+    }
+}
+
+/// Liveness: every memory request eventually completes, for random access
+/// sequences, on both the Figure-2 and Figure-3 LLCs.
+fn llc_liveness(cfg: MemConfig, accesses: &[(u64, bool)]) {
+    let mut sys = MemSystem::new(cfg, 1);
+    let mut now = 0u64;
+    let mut outstanding = Vec::new();
+    let mut next_token = 0u64;
+    let mut pending: VecDeque<(u64, bool)> = accesses.iter().copied().collect();
+    let deadline = 400_000 + accesses.len() as u64 * 2_000;
+    while (!pending.is_empty() || !outstanding.is_empty()) && now < deadline {
+        if let Some(&(addr, store)) = pending.front() {
+            let token = next_token;
+            match sys.access(now, 0, Port::Data, token, PhysAddr::new(addr), store) {
+                L1Access::Hit { .. } => {
+                    pending.pop_front();
+                    next_token += 1;
+                }
+                L1Access::Miss => {
+                    pending.pop_front();
+                    outstanding.push(token);
+                    next_token += 1;
+                }
+                L1Access::Blocked => {}
+            }
+        }
+        sys.tick(now);
+        for done in sys.take_completions(0, Port::Data) {
+            outstanding.retain(|&t| t != done.token);
+        }
+        now += 1;
+    }
+    assert!(
+        pending.is_empty() && outstanding.is_empty(),
+        "requests stuck: {} pending, {} outstanding after {now} cycles",
+        pending.len(),
+        outstanding.len()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn figure2_llc_liveness(
+        raw in prop::collection::vec((0u64..(1 << 22), any::<bool>()), 1..120)
+    ) {
+        let accesses: Vec<(u64, bool)> =
+            raw.iter().map(|&(a, s)| (a & !63, s)).collect();
+        llc_liveness(MemConfig::paper_base(), &accesses);
+    }
+
+    #[test]
+    fn figure3_llc_liveness(
+        raw in prop::collection::vec((0u64..(1 << 22), any::<bool>()), 1..120)
+    ) {
+        let accesses: Vec<(u64, bool)> =
+            raw.iter().map(|&(a, s)| (a & !63, s)).collect();
+        llc_liveness(MemConfig::paper_secure(1), &accesses);
+    }
+
+    #[test]
+    fn banked_mshr_llc_liveness(
+        raw in prop::collection::vec((0u64..(1 << 22), any::<bool>()), 1..120)
+    ) {
+        let mut cfg = MemConfig::paper_base();
+        cfg.llc.mshrs = MshrOrg::Banked { total: 12, banks: 4 };
+        let accesses: Vec<(u64, bool)> =
+            raw.iter().map(|&(a, s)| (a & !63, s)).collect();
+        llc_liveness(cfg, &accesses);
+    }
+}
+
+#[test]
+fn secure_llc_config_is_figure_3() {
+    let cfg = LlcConfig::paper_secure(2, 24);
+    assert_eq!(cfg.mshrs, MshrOrg::PerCore { per_core: 6 });
+}

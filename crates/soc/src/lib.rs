@@ -1,0 +1,44 @@
+//! # mi6-soc
+//!
+//! The assembled MI6 machine: cores (`mi6-core`) plus the shared memory
+//! hierarchy (`mi6-mem`), the seven evaluation processor variants of the
+//! paper's Section 7, a tiny untrusted supervisor OS (trap handler,
+//! syscalls, timer-driven scheduler stub), and the user-program loader
+//! with real three-level page tables.
+//!
+//! Entry point: [`Machine`]. Build one with a [`MachineConfig`] naming a
+//! [`Variant`], load [`Program`]s (usually from `mi6-workloads`), and run.
+//!
+//! ```
+//! use mi6_soc::{Machine, MachineConfig, Variant};
+//! use mi6_soc::loader::Program;
+//! use mi6_isa::{Assembler, Inst, Reg};
+//!
+//! // A user program that immediately exits with status 7.
+//! let mut asm = Assembler::new(mi6_soc::loader::CODE_VA);
+//! asm.li(Reg::A0, 7);
+//! asm.li(Reg::A7, mi6_soc::kernel::sys::EXIT);
+//! asm.push(Inst::Ecall);
+//! let program = Program {
+//!     name: "exit7".into(),
+//!     code: asm.assemble().unwrap(),
+//!     data_size: 4096,
+//!     data_init: vec![],
+//!     stack_size: 4096,
+//! };
+//!
+//! let mut machine = Machine::new(MachineConfig::variant(Variant::Base, 1).without_timer());
+//! machine.load_user_program(0, &program).unwrap();
+//! let stats = machine.run_to_completion(10_000_000).unwrap();
+//! assert_eq!(machine.exit_value(0), 7);
+//! assert!(stats.core[0].committed_instructions > 0);
+//! ```
+
+pub mod kernel;
+pub mod loader;
+pub mod machine;
+pub mod variant;
+
+pub use loader::{LoadError, Program, UserImage};
+pub use machine::{Machine, MachineConfig, MachineStats, RunError};
+pub use variant::Variant;

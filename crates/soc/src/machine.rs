@@ -1,0 +1,469 @@
+//! The assembled machine: cores + memory hierarchy + toy OS.
+//!
+//! [`Machine`] is the top-level simulation object the examples, the
+//! experiment harness, and the security tests drive. It instantiates one
+//! of the evaluation [`Variant`]s, installs the machine-mode stub and the
+//! supervisor kernel, loads user programs behind per-core page tables,
+//! and ticks cores and memory in lock step until the programs exit.
+
+use crate::kernel::{self, kdata_base, KERNEL_BASE, M_STUB_BASE};
+use crate::loader::{self, FrameAllocator, LoadError, Program, UserImage};
+use crate::variant::Variant;
+use mi6_core::{Core, CoreStats};
+use mi6_isa::csr;
+use mi6_isa::{Exception, Interrupt, PhysAddr, PrivLevel};
+use mi6_mem::{L1Stats, LlcStats, MemSystem, Port, RegionBitvec, RegionId};
+use std::fmt;
+
+/// Machine construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfig {
+    /// Which evaluation variant to build.
+    pub variant: Variant,
+    /// Number of cores.
+    pub cores: usize,
+    /// Cycles between supervisor timer interrupts (0 disables the timer).
+    pub timer_interval: u64,
+}
+
+impl MachineConfig {
+    /// A machine of `cores` cores for one variant, with the default
+    /// 250k-cycle scheduler tick (calibrated so FLUSH's stall fraction
+    /// lands near the paper's 0.4 % average, Figure 6).
+    pub fn variant(variant: Variant, cores: usize) -> MachineConfig {
+        MachineConfig {
+            variant,
+            cores,
+            timer_interval: 250_000,
+        }
+    }
+
+    /// Disables timer interrupts (purely syscall-driven runs).
+    pub fn without_timer(mut self) -> MachineConfig {
+        self.timer_interval = 0;
+        self
+    }
+
+    /// Overrides the timer interval.
+    pub fn with_timer_interval(mut self, interval: u64) -> MachineConfig {
+        self.timer_interval = interval;
+        self
+    }
+}
+
+/// Error from [`Machine::run_to_completion`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// The cycle cap was reached before all cores halted.
+    Timeout {
+        /// Cycles executed.
+        cycles: u64,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Timeout { cycles } => {
+                write!(f, "machine did not halt within {cycles} cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Aggregated statistics after a run.
+#[derive(Clone, Debug, Default)]
+pub struct MachineStats {
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Per-core pipeline counters.
+    pub core: Vec<CoreStats>,
+    /// Per-core L1 instruction cache counters.
+    pub l1i: Vec<L1Stats>,
+    /// Per-core L1 data cache counters.
+    pub l1d: Vec<L1Stats>,
+    /// Shared LLC counters.
+    pub llc: LlcStats,
+    /// DRAM (reads, writes, backpressure events).
+    pub dram: (u64, u64, u64),
+}
+
+impl MachineStats {
+    /// LLC misses per thousand committed instructions on core 0
+    /// (the Figure 9 metric).
+    pub fn llc_mpki(&self) -> f64 {
+        let inst = self.core.first().map(|c| c.committed_instructions).unwrap_or(0);
+        if inst == 0 {
+            return 0.0;
+        }
+        self.llc.misses as f64 * 1000.0 / inst as f64
+    }
+
+    /// Branch MPKI on core 0 (the Figure 7 metric).
+    pub fn branch_mpki(&self) -> f64 {
+        self.core.first().map(|c| c.mispredicts_per_kinst()).unwrap_or(0.0)
+    }
+}
+
+/// Per-core spacing of the physical windows handed to user programs.
+const USER_PHYS_BASE: u64 = 0x0100_0000; // 16 MiB
+const USER_PHYS_STRIDE: u64 = 0x2000_0000; // 512 MiB per core
+const TABLE_BASE: u64 = 0x0020_0000; // 2 MiB
+const TABLE_STRIDE: u64 = 0x0010_0000; // 1 MiB of tables per core
+
+/// The simulated machine.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    cores: Vec<Core>,
+    mem: MemSystem,
+    now: u64,
+    loaded: Vec<Option<UserImage>>,
+}
+
+impl Machine {
+    /// Builds a machine for the given configuration, installing the
+    /// machine stub and kernel into physical memory.
+    pub fn new(cfg: MachineConfig) -> Machine {
+        let mem_cfg = cfg.variant.mem_config(cfg.cores);
+        Machine::with_mem_config(cfg, mem_cfg)
+    }
+
+    /// Builds a machine with an explicit memory configuration (used by
+    /// the ablation benches to toggle individual Figure-3 mechanisms
+    /// that the named variants bundle together). Core structure and
+    /// security settings still come from `cfg.variant`.
+    pub fn with_mem_config(cfg: MachineConfig, mem_cfg: mi6_mem::MemConfig) -> Machine {
+        assert!(cfg.cores >= 1);
+        let mut mem = MemSystem::new(mem_cfg, cfg.cores);
+        mem.phys
+            .load_words(PhysAddr::new(M_STUB_BASE), &kernel::build_m_stub());
+        let interval = if cfg.timer_interval == 0 {
+            u64::MAX / 2
+        } else {
+            cfg.timer_interval
+        };
+        mem.phys
+            .load_words(PhysAddr::new(KERNEL_BASE), &kernel::build_kernel(interval));
+        let cores = (0..cfg.cores)
+            .map(|i| Core::new(i, cfg.variant.core_config(), cfg.variant.security_config()))
+            .collect();
+        Machine {
+            cfg,
+            cores,
+            mem,
+            now: 0,
+            loaded: vec![None; cfg.cores],
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Access to a core (e.g. for CSR inspection in tests).
+    pub fn core(&self, i: usize) -> &Core {
+        &self.cores[i]
+    }
+
+    /// Mutable access to a core.
+    pub fn core_mut(&mut self, i: usize) -> &mut Core {
+        &mut self.cores[i]
+    }
+
+    /// Access to the memory system.
+    pub fn mem(&self) -> &MemSystem {
+        &self.mem
+    }
+
+    /// Mutable access to the memory system.
+    pub fn mem_mut(&mut self) -> &mut MemSystem {
+        &mut self.mem
+    }
+
+    /// The physical window `[base, limit)` used for core `i`'s user pages.
+    pub fn user_phys_window(core: usize) -> (u64, u64) {
+        let base = USER_PHYS_BASE + core as u64 * USER_PHYS_STRIDE;
+        (base, base + USER_PHYS_STRIDE - USER_PHYS_BASE)
+    }
+
+    /// Loads a user program onto core `i` (the toy OS's `execve`) and
+    /// points the core at its entry in user mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadError`] if the program exceeds the core's physical
+    /// window or page-table space.
+    pub fn load_user_program(&mut self, i: usize, program: &Program) -> Result<(), LoadError> {
+        let (phys_base, phys_limit) = Machine::user_phys_window(i);
+        let mut frames = FrameAllocator::new(phys_base, phys_limit - phys_base);
+        let image = loader::load_program(
+            &mut self.mem.phys,
+            program,
+            TABLE_BASE + i as u64 * TABLE_STRIDE,
+            TABLE_STRIDE,
+            &mut frames,
+            &kernel::kernel_pages(self.cfg.cores),
+        )?;
+        let interval = self.cfg.timer_interval;
+        let core = &mut self.cores[i];
+        core.csrs = mi6_isa::csr::CsrFile::new();
+        core.csrs.satp = image.satp;
+        core.csrs.stvec = KERNEL_BASE;
+        core.csrs.mtvec = M_STUB_BASE;
+        core.csrs.sscratch = kdata_base(i);
+        // Delegate user-visible traps and the supervisor timer to S-mode.
+        core.csrs.medeleg = (1 << Exception::EcallFromUser.code())
+            | (1 << Exception::Breakpoint.code())
+            | (1 << Exception::InstPageFault.code())
+            | (1 << Exception::LoadPageFault.code())
+            | (1 << Exception::StorePageFault.code())
+            | (1 << Exception::LoadMisaligned.code())
+            | (1 << Exception::StoreMisaligned.code())
+            | (1 << Exception::InstMisaligned.code());
+        core.csrs.mideleg = 1 << Interrupt::SupervisorTimer.code();
+        core.csrs.mie = 1 << Interrupt::SupervisorTimer.code();
+        core.csrs.stimecmp = if interval == 0 { u64::MAX } else { self.now + interval };
+        // MI6 hardware state: region bitvector and monitor fetch window.
+        if core.security().region_checks {
+            let map = self.mem.region_map();
+            let mut bv = RegionBitvec::none();
+            // Kernel + tables live below USER_PHYS_BASE: region 0.
+            bv.allow(RegionId(0));
+            let mut pa = phys_base;
+            while pa < image.phys_end.max(phys_base + 1) {
+                bv.allow(map.region_of(PhysAddr::new(pa)));
+                pa += map.region_bytes();
+            }
+            bv.allow(map.region_of(PhysAddr::new(image.phys_end.saturating_sub(1))));
+            core.csrs.mregions = bv.0;
+        }
+        if core.security().machine_mode_guard {
+            core.csrs.mfetchbase = M_STUB_BASE;
+            core.csrs.mfetchbound = KERNEL_BASE; // the stub only
+        }
+        core.regs = [0; 32];
+        core.regs[mi6_isa::Reg::SP.index() as usize] = image.sp;
+        core.halted = false;
+        core.reset_to(image.entry, PrivLevel::User);
+        self.loaded[i] = Some(image);
+        Ok(())
+    }
+
+    /// The image loaded on core `i`, if any.
+    pub fn image(&self, i: usize) -> Option<&UserImage> {
+        self.loaded[i].as_ref()
+    }
+
+    /// Advances the whole machine one cycle.
+    pub fn tick(&mut self) {
+        for core in &mut self.cores {
+            core.tick(self.now, &mut self.mem);
+        }
+        self.mem.tick(self.now);
+        self.now += 1;
+    }
+
+    /// Runs for `cycles` cycles (or until every core halts).
+    pub fn run_cycles(&mut self, cycles: u64) {
+        let end = self.now + cycles;
+        while self.now < end && !self.all_halted() {
+            self.tick();
+        }
+    }
+
+    /// Whether every core has halted.
+    pub fn all_halted(&self) -> bool {
+        self.cores.iter().all(|c| c.halted)
+    }
+
+    /// Runs until every core halts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Timeout`] if the machine has not halted after
+    /// `max_cycles`.
+    pub fn run_to_completion(&mut self, max_cycles: u64) -> Result<MachineStats, RunError> {
+        let end = self.now + max_cycles;
+        while !self.all_halted() {
+            if self.now >= end {
+                return Err(RunError::Timeout { cycles: max_cycles });
+            }
+            self.tick();
+        }
+        Ok(self.stats())
+    }
+
+    /// Snapshot of all statistics.
+    pub fn stats(&self) -> MachineStats {
+        MachineStats {
+            cycles: self.now,
+            core: self.cores.iter().map(|c| c.stats).collect(),
+            l1i: (0..self.cfg.cores)
+                .map(|i| self.mem.l1_stats(i, Port::IFetch))
+                .collect(),
+            l1d: (0..self.cfg.cores)
+                .map(|i| self.mem.l1_stats(i, Port::Data))
+                .collect(),
+            llc: self.mem.llc_stats(),
+            dram: self.mem.dram_stats(),
+        }
+    }
+
+    /// Reads a u64 from a user virtual address of core `i`'s address
+    /// space (test aid; software page walk).
+    pub fn read_user_u64(&self, i: usize, va: u64) -> Option<u64> {
+        let image = self.loaded[i].as_ref()?;
+        let aspace = crate::loader::AddressSpace::probe(image.satp);
+        let pa = aspace.translate(&self.mem.phys, va)?;
+        Some(self.mem.phys.read_u64(PhysAddr::new(pa)))
+    }
+
+    /// The exit register (`a0`) of core `i` at halt.
+    pub fn exit_value(&self, i: usize) -> u64 {
+        // a0 is saved in the kernel save area on the final ecall.
+        self.mem
+            .phys
+            .read_u64(PhysAddr::new(kdata_base(i) + 10 * 8))
+    }
+
+    /// Number of supervisor-level CSR traps core `i`'s kernel absorbed
+    /// (from the core's own counter).
+    pub fn traps(&self, i: usize) -> u64 {
+        self.cores[i].stats.traps
+    }
+
+    /// Internal-use accessor for the monitor crate: the CSR file of core
+    /// `i`.
+    pub fn csrs_mut(&mut self, i: usize) -> &mut mi6_isa::csr::CsrFile {
+        let _ = csr::MSTATUS; // keep the import local and explicit
+        &mut self.cores[i].csrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::{Program, DATA_VA};
+    use mi6_isa::{Assembler, Inst, Reg};
+
+    /// A user program: writes a value to data, "prints", and exits.
+    fn hello_program(syscalls: u64) -> Program {
+        let mut asm = Assembler::new(loader::CODE_VA);
+        asm.li(Reg::S0, DATA_VA);
+        asm.li(Reg::A0, 0x1234_5678);
+        asm.push(Inst::sd(Reg::A0, Reg::S0, 0));
+        asm.li(Reg::S1, syscalls);
+        let loop_top = asm.here();
+        asm.li(Reg::A7, kernel::sys::PRINT);
+        asm.push(Inst::Ecall);
+        asm.push(Inst::addi(Reg::S1, Reg::S1, -1));
+        asm.bnez(Reg::S1, loop_top);
+        asm.li(Reg::A0, 42);
+        asm.li(Reg::A7, kernel::sys::EXIT);
+        asm.push(Inst::Ecall);
+        Program {
+            name: "hello".into(),
+            code: asm.assemble().expect("assembles"),
+            data_size: 4096,
+            data_init: vec![],
+            stack_size: 8192,
+        }
+    }
+
+    #[test]
+    fn user_program_runs_and_exits() {
+        let mut m = Machine::new(MachineConfig::variant(Variant::Base, 1).without_timer());
+        m.load_user_program(0, &hello_program(3)).unwrap();
+        let stats = m.run_to_completion(10_000_000).unwrap();
+        assert!(m.all_halted());
+        assert_eq!(m.exit_value(0), 42);
+        // 3 print syscalls + 1 exit = 4 user traps, plus the S->M escalation.
+        assert!(stats.core[0].traps >= 5, "traps {}", stats.core[0].traps);
+        assert_eq!(m.read_user_u64(0, DATA_VA), Some(0x1234_5678));
+        // Virtual memory was really used: page walks happened.
+        assert!(stats.core[0].page_walks > 0);
+    }
+
+    #[test]
+    fn timer_preempts_user_code() {
+        let mut m = Machine::new(
+            MachineConfig::variant(Variant::Base, 1).with_timer_interval(5_000),
+        );
+        // Program spins for a while before exiting.
+        let mut asm = Assembler::new(loader::CODE_VA);
+        asm.li(Reg::S1, 60_000);
+        let top = asm.here();
+        asm.push(Inst::addi(Reg::S1, Reg::S1, -1));
+        asm.bnez(Reg::S1, top);
+        asm.li(Reg::A7, kernel::sys::EXIT);
+        asm.push(Inst::Ecall);
+        let program = Program {
+            name: "spin".into(),
+            code: asm.assemble().expect("assembles"),
+            data_size: 4096,
+            data_init: vec![],
+            stack_size: 4096,
+        };
+        m.load_user_program(0, &program).unwrap();
+        let stats = m.run_to_completion(10_000_000).unwrap();
+        // The spin takes > 30k cycles, so several timer ticks landed.
+        assert!(
+            stats.core[0].traps >= 4,
+            "expected timer traps, got {}",
+            stats.core[0].traps
+        );
+        assert!(stats.core[0].trap_returns >= 3);
+    }
+
+    #[test]
+    fn flush_variant_runs_slower_with_traps() {
+        let run = |variant: Variant| -> u64 {
+            let mut m =
+                Machine::new(MachineConfig::variant(variant, 1).with_timer_interval(20_000));
+            m.load_user_program(0, &hello_program(10)).unwrap();
+            m.run_to_completion(50_000_000).unwrap().cycles
+        };
+        let base = run(Variant::Base);
+        let flush = run(Variant::Flush);
+        assert!(
+            flush > base + 10 * 512,
+            "flush {flush} vs base {base}"
+        );
+    }
+
+    #[test]
+    fn two_cores_run_disjoint_programs() {
+        let mut m = Machine::new(MachineConfig::variant(Variant::Base, 2).without_timer());
+        m.load_user_program(0, &hello_program(2)).unwrap();
+        m.load_user_program(1, &hello_program(2)).unwrap();
+        let stats = m.run_to_completion(20_000_000).unwrap();
+        assert!(m.all_halted());
+        assert!(stats.core[0].committed_instructions > 0);
+        assert!(stats.core[1].committed_instructions > 0);
+        // Disjoint physical windows.
+        let (b0, l0) = Machine::user_phys_window(0);
+        let (b1, _) = Machine::user_phys_window(1);
+        assert!(l0 <= b1 && b0 < b1);
+    }
+
+    #[test]
+    fn secure_variant_sets_region_bitvec() {
+        let mut m = Machine::new(MachineConfig::variant(Variant::SecureMi6, 1).without_timer());
+        m.load_user_program(0, &hello_program(1)).unwrap();
+        let bv = RegionBitvec(m.core(0).csrs.mregions);
+        assert!(bv.allows(RegionId(0)), "kernel region");
+        assert!(bv.count() < 64, "not everything allowed");
+        let stats = m.run_to_completion(20_000_000).unwrap();
+        assert_eq!(stats.core[0].region_faults, 0, "no spurious faults");
+        assert!(m.all_halted());
+    }
+}

@@ -1,0 +1,185 @@
+//! The seven evaluation processor variants (paper Section 7).
+//!
+//! | variant | what it adds on BASE | evaluated in |
+//! |---|---|---|
+//! | BASE | nothing (insecure RiscyOO) | all figures |
+//! | FLUSH | scrub per-core state on every trap/return | Figures 5–7 |
+//! | PART | LLC set partitioning (`{R[1:0], A[7:0]}` index) | Figures 8–9 |
+//! | MISS | 12 LLC MSHRs in 4 banks | Figure 10 |
+//! | ARB | +8 cycles LLC pipeline latency | Figure 11 |
+//! | NONSPEC | memory instructions rename only on empty ROB | Figure 12 |
+//! | F+P+M+A | FLUSH + PART + MISS + ARB | Figure 13 |
+//!
+//! [`Variant::SecureMi6`] additionally enables the *real* multi-core MI6
+//! LLC (Figure 3: round-robin arbiter, split UQs, duplicated Downgrade-L1,
+//! retry-bit DQ, per-core MSHR partitions) plus the machine-mode
+//! speculation guard and DRAM-region checks — the configuration the
+//! security tests use to demonstrate non-interference.
+
+use mi6_core::{CoreConfig, SecurityConfig};
+use mi6_mem::{LlcIndexing, MemConfig, MshrOrg};
+use std::fmt;
+
+/// One of the paper's processor configurations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Insecure baseline RiscyOO.
+    Base,
+    /// Flush per-core microarchitectural state on every trap and return.
+    Flush,
+    /// LLC set partitioning.
+    Part,
+    /// LLC MSHR partitioning and sizing (12 entries, 4 banks).
+    Miss,
+    /// LLC pipeline + 8 cycles (round-robin arbiter latency model).
+    Arb,
+    /// Non-speculative memory instructions everywhere.
+    NonSpec,
+    /// FLUSH + PART + MISS + ARB (the enclave-overhead configuration).
+    Fpma,
+    /// Full MI6 with the Figure-3 LLC and all guards.
+    SecureMi6,
+}
+
+impl Variant {
+    /// All evaluation variants, in paper order.
+    pub const ALL: [Variant; 8] = [
+        Variant::Base,
+        Variant::Flush,
+        Variant::Part,
+        Variant::Miss,
+        Variant::Arb,
+        Variant::NonSpec,
+        Variant::Fpma,
+        Variant::SecureMi6,
+    ];
+
+    /// The memory configuration for this variant with `cores` cores.
+    pub fn mem_config(self, cores: usize) -> MemConfig {
+        let mut cfg = MemConfig::paper_base();
+        match self {
+            Variant::Base | Variant::Flush | Variant::NonSpec => {}
+            Variant::Part => {
+                cfg.llc.indexing = LlcIndexing::Partitioned { region_bits: 2 };
+            }
+            Variant::Miss => {
+                cfg.llc.mshrs = MshrOrg::Banked { total: 12, banks: 4 };
+            }
+            Variant::Arb => {
+                cfg.llc.pipeline_latency += 8;
+            }
+            Variant::Fpma => {
+                cfg.llc.indexing = LlcIndexing::Partitioned { region_bits: 2 };
+                cfg.llc.mshrs = MshrOrg::Banked { total: 12, banks: 4 };
+                cfg.llc.pipeline_latency += 8;
+            }
+            Variant::SecureMi6 => {
+                cfg = MemConfig::paper_secure(cores);
+            }
+        }
+        cfg
+    }
+
+    /// The core security configuration for this variant.
+    pub fn security_config(self) -> SecurityConfig {
+        match self {
+            Variant::Base | Variant::Part | Variant::Miss | Variant::Arb => {
+                SecurityConfig::insecure()
+            }
+            Variant::Flush | Variant::Fpma => SecurityConfig {
+                flush_on_trap: true,
+                ..SecurityConfig::insecure()
+            },
+            Variant::NonSpec => SecurityConfig {
+                nonspec_all_modes: true,
+                ..SecurityConfig::insecure()
+            },
+            Variant::SecureMi6 => SecurityConfig::mi6(),
+        }
+    }
+
+    /// The core structural configuration (identical across variants).
+    pub fn core_config(self) -> CoreConfig {
+        CoreConfig::paper()
+    }
+
+    /// The paper's name for this variant.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Base => "BASE",
+            Variant::Flush => "FLUSH",
+            Variant::Part => "PART",
+            Variant::Miss => "MISS",
+            Variant::Arb => "ARB",
+            Variant::NonSpec => "NONSPEC",
+            Variant::Fpma => "F+P+M+A",
+            Variant::SecureMi6 => "MI6",
+        }
+    }
+}
+
+impl fmt::Display for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mi6_mem::LlcConfig;
+
+    #[test]
+    fn base_is_paper_base() {
+        assert_eq!(Variant::Base.mem_config(1), MemConfig::paper_base());
+        assert_eq!(
+            Variant::Base.security_config(),
+            SecurityConfig::insecure()
+        );
+    }
+
+    #[test]
+    fn arb_adds_eight_cycles() {
+        let base = LlcConfig::paper_base().pipeline_latency;
+        assert_eq!(
+            Variant::Arb.mem_config(1).llc.pipeline_latency,
+            base + 8
+        );
+    }
+
+    #[test]
+    fn miss_banks_mshrs() {
+        assert_eq!(
+            Variant::Miss.mem_config(1).llc.mshrs,
+            MshrOrg::Banked { total: 12, banks: 4 }
+        );
+    }
+
+    #[test]
+    fn fpma_combines_all() {
+        let cfg = Variant::Fpma.mem_config(1);
+        assert_eq!(cfg.llc.indexing, LlcIndexing::Partitioned { region_bits: 2 });
+        assert_eq!(cfg.llc.mshrs, MshrOrg::Banked { total: 12, banks: 4 });
+        assert_eq!(
+            cfg.llc.pipeline_latency,
+            LlcConfig::paper_base().pipeline_latency + 8
+        );
+        assert!(Variant::Fpma.security_config().flush_on_trap);
+        assert!(!Variant::Fpma.security_config().nonspec_all_modes);
+    }
+
+    #[test]
+    fn secure_uses_figure_3_llc() {
+        let cfg = Variant::SecureMi6.mem_config(2);
+        assert_eq!(cfg, MemConfig::paper_secure(2));
+        let sec = Variant::SecureMi6.security_config();
+        assert!(sec.machine_mode_guard && sec.region_checks);
+    }
+
+    #[test]
+    fn names_unique() {
+        let names: std::collections::HashSet<_> =
+            Variant::ALL.iter().map(|v| v.name()).collect();
+        assert_eq!(names.len(), Variant::ALL.len());
+    }
+}

@@ -1,0 +1,26 @@
+//! Quickstart: build a BASE machine, run a SPEC-shaped workload under the
+//! toy OS, and print the counters the paper's evaluation is built from.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use mi6::soc::{Machine, MachineConfig, Variant};
+use mi6::workloads::{Workload, WorkloadParams};
+
+fn main() {
+    let mut machine = Machine::new(MachineConfig::variant(Variant::Base, 1));
+    let program = Workload::Bzip2.build(&WorkloadParams::tiny().with_target_kinsts(200));
+    machine.load_user_program(0, &program).expect("load");
+    let stats = machine.run_to_completion(200_000_000).expect("run");
+
+    let core = &stats.core[0];
+    println!("workload          : {}", program.name);
+    println!("cycles            : {}", stats.cycles);
+    println!("instructions      : {}", core.committed_instructions);
+    println!("IPC               : {:.3}", core.ipc());
+    println!("branch MPKI       : {:.1}", core.mispredicts_per_kinst());
+    println!("LLC MPKI          : {:.1}", stats.llc_mpki());
+    println!("L1D hits/misses   : {}/{}", stats.l1d[0].hits, stats.l1d[0].misses);
+    println!("page walks        : {}", core.page_walks);
+    println!("traps (OS)        : {}", core.traps);
+    println!("DRAM reads/writes : {}/{}", stats.dram.0, stats.dram.1);
+}

@@ -1,0 +1,41 @@
+//! Run any SPEC-shaped workload on any processor variant.
+//!
+//! Usage: `cargo run --release --example spec_workload -- <workload> <variant> [kinsts]`
+//! e.g.   `cargo run --release --example spec_workload -- astar flush 500`
+
+use mi6::soc::{Machine, MachineConfig, Variant};
+use mi6::workloads::{Workload, WorkloadParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let wname = args.get(1).map(String::as_str).unwrap_or("bzip2");
+    let vname = args.get(2).map(String::as_str).unwrap_or("base");
+    let kinsts: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(300);
+
+    let workload = Workload::ALL
+        .into_iter()
+        .find(|w| w.name() == wname)
+        .unwrap_or_else(|| panic!("unknown workload `{wname}`; one of: {:?}",
+            Workload::ALL.map(|w| w.name())));
+    let variant = match vname.to_ascii_lowercase().as_str() {
+        "base" => Variant::Base,
+        "flush" => Variant::Flush,
+        "part" => Variant::Part,
+        "miss" => Variant::Miss,
+        "arb" => Variant::Arb,
+        "nonspec" => Variant::NonSpec,
+        "fpma" | "f+p+m+a" => Variant::Fpma,
+        "mi6" | "secure" => Variant::SecureMi6,
+        other => panic!("unknown variant `{other}`"),
+    };
+
+    let mut machine = Machine::new(MachineConfig::variant(variant, 1));
+    let params = WorkloadParams::evaluation().with_target_kinsts(kinsts);
+    machine.load_user_program(0, &workload.build(&params)).expect("load");
+    let stats = machine.run_to_completion(4_000_000_000).expect("run");
+    let core = &stats.core[0];
+    println!("{workload} on {variant}: {} cycles, {} inst, IPC {:.3}, branch MPKI {:.1}, LLC MPKI {:.1}, {} traps, {} flush-stall cycles",
+        stats.cycles, core.committed_instructions, core.ipc(),
+        core.mispredicts_per_kinst(), stats.llc_mpki(), core.traps,
+        core.flush_stall_cycles);
+}

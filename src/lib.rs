@@ -1,0 +1,42 @@
+//! # mi6 — a reproduction of *MI6: Secure Enclaves in a Speculative
+//! Out-of-Order Processor* (MICRO 2019)
+//!
+//! This facade crate re-exports the whole reproduction:
+//!
+//! - [`isa`] — the RISC-V-inspired ISA, assembler, CSRs, paging, and the
+//!   paper's `purge` instruction.
+//! - [`mem`] — the memory hierarchy: L1 caches, the RiscyOO last-level cache
+//!   with its Figure-2 internals, the MI6 Figure-3 strong-isolation LLC,
+//!   MSI coherence, and the constant-latency DRAM controller.
+//! - [`core`] — the cycle-level speculative out-of-order core (Figure 4
+//!   configuration) with MI6's hardware modifications.
+//! - [`soc`] — the multi-core SoC, the seven evaluation processor variants
+//!   (BASE / FLUSH / PART / MISS / ARB / NONSPEC / F+P+M+A), the toy
+//!   untrusted OS, and the program loader.
+//! - [`monitor`] — the security monitor: enclave lifecycle, DRAM-region
+//!   allocation, mailboxes, the privileged memcopy, and measurement.
+//! - [`workloads`] — eleven SPEC-CINT2006-shaped synthetic workloads.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mi6::soc::{Machine, MachineConfig, Variant};
+//! use mi6::workloads::{Workload, WorkloadParams};
+//!
+//! // Build a single-core BASE machine and run a tiny workload to completion.
+//! let mut machine = Machine::new(MachineConfig::variant(Variant::Base, 1));
+//! let program = Workload::Bzip2.build(&WorkloadParams::tiny());
+//! machine.load_user_program(0, &program).unwrap();
+//! let stats = machine.run_to_completion(50_000_000).unwrap();
+//! assert!(stats.core[0].committed_instructions > 0);
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured numbers of every figure.
+
+pub use mi6_core as core;
+pub use mi6_isa as isa;
+pub use mi6_mem as mem;
+pub use mi6_monitor as monitor;
+pub use mi6_soc as soc;
+pub use mi6_workloads as workloads;

@@ -1,0 +1,54 @@
+//! End-to-end: a SPEC-shaped workload running *as an enclave* under the
+//! security monitor on the full MI6 machine, coexisting with an ordinary
+//! OS process on the other core (the paper's deployment model).
+
+use mi6::mem::{RegionBitvec, RegionId};
+use mi6::monitor::{EnclaveState, SecurityMonitor};
+use mi6::soc::{Machine, MachineConfig, Variant};
+use mi6::workloads::{Workload, WorkloadParams};
+
+#[test]
+fn workload_runs_as_enclave() {
+    let mut m = Machine::new(MachineConfig::variant(Variant::SecureMi6, 2).without_timer());
+    let mut monitor = SecurityMonitor::new(&m);
+    // hmmer as the enclave payload (stream fits in one region). Its
+    // syscalls: none; it exits via ecall -> monitor.
+    let program = Workload::Hmmer.build(&WorkloadParams::tiny().with_target_kinsts(20));
+    let id = monitor
+        .create_enclave(&mut m, &program, &[RegionId(9)])
+        .expect("create");
+    // An ordinary OS process occupies core 1 meanwhile.
+    m.load_user_program(1, &Workload::Bzip2.build(&WorkloadParams::tiny().with_target_kinsts(20)))
+        .expect("os process");
+    monitor.schedule(&mut m, 0, id).expect("schedule");
+    // The enclave's region bitvector excludes the OS region.
+    let bv = RegionBitvec(m.core(0).csrs.mregions);
+    assert!(bv.allows(RegionId(9)));
+    assert!(!bv.allows(RegionId(0)));
+    let stats = m.run_to_completion(400_000_000).expect("both finish");
+    assert!(stats.core[0].committed_instructions > 10_000);
+    assert!(stats.core[1].committed_instructions > 10_000);
+    // No region faults: the enclave stayed inside its allocation.
+    assert_eq!(stats.core[0].region_faults, 0);
+    monitor.deschedule(&mut m, id).expect("deschedule");
+    assert_eq!(monitor.enclave_state(id).unwrap(), EnclaveState::Stopped);
+    monitor.destroy(&mut m, id).expect("destroy");
+    assert!(monitor.check_invariants());
+}
+
+#[test]
+fn attestation_is_reproducible_across_machines() {
+    let build = || {
+        let mut m = Machine::new(MachineConfig::variant(Variant::SecureMi6, 1).without_timer());
+        let mut monitor = SecurityMonitor::new(&m);
+        let program = Workload::Hmmer.build(&WorkloadParams::tiny());
+        let id = monitor
+            .create_enclave(&mut m, &program, &[RegionId(9)])
+            .unwrap();
+        monitor.attest(id).unwrap()
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(a.measurement, b.measurement);
+    assert_eq!(a.signature, b.signature);
+}

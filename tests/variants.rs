@@ -1,0 +1,63 @@
+//! Smoke tests: every evaluation variant runs a workload to completion,
+//! and the gross performance ordering matches the paper.
+
+use mi6::soc::{Machine, MachineConfig, Variant};
+use mi6::workloads::{Workload, WorkloadParams};
+
+fn run(variant: Variant, w: Workload, kinsts: u64) -> mi6::soc::MachineStats {
+    let mut m = Machine::new(MachineConfig::variant(variant, 1).with_timer_interval(50_000));
+    m.load_user_program(0, &w.build(&WorkloadParams::tiny().with_target_kinsts(kinsts)))
+        .unwrap();
+    m.run_to_completion(300_000_000).unwrap()
+}
+
+#[test]
+fn every_variant_completes() {
+    for v in Variant::ALL {
+        let stats = run(v, Workload::Bzip2, 30);
+        assert!(
+            stats.core[0].committed_instructions > 10_000,
+            "{v}: {} inst",
+            stats.core[0].committed_instructions
+        );
+    }
+}
+
+#[test]
+fn nonspec_is_slowest() {
+    let base = run(Variant::Base, Workload::H264ref, 40).cycles;
+    let nonspec = run(Variant::NonSpec, Workload::H264ref, 40).cycles;
+    assert!(
+        nonspec > base * 2,
+        "NONSPEC {nonspec} should be >2x BASE {base} on ILP-heavy code"
+    );
+}
+
+#[test]
+fn fpma_no_faster_than_base() {
+    let base = run(Variant::Base, Workload::Gcc, 40).cycles;
+    let fpma = run(Variant::Fpma, Workload::Gcc, 40).cycles;
+    assert!(fpma > base, "F+P+M+A {fpma} vs BASE {base}");
+}
+
+#[test]
+fn flush_overhead_scales_with_trap_rate() {
+    // More timer traps -> more flush overhead.
+    let run_timer = |interval: u64| {
+        let mut m =
+            Machine::new(MachineConfig::variant(Variant::Flush, 1).with_timer_interval(interval));
+        m.load_user_program(
+            0,
+            &Workload::Sjeng.build(&WorkloadParams::tiny().with_target_kinsts(40)),
+        )
+        .unwrap();
+        let stats = m.run_to_completion(300_000_000).unwrap();
+        stats.core[0].flush_stall_cycles as f64 / stats.cycles as f64
+    };
+    let frequent = run_timer(20_000);
+    let rare = run_timer(200_000);
+    assert!(
+        frequent > rare,
+        "stall fraction should grow with trap rate: {frequent} vs {rare}"
+    );
+}
