@@ -1,56 +1,55 @@
-//! Ablations of the Figure-3 LLC mechanisms (DESIGN.md section 6).
+//! Ablations of the Figure-3 LLC mechanisms (DESIGN.md).
 //!
-//! Each bench simulates the same workload under one toggled mechanism;
-//! Criterion measures host wall time, which is proportional to simulated
-//! cycles, and the simulated cycle counts are printed once per
-//! configuration so the ablation can be read directly.
+//! Each configuration simulates the same workload with one mechanism
+//! toggled; the simulated cycle count is the ablation readout, and host
+//! wall time (printed by the harness) is proportional to it. Run with
+//! `cargo bench -p mi6-bench --bench ablations`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mi6_bench::microbench::bench_n;
 use mi6_mem::{DowngradeOrg, DqOrg, MemConfig, MshrOrg, UqOrg};
-use mi6_soc::{Machine, MachineConfig, Variant};
+use mi6_soc::SimBuilder;
 use mi6_workloads::{Workload, WorkloadParams};
 
 fn simulate(mem_cfg: MemConfig, label: &str) -> u64 {
-    let cfg = MachineConfig::variant(Variant::Base, 1).without_timer();
-    let mut machine = Machine::with_mem_config(cfg, mem_cfg);
-    let program = Workload::Bzip2.build(&WorkloadParams::tiny().with_target_kinsts(20));
-    machine.load_user_program(0, &program).expect("load");
+    let mut machine = SimBuilder::base()
+        .without_timer()
+        .mem_config(mem_cfg)
+        .workload(
+            0,
+            Workload::Bzip2.build(&WorkloadParams::tiny().with_target_kinsts(20)),
+        )
+        .build()
+        .expect("build");
     let stats = machine.run_to_completion(50_000_000).expect("run");
     eprintln!("ablation[{label}]: {} simulated cycles", stats.cycles);
     stats.cycles
 }
 
-fn bench_ablation(c: &mut Criterion, name: &'static str, mem_cfg: MemConfig) {
-    // Print the simulated-cycle number once.
-    simulate(mem_cfg, name);
-    c.bench_function(name, |b| {
-        b.iter_batched(
-            || mem_cfg,
-            |cfg| simulate(cfg, name),
-            BatchSize::PerIteration,
-        )
+fn bench_ablation(name: &'static str, mem_cfg: MemConfig) {
+    bench_n(name, 3, || {
+        simulate(mem_cfg, name);
     });
 }
 
-fn ablations(c: &mut Criterion) {
+fn main() {
     let base = MemConfig::paper_base();
-    bench_ablation(c, "llc baseline (fig2)", base);
+    bench_ablation("llc baseline (fig2)", base);
 
     // Split UQ vs shared UQ (paper: zero overhead).
     let mut split_uq = base;
     split_uq.llc.uq = UqOrg::PerCore;
-    bench_ablation(c, "llc split UQ", split_uq);
+    bench_ablation("llc split UQ", split_uq);
 
     // Duplicated vs single Downgrade-L1 (paper: zero overhead).
     let mut dup_dg = base;
     dup_dg.llc.downgrade = DowngradeOrg::PerPartition;
     dup_dg.llc.mshrs = MshrOrg::PerCore { per_core: 12 };
-    bench_ablation(c, "llc duplicated downgrade", dup_dg);
+    bench_ablation("llc duplicated downgrade", dup_dg);
 
     // DQ retry bit vs two-cycle dequeue (paper: negligible).
     let mut retry = base;
     retry.llc.dq = DqOrg::RetryBit;
-    bench_ablation(c, "llc DQ retry bit", retry);
+    bench_ablation("llc DQ retry bit", retry);
 
     // Arbiter latency as a function of core count (paper Sec 5.4.4:
     // average extra latency is N/2 cycles).
@@ -58,7 +57,6 @@ fn ablations(c: &mut Criterion) {
         let mut arb = base;
         arb.llc.pipeline_latency += n / 2;
         bench_ablation(
-            c,
             match n {
                 2 => "llc arbiter 2 cores (+1 cycle)",
                 4 => "llc arbiter 4 cores (+2 cycles)",
@@ -68,10 +66,3 @@ fn ablations(c: &mut Criterion) {
         );
     }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = ablations
-}
-criterion_main!(benches);

@@ -1,80 +1,70 @@
 //! Component microbenches: throughput of the simulator's hot structures.
+//!
+//! Dependency-free harness (`harness = false`): each bench runs its
+//! closure in timed batches and reports ns/iter. Run with
+//! `cargo bench -p mi6-bench --bench components`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mi6_bench::microbench::{bench, black_box};
 use mi6_core::{Btb, Tournament};
 use mi6_isa::{decode, encode, Inst, PhysAddr, Reg};
-use mi6_mem::{DramConfig, LlcConfig, Llc, RegionMap};
+use mi6_mem::{DramConfig, Llc, LlcConfig, RegionMap};
 use mi6_monitor::sha256;
 
-fn bench_predictor(c: &mut Criterion) {
+fn bench_predictor() {
     let mut t = Tournament::new();
-    c.bench_function("tournament predict+update", |b| {
-        let mut pc = 0x1000u64;
-        b.iter(|| {
-            let p = t.predict(black_box(pc));
-            t.speculate(p.taken);
-            t.update(pc, p, pc % 3 == 0);
-            pc = pc.wrapping_add(4) & 0xffff;
-        })
+    let mut pc = 0x1000u64;
+    bench("tournament predict+update", || {
+        let p = t.predict(black_box(pc));
+        t.speculate(p.taken);
+        t.update(pc, p, pc.is_multiple_of(3));
+        pc = pc.wrapping_add(4) & 0xffff;
     });
 }
 
-fn bench_btb(c: &mut Criterion) {
+fn bench_btb() {
     let mut btb = Btb::new(256);
     for i in 0..256u64 {
         btb.update(0x1000 + i * 4, 0x2000 + i * 8);
     }
-    c.bench_function("btb lookup", |b| {
-        let mut pc = 0x1000u64;
-        b.iter(|| {
-            black_box(btb.lookup(black_box(pc)));
-            pc = 0x1000 + ((pc + 4) & 0x3ff);
-        })
+    let mut pc = 0x1000u64;
+    bench("btb lookup", || {
+        black_box(btb.lookup(black_box(pc)));
+        pc = 0x1000 + (pc + 4) % (256 * 4);
     });
 }
 
-fn bench_encode_decode(c: &mut Criterion) {
-    let inst = Inst::Load {
-        rd: Reg::A0,
-        rs1: Reg::SP,
-        off: -64,
-        width: mi6_isa::MemWidth::D,
-        signed: true,
-    };
-    c.bench_function("encode+decode round trip", |b| {
-        b.iter(|| {
-            let w = encode(black_box(inst)).unwrap();
-            black_box(decode(w).unwrap())
-        })
+fn bench_encode_decode() {
+    let inst = Inst::addi(Reg::A0, Reg::A1, 42);
+    bench("encode+decode addi", || {
+        let w = encode(black_box(inst)).expect("encodes");
+        black_box(decode(black_box(w)).expect("decodes"));
     });
 }
 
-fn bench_llc_index(c: &mut Criterion) {
-    let secure = LlcConfig::paper_secure(4, 24);
-    let llc = Llc::new(secure, 4, RegionMap::new(&DramConfig::paper()));
-    c.bench_function("partitioned llc set_index", |b| {
-        let mut addr = 0u64;
-        b.iter(|| {
-            let s = llc.set_index(black_box(PhysAddr::new(addr)));
-            addr = (addr + 64) & ((2 << 30) - 1);
-            black_box(s)
-        })
+fn bench_llc_index() {
+    let llc = Llc::new(
+        LlcConfig::paper_base(),
+        1,
+        RegionMap::new(&DramConfig::paper()),
+    );
+    let mut addr = 0u64;
+    bench("llc set_index", || {
+        black_box(llc.set_index(PhysAddr::new(black_box(addr))));
+        addr = addr.wrapping_add(64) & 0x7fff_ffff;
     });
 }
 
-fn bench_sha256(c: &mut Criterion) {
-    let data = vec![0xabu8; 4096];
-    c.bench_function("sha256 4KiB (enclave page measurement)", |b| {
-        b.iter(|| black_box(sha256::sha256(black_box(&data))))
+fn bench_sha256() {
+    let data = vec![0xa5u8; 4096];
+    bench("sha256 4KiB", || {
+        black_box(sha256(black_box(&data)));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_predictor,
-    bench_btb,
-    bench_encode_decode,
-    bench_llc_index,
-    bench_sha256
-);
-criterion_main!(benches);
+fn main() {
+    bench_predictor();
+    bench_btb();
+    bench_encode_decode();
+    bench_llc_index();
+    bench_sha256();
+}

@@ -1,0 +1,189 @@
+//! `mi6-experiments` — the one CLI behind every evaluation figure.
+//!
+//! Replaces the ten per-figure binaries: each figure is a declarative
+//! variant×workload grid (see `mi6_bench::figures`) whose points run in
+//! parallel across OS threads, stream JSON as they finish, and render the
+//! same tables the old binaries printed.
+//!
+//! ```text
+//! mi6-experiments --figure 13              # one figure
+//! mi6-experiments --all                    # figures 4..13
+//! mi6-experiments --figure 5 --kinsts 500  # shorter runs
+//! mi6-experiments --figure 13 --threads 4 --json results.jsonl
+//! ```
+//!
+//! Options: `--figure N` (4..13, repeatable), `--all`, `--kinsts N`
+//! (thousands of instructions per run; default 2000), `--timer N`
+//! (scheduler tick in cycles; default 250000), `--threads N` (default:
+//! all hardware threads), `--json PATH` (append one JSON object per grid
+//! point; `-` for stdout).
+
+use mi6_bench::runner::default_threads;
+use mi6_bench::{figure_points, render_figure, run_grid, HarnessOpts, FIGURES};
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::process::exit;
+use std::time::Instant;
+
+struct Cli {
+    figures: Vec<u32>,
+    opts: HarnessOpts,
+    threads: usize,
+    json: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mi6-experiments (--figure N)... | --all \
+         [--kinsts N] [--timer N] [--threads N] [--json PATH|-]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Cli {
+    let mut cli = Cli {
+        figures: Vec::new(),
+        opts: HarnessOpts::default(),
+        threads: default_threads(),
+        json: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |args: &[String], i: usize, flag: &str| -> String {
+        args.get(i + 1)
+            .unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            })
+            .clone()
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--figure" => {
+                let v = value(&args, i, "--figure");
+                let fig: u32 = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--figure expects a number, got `{v}`");
+                    usage()
+                });
+                if !FIGURES.contains(&fig) {
+                    eprintln!("figure {fig} is not one of {FIGURES:?}");
+                    usage();
+                }
+                cli.figures.push(fig);
+                i += 1;
+            }
+            "--all" => cli.figures.extend(FIGURES),
+            "--kinsts" => {
+                cli.opts.kinsts = value(&args, i, "--kinsts")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                i += 1;
+            }
+            "--timer" => {
+                cli.opts.timer = value(&args, i, "--timer")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                i += 1;
+            }
+            "--threads" => {
+                cli.threads = value(&args, i, "--threads")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                i += 1;
+            }
+            "--json" => {
+                cli.json = Some(value(&args, i, "--json"));
+                i += 1;
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    if cli.figures.is_empty() {
+        usage();
+    }
+    cli.figures.sort_unstable();
+    cli.figures.dedup();
+    cli
+}
+
+fn main() {
+    let cli = parse_args();
+    let mut json: Option<Box<dyn Write>> = cli.json.as_deref().map(|path| -> Box<dyn Write> {
+        if path == "-" {
+            Box::new(std::io::stdout())
+        } else {
+            Box::new(BufWriter::new(File::create(path).unwrap_or_else(|e| {
+                eprintln!("cannot create {path}: {e}");
+                exit(1);
+            })))
+        }
+    });
+
+    // One deduplicated grid across every requested figure: a BASE pass
+    // shared by e.g. figures 5 and 7 runs once.
+    let mut grids: Vec<(u32, Vec<mi6_bench::GridPoint>)> = Vec::new();
+    let mut unique: BTreeMap<String, usize> = BTreeMap::new();
+    let mut points = Vec::new();
+    let mut fig_indices: Vec<(u32, Vec<usize>)> = Vec::new();
+    for &fig in &cli.figures {
+        let fig_points = figure_points(fig, cli.opts);
+        let mut indices = Vec::with_capacity(fig_points.len());
+        for p in &fig_points {
+            let key = format!(
+                "{}/{}/{}/{}",
+                p.variant, p.workload, p.opts.kinsts, p.opts.timer
+            );
+            let idx = *unique.entry(key).or_insert_with(|| {
+                points.push(*p);
+                points.len() - 1
+            });
+            indices.push(idx);
+        }
+        grids.push((fig, fig_points));
+        fig_indices.push((fig, indices));
+    }
+
+    eprintln!(
+        "mi6-experiments: {} grid points ({} unique) on {} threads",
+        grids.iter().map(|(_, g)| g.len()).sum::<usize>(),
+        points.len(),
+        cli.threads,
+    );
+    let t0 = Instant::now();
+    let mut done = 0usize;
+    let total = points.len();
+    let results = run_grid(&points, cli.threads, |res| {
+        done += 1;
+        eprintln!(
+            "  [{done}/{total}] {} on {}: {} cycles ({} ms)",
+            res.record.name, res.point.variant, res.record.cycles, res.wall_ms,
+        );
+        if let Some(out) = json.as_mut() {
+            writeln!(out, "{}", res.to_json()).expect("json write");
+        }
+    });
+    if let Some(out) = json.as_mut() {
+        out.flush().expect("json flush");
+    }
+    let wall = t0.elapsed();
+    let sim_ms: u64 = results.iter().map(|r| r.wall_ms).sum();
+    if total > 0 {
+        eprintln!(
+            "grid done in {:.1}s wall ({:.1}s of single-thread simulation, {:.2}x speedup)",
+            wall.as_secs_f64(),
+            sim_ms as f64 / 1e3,
+            sim_ms as f64 / 1e3 / wall.as_secs_f64().max(1e-9),
+        );
+    }
+
+    for (fig, indices) in fig_indices {
+        let fig_results: Vec<_> = indices.iter().map(|&i| results[i].clone()).collect();
+        render_figure(fig, &fig_results);
+    }
+}

@@ -1,0 +1,258 @@
+//! The ten evaluation figures (paper Section 7) as declarative grids.
+//!
+//! Each figure declares which grid points it needs via [`figure_points`];
+//! the CLI runs them (in parallel, through [`crate::run_grid`]) and hands
+//! the results back to [`render_figure`], which reproduces the old
+//! per-figure binary output. Figure 4 is the configuration table and needs
+//! no simulation.
+
+use crate::runner::{variant_points, GridPoint, PointResult};
+use crate::{
+    mean, print_metric_figure, print_overhead_figure, HarnessOpts, RunRecord, PAPER_FIG10,
+    PAPER_FIG11, PAPER_FIG12, PAPER_FIG13, PAPER_FIG5, PAPER_FIG8,
+};
+use mi6_core::CoreConfig;
+use mi6_mem::MemConfig;
+use mi6_soc::Variant;
+
+/// Figure ids the CLI accepts.
+pub const FIGURES: std::ops::RangeInclusive<u32> = 4..=13;
+
+/// Adjusts base options the way the old `fig*` binaries did: figures that
+/// measure steady-state LLC effects disable the scheduler tick, and the
+/// NONSPEC figure truncates its runs (as in the paper — NONSPEC is slow).
+fn figure_opts(figure: u32, opts: HarnessOpts) -> HarnessOpts {
+    match figure {
+        8..=11 => opts.with_timer(0),
+        12 => opts.with_timer(0).with_kinsts(opts.kinsts.min(500)),
+        _ => opts,
+    }
+}
+
+/// The non-BASE variant a figure evaluates (None for figure 4 and the
+/// FLUSH-only figure 6, which has no BASE pass).
+fn figure_variant(figure: u32) -> Option<Variant> {
+    match figure {
+        5..=7 => Some(Variant::Flush),
+        8 | 9 => Some(Variant::Part),
+        10 => Some(Variant::Miss),
+        11 => Some(Variant::Arb),
+        12 => Some(Variant::NonSpec),
+        13 => Some(Variant::Fpma),
+        _ => None,
+    }
+}
+
+/// The grid points figure `figure` needs, in rendering order (the BASE
+/// pass, where present, precedes the variant pass).
+///
+/// # Panics
+///
+/// Panics if `figure` is outside [`FIGURES`].
+pub fn figure_points(figure: u32, opts: HarnessOpts) -> Vec<GridPoint> {
+    assert!(FIGURES.contains(&figure), "unknown figure {figure}");
+    let opts = figure_opts(figure, opts);
+    match figure {
+        4 => Vec::new(),
+        6 => variant_points(Variant::Flush, opts),
+        f => {
+            let variant = figure_variant(f).expect("simulating figure");
+            let mut points = variant_points(Variant::Base, opts);
+            points.extend(variant_points(variant, opts));
+            points
+        }
+    }
+}
+
+fn records(results: &[PointResult], variant: Variant) -> Vec<RunRecord> {
+    results
+        .iter()
+        .filter(|r| r.point.variant == variant)
+        .map(|r| r.record.clone())
+        .collect()
+}
+
+/// Renders figure `figure` from the results of its [`figure_points`] grid.
+pub fn render_figure(figure: u32, results: &[PointResult]) {
+    let base = records(results, Variant::Base);
+    match figure {
+        4 => print_config_table(),
+        5 => print_overhead_figure(
+            "Figure 5: FLUSH runtime overhead vs BASE",
+            PAPER_FIG5,
+            &base,
+            &records(results, Variant::Flush),
+        ),
+        6 => {
+            let flush = records(results, Variant::Flush);
+            println!("\n=== Figure 6: flush stall time (% of execution) ===");
+            println!(
+                "{:<12} {:>12} {:>10}",
+                "benchmark", "stall cycles", "stall %"
+            );
+            for r in &flush {
+                println!(
+                    "{:<12} {:>12} {:>9.2}%",
+                    r.name,
+                    r.flush_stall_cycles,
+                    r.flush_stall_pct()
+                );
+            }
+            println!(
+                "{:<12} {:>12} {:>9.2}%   (paper avg 0.4%, max xalancbmk 3.2%)",
+                "average",
+                "",
+                mean(flush.iter().map(|r| r.flush_stall_pct()))
+            );
+        }
+        7 => print_metric_figure(
+            "Figure 7: branch MPKI, BASE vs FLUSH",
+            "MPKI",
+            (18.3, 24.3),
+            ("BASE", "FLUSH"),
+            &base,
+            &records(results, Variant::Flush),
+            |r| r.branch_mpki,
+        ),
+        8 => print_overhead_figure(
+            "Figure 8: PART runtime overhead vs BASE",
+            PAPER_FIG8,
+            &base,
+            &records(results, Variant::Part),
+        ),
+        9 => print_metric_figure(
+            "Figure 9: LLC MPKI, BASE vs PART",
+            "LLC MPKI",
+            (17.4, 19.6),
+            ("BASE", "PART"),
+            &base,
+            &records(results, Variant::Part),
+            |r| r.llc_mpki,
+        ),
+        10 => print_overhead_figure(
+            "Figure 10: MISS runtime overhead vs BASE",
+            PAPER_FIG10,
+            &base,
+            &records(results, Variant::Miss),
+        ),
+        11 => print_overhead_figure(
+            "Figure 11: ARB runtime overhead vs BASE",
+            PAPER_FIG11,
+            &base,
+            &records(results, Variant::Arb),
+        ),
+        12 => print_overhead_figure(
+            "Figure 12: NONSPEC runtime overhead vs BASE (truncated runs)",
+            PAPER_FIG12,
+            &base,
+            &records(results, Variant::NonSpec),
+        ),
+        13 => print_overhead_figure(
+            "Figure 13: F+P+M+A (enclave) runtime overhead vs BASE",
+            PAPER_FIG13,
+            &base,
+            &records(results, Variant::Fpma),
+        ),
+        other => panic!("unknown figure {other}"),
+    }
+}
+
+/// Figure 4: the insecure baseline (BASE) configuration table.
+fn print_config_table() {
+    let core = CoreConfig::paper();
+    let mem = MemConfig::paper_base();
+    println!("=== Figure 4: insecure baseline (BASE) configuration ===");
+    println!("Front-end    {}-wide fetch/decode/rename", core.fetch_width);
+    println!("             {}-entry direct-mapped BTB", core.btb_entries);
+    println!("             tournament predictor (Alpha 21264 style)");
+    println!(
+        "             {}-entry return address stack",
+        core.ras_entries
+    );
+    println!(
+        "Exec engine  {}-entry ROB, {}-way insert/commit",
+        core.rob_entries, core.commit_width
+    );
+    println!(
+        "             4 pipelines: 2 ALU, 1 MEM, 1 FP/MUL/DIV; {}-entry IQ each",
+        core.iq_entries
+    );
+    println!(
+        "Ld-St unit   {}-entry LQ, {}-entry SQ, {}-entry SB (64B wide)",
+        core.lq_entries, core.sq_entries, core.sb_entries
+    );
+    println!(
+        "L1 TLBs      {}-entry fully associative (I and D); D-TLB max {} requests",
+        core.l1_tlb_entries, core.dtlb_max_misses
+    );
+    println!(
+        "L2 TLB       {}-entry, {}-way; translation cache {} entries/step",
+        core.l2_tlb_entries, core.l2_tlb_ways, core.tcache_entries
+    );
+    println!(
+        "L1 caches    {} KiB, {}-way, max {} requests (I and D)",
+        mem.l1d.size_bytes >> 10,
+        mem.l1d.ways,
+        mem.l1d.mshrs
+    );
+    println!(
+        "L2 (LLC)     {} MiB, {}-way, {:?} MSHRs, coherent+inclusive",
+        mem.llc.size_bytes >> 20,
+        mem.llc.ways,
+        mem.llc.mshrs
+    );
+    println!(
+        "Memory       {} GiB, {}-cycle latency, max {} requests",
+        mem.dram.size_bytes >> 30,
+        mem.dram.latency,
+        mem.dram.max_inflight
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mi6_workloads::Workload;
+
+    #[test]
+    fn every_figure_declares_a_consistent_grid() {
+        let opts = HarnessOpts::default();
+        for fig in FIGURES {
+            let points = figure_points(fig, opts);
+            match fig {
+                4 => assert!(points.is_empty()),
+                6 => {
+                    assert_eq!(points.len(), Workload::ALL.len());
+                    assert!(points.iter().all(|p| p.variant == Variant::Flush));
+                }
+                _ => {
+                    assert_eq!(points.len(), 2 * Workload::ALL.len());
+                    assert!(points[..11].iter().all(|p| p.variant == Variant::Base));
+                    assert!(points[11..].iter().all(|p| p.variant != Variant::Base));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn steady_state_figures_disable_the_timer() {
+        let opts = HarnessOpts::default();
+        for fig in [8u32, 9, 10, 11, 12] {
+            for p in figure_points(fig, opts) {
+                assert_eq!(p.opts.timer, 0, "figure {fig}");
+            }
+        }
+        // FLUSH figures keep the scheduler tick (trap-driven effects).
+        for p in figure_points(5, opts) {
+            assert_eq!(p.opts.timer, opts.timer);
+        }
+    }
+
+    #[test]
+    fn nonspec_truncates_runs() {
+        let opts = HarnessOpts::default().with_kinsts(2000);
+        for p in figure_points(12, opts) {
+            assert_eq!(p.opts.kinsts, 500);
+        }
+    }
+}

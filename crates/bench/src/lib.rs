@@ -1,21 +1,32 @@
 //! # mi6-bench
 //!
-//! The experiment harness: one binary per figure of the paper's
-//! evaluation (Section 7), plus Criterion microbenches and ablations.
+//! The experiment harness behind the `mi6-experiments` CLI: a shared
+//! [`runner`] that fans the variant×workload grid out across OS threads,
+//! the [`figures`] definitions reproducing every evaluation figure of the
+//! paper (Section 7), and a dependency-free [`microbench`] harness for the
+//! component benches.
 //!
-//! Every `fig*` binary runs the eleven SPEC-shaped workloads on the BASE
+//! Every figure runs the eleven SPEC-shaped workloads on the BASE
 //! processor and on the figure's variant, then prints the per-benchmark
 //! overhead next to the paper's reported number. Absolute cycle counts
 //! are not expected to match the FPGA prototype; the *shape* — which
 //! benchmarks hurt, roughly how much, and the average — is the
 //! reproduction target (see `DESIGN.md` and `EXPERIMENTS.md`).
 //!
-//! Run e.g. `cargo run --release -p mi6-bench --bin fig05_flush`.
-//! All binaries accept an optional `--kinsts N` (thousands of
-//! instructions per run; default 2000) and `--timer N` (scheduler tick in
-//! cycles; default 100000).
+//! Run e.g. `cargo run --release -p mi6-bench --bin mi6-experiments -- \
+//! --figure 13`. The CLI accepts `--kinsts N` (thousands of instructions
+//! per run; default 2000), `--timer N` (scheduler tick in cycles; default
+//! 250000), `--threads N` (worker threads; default: all cores), and
+//! `--json PATH` (stream one JSON object per grid point).
 
-use mi6_soc::{Machine, MachineConfig, MachineStats, Variant};
+pub mod figures;
+pub mod microbench;
+pub mod runner;
+
+pub use figures::{figure_points, render_figure, FIGURES};
+pub use runner::{run_grid, GridPoint, PointResult};
+
+use mi6_soc::{MachineStats, SimBuilder, Variant};
 use mi6_workloads::{Workload, WorkloadParams};
 
 /// One workload run's summary.
@@ -59,8 +70,8 @@ impl RunRecord {
     }
 }
 
-/// Harness options parsed from the command line.
-#[derive(Clone, Copy, Debug)]
+/// Per-run options (instruction volume and scheduler tick).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct HarnessOpts {
     /// Thousands of instructions per run.
     pub kinsts: u64,
@@ -68,38 +79,36 @@ pub struct HarnessOpts {
     pub timer: u64,
 }
 
-impl HarnessOpts {
-    /// Parses `--kinsts N` and `--timer N` from `std::env::args`.
-    pub fn from_args() -> HarnessOpts {
-        let mut opts = HarnessOpts {
+impl Default for HarnessOpts {
+    fn default() -> HarnessOpts {
+        HarnessOpts {
             kinsts: 2_000,
             timer: 250_000,
-        };
-        let args: Vec<String> = std::env::args().collect();
-        let mut i = 1;
-        while i + 1 < args.len() {
-            match args[i].as_str() {
-                "--kinsts" => opts.kinsts = args[i + 1].parse().expect("--kinsts N"),
-                "--timer" => opts.timer = args[i + 1].parse().expect("--timer N"),
-                _ => {}
-            }
-            i += 1;
         }
-        opts
+    }
+}
+
+impl HarnessOpts {
+    /// Replaces the timer interval.
+    pub fn with_timer(mut self, timer: u64) -> HarnessOpts {
+        self.timer = timer;
+        self
+    }
+
+    /// Replaces the instruction target.
+    pub fn with_kinsts(mut self, kinsts: u64) -> HarnessOpts {
+        self.kinsts = kinsts;
+        self
     }
 }
 
 /// Runs one workload on one variant to completion.
 pub fn run_workload(variant: Variant, workload: Workload, opts: &HarnessOpts) -> RunRecord {
-    let cfg = if opts.timer == 0 {
-        MachineConfig::variant(variant, 1).without_timer()
-    } else {
-        MachineConfig::variant(variant, 1).with_timer_interval(opts.timer)
-    };
-    let mut machine = Machine::new(cfg);
     let params = WorkloadParams::evaluation().with_target_kinsts(opts.kinsts);
-    machine
-        .load_user_program(0, &workload.build(&params))
+    let mut machine = SimBuilder::new(variant)
+        .timer_interval(opts.timer)
+        .workload(0, workload.build(&params))
+        .build()
         .unwrap_or_else(|e| panic!("loading {workload}: {e}"));
     let cap = opts.kinsts.saturating_mul(1_000_000).max(400_000_000);
     let stats = machine
@@ -108,7 +117,8 @@ pub fn run_workload(variant: Variant, workload: Workload, opts: &HarnessOpts) ->
     RunRecord::from_stats(workload.name(), &stats)
 }
 
-/// Runs all eleven workloads on a variant.
+/// Runs all eleven workloads on a variant, serially (the parallel path is
+/// [`run_grid`]).
 pub fn run_all(variant: Variant, opts: &HarnessOpts) -> Vec<RunRecord> {
     Workload::ALL
         .iter()
@@ -322,10 +332,7 @@ mod tests {
 
     #[test]
     fn tiny_run_produces_record() {
-        let opts = HarnessOpts {
-            kinsts: 30,
-            timer: 0,
-        };
+        let opts = HarnessOpts::default().with_kinsts(30).with_timer(0);
         let rec = run_workload(Variant::Base, Workload::Hmmer, &opts);
         assert!(rec.cycles > 0);
         assert!(rec.instructions > 10_000);

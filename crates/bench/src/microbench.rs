@@ -1,0 +1,51 @@
+//! A tiny dependency-free timing harness for the component benches.
+//!
+//! Not a statistics engine: each bench warms up, then doubles the batch
+//! size until a batch takes long enough to time reliably, and reports one
+//! ns/iter number. Good enough to spot order-of-magnitude regressions in
+//! the simulator's hot structures without pulling in criterion.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Minimum measured batch duration before a result is reported.
+const MIN_BATCH: Duration = Duration::from_millis(100);
+
+/// Times `f`, auto-scaling the iteration count, and prints ns/iter.
+pub fn bench(name: &str, mut f: impl FnMut()) {
+    for _ in 0..1_000 {
+        f();
+    }
+    let mut iters: u64 = 1_000;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let dt = t0.elapsed();
+        if dt >= MIN_BATCH || iters >= 1 << 30 {
+            println!(
+                "{name:<40} {:>12.1} ns/iter  ({iters} iters)",
+                dt.as_nanos() as f64 / iters as f64
+            );
+            return;
+        }
+        iters = iters.saturating_mul(4);
+    }
+}
+
+/// Times `f` for exactly `n` iterations and prints ms/iter (for benches
+/// whose single iteration is already expensive, e.g. whole simulations).
+pub fn bench_n(name: &str, n: u32, mut f: impl FnMut()) {
+    assert!(n > 0);
+    let t0 = Instant::now();
+    for _ in 0..n {
+        f();
+    }
+    let dt = t0.elapsed();
+    println!(
+        "{name:<40} {:>12.2} ms/iter  ({n} iters)",
+        dt.as_secs_f64() * 1e3 / n as f64
+    );
+}

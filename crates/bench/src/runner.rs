@@ -1,0 +1,206 @@
+//! The parallel experiment runner.
+//!
+//! A figure is a grid of (variant, workload, opts) points. [`run_grid`]
+//! fans the points out across OS threads with a shared work queue, streams
+//! each finished point through a caller-supplied callback (the CLI writes
+//! one JSON object per point), and returns the results in point order so
+//! figure rendering stays deterministic regardless of completion order.
+
+use crate::{run_workload, HarnessOpts, RunRecord};
+use mi6_soc::Variant;
+use mi6_workloads::Workload;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+use std::time::Instant;
+
+/// One point of the variant×workload grid.
+#[derive(Clone, Copy, Debug)]
+pub struct GridPoint {
+    /// Processor variant to simulate.
+    pub variant: Variant,
+    /// Workload to run on core 0.
+    pub workload: Workload,
+    /// Run options (instruction volume, timer).
+    pub opts: HarnessOpts,
+}
+
+/// A completed grid point.
+#[derive(Clone, Debug)]
+pub struct PointResult {
+    /// The point that produced this result.
+    pub point: GridPoint,
+    /// The run's counters.
+    pub record: RunRecord,
+    /// Host wall-clock time the simulation took, in milliseconds.
+    pub wall_ms: u64,
+}
+
+impl PointResult {
+    /// One JSON object describing this point (hand-rolled: the harness is
+    /// dependency-free, and every field is numeric or a known-safe name).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"variant\":\"{}\",\"workload\":\"{}\",\"kinsts\":{},",
+                "\"timer\":{},\"cycles\":{},\"instructions\":{},",
+                "\"branch_mpki\":{:.3},\"llc_mpki\":{:.3},",
+                "\"flush_stall_cycles\":{},\"traps\":{},\"wall_ms\":{}}}"
+            ),
+            self.point.variant.name(),
+            self.record.name,
+            self.point.opts.kinsts,
+            self.point.opts.timer,
+            self.record.cycles,
+            self.record.instructions,
+            self.record.branch_mpki,
+            self.record.llc_mpki,
+            self.record.flush_stall_cycles,
+            self.record.traps,
+            self.wall_ms,
+        )
+    }
+}
+
+/// Default worker count: one per available hardware thread.
+pub fn default_threads() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs every grid point across `threads` worker threads.
+///
+/// `on_result` is invoked on the caller's thread as each point finishes
+/// (in completion order — use it for streaming output, not rendering).
+/// The returned vector is in `points` order.
+pub fn run_grid(
+    points: &[GridPoint],
+    threads: usize,
+    mut on_result: impl FnMut(&PointResult),
+) -> Vec<PointResult> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = threads.max(1).min(n);
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, PointResult)>();
+    let mut results: Vec<Option<PointResult>> = (0..n).map(|_| None).collect();
+    thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let point = points[i];
+                let t0 = Instant::now();
+                let record = run_workload(point.variant, point.workload, &point.opts);
+                let wall_ms = t0.elapsed().as_millis() as u64;
+                if tx
+                    .send((
+                        i,
+                        PointResult {
+                            point,
+                            record,
+                            wall_ms,
+                        },
+                    ))
+                    .is_err()
+                {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        while let Ok((i, res)) = rx.recv() {
+            on_result(&res);
+            results[i] = Some(res);
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every grid point completed"))
+        .collect()
+}
+
+/// The full variant×workload grid for one variant (all eleven workloads).
+pub fn variant_points(variant: Variant, opts: HarnessOpts) -> Vec<GridPoint> {
+    Workload::ALL
+        .iter()
+        .map(|&workload| GridPoint {
+            variant,
+            workload,
+            opts,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> HarnessOpts {
+        HarnessOpts::default().with_kinsts(10).with_timer(0)
+    }
+
+    #[test]
+    fn grid_results_arrive_in_point_order() {
+        let points = [
+            GridPoint {
+                variant: Variant::Base,
+                workload: Workload::Hmmer,
+                opts: tiny_opts(),
+            },
+            GridPoint {
+                variant: Variant::Base,
+                workload: Workload::Sjeng,
+                opts: tiny_opts(),
+            },
+            GridPoint {
+                variant: Variant::Arb,
+                workload: Workload::Hmmer,
+                opts: tiny_opts(),
+            },
+        ];
+        let mut streamed = 0usize;
+        let results = run_grid(&points, 3, |_| streamed += 1);
+        assert_eq!(streamed, 3);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].record.name, "hmmer");
+        assert_eq!(results[1].record.name, "sjeng");
+        assert_eq!(results[2].point.variant, Variant::Arb);
+        for r in &results {
+            assert!(r.record.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let points = variant_points(Variant::Base, tiny_opts())[..3].to_vec();
+        let serial = run_grid(&points, 1, |_| {});
+        let parallel = run_grid(&points, 3, |_| {});
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.record.cycles, b.record.cycles, "{}", a.record.name);
+            assert_eq!(a.record.instructions, b.record.instructions);
+        }
+    }
+
+    #[test]
+    fn json_shape() {
+        let points = [GridPoint {
+            variant: Variant::Base,
+            workload: Workload::Hmmer,
+            opts: tiny_opts(),
+        }];
+        let results = run_grid(&points, 1, |_| {});
+        let json = results[0].to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"variant\":\"BASE\""));
+        assert!(json.contains("\"workload\":\"hmmer\""));
+        assert!(json.contains("\"cycles\":"));
+    }
+}

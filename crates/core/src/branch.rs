@@ -108,7 +108,11 @@ impl Tournament {
         let global_taken = self.global_ctr[gi] >= 2;
         let use_global = self.choice[gi] >= 2;
         Prediction {
-            taken: if use_global { global_taken } else { local_taken },
+            taken: if use_global {
+                global_taken
+            } else {
+                local_taken
+            },
             local_taken,
             global_taken,
             ghist_at_predict: self.ghist,

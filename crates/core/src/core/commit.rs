@@ -1,0 +1,342 @@
+//! Commit: in-order retirement, exceptions and interrupts, system
+//! instructions (traps, returns, CSRs, fences, `purge`), and the
+//! purge/flush-on-trap sequencing (paper Sections 6.1 and 7.1).
+
+use super::*;
+
+impl Core {
+    // ------------------------------------------------------------- commit
+
+    pub(super) fn begin_purge_sequence(&mut self, now: u64, resume: Option<(u64, PrivLevel)>) {
+        // Scrub the zero-cost-to-reset front-end structures immediately;
+        // the timed sweeps (L1s, L2 TLB sets, predictor tables) are
+        // charged by the Flushing phase.
+        self.btb.reset();
+        self.tournament.reset();
+        self.ras.reset();
+        self.itlb.flush_all();
+        self.dtlb.flush_all();
+        self.l2_tlb.flush_all();
+        self.tcache.flush();
+        self.committed_ghist = 0;
+        self.purge = PurgePhase::DrainMem;
+        self.purge_resume = resume;
+        let _ = now;
+    }
+
+    pub(super) fn tick_purge(&mut self, now: u64, mem: &mut MemSystem) {
+        match self.purge {
+            PurgePhase::Idle => {}
+            PurgePhase::DrainMem => {
+                self.stats.flush_stall_cycles += 1;
+                // Wait for zombie traffic and the store buffer.
+                self.tick_store_buffer(now, mem);
+                if mem.core_quiescent(self.id) && self.sb.is_empty() && self.walker_active.is_none()
+                {
+                    mem.start_flush(self.id);
+                    self.purge = PurgePhase::Flushing {
+                        until: now + self.cfg.purge_cycles as u64,
+                    };
+                }
+            }
+            PurgePhase::Flushing { until } => {
+                self.stats.flush_stall_cycles += 1;
+                if now >= until && !mem.flush_active(self.id) {
+                    self.purge = PurgePhase::Idle;
+                    if let Some((pc, lvl)) = self.purge_resume.take() {
+                        self.fetch_pc = pc;
+                        self.pc = pc;
+                        self.priv_level = lvl;
+                    }
+                    self.fetch_state = FetchState::Idle;
+                    self.fetch_stall_until = now + REDIRECT_PENALTY;
+                }
+            }
+        }
+    }
+
+    /// Takes a trap: squashes everything and redirects (possibly after a
+    /// flush, under the FLUSH variant).
+    pub(super) fn take_trap(&mut self, now: u64, cause: TrapCause, epc: u64, tval: u64) {
+        self.stats.traps += 1;
+        let (lvl, handler) = self.csrs.take_trap(cause, epc, tval, self.priv_level);
+        self.squash_from(now, self.head_seq(), handler);
+        self.pc = handler;
+        if self.sec.flush_on_trap {
+            self.begin_purge_sequence(now, Some((handler, lvl)));
+        } else {
+            self.priv_level = lvl;
+        }
+    }
+
+    pub(super) fn tick_commit(&mut self, now: u64, mem: &mut MemSystem) {
+        // Asynchronous interrupts preempt at the commit boundary.
+        if let Some(irq) = self.csrs.pending_interrupt(self.priv_level) {
+            let epc = self.rob.front().map(|e| e.pc).unwrap_or(self.fetch_pc);
+            self.take_trap(now, TrapCause::Interrupt(irq), epc, 0);
+            return;
+        }
+        let mut committed = 0;
+        while committed < self.cfg.commit_width {
+            let Some(head) = self.rob.front() else { break };
+            if !head.is_done() {
+                break;
+            }
+            let seq = head.seq;
+            let pc = head.pc;
+            let inst = head.inst;
+            // Exceptions (including poisoned fetches and region faults).
+            if let Some((e, tval)) = head.exception {
+                if e == Exception::DramRegionFault {
+                    self.stats.region_faults += 1;
+                }
+                self.take_trap(now, TrapCause::Exception(e), pc, tval);
+                return;
+            }
+            // System instructions execute here, serialized.
+            if head.stage == Stage::AtCommit {
+                if !self.commit_system(now, mem, seq) {
+                    return; // stalled (fence/wfi) or redirected (trap)
+                }
+                committed += 1;
+                continue;
+            }
+            debug_assert_eq!(head.stage, Stage::Done);
+            // Stores: write memory and enter the store buffer.
+            if inst.is_store() {
+                let m = self.rob.front().expect("head").mem.clone().expect("mem");
+                let paddr = m.paddr.expect("resolved");
+                let line = paddr & !63;
+                let have_slot = self.sb.iter().any(|s| s.line == line && !s.issued)
+                    || self.sb.len() < self.cfg.sb_entries;
+                if !have_slot {
+                    break; // store buffer full: stall commit
+                }
+                mem.phys.write_bytes(
+                    PhysAddr::new(paddr),
+                    m.store_data.expect("data"),
+                    m.bytes as usize,
+                );
+                if !self.sb.iter().any(|s| s.line == line && !s.issued) {
+                    let token = TOKEN_SB | (self.next_sb_token & TOKEN_MASK);
+                    self.next_sb_token += 1;
+                    self.sb.push(SbEntry {
+                        line,
+                        issued: false,
+                        token,
+                        done: false,
+                    });
+                }
+                self.sq_used -= 1;
+                self.stats.stores += 1;
+            }
+            if inst.is_load() {
+                self.lq_used -= 1;
+                self.stats.loads += 1;
+            }
+            // Branch training.
+            if let Some(b) = self.rob.front().expect("head").branch {
+                let taken = b.actual_taken.unwrap_or(b.pred_taken);
+                if inst.is_cond_branch() {
+                    self.stats.committed_branches += 1;
+                    if let Some(p) = b.tournament {
+                        self.tournament.update(pc, p, taken);
+                    }
+                    self.committed_ghist = (self.committed_ghist << 1) | taken as u16;
+                    if taken {
+                        self.btb.update(pc, b.actual_target);
+                    }
+                } else if matches!(inst, Inst::Jalr { .. }) {
+                    self.btb.update(pc, b.actual_target);
+                }
+            }
+            // Register writeback.
+            let entry = self.rob.pop_front().expect("head");
+            if let Some(d) = entry.dest {
+                self.regs[d.index() as usize] = entry.result;
+                if self.rat[d.index() as usize] == Some(seq) {
+                    self.rat[d.index() as usize] = None;
+                }
+            }
+            self.pc = entry
+                .branch
+                .as_ref()
+                .and_then(|b| {
+                    b.actual_taken
+                        .map(|t| if t { b.actual_target } else { pc + 4 })
+                })
+                .unwrap_or(pc + 4);
+            self.stats.committed_instructions += 1;
+            self.csrs.instret += 1;
+            committed += 1;
+        }
+    }
+
+    /// Executes a system instruction at the head of the ROB. Returns true
+    /// if it retired (the caller continues committing).
+    pub(super) fn commit_system(&mut self, now: u64, mem: &mut MemSystem, seq: u64) -> bool {
+        let idx = self.rob_index(seq).expect("head");
+        let inst = self.rob[idx].inst;
+        let pc = self.rob[idx].pc;
+        let retire_simple = |core: &mut Core| {
+            let entry = core.rob.pop_front().expect("head");
+            if let Some(d) = entry.dest {
+                core.regs[d.index() as usize] = entry.result;
+                if core.rat[d.index() as usize] == Some(entry.seq) {
+                    core.rat[d.index() as usize] = None;
+                }
+            }
+            core.pc = entry.pc + 4;
+            core.stats.committed_instructions += 1;
+            core.csrs.instret += 1;
+        };
+        match inst {
+            Inst::Ecall => {
+                let e = Exception::ecall_from(self.priv_level);
+                // The ecall itself retires; EPC is the ecall's own PC (the
+                // handler returns past it via epc+4, as the toy kernel and
+                // monitor do).
+                self.stats.committed_instructions += 1;
+                self.csrs.instret += 1;
+                self.rob.pop_front();
+                self.take_trap(now, TrapCause::Exception(e), pc, 0);
+                false
+            }
+            Inst::Ebreak => {
+                if self.priv_level == PrivLevel::Machine {
+                    self.halted = true;
+                    self.rob.pop_front();
+                    self.stats.committed_instructions += 1;
+                    return false;
+                }
+                self.stats.committed_instructions += 1;
+                self.csrs.instret += 1;
+                self.rob.pop_front();
+                self.take_trap(now, TrapCause::Exception(Exception::Breakpoint), pc, pc);
+                false
+            }
+            Inst::Sret => {
+                if self.priv_level < PrivLevel::Supervisor {
+                    self.rob.pop_front();
+                    self.take_trap(now, Exception::IllegalInst.into(), pc, 0);
+                    return false;
+                }
+                self.stats.trap_returns += 1;
+                self.stats.committed_instructions += 1;
+                self.csrs.instret += 1;
+                self.rob.pop_front();
+                let (lvl, epc) = self.csrs.sret();
+                self.squash_from(now, self.head_seq(), epc);
+                self.pc = epc;
+                if self.sec.flush_on_trap {
+                    self.begin_purge_sequence(now, Some((epc, lvl)));
+                } else {
+                    self.priv_level = lvl;
+                }
+                false
+            }
+            Inst::Mret => {
+                if self.priv_level < PrivLevel::Machine {
+                    self.rob.pop_front();
+                    self.take_trap(now, Exception::IllegalInst.into(), pc, 0);
+                    return false;
+                }
+                self.stats.trap_returns += 1;
+                self.stats.committed_instructions += 1;
+                self.csrs.instret += 1;
+                self.rob.pop_front();
+                let (lvl, epc) = self.csrs.mret();
+                self.squash_from(now, self.head_seq(), epc);
+                self.pc = epc;
+                if self.sec.flush_on_trap {
+                    self.begin_purge_sequence(now, Some((epc, lvl)));
+                } else {
+                    self.priv_level = lvl;
+                }
+                false
+            }
+            Inst::Wfi => {
+                if self.csrs.pending_interrupt(self.priv_level).is_some()
+                    || self.csrs.mip & self.csrs.mie != 0
+                {
+                    retire_simple(self);
+                    true
+                } else {
+                    false // stall at commit until an interrupt pends
+                }
+            }
+            Inst::Fence => {
+                self.tick_store_buffer(now, mem);
+                if self.sb.is_empty() {
+                    retire_simple(self);
+                    true
+                } else {
+                    false
+                }
+            }
+            Inst::FenceI => {
+                self.decode_cache.clear();
+                retire_simple(self);
+                // Refetch everything younger.
+                let next = pc + 4;
+                self.squash_from(now, self.head_seq(), next);
+                true
+            }
+            Inst::SfenceVma => {
+                self.itlb.flush_all();
+                self.dtlb.flush_all();
+                self.l2_tlb.flush_all();
+                self.tcache.flush();
+                retire_simple(self);
+                true
+            }
+            Inst::Csr { op, rd, rs1, csr } => {
+                let old = match self.csrs.read(csr, self.priv_level) {
+                    Ok(v) => v,
+                    Err(_) => {
+                        self.rob.pop_front();
+                        self.take_trap(now, Exception::IllegalInst.into(), pc, csr as u64);
+                        return false;
+                    }
+                };
+                let arg = self.regs[rs1.index() as usize];
+                let new = match op {
+                    mi6_isa::CsrOp::Rw => Some(arg),
+                    mi6_isa::CsrOp::Rs => (!rs1.is_zero()).then_some(old | arg),
+                    mi6_isa::CsrOp::Rc => (!rs1.is_zero()).then_some(old & !arg),
+                };
+                if let Some(v) = new {
+                    if let Err(_e) = self.csrs.write(csr, v, self.priv_level) {
+                        self.rob.pop_front();
+                        self.take_trap(now, Exception::IllegalInst.into(), pc, csr as u64);
+                        return false;
+                    }
+                }
+                let idx = self.rob_index(seq).expect("head");
+                self.rob[idx].result = old;
+                if rd.is_zero() {
+                    self.rob[idx].dest = None;
+                }
+                retire_simple(self);
+                true
+            }
+            Inst::Purge => {
+                if self.priv_level != PrivLevel::Machine {
+                    self.rob.pop_front();
+                    self.take_trap(now, Exception::IllegalInst.into(), pc, 0);
+                    return false;
+                }
+                self.stats.purges += 1;
+                self.stats.committed_instructions += 1;
+                self.csrs.instret += 1;
+                self.rob.pop_front();
+                let next = pc + 4;
+                self.squash_from(now, self.head_seq(), next);
+                self.pc = next;
+                self.begin_purge_sequence(now, Some((next, self.priv_level)));
+                false
+            }
+            other => unreachable!("not a system instruction: {other}"),
+        }
+    }
+}

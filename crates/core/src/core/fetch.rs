@@ -1,0 +1,242 @@
+//! The front end: fetch-PC translation, I-cache access, decode, and
+//! branch prediction (BTB, tournament predictor, RAS), delivering up to
+//! `fetch_width` instructions per cycle into the fetch queue.
+
+use super::*;
+
+impl Core {
+    // -------------------------------------------------------------- fetch
+
+    pub(super) fn decode_at(&mut self, mem: &MemSystem, paddr: u64) -> Result<Inst, Exception> {
+        if let Some(inst) = self.decode_cache.get(&paddr) {
+            return Ok(*inst);
+        }
+        let word = mem.phys.read_u32(PhysAddr::new(paddr));
+        match mi6_isa::decode(word) {
+            Ok(inst) => {
+                self.decode_cache.insert(paddr, inst);
+                Ok(inst)
+            }
+            Err(_) => Err(Exception::IllegalInst),
+        }
+    }
+
+    pub(super) fn push_poison(&mut self, exception: Exception, tval: u64) {
+        self.fetch_queue.push_back(FetchedInst {
+            pc: self.fetch_pc,
+            inst: Inst::NOP,
+            pred: None,
+            poison: Some((exception, tval)),
+        });
+        self.fetch_state = FetchState::Stalled;
+    }
+
+    pub(super) fn tick_fetch(&mut self, now: u64, mem: &mut MemSystem) {
+        if now < self.fetch_stall_until {
+            return;
+        }
+        if self.fetch_queue.len() + self.cfg.fetch_width > self.cfg.fetch_queue {
+            return;
+        }
+        match self.fetch_state.clone() {
+            FetchState::Stalled => {}
+            FetchState::Idle => {
+                // Translate the fetch PC.
+                if !self.fetch_pc.is_multiple_of(4) {
+                    self.push_poison(Exception::InstMisaligned, self.fetch_pc);
+                    return;
+                }
+                let (paddr, region_ok, extra) = if self.bare_translation() {
+                    let pa = self.fetch_pc;
+                    (pa, self.region_allowed(mem, pa), 0)
+                } else {
+                    match self.try_translate(self.fetch_pc, AccessKind::Fetch, WalkClient::Fetch) {
+                        Err(e) => {
+                            self.push_poison(e, self.fetch_pc);
+                            return;
+                        }
+                        Ok(TranslateOutcome::Walking) => {
+                            self.fetch_state = FetchState::WaitWalk;
+                            return;
+                        }
+                        Ok(TranslateOutcome::Busy) => return, // retry next cycle
+                        Ok(TranslateOutcome::Hit {
+                            paddr,
+                            region_ok,
+                            extra,
+                        }) => (paddr, region_ok, extra),
+                    }
+                };
+                // Machine-mode fetch window (Section 6.2).
+                if self.sec.machine_mode_guard
+                    && self.priv_level == PrivLevel::Machine
+                    && !(self.csrs.mfetchbase..self.csrs.mfetchbound).contains(&paddr)
+                {
+                    self.push_poison(Exception::InstAccessFault, self.fetch_pc);
+                    return;
+                }
+                if !region_ok {
+                    // Suppressed speculative fetch; faults only if it
+                    // becomes non-speculative.
+                    self.stats.region_suppressed += 1;
+                    self.push_poison(Exception::DramRegionFault, self.fetch_pc);
+                    return;
+                }
+                if paddr + 4 > mem.phys.size() {
+                    self.push_poison(Exception::InstAccessFault, self.fetch_pc);
+                    return;
+                }
+                if extra > 0 {
+                    self.fetch_state = FetchState::TlbDelay {
+                        ready_at: now + extra,
+                        paddr,
+                        region_ok,
+                    };
+                    return;
+                }
+                self.issue_icache(now, mem, paddr);
+            }
+            FetchState::TlbDelay {
+                ready_at, paddr, ..
+            } => {
+                if now >= ready_at {
+                    self.issue_icache(now, mem, paddr);
+                }
+            }
+            FetchState::WaitWalk => {
+                if let Some(result) = self.take_walk_result(WalkClient::Fetch) {
+                    match result {
+                        WalkResult::Ok => self.fetch_state = FetchState::Idle,
+                        WalkResult::Fault(e) => self.push_poison(e, self.fetch_pc),
+                    }
+                }
+            }
+            FetchState::WaitICache { token, paddr } => {
+                if let Some(&ready_at) = self.ifetch_completions.get(&token) {
+                    self.ifetch_completions.remove(&token);
+                    self.fetch_state = FetchState::Deliver { ready_at, paddr };
+                }
+            }
+            FetchState::Deliver { ready_at, paddr } => {
+                if now >= ready_at {
+                    self.deliver_fetch_group(mem, paddr);
+                }
+            }
+        }
+    }
+
+    pub(super) fn issue_icache(&mut self, now: u64, mem: &mut MemSystem, paddr: u64) {
+        let token = TOKEN_FETCH | (self.next_fetch_token & TOKEN_MASK);
+        self.next_fetch_token += 1;
+        match mem.access(
+            now,
+            self.id,
+            Port::IFetch,
+            token,
+            PhysAddr::new(paddr),
+            false,
+        ) {
+            L1Access::Hit { ready_at } => {
+                self.fetch_state = FetchState::Deliver { ready_at, paddr };
+            }
+            L1Access::Miss => {
+                self.fetch_state = FetchState::WaitICache { token, paddr };
+            }
+            L1Access::Blocked => {
+                self.fetch_state = FetchState::Idle; // retry next cycle
+            }
+        }
+    }
+
+    /// Decodes and predicts up to `fetch_width` instructions from the
+    /// fetched line, pushing them into the fetch queue.
+    pub(super) fn deliver_fetch_group(&mut self, mem: &MemSystem, paddr: u64) {
+        let mut pc = self.fetch_pc;
+        let mut pa = paddr;
+        self.fetch_state = FetchState::Idle;
+        for slot in 0..self.cfg.fetch_width {
+            // The group ends at a line boundary.
+            if slot > 0 && pa & 63 == 0 {
+                break;
+            }
+            let inst = match self.decode_at(mem, pa) {
+                Ok(i) => i,
+                Err(e) => {
+                    self.fetch_pc = pc;
+                    self.push_poison(e, pc);
+                    return;
+                }
+            };
+            let mut pred = None;
+            let mut next_pc = pc.wrapping_add(4);
+            let mut redirect = false;
+            match inst {
+                Inst::Branch { off, .. } => {
+                    let p = self.tournament.predict(pc);
+                    self.tournament.speculate(p.taken);
+                    let target = pc.wrapping_add(off as i64 as u64);
+                    if p.taken {
+                        next_pc = target;
+                        redirect = true;
+                    }
+                    pred = Some(BranchState {
+                        pred_taken: p.taken,
+                        pred_target: target,
+                        tournament: Some(p),
+                        actual_taken: None,
+                        actual_target: 0,
+                    });
+                }
+                Inst::Jal { rd, off } => {
+                    let target = pc.wrapping_add(off as i64 as u64);
+                    if rd == Reg::RA {
+                        self.ras.push(pc.wrapping_add(4));
+                    }
+                    next_pc = target;
+                    redirect = true;
+                    pred = Some(BranchState {
+                        pred_taken: true,
+                        pred_target: target,
+                        tournament: None,
+                        actual_taken: None,
+                        actual_target: 0,
+                    });
+                }
+                Inst::Jalr { rd, rs1, .. } => {
+                    let predicted = if rd == Reg::ZERO && rs1 == Reg::RA {
+                        self.ras.pop()
+                    } else {
+                        if rd == Reg::RA {
+                            self.ras.push(pc.wrapping_add(4));
+                        }
+                        self.btb.lookup(pc)
+                    };
+                    let target = predicted.unwrap_or(pc.wrapping_add(4));
+                    next_pc = target;
+                    redirect = true;
+                    pred = Some(BranchState {
+                        pred_taken: true,
+                        pred_target: target,
+                        tournament: None,
+                        actual_taken: None,
+                        actual_target: 0,
+                    });
+                }
+                _ => {}
+            }
+            self.fetch_queue.push_back(FetchedInst {
+                pc,
+                inst,
+                pred,
+                poison: None,
+            });
+            pc = next_pc;
+            if redirect {
+                self.fetch_pc = pc;
+                return;
+            }
+            pa += 4;
+        }
+        self.fetch_pc = pc;
+    }
+}

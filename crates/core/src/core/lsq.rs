@@ -1,0 +1,316 @@
+//! The load-store unit: memory-op address generation, translation and
+//! region checks, store-queue forwarding, memory-order violation
+//! detection, and the store buffer that drains committed stores to the
+//! L1D.
+
+use super::*;
+
+impl Core {
+    // ----------------------------------------------------- memory pipeline
+
+    /// Reads the architectural value for a load, overlaying older
+    /// uncommitted stores from the store queue.
+    pub(super) fn load_value(&self, mem: &MemSystem, seq: u64, paddr: u64, bytes: u64) -> u64 {
+        let mut buf = [0u8; 8];
+        for (i, b) in buf.iter_mut().enumerate().take(bytes as usize) {
+            *b = mem.phys.read_u8(PhysAddr::new(paddr + i as u64));
+        }
+        for e in &self.rob {
+            if e.seq >= seq {
+                break;
+            }
+            let Some(m) = &e.mem else { continue };
+            if !m.is_store {
+                continue;
+            }
+            let (Some(sp), Some(data)) = (m.paddr, m.store_data) else {
+                continue;
+            };
+            for i in 0..bytes {
+                let a = paddr + i;
+                if a >= sp && a < sp + m.bytes {
+                    buf[i as usize] = (data >> (8 * (a - sp))) as u8;
+                }
+            }
+        }
+        u64::from_le_bytes(buf)
+    }
+
+    /// Whether an older store blocks this load from producing a value yet
+    /// (overlapping store with unknown data), or may alias (unknown
+    /// address — RiscyOO speculates past those; violations are caught when
+    /// the store resolves).
+    pub(super) fn older_store_blocks(&self, seq: u64, paddr: u64, bytes: u64) -> bool {
+        for e in &self.rob {
+            if e.seq >= seq {
+                break;
+            }
+            let Some(m) = &e.mem else { continue };
+            if !m.is_store {
+                continue;
+            }
+            if let Some(sp) = m.paddr {
+                let overlap = paddr < sp + m.bytes && sp < paddr + bytes;
+                if overlap && m.store_data.is_none() {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    pub(super) fn advance_mem_ops(&mut self, now: u64, mem: &mut MemSystem) {
+        // Collect transitions first to keep borrows simple.
+        let seqs: Vec<u64> = self
+            .rob
+            .iter()
+            .filter(|e| e.stage == Stage::MemOp)
+            .map(|e| e.seq)
+            .collect();
+        for seq in seqs {
+            let Some(idx) = self.rob_index(seq) else {
+                continue;
+            };
+            let (pc, inst) = (self.rob[idx].pc, self.rob[idx].inst);
+            let m = self.rob[idx].mem.clone().expect("mem state");
+            match m.phase {
+                MemPhase::AddrGen { done_at } => {
+                    if now >= done_at {
+                        if !m.vaddr.is_multiple_of(m.bytes) {
+                            let e = if m.is_store {
+                                Exception::StoreMisaligned
+                            } else {
+                                Exception::LoadMisaligned
+                            };
+                            self.rob[idx].exception = Some((e, m.vaddr));
+                            self.rob[idx].stage = Stage::Done;
+                            self.rob[idx].mem.as_mut().expect("mem").phase = MemPhase::Done;
+                            continue;
+                        }
+                        self.rob[idx].mem.as_mut().expect("mem").phase = MemPhase::Translate;
+                    }
+                }
+                MemPhase::Translate => {
+                    let kind = if m.is_store {
+                        AccessKind::Store
+                    } else {
+                        AccessKind::Load
+                    };
+                    let (paddr, region_ok, extra) = if self.bare_translation() {
+                        (m.vaddr, self.region_allowed(mem, m.vaddr), 0)
+                    } else {
+                        match self.try_translate(m.vaddr, kind, WalkClient::Rob(seq)) {
+                            Err(e) => {
+                                self.rob[idx].exception = Some((e, m.vaddr));
+                                self.rob[idx].stage = Stage::Done;
+                                continue;
+                            }
+                            Ok(TranslateOutcome::Walking) => {
+                                self.rob[idx].mem.as_mut().expect("mem").phase = MemPhase::WaitWalk;
+                                continue;
+                            }
+                            Ok(TranslateOutcome::Busy) => continue, // retry in Translate
+                            Ok(TranslateOutcome::Hit {
+                                paddr,
+                                region_ok,
+                                extra,
+                            }) => (paddr, region_ok, extra),
+                        }
+                    };
+                    if !region_ok || paddr + m.bytes > mem.phys.size() {
+                        // Suppressed: no memory traffic; fault if it
+                        // reaches commit (Section 5.3).
+                        if !region_ok {
+                            self.stats.region_suppressed += 1;
+                            self.rob[idx].exception = Some((Exception::DramRegionFault, m.vaddr));
+                        } else {
+                            let e = if m.is_store {
+                                Exception::StoreAccessFault
+                            } else {
+                                Exception::LoadAccessFault
+                            };
+                            self.rob[idx].exception = Some((e, m.vaddr));
+                        }
+                        self.rob[idx].stage = Stage::Done;
+                        self.rob[idx].mem.as_mut().expect("mem").phase = MemPhase::Done;
+                        continue;
+                    }
+                    {
+                        let ms = self.rob[idx].mem.as_mut().expect("mem");
+                        ms.paddr = Some(paddr);
+                        ms.phase = if extra > 0 {
+                            MemPhase::TlbLatency {
+                                ready_at: now + extra,
+                            }
+                        } else {
+                            MemPhase::ReadyToAccess
+                        };
+                    }
+                    if self.rob[idx].mem.as_ref().expect("mem").phase == MemPhase::ReadyToAccess {
+                        self.mem_ready_to_access(now, mem, seq);
+                    }
+                }
+                MemPhase::TlbLatency { ready_at } => {
+                    if now >= ready_at {
+                        self.rob[idx].mem.as_mut().expect("mem").phase = MemPhase::ReadyToAccess;
+                        self.mem_ready_to_access(now, mem, seq);
+                    }
+                }
+                MemPhase::WaitWalk => {
+                    if let Some(result) = self.take_walk_result(WalkClient::Rob(seq)) {
+                        match result {
+                            WalkResult::Ok => {
+                                self.rob[idx].mem.as_mut().expect("mem").phase =
+                                    MemPhase::Translate;
+                            }
+                            WalkResult::Fault(e) => {
+                                self.rob[idx].exception = Some((e, m.vaddr));
+                                self.rob[idx].stage = Stage::Done;
+                            }
+                        }
+                    }
+                }
+                MemPhase::ReadyToAccess => {
+                    self.mem_ready_to_access(now, mem, seq);
+                }
+                MemPhase::WaitMem => {
+                    let token = TOKEN_LOAD | (seq & TOKEN_MASK);
+                    if let Some(&ready_at) = self.data_completions.get(&token) {
+                        self.data_completions.remove(&token);
+                        let ms = self.rob[idx].mem.as_mut().expect("mem");
+                        ms.phase = MemPhase::WaitValue { ready_at };
+                    }
+                }
+                MemPhase::WaitValue { ready_at } => {
+                    if now >= ready_at {
+                        let paddr = m.paddr.expect("translated");
+                        let raw = self.load_value(mem, seq, paddr, m.bytes);
+                        let entry = &mut self.rob[idx];
+                        entry.result = exec::extend_load(&inst, raw);
+                        entry.stage = Stage::Done;
+                        entry.mem.as_mut().expect("mem").phase = MemPhase::Done;
+                        let _ = pc;
+                    }
+                }
+                MemPhase::Done => {}
+            }
+        }
+    }
+
+    /// A memory op has its physical address: stores record it (and check
+    /// for memory-order violations); loads forward or issue to the L1D.
+    pub(super) fn mem_ready_to_access(&mut self, now: u64, mem: &mut MemSystem, seq: u64) {
+        let Some(idx) = self.rob_index(seq) else {
+            return;
+        };
+        let m = self.rob[idx].mem.clone().expect("mem state");
+        let paddr = m.paddr.expect("translated");
+        if m.is_store {
+            // Store: address + data recorded; done (data written at
+            // commit). First check younger loads that already executed to
+            // an overlapping address — memory-order violation.
+            let mut violating: Option<(u64, u64)> = None; // (seq, pc)
+            for e in self.rob.iter() {
+                if e.seq <= seq {
+                    continue;
+                }
+                let Some(lm) = &e.mem else { continue };
+                if lm.is_store {
+                    continue;
+                }
+                let issued = matches!(
+                    lm.phase,
+                    MemPhase::WaitMem | MemPhase::WaitValue { .. } | MemPhase::Done
+                );
+                if !issued {
+                    continue;
+                }
+                let Some(lp) = lm.paddr else { continue };
+                let overlap = lp < paddr + m.bytes && paddr < lp + lm.bytes;
+                if overlap {
+                    violating = Some((e.seq, e.pc));
+                    break;
+                }
+            }
+            self.rob[idx].stage = Stage::Done;
+            self.rob[idx].mem.as_mut().expect("mem").phase = MemPhase::Done;
+            if let Some((lseq, lpc)) = violating {
+                self.stats.mem_order_violations += 1;
+                self.squash_from(now, lseq, lpc);
+            }
+            return;
+        }
+        // Load.
+        if self.older_store_blocks(seq, paddr, m.bytes) {
+            return; // retry next cycle
+        }
+        // Full-cover forwarding from the youngest older store?
+        let mut forwarded = false;
+        for e in self.rob.iter().rev() {
+            if e.seq >= seq {
+                continue;
+            }
+            let Some(sm) = &e.mem else { continue };
+            if !sm.is_store {
+                continue;
+            }
+            let (Some(sp), Some(_)) = (sm.paddr, sm.store_data) else {
+                continue;
+            };
+            let overlap = paddr < sp + sm.bytes && sp < paddr + m.bytes;
+            if overlap {
+                let covers = sp <= paddr && paddr + m.bytes <= sp + sm.bytes;
+                if covers {
+                    forwarded = true;
+                }
+                break; // youngest overlapping store decides
+            }
+        }
+        if forwarded {
+            let ms = self.rob[idx].mem.as_mut().expect("mem");
+            ms.phase = MemPhase::WaitValue { ready_at: now + 1 };
+            return;
+        }
+        let token = TOKEN_LOAD | (seq & TOKEN_MASK);
+        match mem.access(now, self.id, Port::Data, token, PhysAddr::new(paddr), false) {
+            L1Access::Hit { ready_at } => {
+                let ms = self.rob[idx].mem.as_mut().expect("mem");
+                ms.phase = MemPhase::WaitValue { ready_at };
+            }
+            L1Access::Miss => {
+                let ms = self.rob[idx].mem.as_mut().expect("mem");
+                ms.phase = MemPhase::WaitMem;
+            }
+            L1Access::Blocked => {} // retry next cycle
+        }
+    }
+
+    // -------------------------------------------------------- store buffer
+
+    pub(super) fn tick_store_buffer(&mut self, now: u64, mem: &mut MemSystem) {
+        // Issue the oldest unissued entry.
+        if let Some(entry) = self.sb.iter_mut().find(|s| !s.issued) {
+            let token = entry.token;
+            let line = entry.line;
+            match mem.access(now, self.id, Port::Data, token, PhysAddr::new(line), true) {
+                L1Access::Hit { ready_at } => {
+                    entry.issued = true;
+                    entry.done = true;
+                    let _ = ready_at;
+                }
+                L1Access::Miss => {
+                    entry.issued = true;
+                }
+                L1Access::Blocked => {}
+            }
+        }
+        // Retire completed entries.
+        let completions = &mut self.data_completions;
+        for entry in self.sb.iter_mut() {
+            if entry.issued && !entry.done && completions.remove(&entry.token).is_some() {
+                entry.done = true;
+            }
+        }
+        self.sb.retain(|s| !s.done);
+    }
+}

@@ -1,0 +1,503 @@
+//! The cycle-level speculative out-of-order core.
+//!
+//! Models the RiscyOO pipeline of Figure 4: a 2-wide front end with BTB,
+//! tournament predictor, and RAS; ROB-based register renaming (the RAT maps
+//! architectural registers to in-flight producers); four issue pipelines
+//! (2 ALU, 1 MEM, 1 FP/MUL/DIV) with 16-entry issue queues; a 24-entry load
+//! queue, 14-entry store queue, and 4-entry store buffer; L1/L2 TLBs with a
+//! translation cache and a hardware page-table walker whose accesses go
+//! through the data port (and are therefore region-checked, Section 5.3).
+//!
+//! MI6 behaviours (all toggled by [`SecurityConfig`]):
+//! - **purge** (Section 6.1): scrubs BTB, tournament predictor, RAS, both
+//!   TLBs, the translation cache, and the L1 caches; the core stalls for
+//!   [`CoreConfig::purge_cycles`] while the sweeps run.
+//! - **flush-on-trap** (FLUSH variant, Section 7.1): the same scrub on
+//!   every trap entry and trap return.
+//! - **non-speculative mode** (NONSPEC, Section 7.5): a memory instruction
+//!   renames only when the ROB is empty.
+//! - **machine-mode speculation guard** (Section 6.2): in machine mode,
+//!   fetch is restricted to the monitor's physical window and memory
+//!   instructions are serialized as in NONSPEC.
+//! - **DRAM-region checks** (Section 5.3): every physical access —
+//!   speculative fetch, load, store, or page-walk — outside the `mregions`
+//!   bitvector is suppressed, and faults only when it commits.
+
+use crate::branch::{Btb, Prediction, Ras, Tournament};
+use crate::config::{CoreConfig, SecurityConfig};
+use crate::exec;
+use crate::stats::CoreStats;
+use crate::tlb::{Tlb, TlbEntry, TranslationCache};
+use mi6_isa::csr::CsrFile;
+use mi6_isa::paging::{leaf_span, AccessKind, LEVELS};
+use mi6_isa::trap::{Exception, TrapCause};
+use mi6_isa::{Inst, PageTableEntry, PhysAddr, PrivLevel, Reg, VirtAddr, PAGE_SHIFT};
+use mi6_mem::{L1Access, MemSystem, Port, RegionBitvec};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+mod commit;
+mod fetch;
+mod lsq;
+mod rename;
+mod rob;
+mod walker;
+
+/// Tag bits distinguishing token owners on the two memory ports.
+const TOKEN_TAG_SHIFT: u32 = 62;
+const TOKEN_LOAD: u64 = 0 << TOKEN_TAG_SHIFT;
+const TOKEN_FETCH: u64 = 1 << TOKEN_TAG_SHIFT;
+const TOKEN_PTW: u64 = 2 << TOKEN_TAG_SHIFT;
+const TOKEN_SB: u64 = 3 << TOKEN_TAG_SHIFT;
+const TOKEN_MASK: u64 = (1 << TOKEN_TAG_SHIFT) - 1;
+
+/// Extra latency charged for an L2 TLB hit after an L1 TLB miss.
+const L2_TLB_LATENCY: u64 = 4;
+/// Front-end refill delay after a redirect (squash or trap).
+const REDIRECT_PENALTY: u64 = 2;
+
+/// A source operand: either already a value, or waiting on a producer.
+#[derive(Clone, Copy, Debug)]
+enum Src {
+    Ready(u64),
+    Wait { seq: u64, reg: Reg },
+}
+
+/// Which issue pipeline an instruction uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Pipe {
+    Alu0,
+    Alu1,
+    Mem,
+    MulDiv,
+}
+
+/// Progress of a memory instruction after it leaves the MEM issue queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MemPhase {
+    /// Address generation in flight.
+    AddrGen { done_at: u64 },
+    /// Attempting translation (TLB lookup) this cycle.
+    Translate,
+    /// L2 TLB hit: waiting out the extra latency.
+    TlbLatency { ready_at: u64 },
+    /// Page-table walk outstanding.
+    WaitWalk,
+    /// Translated; loads try forwarding or issue to L1D, stores are done.
+    ReadyToAccess,
+    /// L1D request outstanding (loads only).
+    WaitMem,
+    /// Value arrives at `ready_at` (forwarding or L1 hit).
+    WaitValue { ready_at: u64 },
+    /// Finished.
+    Done,
+}
+
+#[derive(Clone, Debug)]
+struct MemState {
+    vaddr: u64,
+    paddr: Option<u64>,
+    bytes: u64,
+    is_store: bool,
+    store_data: Option<u64>,
+    phase: MemPhase,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct BranchState {
+    pred_taken: bool,
+    pred_target: u64,
+    tournament: Option<Prediction>,
+    /// Set when the branch resolves at execute.
+    actual_taken: Option<bool>,
+    actual_target: u64,
+}
+
+/// Where an instruction is in the backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Stage {
+    /// Waiting in an issue queue.
+    InIq,
+    /// Executing; result valid at `done_at`.
+    Exec { done_at: u64 },
+    /// A memory instruction past issue (see [`MemPhase`]).
+    MemOp,
+    /// Executes at commit (system instructions).
+    AtCommit,
+    /// Finished; eligible for commit.
+    Done,
+}
+
+#[derive(Clone, Debug)]
+struct RobEntry {
+    seq: u64,
+    pc: u64,
+    inst: Inst,
+    stage: Stage,
+    srcs: [Option<Src>; 2],
+    dest: Option<Reg>,
+    /// Previous RAT mapping of `dest`, for squash undo.
+    prev_map: Option<u64>,
+    result: u64,
+    branch: Option<BranchState>,
+    mem: Option<MemState>,
+    exception: Option<(Exception, u64)>,
+}
+
+impl RobEntry {
+    fn is_done(&self) -> bool {
+        matches!(self.stage, Stage::Done | Stage::AtCommit) || self.exception.is_some()
+    }
+}
+
+/// A pending or active page-table walk.
+#[derive(Clone, Copy, Debug)]
+struct WalkReq {
+    vpn: u64,
+    kind: AccessKind,
+    client: WalkClient,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum WalkClient {
+    Fetch,
+    Rob(u64),
+}
+
+#[derive(Clone, Debug)]
+struct ActiveWalk {
+    req: WalkReq,
+    level: usize,
+    table: u64,
+    /// Outstanding L1D token, or a ready time for an L1 hit.
+    pending: WalkPending,
+    pte_addr: u64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum WalkPending {
+    Issue,
+    Token(u64),
+    ReadyAt(u64),
+}
+
+/// Outcome of a completed walk, delivered to the client.
+#[derive(Clone, Copy, Debug)]
+enum WalkResult {
+    Ok,
+    Fault(Exception),
+}
+
+/// Outcome of a TLB lookup attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TranslateOutcome {
+    /// Translation available.
+    Hit {
+        paddr: u64,
+        region_ok: bool,
+        /// Extra cycles charged (L2 TLB hit latency).
+        extra: u64,
+    },
+    /// A page-table walk is in flight for this requester.
+    Walking,
+    /// The walker cannot accept another miss; retry next cycle.
+    Busy,
+}
+
+/// State of the front end's current fetch.
+#[derive(Clone, Debug, PartialEq)]
+enum FetchState {
+    /// Ready to translate and issue.
+    Idle,
+    /// ITLB walk outstanding.
+    WaitWalk,
+    /// L2 TLB latency, then issue the I-cache access.
+    TlbDelay {
+        ready_at: u64,
+        paddr: u64,
+        region_ok: bool,
+    },
+    /// I-cache access outstanding (miss).
+    WaitICache { token: u64, paddr: u64 },
+    /// I-cache hit: deliver at `ready_at`.
+    Deliver { ready_at: u64, paddr: u64 },
+    /// A poisoned instruction was delivered; wait for redirect.
+    Stalled,
+}
+
+#[derive(Clone, Debug)]
+struct FetchedInst {
+    pc: u64,
+    inst: Inst,
+    pred: Option<BranchState>,
+    poison: Option<(Exception, u64)>,
+}
+
+/// Purge / flush-on-trap sequencing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PurgePhase {
+    /// No purge in progress.
+    Idle,
+    /// Waiting for in-flight memory traffic and the store buffer to drain.
+    DrainMem,
+    /// Sweeps running; done at the given cycle.
+    Flushing { until: u64 },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct SbEntry {
+    line: u64,
+    issued: bool,
+    token: u64,
+    done: bool,
+}
+
+/// The out-of-order core.
+#[derive(Debug)]
+pub struct Core {
+    /// Core index (selects the memory-system ports).
+    pub id: usize,
+    cfg: CoreConfig,
+    sec: SecurityConfig,
+    /// Committed architectural registers.
+    pub regs: [u64; 32],
+    /// Committed PC of the next instruction to commit (trap EPC source).
+    pub pc: u64,
+    /// Current privilege level.
+    pub priv_level: PrivLevel,
+    /// Control and status registers.
+    pub csrs: CsrFile,
+    /// True once the core retired an `ebreak` in machine mode — the
+    /// simulation halt convention.
+    pub halted: bool,
+
+    // Front end.
+    btb: Btb,
+    tournament: Tournament,
+    ras: Ras,
+    fetch_pc: u64,
+    fetch_state: FetchState,
+    fetch_queue: VecDeque<FetchedInst>,
+    fetch_stall_until: u64,
+    next_fetch_token: u64,
+    itlb: Tlb,
+    decode_cache: HashMap<u64, Inst>,
+
+    // Backend.
+    rob: VecDeque<RobEntry>,
+    next_seq: u64,
+    rat: [Option<u64>; 32],
+    iqs: [Vec<u64>; 4],
+    muldiv_busy_until: u64,
+    lq_used: usize,
+    sq_used: usize,
+    sb: Vec<SbEntry>,
+    next_sb_token: u64,
+    committed_ghist: u16,
+
+    // Data-side translation.
+    dtlb: Tlb,
+    l2_tlb: Tlb,
+    tcache: TranslationCache,
+    walker_queue: VecDeque<WalkReq>,
+    walker_active: Option<ActiveWalk>,
+    walk_results: Vec<(WalkClient, WalkResult)>,
+    next_ptw_token: u64,
+
+    // Tokens owned by squashed instructions; completions are dropped.
+    zombies: HashSet<u64>,
+    // Completions that arrived this cycle, keyed by token.
+    data_completions: HashMap<u64, u64>,
+    ifetch_completions: HashMap<u64, u64>,
+
+    purge: PurgePhase,
+    /// Pending trap redirect after purge completes (handler pc, priv).
+    purge_resume: Option<(u64, PrivLevel)>,
+
+    /// Exported statistics.
+    pub stats: CoreStats,
+}
+
+impl Core {
+    /// Creates a core in reset: PC 0, machine mode, empty pipeline.
+    pub fn new(id: usize, cfg: CoreConfig, sec: SecurityConfig) -> Core {
+        Core {
+            id,
+            cfg,
+            sec,
+            regs: [0; 32],
+            pc: 0,
+            priv_level: PrivLevel::Machine,
+            csrs: CsrFile::new(),
+            halted: false,
+            btb: Btb::new(cfg.btb_entries),
+            tournament: Tournament::new(),
+            ras: Ras::new(cfg.ras_entries),
+            fetch_pc: 0,
+            fetch_state: FetchState::Idle,
+            fetch_queue: VecDeque::new(),
+            fetch_stall_until: 0,
+            next_fetch_token: 0,
+            itlb: Tlb::new(cfg.l1_tlb_entries, 1),
+            decode_cache: HashMap::new(),
+            rob: VecDeque::new(),
+            next_seq: 0,
+            rat: [None; 32],
+            iqs: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
+            muldiv_busy_until: 0,
+            lq_used: 0,
+            sq_used: 0,
+            sb: Vec::new(),
+            next_sb_token: 0,
+            committed_ghist: 0,
+            dtlb: Tlb::new(cfg.l1_tlb_entries, 1),
+            l2_tlb: Tlb::new(cfg.l2_tlb_entries, cfg.l2_tlb_entries / cfg.l2_tlb_ways),
+            tcache: TranslationCache::new(cfg.tcache_entries),
+            walker_queue: VecDeque::new(),
+            walker_active: None,
+            walk_results: Vec::new(),
+            next_ptw_token: 0,
+            zombies: HashSet::new(),
+            data_completions: HashMap::new(),
+            ifetch_completions: HashMap::new(),
+            purge: PurgePhase::Idle,
+            purge_resume: None,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// Resets the program counter and privilege level (boot or test setup).
+    pub fn reset_to(&mut self, pc: u64, priv_level: PrivLevel) {
+        self.pc = pc;
+        self.fetch_pc = pc;
+        self.priv_level = priv_level;
+        self.fetch_state = FetchState::Idle;
+    }
+
+    /// The security configuration in force.
+    pub fn security(&self) -> &SecurityConfig {
+        &self.sec
+    }
+
+    /// Whether the pipeline holds no in-flight instructions.
+    pub fn pipeline_empty(&self) -> bool {
+        self.rob.is_empty() && self.fetch_queue.is_empty()
+    }
+
+    /// Whether a purge/flush sequence is in progress.
+    pub fn purging(&self) -> bool {
+        self.purge != PurgePhase::Idle
+    }
+
+    fn region_bitvec(&self) -> RegionBitvec {
+        RegionBitvec(self.csrs.mregions)
+    }
+
+    fn region_allowed(&self, mem: &MemSystem, paddr: u64) -> bool {
+        // The security monitor (machine mode) has access to all physical
+        // addresses (Section 4.1); its isolation comes from the fetch
+        // window and the speculation guard, not the region bitvector.
+        if !self.sec.region_checks || self.priv_level == PrivLevel::Machine {
+            return true;
+        }
+        let map = mem.region_map();
+        if paddr >= mem.phys.size() {
+            return false;
+        }
+        self.region_bitvec()
+            .allows(map.region_of(PhysAddr::new(paddr)))
+    }
+
+    fn bare_translation(&self) -> bool {
+        self.priv_level == PrivLevel::Machine || self.csrs.satp == 0
+    }
+
+    fn nonspec_gate(&self) -> bool {
+        self.sec.nonspec_all_modes
+            || (self.sec.machine_mode_guard && self.priv_level == PrivLevel::Machine)
+    }
+
+    // ---------------------------------------------------------------- tick
+
+    /// Begins a purge sequence directly (the security monitor's path:
+    /// architecturally this is the monitor executing `purge`, but the
+    /// monitor model drives the machine from outside). The core stalls
+    /// for the full purge duration and resumes at `resume_pc` in
+    /// `resume_priv`.
+    pub fn start_purge(&mut self, now: u64, resume_pc: u64, resume_priv: PrivLevel) {
+        self.squash_from(now, self.head_seq(), resume_pc);
+        self.stats.purges += 1;
+        self.begin_purge_sequence(now, Some((resume_pc, resume_priv)));
+    }
+
+    /// A one-line diagnostic snapshot of pipeline state (for debugging
+    /// stuck simulations from tests and examples).
+    pub fn debug_state(&self) -> String {
+        let head = self.rob.front().map(|e| {
+            format!(
+                "seq={} pc={:#x} `{}` stage={:?} mem={:?} exc={:?}",
+                e.seq,
+                e.pc,
+                e.inst,
+                e.stage,
+                e.mem.as_ref().map(|m| (m.phase, m.paddr)),
+                e.exception
+            )
+        });
+        format!(
+            "rob={} head=[{}] iq={:?} lq={} sq={} sb={} fetchq={} fetch={:?} purge={:?} walker_active={} walkq={}",
+            self.rob.len(),
+            head.unwrap_or_default(),
+            [self.iqs[0].len(), self.iqs[1].len(), self.iqs[2].len(), self.iqs[3].len()],
+            self.lq_used,
+            self.sq_used,
+            self.sb.len(),
+            self.fetch_queue.len(),
+            self.fetch_state,
+            self.purge,
+            self.walker_active.is_some(),
+            self.walker_queue.len(),
+        )
+    }
+
+    /// Advances the core one cycle. Call before `mem.tick(now)`.
+    pub fn tick(&mut self, now: u64, mem: &mut MemSystem) {
+        if self.halted {
+            return;
+        }
+        self.stats.cycles += 1;
+        self.csrs.cycle = now;
+        // Timer interrupts (simplified CLINT: compare CSRs against `now`).
+        self.csrs
+            .set_pending(mi6_isa::Interrupt::MachineTimer, now >= self.csrs.mtimecmp);
+        self.csrs.set_pending(
+            mi6_isa::Interrupt::SupervisorTimer,
+            now >= self.csrs.stimecmp,
+        );
+        // Collect completions from both ports, dropping zombies.
+        for c in mem.take_completions(self.id, Port::Data) {
+            if !self.zombies.remove(&c.token) {
+                self.data_completions.insert(c.token, c.ready_at);
+            }
+        }
+        for c in mem.take_completions(self.id, Port::IFetch) {
+            if !self.zombies.remove(&c.token) {
+                self.ifetch_completions.insert(c.token, c.ready_at);
+            }
+        }
+        if self.purge != PurgePhase::Idle {
+            self.tick_purge(now, mem);
+            return;
+        }
+        self.tick_commit(now, mem);
+        if self.purge != PurgePhase::Idle || self.halted {
+            return;
+        }
+        self.tick_writeback(now);
+        self.advance_mem_ops(now, mem);
+        self.tick_walker(now, mem);
+        self.tick_issue(now);
+        self.tick_rename(now);
+        self.tick_fetch(now, mem);
+        self.tick_store_buffer(now, mem);
+    }
+}

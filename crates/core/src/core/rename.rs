@@ -1,0 +1,273 @@
+//! Rename, issue, and writeback: ROB insertion with RAT renaming and
+//! the serialization gates (system instructions, NONSPEC), oldest-first
+//! issue from the four issue queues, and branch resolution.
+
+use super::*;
+
+impl Core {
+    // ------------------------------------------------------------- rename
+
+    pub(super) fn tick_rename(&mut self, now: u64) {
+        let mut renamed = 0;
+        while renamed < self.cfg.fetch_width {
+            if self.rob.len() >= self.cfg.rob_entries {
+                break;
+            }
+            let Some(front) = self.fetch_queue.front() else {
+                break;
+            };
+            let inst = front.inst;
+            let poisoned = front.poison.is_some();
+            // Serialization: system instructions and (under the
+            // non-speculative gate) memory instructions rename only into
+            // an empty ROB.
+            let serialize =
+                !poisoned && (inst.is_system() || (self.nonspec_gate() && inst.is_mem()));
+            if serialize && (!self.rob.is_empty() || renamed > 0) {
+                if self.nonspec_gate() && inst.is_mem() {
+                    self.stats.nonspec_stall_cycles += 1;
+                }
+                break;
+            }
+            // Structural slots.
+            let pipe = if poisoned {
+                None
+            } else {
+                match inst {
+                    _ if inst.is_mem() => Some(Pipe::Mem),
+                    _ if inst.is_muldiv_fp() => Some(Pipe::MulDiv),
+                    Inst::Jal { .. } => None,
+                    _ if inst.is_system() => None,
+                    _ => {
+                        // Pick the shorter ALU queue.
+                        if self.iqs[0].len() <= self.iqs[1].len() {
+                            Some(Pipe::Alu0)
+                        } else {
+                            Some(Pipe::Alu1)
+                        }
+                    }
+                }
+            };
+            if let Some(p) = pipe {
+                let iq = &self.iqs[p as usize];
+                if iq.len() >= self.cfg.iq_entries {
+                    break;
+                }
+            }
+            if inst.is_load() && self.lq_used >= self.cfg.lq_entries {
+                break;
+            }
+            if inst.is_store() && self.sq_used >= self.cfg.sq_entries {
+                break;
+            }
+            let fetched = self.fetch_queue.pop_front().expect("peeked");
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            // Sources.
+            let (s1, s2) = fetched.inst.sources();
+            let mk_src = |r: Option<Reg>, core: &Core| -> Option<Src> {
+                let r = r?;
+                if r.is_zero() {
+                    return Some(Src::Ready(0));
+                }
+                Some(match core.rat[r.index() as usize] {
+                    Some(pseq) => Src::Wait { seq: pseq, reg: r },
+                    None => Src::Ready(core.regs[r.index() as usize]),
+                })
+            };
+            let srcs = [mk_src(s1, self), mk_src(s2, self)];
+            // Destination renaming.
+            let dest = fetched.inst.dest();
+            let mut prev_map = None;
+            if let Some(d) = dest {
+                prev_map = self.rat[d.index() as usize];
+                self.rat[d.index() as usize] = Some(seq);
+            }
+            let stage = if poisoned {
+                Stage::Done
+            } else if fetched.inst.is_system() {
+                Stage::AtCommit
+            } else if matches!(fetched.inst, Inst::Jal { .. }) {
+                Stage::Done
+            } else {
+                Stage::InIq
+            };
+            let mem_state = fetched.inst.is_mem().then(|| {
+                let bytes = match fetched.inst {
+                    Inst::Load { width, .. } | Inst::Store { width, .. } => width.bytes(),
+                    _ => unreachable!(),
+                };
+                if fetched.inst.is_store() {
+                    self.sq_used += 1;
+                } else {
+                    self.lq_used += 1;
+                }
+                MemState {
+                    vaddr: 0,
+                    paddr: None,
+                    bytes,
+                    is_store: fetched.inst.is_store(),
+                    store_data: None,
+                    phase: MemPhase::AddrGen { done_at: 0 },
+                }
+            });
+            let result = if matches!(fetched.inst, Inst::Jal { .. }) {
+                fetched.pc.wrapping_add(4)
+            } else {
+                0
+            };
+            let entry = RobEntry {
+                seq,
+                pc: fetched.pc,
+                inst: fetched.inst,
+                stage,
+                srcs,
+                dest,
+                prev_map,
+                result,
+                branch: fetched.pred,
+                mem: mem_state,
+                exception: fetched.poison,
+            };
+            if let Some(p) = pipe {
+                self.iqs[p as usize].push(seq);
+            }
+            self.rob.push_back(entry);
+            renamed += 1;
+            let _ = now;
+        }
+    }
+
+    // -------------------------------------------------------------- issue
+
+    pub(super) fn tick_issue(&mut self, now: u64) {
+        for pipe in [Pipe::Alu0, Pipe::Alu1, Pipe::MulDiv, Pipe::Mem] {
+            if pipe == Pipe::MulDiv && now < self.muldiv_busy_until {
+                continue;
+            }
+            let iq = &self.iqs[pipe as usize];
+            // Oldest-first: find the lowest seq whose sources are ready.
+            let mut chosen: Option<u64> = None;
+            let mut sorted: Vec<u64> = iq.clone();
+            sorted.sort_unstable();
+            for &seq in &sorted {
+                let Some(idx) = self.rob_index(seq) else {
+                    continue;
+                };
+                if self.srcs_ready(&self.rob[idx]).is_some() {
+                    chosen = Some(seq);
+                    break;
+                }
+            }
+            let Some(seq) = chosen else {
+                continue;
+            };
+            self.iqs[pipe as usize].retain(|&s| s != seq);
+            let idx = self.rob_index(seq).expect("chosen entry exists");
+            let (a, b) = self.srcs_ready(&self.rob[idx]).expect("ready");
+            let entry = &mut self.rob[idx];
+            match pipe {
+                Pipe::Alu0 | Pipe::Alu1 => {
+                    let done_at = now + 1;
+                    match entry.inst {
+                        Inst::Branch { cond, .. } => {
+                            let taken = cond.eval(a, b);
+                            let b_state = entry.branch.as_mut().expect("branch state");
+                            b_state.actual_taken = Some(taken);
+                            b_state.actual_target = if taken {
+                                b_state.pred_target
+                            } else {
+                                entry.pc.wrapping_add(4)
+                            };
+                            entry.stage = Stage::Exec { done_at };
+                        }
+                        Inst::Jalr { off, .. } => {
+                            let target = a.wrapping_add(off as i64 as u64) & !1;
+                            let b_state = entry.branch.as_mut().expect("jalr state");
+                            b_state.actual_taken = Some(true);
+                            b_state.actual_target = target;
+                            entry.result = entry.pc.wrapping_add(4);
+                            entry.stage = Stage::Exec { done_at };
+                        }
+                        _ => {
+                            entry.result = exec::eval(&entry.inst, a, b, entry.pc);
+                            entry.stage = Stage::Exec { done_at };
+                        }
+                    }
+                }
+                Pipe::MulDiv => {
+                    let lat = match entry.inst {
+                        Inst::Div { .. }
+                        | Inst::Divu { .. }
+                        | Inst::Rem { .. }
+                        | Inst::Remu { .. } => self.cfg.div_latency,
+                        Inst::Fdiv { .. } => self.cfg.fdiv_latency,
+                        Inst::Fadd { .. } | Inst::Fmul { .. } => self.cfg.fp_latency,
+                        _ => self.cfg.mul_latency,
+                    };
+                    let pipelined = matches!(
+                        entry.inst,
+                        Inst::Mul { .. }
+                            | Inst::Mulh { .. }
+                            | Inst::Fadd { .. }
+                            | Inst::Fmul { .. }
+                    );
+                    entry.result = exec::eval(&entry.inst, a, b, entry.pc);
+                    entry.stage = Stage::Exec {
+                        done_at: now + lat as u64,
+                    };
+                    self.muldiv_busy_until = if pipelined { now + 1 } else { now + lat as u64 };
+                }
+                Pipe::Mem => {
+                    let vaddr = exec::effective_address(&entry.inst, a);
+                    let m = entry.mem.as_mut().expect("mem state");
+                    m.vaddr = vaddr;
+                    if m.is_store {
+                        m.store_data = Some(b);
+                    }
+                    m.phase = MemPhase::AddrGen { done_at: now + 1 };
+                    entry.stage = Stage::MemOp;
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------- writeback
+
+    /// Completes executing instructions and resolves branches.
+    pub(super) fn tick_writeback(&mut self, now: u64) {
+        // Find resolved branches / finished ALU ops.
+        let mut mispredict: Option<(u64, u64)> = None; // (squash-from, new pc)
+        for idx in 0..self.rob.len() {
+            let e = &self.rob[idx];
+            let Stage::Exec { done_at } = e.stage else {
+                continue;
+            };
+            if now < done_at {
+                continue;
+            }
+            let seq = e.seq;
+            let entry = &mut self.rob[idx];
+            entry.stage = Stage::Done;
+            if let Some(b) = entry.branch {
+                let actual_taken = b.actual_taken.expect("resolved at execute");
+                let wrong = if entry.inst.is_cond_branch() {
+                    actual_taken != b.pred_taken
+                } else {
+                    b.actual_target != b.pred_target
+                };
+                if wrong && mispredict.is_none() {
+                    if entry.inst.is_cond_branch() {
+                        self.stats.branch_mispredicts += 1;
+                    } else {
+                        self.stats.jump_mispredicts += 1;
+                    }
+                    mispredict = Some((seq + 1, b.actual_target));
+                }
+            }
+        }
+        if let Some((from, target)) = mispredict {
+            self.squash_from(now, from, target);
+        }
+    }
+}

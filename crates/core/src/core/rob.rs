@@ -1,0 +1,121 @@
+//! ROB bookkeeping: sequence-number lookup, operand readiness, and the
+//! squash path (RAT undo, issue-queue scrub, zombie tokens, speculative
+//! global-history rebuild).
+
+use super::*;
+
+impl Core {
+    // ---------------------------------------------------------------- ROB
+
+    pub(super) fn head_seq(&self) -> u64 {
+        self.rob.front().map(|e| e.seq).unwrap_or(self.next_seq)
+    }
+
+    pub(super) fn rob_index(&self, seq: u64) -> Option<usize> {
+        // Seqs are strictly increasing but NOT contiguous (a squash leaves
+        // a gap before the next rename), so binary-search.
+        let head = self.rob.front()?.seq;
+        if seq < head {
+            return None;
+        }
+        let (a, b) = self.rob.as_slices();
+        match a.binary_search_by_key(&seq, |e| e.seq) {
+            Ok(i) => Some(i),
+            Err(_) => b
+                .binary_search_by_key(&seq, |e| e.seq)
+                .ok()
+                .map(|i| a.len() + i),
+        }
+    }
+
+    pub(super) fn producer_value(&self, src: Src) -> Option<u64> {
+        match src {
+            Src::Ready(v) => Some(v),
+            Src::Wait { seq, reg } => match self.rob_index(seq) {
+                None => Some(self.regs[reg.index() as usize]),
+                Some(idx) => {
+                    let e = &self.rob[idx];
+                    (e.stage == Stage::Done).then_some(e.result)
+                }
+            },
+        }
+    }
+
+    pub(super) fn srcs_ready(&self, entry: &RobEntry) -> Option<(u64, u64)> {
+        let a = match entry.srcs[0] {
+            None => 0,
+            Some(s) => self.producer_value(s)?,
+        };
+        let b = match entry.srcs[1] {
+            None => 0,
+            Some(s) => self.producer_value(s)?,
+        };
+        Some((a, b))
+    }
+
+    // ------------------------------------------------------------- squash
+
+    /// Squashes all entries with `seq >= from_seq`; redirects fetch to
+    /// `new_pc`.
+    pub(super) fn squash_from(&mut self, now: u64, from_seq: u64, new_pc: u64) {
+        while let Some(back) = self.rob.back() {
+            if back.seq < from_seq {
+                break;
+            }
+            let e = self.rob.pop_back().expect("non-empty");
+            self.stats.squashed_instructions += 1;
+            // Undo RAT.
+            if let Some(d) = e.dest {
+                if self.rat[d.index() as usize] == Some(e.seq) {
+                    self.rat[d.index() as usize] = e.prev_map;
+                }
+            }
+            // Remove from issue queues.
+            for iq in &mut self.iqs {
+                iq.retain(|&s| s != e.seq);
+            }
+            // Release LQ/SQ slots and orphan in-flight tokens.
+            if let Some(m) = &e.mem {
+                if m.is_store {
+                    self.sq_used -= 1;
+                } else {
+                    self.lq_used -= 1;
+                }
+                if m.phase == MemPhase::WaitMem {
+                    self.zombies.insert(TOKEN_LOAD | (e.seq & TOKEN_MASK));
+                }
+                if m.phase == MemPhase::WaitWalk {
+                    self.cancel_walk(WalkClient::Rob(e.seq));
+                }
+            }
+        }
+        // Flush the front end.
+        self.fetch_queue.clear();
+        match &self.fetch_state {
+            FetchState::WaitICache { token, .. } => {
+                self.zombies.insert(*token);
+            }
+            FetchState::WaitWalk => self.cancel_walk(WalkClient::Fetch),
+            _ => {}
+        }
+        self.fetch_state = FetchState::Idle;
+        self.fetch_pc = new_pc;
+        self.fetch_stall_until = now + REDIRECT_PENALTY;
+        self.rebuild_ghist();
+    }
+
+    /// Recomputes the speculative global history from the committed
+    /// history plus surviving in-flight branches (actual outcome where
+    /// resolved, predicted otherwise).
+    pub(super) fn rebuild_ghist(&mut self) {
+        let mut g = self.committed_ghist;
+        for e in &self.rob {
+            if let Some(b) = &e.branch {
+                if e.inst.is_cond_branch() {
+                    g = (g << 1) | b.actual_taken.unwrap_or(b.pred_taken) as u16;
+                }
+            }
+        }
+        self.tournament.ghist = g;
+    }
+}

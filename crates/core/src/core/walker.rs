@@ -1,0 +1,237 @@
+//! Address translation: the two-level TLB lookup path and the hardware
+//! page-table walker, whose accesses go through the data port and are
+//! therefore region-checked (paper Section 5.3).
+
+use super::*;
+
+impl Core {
+    pub(super) fn cancel_walk(&mut self, client: WalkClient) {
+        self.walker_queue.retain(|r| r.client != client);
+        if let Some(active) = &mut self.walker_active {
+            if active.req.client == client {
+                // Let the memory access finish but drop the result.
+                if let WalkPending::Token(t) = active.pending {
+                    self.zombies.insert(t);
+                }
+                self.walker_active = None;
+            }
+        }
+        self.walk_results.retain(|(c, _)| *c != client);
+    }
+
+    // ---------------------------------------------------------------- TLB
+
+    /// Attempts a translation through the TLB hierarchy.
+    ///
+    /// Returns:
+    /// - `Ok(Hit { .. })` on a TLB hit,
+    /// - `Ok(Walking)` if a page-table walk is pending for this client,
+    /// - `Ok(Busy)` if the walker could not accept the request (D-TLB
+    ///   outstanding-miss limit) — the requester retries next cycle,
+    /// - `Err(exception)` on a permission fault detected at TLB-hit time.
+    pub(super) fn try_translate(
+        &mut self,
+        vaddr: u64,
+        kind: AccessKind,
+        client: WalkClient,
+    ) -> Result<TranslateOutcome, Exception> {
+        let va = VirtAddr::new(vaddr);
+        let vpn = va.raw() >> PAGE_SHIFT;
+        let user = self.priv_level == PrivLevel::User;
+        let l1 = match kind {
+            AccessKind::Fetch => &mut self.itlb,
+            _ => &mut self.dtlb,
+        };
+        let fault = |kind: AccessKind| match kind {
+            AccessKind::Fetch => Exception::InstPageFault,
+            AccessKind::Load => Exception::LoadPageFault,
+            AccessKind::Store => Exception::StorePageFault,
+        };
+        if let Some(entry) = l1.lookup(vpn) {
+            if !kind.permitted(entry.pte, user) {
+                return Err(fault(kind));
+            }
+            return Ok(TranslateOutcome::Hit {
+                paddr: entry.translate(va).raw(),
+                region_ok: entry.region_ok,
+                extra: 0,
+            });
+        }
+        if let Some(entry) = self.l2_tlb.lookup(vpn) {
+            if !kind.permitted(entry.pte, user) {
+                return Err(fault(kind));
+            }
+            let l1 = match kind {
+                AccessKind::Fetch => &mut self.itlb,
+                _ => &mut self.dtlb,
+            };
+            l1.insert(entry);
+            return Ok(TranslateOutcome::Hit {
+                paddr: entry.translate(va).raw(),
+                region_ok: entry.region_ok,
+                extra: L2_TLB_LATENCY,
+            });
+        }
+        // A walk already pending for this client?
+        let pending = self.walker_queue.iter().any(|r| r.client == client)
+            || self
+                .walker_active
+                .as_ref()
+                .is_some_and(|a| a.req.client == client);
+        if pending {
+            return Ok(TranslateOutcome::Walking);
+        }
+        // The D-TLB supports at most `dtlb_max_misses` outstanding misses
+        // (Figure 4); beyond that the requester must retry.
+        let data_walks = self
+            .walker_queue
+            .iter()
+            .filter(|r| r.kind != AccessKind::Fetch)
+            .count()
+            + self
+                .walker_active
+                .as_ref()
+                .is_some_and(|a| a.req.kind != AccessKind::Fetch) as usize;
+        if kind != AccessKind::Fetch && data_walks >= self.cfg.dtlb_max_misses {
+            return Ok(TranslateOutcome::Busy);
+        }
+        self.walker_queue.push_back(WalkReq { vpn, kind, client });
+        Ok(TranslateOutcome::Walking)
+    }
+
+    /// Advances the page-table walker by one cycle.
+    pub(super) fn tick_walker(&mut self, now: u64, mem: &mut MemSystem) {
+        if self.walker_active.is_none() {
+            let Some(req) = self.walker_queue.pop_front() else {
+                return;
+            };
+            // Start from the deepest translation-cache hit.
+            let root = (self.csrs.satp & ((1 << 44) - 1)) << PAGE_SHIFT;
+            let (level, table) = if let Some(t) = self.tcache.lookup(1, req.vpn >> 9) {
+                (0, t.raw())
+            } else if let Some(t) = self.tcache.lookup(2, req.vpn >> 18) {
+                (1, t.raw())
+            } else {
+                (LEVELS - 1, root)
+            };
+            self.walker_active = Some(ActiveWalk {
+                req,
+                level,
+                table,
+                pending: WalkPending::Issue,
+                pte_addr: 0,
+            });
+        }
+        let Some(mut walk) = self.walker_active.take() else {
+            return;
+        };
+        match walk.pending {
+            WalkPending::Issue => {
+                let idx = (walk.req.vpn >> (9 * walk.level)) & 0x1ff;
+                let pte_addr = walk.table + idx * 8;
+                walk.pte_addr = pte_addr;
+                // Region check on the walk access itself (Section 5.3):
+                // a violating PTW access is suppressed, never emitted.
+                if !self.region_allowed(mem, pte_addr) {
+                    self.stats.region_suppressed += 1;
+                    self.walk_results.push((
+                        walk.req.client,
+                        WalkResult::Fault(Exception::DramRegionFault),
+                    ));
+                    return; // walker freed
+                }
+                let token = TOKEN_PTW | (self.next_ptw_token & TOKEN_MASK);
+                self.next_ptw_token += 1;
+                match mem.access(
+                    now,
+                    self.id,
+                    Port::Data,
+                    token,
+                    PhysAddr::new(pte_addr),
+                    false,
+                ) {
+                    L1Access::Hit { ready_at } => {
+                        walk.pending = WalkPending::ReadyAt(ready_at);
+                        self.walker_active = Some(walk);
+                    }
+                    L1Access::Miss => {
+                        walk.pending = WalkPending::Token(token);
+                        self.walker_active = Some(walk);
+                    }
+                    L1Access::Blocked => {
+                        walk.pending = WalkPending::Issue;
+                        self.walker_active = Some(walk);
+                    }
+                }
+            }
+            WalkPending::Token(token) => {
+                if let Some(&ready_at) = self.data_completions.get(&token) {
+                    self.data_completions.remove(&token);
+                    walk.pending = WalkPending::ReadyAt(ready_at);
+                }
+                self.walker_active = Some(walk);
+            }
+            WalkPending::ReadyAt(ready_at) => {
+                if now < ready_at {
+                    self.walker_active = Some(walk);
+                    return;
+                }
+                let pte = PageTableEntry(mem.phys.read_u64(PhysAddr::new(walk.pte_addr)));
+                let fault = || match walk.req.kind {
+                    AccessKind::Fetch => Exception::InstPageFault,
+                    AccessKind::Load => Exception::LoadPageFault,
+                    AccessKind::Store => Exception::StorePageFault,
+                };
+                if !pte.valid() {
+                    self.walk_results
+                        .push((walk.req.client, WalkResult::Fault(fault())));
+                    self.stats.page_walks += 1;
+                    return;
+                }
+                if pte.is_leaf() {
+                    let leaf_base = pte.ppn() << PAGE_SHIFT;
+                    let span = leaf_span(walk.level);
+                    let region_ok = {
+                        // One check suffices: no page straddles a region.
+                        let probe = leaf_base & !(span - 1);
+                        self.region_allowed(mem, probe)
+                    };
+                    let entry = TlbEntry {
+                        vpn: walk.req.vpn & !((1u64 << (9 * walk.level)) - 1),
+                        level: walk.level,
+                        pte,
+                        region_ok,
+                    };
+                    self.l2_tlb.insert(entry);
+                    match walk.req.kind {
+                        AccessKind::Fetch => self.itlb.insert(entry),
+                        _ => self.dtlb.insert(entry),
+                    }
+                    self.walk_results.push((walk.req.client, WalkResult::Ok));
+                    self.stats.page_walks += 1;
+                } else {
+                    let next_table = pte.ppn() << PAGE_SHIFT;
+                    // Record the intermediate step in the translation
+                    // cache: the table consulted at level-1 is determined
+                    // by the vpn bits above it.
+                    if walk.level >= 1 {
+                        self.tcache.insert(
+                            walk.level,
+                            walk.req.vpn >> (9 * walk.level),
+                            PhysAddr::new(next_table),
+                        );
+                    }
+                    walk.level -= 1;
+                    walk.table = next_table;
+                    walk.pending = WalkPending::Issue;
+                    self.walker_active = Some(walk);
+                }
+            }
+        }
+    }
+
+    pub(super) fn take_walk_result(&mut self, client: WalkClient) -> Option<WalkResult> {
+        let idx = self.walk_results.iter().position(|(c, _)| *c == client)?;
+        Some(self.walk_results.remove(idx).1)
+    }
+}

@@ -40,13 +40,7 @@ pub fn eval(inst: &Inst, a: u64, b: u64, pc: u64) -> u64 {
                 ((a as i64) / (b as i64)) as u64
             }
         }
-        Inst::Divu { .. } => {
-            if b == 0 {
-                u64::MAX
-            } else {
-                a / b
-            }
-        }
+        Inst::Divu { .. } => a.checked_div(b).unwrap_or(u64::MAX),
         Inst::Rem { .. } => {
             if b == 0 {
                 a
@@ -128,23 +122,86 @@ mod tests {
 
     #[test]
     fn alu_basics() {
-        assert_eq!(eval(&r3(|rd, rs1, rs2| Inst::Add { rd, rs1, rs2 }), 5, 7, 0), 12);
-        assert_eq!(eval(&r3(|rd, rs1, rs2| Inst::Sub { rd, rs1, rs2 }), 5, 7, 0), u64::MAX - 1);
-        assert_eq!(eval(&r3(|rd, rs1, rs2| Inst::Sra { rd, rs1, rs2 }), u64::MAX, 4, 0), u64::MAX);
-        assert_eq!(eval(&r3(|rd, rs1, rs2| Inst::Srl { rd, rs1, rs2 }), u64::MAX, 63, 0), 1);
-        assert_eq!(eval(&r3(|rd, rs1, rs2| Inst::Slt { rd, rs1, rs2 }), u64::MAX, 0, 0), 1);
-        assert_eq!(eval(&r3(|rd, rs1, rs2| Inst::Sltu { rd, rs1, rs2 }), u64::MAX, 0, 0), 0);
+        assert_eq!(
+            eval(&r3(|rd, rs1, rs2| Inst::Add { rd, rs1, rs2 }), 5, 7, 0),
+            12
+        );
+        assert_eq!(
+            eval(&r3(|rd, rs1, rs2| Inst::Sub { rd, rs1, rs2 }), 5, 7, 0),
+            u64::MAX - 1
+        );
+        assert_eq!(
+            eval(
+                &r3(|rd, rs1, rs2| Inst::Sra { rd, rs1, rs2 }),
+                u64::MAX,
+                4,
+                0
+            ),
+            u64::MAX
+        );
+        assert_eq!(
+            eval(
+                &r3(|rd, rs1, rs2| Inst::Srl { rd, rs1, rs2 }),
+                u64::MAX,
+                63,
+                0
+            ),
+            1
+        );
+        assert_eq!(
+            eval(
+                &r3(|rd, rs1, rs2| Inst::Slt { rd, rs1, rs2 }),
+                u64::MAX,
+                0,
+                0
+            ),
+            1
+        );
+        assert_eq!(
+            eval(
+                &r3(|rd, rs1, rs2| Inst::Sltu { rd, rs1, rs2 }),
+                u64::MAX,
+                0,
+                0
+            ),
+            0
+        );
     }
 
     #[test]
     fn riscv_division_semantics() {
-        assert_eq!(eval(&r3(|rd, rs1, rs2| Inst::Div { rd, rs1, rs2 }), 7, 0, 0), u64::MAX);
-        assert_eq!(eval(&r3(|rd, rs1, rs2| Inst::Rem { rd, rs1, rs2 }), 7, 0, 0), 7);
+        assert_eq!(
+            eval(&r3(|rd, rs1, rs2| Inst::Div { rd, rs1, rs2 }), 7, 0, 0),
+            u64::MAX
+        );
+        assert_eq!(
+            eval(&r3(|rd, rs1, rs2| Inst::Rem { rd, rs1, rs2 }), 7, 0, 0),
+            7
+        );
         // overflow: i64::MIN / -1 wraps to i64::MIN, remainder 0
         let min = i64::MIN as u64;
-        assert_eq!(eval(&r3(|rd, rs1, rs2| Inst::Div { rd, rs1, rs2 }), min, u64::MAX, 0), min);
-        assert_eq!(eval(&r3(|rd, rs1, rs2| Inst::Rem { rd, rs1, rs2 }), min, u64::MAX, 0), 0);
-        assert_eq!(eval(&r3(|rd, rs1, rs2| Inst::Divu { rd, rs1, rs2 }), 7, 2, 0), 3);
+        assert_eq!(
+            eval(
+                &r3(|rd, rs1, rs2| Inst::Div { rd, rs1, rs2 }),
+                min,
+                u64::MAX,
+                0
+            ),
+            min
+        );
+        assert_eq!(
+            eval(
+                &r3(|rd, rs1, rs2| Inst::Rem { rd, rs1, rs2 }),
+                min,
+                u64::MAX,
+                0
+            ),
+            0
+        );
+        assert_eq!(
+            eval(&r3(|rd, rs1, rs2| Inst::Divu { rd, rs1, rs2 }), 7, 2, 0),
+            3
+        );
     }
 
     #[test]
@@ -152,7 +209,10 @@ mod tests {
         let a = i64::MAX as u64;
         let b = i64::MAX as u64;
         let expect = (((i64::MAX as i128) * (i64::MAX as i128)) >> 64) as u64;
-        assert_eq!(eval(&r3(|rd, rs1, rs2| Inst::Mulh { rd, rs1, rs2 }), a, b, 0), expect);
+        assert_eq!(
+            eval(&r3(|rd, rs1, rs2| Inst::Mulh { rd, rs1, rs2 }), a, b, 0),
+            expect
+        );
     }
 
     #[test]
@@ -160,26 +220,58 @@ mod tests {
         let a = 1.5f64.to_bits();
         let b = 2.0f64.to_bits();
         assert_eq!(
-            f64::from_bits(eval(&r3(|rd, rs1, rs2| Inst::Fmul { rd, rs1, rs2 }), a, b, 0)),
+            f64::from_bits(eval(
+                &r3(|rd, rs1, rs2| Inst::Fmul { rd, rs1, rs2 }),
+                a,
+                b,
+                0
+            )),
             3.0
         );
         assert_eq!(
-            f64::from_bits(eval(&r3(|rd, rs1, rs2| Inst::Fdiv { rd, rs1, rs2 }), a, b, 0)),
+            f64::from_bits(eval(
+                &r3(|rd, rs1, rs2| Inst::Fdiv { rd, rs1, rs2 }),
+                a,
+                b,
+                0
+            )),
             0.75
         );
     }
 
     #[test]
     fn wide_moves() {
-        let movz = Inst::Movz { rd: Reg::A0, imm16: 0xbeef, sh16: 2 };
+        let movz = Inst::Movz {
+            rd: Reg::A0,
+            imm16: 0xbeef,
+            sh16: 2,
+        };
         assert_eq!(eval(&movz, 0xffff_ffff, 0, 0), 0xbeef_0000_0000);
-        let movk = Inst::Movk { rd: Reg::A0, imm16: 0x1234, sh16: 0 };
-        assert_eq!(eval(&movk, 0xdead_0000_0000_beef, 0, 0), 0xdead_0000_0000_1234);
+        let movk = Inst::Movk {
+            rd: Reg::A0,
+            imm16: 0x1234,
+            sh16: 0,
+        };
+        assert_eq!(
+            eval(&movk, 0xdead_0000_0000_beef, 0, 0),
+            0xdead_0000_0000_1234
+        );
     }
 
     #[test]
     fn link_result() {
-        assert_eq!(eval(&Inst::Jal { rd: Reg::RA, off: 64 }, 0, 0, 0x1000), 0x1004);
+        assert_eq!(
+            eval(
+                &Inst::Jal {
+                    rd: Reg::RA,
+                    off: 64
+                },
+                0,
+                0,
+                0x1000
+            ),
+            0x1004
+        );
     }
 
     #[test]
@@ -190,11 +282,29 @@ mod tests {
 
     #[test]
     fn load_extension() {
-        let lb = Inst::Load { rd: Reg::A0, rs1: Reg::A1, off: 0, width: MemWidth::B, signed: true };
+        let lb = Inst::Load {
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            off: 0,
+            width: MemWidth::B,
+            signed: true,
+        };
         assert_eq!(extend_load(&lb, 0x80), 0xffff_ffff_ffff_ff80);
-        let lbu = Inst::Load { rd: Reg::A0, rs1: Reg::A1, off: 0, width: MemWidth::B, signed: false };
+        let lbu = Inst::Load {
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            off: 0,
+            width: MemWidth::B,
+            signed: false,
+        };
         assert_eq!(extend_load(&lbu, 0x180), 0x80);
-        let lw = Inst::Load { rd: Reg::A0, rs1: Reg::A1, off: 0, width: MemWidth::W, signed: true };
+        let lw = Inst::Load {
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            off: 0,
+            width: MemWidth::W,
+            signed: true,
+        };
         assert_eq!(extend_load(&lw, 0x8000_0000), 0xffff_ffff_8000_0000);
         let ld = Inst::ld(Reg::A0, Reg::A1, 0);
         assert_eq!(extend_load(&ld, u64::MAX), u64::MAX);

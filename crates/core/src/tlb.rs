@@ -63,7 +63,7 @@ pub struct Tlb {
 impl Tlb {
     /// Creates a TLB with `entries` total capacity in `sets` sets.
     pub fn new(entries: usize, sets: usize) -> Tlb {
-        assert!(entries % sets == 0);
+        assert!(entries.is_multiple_of(sets));
         assert!(sets.is_power_of_two());
         Tlb {
             sets: vec![Vec::new(); sets],
@@ -98,9 +98,7 @@ impl Tlb {
         // vpn's set and set 0 candidates for superpages.
         let set = self.set_of(vpn);
         for probe in [set, 0] {
-            if let Some((entry, stamp)) = self.sets[probe]
-                .iter_mut()
-                .find(|(e, _)| e.matches(vpn))
+            if let Some((entry, stamp)) = self.sets[probe].iter_mut().find(|(e, _)| e.matches(vpn))
             {
                 *stamp = clock;
                 let hit = *entry;

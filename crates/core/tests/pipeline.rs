@@ -4,7 +4,7 @@
 
 use mi6_core::{Core, CoreConfig, SecurityConfig};
 use mi6_isa::csr;
-use mi6_isa::{Assembler, BranchCond, Inst, PhysAddr, PrivLevel, Reg};
+use mi6_isa::{Assembler, Inst, PhysAddr, PrivLevel, Reg};
 use mi6_mem::{MemConfig, MemSystem, Port};
 
 const BOOT: u64 = 0x1000;
@@ -66,9 +66,21 @@ fn mul_div_results() {
     let mut asm = Assembler::new(BOOT);
     asm.li(Reg::A0, 7);
     asm.li(Reg::A1, 6);
-    asm.push(Inst::Mul { rd: Reg::A2, rs1: Reg::A0, rs2: Reg::A1 });
-    asm.push(Inst::Div { rd: Reg::A3, rs1: Reg::A2, rs2: Reg::A0 });
-    asm.push(Inst::Rem { rd: Reg::A4, rs1: Reg::A2, rs2: Reg::A1 });
+    asm.push(Inst::Mul {
+        rd: Reg::A2,
+        rs1: Reg::A0,
+        rs2: Reg::A1,
+    });
+    asm.push(Inst::Div {
+        rd: Reg::A3,
+        rs1: Reg::A2,
+        rs2: Reg::A0,
+    });
+    asm.push(Inst::Rem {
+        rd: Reg::A4,
+        rs1: Reg::A2,
+        rs2: Reg::A1,
+    });
     asm.push(Inst::Ebreak);
     let (core, _, _) = run(&asm, SecurityConfig::insecure());
     assert_eq!(core.regs[Reg::A2.index() as usize], 42);
@@ -131,11 +143,27 @@ fn data_dependent_branches_mispredict() {
     asm.li(Reg::A3, 0);
     let top = asm.here();
     let skip = asm.new_label();
-    asm.push(Inst::Andi { rd: Reg::A2, rs1: Reg::A1, imm: 1 });
+    asm.push(Inst::Andi {
+        rd: Reg::A2,
+        rs1: Reg::A1,
+        imm: 1,
+    });
     // rotate the pattern
-    asm.push(Inst::Srli { rd: Reg::T0, rs1: Reg::A1, sh: 1 });
-    asm.push(Inst::Slli { rd: Reg::T1, rs1: Reg::A1, sh: 63 });
-    asm.push(Inst::Or { rd: Reg::A1, rs1: Reg::T0, rs2: Reg::T1 });
+    asm.push(Inst::Srli {
+        rd: Reg::T0,
+        rs1: Reg::A1,
+        sh: 1,
+    });
+    asm.push(Inst::Slli {
+        rd: Reg::T1,
+        rs1: Reg::A1,
+        sh: 63,
+    });
+    asm.push(Inst::Or {
+        rd: Reg::A1,
+        rs1: Reg::T0,
+        rs2: Reg::T1,
+    });
     asm.beqz(Reg::A2, skip);
     asm.push(Inst::addi(Reg::A3, Reg::A3, 1));
     asm.bind(skip);
@@ -223,7 +251,11 @@ fn purge_resets_branch_predictor() {
         asm.li(Reg::S2, 0); // toggler
         let top = asm.here();
         let skip = asm.new_label();
-        asm.push(Inst::Xori { rd: Reg::S2, rs1: Reg::S2, imm: 1 });
+        asm.push(Inst::Xori {
+            rd: Reg::S2,
+            rs1: Reg::S2,
+            imm: 1,
+        });
         asm.beqz(Reg::S2, skip); // alternating branch: needs history
         asm.push(Inst::addi(Reg::A4, Reg::A4, 1));
         asm.bind(skip);
@@ -257,9 +289,19 @@ fn purge_requires_machine_mode_and_region_fault_traps() {
     let handler_addr = 0x2000u64;
     let user_addr = 0x3000u64;
     asm.li(Reg::T0, handler_addr);
-    asm.push(Inst::Csr { op: mi6_isa::CsrOp::Rw, rd: Reg::ZERO, rs1: Reg::T0, csr: csr::MTVEC });
+    asm.push(Inst::Csr {
+        op: mi6_isa::CsrOp::Rw,
+        rd: Reg::ZERO,
+        rs1: Reg::T0,
+        csr: csr::MTVEC,
+    });
     asm.li(Reg::T0, user_addr);
-    asm.push(Inst::Csr { op: mi6_isa::CsrOp::Rw, rd: Reg::ZERO, rs1: Reg::T0, csr: csr::MEPC });
+    asm.push(Inst::Csr {
+        op: mi6_isa::CsrOp::Rw,
+        rd: Reg::ZERO,
+        rs1: Reg::T0,
+        csr: csr::MEPC,
+    });
     // MPP stays 0 (user) after reset; mret drops to user.
     asm.push(Inst::Mret);
     let boot_words = asm.assemble().unwrap();
@@ -283,7 +325,8 @@ fn purge_requires_machine_mode_and_region_fault_traps() {
     let mut mem = MemSystem::new(MemConfig::paper_base(), 1);
     mem.phys.load_words(PhysAddr::new(BOOT), &boot_words);
     mem.phys.load_words(PhysAddr::new(user_addr), &user_words);
-    mem.phys.load_words(PhysAddr::new(handler_addr), &handler_words);
+    mem.phys
+        .load_words(PhysAddr::new(handler_addr), &handler_words);
     let mut core = Core::new(0, CoreConfig::paper(), SecurityConfig::insecure());
     core.reset_to(BOOT, PrivLevel::Machine);
     let mut now = 0;
@@ -310,11 +353,26 @@ fn region_check_suppresses_and_faults() {
     let user_addr = 0x3000u64;
     let mut asm = Assembler::new(BOOT);
     asm.li(Reg::T0, handler_addr);
-    asm.push(Inst::Csr { op: mi6_isa::CsrOp::Rw, rd: Reg::ZERO, rs1: Reg::T0, csr: csr::MTVEC });
+    asm.push(Inst::Csr {
+        op: mi6_isa::CsrOp::Rw,
+        rd: Reg::ZERO,
+        rs1: Reg::T0,
+        csr: csr::MTVEC,
+    });
     asm.li(Reg::T1, 1); // allow only region 0
-    asm.push(Inst::Csr { op: mi6_isa::CsrOp::Rw, rd: Reg::ZERO, rs1: Reg::T1, csr: csr::MREGIONS });
+    asm.push(Inst::Csr {
+        op: mi6_isa::CsrOp::Rw,
+        rd: Reg::ZERO,
+        rs1: Reg::T1,
+        csr: csr::MREGIONS,
+    });
     asm.li(Reg::T0, user_addr);
-    asm.push(Inst::Csr { op: mi6_isa::CsrOp::Rw, rd: Reg::ZERO, rs1: Reg::T0, csr: csr::MEPC });
+    asm.push(Inst::Csr {
+        op: mi6_isa::CsrOp::Rw,
+        rd: Reg::ZERO,
+        rs1: Reg::T0,
+        csr: csr::MEPC,
+    });
     asm.push(Inst::Mret); // MPP=0 after reset: drop to user, bare satp
     let words = asm.assemble().unwrap();
 
@@ -340,7 +398,8 @@ fn region_check_suppresses_and_faults() {
     let mut mem = MemSystem::new(MemConfig::paper_base(), 1);
     mem.phys.load_words(PhysAddr::new(BOOT), &words);
     mem.phys.load_words(PhysAddr::new(user_addr), &user_words);
-    mem.phys.load_words(PhysAddr::new(handler_addr), &handler_words);
+    mem.phys
+        .load_words(PhysAddr::new(handler_addr), &handler_words);
     let mut core = Core::new(0, CoreConfig::paper(), sec);
     core.reset_to(BOOT, PrivLevel::Machine);
     let mut now = 0;
@@ -393,13 +452,32 @@ fn machine_mode_fetch_window_enforced() {
     let outside = 0x5000u64;
     let mut asm = Assembler::new(BOOT);
     asm.li(Reg::T0, handler_addr);
-    asm.push(Inst::Csr { op: mi6_isa::CsrOp::Rw, rd: Reg::ZERO, rs1: Reg::T0, csr: csr::MTVEC });
+    asm.push(Inst::Csr {
+        op: mi6_isa::CsrOp::Rw,
+        rd: Reg::ZERO,
+        rs1: Reg::T0,
+        csr: csr::MTVEC,
+    });
     asm.li(Reg::T0, BOOT);
-    asm.push(Inst::Csr { op: mi6_isa::CsrOp::Rw, rd: Reg::ZERO, rs1: Reg::T0, csr: csr::MFETCHBASE });
+    asm.push(Inst::Csr {
+        op: mi6_isa::CsrOp::Rw,
+        rd: Reg::ZERO,
+        rs1: Reg::T0,
+        csr: csr::MFETCHBASE,
+    });
     asm.li(Reg::T0, 0x3000);
-    asm.push(Inst::Csr { op: mi6_isa::CsrOp::Rw, rd: Reg::ZERO, rs1: Reg::T0, csr: csr::MFETCHBOUND });
+    asm.push(Inst::Csr {
+        op: mi6_isa::CsrOp::Rw,
+        rd: Reg::ZERO,
+        rs1: Reg::T0,
+        csr: csr::MFETCHBOUND,
+    });
     asm.li(Reg::T1, outside);
-    asm.push(Inst::Jalr { rd: Reg::ZERO, rs1: Reg::T1, off: 0 });
+    asm.push(Inst::Jalr {
+        rd: Reg::ZERO,
+        rs1: Reg::T1,
+        off: 0,
+    });
     let words = asm.assemble().unwrap();
 
     let mut handler_asm = Assembler::new(handler_addr);
@@ -421,7 +499,8 @@ fn machine_mode_fetch_window_enforced() {
     sec.region_checks = false;
     let mut mem = MemSystem::new(MemConfig::paper_base(), 1);
     mem.phys.load_words(PhysAddr::new(BOOT), &words);
-    mem.phys.load_words(PhysAddr::new(handler_addr), &handler_words);
+    mem.phys
+        .load_words(PhysAddr::new(handler_addr), &handler_words);
     mem.phys.load_words(PhysAddr::new(outside), &out_words);
     let mut core = Core::new(0, CoreConfig::paper(), sec);
     core.reset_to(BOOT, PrivLevel::Machine);
@@ -452,11 +531,15 @@ fn memory_order_violation_recovers() {
     asm.li(Reg::A0, 7);
     asm.push(Inst::sd(Reg::A0, Reg::SP, 0));
     asm.push(Inst::Fence); // drain the store buffer between rounds
-    // T0 = SP, computed slowly: T2 = ((3/1)/1)/1... (16 cycles per div).
+                           // T0 = SP, computed slowly: T2 = ((3/1)/1)/1... (16 cycles per div).
     asm.li(Reg::T2, 3);
     asm.li(Reg::T3, 1);
     for _ in 0..5 {
-        asm.push(Inst::Div { rd: Reg::T2, rs1: Reg::T2, rs2: Reg::T3 });
+        asm.push(Inst::Div {
+            rd: Reg::T2,
+            rs1: Reg::T2,
+            rs2: Reg::T3,
+        });
     }
     asm.push(Inst::add(Reg::T0, Reg::SP, Reg::T2));
     asm.push(Inst::addi(Reg::T0, Reg::T0, -3));
@@ -486,7 +569,12 @@ fn flush_on_trap_charges_stall_and_colds_the_caches() {
         let handler_addr = 0x2000u64;
         let mut asm = Assembler::new(BOOT);
         asm.li(Reg::T0, handler_addr);
-        asm.push(Inst::Csr { op: mi6_isa::CsrOp::Rw, rd: Reg::ZERO, rs1: Reg::T0, csr: csr::MTVEC });
+        asm.push(Inst::Csr {
+            op: mi6_isa::CsrOp::Rw,
+            rd: Reg::ZERO,
+            rs1: Reg::T0,
+            csr: csr::MTVEC,
+        });
         asm.push(Inst::Ecall);
         asm.push(Inst::Ebreak);
         let words = asm.assemble().unwrap();
@@ -513,7 +601,8 @@ fn flush_on_trap_charges_stall_and_colds_the_caches() {
         };
         let mut mem = MemSystem::new(MemConfig::paper_base(), 1);
         mem.phys.load_words(PhysAddr::new(BOOT), &words);
-        mem.phys.load_words(PhysAddr::new(handler_addr), &handler_words);
+        mem.phys
+            .load_words(PhysAddr::new(handler_addr), &handler_words);
         let mut core = Core::new(0, CoreConfig::paper(), sec);
         core.reset_to(BOOT, PrivLevel::Machine);
         let mut now = 0;

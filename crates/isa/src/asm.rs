@@ -56,7 +56,10 @@ impl fmt::Display for AsmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AsmError::UnboundLabel { label, at } => {
-                write!(f, "label {label:?} referenced at instruction {at} was never bound")
+                write!(
+                    f,
+                    "label {label:?} referenced at instruction {at} was never bound"
+                )
             }
             AsmError::Encode(e) => write!(f, "encoding failed: {e}"),
         }
@@ -83,8 +86,16 @@ impl From<EncodeError> for AsmError {
 #[derive(Clone, Copy, Debug)]
 enum Item {
     Done(Inst),
-    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, target: Label },
-    Jal { rd: Reg, target: Label },
+    Branch {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        target: Label,
+    },
+    Jal {
+        rd: Reg,
+        target: Label,
+    },
 }
 
 /// A two-pass assembler for the MI6 ISA.
@@ -189,10 +200,18 @@ impl Assembler {
         // First instruction must be a movz (zeroing); pick the lowest
         // nonzero half, or half 0 when the value is zero.
         let first = halves.iter().position(|&h| h != 0).unwrap_or(0);
-        self.push(Inst::Movz { rd, imm16: halves[first], sh16: first as u8 });
+        self.push(Inst::Movz {
+            rd,
+            imm16: halves[first],
+            sh16: first as u8,
+        });
         for (i, &h) in halves.iter().enumerate().skip(first + 1) {
             if h != 0 {
-                self.push(Inst::Movk { rd, imm16: h, sh16: i as u8 });
+                self.push(Inst::Movk {
+                    rd,
+                    imm16: h,
+                    sh16: i as u8,
+                });
             }
         }
     }
@@ -216,7 +235,12 @@ impl Assembler {
 
     /// Conditional branch to a label.
     pub fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, target: Label) {
-        self.items.push(Item::Branch { cond, rs1, rs2, target });
+        self.items.push(Item::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        });
     }
 
     /// `beq rs1, rs2, target`
@@ -256,17 +280,27 @@ impl Assembler {
 
     /// Unconditional jump to a label (`jal zero`).
     pub fn jump(&mut self, target: Label) {
-        self.items.push(Item::Jal { rd: Reg::ZERO, target });
+        self.items.push(Item::Jal {
+            rd: Reg::ZERO,
+            target,
+        });
     }
 
     /// Call a label, leaving the return address in `ra`.
     pub fn call(&mut self, target: Label) {
-        self.items.push(Item::Jal { rd: Reg::RA, target });
+        self.items.push(Item::Jal {
+            rd: Reg::RA,
+            target,
+        });
     }
 
     /// Return from a call (`jalr zero, 0(ra)`).
     pub fn ret(&mut self) {
-        self.push(Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, off: 0 });
+        self.push(Inst::Jalr {
+            rd: Reg::ZERO,
+            rs1: Reg::RA,
+            off: 0,
+        });
     }
 
     /// Resolves all labels and encodes the program.
@@ -308,13 +342,21 @@ impl Assembler {
         };
         Ok(match *item {
             Item::Done(inst) => inst,
-            Item::Branch { cond, rs1, rs2, target } => Inst::Branch {
+            Item::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => Inst::Branch {
                 cond,
                 rs1,
                 rs2,
                 off: offset_to(target)?,
             },
-            Item::Jal { rd, target } => Inst::Jal { rd, off: offset_to(target)? },
+            Item::Jal { rd, target } => Inst::Jal {
+                rd,
+                off: offset_to(target)?,
+            },
         })
     }
 }
@@ -337,9 +379,20 @@ mod tests {
         let insts = asm.instructions().unwrap();
         assert_eq!(
             insts[1],
-            Inst::Branch { cond: BranchCond::Eq, rs1: Reg::A0, rs2: Reg::ZERO, off: 8 }
+            Inst::Branch {
+                cond: BranchCond::Eq,
+                rs1: Reg::A0,
+                rs2: Reg::ZERO,
+                off: 8
+            }
         );
-        assert_eq!(insts[2], Inst::Jal { rd: Reg::ZERO, off: -8 });
+        assert_eq!(
+            insts[2],
+            Inst::Jal {
+                rd: Reg::ZERO,
+                off: -8
+            }
+        );
     }
 
     #[test]
@@ -426,8 +479,21 @@ mod tests {
         asm.bind(f);
         asm.ret();
         let insts = asm.instructions().unwrap();
-        assert_eq!(insts[0], Inst::Jal { rd: Reg::RA, off: 8 });
-        assert_eq!(insts[2], Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, off: 0 });
+        assert_eq!(
+            insts[0],
+            Inst::Jal {
+                rd: Reg::RA,
+                off: 8
+            }
+        );
+        assert_eq!(
+            insts[2],
+            Inst::Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::RA,
+                off: 0
+            }
+        );
     }
 
     #[test]

@@ -16,9 +16,9 @@
 //! [`csr::MFETCHBOUND`]: MFETCHBOUND
 
 use crate::privilege::PrivLevel;
-use crate::trap::{Interrupt, TrapCause};
 #[cfg(any(doc, test))]
 use crate::trap::Exception;
+use crate::trap::{Interrupt, TrapCause};
 use std::fmt;
 
 // ---- CSR addresses (12-bit space; top 2 bits encode required privilege) ----
@@ -337,8 +337,8 @@ impl CsrFile {
 
     /// Sets `mstatus.MPP`.
     pub fn set_mpp(&mut self, p: PrivLevel) {
-        self.mstatus = (self.mstatus & !STATUS_MPP_MASK)
-            | ((p.encode() as u64) << STATUS_MPP_SHIFT);
+        self.mstatus =
+            (self.mstatus & !STATUS_MPP_MASK) | ((p.encode() as u64) << STATUS_MPP_SHIFT);
     }
 
     /// The privilege level saved in `mstatus.SPP` (user or supervisor).
@@ -470,17 +470,14 @@ impl CsrFile {
             }
         };
         // Machine interrupts first.
-        for i in [
+        [
             Interrupt::MachineSoftware,
             Interrupt::MachineTimer,
             Interrupt::SupervisorSoftware,
             Interrupt::SupervisorTimer,
-        ] {
-            if takeable(i) {
-                return Some(i);
-            }
-        }
-        None
+        ]
+        .into_iter()
+        .find(|&i| takeable(i))
     }
 
     /// Sets or clears an interrupt-pending bit.
@@ -566,12 +563,7 @@ mod tests {
         let mut csrs = CsrFile::new();
         csrs.stvec = 0x4000;
         csrs.medeleg = 1 << Exception::EcallFromUser.code();
-        let (lvl, pc) = csrs.take_trap(
-            Exception::EcallFromUser.into(),
-            0x100,
-            0,
-            PrivLevel::User,
-        );
+        let (lvl, pc) = csrs.take_trap(Exception::EcallFromUser.into(), 0x100, 0, PrivLevel::User);
         assert_eq!(lvl, PrivLevel::Supervisor);
         assert_eq!(pc, 0x4000);
         assert_eq!(csrs.sepc, 0x100);
@@ -596,12 +588,7 @@ mod tests {
     fn machine_trap_never_delegated_from_machine() {
         let mut csrs = CsrFile::new();
         csrs.medeleg = u64::MAX;
-        let (lvl, _) = csrs.take_trap(
-            Exception::IllegalInst.into(),
-            0,
-            0,
-            PrivLevel::Machine,
-        );
+        let (lvl, _) = csrs.take_trap(Exception::IllegalInst.into(), 0, 0, PrivLevel::Machine);
         assert_eq!(lvl, PrivLevel::Machine);
     }
 

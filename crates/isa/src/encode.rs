@@ -62,10 +62,16 @@ impl fmt::Display for EncodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EncodeError::ImmOutOfRange { inst, value, bits } => {
-                write!(f, "immediate {value} does not fit in {bits} signed bits: `{inst}`")
+                write!(
+                    f,
+                    "immediate {value} does not fit in {bits} signed bits: `{inst}`"
+                )
             }
             EncodeError::MisalignedOffset { inst, off } => {
-                write!(f, "control-flow offset {off} is not a multiple of 4: `{inst}`")
+                write!(
+                    f,
+                    "control-flow offset {off} is not a multiple of 4: `{inst}`"
+                )
             }
             EncodeError::ShiftTooLarge { inst, sh } => {
                 write!(f, "shift amount {sh} exceeds 63: `{inst}`")
@@ -259,7 +265,12 @@ pub fn encode(inst: Inst) -> Result<u32, EncodeError> {
             };
             i_type(inst, o, rd, rs1, off)?
         }
-        Store { rs2, rs1, off, width } => {
+        Store {
+            rs2,
+            rs1,
+            off,
+            width,
+        } => {
             let o = match width {
                 MemWidth::B => op::SB,
                 MemWidth::H => op::SH,
@@ -268,7 +279,12 @@ pub fn encode(inst: Inst) -> Result<u32, EncodeError> {
             };
             i_type(inst, o, rs2, rs1, off)?
         }
-        Branch { cond, rs1, rs2, off } => {
+        Branch {
+            cond,
+            rs1,
+            rs2,
+            off,
+        } => {
             let o = match cond {
                 BranchCond::Eq => op::BEQ,
                 BranchCond::Ne => op::BNE,
@@ -293,7 +309,12 @@ pub fn encode(inst: Inst) -> Result<u32, EncodeError> {
         Fence => op::FENCE,
         FenceI => op::FENCEI,
         SfenceVma => op::SFENCE,
-        Csr { op: csr_op, rd, rs1, csr } => {
+        Csr {
+            op: csr_op,
+            rd,
+            rs1,
+            csr,
+        } => {
             if csr >= 1 << 12 {
                 return Err(EncodeError::CsrOutOfRange { csr });
             }
@@ -366,9 +387,21 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
         op::XORI => Inst::Xori { rd, rs1, imm },
         op::SLTI => Inst::Slti { rd, rs1, imm },
         op::SLTIU => Inst::Sltiu { rd, rs1, imm },
-        op::SLLI => Inst::Slli { rd, rs1, sh: ((word >> 16) & 0x3f) as u8 },
-        op::SRLI => Inst::Srli { rd, rs1, sh: ((word >> 16) & 0x3f) as u8 },
-        op::SRAI => Inst::Srai { rd, rs1, sh: ((word >> 16) & 0x3f) as u8 },
+        op::SLLI => Inst::Slli {
+            rd,
+            rs1,
+            sh: ((word >> 16) & 0x3f) as u8,
+        },
+        op::SRLI => Inst::Srli {
+            rd,
+            rs1,
+            sh: ((word >> 16) & 0x3f) as u8,
+        },
+        op::SRAI => Inst::Srai {
+            rd,
+            rs1,
+            sh: ((word >> 16) & 0x3f) as u8,
+        },
         op::MOVZ => Inst::Movz {
             rd,
             imm16: (word >> 16) as u16,
@@ -418,11 +451,22 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
 }
 
 fn load(rd: Reg, rs1: Reg, off: i32, width: MemWidth, signed: bool) -> Inst {
-    Inst::Load { rd, rs1, off, width, signed }
+    Inst::Load {
+        rd,
+        rs1,
+        off,
+        width,
+        signed,
+    }
 }
 
 fn store(rs2: Reg, rs1: Reg, off: i32, width: MemWidth) -> Inst {
-    Inst::Store { rs2, rs1, off, width }
+    Inst::Store {
+        rs2,
+        rs1,
+        off,
+        width,
+    }
 }
 
 fn branch(cond: BranchCond, word: u32) -> Inst {
@@ -450,7 +494,10 @@ mod tests {
     fn round_trip(inst: Inst) {
         let word = encode(inst).unwrap_or_else(|e| panic!("encode failed: {e}"));
         let back = decode(word).unwrap_or_else(|e| panic!("decode failed: {e}"));
-        assert_eq!(inst, back, "round trip mismatch for `{inst}` ({word:#010x})");
+        assert_eq!(
+            inst, back,
+            "round trip mismatch for `{inst}` ({word:#010x})"
+        );
     }
 
     #[test]
@@ -468,20 +515,44 @@ mod tests {
     #[test]
     fn round_trip_immediates() {
         for imm in [-32768, -1, 0, 1, 32767] {
-            round_trip(Inst::Addi { rd: Reg::A0, rs1: Reg::A1, imm });
-            round_trip(Inst::Xori { rd: Reg::T0, rs1: Reg::T1, imm });
+            round_trip(Inst::Addi {
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                imm,
+            });
+            round_trip(Inst::Xori {
+                rd: Reg::T0,
+                rs1: Reg::T1,
+                imm,
+            });
         }
         for sh in [0u8, 1, 31, 63] {
-            round_trip(Inst::Slli { rd: Reg::A0, rs1: Reg::A0, sh });
-            round_trip(Inst::Srai { rd: Reg::A0, rs1: Reg::A0, sh });
+            round_trip(Inst::Slli {
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                sh,
+            });
+            round_trip(Inst::Srai {
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                sh,
+            });
         }
     }
 
     #[test]
     fn round_trip_mov_wide() {
         for sh16 in 0..4u8 {
-            round_trip(Inst::Movz { rd: Reg::A3, imm16: 0xbeef, sh16 });
-            round_trip(Inst::Movk { rd: Reg::A3, imm16: 0x1234, sh16 });
+            round_trip(Inst::Movz {
+                rd: Reg::A3,
+                imm16: 0xbeef,
+                sh16,
+            });
+            round_trip(Inst::Movk {
+                rd: Reg::A3,
+                imm16: 0x1234,
+                sh16,
+            });
         }
     }
 
@@ -489,7 +560,12 @@ mod tests {
     fn round_trip_loads_stores() {
         for width in MemWidth::ALL {
             for off in [-32768, -8, 0, 8, 32767] {
-                round_trip(Inst::Store { rs2: Reg::A1, rs1: Reg::SP, off, width });
+                round_trip(Inst::Store {
+                    rs2: Reg::A1,
+                    rs1: Reg::SP,
+                    off,
+                    width,
+                });
                 round_trip(Inst::Load {
                     rd: Reg::A0,
                     rs1: Reg::SP,
@@ -514,7 +590,12 @@ mod tests {
     fn round_trip_branches() {
         for cond in BranchCond::ALL {
             for off in [-131072, -4, 0, 4, 131068] {
-                round_trip(Inst::Branch { cond, rs1: Reg::A0, rs2: Reg::A1, off });
+                round_trip(Inst::Branch {
+                    cond,
+                    rs1: Reg::A0,
+                    rs2: Reg::A1,
+                    off,
+                });
             }
         }
     }
@@ -524,8 +605,16 @@ mod tests {
         for off in [-4 << 20, -4, 0, 4, (1 << 22) - 4] {
             round_trip(Inst::Jal { rd: Reg::RA, off });
         }
-        round_trip(Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, off: 0 });
-        round_trip(Inst::Jalr { rd: Reg::RA, rs1: Reg::T0, off: -16 });
+        round_trip(Inst::Jalr {
+            rd: Reg::ZERO,
+            rs1: Reg::RA,
+            off: 0,
+        });
+        round_trip(Inst::Jalr {
+            rd: Reg::RA,
+            rs1: Reg::T0,
+            off: -16,
+        });
     }
 
     #[test]
@@ -544,13 +633,23 @@ mod tests {
             round_trip(inst);
         }
         for op in [CsrOp::Rw, CsrOp::Rs, CsrOp::Rc] {
-            round_trip(Inst::Csr { op, rd: Reg::A0, rs1: Reg::A1, csr: 0x342 });
+            round_trip(Inst::Csr {
+                op,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                csr: 0x342,
+            });
         }
     }
 
     #[test]
     fn imm_out_of_range_rejected() {
-        let err = encode(Inst::Addi { rd: Reg::A0, rs1: Reg::A0, imm: 40000 }).unwrap_err();
+        let err = encode(Inst::Addi {
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: 40000,
+        })
+        .unwrap_err();
         assert!(matches!(err, EncodeError::ImmOutOfRange { bits: 16, .. }));
     }
 
@@ -580,7 +679,12 @@ mod tests {
 
     #[test]
     fn shift_too_large_rejected() {
-        let err = encode(Inst::Slli { rd: Reg::A0, rs1: Reg::A0, sh: 64 }).unwrap_err();
+        let err = encode(Inst::Slli {
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            sh: 64,
+        })
+        .unwrap_err();
         assert!(matches!(err, EncodeError::ShiftTooLarge { sh: 64, .. }));
     }
 

@@ -603,7 +603,10 @@ mod tests {
 
     #[test]
     fn display_smoke() {
-        assert_eq!(Inst::add(Reg::A0, Reg::A1, Reg::A2).to_string(), "add a0, a1, a2");
+        assert_eq!(
+            Inst::add(Reg::A0, Reg::A1, Reg::A2).to_string(),
+            "add a0, a1, a2"
+        );
         assert_eq!(Inst::ld(Reg::A0, Reg::SP, 8).to_string(), "ld a0, 8(sp)");
         assert_eq!(Inst::Purge.to_string(), "purge");
     }

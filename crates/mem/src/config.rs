@@ -347,7 +347,14 @@ mod tests {
     #[test]
     fn mshr_totals() {
         assert_eq!(MshrOrg::Shared { total: 16 }.total(4), 16);
-        assert_eq!(MshrOrg::Banked { total: 12, banks: 4 }.total(4), 12);
+        assert_eq!(
+            MshrOrg::Banked {
+                total: 12,
+                banks: 4
+            }
+            .total(4),
+            12
+        );
         assert_eq!(MshrOrg::PerCore { per_core: 3 }.total(4), 12);
     }
 }

@@ -140,13 +140,26 @@ mod tests {
         assert!(d.submit(100, read(0x40, 1)));
         assert!(d.tick(219).is_empty());
         let resps = d.tick(220);
-        assert_eq!(resps, vec![DramResp { line: PhysAddr::new(0x40), tag: 1 }]);
+        assert_eq!(
+            resps,
+            vec![DramResp {
+                line: PhysAddr::new(0x40),
+                tag: 1
+            }]
+        );
     }
 
     #[test]
     fn writebacks_complete_silently() {
         let mut d = dram();
-        assert!(d.submit(0, DramReq { line: PhysAddr::new(0x80), is_write: true, tag: 0 }));
+        assert!(d.submit(
+            0,
+            DramReq {
+                line: PhysAddr::new(0x80),
+                is_write: true,
+                tag: 0
+            }
+        ));
         assert!(d.tick(120).is_empty());
         assert_eq!(d.inflight(), 0);
         assert_eq!(d.writes, 1);

@@ -200,7 +200,11 @@ impl L1Cache {
         up_req: &mut DelayFifo<UpgradeReq>,
         up_resp: &mut DelayFifo<DowngradeResp>,
     ) -> L1Access {
-        debug_assert_eq!(line.raw() & ((1 << LINE_SHIFT) - 1), 0, "not a line address");
+        debug_assert_eq!(
+            line.raw() & ((1 << LINE_SHIFT) - 1),
+            0,
+            "not a line address"
+        );
         if self.flush_active() {
             self.stats.blocked += 1;
             return L1Access::Blocked;
@@ -219,7 +223,9 @@ impl L1Cache {
         }
         // Miss or S→M upgrade. Merge into an existing MSHR when possible.
         if let Some(idx) = self.mshr_for(line) {
-            let m = self.mshrs[idx].as_mut().expect("mshr_for returned live index");
+            let m = self.mshrs[idx]
+                .as_mut()
+                .expect("mshr_for returned live index");
             if m.want.covers(want) {
                 m.waiters.push(token);
                 m.any_store |= want == MsiState::M;
@@ -340,7 +346,9 @@ impl L1Cache {
                 let idx = self
                     .mshr_for(line)
                     .expect("upgrade response without a matching MSHR");
-                let m = self.mshrs[idx].take().expect("mshr_for returned live index");
+                let m = self.mshrs[idx]
+                    .take()
+                    .expect("mshr_for returned live index");
                 debug_assert!(granted.covers(m.want));
                 let tag = self.tag_of(line);
                 let entry = &mut self.sets[m.set][m.way];
@@ -416,7 +424,11 @@ impl L1Cache {
         let set = pos / self.cfg.ways;
         let way = pos % self.cfg.ways;
         let entry = self.sets[set][way];
-        self.flush_pos = if pos + 1 >= total { None } else { Some(pos + 1) };
+        self.flush_pos = if pos + 1 >= total {
+            None
+        } else {
+            Some(pos + 1)
+        };
         if entry.state != MsiState::I {
             let line = self.line_addr(set, entry.tag);
             if entry.dirty {
@@ -457,11 +469,7 @@ mod tests {
     use super::*;
     use crate::config::LINK_CAPACITY;
 
-    fn fixture() -> (
-        L1Cache,
-        DelayFifo<UpgradeReq>,
-        DelayFifo<DowngradeResp>,
-    ) {
+    fn fixture() -> (L1Cache, DelayFifo<UpgradeReq>, DelayFifo<DowngradeResp>) {
         (
             L1Cache::new(L1Config::paper(), ChildId::l1d(0)),
             DelayFifo::new(LINK_CAPACITY, 0),
@@ -496,7 +504,14 @@ mod tests {
     fn miss_then_hit() {
         let (mut l1, mut req, mut resp) = fixture();
         fill(&mut l1, 0, 0x1000, MsiState::S, &mut req, &mut resp);
-        let r = l1.access(1, 1, PhysAddr::new(0x1000), MsiState::S, &mut req, &mut resp);
+        let r = l1.access(
+            1,
+            1,
+            PhysAddr::new(0x1000),
+            MsiState::S,
+            &mut req,
+            &mut resp,
+        );
         assert_eq!(r, L1Access::Hit { ready_at: 3 });
         assert_eq!(l1.stats.hits, 1);
         assert_eq!(l1.stats.misses, 1);
@@ -506,13 +521,23 @@ mod tests {
     fn store_to_shared_line_upgrades() {
         let (mut l1, mut req, mut resp) = fixture();
         fill(&mut l1, 0, 0x1000, MsiState::S, &mut req, &mut resp);
-        let r = l1.access(1, 2, PhysAddr::new(0x1000), MsiState::M, &mut req, &mut resp);
+        let r = l1.access(
+            1,
+            2,
+            PhysAddr::new(0x1000),
+            MsiState::M,
+            &mut req,
+            &mut resp,
+        );
         assert_eq!(r, L1Access::Miss);
         let sent = req.pop(1).unwrap();
         assert_eq!(sent.want, MsiState::M);
         l1.handle_parent(
             1,
-            ParentMsg::UpgradeResp { line: PhysAddr::new(0x1000), granted: MsiState::M },
+            ParentMsg::UpgradeResp {
+                line: PhysAddr::new(0x1000),
+                granted: MsiState::M,
+            },
             &mut resp,
         );
         assert_eq!(l1.probe(PhysAddr::new(0x1000)), MsiState::M);
@@ -525,13 +550,22 @@ mod tests {
     fn same_line_misses_merge() {
         let (mut l1, mut req, mut resp) = fixture();
         let a = PhysAddr::new(0x2000);
-        assert_eq!(l1.access(0, 1, a, MsiState::S, &mut req, &mut resp), L1Access::Miss);
-        assert_eq!(l1.access(0, 2, a, MsiState::S, &mut req, &mut resp), L1Access::Miss);
+        assert_eq!(
+            l1.access(0, 1, a, MsiState::S, &mut req, &mut resp),
+            L1Access::Miss
+        );
+        assert_eq!(
+            l1.access(0, 2, a, MsiState::S, &mut req, &mut resp),
+            L1Access::Miss
+        );
         assert_eq!(l1.stats.merged, 1);
         assert_eq!(req.len(), 1); // only one upgrade request sent
         l1.handle_parent(
             5,
-            ParentMsg::UpgradeResp { line: a, granted: MsiState::S },
+            ParentMsg::UpgradeResp {
+                line: a,
+                granted: MsiState::S,
+            },
             &mut resp,
         );
         let done = l1.take_completions();
@@ -540,7 +574,7 @@ mod tests {
 
     #[test]
     fn mshrs_exhaust_blocks() {
-        let (mut l1, mut req, mut resp) = fixture();
+        let (mut l1, _req, mut resp) = fixture();
         // Paper: max 8 requests. Use request FIFO with enough room.
         let mut big_req = DelayFifo::new(16, 0);
         for i in 0..8u64 {
@@ -550,7 +584,14 @@ mod tests {
                 L1Access::Miss
             );
         }
-        let r = l1.access(0, 99, PhysAddr::new(0x90000), MsiState::S, &mut big_req, &mut resp);
+        let r = l1.access(
+            0,
+            99,
+            PhysAddr::new(0x90000),
+            MsiState::S,
+            &mut big_req,
+            &mut resp,
+        );
         assert_eq!(r, L1Access::Blocked);
     }
 
@@ -560,7 +601,14 @@ mod tests {
         // Fill all 8 ways of set 0 (64 sets; stride = 64 sets * 64 B).
         let stride = 64 * 64u64;
         for w in 0..8u64 {
-            fill(&mut l1, w, 0x4000 + w * stride, MsiState::S, &mut req, &mut resp);
+            fill(
+                &mut l1,
+                w,
+                0x4000 + w * stride,
+                MsiState::S,
+                &mut req,
+                &mut resp,
+            );
         }
         // Ninth distinct line in the same set forces a clean eviction.
         let r = l1.access(
@@ -582,11 +630,21 @@ mod tests {
         let (mut l1, mut req, mut resp) = fixture();
         fill(&mut l1, 0, 0x3000, MsiState::M, &mut req, &mut resp);
         // Store marks it dirty.
-        let r = l1.access(1, 5, PhysAddr::new(0x3000), MsiState::M, &mut req, &mut resp);
+        let r = l1.access(
+            1,
+            5,
+            PhysAddr::new(0x3000),
+            MsiState::M,
+            &mut req,
+            &mut resp,
+        );
         assert!(matches!(r, L1Access::Hit { .. }));
         l1.handle_parent(
             2,
-            ParentMsg::DowngradeReq { line: PhysAddr::new(0x3000), to: MsiState::I },
+            ParentMsg::DowngradeReq {
+                line: PhysAddr::new(0x3000),
+                to: MsiState::I,
+            },
             &mut resp,
         );
         let ack = resp.pop(2).unwrap();
@@ -600,7 +658,10 @@ mod tests {
         let (mut l1, _req, mut resp) = fixture();
         l1.handle_parent(
             0,
-            ParentMsg::DowngradeReq { line: PhysAddr::new(0x7000), to: MsiState::I },
+            ParentMsg::DowngradeReq {
+                line: PhysAddr::new(0x7000),
+                to: MsiState::I,
+            },
             &mut resp,
         );
         assert!(resp.is_empty());
@@ -610,7 +671,14 @@ mod tests {
     fn flush_invalidates_everything_one_line_per_cycle() {
         let (mut l1, mut req, mut resp) = fixture();
         for i in 0..20u64 {
-            fill(&mut l1, i, 0x8000 + i * 64, MsiState::S, &mut req, &mut resp);
+            fill(
+                &mut l1,
+                i,
+                0x8000 + i * 64,
+                MsiState::S,
+                &mut req,
+                &mut resp,
+            );
         }
         assert_eq!(l1.valid_lines(), 20);
         l1.start_flush();

@@ -1,0 +1,177 @@
+//! Pipeline-entry arbitration: the insecure two-level fixed-priority mux
+//! (Figure 2) vs MI6's strict per-core round-robin (Figure 3, Section
+//! 5.4.3), plus the Downgrade-L1 request logic (single scan or duplicated
+//! per partition).
+
+use super::*;
+
+impl Llc {
+    /// Picks at most one message to admit into the cache-access pipeline.
+    pub(super) fn arbitrate_entry(&mut self, now: u64, links: &mut [CoreLink]) {
+        let pick_for_core = |llc: &Llc, links: &mut [CoreLink], core: usize| -> Option<PipeMsg> {
+            // Local priority: downgrade responses, then buffered fills /
+            // retries, then fresh upgrade requests.
+            if links[core].up_resp.peek(now).is_some() {
+                let resp = links[core].up_resp.pop(now).expect("peeked");
+                return Some(PipeMsg::DownResp(resp));
+            }
+            for (i, slot) in llc.mshrs.iter().enumerate() {
+                if let Some(m) = slot {
+                    if m.child.core() == core && m.state == MshrState::FillReady {
+                        return Some(PipeMsg::Reentry(i as u32));
+                    }
+                }
+            }
+            for (i, slot) in llc.mshrs.iter().enumerate() {
+                if let Some(m) = slot {
+                    if m.child.core() == core && m.state == MshrState::WaitPipe {
+                        return Some(if m.retry {
+                            PipeMsg::Reentry(i as u32)
+                        } else {
+                            PipeMsg::Req(i as u32)
+                        });
+                    }
+                }
+            }
+            None
+        };
+
+        let msg = match self.cfg.arbitration {
+            LlcArbitration::RoundRobin => {
+                // Cycle T belongs to core T % N, even if that core is idle.
+                let turn = (now % self.cores as u64) as usize;
+                let chosen = pick_for_core(self, links, turn);
+                if chosen.is_none() {
+                    // Count cycles where *some other* core had a message
+                    // but the slot went idle — the arbiter's latency cost.
+                    let someone_waiting = (0..self.cores).any(|c| {
+                        c != turn
+                            && (links[c].up_resp.peek(now).is_some()
+                                || self.mshrs.iter().flatten().any(|m| {
+                                    m.child.core() == c
+                                        && matches!(
+                                            m.state,
+                                            MshrState::WaitPipe | MshrState::FillReady
+                                        )
+                                }))
+                    });
+                    if someone_waiting {
+                        self.stats.arb_wait_cycles += 1;
+                    }
+                }
+                chosen
+            }
+            LlcArbitration::Base => {
+                // Two-level mux: merge by type, fixed priority across types
+                // (downgrade responses > fills > requests), fixed child
+                // order within a type. Admits whenever anything is pending.
+                let mut chosen = None;
+                for link in links.iter_mut() {
+                    if link.up_resp.peek(now).is_some() {
+                        chosen = Some(PipeMsg::DownResp(link.up_resp.pop(now).expect("peeked")));
+                        break;
+                    }
+                }
+                if chosen.is_none() {
+                    chosen = self
+                        .mshrs
+                        .iter()
+                        .position(|m| m.as_ref().is_some_and(|m| m.state == MshrState::FillReady))
+                        .map(|i| PipeMsg::Reentry(i as u32));
+                }
+                if chosen.is_none() {
+                    chosen = self.mshrs.iter().enumerate().find_map(|(i, m)| {
+                        m.as_ref().and_then(|m| {
+                            (m.state == MshrState::WaitPipe).then_some(if m.retry {
+                                PipeMsg::Reentry(i as u32)
+                            } else {
+                                PipeMsg::Req(i as u32)
+                            })
+                        })
+                    });
+                }
+                chosen
+            }
+        };
+        if let Some(msg) = msg {
+            if let PipeMsg::Req(i) | PipeMsg::Reentry(i) = msg {
+                let entry = self.mshrs[i as usize].as_mut().expect("live MSHR");
+                entry.state = MshrState::InPipe;
+            }
+            self.pipe
+                .push_back((now + self.cfg.pipeline_latency as u64, msg));
+        }
+    }
+
+    /// The Downgrade-L1 logic: sends downgrade requests to children over
+    /// the remaining port budget.
+    pub(super) fn send_downgrades(
+        &mut self,
+        now: u64,
+        links: &mut [CoreLink],
+        port_used: &mut [bool],
+    ) {
+        let n = self.mshrs.len();
+        match self.cfg.downgrade {
+            DowngradeOrg::Single => {
+                // One request per cycle from a rotating scan over all
+                // MSHRs (the unfair arbitration Section 5.4.2 warns about
+                // is modeled by the scan order itself).
+                for off in 0..n {
+                    let i = (self.downgrade_scan + off) % n;
+                    if self.try_send_one_downgrade(now, links, i, port_used) {
+                        self.downgrade_scan = (i + 1) % n;
+                        return;
+                    }
+                }
+            }
+            DowngradeOrg::PerPartition => {
+                // Duplicated logic: one request per cycle per partition.
+                let parts: Vec<(usize, usize)> = match self.cfg.mshrs {
+                    MshrOrg::PerCore { per_core } => (0..self.cores)
+                        .map(|c| (c * per_core, (c + 1) * per_core))
+                        .collect(),
+                    // Degenerate fallback: treat the whole pool as one
+                    // partition (configuration mixes are allowed in
+                    // ablations).
+                    _ => vec![(0, n)],
+                };
+                for (lo, hi) in parts {
+                    for i in lo..hi {
+                        if self.try_send_one_downgrade(now, links, i, port_used) {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    pub(super) fn try_send_one_downgrade(
+        &mut self,
+        now: u64,
+        links: &mut [CoreLink],
+        i: usize,
+        port_used: &mut [bool],
+    ) -> bool {
+        let Some(entry) = self.mshrs[i].as_mut() else {
+            return false;
+        };
+        if entry.state != MshrState::WaitDowngrade || entry.to_downgrade.is_empty() {
+            return false;
+        }
+        let (child, line, to) = entry.to_downgrade[0];
+        let core = child.core();
+        if port_used[core] || !links[core].down.can_push() {
+            return false;
+        }
+        let pushed = links[core]
+            .down
+            .push(now, (child, ParentMsg::DowngradeReq { line, to }));
+        debug_assert!(pushed);
+        port_used[core] = true;
+        entry.to_downgrade.remove(0);
+        self.stats.downgrades_sent += 1;
+        true
+    }
+}

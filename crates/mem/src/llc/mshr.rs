@@ -1,0 +1,81 @@
+//! MSHR management: per-organization allocation (shared pool, banked,
+//! per-core partitions), request acceptance from the per-core links, and
+//! entry retirement with blocked-entry wakeup.
+
+use super::*;
+
+impl Llc {
+    /// MSHR bank for a set index (MISS model).
+    pub(super) fn bank_of(&self, set: usize, banks: usize) -> usize {
+        set & (banks - 1)
+    }
+
+    pub(super) fn find_free_mshr(&self, core: usize, set: usize) -> Option<usize> {
+        match self.cfg.mshrs {
+            MshrOrg::Shared { .. } => self.mshrs.iter().position(Option::is_none),
+            MshrOrg::PerCore { per_core } => {
+                let base = core * per_core;
+                (base..base + per_core).find(|&i| self.mshrs[i].is_none())
+            }
+            MshrOrg::Banked { total, banks } => {
+                // Entries are striped across banks: entry i belongs to bank
+                // i % banks. A request may only use an entry of its bank.
+                let bank = self.bank_of(set, banks);
+                (0..total).find(|&i| i % banks == bank && self.mshrs[i].is_none())
+            }
+        }
+    }
+
+    /// Accepts upgrade requests from the per-core links into MSHRs.
+    pub(super) fn accept_requests(&mut self, now: u64, links: &mut [CoreLink]) {
+        for (core, link) in links.iter_mut().enumerate() {
+            // Head-of-line: only the head request of each core's FIFO is a
+            // candidate; if it cannot allocate, the FIFO stalls.
+            let Some(req) = link.up_req.peek(now).copied() else {
+                continue;
+            };
+            let set = self.set_index(req.line);
+            let Some(idx) = self.find_free_mshr(core, set) else {
+                // In the banked (MISS) model a full target bank stalls the
+                // whole structure: stop accepting from every core.
+                if matches!(self.cfg.mshrs, MshrOrg::Banked { .. }) {
+                    break;
+                }
+                continue;
+            };
+            let popped = link.up_req.pop(now);
+            debug_assert!(popped.is_some());
+            self.mshrs[idx] = Some(MshrEntry {
+                child: req.child,
+                line: req.line,
+                want: req.want,
+                state: MshrState::WaitPipe,
+                set,
+                way: usize::MAX,
+                needs_wb: false,
+                victim_line: PhysAddr::new(0),
+                wait_line: PhysAddr::new(0),
+                pending_downgrades: 0,
+                to_downgrade: Vec::new(),
+                after: AfterDowngrade::Grant,
+                retry: false,
+            });
+        }
+    }
+
+    pub(super) fn free_mshr(&mut self, m: u32) {
+        let entry = self.mshrs[m as usize].take().expect("double free");
+        if entry.way != usize::MAX {
+            let line = &mut self.sets[entry.set][entry.way];
+            if line.locked_by == Some(m) {
+                line.locked_by = None;
+            }
+        }
+        // Wake MSHRs blocked on us.
+        for o in self.mshrs.iter_mut().flatten() {
+            if o.state == MshrState::Blocked(m) {
+                o.state = MshrState::WaitPipe;
+            }
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! The Process stage at the cache-access pipeline exit: directory
+//! updates from downgrade responses, hit/miss handling with way locking
+//! and same-line conflict blocking, replacements, and DRAM-fill
+//! re-entries.
+
+use super::*;
+
+impl Llc {
+    /// Process stage at the pipeline exit: at most one message per cycle.
+    pub(super) fn process_exit(&mut self, now: u64) {
+        let Some(&(ready, msg)) = self.pipe.front() else {
+            return;
+        };
+        if ready > now {
+            return;
+        }
+        self.pipe.pop_front();
+        match msg {
+            PipeMsg::DownResp(resp) => self.process_down_resp(resp),
+            PipeMsg::Req(m) => self.process_request(m),
+            PipeMsg::Reentry(m) => self.process_reentry(m),
+        }
+    }
+
+    pub(super) fn process_down_resp(&mut self, resp: DowngradeResp) {
+        // Update the directory.
+        let set = self.set_index(resp.line);
+        let tag = self.tag_of(resp.line);
+        if let Some(way) = self.sets[set].iter().position(|l| l.valid && l.tag == tag) {
+            let line = &mut self.sets[set][way];
+            let bit = 1u32 << resp.child.index();
+            if resp.now == MsiState::I {
+                line.sharers &= !bit;
+            }
+            // The M owner is always the sole sharer, so after its
+            // downgrade either the sharer set is empty (to I) or it was
+            // demoted in place (to S).
+            if line.child_m && (line.sharers == 0 || resp.now == MsiState::S) {
+                line.child_m = false;
+            }
+            if resp.dirty {
+                line.dirty = true;
+            }
+        }
+        // Wake MSHRs waiting on this downgrade (request or voluntary).
+        let bit = 1u32 << resp.child.index();
+        let mut to_continue = Vec::new();
+        for (i, slot) in self.mshrs.iter_mut().enumerate() {
+            if let Some(m) = slot {
+                if m.state == MshrState::WaitDowngrade
+                    && m.wait_line == resp.line
+                    && m.pending_downgrades & bit != 0
+                {
+                    m.pending_downgrades &= !bit;
+                    // Also cancel an unsent downgrade to this child.
+                    m.to_downgrade.retain(|&(c, _, _)| c != resp.child);
+                    if m.pending_downgrades == 0 {
+                        to_continue.push(i as u32);
+                    }
+                }
+            }
+        }
+        for m in to_continue {
+            self.after_downgrades(m);
+        }
+    }
+
+    pub(super) fn after_downgrades(&mut self, m: u32) {
+        let entry = self.mshrs[m as usize].as_ref().expect("live MSHR");
+        match entry.after {
+            AfterDowngrade::Grant => self.grant(m),
+            AfterDowngrade::Replace => {
+                let (set, way) = (entry.set, entry.way);
+                let line = &mut self.sets[set][way];
+                debug_assert!(line.sharers == 0, "victim still shared");
+                let dirty = line.dirty;
+                let entry = self.mshrs[m as usize].as_mut().expect("live MSHR");
+                if dirty {
+                    entry.needs_wb = true;
+                    self.stats.writebacks += 1;
+                }
+                self.stats.evictions += 1;
+                // Invalidate the victim; the way stays locked for the fill.
+                let line = &mut self.sets[set][way];
+                line.valid = false;
+                line.dirty = false;
+                line.child_m = false;
+                self.enqueue_dq(m);
+            }
+        }
+    }
+
+    /// Grants the request: the line is present and all conflicting child
+    /// copies have been downgraded. Updates the directory and queues the
+    /// upgrade response.
+    pub(super) fn grant(&mut self, m: u32) {
+        let entry = self.mshrs[m as usize].as_ref().expect("live MSHR");
+        let (set, way, child, want) = (entry.set, entry.way, entry.child, entry.want);
+        let line = &mut self.sets[set][way];
+        debug_assert!(line.valid);
+        let bit = 1u32 << child.index();
+        match want {
+            MsiState::S => {
+                debug_assert!(!line.child_m || line.sharers == bit);
+                line.sharers |= bit;
+            }
+            MsiState::M => {
+                debug_assert!(line.sharers & !bit == 0, "other sharers remain");
+                line.sharers = bit;
+                line.child_m = true;
+            }
+            MsiState::I => unreachable!("no request downgrades itself"),
+        }
+        self.enqueue_uq(m);
+    }
+
+    /// Initial processing of an upgrade request at the Process stage.
+    pub(super) fn process_request(&mut self, m: u32) {
+        let entry = self.mshrs[m as usize].as_ref().expect("live MSHR");
+        let (line_addr, set, child, want) = (entry.line, entry.set, entry.child, entry.want);
+        let tag = self.tag_of(line_addr);
+
+        // Conflict: another MSHR holds (or is ahead in line for) the same
+        // line. Block on it when it already *owns* a transaction (passed
+        // Process), or — to serialize two not-yet-processed same-line
+        // entries without creating a blocking cycle — when it has the
+        // lower MSHR index. Lower indices never block on higher
+        // non-owning ones, so chains always terminate at an owning entry
+        // or a processable one.
+        let owning = |s: MshrState| {
+            matches!(
+                s,
+                MshrState::WaitDowngrade
+                    | MshrState::InDq
+                    | MshrState::WaitDram
+                    | MshrState::FillReady
+                    | MshrState::InUq
+            )
+        };
+        if let Some(other) = self.mshrs.iter().enumerate().position(|(i, o)| {
+            i != m as usize
+                && o.as_ref()
+                    .is_some_and(|o| o.line == line_addr && (owning(o.state) || i < m as usize))
+        }) {
+            let entry = self.mshrs[m as usize].as_mut().expect("live MSHR");
+            entry.state = MshrState::Blocked(other as u32);
+            self.stats.conflicts += 1;
+            return;
+        }
+
+        if let Some(way) = self.sets[set].iter().position(|l| l.valid && l.tag == tag) {
+            // Hit. Check whether the way is locked by another MSHR's
+            // replacement (shouldn't happen for a valid line, but a fill
+            // in flight locks its way while invalid).
+            if let Some(locker) = self.sets[set][way].locked_by {
+                if locker != m {
+                    let entry = self.mshrs[m as usize].as_mut().expect("live MSHR");
+                    entry.state = MshrState::Blocked(locker);
+                    self.stats.conflicts += 1;
+                    return;
+                }
+            }
+            self.stats.hits += 1;
+            let line = &self.sets[set][way];
+            let bit = 1u32 << child.index();
+            // Which children must downgrade before we can grant?
+            let mut to_downgrade = Vec::new();
+            let conflicting = match want {
+                MsiState::S => {
+                    if line.child_m && line.sharers & !bit != 0 {
+                        line.sharers & !bit
+                    } else {
+                        0
+                    }
+                }
+                MsiState::M => line.sharers & !bit,
+                MsiState::I => unreachable!(),
+            };
+            if conflicting != 0 {
+                let to = if want == MsiState::M {
+                    MsiState::I
+                } else {
+                    MsiState::S
+                };
+                for c in 0..32 {
+                    if conflicting >> c & 1 != 0 {
+                        to_downgrade.push((ChildId(c as u16), line_addr, to));
+                    }
+                }
+                let entry = self.mshrs[m as usize].as_mut().expect("live MSHR");
+                entry.way = way;
+                entry.state = MshrState::WaitDowngrade;
+                entry.wait_line = line_addr;
+                entry.pending_downgrades = conflicting;
+                entry.to_downgrade = to_downgrade;
+                entry.after = AfterDowngrade::Grant;
+                return;
+            }
+            let entry = self.mshrs[m as usize].as_mut().expect("live MSHR");
+            entry.way = way;
+            self.grant(m);
+            return;
+        }
+
+        // Miss.
+        self.stats.misses += 1;
+        // Free (invalid, unlocked) way?
+        if let Some(way) = self.sets[set]
+            .iter()
+            .position(|l| !l.valid && l.locked_by.is_none())
+        {
+            let entry = self.mshrs[m as usize].as_mut().expect("live MSHR");
+            entry.way = way;
+            self.sets[set][way].locked_by = Some(m);
+            self.enqueue_dq(m);
+            return;
+        }
+        // Replacement: pick an unlocked victim (lowest way; the LLC has no
+        // replacement metadata worth modelling — RiscyOO uses pseudo-random
+        // and the set-partitioning evaluation is insensitive to it).
+        let Some(way) = self.sets[set].iter().position(|l| l.locked_by.is_none()) else {
+            // Every way locked by in-flight fills: block on the first.
+            let locker = self.sets[set][0].locked_by.expect("all locked");
+            let entry = self.mshrs[m as usize].as_mut().expect("live MSHR");
+            entry.state = MshrState::Blocked(locker);
+            self.stats.conflicts += 1;
+            return;
+        };
+        let victim = self.sets[set][way];
+        let victim_line = PhysAddr::new(
+            // Reconstruct the victim address from its tag (the tag is the
+            // full line index).
+            victim.tag << LINE_SHIFT,
+        );
+        self.sets[set][way].locked_by = Some(m);
+        let entry = self.mshrs[m as usize].as_mut().expect("live MSHR");
+        entry.way = way;
+        entry.victim_line = victim_line;
+        if victim.sharers != 0 {
+            // Inclusive: children must drop the victim first.
+            let mut to_downgrade = Vec::new();
+            for c in 0..32 {
+                if victim.sharers >> c & 1 != 0 {
+                    to_downgrade.push((ChildId(c as u16), victim_line, MsiState::I));
+                }
+            }
+            entry.state = MshrState::WaitDowngrade;
+            entry.wait_line = victim_line;
+            entry.pending_downgrades = victim.sharers;
+            entry.to_downgrade = to_downgrade;
+            entry.after = AfterDowngrade::Replace;
+        } else {
+            entry.after = AfterDowngrade::Replace;
+            entry.pending_downgrades = 0;
+            self.after_downgrades(m);
+        }
+    }
+
+    /// Re-entry processing: a DRAM fill completing, or a retry-bit entry
+    /// coming back as a pure miss.
+    pub(super) fn process_reentry(&mut self, m: u32) {
+        let entry = self.mshrs[m as usize].as_mut().expect("live MSHR");
+        if entry.retry {
+            // Retry-bit path: the writeback has been sent; re-issue as a
+            // pure miss (the way is still locked for us).
+            entry.retry = false;
+            entry.needs_wb = false;
+            self.stats.dq_retries += 1;
+            self.enqueue_dq(m);
+            return;
+        }
+        // Fill: install the line and grant.
+        let (set, way, child, want, line_addr) =
+            (entry.set, entry.way, entry.child, entry.want, entry.line);
+        let tag = self.tag_of(line_addr);
+        let line = &mut self.sets[set][way];
+        debug_assert_eq!(line.locked_by, Some(m));
+        line.tag = tag;
+        line.valid = true;
+        line.dirty = false;
+        line.sharers = 1u32 << child.index();
+        line.child_m = want == MsiState::M;
+        self.enqueue_uq(m);
+    }
+}

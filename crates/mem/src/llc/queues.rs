@@ -1,0 +1,193 @@
+//! The LLC's response and DRAM queues: UQ dequeue (shared or per-core,
+//! with the Section 5.4.2 head-of-line leak in the shared case) and DQ
+//! dequeue (baseline two-cycle writeback+read vs the MI6 retry bit).
+
+use super::*;
+
+impl Llc {
+    pub(super) fn enqueue_dq(&mut self, m: u32) {
+        let entry = self.mshrs[m as usize].as_mut().expect("live MSHR");
+        entry.state = MshrState::InDq;
+        self.dq.push_back(m);
+        debug_assert!(self.dq.len() <= self.mshrs.len(), "DQ sized to MSHR count");
+    }
+
+    pub(super) fn enqueue_uq(&mut self, m: u32) {
+        let entry = self.mshrs[m as usize].as_mut().expect("live MSHR");
+        entry.state = MshrState::InUq;
+        let qi = match self.cfg.uq {
+            UqOrg::Shared => 0,
+            UqOrg::PerCore => entry.child.core(),
+        };
+        self.uqs[qi].push_back(m);
+        let total: usize = self.uqs.iter().map(VecDeque::len).sum();
+        debug_assert!(total <= self.mshrs.len(), "UQs sized to MSHR count");
+    }
+
+    /// UQ dequeue: sends upgrade responses to the cores. Returns which
+    /// core ports were used this cycle (downgrade requests contend for the
+    /// remainder — paper Section 5.4.2 "UQ and Downgrade requests").
+    pub(super) fn dequeue_uq(&mut self, now: u64, links: &mut [CoreLink]) -> Vec<bool> {
+        let mut port_used = vec![false; self.cores];
+        let mut freed = Vec::new();
+        match self.cfg.uq {
+            UqOrg::Shared => {
+                // One dequeue attempt per cycle; head-of-line blocking
+                // across cores is possible (the Section 5.4.2 leak): if
+                // the head's core port is busy, responses to other cores
+                // behind it wait too.
+                if let Some(&m) = self.uqs[0].front() {
+                    if self.try_send_upgrade_resp(now, links, m, &mut port_used) {
+                        self.uqs[0].pop_front();
+                        freed.push(m);
+                    }
+                }
+            }
+            UqOrg::PerCore => {
+                for qi in 0..self.uqs.len() {
+                    if let Some(&m) = self.uqs[qi].front() {
+                        if self.try_send_upgrade_resp(now, links, m, &mut port_used) {
+                            self.uqs[qi].pop_front();
+                            freed.push(m);
+                        }
+                    }
+                }
+            }
+        }
+        for m in freed {
+            self.free_mshr(m);
+        }
+        port_used
+    }
+
+    pub(super) fn try_send_upgrade_resp(
+        &mut self,
+        now: u64,
+        links: &mut [CoreLink],
+        m: u32,
+        port_used: &mut [bool],
+    ) -> bool {
+        let entry = self.mshrs[m as usize].as_ref().expect("live MSHR");
+        let core = entry.child.core();
+        if port_used[core] || !links[core].down.can_push() {
+            return false;
+        }
+        let msg = (
+            entry.child,
+            ParentMsg::UpgradeResp {
+                line: entry.line,
+                granted: entry.want,
+            },
+        );
+        let pushed = links[core].down.push(now, msg);
+        debug_assert!(pushed);
+        port_used[core] = true;
+        true
+    }
+
+    /// DQ dequeue: sends DRAM requests.
+    pub(super) fn dequeue_dq(&mut self, now: u64, dram: &mut Dram) {
+        if now < self.dq_port_busy_until {
+            return;
+        }
+        let Some(&m) = self.dq.front() else {
+            return;
+        };
+        let entry = self.mshrs[m as usize].as_ref().expect("live MSHR");
+        let (needs_wb, victim_line, line) = (entry.needs_wb, entry.victim_line, entry.line);
+        match self.cfg.dq {
+            DqOrg::TwoCycleDequeue => {
+                if needs_wb {
+                    // Send writeback and read together; the port blocks one
+                    // extra cycle (the Section 5.4.2 DQ leak).
+                    if !dram.can_accept() {
+                        return; // DRAM backpressure: retry next cycle
+                    }
+                    let ok = dram.submit(
+                        now,
+                        DramReq {
+                            line: victim_line,
+                            is_write: true,
+                            tag: m,
+                        },
+                    );
+                    debug_assert!(ok);
+                    if !dram.can_accept() {
+                        // Second request refused: keep the entry at the
+                        // head with the writeback already sent.
+                        let entry = self.mshrs[m as usize].as_mut().expect("live MSHR");
+                        entry.needs_wb = false;
+                        return;
+                    }
+                    let ok = dram.submit(
+                        now,
+                        DramReq {
+                            line,
+                            is_write: false,
+                            tag: m,
+                        },
+                    );
+                    debug_assert!(ok);
+                    self.dq.pop_front();
+                    self.dq_port_busy_until = now + 2;
+                    self.stats.dq_double_cycles += 1;
+                    let entry = self.mshrs[m as usize].as_mut().expect("live MSHR");
+                    entry.needs_wb = false;
+                    entry.state = MshrState::WaitDram;
+                } else {
+                    if !dram.can_accept() {
+                        return;
+                    }
+                    let ok = dram.submit(
+                        now,
+                        DramReq {
+                            line,
+                            is_write: false,
+                            tag: m,
+                        },
+                    );
+                    debug_assert!(ok);
+                    self.dq.pop_front();
+                    let entry = self.mshrs[m as usize].as_mut().expect("live MSHR");
+                    entry.state = MshrState::WaitDram;
+                }
+            }
+            DqOrg::RetryBit => {
+                if !dram.can_accept() {
+                    return;
+                }
+                if needs_wb {
+                    // Send only the writeback; set the retry bit and
+                    // re-enter the pipeline as a pure miss. Dequeue takes
+                    // exactly one cycle (Section 5.4.3).
+                    let ok = dram.submit(
+                        now,
+                        DramReq {
+                            line: victim_line,
+                            is_write: true,
+                            tag: m,
+                        },
+                    );
+                    debug_assert!(ok);
+                    self.dq.pop_front();
+                    let entry = self.mshrs[m as usize].as_mut().expect("live MSHR");
+                    entry.retry = true;
+                    entry.state = MshrState::WaitPipe;
+                } else {
+                    let ok = dram.submit(
+                        now,
+                        DramReq {
+                            line,
+                            is_write: false,
+                            tag: m,
+                        },
+                    );
+                    debug_assert!(ok);
+                    self.dq.pop_front();
+                    let entry = self.mshrs[m as usize].as_mut().expect("live MSHR");
+                    entry.state = MshrState::WaitDram;
+                }
+            }
+        }
+    }
+}

@@ -169,11 +169,19 @@ mod tests {
     fn parent_msg_line() {
         let a = PhysAddr::new(0x40);
         assert_eq!(
-            ParentMsg::UpgradeResp { line: a, granted: MsiState::S }.line(),
+            ParentMsg::UpgradeResp {
+                line: a,
+                granted: MsiState::S
+            }
+            .line(),
             a
         );
         assert_eq!(
-            ParentMsg::DowngradeReq { line: a, to: MsiState::I }.line(),
+            ParentMsg::DowngradeReq {
+                line: a,
+                to: MsiState::I
+            }
+            .line(),
             a
         );
     }

@@ -41,7 +41,10 @@ impl PhysMem {
     ///
     /// Panics if `size` is not a multiple of the page size.
     pub fn new(size: u64) -> PhysMem {
-        assert!(size % PAGE_SIZE == 0, "memory size must be page aligned");
+        assert!(
+            size.is_multiple_of(PAGE_SIZE),
+            "memory size must be page aligned"
+        );
         PhysMem {
             size,
             pages: HashMap::new(),

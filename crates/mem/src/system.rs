@@ -188,7 +188,11 @@ impl MemSystem {
 
     /// DRAM read/write/backpressure counters as (reads, writes, stalls).
     pub fn dram_stats(&self) -> (u64, u64, u64) {
-        (self.dram.reads, self.dram.writes, self.dram.backpressure_events)
+        (
+            self.dram.reads,
+            self.dram.writes,
+            self.dram.backpressure_events,
+        )
     }
 
     /// The LLC set index of an address under the active indexing function
@@ -212,7 +216,14 @@ mod tests {
     }
 
     /// Issues an access and runs until it completes; returns total cycles.
-    fn complete(sys: &mut MemSystem, now: &mut u64, core: usize, port: Port, addr: u64, store: bool) -> u64 {
+    fn complete(
+        sys: &mut MemSystem,
+        now: &mut u64,
+        core: usize,
+        port: Port,
+        addr: u64,
+        store: bool,
+    ) -> u64 {
         let start = *now;
         let token = 42;
         loop {
@@ -248,13 +259,16 @@ mod tests {
         let mut now = 0;
         let t_cold = complete(&mut sys, &mut now, 0, Port::Data, 0x1_0000, false);
         let t_warm = complete(&mut sys, &mut now, 0, Port::Data, 0x1_0000, false);
-        assert!(t_cold > 120, "cold miss must include DRAM latency, got {t_cold}");
-        assert_eq!(t_warm, L1Config_paper_hit() as u64);
+        assert!(
+            t_cold > 120,
+            "cold miss must include DRAM latency, got {t_cold}"
+        );
+        assert_eq!(t_warm, l1_paper_hit_latency() as u64);
         assert_eq!(sys.l1_stats(0, Port::Data).misses, 1);
         assert_eq!(sys.l1_stats(0, Port::Data).hits, 1);
     }
 
-    fn L1Config_paper_hit() -> u32 {
+    fn l1_paper_hit_latency() -> u32 {
         crate::config::L1Config::paper().hit_latency
     }
 
@@ -268,7 +282,7 @@ mod tests {
         // the LLC hits.
         let t_llc = complete(&mut sys, &mut now, 0, Port::IFetch, 0x2_0000, false);
         assert!(t_llc < t_cold / 2, "LLC hit {t_llc} vs cold {t_cold}");
-        assert!(t_llc > L1Config_paper_hit() as u64);
+        assert!(t_llc > l1_paper_hit_latency() as u64);
     }
 
     #[test]
@@ -277,7 +291,7 @@ mod tests {
         let mut now = 0;
         complete(&mut sys, &mut now, 0, Port::Data, 0x3_0000, true);
         let t = complete(&mut sys, &mut now, 0, Port::Data, 0x3_0000, false);
-        assert_eq!(t, L1Config_paper_hit() as u64);
+        assert_eq!(t, l1_paper_hit_latency() as u64);
     }
 
     #[test]

@@ -1,25 +1,47 @@
 //! Property-based tests for the memory hierarchy's data structures and a
 //! liveness property of the full LLC protocol under random traffic.
+//!
+//! Dependency-free property testing: each property runs over a
+//! deterministic stream of pseudo-random operation sequences (splitmix64)
+//! instead of proptest's generated cases.
 
 use mi6_isa::PhysAddr;
 use mi6_mem::{
     DelayFifo, L1Access, LlcConfig, MemConfig, MemSystem, MshrOrg, PhysMem, Port, RegionBitvec,
     RegionId,
 };
-use proptest::prelude::*;
 use std::collections::VecDeque;
 
-proptest! {
-    /// PhysMem behaves like a flat byte array (model-based).
-    #[test]
-    fn physmem_matches_model(ops in prop::collection::vec(
-        (0u64..8192, any::<u64>(), 1usize..=8, any::<bool>()), 1..200))
-    {
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`.
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// PhysMem behaves like a flat byte array (model-based).
+#[test]
+fn physmem_matches_model() {
+    for case in 0..50u64 {
+        let mut rng = SplitMix64(0x100 + case);
         let mut mem = PhysMem::new(16384);
         let mut model = vec![0u8; 16384];
-        for (addr, value, n, is_write) in ops {
-            let addr = addr.min(16384 - 8);
-            if is_write {
+        let ops = 1 + rng.below(200);
+        for _ in 0..ops {
+            let addr = rng.below(8192).min(16384 - 8);
+            let value = rng.next_u64();
+            let n = 1 + rng.below(8) as usize;
+            if rng.next_u64() & 1 != 0 {
                 mem.write_bytes(PhysAddr::new(addr), value, n);
                 for i in 0..n {
                     model[addr as usize + i] = (value >> (8 * i)) as u8;
@@ -30,56 +52,63 @@ proptest! {
                 for i in 0..n {
                     want |= (model[addr as usize + i] as u64) << (8 * i);
                 }
-                prop_assert_eq!(got, want);
+                assert_eq!(got, want, "case {case} addr {addr:#x} n {n}");
             }
         }
     }
+}
 
-    /// DelayFifo preserves order and never delivers early.
-    #[test]
-    fn delay_fifo_order_and_latency(
-        latency in 0u32..8,
-        pushes in prop::collection::vec(0u64..100, 1..50),
-    ) {
+/// DelayFifo preserves order and never delivers early.
+#[test]
+fn delay_fifo_order_and_latency() {
+    for case in 0..100u64 {
+        let mut rng = SplitMix64(0x200 + case);
+        let latency = rng.below(8) as u32;
         let mut fifo = DelayFifo::new(64, latency);
         let mut model: VecDeque<(u64, u64)> = VecDeque::new();
         let mut now = 0u64;
-        for (i, gap) in pushes.iter().enumerate() {
-            now += gap;
-            if fifo.push(now, i as u64) {
-                model.push_back((now + latency as u64, i as u64));
+        let pushes = 1 + rng.below(50);
+        for i in 0..pushes {
+            now += rng.below(100);
+            if fifo.push(now, i) {
+                model.push_back((now + latency as u64, i));
             }
             // Drain anything ready.
             while let Some(v) = fifo.pop(now) {
                 let (ready, want) = model.pop_front().expect("model has it");
-                prop_assert!(ready <= now, "delivered {} early", v);
-                prop_assert_eq!(v, want);
+                assert!(ready <= now, "delivered {v} early");
+                assert_eq!(v, want);
             }
         }
         // Drain the rest far in the future.
         now += 1000;
         while let Some(v) = fifo.pop(now) {
             let (_, want) = model.pop_front().expect("model has it");
-            prop_assert_eq!(v, want);
+            assert_eq!(v, want);
         }
-        prop_assert!(model.is_empty());
+        assert!(model.is_empty());
     }
+}
 
-    /// Region bitvector set operations match a HashSet model.
-    #[test]
-    fn region_bitvec_model(ops in prop::collection::vec((0u32..64, any::<bool>()), 1..100)) {
+/// Region bitvector set operations match a HashSet model.
+#[test]
+fn region_bitvec_model() {
+    for case in 0..100u64 {
+        let mut rng = SplitMix64(0x300 + case);
         let mut bv = RegionBitvec::none();
         let mut model = std::collections::HashSet::new();
-        for (r, add) in ops {
-            if add {
+        let ops = 1 + rng.below(100);
+        for _ in 0..ops {
+            let r = rng.below(64) as u32;
+            if rng.next_u64() & 1 != 0 {
                 bv.allow(RegionId(r));
                 model.insert(r);
             } else {
                 bv.deny(RegionId(r));
                 model.remove(&r);
             }
-            prop_assert_eq!(bv.count() as usize, model.len());
-            prop_assert_eq!(bv.allows(RegionId(r)), model.contains(&r));
+            assert_eq!(bv.count() as usize, model.len());
+            assert_eq!(bv.allows(RegionId(r)), model.contains(&r));
         }
     }
 }
@@ -123,36 +152,40 @@ fn llc_liveness(cfg: MemConfig, accesses: &[(u64, bool)]) {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// A random line-aligned access sequence.
+fn random_accesses(rng: &mut SplitMix64) -> Vec<(u64, bool)> {
+    let n = 1 + rng.below(120);
+    (0..n)
+        .map(|_| (rng.below(1 << 22) & !63, rng.next_u64() & 1 != 0))
+        .collect()
+}
 
-    #[test]
-    fn figure2_llc_liveness(
-        raw in prop::collection::vec((0u64..(1 << 22), any::<bool>()), 1..120)
-    ) {
-        let accesses: Vec<(u64, bool)> =
-            raw.iter().map(|&(a, s)| (a & !63, s)).collect();
-        llc_liveness(MemConfig::paper_base(), &accesses);
+#[test]
+fn figure2_llc_liveness() {
+    for case in 0..12u64 {
+        let mut rng = SplitMix64(0x400 + case);
+        llc_liveness(MemConfig::paper_base(), &random_accesses(&mut rng));
     }
+}
 
-    #[test]
-    fn figure3_llc_liveness(
-        raw in prop::collection::vec((0u64..(1 << 22), any::<bool>()), 1..120)
-    ) {
-        let accesses: Vec<(u64, bool)> =
-            raw.iter().map(|&(a, s)| (a & !63, s)).collect();
-        llc_liveness(MemConfig::paper_secure(1), &accesses);
+#[test]
+fn figure3_llc_liveness() {
+    for case in 0..12u64 {
+        let mut rng = SplitMix64(0x500 + case);
+        llc_liveness(MemConfig::paper_secure(1), &random_accesses(&mut rng));
     }
+}
 
-    #[test]
-    fn banked_mshr_llc_liveness(
-        raw in prop::collection::vec((0u64..(1 << 22), any::<bool>()), 1..120)
-    ) {
+#[test]
+fn banked_mshr_llc_liveness() {
+    for case in 0..12u64 {
+        let mut rng = SplitMix64(0x600 + case);
         let mut cfg = MemConfig::paper_base();
-        cfg.llc.mshrs = MshrOrg::Banked { total: 12, banks: 4 };
-        let accesses: Vec<(u64, bool)> =
-            raw.iter().map(|&(a, s)| (a & !63, s)).collect();
-        llc_liveness(cfg, &accesses);
+        cfg.llc.mshrs = MshrOrg::Banked {
+            total: 12,
+            banks: 4,
+        };
+        llc_liveness(cfg, &random_accesses(&mut rng));
     }
 }
 

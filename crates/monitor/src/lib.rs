@@ -8,10 +8,10 @@
 //!
 //! ```
 //! use mi6_monitor::{SecurityMonitor, RegionOwner};
-//! use mi6_soc::{Machine, MachineConfig, Variant};
+//! use mi6_soc::{SimBuilder, Variant};
 //! use mi6_mem::RegionId;
 //!
-//! let machine = Machine::new(MachineConfig::variant(Variant::SecureMi6, 1));
+//! let machine = SimBuilder::new(Variant::SecureMi6).build().unwrap();
 //! let monitor = SecurityMonitor::new(&machine);
 //! assert_eq!(monitor.owner(RegionId(0)), RegionOwner::Os);
 //! assert_eq!(monitor.owner(RegionId(5)), RegionOwner::Free);
@@ -31,7 +31,7 @@ mod tests {
     use mi6_isa::{Assembler, Inst, PhysAddr, Reg};
     use mi6_mem::RegionId;
     use mi6_soc::loader::{Program, CODE_VA, DATA_VA};
-    use mi6_soc::{Machine, MachineConfig, Variant};
+    use mi6_soc::{Machine, SimBuilder, Variant};
 
     /// An enclave program: reads its data buffer, sums it, exits via
     /// ecall (which lands in the monitor — machine mode — and halts the
@@ -58,7 +58,10 @@ mod tests {
     }
 
     fn setup() -> (Machine, SecurityMonitor) {
-        let machine = Machine::new(MachineConfig::variant(Variant::SecureMi6, 1).without_timer());
+        let machine = SimBuilder::new(Variant::SecureMi6)
+            .without_timer()
+            .build()
+            .unwrap();
         let monitor = SecurityMonitor::new(&machine);
         (machine, monitor)
     }

@@ -226,9 +226,7 @@ impl SecurityMonitor {
         // after. (Multi-region images simply get a larger frame window
         // when the regions are contiguous.)
         let base = self.region_map.base_of(regions[0]).raw();
-        let contiguous = regions
-            .windows(2)
-            .all(|w| w[1].index() == w[0].index() + 1);
+        let contiguous = regions.windows(2).all(|w| w[1].index() == w[0].index() + 1);
         let window = if contiguous {
             region_bytes * regions.len() as u64
         } else {
@@ -298,8 +296,7 @@ impl SecurityMonitor {
         if let EnclaveState::Running { .. } = enclave.state {
             return Err(MonitorError::EnclaveRunning(id));
         }
-        let (entry, sp, satp, regions) =
-            (enclave.entry, enclave.sp, enclave.satp, enclave.regions);
+        let (entry, sp, satp, regions) = (enclave.entry, enclave.sp, enclave.satp, enclave.regions);
         enclave.state = EnclaveState::Running { core };
         let now = machine.now();
         let c: &mut Core = machine.core_mut(core);
@@ -391,10 +388,7 @@ impl SecurityMonitor {
     }
 
     /// Receives the pending mailbox message for a domain.
-    pub fn mailbox_recv(
-        &mut self,
-        target: Option<EnclaveId>,
-    ) -> Result<MailboxMsg, MonitorError> {
+    pub fn mailbox_recv(&mut self, target: Option<EnclaveId>) -> Result<MailboxMsg, MonitorError> {
         match target {
             None => self.os_mailbox.take().ok_or(MonitorError::MailboxEmpty),
             Some(id) => self
@@ -425,7 +419,10 @@ impl SecurityMonitor {
             .ok_or(MonitorError::UnknownEnclave(id))?;
         let aspace = loader::AddressSpace::probe(enclave.satp);
         for off in (0..len).step_by(8) {
-            let value = machine.mem().phys.read_u64(PhysAddr::new(os_buf.raw() + off));
+            let value = machine
+                .mem()
+                .phys
+                .read_u64(PhysAddr::new(os_buf.raw() + off));
             let pa = aspace
                 .translate(&machine.mem().phys, enclave_va + off)
                 .ok_or(MonitorError::LoadFailed)?;

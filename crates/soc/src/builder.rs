@@ -1,0 +1,229 @@
+//! [`SimBuilder`] — the single configuration surface of the simulator.
+//!
+//! Everything that used to be scattered across `core::config`,
+//! `mem::config`, and `soc::variant` is assembled here: a builder owns the
+//! [`Variant`] selection, the core/L1/LLC/DRAM knobs, the supervisor timer
+//! interval, and workload placement, and produces a ready-to-run
+//! [`Machine`]. Examples, tests, and the experiment harness all construct
+//! machines through it; the per-crate config types are implementation
+//! details the builder composes.
+//!
+//! ```
+//! use mi6_soc::SimBuilder;
+//! use mi6_soc::Variant;
+//!
+//! let mut machine = SimBuilder::new(Variant::Base)
+//!     .cores(2)
+//!     .without_timer()
+//!     .build()
+//!     .unwrap();
+//! machine.run_cycles(100);
+//! assert_eq!(machine.now(), 100);
+//! ```
+
+use crate::loader::{LoadError, Program};
+use crate::machine::{Machine, MachineConfig};
+use crate::variant::Variant;
+use mi6_core::{CoreConfig, SecurityConfig};
+use mi6_mem::MemConfig;
+
+/// Default cycles between supervisor timer interrupts (calibrated so
+/// FLUSH's stall fraction lands near the paper's 0.4 % average, Figure 6).
+pub const DEFAULT_TIMER_INTERVAL: u64 = 250_000;
+
+/// Builder for a fully configured, optionally pre-loaded [`Machine`].
+///
+/// Construction starts from a [`Variant`] (which fixes the paper
+/// configuration for core, caches, and security toggles) and layers
+/// overrides on top. [`SimBuilder::build`] assembles the machine and loads
+/// any placed workloads.
+#[derive(Debug)]
+pub struct SimBuilder {
+    variant: Variant,
+    cores: usize,
+    timer_interval: u64,
+    core_cfg: Option<CoreConfig>,
+    sec_cfg: Option<SecurityConfig>,
+    mem_cfg: Option<MemConfig>,
+    programs: Vec<(usize, Program)>,
+}
+
+impl SimBuilder {
+    /// Starts a builder for one evaluation variant with a single core and
+    /// the default scheduler tick.
+    pub fn new(variant: Variant) -> SimBuilder {
+        SimBuilder {
+            variant,
+            cores: 1,
+            timer_interval: DEFAULT_TIMER_INTERVAL,
+            core_cfg: None,
+            sec_cfg: None,
+            mem_cfg: None,
+            programs: Vec::new(),
+        }
+    }
+
+    /// Shorthand for `SimBuilder::new(Variant::Base)`.
+    pub fn base() -> SimBuilder {
+        SimBuilder::new(Variant::Base)
+    }
+
+    /// The variant this builder configures.
+    pub fn variant_sel(&self) -> Variant {
+        self.variant
+    }
+
+    /// Sets the number of cores (default 1).
+    pub fn cores(mut self, n: usize) -> SimBuilder {
+        assert!(n >= 1, "a machine needs at least one core");
+        self.cores = n;
+        self
+    }
+
+    /// Sets the supervisor timer interval in cycles (0 disables it).
+    pub fn timer_interval(mut self, interval: u64) -> SimBuilder {
+        self.timer_interval = interval;
+        self
+    }
+
+    /// Disables timer interrupts (purely syscall-driven runs).
+    pub fn without_timer(self) -> SimBuilder {
+        self.timer_interval(0)
+    }
+
+    /// Replaces the core structural configuration (default: the variant's
+    /// Figure-4 configuration).
+    pub fn core_config(mut self, cfg: CoreConfig) -> SimBuilder {
+        self.core_cfg = Some(cfg);
+        self
+    }
+
+    /// Replaces the security toggles (default: the variant's).
+    pub fn security_config(mut self, cfg: SecurityConfig) -> SimBuilder {
+        self.sec_cfg = Some(cfg);
+        self
+    }
+
+    /// Replaces the whole memory configuration (default: the variant's).
+    pub fn mem_config(mut self, cfg: MemConfig) -> SimBuilder {
+        self.mem_cfg = Some(cfg);
+        self
+    }
+
+    /// Tweaks the memory configuration in place, starting from whatever
+    /// the variant (or a previous override) established. This is how the
+    /// ablation benches toggle individual Figure-3 mechanisms that the
+    /// named variants bundle together.
+    pub fn tune_mem(mut self, f: impl FnOnce(&mut MemConfig)) -> SimBuilder {
+        let mut cfg = self
+            .mem_cfg
+            .unwrap_or_else(|| self.variant.mem_config(self.cores));
+        f(&mut cfg);
+        self.mem_cfg = Some(cfg);
+        self
+    }
+
+    /// Tweaks the core configuration in place.
+    pub fn tune_core(mut self, f: impl FnOnce(&mut CoreConfig)) -> SimBuilder {
+        let mut cfg = self.core_cfg.unwrap_or_else(|| self.variant.core_config());
+        f(&mut cfg);
+        self.core_cfg = Some(cfg);
+        self
+    }
+
+    /// Places a user program on core `core`; it is loaded by
+    /// [`SimBuilder::build`].
+    pub fn workload(mut self, core: usize, program: Program) -> SimBuilder {
+        self.programs.push((core, program));
+        self
+    }
+
+    /// Assembles the machine and loads every placed workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadError`] if a placed program exceeds its core's
+    /// physical window or page-table space.
+    pub fn build(self) -> Result<Machine, LoadError> {
+        let cfg = MachineConfig {
+            variant: self.variant,
+            cores: self.cores,
+            timer_interval: self.timer_interval,
+        };
+        let mem_cfg = self
+            .mem_cfg
+            .unwrap_or_else(|| self.variant.mem_config(self.cores));
+        let core_cfg = self.core_cfg.unwrap_or_else(|| self.variant.core_config());
+        let sec_cfg = self
+            .sec_cfg
+            .unwrap_or_else(|| self.variant.security_config());
+        let mut machine = Machine::assemble(cfg, core_cfg, sec_cfg, mem_cfg);
+        for (core, program) in &self.programs {
+            machine.load_user_program(*core, program)?;
+        }
+        Ok(machine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mi6_mem::{LlcIndexing, MshrOrg};
+
+    #[test]
+    fn builder_defaults_match_variant() {
+        let m = SimBuilder::new(Variant::Fpma).build().unwrap();
+        assert_eq!(m.config().variant, Variant::Fpma);
+        assert_eq!(m.config().cores, 1);
+        assert_eq!(m.config().timer_interval, DEFAULT_TIMER_INTERVAL);
+        assert_eq!(
+            m.mem().config().llc.indexing,
+            LlcIndexing::Partitioned { region_bits: 2 }
+        );
+        assert!(m.core(0).security().flush_on_trap);
+    }
+
+    #[test]
+    fn tune_mem_layers_on_variant_config() {
+        let m = SimBuilder::base()
+            .tune_mem(|mem| {
+                mem.llc.mshrs = MshrOrg::Banked {
+                    total: 12,
+                    banks: 4,
+                }
+            })
+            .tune_mem(|mem| mem.llc.pipeline_latency += 8)
+            .build()
+            .unwrap();
+        let llc = m.mem().config().llc;
+        assert_eq!(
+            llc.mshrs,
+            MshrOrg::Banked {
+                total: 12,
+                banks: 4
+            }
+        );
+        assert_eq!(llc.pipeline_latency, 16);
+    }
+
+    #[test]
+    fn tune_core_overrides_structure() {
+        let m = SimBuilder::base()
+            .tune_core(|c| c.rob_entries = 16)
+            .without_timer()
+            .build()
+            .unwrap();
+        assert_eq!(m.config().timer_interval, 0);
+        let _ = m;
+    }
+
+    #[test]
+    fn multi_core_secure_build() {
+        let m = SimBuilder::new(Variant::SecureMi6)
+            .cores(2)
+            .build()
+            .unwrap();
+        assert_eq!(m.config().cores, 2);
+        assert!(m.core(1).security().region_checks);
+    }
+}

@@ -57,11 +57,21 @@ pub fn kernel_pages(cores: usize) -> Vec<(u64, bool)> {
 }
 
 fn csrr(rd: Reg, csr: u16) -> Inst {
-    Inst::Csr { op: CsrOp::Rs, rd, rs1: Reg::ZERO, csr }
+    Inst::Csr {
+        op: CsrOp::Rs,
+        rd,
+        rs1: Reg::ZERO,
+        csr,
+    }
 }
 
 fn csrw(csr: u16, rs1: Reg) -> Inst {
-    Inst::Csr { op: CsrOp::Rw, rd: Reg::ZERO, rs1, csr }
+    Inst::Csr {
+        op: CsrOp::Rw,
+        rd: Reg::ZERO,
+        rs1,
+        csr,
+    }
 }
 
 /// Assembles the machine-mode stub: any machine trap halts the core
@@ -86,7 +96,12 @@ pub fn build_kernel(timer_interval: u64) -> Vec<u32> {
 
     // ---- save all registers ----
     // t0 <- save base, sscratch <- user t0
-    asm.push(Inst::Csr { op: CsrOp::Rw, rd: Reg::T0, rs1: Reg::T0, csr: csr::SSCRATCH });
+    asm.push(Inst::Csr {
+        op: CsrOp::Rw,
+        rd: Reg::T0,
+        rs1: Reg::T0,
+        csr: csr::SSCRATCH,
+    });
     for i in 1..32u8 {
         let r = Reg::new(i);
         if r == Reg::T0 {
@@ -149,7 +164,11 @@ pub fn build_kernel(timer_interval: u64) -> Vec<u32> {
     asm.li(Reg::T4, 64);
     let print_loop = asm.here();
     asm.push(Inst::ld(Reg::T5, Reg::T3, 0));
-    asm.push(Inst::Xor { rd: Reg::T5, rs1: Reg::T5, rs2: Reg::T4 });
+    asm.push(Inst::Xor {
+        rd: Reg::T5,
+        rs1: Reg::T5,
+        rs2: Reg::T4,
+    });
     asm.push(Inst::sd(Reg::T5, Reg::T3, 0));
     asm.push(Inst::addi(Reg::T3, Reg::T3, 8));
     asm.push(Inst::addi(Reg::T4, Reg::T4, -1));
@@ -180,7 +199,11 @@ mod tests {
     fn kernel_fits_in_its_pages() {
         let words = build_kernel(100_000);
         // Two pages are mapped for kernel text.
-        assert!(words.len() * 4 <= 2 * 4096, "kernel is {} bytes", words.len() * 4);
+        assert!(
+            words.len() * 4 <= 2 * 4096,
+            "kernel is {} bytes",
+            words.len() * 4
+        );
         assert!(words.len() > 80, "kernel should have a real footprint");
     }
 
@@ -188,10 +211,7 @@ mod tests {
     fn m_stub_is_one_ebreak() {
         let words = build_m_stub();
         assert_eq!(words.len(), 1);
-        assert_eq!(
-            mi6_isa::decode(words[0]).unwrap(),
-            Inst::Ebreak
-        );
+        assert_eq!(mi6_isa::decode(words[0]).unwrap(), Inst::Ebreak);
     }
 
     #[test]

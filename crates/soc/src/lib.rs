@@ -6,11 +6,12 @@
 //! syscalls, timer-driven scheduler stub), and the user-program loader
 //! with real three-level page tables.
 //!
-//! Entry point: [`Machine`]. Build one with a [`MachineConfig`] naming a
-//! [`Variant`], load [`Program`]s (usually from `mi6-workloads`), and run.
+//! Entry point: [`SimBuilder`]. Pick a [`Variant`], layer any overrides,
+//! place [`Program`]s (usually from `mi6-workloads`), and build a
+//! [`Machine`] to run.
 //!
 //! ```
-//! use mi6_soc::{Machine, MachineConfig, Variant};
+//! use mi6_soc::{SimBuilder, Variant};
 //! use mi6_soc::loader::Program;
 //! use mi6_isa::{Assembler, Inst, Reg};
 //!
@@ -27,18 +28,23 @@
 //!     stack_size: 4096,
 //! };
 //!
-//! let mut machine = Machine::new(MachineConfig::variant(Variant::Base, 1).without_timer());
-//! machine.load_user_program(0, &program).unwrap();
+//! let mut machine = SimBuilder::new(Variant::Base)
+//!     .without_timer()
+//!     .workload(0, program)
+//!     .build()
+//!     .unwrap();
 //! let stats = machine.run_to_completion(10_000_000).unwrap();
 //! assert_eq!(machine.exit_value(0), 7);
 //! assert!(stats.core[0].committed_instructions > 0);
 //! ```
 
+pub mod builder;
 pub mod kernel;
 pub mod loader;
 pub mod machine;
 pub mod variant;
 
+pub use builder::{SimBuilder, DEFAULT_TIMER_INTERVAL};
 pub use loader::{LoadError, Program, UserImage};
 pub use machine::{Machine, MachineConfig, MachineStats, RunError};
 pub use variant::Variant;

@@ -126,6 +126,7 @@ impl AddressSpace {
     ///
     /// Panics if the mapping already exists (double map) or addresses are
     /// unaligned.
+    #[allow(clippy::too_many_arguments)] // mirrors the PTE flag set
     pub fn map_page(
         &mut self,
         mem: &mut PhysMem,
@@ -393,7 +394,9 @@ mod tests {
         // Data initialisers landed.
         let dpa = aspace_probe.translate(&m, DATA_VA + 8).unwrap();
         assert_eq!(m.read_u64(PhysAddr::new(dpa)), 0xabcd);
-        let dpa2 = aspace_probe.translate(&m, DATA_VA + PAGE_SIZE + 16).unwrap();
+        let dpa2 = aspace_probe
+            .translate(&m, DATA_VA + PAGE_SIZE + 16)
+            .unwrap();
         assert_eq!(m.read_u64(PhysAddr::new(dpa2)), 0x1234);
         // Kernel pages are supervisor-mapped.
         assert_eq!(aspace_probe.translate(&m, 0x2000), Some(0x2000));

@@ -94,7 +94,11 @@ impl MachineStats {
     /// LLC misses per thousand committed instructions on core 0
     /// (the Figure 9 metric).
     pub fn llc_mpki(&self) -> f64 {
-        let inst = self.core.first().map(|c| c.committed_instructions).unwrap_or(0);
+        let inst = self
+            .core
+            .first()
+            .map(|c| c.committed_instructions)
+            .unwrap_or(0);
         if inst == 0 {
             return 0.0;
         }
@@ -103,7 +107,10 @@ impl MachineStats {
 
     /// Branch MPKI on core 0 (the Figure 7 metric).
     pub fn branch_mpki(&self) -> f64 {
-        self.core.first().map(|c| c.mispredicts_per_kinst()).unwrap_or(0.0)
+        self.core
+            .first()
+            .map(|c| c.mispredicts_per_kinst())
+            .unwrap_or(0.0)
     }
 }
 
@@ -124,18 +131,15 @@ pub struct Machine {
 }
 
 impl Machine {
-    /// Builds a machine for the given configuration, installing the
-    /// machine stub and kernel into physical memory.
-    pub fn new(cfg: MachineConfig) -> Machine {
-        let mem_cfg = cfg.variant.mem_config(cfg.cores);
-        Machine::with_mem_config(cfg, mem_cfg)
-    }
-
-    /// Builds a machine with an explicit memory configuration (used by
-    /// the ablation benches to toggle individual Figure-3 mechanisms
-    /// that the named variants bundle together). Core structure and
-    /// security settings still come from `cfg.variant`.
-    pub fn with_mem_config(cfg: MachineConfig, mem_cfg: mi6_mem::MemConfig) -> Machine {
+    /// Assembles a machine from fully resolved component configurations
+    /// (the [`crate::SimBuilder`] backend: variant defaults plus any
+    /// overrides have already been folded into the explicit configs).
+    pub(crate) fn assemble(
+        cfg: MachineConfig,
+        core_cfg: mi6_core::CoreConfig,
+        sec_cfg: mi6_core::SecurityConfig,
+        mem_cfg: mi6_mem::MemConfig,
+    ) -> Machine {
         assert!(cfg.cores >= 1);
         let mut mem = MemSystem::new(mem_cfg, cfg.cores);
         mem.phys
@@ -148,7 +152,7 @@ impl Machine {
         mem.phys
             .load_words(PhysAddr::new(KERNEL_BASE), &kernel::build_kernel(interval));
         let cores = (0..cfg.cores)
-            .map(|i| Core::new(i, cfg.variant.core_config(), cfg.variant.security_config()))
+            .map(|i| Core::new(i, core_cfg, sec_cfg))
             .collect();
         Machine {
             cfg,
@@ -231,7 +235,11 @@ impl Machine {
             | (1 << Exception::InstMisaligned.code());
         core.csrs.mideleg = 1 << Interrupt::SupervisorTimer.code();
         core.csrs.mie = 1 << Interrupt::SupervisorTimer.code();
-        core.csrs.stimecmp = if interval == 0 { u64::MAX } else { self.now + interval };
+        core.csrs.stimecmp = if interval == 0 {
+            u64::MAX
+        } else {
+            self.now + interval
+        };
         // MI6 hardware state: region bitvector and monitor fetch window.
         if core.security().region_checks {
             let map = self.mem.region_map();
@@ -381,7 +389,7 @@ mod tests {
 
     #[test]
     fn user_program_runs_and_exits() {
-        let mut m = Machine::new(MachineConfig::variant(Variant::Base, 1).without_timer());
+        let mut m = crate::SimBuilder::base().without_timer().build().unwrap();
         m.load_user_program(0, &hello_program(3)).unwrap();
         let stats = m.run_to_completion(10_000_000).unwrap();
         assert!(m.all_halted());
@@ -395,9 +403,10 @@ mod tests {
 
     #[test]
     fn timer_preempts_user_code() {
-        let mut m = Machine::new(
-            MachineConfig::variant(Variant::Base, 1).with_timer_interval(5_000),
-        );
+        let mut m = crate::SimBuilder::base()
+            .timer_interval(5_000)
+            .build()
+            .unwrap();
         // Program spins for a while before exiting.
         let mut asm = Assembler::new(loader::CODE_VA);
         asm.li(Reg::S1, 60_000);
@@ -427,22 +436,25 @@ mod tests {
     #[test]
     fn flush_variant_runs_slower_with_traps() {
         let run = |variant: Variant| -> u64 {
-            let mut m =
-                Machine::new(MachineConfig::variant(variant, 1).with_timer_interval(20_000));
+            let mut m = crate::SimBuilder::new(variant)
+                .timer_interval(20_000)
+                .build()
+                .unwrap();
             m.load_user_program(0, &hello_program(10)).unwrap();
             m.run_to_completion(50_000_000).unwrap().cycles
         };
         let base = run(Variant::Base);
         let flush = run(Variant::Flush);
-        assert!(
-            flush > base + 10 * 512,
-            "flush {flush} vs base {base}"
-        );
+        assert!(flush > base + 10 * 512, "flush {flush} vs base {base}");
     }
 
     #[test]
     fn two_cores_run_disjoint_programs() {
-        let mut m = Machine::new(MachineConfig::variant(Variant::Base, 2).without_timer());
+        let mut m = crate::SimBuilder::base()
+            .cores(2)
+            .without_timer()
+            .build()
+            .unwrap();
         m.load_user_program(0, &hello_program(2)).unwrap();
         m.load_user_program(1, &hello_program(2)).unwrap();
         let stats = m.run_to_completion(20_000_000).unwrap();
@@ -457,7 +469,10 @@ mod tests {
 
     #[test]
     fn secure_variant_sets_region_bitvec() {
-        let mut m = Machine::new(MachineConfig::variant(Variant::SecureMi6, 1).without_timer());
+        let mut m = crate::SimBuilder::new(Variant::SecureMi6)
+            .without_timer()
+            .build()
+            .unwrap();
         m.load_user_program(0, &hello_program(1)).unwrap();
         let bv = RegionBitvec(m.core(0).csrs.mregions);
         assert!(bv.allows(RegionId(0)), "kernel region");

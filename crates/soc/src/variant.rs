@@ -63,14 +63,20 @@ impl Variant {
                 cfg.llc.indexing = LlcIndexing::Partitioned { region_bits: 2 };
             }
             Variant::Miss => {
-                cfg.llc.mshrs = MshrOrg::Banked { total: 12, banks: 4 };
+                cfg.llc.mshrs = MshrOrg::Banked {
+                    total: 12,
+                    banks: 4,
+                };
             }
             Variant::Arb => {
                 cfg.llc.pipeline_latency += 8;
             }
             Variant::Fpma => {
                 cfg.llc.indexing = LlcIndexing::Partitioned { region_bits: 2 };
-                cfg.llc.mshrs = MshrOrg::Banked { total: 12, banks: 4 };
+                cfg.llc.mshrs = MshrOrg::Banked {
+                    total: 12,
+                    banks: 4,
+                };
                 cfg.llc.pipeline_latency += 8;
             }
             Variant::SecureMi6 => {
@@ -132,34 +138,40 @@ mod tests {
     #[test]
     fn base_is_paper_base() {
         assert_eq!(Variant::Base.mem_config(1), MemConfig::paper_base());
-        assert_eq!(
-            Variant::Base.security_config(),
-            SecurityConfig::insecure()
-        );
+        assert_eq!(Variant::Base.security_config(), SecurityConfig::insecure());
     }
 
     #[test]
     fn arb_adds_eight_cycles() {
         let base = LlcConfig::paper_base().pipeline_latency;
-        assert_eq!(
-            Variant::Arb.mem_config(1).llc.pipeline_latency,
-            base + 8
-        );
+        assert_eq!(Variant::Arb.mem_config(1).llc.pipeline_latency, base + 8);
     }
 
     #[test]
     fn miss_banks_mshrs() {
         assert_eq!(
             Variant::Miss.mem_config(1).llc.mshrs,
-            MshrOrg::Banked { total: 12, banks: 4 }
+            MshrOrg::Banked {
+                total: 12,
+                banks: 4
+            }
         );
     }
 
     #[test]
     fn fpma_combines_all() {
         let cfg = Variant::Fpma.mem_config(1);
-        assert_eq!(cfg.llc.indexing, LlcIndexing::Partitioned { region_bits: 2 });
-        assert_eq!(cfg.llc.mshrs, MshrOrg::Banked { total: 12, banks: 4 });
+        assert_eq!(
+            cfg.llc.indexing,
+            LlcIndexing::Partitioned { region_bits: 2 }
+        );
+        assert_eq!(
+            cfg.llc.mshrs,
+            MshrOrg::Banked {
+                total: 12,
+                banks: 4
+            }
+        );
         assert_eq!(
             cfg.llc.pipeline_latency,
             LlcConfig::paper_base().pipeline_latency + 8
@@ -178,8 +190,7 @@ mod tests {
 
     #[test]
     fn names_unique() {
-        let names: std::collections::HashSet<_> =
-            Variant::ALL.iter().map(|v| v.name()).collect();
+        let names: std::collections::HashSet<_> = Variant::ALL.iter().map(|v| v.name()).collect();
         assert_eq!(names.len(), Variant::ALL.len());
     }
 }

@@ -21,9 +21,28 @@ use crate::profile::{BranchStyle, Profile, WorkloadParams};
 use mi6_isa::{Assembler, Inst, Reg};
 use mi6_soc::kernel;
 use mi6_soc::loader::{Program, CODE_VA, DATA_VA};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+
+/// A small deterministic PRNG (splitmix64) so workload generation needs no
+/// external crates and a given seed always produces the same data layout.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Fisher–Yates shuffle.
+    fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = (self.next_u64() % (i as u64 + 1)) as usize;
+            items.swap(i, j);
+        }
+    }
+}
 
 /// Register allocation for generated code (documented for readers of the
 /// disassembly).
@@ -53,7 +72,7 @@ mod regs {
 
 /// Builds the program for a profile at the given scale.
 pub fn generate(name: &str, profile: &Profile, params: &WorkloadParams) -> Program {
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = SplitMix64(params.seed);
     // ---- data layout ----
     let stream_off = 0u64;
     let chase_off = stream_off + profile.stream_bytes;
@@ -64,7 +83,7 @@ pub fn generate(name: &str, profile: &Profile, params: &WorkloadParams) -> Progr
     if profile.chase_bytes > 0 {
         let nodes = (profile.chase_bytes / 64) as usize;
         let mut order: Vec<usize> = (1..nodes).collect();
-        order.shuffle(&mut rng);
+        rng.shuffle(&mut order);
         // Chain: 0 -> order[0] -> order[1] -> ... -> back to 0.
         let mut cur = 0usize;
         for &next in order.iter().chain(std::iter::once(&0)) {
@@ -118,17 +137,49 @@ pub fn generate(name: &str, profile: &Profile, params: &WorkloadParams) -> Progr
         asm.push(Inst::ld(regs::CHASE, regs::CHASE, 0));
     }
     // advance the PRNG once per iteration (xorshift64)
-    asm.push(Inst::Srli { rd: Reg::T0, rs1: regs::RNG, sh: 12 });
-    asm.push(Inst::Xor { rd: regs::RNG, rs1: regs::RNG, rs2: Reg::T0 });
-    asm.push(Inst::Slli { rd: Reg::T0, rs1: regs::RNG, sh: 25 });
-    asm.push(Inst::Xor { rd: regs::RNG, rs1: regs::RNG, rs2: Reg::T0 });
-    asm.push(Inst::Srli { rd: Reg::T0, rs1: regs::RNG, sh: 27 });
-    asm.push(Inst::Xor { rd: regs::RNG, rs1: regs::RNG, rs2: Reg::T0 });
+    asm.push(Inst::Srli {
+        rd: Reg::T0,
+        rs1: regs::RNG,
+        sh: 12,
+    });
+    asm.push(Inst::Xor {
+        rd: regs::RNG,
+        rs1: regs::RNG,
+        rs2: Reg::T0,
+    });
+    asm.push(Inst::Slli {
+        rd: Reg::T0,
+        rs1: regs::RNG,
+        sh: 25,
+    });
+    asm.push(Inst::Xor {
+        rd: regs::RNG,
+        rs1: regs::RNG,
+        rs2: Reg::T0,
+    });
+    asm.push(Inst::Srli {
+        rd: Reg::T0,
+        rs1: regs::RNG,
+        sh: 27,
+    });
+    asm.push(Inst::Xor {
+        rd: regs::RNG,
+        rs1: regs::RNG,
+        rs2: Reg::T0,
+    });
     // 3. random working-set accesses
     for site in 0..profile.ws_accesses_per_iter {
         let shift = 3 + (site % 13) as u8;
-        asm.push(Inst::Srli { rd: Reg::T0, rs1: regs::RNG, sh: shift });
-        asm.push(Inst::And { rd: Reg::T0, rs1: Reg::T0, rs2: regs::WS_MASK });
+        asm.push(Inst::Srli {
+            rd: Reg::T0,
+            rs1: regs::RNG,
+            sh: shift,
+        });
+        asm.push(Inst::And {
+            rd: Reg::T0,
+            rs1: Reg::T0,
+            rs2: regs::WS_MASK,
+        });
         asm.push(Inst::add(Reg::T0, regs::WS_BASE, Reg::T0));
         if site % 2 == 1 {
             asm.push(Inst::sd(regs::ACC, Reg::T0, 0));
@@ -146,16 +197,32 @@ pub fn generate(name: &str, profile: &Profile, params: &WorkloadParams) -> Progr
                     // A fresh pseudo-random bit per iteration: never
                     // predictable (sets the high baseline MPKI).
                     let shift = (site % 48) as u8;
-                    asm.push(Inst::Srli { rd: Reg::T0, rs1: regs::RNG, sh: shift });
-                    asm.push(Inst::Andi { rd: Reg::T0, rs1: Reg::T0, imm: 1 });
+                    asm.push(Inst::Srli {
+                        rd: Reg::T0,
+                        rs1: regs::RNG,
+                        sh: shift,
+                    });
+                    asm.push(Inst::Andi {
+                        rd: Reg::T0,
+                        rs1: Reg::T0,
+                        imm: 1,
+                    });
                 } else {
                     // Deep periodic patterns (period up to 64): learnable
                     // once the local/global histories warm up, so a purge
                     // costs real re-learning — the astar effect the paper
                     // measures in Figure 7.
                     let shift = (site % 6) as u8;
-                    asm.push(Inst::Srli { rd: Reg::T0, rs1: regs::ITER, sh: shift });
-                    asm.push(Inst::Andi { rd: Reg::T0, rs1: Reg::T0, imm: 1 });
+                    asm.push(Inst::Srli {
+                        rd: Reg::T0,
+                        rs1: regs::ITER,
+                        sh: shift,
+                    });
+                    asm.push(Inst::Andi {
+                        rd: Reg::T0,
+                        rs1: Reg::T0,
+                        imm: 1,
+                    });
                 }
             }
             BranchStyle::Medium => {
@@ -164,21 +231,45 @@ pub fn generate(name: &str, profile: &Profile, params: &WorkloadParams) -> Progr
                     // realistic baseline MPKI (SPEC int codes sit near
                     // 10-20 MPKI on this predictor).
                     let shift = (site % 48) as u8;
-                    asm.push(Inst::Srli { rd: Reg::T0, rs1: regs::RNG, sh: shift });
-                    asm.push(Inst::Andi { rd: Reg::T0, rs1: Reg::T0, imm: 1 });
+                    asm.push(Inst::Srli {
+                        rd: Reg::T0,
+                        rs1: regs::RNG,
+                        sh: shift,
+                    });
+                    asm.push(Inst::Andi {
+                        rd: Reg::T0,
+                        rs1: Reg::T0,
+                        imm: 1,
+                    });
                 } else {
                     // Periodic in the iteration counter: learnable
                     // patterns of period 2..16 depending on the site.
                     let shift = (site % 4) as u8;
-                    asm.push(Inst::Srli { rd: Reg::T0, rs1: regs::ITER, sh: shift });
-                    asm.push(Inst::Andi { rd: Reg::T0, rs1: Reg::T0, imm: 1 });
+                    asm.push(Inst::Srli {
+                        rd: Reg::T0,
+                        rs1: regs::ITER,
+                        sh: shift,
+                    });
+                    asm.push(Inst::Andi {
+                        rd: Reg::T0,
+                        rs1: Reg::T0,
+                        imm: 1,
+                    });
                 }
             }
             BranchStyle::Easy => {
                 // Long-period counter bit: almost always the same way.
                 let shift = 7 + (site % 3) as u8;
-                asm.push(Inst::Srli { rd: Reg::T0, rs1: regs::ITER, sh: shift });
-                asm.push(Inst::Andi { rd: Reg::T0, rs1: Reg::T0, imm: 1 });
+                asm.push(Inst::Srli {
+                    rd: Reg::T0,
+                    rs1: regs::ITER,
+                    sh: shift,
+                });
+                asm.push(Inst::Andi {
+                    rd: Reg::T0,
+                    rs1: Reg::T0,
+                    imm: 1,
+                });
             }
         }
         asm.beqz(Reg::T0, skip);
@@ -191,15 +282,27 @@ pub fn generate(name: &str, profile: &Profile, params: &WorkloadParams) -> Progr
         if op % 2 == 0 {
             asm.push(Inst::addi(r, r, 1));
         } else {
-            asm.push(Inst::Xori { rd: r, rs1: r, imm: 0x55 });
+            asm.push(Inst::Xori {
+                rd: r,
+                rs1: r,
+                imm: 0x55,
+            });
         }
     }
     // 6. multiply / divide
     for op in 0..profile.muldiv_ops {
         if op % 4 == 3 {
-            asm.push(Inst::Divu { rd: Reg::T6, rs1: regs::RNG, rs2: regs::STREAM_MASK });
+            asm.push(Inst::Divu {
+                rd: Reg::T6,
+                rs1: regs::RNG,
+                rs2: regs::STREAM_MASK,
+            });
         } else {
-            asm.push(Inst::Mul { rd: Reg::T6, rs1: regs::RNG, rs2: regs::RNG });
+            asm.push(Inst::Mul {
+                rd: Reg::T6,
+                rs1: regs::RNG,
+                rs2: regs::RNG,
+            });
         }
     }
     // 7. periodic syscall
@@ -222,9 +325,9 @@ pub fn generate(name: &str, profile: &Profile, params: &WorkloadParams) -> Progr
 
     Program {
         name: name.to_string(),
-        code: asm.assemble().unwrap_or_else(|e| {
-            panic!("workload `{name}` failed to assemble: {e}")
-        }),
+        code: asm
+            .assemble()
+            .unwrap_or_else(|e| panic!("workload `{name}` failed to assemble: {e}")),
         data_size,
         data_init,
         stack_size: 16 * 1024,

@@ -240,7 +240,7 @@ impl std::fmt::Display for Workload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mi6_soc::{Machine, MachineConfig, Variant};
+    use mi6_soc::SimBuilder;
 
     #[test]
     fn all_workloads_assemble() {
@@ -259,7 +259,7 @@ mod tests {
     }
 
     fn run_tiny(w: Workload) -> mi6_soc::MachineStats {
-        let mut m = Machine::new(MachineConfig::variant(Variant::Base, 1).without_timer());
+        let mut m = SimBuilder::base().without_timer().build().unwrap();
         m.load_user_program(0, &w.build(&WorkloadParams::tiny()))
             .unwrap_or_else(|e| panic!("{w}: {e}"));
         m.run_to_completion(60_000_000)
@@ -304,12 +304,9 @@ mod tests {
     #[test]
     fn xalancbmk_traps_frequently() {
         let run = |w: Workload| {
-            let mut m = Machine::new(MachineConfig::variant(Variant::Base, 1).without_timer());
-            m.load_user_program(
-                0,
-                &w.build(&WorkloadParams::tiny().with_target_kinsts(150)),
-            )
-            .unwrap();
+            let mut m = SimBuilder::base().without_timer().build().unwrap();
+            m.load_user_program(0, &w.build(&WorkloadParams::tiny().with_target_kinsts(150)))
+                .unwrap();
             m.run_to_completion(120_000_000).unwrap()
         };
         let xalan = run(Workload::Xalancbmk);

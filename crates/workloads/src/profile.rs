@@ -110,10 +110,11 @@ mod tests {
 
     #[test]
     fn params_presets() {
-        assert!(
-            WorkloadParams::evaluation().target_kinsts > WorkloadParams::tiny().target_kinsts
+        assert!(WorkloadParams::evaluation().target_kinsts > WorkloadParams::tiny().target_kinsts);
+        assert_eq!(
+            WorkloadParams::tiny().with_target_kinsts(5).target_kinsts,
+            5
         );
-        assert_eq!(WorkloadParams::tiny().with_target_kinsts(5).target_kinsts, 5);
     }
 
     #[test]

@@ -23,7 +23,7 @@ use mi6::isa::{Assembler, Inst, Reg};
 use mi6::mem::RegionId;
 use mi6::monitor::SecurityMonitor;
 use mi6::soc::loader::{Program, CODE_VA, DATA_VA};
-use mi6::soc::{Machine, MachineConfig, Variant};
+use mi6::soc::{SimBuilder, Variant};
 
 /// Attacker enclave: fixed number of probe sweeps over 128 KiB, then a
 /// monitor call (ecall) to exit.
@@ -64,15 +64,28 @@ fn victim(noisy: bool) -> Program {
         asm.push(Inst::add(Reg::T2, Reg::S0, Reg::T0));
         asm.push(Inst::ld(Reg::T3, Reg::T2, 0));
         asm.push(Inst::addi(Reg::T0, Reg::T0, 64));
-        asm.push(Inst::And { rd: Reg::T0, rs1: Reg::T0, rs2: Reg::S2 });
+        asm.push(Inst::And {
+            rd: Reg::T0,
+            rs1: Reg::T0,
+            rs2: Reg::S2,
+        });
     } else {
         asm.push(Inst::addi(Reg::T2, Reg::T2, 1));
-        asm.push(Inst::Xori { rd: Reg::T3, rs1: Reg::T3, imm: 5 });
+        asm.push(Inst::Xori {
+            rd: Reg::T3,
+            rs1: Reg::T3,
+            imm: 5,
+        });
         asm.nops(2);
     }
     asm.jump(top);
     Program {
-        name: if noisy { "victim-noisy" } else { "victim-quiet" }.into(),
+        name: if noisy {
+            "victim-noisy"
+        } else {
+            "victim-quiet"
+        }
+        .into(),
         code: asm.assemble().expect("assembles"),
         data_size: 1 << 20,
         data_init: vec![],
@@ -83,7 +96,11 @@ fn victim(noisy: bool) -> Program {
 /// Loads both enclaves in set-disjoint regions and returns the cycle at
 /// which the attacker halts.
 pub fn attacker_finish_time(variant: Variant, noisy_victim: bool) -> u64 {
-    let mut m = Machine::new(MachineConfig::variant(variant, 2).without_timer());
+    let mut m = SimBuilder::new(variant)
+        .cores(2)
+        .without_timer()
+        .build()
+        .unwrap();
     let mut monitor = SecurityMonitor::new(&m);
     // Regions 5 and 6: low region bits 01 vs 10 — disjoint LLC quadrants
     // under the partitioned index.

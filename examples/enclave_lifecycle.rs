@@ -8,7 +8,7 @@ use mi6::isa::{Assembler, Inst, PhysAddr, Reg};
 use mi6::mem::RegionId;
 use mi6::monitor::SecurityMonitor;
 use mi6::soc::loader::{Program, CODE_VA, DATA_VA};
-use mi6::soc::{Machine, MachineConfig, Variant};
+use mi6::soc::{SimBuilder, Variant};
 
 /// The enclave: sums the buffer the monitor memcopies in, stores the
 /// result, and exits to the monitor via `ecall`.
@@ -36,12 +36,19 @@ fn enclave_program() -> Program {
 }
 
 fn main() {
-    let mut machine = Machine::new(MachineConfig::variant(Variant::SecureMi6, 1).without_timer());
+    let mut machine = SimBuilder::new(Variant::SecureMi6)
+        .without_timer()
+        .build()
+        .unwrap();
     let mut monitor = SecurityMonitor::new(&machine);
 
     // 1. Create: regions 8+9 are claimed, scrubbed, loaded, measured.
     let id = monitor
-        .create_enclave(&mut machine, &enclave_program(), &[RegionId(8), RegionId(9)])
+        .create_enclave(
+            &mut machine,
+            &enclave_program(),
+            &[RegionId(8), RegionId(9)],
+        )
         .expect("create enclave");
     let attestation = monitor.attest(id).expect("attest");
     println!("created {id}");
@@ -71,18 +78,28 @@ fn main() {
         .memcopy_from_enclave(&mut machine, id, DATA_VA + 256, os_out, 8)
         .expect("memcopy out");
     let result = machine.mem().phys.read_u64(os_out);
-    println!("enclave result = {result} (expected {})", (1..=8).map(|i| i * 10).sum::<u64>());
+    println!(
+        "enclave result = {result} (expected {})",
+        (1..=8).map(|i| i * 10).sum::<u64>()
+    );
 
     // 5. Mailbox: the enclave's "local attestation" message to the OS.
     let mut msg = [0u8; 64];
     msg[..8].copy_from_slice(&result.to_le_bytes());
     monitor.mailbox_send(Some(id), None, msg).expect("mailbox");
     let received = monitor.mailbox_recv(None).expect("recv");
-    println!("mailbox from {:?}: first 8 bytes = {:?}", received.from, &received.data[..8]);
+    println!(
+        "mailbox from {:?}: first 8 bytes = {:?}",
+        received.from,
+        &received.data[..8]
+    );
 
     // 6. Deschedule (second purge) and destroy (regions scrubbed + freed).
     monitor.deschedule(&mut machine, id).expect("deschedule");
     monitor.destroy(&mut machine, id).expect("destroy");
-    println!("destroyed; total purges on core 0: {}", machine.core(0).stats.purges);
+    println!(
+        "destroyed; total purges on core 0: {}",
+        machine.core(0).stats.purges
+    );
     assert!(monitor.check_invariants());
 }

@@ -3,11 +3,11 @@
 //!
 //! Run: `cargo run --release --example quickstart`
 
-use mi6::soc::{Machine, MachineConfig, Variant};
+use mi6::soc::{SimBuilder, Variant};
 use mi6::workloads::{Workload, WorkloadParams};
 
 fn main() {
-    let mut machine = Machine::new(MachineConfig::variant(Variant::Base, 1));
+    let mut machine = SimBuilder::new(Variant::Base).build().unwrap();
     let program = Workload::Bzip2.build(&WorkloadParams::tiny().with_target_kinsts(200));
     machine.load_user_program(0, &program).expect("load");
     let stats = machine.run_to_completion(200_000_000).expect("run");
@@ -19,7 +19,10 @@ fn main() {
     println!("IPC               : {:.3}", core.ipc());
     println!("branch MPKI       : {:.1}", core.mispredicts_per_kinst());
     println!("LLC MPKI          : {:.1}", stats.llc_mpki());
-    println!("L1D hits/misses   : {}/{}", stats.l1d[0].hits, stats.l1d[0].misses);
+    println!(
+        "L1D hits/misses   : {}/{}",
+        stats.l1d[0].hits, stats.l1d[0].misses
+    );
     println!("page walks        : {}", core.page_walks);
     println!("traps (OS)        : {}", core.traps);
     println!("DRAM reads/writes : {}/{}", stats.dram.0, stats.dram.1);

@@ -3,7 +3,7 @@
 //! Usage: `cargo run --release --example spec_workload -- <workload> <variant> [kinsts]`
 //! e.g.   `cargo run --release --example spec_workload -- astar flush 500`
 
-use mi6::soc::{Machine, MachineConfig, Variant};
+use mi6::soc::{SimBuilder, Variant};
 use mi6::workloads::{Workload, WorkloadParams};
 
 fn main() {
@@ -15,8 +15,12 @@ fn main() {
     let workload = Workload::ALL
         .into_iter()
         .find(|w| w.name() == wname)
-        .unwrap_or_else(|| panic!("unknown workload `{wname}`; one of: {:?}",
-            Workload::ALL.map(|w| w.name())));
+        .unwrap_or_else(|| {
+            panic!(
+                "unknown workload `{wname}`; one of: {:?}",
+                Workload::ALL.map(|w| w.name())
+            )
+        });
     let variant = match vname.to_ascii_lowercase().as_str() {
         "base" => Variant::Base,
         "flush" => Variant::Flush,
@@ -29,9 +33,11 @@ fn main() {
         other => panic!("unknown variant `{other}`"),
     };
 
-    let mut machine = Machine::new(MachineConfig::variant(variant, 1));
+    let mut machine = SimBuilder::new(variant).build().unwrap();
     let params = WorkloadParams::evaluation().with_target_kinsts(kinsts);
-    machine.load_user_program(0, &workload.build(&params)).expect("load");
+    machine
+        .load_user_program(0, &workload.build(&params))
+        .expect("load");
     let stats = machine.run_to_completion(4_000_000_000).expect("run");
     let core = &stats.core[0];
     println!("{workload} on {variant}: {} cycles, {} inst, IPC {:.3}, branch MPKI {:.1}, LLC MPKI {:.1}, {} traps, {} flush-stall cycles",

@@ -20,13 +20,14 @@
 //! ## Quickstart
 //!
 //! ```
-//! use mi6::soc::{Machine, MachineConfig, Variant};
+//! use mi6::soc::{SimBuilder, Variant};
 //! use mi6::workloads::{Workload, WorkloadParams};
 //!
 //! // Build a single-core BASE machine and run a tiny workload to completion.
-//! let mut machine = Machine::new(MachineConfig::variant(Variant::Base, 1));
-//! let program = Workload::Bzip2.build(&WorkloadParams::tiny());
-//! machine.load_user_program(0, &program).unwrap();
+//! let mut machine = SimBuilder::new(Variant::Base)
+//!     .workload(0, Workload::Bzip2.build(&WorkloadParams::tiny()))
+//!     .build()
+//!     .unwrap();
 //! let stats = machine.run_to_completion(50_000_000).unwrap();
 //! assert!(stats.core[0].committed_instructions > 0);
 //! ```

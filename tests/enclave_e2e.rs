@@ -4,12 +4,16 @@
 
 use mi6::mem::{RegionBitvec, RegionId};
 use mi6::monitor::{EnclaveState, SecurityMonitor};
-use mi6::soc::{Machine, MachineConfig, Variant};
+use mi6::soc::{SimBuilder, Variant};
 use mi6::workloads::{Workload, WorkloadParams};
 
 #[test]
 fn workload_runs_as_enclave() {
-    let mut m = Machine::new(MachineConfig::variant(Variant::SecureMi6, 2).without_timer());
+    let mut m = SimBuilder::new(Variant::SecureMi6)
+        .cores(2)
+        .without_timer()
+        .build()
+        .unwrap();
     let mut monitor = SecurityMonitor::new(&m);
     // hmmer as the enclave payload (stream fits in one region). Its
     // syscalls: none; it exits via ecall -> monitor.
@@ -18,8 +22,11 @@ fn workload_runs_as_enclave() {
         .create_enclave(&mut m, &program, &[RegionId(9)])
         .expect("create");
     // An ordinary OS process occupies core 1 meanwhile.
-    m.load_user_program(1, &Workload::Bzip2.build(&WorkloadParams::tiny().with_target_kinsts(20)))
-        .expect("os process");
+    m.load_user_program(
+        1,
+        &Workload::Bzip2.build(&WorkloadParams::tiny().with_target_kinsts(20)),
+    )
+    .expect("os process");
     monitor.schedule(&mut m, 0, id).expect("schedule");
     // The enclave's region bitvector excludes the OS region.
     let bv = RegionBitvec(m.core(0).csrs.mregions);
@@ -39,7 +46,10 @@ fn workload_runs_as_enclave() {
 #[test]
 fn attestation_is_reproducible_across_machines() {
     let build = || {
-        let mut m = Machine::new(MachineConfig::variant(Variant::SecureMi6, 1).without_timer());
+        let mut m = SimBuilder::new(Variant::SecureMi6)
+            .without_timer()
+            .build()
+            .unwrap();
         let mut monitor = SecurityMonitor::new(&m);
         let program = Workload::Hmmer.build(&WorkloadParams::tiny());
         let id = monitor

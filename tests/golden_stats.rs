@@ -1,0 +1,96 @@
+//! Golden-stats determinism tests for the simulation kernel.
+//!
+//! The golden numbers below were captured from the pre-split monolithic
+//! `core.rs` / `llc.rs` implementations on a fixed-seed workload; the
+//! split pipeline-stage modules must reproduce them exactly (cycle-exact
+//! refactor). If a *deliberate* timing-model change shifts them, update
+//! the constants in the same commit and say so.
+
+use mi6::soc::{MachineStats, SimBuilder, Variant};
+use mi6::workloads::{Workload, WorkloadParams};
+
+/// The fixed-seed reference run: gcc at 40 kinsts with a 50k-cycle timer
+/// (exercises traps, the LLC, the branch predictors, and page walks).
+fn reference_run(variant: Variant) -> MachineStats {
+    let mut m = SimBuilder::new(variant)
+        .timer_interval(50_000)
+        .workload(
+            0,
+            Workload::Gcc.build(&WorkloadParams::tiny().with_target_kinsts(40)),
+        )
+        .build()
+        .unwrap();
+    m.run_to_completion(300_000_000).unwrap()
+}
+
+/// The stats fields a cycle-exact refactor must preserve.
+fn fingerprint(stats: &MachineStats) -> [u64; 8] {
+    let core = &stats.core[0];
+    [
+        stats.cycles,
+        core.committed_instructions,
+        core.branch_mispredicts,
+        core.squashed_instructions,
+        core.traps,
+        stats.llc.misses,
+        stats.llc.hits,
+        stats.dram.0 + stats.dram.1,
+    ]
+}
+
+#[test]
+fn base_matches_golden() {
+    let stats = reference_run(Variant::Base);
+    assert_eq!(
+        fingerprint(&stats),
+        GOLDEN_BASE,
+        "BASE fingerprint changed — the refactor is not cycle-exact\nfull stats: {stats:?}"
+    );
+}
+
+#[test]
+fn fpma_matches_golden() {
+    let stats = reference_run(Variant::Fpma);
+    assert_eq!(
+        fingerprint(&stats),
+        GOLDEN_FPMA,
+        "F+P+M+A fingerprint changed — the refactor is not cycle-exact\nfull stats: {stats:?}"
+    );
+}
+
+/// Captured from the monolithic implementation (see module docs).
+const GOLDEN_BASE: [u64; 8] = [69857, 35161, 587, 681, 3, 2052, 73, 2052];
+const GOLDEN_FPMA: [u64; 8] = [79544, 35161, 743, 804, 3, 2054, 147, 2056];
+
+#[test]
+fn reruns_are_bit_identical() {
+    for variant in [Variant::Base, Variant::Fpma] {
+        let a = reference_run(variant);
+        let b = reference_run(variant);
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "{variant} is nondeterministic"
+        );
+    }
+}
+
+#[test]
+fn every_variant_smoke() {
+    for variant in Variant::ALL {
+        let mut m = SimBuilder::new(variant)
+            .without_timer()
+            .workload(
+                0,
+                Workload::Hmmer.build(&WorkloadParams::tiny().with_target_kinsts(10)),
+            )
+            .build()
+            .unwrap();
+        let stats = m.run_to_completion(100_000_000).unwrap();
+        assert!(
+            stats.core[0].committed_instructions > 5_000,
+            "{variant}: {} instructions",
+            stats.core[0].committed_instructions
+        );
+    }
+}

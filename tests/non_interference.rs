@@ -7,7 +7,7 @@ use mi6::isa::{Assembler, Inst, Reg};
 use mi6::mem::RegionId;
 use mi6::monitor::SecurityMonitor;
 use mi6::soc::loader::{Program, CODE_VA, DATA_VA};
-use mi6::soc::{Machine, MachineConfig, Variant};
+use mi6::soc::{SimBuilder, Variant};
 
 fn attacker(sweeps: u64) -> Program {
     let mut asm = Assembler::new(CODE_VA);
@@ -48,14 +48,22 @@ fn victim(kind: u32) -> Program {
             asm.push(Inst::add(Reg::T2, Reg::S0, Reg::T0));
             asm.push(Inst::ld(Reg::T3, Reg::T2, 0));
             asm.push(Inst::addi(Reg::T0, Reg::T0, 64));
-            asm.push(Inst::And { rd: Reg::T0, rs1: Reg::T0, rs2: Reg::S2 });
+            asm.push(Inst::And {
+                rd: Reg::T0,
+                rs1: Reg::T0,
+                rs2: Reg::S2,
+            });
         }
         _ => {
             // store hammer (writebacks)
             asm.push(Inst::add(Reg::T2, Reg::S0, Reg::T0));
             asm.push(Inst::sd(Reg::T3, Reg::T2, 0));
             asm.push(Inst::addi(Reg::T0, Reg::T0, 4096));
-            asm.push(Inst::And { rd: Reg::T0, rs1: Reg::T0, rs2: Reg::S2 });
+            asm.push(Inst::And {
+                rd: Reg::T0,
+                rs1: Reg::T0,
+                rs2: Reg::S2,
+            });
         }
     }
     asm.jump(top);
@@ -69,7 +77,11 @@ fn victim(kind: u32) -> Program {
 }
 
 fn attacker_finish(variant: Variant, victim_kind: u32) -> u64 {
-    let mut m = Machine::new(MachineConfig::variant(variant, 2).without_timer());
+    let mut m = SimBuilder::new(variant)
+        .cores(2)
+        .without_timer()
+        .build()
+        .unwrap();
     let mut monitor = SecurityMonitor::new(&m);
     let atk = monitor
         .create_enclave(&mut m, &attacker(12), &[RegionId(5)])

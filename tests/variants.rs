@@ -1,13 +1,19 @@
 //! Smoke tests: every evaluation variant runs a workload to completion,
 //! and the gross performance ordering matches the paper.
 
-use mi6::soc::{Machine, MachineConfig, Variant};
+use mi6::soc::{SimBuilder, Variant};
 use mi6::workloads::{Workload, WorkloadParams};
 
 fn run(variant: Variant, w: Workload, kinsts: u64) -> mi6::soc::MachineStats {
-    let mut m = Machine::new(MachineConfig::variant(variant, 1).with_timer_interval(50_000));
-    m.load_user_program(0, &w.build(&WorkloadParams::tiny().with_target_kinsts(kinsts)))
+    let mut m = SimBuilder::new(variant)
+        .timer_interval(50_000)
+        .build()
         .unwrap();
+    m.load_user_program(
+        0,
+        &w.build(&WorkloadParams::tiny().with_target_kinsts(kinsts)),
+    )
+    .unwrap();
     m.run_to_completion(300_000_000).unwrap()
 }
 
@@ -44,8 +50,10 @@ fn fpma_no_faster_than_base() {
 fn flush_overhead_scales_with_trap_rate() {
     // More timer traps -> more flush overhead.
     let run_timer = |interval: u64| {
-        let mut m =
-            Machine::new(MachineConfig::variant(Variant::Flush, 1).with_timer_interval(interval));
+        let mut m = SimBuilder::new(Variant::Flush)
+            .timer_interval(interval)
+            .build()
+            .unwrap();
         m.load_user_program(
             0,
             &Workload::Sjeng.build(&WorkloadParams::tiny().with_target_kinsts(40)),
