@@ -16,7 +16,8 @@
 //! (thousands of instructions per run; default 2000), `--timer N`
 //! (scheduler tick in cycles; default 250000), `--threads N` (default:
 //! all hardware threads), `--json PATH` (append one JSON object per grid
-//! point; `-` for stdout).
+//! point; `-` makes stdout a pure JSONL stream and suppresses the
+//! figure tables).
 
 use mi6_bench::runner::default_threads;
 use mi6_bench::{figure_points, render_figure, run_grid, HarnessOpts, FIGURES};
@@ -114,20 +115,27 @@ fn parse_args() -> Cli {
 
 fn main() {
     let cli = parse_args();
+    // `--json -` makes stdout a pure JSONL stream: the figure tables are
+    // suppressed so the output stays machine-parseable end to end.
+    let json_on_stdout = cli.json.as_deref() == Some("-");
     let mut json: Option<Box<dyn Write>> = cli.json.as_deref().map(|path| -> Box<dyn Write> {
         if path == "-" {
             Box::new(std::io::stdout())
         } else {
-            Box::new(BufWriter::new(File::create(path).unwrap_or_else(|e| {
-                eprintln!("cannot create {path}: {e}");
-                exit(1);
-            })))
+            let file = File::options()
+                .create(true)
+                .append(true)
+                .open(path)
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot open {path}: {e}");
+                    exit(1);
+                });
+            Box::new(BufWriter::new(file))
         }
     });
 
     // One deduplicated grid across every requested figure: a BASE pass
     // shared by e.g. figures 5 and 7 runs once.
-    let mut grids: Vec<(u32, Vec<mi6_bench::GridPoint>)> = Vec::new();
     let mut unique: BTreeMap<String, usize> = BTreeMap::new();
     let mut points = Vec::new();
     let mut fig_indices: Vec<(u32, Vec<usize>)> = Vec::new();
@@ -145,13 +153,12 @@ fn main() {
             });
             indices.push(idx);
         }
-        grids.push((fig, fig_points));
         fig_indices.push((fig, indices));
     }
 
     eprintln!(
         "mi6-experiments: {} grid points ({} unique) on {} threads",
-        grids.iter().map(|(_, g)| g.len()).sum::<usize>(),
+        fig_indices.iter().map(|(_, ix)| ix.len()).sum::<usize>(),
         points.len(),
         cli.threads,
     );
@@ -172,16 +179,26 @@ fn main() {
         out.flush().expect("json flush");
     }
     let wall = t0.elapsed();
+    // Per-point elapsed times double-count when threads time-slice a
+    // core, so this ratio only approximates the parallel speedup on a
+    // host with >= `threads` free cores; compare wall clock between
+    // `--threads 1` and `--threads N` runs for an honest number.
     let sim_ms: u64 = results.iter().map(|r| r.wall_ms).sum();
     if total > 0 {
         eprintln!(
-            "grid done in {:.1}s wall ({:.1}s of single-thread simulation, {:.2}x speedup)",
+            "grid done in {:.1}s wall ({:.1}s summed over points, ~{:.2}x parallelism)",
             wall.as_secs_f64(),
             sim_ms as f64 / 1e3,
             sim_ms as f64 / 1e3 / wall.as_secs_f64().max(1e-9),
         );
     }
 
+    if json_on_stdout {
+        eprintln!(
+            "figure tables suppressed: stdout is the JSON stream (use --json FILE to get both)"
+        );
+        return;
+    }
     for (fig, indices) in fig_indices {
         let fig_results: Vec<_> = indices.iter().map(|&i| results[i].clone()).collect();
         render_figure(fig, &fig_results);
