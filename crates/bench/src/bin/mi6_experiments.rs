@@ -10,20 +10,33 @@
 //! mi6-experiments --all                    # figures 4..13
 //! mi6-experiments --figure 5 --kinsts 500  # shorter runs
 //! mi6-experiments --figure 13 --threads 4 --json results.jsonl
+//! mi6-experiments --figure 13 --seeds 3    # mean ± min/max over 3 seeds
+//! mi6-experiments --figure 13 --warmup 500000 --checkpoint-dir ckpts
+//! mi6-experiments --scenario enclave-attacker
 //! ```
 //!
 //! Options: `--figure N` (4..13, repeatable), `--all`, `--kinsts N`
 //! (thousands of instructions per run; default 2000), `--timer N`
 //! (scheduler tick in cycles; default 250000), `--threads N` (default:
 //! all hardware threads), `--json PATH` (append one JSON object per grid
-//! point; `-` makes stdout a pure JSONL stream and suppresses the
-//! figure tables).
+//! point; `-` makes stdout a pure JSONL stream and suppresses the figure
+//! tables), `--seeds N` (run every point with N workload seeds and report
+//! mean ± min/max), `--warmup N` + `--checkpoint-dir D` (simulate each
+//! point's first N cycles once, snapshot into D, and start grid runs from
+//! the warmed state — results are bit-identical to cold runs and repeat
+//! invocations skip the warm-up), `--fork-base` (warm once per workload
+//! on BASE and fork the quiescent state across every variant), and
+//! `--scenario enclave-attacker` (the two-core enclave-vs-attacker grid).
 
 use mi6_bench::runner::default_threads;
-use mi6_bench::{figure_points, render_figure, run_grid, HarnessOpts, FIGURES};
+use mi6_bench::{
+    figure_points, mean_results, render_figure, render_seed_spread, run_grid_with, scenario,
+    HarnessOpts, PointResult, WarmFork, FIGURES,
+};
 use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{BufWriter, Write};
+use std::path::PathBuf;
 use std::process::exit;
 use std::time::Instant;
 
@@ -32,12 +45,18 @@ struct Cli {
     opts: HarnessOpts,
     threads: usize,
     json: Option<String>,
+    seeds: u64,
+    warmup: u64,
+    checkpoint_dir: Option<PathBuf>,
+    fork_base: bool,
+    scenario: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mi6-experiments (--figure N)... | --all \
-         [--kinsts N] [--timer N] [--threads N] [--json PATH|-]"
+        "usage: mi6-experiments (--figure N)... | --all | --scenario enclave-attacker \
+         [--kinsts N] [--timer N] [--threads N] [--seeds N] [--json PATH|-] \
+         [--warmup CYCLES --checkpoint-dir DIR [--fork-base]]"
     );
     exit(2);
 }
@@ -48,6 +67,11 @@ fn parse_args() -> Cli {
         opts: HarnessOpts::default(),
         threads: default_threads(),
         json: None,
+        seeds: 1,
+        warmup: 0,
+        checkpoint_dir: None,
+        fork_base: false,
+        scenario: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -93,6 +117,31 @@ fn parse_args() -> Cli {
                     .unwrap_or_else(|_| usage());
                 i += 1;
             }
+            "--seeds" => {
+                cli.seeds = value(&args, i, "--seeds")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                if cli.seeds == 0 {
+                    eprintln!("--seeds must be at least 1");
+                    usage();
+                }
+                i += 1;
+            }
+            "--warmup" => {
+                cli.warmup = value(&args, i, "--warmup")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                i += 1;
+            }
+            "--checkpoint-dir" => {
+                cli.checkpoint_dir = Some(PathBuf::from(value(&args, i, "--checkpoint-dir")));
+                i += 1;
+            }
+            "--fork-base" => cli.fork_base = true,
+            "--scenario" => {
+                cli.scenario = Some(value(&args, i, "--scenario"));
+                i += 1;
+            }
             "--json" => {
                 cli.json = Some(value(&args, i, "--json"));
                 i += 1;
@@ -105,7 +154,24 @@ fn parse_args() -> Cli {
         }
         i += 1;
     }
-    if cli.figures.is_empty() {
+    if let Some(name) = &cli.scenario {
+        if name != "enclave-attacker" {
+            eprintln!("unknown scenario `{name}` (available: enclave-attacker)");
+            usage();
+        }
+        if !cli.figures.is_empty() {
+            eprintln!("--scenario and --figure are mutually exclusive");
+            usage();
+        }
+    } else if cli.figures.is_empty() {
+        usage();
+    }
+    if cli.warmup > 0 && cli.checkpoint_dir.is_none() {
+        eprintln!("--warmup needs --checkpoint-dir (where warm snapshots are cached)");
+        usage();
+    }
+    if cli.fork_base && cli.warmup == 0 {
+        eprintln!("--fork-base needs --warmup (the shared warm-up length)");
         usage();
     }
     cli.figures.sort_unstable();
@@ -115,6 +181,15 @@ fn parse_args() -> Cli {
 
 fn main() {
     let cli = parse_args();
+    if cli.scenario.is_some() {
+        eprintln!(
+            "mi6-experiments: enclave-attacker scenario ({}k instructions)",
+            cli.opts.kinsts
+        );
+        let points = scenario::run_enclave_attacker(&cli.opts, cli.threads);
+        scenario::render_enclave_attacker(&points);
+        return;
+    }
     // `--json -` makes stdout a pure JSONL stream: the figure tables are
     // suppressed so the output stays machine-parseable end to end.
     let json_on_stdout = cli.json.as_deref() == Some("-");
@@ -134,38 +209,65 @@ fn main() {
         }
     });
 
-    // One deduplicated grid across every requested figure: a BASE pass
-    // shared by e.g. figures 5 and 7 runs once.
+    // One deduplicated grid across every requested figure and seed: a
+    // BASE pass shared by e.g. figures 5 and 7 runs once per seed.
     let mut unique: BTreeMap<String, usize> = BTreeMap::new();
     let mut points = Vec::new();
-    let mut fig_indices: Vec<(u32, Vec<usize>)> = Vec::new();
+    // Per figure: per seed: indices into `points`, in figure_points order.
+    let mut fig_indices: Vec<(u32, Vec<Vec<usize>>)> = Vec::new();
     for &fig in &cli.figures {
-        let fig_points = figure_points(fig, cli.opts);
-        let mut indices = Vec::with_capacity(fig_points.len());
-        for p in &fig_points {
-            let key = format!(
-                "{}/{}/{}/{}",
-                p.variant, p.workload, p.opts.kinsts, p.opts.timer
-            );
-            let idx = *unique.entry(key).or_insert_with(|| {
-                points.push(*p);
-                points.len() - 1
-            });
-            indices.push(idx);
+        let mut per_seed = Vec::with_capacity(cli.seeds as usize);
+        for s in 0..cli.seeds {
+            let opts = cli.opts.with_seed(cli.opts.seed_at(s));
+            let fig_points = figure_points(fig, opts);
+            let mut indices = Vec::with_capacity(fig_points.len());
+            for p in &fig_points {
+                let key = format!(
+                    "{}/{}/{}/{}/{:x}",
+                    p.variant, p.workload, p.opts.kinsts, p.opts.timer, p.opts.seed
+                );
+                let idx = *unique.entry(key).or_insert_with(|| {
+                    points.push(*p);
+                    points.len() - 1
+                });
+                indices.push(idx);
+            }
+            per_seed.push(indices);
         }
-        fig_indices.push((fig, indices));
+        fig_indices.push((fig, per_seed));
     }
 
+    let warm = cli
+        .checkpoint_dir
+        .as_ref()
+        .filter(|_| cli.warmup > 0)
+        .map(|dir| WarmFork {
+            warmup_cycles: cli.warmup,
+            dir: dir.clone(),
+            fork_base: cli.fork_base,
+        });
     eprintln!(
-        "mi6-experiments: {} grid points ({} unique) on {} threads",
-        fig_indices.iter().map(|(_, ix)| ix.len()).sum::<usize>(),
+        "mi6-experiments: {} grid points ({} unique, {} seed(s)) on {} threads{}",
+        fig_indices
+            .iter()
+            .map(|(_, per_seed)| per_seed.iter().map(Vec::len).sum::<usize>())
+            .sum::<usize>(),
         points.len(),
+        cli.seeds,
         cli.threads,
+        match &warm {
+            Some(w) if w.fork_base => format!(
+                ", forking all variants from {}-cycle BASE warm-ups",
+                w.warmup_cycles
+            ),
+            Some(w) => format!(", warm-starting from {}-cycle checkpoints", w.warmup_cycles),
+            None => String::new(),
+        },
     );
     let t0 = Instant::now();
     let mut done = 0usize;
     let total = points.len();
-    let results = run_grid(&points, cli.threads, |res| {
+    let results = run_grid_with(&points, cli.threads, warm.as_ref(), |res| {
         done += 1;
         eprintln!(
             "  [{done}/{total}] {} on {}: {} cycles ({} ms)",
@@ -199,8 +301,16 @@ fn main() {
         );
         return;
     }
-    for (fig, indices) in fig_indices {
-        let fig_results: Vec<_> = indices.iter().map(|&i| results[i].clone()).collect();
-        render_figure(fig, &fig_results);
+    for (fig, per_seed_idx) in fig_indices {
+        let per_seed: Vec<Vec<PointResult>> = per_seed_idx
+            .iter()
+            .map(|indices| indices.iter().map(|&i| results[i].clone()).collect())
+            .collect();
+        if per_seed.len() == 1 || per_seed[0].is_empty() {
+            render_figure(fig, &per_seed[0]);
+        } else {
+            render_figure(fig, &mean_results(&per_seed));
+            render_seed_spread(fig, &per_seed);
+        }
     }
 }

@@ -157,6 +157,77 @@ pub fn render_figure(figure: u32, results: &[PointResult]) {
     }
 }
 
+/// Element-wise mean of one grid point's records across seeds (used to
+/// render a figure from a `--seeds N` sweep; derived rates are averaged
+/// directly, counters arithmetically).
+fn mean_record(records: &[&RunRecord]) -> RunRecord {
+    let n = records.len() as f64;
+    let avg = |f: &dyn Fn(&RunRecord) -> f64| records.iter().map(|r| f(r)).sum::<f64>() / n;
+    RunRecord {
+        name: records[0].name,
+        cycles: avg(&|r| r.cycles as f64).round() as u64,
+        instructions: avg(&|r| r.instructions as f64).round() as u64,
+        branch_mpki: avg(&|r| r.branch_mpki),
+        llc_mpki: avg(&|r| r.llc_mpki),
+        flush_stall_cycles: avg(&|r| r.flush_stall_cycles as f64).round() as u64,
+        traps: avg(&|r| r.traps as f64).round() as u64,
+    }
+}
+
+/// Collapses per-seed result vectors (all in the same `figure_points`
+/// order) into one mean result per point, for figure rendering.
+///
+/// # Panics
+///
+/// Panics if the per-seed vectors have different shapes.
+pub fn mean_results(per_seed: &[Vec<PointResult>]) -> Vec<PointResult> {
+    assert!(!per_seed.is_empty());
+    let n = per_seed[0].len();
+    assert!(per_seed.iter().all(|s| s.len() == n), "ragged seed results");
+    (0..n)
+        .map(|i| {
+            let records: Vec<&RunRecord> = per_seed.iter().map(|s| &s[i].record).collect();
+            PointResult {
+                point: per_seed[0][i].point,
+                record: mean_record(&records),
+                wall_ms: per_seed.iter().map(|s| s[i].wall_ms).sum::<u64>() / per_seed.len() as u64,
+            }
+        })
+        .collect()
+}
+
+/// Prints the per-point seed spread (mean ± half-range, with min/max) of
+/// a `--seeds N` sweep for one figure.
+pub fn render_seed_spread(figure: u32, per_seed: &[Vec<PointResult>]) {
+    let seeds = per_seed.len();
+    if seeds < 2 || per_seed[0].is_empty() {
+        return;
+    }
+    println!("\n--- figure {figure}: cycle spread over {seeds} seeds ---");
+    println!(
+        "{:<10} {:<12} {:>14} {:>10} {:>14} {:>14}",
+        "variant", "benchmark", "mean", "±", "min", "max"
+    );
+    for i in 0..per_seed[0].len() {
+        let cycles: Vec<u64> = per_seed.iter().map(|s| s[i].record.cycles).collect();
+        let (min, max) = (
+            *cycles.iter().min().expect("seeds >= 2"),
+            *cycles.iter().max().expect("seeds >= 2"),
+        );
+        let mean = cycles.iter().sum::<u64>() / cycles.len() as u64;
+        let point = per_seed[0][i].point;
+        println!(
+            "{:<10} {:<12} {:>14} {:>10} {:>14} {:>14}",
+            point.variant.name(),
+            point.workload.name(),
+            mean,
+            (max - min) / 2,
+            min,
+            max
+        );
+    }
+}
+
 /// Figure 4: the insecure baseline (BASE) configuration table.
 fn print_config_table() {
     let core = CoreConfig::paper();

@@ -22,11 +22,13 @@
 pub mod figures;
 pub mod microbench;
 pub mod runner;
+pub mod scenario;
 
-pub use figures::{figure_points, render_figure, FIGURES};
-pub use runner::{run_grid, GridPoint, PointResult};
+pub use figures::{figure_points, mean_results, render_figure, render_seed_spread, FIGURES};
+pub use runner::{run_grid, run_grid_with, GridPoint, PointResult, WarmFork};
 
-use mi6_soc::{MachineStats, SimBuilder, Variant};
+#[allow(unused_imports)] // `Machine` anchors intra-doc links.
+use mi6_soc::{Machine, MachineStats, SimBuilder, Variant};
 use mi6_workloads::{Workload, WorkloadParams};
 
 /// One workload run's summary.
@@ -70,20 +72,27 @@ impl RunRecord {
     }
 }
 
-/// Per-run options (instruction volume and scheduler tick).
+/// Per-run options (instruction volume, scheduler tick, workload seed).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct HarnessOpts {
     /// Thousands of instructions per run.
     pub kinsts: u64,
     /// Scheduler timer interval in cycles (0 = off).
     pub timer: u64,
+    /// Workload data-layout seed (the `--seeds` sweep varies this).
+    pub seed: u64,
 }
+
+/// The default workload seed (the historical fixed seed every figure has
+/// been measured with; `--seeds N` keeps it as seed index 0).
+pub const DEFAULT_SEED: u64 = 0xC0FFEE;
 
 impl Default for HarnessOpts {
     fn default() -> HarnessOpts {
         HarnessOpts {
             kinsts: 2_000,
             timer: 250_000,
+            seed: DEFAULT_SEED,
         }
     }
 }
@@ -100,20 +109,81 @@ impl HarnessOpts {
         self.kinsts = kinsts;
         self
     }
+
+    /// Replaces the workload seed.
+    pub fn with_seed(mut self, seed: u64) -> HarnessOpts {
+        self.seed = seed;
+        self
+    }
+
+    /// The seed for seed index `i` of a `--seeds N` sweep: index 0 is the
+    /// historical default (so `--seeds 1` reproduces every existing
+    /// number); later indices are splitmix64-derived.
+    pub fn seed_at(&self, i: u64) -> u64 {
+        if i == 0 {
+            self.seed
+        } else {
+            splitmix64(self.seed.wrapping_add(i))
+        }
+    }
+
+    /// The run-length cap handed to `run_to_completion`.
+    fn cycle_cap(&self) -> u64 {
+        self.kinsts.saturating_mul(1_000_000).max(400_000_000)
+    }
+}
+
+/// One step of the splitmix64 generator (seed derivation for `--seeds`).
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// Runs one workload on one variant to completion.
 pub fn run_workload(variant: Variant, workload: Workload, opts: &HarnessOpts) -> RunRecord {
-    let params = WorkloadParams::evaluation().with_target_kinsts(opts.kinsts);
+    let params = WorkloadParams::evaluation()
+        .with_target_kinsts(opts.kinsts)
+        .with_seed(opts.seed);
     let mut machine = SimBuilder::new(variant)
         .timer_interval(opts.timer)
         .workload(0, workload.build(&params))
         .build()
         .unwrap_or_else(|e| panic!("loading {workload}: {e}"));
-    let cap = opts.kinsts.saturating_mul(1_000_000).max(400_000_000);
     let stats = machine
-        .run_to_completion(cap)
+        .run_to_completion(opts.cycle_cap())
         .unwrap_or_else(|e| panic!("running {workload} on {variant}: {e}"));
+    RunRecord::from_stats(workload.name(), &stats)
+}
+
+/// Continues one workload to completion from a warm checkpoint.
+///
+/// `forked` selects [`Machine::restore_forked`] (a cross-variant warm
+/// state, e.g. a BASE-warmed prefix measured under every variant) over
+/// the strict [`Machine::restore`] (same-variant resume, bit-identical to
+/// an uninterrupted run). Reported counters cover the whole run including
+/// the warm prefix.
+pub fn run_workload_restored(
+    variant: Variant,
+    workload: Workload,
+    opts: &HarnessOpts,
+    snapshot: &[u8],
+    forked: bool,
+) -> RunRecord {
+    let mut machine = SimBuilder::new(variant)
+        .timer_interval(opts.timer)
+        .build()
+        .unwrap_or_else(|e| panic!("building {variant}: {e}"));
+    let restored = if forked {
+        machine.restore_forked(snapshot)
+    } else {
+        machine.restore(snapshot)
+    };
+    restored.unwrap_or_else(|e| panic!("restoring {workload} warm state on {variant}: {e}"));
+    let stats = machine
+        .run_to_completion(opts.cycle_cap())
+        .unwrap_or_else(|e| panic!("running {workload} on {variant} from checkpoint: {e}"));
     RunRecord::from_stats(workload.name(), &stats)
 }
 

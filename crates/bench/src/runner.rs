@@ -6,9 +6,11 @@
 //! one JSON object per point), and returns the results in point order so
 //! figure rendering stays deterministic regardless of completion order.
 
-use crate::{run_workload, HarnessOpts, RunRecord};
-use mi6_soc::Variant;
-use mi6_workloads::Workload;
+use crate::{run_workload, run_workload_restored, HarnessOpts, RunRecord};
+use mi6_soc::{SimBuilder, Variant};
+use mi6_workloads::{Workload, WorkloadParams};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread;
@@ -43,7 +45,7 @@ impl PointResult {
         format!(
             concat!(
                 "{{\"variant\":\"{}\",\"workload\":\"{}\",\"kinsts\":{},",
-                "\"timer\":{},\"cycles\":{},\"instructions\":{},",
+                "\"timer\":{},\"seed\":{},\"cycles\":{},\"instructions\":{},",
                 "\"branch_mpki\":{:.3},\"llc_mpki\":{:.3},",
                 "\"flush_stall_cycles\":{},\"traps\":{},\"wall_ms\":{}}}"
             ),
@@ -51,6 +53,7 @@ impl PointResult {
             self.record.name,
             self.point.opts.kinsts,
             self.point.opts.timer,
+            self.point.opts.seed,
             self.record.cycles,
             self.record.instructions,
             self.record.branch_mpki,
@@ -69,6 +72,117 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Warm-fork configuration: simulate each point's warm-up prefix once,
+/// snapshot it into `dir`, and start every grid run from the warmed state.
+///
+/// Two modes:
+///
+/// - **exact** (`fork_base == false`): one snapshot per (variant,
+///   workload, seed), restored strictly. Results are bit-identical to
+///   non-forked runs; the checkpoint directory acts as a cross-invocation
+///   cache (re-running a figure, sharing BASE passes between figures, and
+///   resuming after preemption all skip the warm-up simulation).
+/// - **fork-base** (`fork_base == true`): one snapshot per (workload,
+///   seed), warmed on BASE and run to a memory-quiescent point, then
+///   *forked into every variant* — the reference-warming methodology:
+///   each variant's measurement shares the identical warmed prefix, and
+///   the grid simulates each warm-up exactly once.
+#[derive(Clone, Debug)]
+pub struct WarmFork {
+    /// Cycles of warm-up to simulate before the snapshot.
+    pub warmup_cycles: u64,
+    /// Directory the warm snapshots are cached in.
+    pub dir: PathBuf,
+    /// Warm on BASE once per workload and fork across variants.
+    pub fork_base: bool,
+}
+
+/// Extra cycles allowed for the quiescence search after a fork-base
+/// warm-up (quiescent windows occur within a handful of misses' worth of
+/// cycles; this cap only guards against pathological configurations).
+const QUIESCE_CAP: u64 = 5_000_000;
+
+impl WarmFork {
+    /// The variant a point's warm-up is simulated on.
+    fn warm_variant(&self, point: &GridPoint) -> Variant {
+        if self.fork_base {
+            Variant::Base
+        } else {
+            point.variant
+        }
+    }
+
+    /// The snapshot file backing a point (shared across variants in
+    /// fork-base mode).
+    pub fn snapshot_path(&self, point: &GridPoint) -> PathBuf {
+        let variant = if self.fork_base {
+            "forkbase".to_string()
+        } else {
+            point
+                .variant
+                .name()
+                .chars()
+                .filter(|c| c.is_ascii_alphanumeric())
+                .collect::<String>()
+                .to_lowercase()
+        };
+        self.dir.join(format!(
+            "warm-{variant}-{}-k{}-t{}-s{:x}-c{}.mi6snap",
+            point.workload.name(),
+            point.opts.kinsts,
+            point.opts.timer,
+            point.opts.seed,
+            self.warmup_cycles
+        ))
+    }
+
+    /// Simulates one warm-up and writes its snapshot (atomically, so a
+    /// preempted run never leaves a torn file behind).
+    fn create_snapshot(&self, point: &GridPoint, path: &PathBuf) {
+        let variant = self.warm_variant(point);
+        let opts = &point.opts;
+        let params = WorkloadParams::evaluation()
+            .with_target_kinsts(opts.kinsts)
+            .with_seed(opts.seed);
+        let mut machine = SimBuilder::new(variant)
+            .timer_interval(opts.timer)
+            .workload(0, point.workload.build(&params))
+            .build()
+            .unwrap_or_else(|e| panic!("warming {} on {variant}: {e}", point.workload));
+        machine.run_cycles(self.warmup_cycles);
+        assert!(
+            !machine.all_halted(),
+            "--warmup {} exceeds the total runtime of {} at {}k instructions; lower it",
+            self.warmup_cycles,
+            point.workload,
+            opts.kinsts
+        );
+        if self.fork_base {
+            // Opportunistic first: many workloads hit a natural quiescent
+            // window (no timing perturbation at all); streaming workloads
+            // never do and need the fetch-stall drain.
+            if machine.run_until_mem_quiescent(20_000).is_err() {
+                machine
+                    .drain_to_quiescence(QUIESCE_CAP)
+                    .unwrap_or_else(|e| panic!("draining {} warm-up: {e}", point.workload));
+            }
+            assert!(
+                !machine.all_halted(),
+                "--warmup {} left no work after the warm-up of {}; lower it",
+                self.warmup_cycles,
+                point.workload
+            );
+        }
+        // Unique per process: the checkpoint dir is a shared cache, and
+        // two racing invocations writing the same temp name could publish
+        // a torn file through the other's rename.
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, machine.snapshot())
+            .and_then(|()| std::fs::rename(&tmp, path))
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    }
+}
+
 /// Runs every grid point across `threads` worker threads.
 ///
 /// `on_result` is invoked on the caller's thread as each point finishes
@@ -77,11 +191,60 @@ pub fn default_threads() -> usize {
 pub fn run_grid(
     points: &[GridPoint],
     threads: usize,
+    on_result: impl FnMut(&PointResult),
+) -> Vec<PointResult> {
+    run_grid_with(points, threads, None, on_result)
+}
+
+/// [`run_grid`] with an optional warm-fork phase: missing warm snapshots
+/// are generated first (in parallel, one per unique warm-up), then every
+/// grid point starts from its warmed state.
+pub fn run_grid_with(
+    points: &[GridPoint],
+    threads: usize,
+    warm: Option<&WarmFork>,
     mut on_result: impl FnMut(&PointResult),
 ) -> Vec<PointResult> {
     let n = points.len();
     if n == 0 {
         return Vec::new();
+    }
+    if let Some(warm) = warm {
+        std::fs::create_dir_all(&warm.dir)
+            .unwrap_or_else(|e| panic!("cannot create {}: {e}", warm.dir.display()));
+        // One warm-up per unique snapshot file; skip files that already
+        // exist (the cache / preemption-resume path).
+        let mut pending: BTreeMap<PathBuf, GridPoint> = BTreeMap::new();
+        for p in points {
+            let path = warm.snapshot_path(p);
+            if !path.exists() {
+                pending.entry(path).or_insert(*p);
+            }
+        }
+        let todo: Vec<(PathBuf, GridPoint)> = pending.into_iter().collect();
+        if !todo.is_empty() {
+            eprintln!(
+                "  warm-fork: simulating {} warm-up prefix(es) of {} cycles",
+                todo.len(),
+                warm.warmup_cycles
+            );
+            let next = AtomicUsize::new(0);
+            let workers = threads.max(1).min(todo.len());
+            thread::scope(|s| {
+                for _ in 0..workers {
+                    let next = &next;
+                    let todo = &todo;
+                    s.spawn(move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= todo.len() {
+                            break;
+                        }
+                        let (path, point) = &todo[i];
+                        warm.create_snapshot(point, path);
+                    });
+                }
+            });
+        }
     }
     let workers = threads.max(1).min(n);
     let next = AtomicUsize::new(0);
@@ -98,7 +261,21 @@ pub fn run_grid(
                 }
                 let point = points[i];
                 let t0 = Instant::now();
-                let record = run_workload(point.variant, point.workload, &point.opts);
+                let record = match warm {
+                    None => run_workload(point.variant, point.workload, &point.opts),
+                    Some(warm) => {
+                        let path = warm.snapshot_path(&point);
+                        let snapshot = std::fs::read(&path)
+                            .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+                        run_workload_restored(
+                            point.variant,
+                            point.workload,
+                            &point.opts,
+                            &snapshot,
+                            warm.fork_base,
+                        )
+                    }
+                };
                 let wall_ms = t0.elapsed().as_millis() as u64;
                 if tx
                     .send((
@@ -189,6 +366,81 @@ mod tests {
         }
     }
 
+    fn scratch_dir(label: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mi6-warm-{label}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn exact_warm_fork_matches_cold_runs_bit_for_bit() {
+        let dir = scratch_dir("exact");
+        let points = [
+            GridPoint {
+                variant: Variant::Base,
+                workload: Workload::Hmmer,
+                opts: tiny_opts(),
+            },
+            GridPoint {
+                variant: Variant::Fpma,
+                workload: Workload::Hmmer,
+                opts: tiny_opts(),
+            },
+        ];
+        let cold = run_grid(&points, 2, |_| {});
+        let warm = WarmFork {
+            warmup_cycles: 4_000,
+            dir: dir.clone(),
+            fork_base: false,
+        };
+        // First pass simulates the warm-ups; the second reuses the cache.
+        for pass in 0..2 {
+            let warmed = run_grid_with(&points, 2, Some(&warm), |_| {});
+            for (c, f) in cold.iter().zip(&warmed) {
+                assert_eq!(c.record.cycles, f.record.cycles, "pass {pass}");
+                assert_eq!(c.record.instructions, f.record.instructions);
+                assert_eq!(c.record.traps, f.record.traps);
+            }
+        }
+        // One snapshot per (variant, workload).
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fork_base_shares_one_warmup_across_variants() {
+        let dir = scratch_dir("forkbase");
+        let points = [
+            GridPoint {
+                variant: Variant::Base,
+                workload: Workload::Sjeng,
+                opts: tiny_opts(),
+            },
+            GridPoint {
+                variant: Variant::Fpma,
+                workload: Workload::Sjeng,
+                opts: tiny_opts(),
+            },
+        ];
+        let warm = WarmFork {
+            warmup_cycles: 4_000,
+            dir: dir.clone(),
+            fork_base: true,
+        };
+        let a = run_grid_with(&points, 2, Some(&warm), |_| {});
+        // Both variants forked from one shared BASE-warmed snapshot.
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        // The BASE point is an exact continuation: identical to a cold run.
+        let cold = run_grid(&points[..1], 1, |_| {});
+        assert_eq!(a[0].record.cycles, cold[0].record.cycles);
+        assert_eq!(a[0].record.instructions, cold[0].record.instructions);
+        // Forked runs are deterministic and complete.
+        let b = run_grid_with(&points, 2, Some(&warm), |_| {});
+        assert_eq!(a[1].record.cycles, b[1].record.cycles);
+        assert!(a[1].record.instructions > 5_000);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
     #[test]
     fn json_shape() {
         let points = [GridPoint {
@@ -202,5 +454,7 @@ mod tests {
         assert!(json.contains("\"variant\":\"BASE\""));
         assert!(json.contains("\"workload\":\"hmmer\""));
         assert!(json.contains("\"cycles\":"));
+        // Seed sweeps are distinguishable in the JSONL stream.
+        assert!(json.contains(&format!("\"seed\":{}", crate::DEFAULT_SEED)));
     }
 }

@@ -1,0 +1,236 @@
+//! Multi-core evaluation scenarios.
+//!
+//! The paper's enclave threat model colocates a victim enclave with an
+//! attacker-controlled OS core that thrashes the shared LLC and DRAM
+//! queues (Sections 4 and 5). `enclave-attacker` reproduces that shape on
+//! a two-core machine through `SimBuilder` workload placement: the victim
+//! (a pointer chase over an arena that *fits* the shared LLC, so its
+//! runtime is exactly what LLC eviction destroys) runs on core 0 while
+//! core 1 either exits immediately (the solo baseline) or streams
+//! libquantum-like traffic through the shared LLC for the victim's whole
+//! run.
+//!
+//! The reproduction target is the *contrast*: on BASE the attacker's
+//! stream evicts the victim's LLC-resident working set and inflates its
+//! runtime, while the full MI6 machine (set partitioning by DRAM region,
+//! per-core MSHRs, round-robin pipeline arbitration) keeps the attacker
+//! out of the victim's sets and bounds the interference.
+
+use crate::{mean, HarnessOpts};
+use mi6_isa::{Assembler, Inst, Reg};
+use mi6_soc::{kernel, loader, Program, SimBuilder, Variant};
+use mi6_workloads::{generate, BranchStyle, Profile, Workload, WorkloadParams};
+use std::sync::mpsc;
+use std::thread;
+
+/// Display name of the enclave victim.
+pub const VICTIM_NAME: &str = "enclave-ws";
+/// The attacker workload (streaming LLC thrasher).
+pub const ATTACKER: Workload = Workload::Libquantum;
+
+/// The enclave victim: a dependent pointer chase over a 256 KiB arena —
+/// the access pattern *maximally* sensitive to attacker eviction (every
+/// load's latency is fully exposed, and each lap revisits every line).
+///
+/// The arena size is deliberate: it fits the shared 1 MiB LLC (so on
+/// BASE the victim's steady state is all-hits and the attacker's stream
+/// is what destroys it) *and* fits the 256 KiB LLC partition MI6's
+/// region-keyed indexing leaves a one-region enclave (so MI6's
+/// protection, not its capacity loss, dominates the contrast). This is
+/// the "adversarial enclave workload driving the SecureMi6 LLC
+/// mechanisms" shape from the roadmap.
+pub fn victim_program(params: &WorkloadParams) -> Program {
+    let profile = Profile {
+        stream_bytes: 0,
+        stream_lines_per_iter: 0,
+        chase_bytes: 256 << 10,
+        chase_nodes_per_iter: 8,
+        ws_bytes: 0,
+        ws_accesses_per_iter: 0,
+        branch_sites: 2,
+        branch_style: BranchStyle::Easy,
+        ilp_ops: 2,
+        muldiv_ops: 0,
+        syscall_every: 0,
+    };
+    generate(VICTIM_NAME, &profile, params)
+}
+
+/// One (variant, colocation) measurement of the victim core.
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioPoint {
+    /// Machine variant.
+    pub variant: Variant,
+    /// Whether the attacker core was streaming.
+    pub contended: bool,
+    /// Cycles until the *victim* core halted (its core-local counter).
+    pub victim_cycles: u64,
+    /// Victim instructions committed.
+    pub victim_instructions: u64,
+}
+
+/// A program that exits immediately — parks the second core so a solo run
+/// uses the identical two-core machine as the contended one.
+fn park_program() -> Program {
+    let mut asm = Assembler::new(loader::CODE_VA);
+    asm.li(Reg::A0, 0);
+    asm.li(Reg::A7, kernel::sys::EXIT);
+    asm.push(Inst::Ecall);
+    Program {
+        name: "park".into(),
+        code: asm.assemble().expect("park program assembles"),
+        data_size: 4096,
+        data_init: vec![],
+        stack_size: 4096,
+    }
+}
+
+fn run_point(variant: Variant, contended: bool, opts: &HarnessOpts) -> ScenarioPoint {
+    let victim_params = WorkloadParams::evaluation()
+        .with_target_kinsts(opts.kinsts)
+        .with_seed(opts.seed);
+    // The attacker outlives the victim so interference covers the whole
+    // measured run.
+    let attacker_params = WorkloadParams::evaluation()
+        .with_target_kinsts(opts.kinsts.saturating_mul(3))
+        .with_seed(opts.seed);
+    let attacker = if contended {
+        ATTACKER.build(&attacker_params)
+    } else {
+        park_program()
+    };
+    let mut machine = SimBuilder::new(variant)
+        .cores(2)
+        .timer_interval(opts.timer)
+        .workload(0, victim_program(&victim_params))
+        .workload(1, attacker)
+        .build()
+        .unwrap_or_else(|e| panic!("building {variant} scenario: {e}"));
+    let cap = opts.kinsts.saturating_mul(6_000_000).max(400_000_000);
+    let stats = machine
+        .run_to_completion(cap)
+        .unwrap_or_else(|e| panic!("running {variant} scenario: {e}"));
+    ScenarioPoint {
+        variant,
+        contended,
+        // The per-core cycle counter stops when the core halts, so this is
+        // the victim's own completion time even though the attacker keeps
+        // running afterwards.
+        victim_cycles: stats.core[0].cycles,
+        victim_instructions: stats.core[0].committed_instructions,
+    }
+}
+
+/// Runs the enclave-plus-attacker grid — (BASE, MI6) × (solo, contended)
+/// — across up to four worker threads and returns the points in a fixed
+/// order: for each variant, solo then contended.
+pub fn run_enclave_attacker(opts: &HarnessOpts, threads: usize) -> Vec<ScenarioPoint> {
+    let grid: Vec<(Variant, bool)> = [Variant::Base, Variant::SecureMi6]
+        .into_iter()
+        .flat_map(|v| [(v, false), (v, true)])
+        .collect();
+    let workers = threads.clamp(1, grid.len());
+    let (tx, rx) = mpsc::channel::<(usize, ScenarioPoint)>();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut results: Vec<Option<ScenarioPoint>> = vec![None; grid.len()];
+    thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let grid = &grid;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= grid.len() {
+                    break;
+                }
+                let (variant, contended) = grid[i];
+                if tx.send((i, run_point(variant, contended, opts))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        while let Ok((i, p)) = rx.recv() {
+            eprintln!(
+                "  {} {}: victim {} cycles",
+                p.variant,
+                if p.contended { "contended" } else { "solo" },
+                p.victim_cycles
+            );
+            results[i] = Some(p);
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every scenario point completed"))
+        .collect()
+}
+
+/// Renders the scenario table: per variant, the victim's solo and
+/// contended runtimes and the attacker-induced slowdown.
+pub fn render_enclave_attacker(points: &[ScenarioPoint]) {
+    println!(
+        "\n=== enclave + attacker (2 cores): victim {} vs streaming {} ===",
+        VICTIM_NAME,
+        ATTACKER.name()
+    );
+    println!(
+        "{:<10} {:>16} {:>18} {:>10}",
+        "variant", "solo cycles", "contended cycles", "slowdown"
+    );
+    let mut slowdowns = Vec::new();
+    for pair in points.chunks(2) {
+        let [solo, contended] = pair else {
+            continue;
+        };
+        assert_eq!(solo.variant, contended.variant);
+        assert!(!solo.contended && contended.contended);
+        let slowdown = (contended.victim_cycles as f64 / solo.victim_cycles as f64 - 1.0) * 100.0;
+        slowdowns.push(slowdown);
+        println!(
+            "{:<10} {:>16} {:>18} {:>9.1}%",
+            solo.variant.name(),
+            solo.victim_cycles,
+            contended.victim_cycles,
+            slowdown
+        );
+    }
+    if slowdowns.len() == 2 {
+        println!(
+            "attacker-induced victim slowdown: BASE {:+.1}% vs MI6 {:+.1}% \
+             (mean {:+.1}%; the paper's isolation claim is MI6 << BASE)",
+            slowdowns[0],
+            slowdowns[1],
+            mean(slowdowns.iter().copied())
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_runs_and_isolates() {
+        // 50k instructions gives the chase several laps over its arena,
+        // so LLC reuse (and its destruction by the attacker) is visible.
+        let opts = HarnessOpts::default().with_kinsts(50).with_timer(0);
+        let points = run_enclave_attacker(&opts, 4);
+        assert_eq!(points.len(), 4);
+        // Fixed order: (BASE solo, BASE contended, MI6 solo, MI6 contended).
+        assert!(!points[0].contended && points[1].contended);
+        assert_eq!(points[2].variant, Variant::SecureMi6);
+        for p in &points {
+            assert!(p.victim_instructions > 10_000, "{p:?}");
+        }
+        let slowdown = |solo: &ScenarioPoint, cont: &ScenarioPoint| {
+            cont.victim_cycles as f64 / solo.victim_cycles as f64
+        };
+        let base = slowdown(&points[0], &points[1]);
+        let mi6 = slowdown(&points[2], &points[3]);
+        // The paper's isolation claim: the attacker hurts BASE badly and
+        // MI6 barely (Section 5.2's partitioned LLC).
+        assert!(base > 1.3, "attacker barely affects BASE: {base:.3}");
+        assert!(mi6 < 1.1, "MI6 fails to isolate the enclave: {mi6:.3}");
+    }
+}

@@ -231,6 +231,93 @@ impl Ras {
     }
 }
 
+// ---------------------------------------------------------------- snapshot
+
+use mi6_snapshot::{SnapError, SnapReader, SnapState, SnapWriter};
+
+impl SnapState for Btb {
+    fn save(&self, w: &mut SnapWriter) {
+        self.entries.save(w);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let entries: Vec<Option<(u64, u64)>> = SnapState::load(r)?;
+        if !entries.len().is_power_of_two() {
+            return Err(SnapError::BadValue {
+                what: format!("BTB size {} is not a power of two", entries.len()),
+            });
+        }
+        let mask = entries.len() as u64 - 1;
+        Ok(Btb { entries, mask })
+    }
+}
+
+impl SnapState for Tournament {
+    fn save(&self, w: &mut SnapWriter) {
+        self.local_hist.save(w);
+        self.local_ctr.save(w);
+        self.global_ctr.save(w);
+        self.choice.save(w);
+        w.u16(self.ghist);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let t = Tournament {
+            local_hist: SnapState::load(r)?,
+            local_ctr: SnapState::load(r)?,
+            global_ctr: SnapState::load(r)?,
+            choice: SnapState::load(r)?,
+            ghist: r.u16()?,
+        };
+        if t.local_hist.len() != LOCAL_ENTRIES
+            || t.local_ctr.len() != LOCAL_ENTRIES
+            || t.global_ctr.len() != GLOBAL_ENTRIES
+            || t.choice.len() != GLOBAL_ENTRIES
+        {
+            return Err(SnapError::BadValue {
+                what: "tournament table sizes".into(),
+            });
+        }
+        Ok(t)
+    }
+}
+
+impl SnapState for Prediction {
+    fn save(&self, w: &mut SnapWriter) {
+        w.bool(self.taken);
+        w.bool(self.local_taken);
+        w.bool(self.global_taken);
+        w.u16(self.ghist_at_predict);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Prediction {
+            taken: r.bool()?,
+            local_taken: r.bool()?,
+            global_taken: r.bool()?,
+            ghist_at_predict: r.u16()?,
+        })
+    }
+}
+
+impl SnapState for Ras {
+    fn save(&self, w: &mut SnapWriter) {
+        w.usize(self.capacity);
+        self.stack.save(w);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let capacity = r.usize()?;
+        let stack: Vec<u64> = SnapState::load(r)?;
+        if stack.len() > capacity {
+            return Err(SnapError::BadValue {
+                what: format!("RAS depth {} over capacity {capacity}", stack.len()),
+            });
+        }
+        Ok(Ras { stack, capacity })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

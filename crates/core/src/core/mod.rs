@@ -40,6 +40,7 @@ mod fetch;
 mod lsq;
 mod rename;
 mod rob;
+mod snapshot;
 mod walker;
 
 /// Tag bits distinguishing token owners on the two memory ports.
@@ -376,6 +377,11 @@ impl Core {
     /// The security configuration in force.
     pub fn security(&self) -> &SecurityConfig {
         &self.sec
+    }
+
+    /// The structural configuration in force.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
     }
 
     /// Whether the pipeline holds no in-flight instructions.

@@ -82,7 +82,14 @@ impl Core {
                     self.lq_used -= 1;
                 }
                 if m.phase == MemPhase::WaitMem {
-                    self.zombies.insert(TOKEN_LOAD | (e.seq & TOKEN_MASK));
+                    // If the L1 already answered, drop the completion now;
+                    // otherwise mark the token so the answer is dropped at
+                    // arrival. (Leaving an already-arrived completion
+                    // behind would leak it forever — nothing consumes it.)
+                    let token = TOKEN_LOAD | (e.seq & TOKEN_MASK);
+                    if self.data_completions.remove(&token).is_none() {
+                        self.zombies.insert(token);
+                    }
                 }
                 if m.phase == MemPhase::WaitWalk {
                     self.cancel_walk(WalkClient::Rob(e.seq));
@@ -91,9 +98,14 @@ impl Core {
         }
         // Flush the front end.
         self.fetch_queue.clear();
-        match &self.fetch_state {
-            FetchState::WaitICache { token, .. } => {
-                self.zombies.insert(*token);
+        match self.fetch_state.clone() {
+            // If the I-cache already answered, drop the completion now;
+            // otherwise mark the token so the answer is dropped at
+            // arrival (an already-arrived completion would leak forever).
+            FetchState::WaitICache { token, .. }
+                if self.ifetch_completions.remove(&token).is_none() =>
+            {
+                self.zombies.insert(token);
             }
             FetchState::WaitWalk => self.cancel_walk(WalkClient::Fetch),
             _ => {}

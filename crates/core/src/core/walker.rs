@@ -9,9 +9,12 @@ impl Core {
         self.walker_queue.retain(|r| r.client != client);
         if let Some(active) = &mut self.walker_active {
             if active.req.client == client {
-                // Let the memory access finish but drop the result.
+                // Let the memory access finish but drop the result (or
+                // drop it immediately if it already arrived).
                 if let WalkPending::Token(t) = active.pending {
-                    self.zombies.insert(t);
+                    if self.data_completions.remove(&t).is_none() {
+                        self.zombies.insert(t);
+                    }
                 }
                 self.walker_active = None;
             }

@@ -230,6 +230,84 @@ impl TranslationCache {
     }
 }
 
+// ---------------------------------------------------------------- snapshot
+
+use mi6_snapshot::{SnapError, SnapReader, SnapState, SnapWriter};
+
+impl SnapState for TlbEntry {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.vpn);
+        w.usize(self.level);
+        self.pte.save(w);
+        w.bool(self.region_ok);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(TlbEntry {
+            vpn: r.u64()?,
+            level: r.usize()?,
+            pte: PageTableEntry::load(r)?,
+            region_ok: r.bool()?,
+        })
+    }
+}
+
+impl SnapState for Tlb {
+    fn save(&self, w: &mut SnapWriter) {
+        w.usize(self.ways);
+        w.u64(self.use_clock);
+        w.u64(self.hits);
+        w.u64(self.misses);
+        self.sets.save(w);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let ways = r.usize()?;
+        let use_clock = r.u64()?;
+        let hits = r.u64()?;
+        let misses = r.u64()?;
+        let sets: Vec<Vec<(TlbEntry, u64)>> = SnapState::load(r)?;
+        if !sets.len().is_power_of_two() || sets.iter().any(|s| s.len() > ways) {
+            return Err(SnapError::BadValue {
+                what: "TLB geometry".into(),
+            });
+        }
+        Ok(Tlb {
+            sets,
+            ways,
+            use_clock,
+            hits,
+            misses,
+        })
+    }
+}
+
+impl SnapState for TranslationCache {
+    fn save(&self, w: &mut SnapWriter) {
+        w.usize(self.entries_per_level);
+        w.u64(self.use_clock);
+        self.levels.save(w);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let entries_per_level = r.usize()?;
+        let use_clock = r.u64()?;
+        let levels: Vec<Vec<((u64, u64), u64)>> = SnapState::load(r)?;
+        if levels.len() != mi6_isa::paging::LEVELS - 1
+            || levels.iter().any(|l| l.len() > entries_per_level)
+        {
+            return Err(SnapError::BadValue {
+                what: "translation cache geometry".into(),
+            });
+        }
+        Ok(TranslationCache {
+            levels,
+            entries_per_level,
+            use_clock,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

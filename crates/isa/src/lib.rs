@@ -41,6 +41,7 @@ pub mod inst;
 pub mod paging;
 pub mod privilege;
 pub mod reg;
+pub mod snap;
 pub mod trap;
 
 pub use asm::{AsmError, Assembler, Label};

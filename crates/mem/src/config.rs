@@ -311,6 +311,180 @@ impl MemConfig {
     }
 }
 
+// ---------------------------------------------------------------- snapshot
+
+use mi6_snapshot::{SnapError, SnapReader, SnapState, SnapWriter};
+
+impl SnapState for L1Config {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.size_bytes);
+        w.usize(self.ways);
+        w.usize(self.mshrs);
+        w.u32(self.hit_latency);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(L1Config {
+            size_bytes: r.u64()?,
+            ways: r.usize()?,
+            mshrs: r.usize()?,
+            hit_latency: r.u32()?,
+        })
+    }
+}
+
+impl SnapState for LlcIndexing {
+    fn save(&self, w: &mut SnapWriter) {
+        match *self {
+            LlcIndexing::Base => w.u8(0),
+            LlcIndexing::Partitioned { region_bits } => {
+                w.u8(1);
+                w.u32(region_bits);
+            }
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(LlcIndexing::Base),
+            1 => Ok(LlcIndexing::Partitioned {
+                region_bits: r.u32()?,
+            }),
+            other => Err(SnapError::BadValue {
+                what: format!("LlcIndexing tag {other}"),
+            }),
+        }
+    }
+}
+
+impl SnapState for MshrOrg {
+    fn save(&self, w: &mut SnapWriter) {
+        match *self {
+            MshrOrg::Shared { total } => {
+                w.u8(0);
+                w.usize(total);
+            }
+            MshrOrg::Banked { total, banks } => {
+                w.u8(1);
+                w.usize(total);
+                w.usize(banks);
+            }
+            MshrOrg::PerCore { per_core } => {
+                w.u8(2);
+                w.usize(per_core);
+            }
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(MshrOrg::Shared { total: r.usize()? }),
+            1 => Ok(MshrOrg::Banked {
+                total: r.usize()?,
+                banks: r.usize()?,
+            }),
+            2 => Ok(MshrOrg::PerCore {
+                per_core: r.usize()?,
+            }),
+            other => Err(SnapError::BadValue {
+                what: format!("MshrOrg tag {other}"),
+            }),
+        }
+    }
+}
+
+macro_rules! two_way_enum_snap {
+    ($ty:ident, $a:ident, $b:ident) => {
+        impl SnapState for $ty {
+            fn save(&self, w: &mut SnapWriter) {
+                w.u8(match self {
+                    $ty::$a => 0,
+                    $ty::$b => 1,
+                });
+            }
+
+            fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+                match r.u8()? {
+                    0 => Ok($ty::$a),
+                    1 => Ok($ty::$b),
+                    other => Err(SnapError::BadValue {
+                        what: format!(concat!(stringify!($ty), " tag {}"), other),
+                    }),
+                }
+            }
+        }
+    };
+}
+
+two_way_enum_snap!(LlcArbitration, Base, RoundRobin);
+two_way_enum_snap!(UqOrg, Shared, PerCore);
+two_way_enum_snap!(DowngradeOrg, Single, PerPartition);
+two_way_enum_snap!(DqOrg, TwoCycleDequeue, RetryBit);
+
+impl SnapState for LlcConfig {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.size_bytes);
+        w.usize(self.ways);
+        self.indexing.save(w);
+        self.mshrs.save(w);
+        self.arbitration.save(w);
+        self.uq.save(w);
+        self.downgrade.save(w);
+        self.dq.save(w);
+        w.u32(self.pipeline_latency);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(LlcConfig {
+            size_bytes: r.u64()?,
+            ways: r.usize()?,
+            indexing: LlcIndexing::load(r)?,
+            mshrs: MshrOrg::load(r)?,
+            arbitration: LlcArbitration::load(r)?,
+            uq: UqOrg::load(r)?,
+            downgrade: DowngradeOrg::load(r)?,
+            dq: DqOrg::load(r)?,
+            pipeline_latency: r.u32()?,
+        })
+    }
+}
+
+impl SnapState for DramConfig {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.size_bytes);
+        w.u32(self.latency);
+        w.usize(self.max_inflight);
+        w.usize(self.regions);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(DramConfig {
+            size_bytes: r.u64()?,
+            latency: r.u32()?,
+            max_inflight: r.usize()?,
+            regions: r.usize()?,
+        })
+    }
+}
+
+impl SnapState for MemConfig {
+    fn save(&self, w: &mut SnapWriter) {
+        self.l1i.save(w);
+        self.l1d.save(w);
+        self.llc.save(w);
+        self.dram.save(w);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(MemConfig {
+            l1i: L1Config::load(r)?,
+            l1d: L1Config::load(r)?,
+            llc: LlcConfig::load(r)?,
+            dram: DramConfig::load(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -113,6 +113,59 @@ impl Dram {
     }
 }
 
+// ---------------------------------------------------------------- snapshot
+
+use mi6_snapshot::{SnapError, SnapReader, SnapState, SnapWriter};
+
+impl SnapState for DramReq {
+    fn save(&self, w: &mut SnapWriter) {
+        self.line.save(w);
+        w.bool(self.is_write);
+        w.u32(self.tag);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(DramReq {
+            line: PhysAddr::load(r)?,
+            is_write: r.bool()?,
+            tag: r.u32()?,
+        })
+    }
+}
+
+impl SnapState for Dram {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.latency);
+        w.usize(self.max_inflight);
+        self.inflight.save(w);
+        w.u64(self.reads);
+        w.u64(self.writes);
+        w.u64(self.backpressure_events);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let latency = r.u64()?;
+        let max_inflight = r.usize()?;
+        let inflight: VecDeque<(u64, DramReq)> = SnapState::load(r)?;
+        if inflight.len() > max_inflight {
+            return Err(SnapError::BadValue {
+                what: format!(
+                    "{} DRAM requests in flight over the limit of {max_inflight}",
+                    inflight.len()
+                ),
+            });
+        }
+        Ok(Dram {
+            latency,
+            max_inflight,
+            inflight,
+            reads: r.u64()?,
+            writes: r.u64()?,
+            backpressure_events: r.u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

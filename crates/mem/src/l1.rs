@@ -464,6 +464,159 @@ impl L1Cache {
     }
 }
 
+// ---------------------------------------------------------------- snapshot
+
+use mi6_snapshot::{SnapError, SnapReader, SnapState, SnapWriter};
+
+impl SnapState for LineEntry {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.tag);
+        self.state.save(w);
+        w.bool(self.dirty);
+        w.bool(self.locked);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(LineEntry {
+            tag: r.u64()?,
+            state: MsiState::load(r)?,
+            dirty: r.bool()?,
+            locked: r.bool()?,
+        })
+    }
+}
+
+impl SnapState for Mshr {
+    fn save(&self, w: &mut SnapWriter) {
+        self.line.save(w);
+        self.want.save(w);
+        w.usize(self.set);
+        w.usize(self.way);
+        w.bool(self.any_store);
+        self.waiters.save(w);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Mshr {
+            line: PhysAddr::load(r)?,
+            want: MsiState::load(r)?,
+            set: r.usize()?,
+            way: r.usize()?,
+            any_store: r.bool()?,
+            waiters: SnapState::load(r)?,
+        })
+    }
+}
+
+impl SnapState for L1Completion {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.token);
+        w.u64(self.ready_at);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(L1Completion {
+            token: r.u64()?,
+            ready_at: r.u64()?,
+        })
+    }
+}
+
+impl SnapState for L1Stats {
+    fn save(&self, w: &mut SnapWriter) {
+        for v in [
+            self.hits,
+            self.misses,
+            self.merged,
+            self.blocked,
+            self.writebacks,
+            self.downgrades,
+            self.flushed_lines,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(L1Stats {
+            hits: r.u64()?,
+            misses: r.u64()?,
+            merged: r.u64()?,
+            blocked: r.u64()?,
+            writebacks: r.u64()?,
+            downgrades: r.u64()?,
+            flushed_lines: r.u64()?,
+        })
+    }
+}
+
+impl L1Cache {
+    /// Serializes the cache's mutable state (tags, MSHRs, LFSR, flush
+    /// sweep, pending traffic, counters). The geometry comes from the
+    /// configuration and is written only for validation.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.sets.len());
+        w.usize(self.cfg.ways);
+        w.usize(self.mshrs.len());
+        for set in &self.sets {
+            for entry in set {
+                entry.save(w);
+            }
+        }
+        self.mshrs.save(w);
+        w.u32(self.lfsr);
+        self.flush_pos.save(w);
+        self.pending_downgrades.save(w);
+        self.completions.save(w);
+        self.stats.save(w);
+    }
+
+    /// Restores state saved by [`L1Cache::save_state`] into this cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError::ConfigMismatch`] when the snapshot's geometry
+    /// differs from this cache's configuration.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let (sets, ways, mshrs) = (r.usize()?, r.usize()?, r.usize()?);
+        if sets != self.sets.len() || ways != self.cfg.ways || mshrs != self.mshrs.len() {
+            return Err(SnapError::ConfigMismatch {
+                what: format!(
+                    "L1 geometry {sets}x{ways} ways / {mshrs} MSHRs vs {}x{} / {}",
+                    self.sets.len(),
+                    self.cfg.ways,
+                    self.mshrs.len()
+                ),
+            });
+        }
+        for set in &mut self.sets {
+            for entry in set.iter_mut() {
+                *entry = LineEntry::load(r)?;
+            }
+        }
+        self.mshrs = SnapState::load(r)?;
+        if self.mshrs.len() != mshrs {
+            return Err(SnapError::BadValue {
+                what: "L1 MSHR count changed mid-snapshot".into(),
+            });
+        }
+        self.lfsr = r.u32()?;
+        self.flush_pos = SnapState::load(r)?;
+        self.pending_downgrades = SnapState::load(r)?;
+        self.completions = SnapState::load(r)?;
+        self.stats = L1Stats::load(r)?;
+        Ok(())
+    }
+
+    /// Silently invalidates a line (no LLC notification) — used when a
+    /// forked restore re-homes the LLC and must keep inclusivity.
+    pub(crate) fn drop_line(&mut self, line: PhysAddr) {
+        if let Some((set, way)) = self.find(line) {
+            self.sets[set][way] = LineEntry::default();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

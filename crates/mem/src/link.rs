@@ -87,6 +87,41 @@ impl<T> DelayFifo<T> {
     }
 }
 
+// ---------------------------------------------------------------- snapshot
+
+use mi6_snapshot::{SnapError, SnapReader, SnapState, SnapWriter};
+
+/// The FIFO serializes its geometry alongside its contents so a restore
+/// can verify the link shape it is loading into.
+impl<T: SnapState> SnapState for DelayFifo<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        w.usize(self.capacity);
+        w.u64(self.latency);
+        self.items.save(w);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let capacity = r.usize()?;
+        let latency = r.u64()?;
+        let items: VecDeque<(u64, T)> = SnapState::load(r)?;
+        if capacity == 0 {
+            return Err(SnapError::BadValue {
+                what: "fifo capacity 0".into(),
+            });
+        }
+        if items.len() > capacity {
+            return Err(SnapError::BadValue {
+                what: format!("fifo holds {} items over capacity {capacity}", items.len()),
+            });
+        }
+        Ok(DelayFifo {
+            items,
+            capacity,
+            latency,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -41,6 +41,7 @@ mod arbiter;
 mod mshr;
 mod pipeline;
 mod queues;
+mod snapshot;
 #[cfg(test)]
 mod tests;
 

@@ -1,0 +1,351 @@
+//! Checkpoint serialization of the LLC and the core links.
+//!
+//! Two restore paths exist:
+//!
+//! - **verbatim** — the snapshot's [`LlcConfig`] equals the target's:
+//!   every array, queue, and in-flight MSHR is restored exactly (the
+//!   round-trip path used by resume and same-variant forks).
+//! - **re-homing** — the configs differ (a warm state forked across
+//!   variants, e.g. BASE → PART): the snapshot must be memory-quiescent
+//!   (no in-flight MSHRs, pipeline, or queue entries), and resident lines
+//!   are re-inserted under the *target's* set-index function. Lines that
+//!   overflow a set's ways are dropped and returned so the caller can
+//!   invalidate any L1 copies and keep the hierarchy inclusive.
+
+use super::{Llc, LlcLine, MshrEntry, MshrState, PipeMsg};
+use crate::config::{LlcConfig, LINE_SHIFT};
+use crate::llc::CoreLink;
+use crate::msi::{ChildId, DowngradeResp, MsiState};
+use mi6_isa::PhysAddr;
+use mi6_snapshot::{SnapError, SnapReader, SnapState, SnapWriter};
+use std::collections::VecDeque;
+
+use super::AfterDowngrade;
+use super::LlcStats;
+
+impl SnapState for LlcLine {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.tag);
+        w.bool(self.valid);
+        w.bool(self.dirty);
+        w.u32(self.sharers);
+        w.bool(self.child_m);
+        self.locked_by.save(w);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(LlcLine {
+            tag: r.u64()?,
+            valid: r.bool()?,
+            dirty: r.bool()?,
+            sharers: r.u32()?,
+            child_m: r.bool()?,
+            locked_by: SnapState::load(r)?,
+        })
+    }
+}
+
+impl SnapState for MshrState {
+    fn save(&self, w: &mut SnapWriter) {
+        match *self {
+            MshrState::WaitPipe => w.u8(0),
+            MshrState::InPipe => w.u8(1),
+            MshrState::Blocked(on) => {
+                w.u8(2);
+                w.u32(on);
+            }
+            MshrState::WaitDowngrade => w.u8(3),
+            MshrState::InDq => w.u8(4),
+            MshrState::WaitDram => w.u8(5),
+            MshrState::FillReady => w.u8(6),
+            MshrState::InUq => w.u8(7),
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => MshrState::WaitPipe,
+            1 => MshrState::InPipe,
+            2 => MshrState::Blocked(r.u32()?),
+            3 => MshrState::WaitDowngrade,
+            4 => MshrState::InDq,
+            5 => MshrState::WaitDram,
+            6 => MshrState::FillReady,
+            7 => MshrState::InUq,
+            other => {
+                return Err(SnapError::BadValue {
+                    what: format!("MSHR state tag {other}"),
+                })
+            }
+        })
+    }
+}
+
+impl SnapState for AfterDowngrade {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u8(match self {
+            AfterDowngrade::Grant => 0,
+            AfterDowngrade::Replace => 1,
+        });
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(AfterDowngrade::Grant),
+            1 => Ok(AfterDowngrade::Replace),
+            other => Err(SnapError::BadValue {
+                what: format!("AfterDowngrade tag {other}"),
+            }),
+        }
+    }
+}
+
+impl SnapState for MshrEntry {
+    fn save(&self, w: &mut SnapWriter) {
+        self.child.save(w);
+        self.line.save(w);
+        self.want.save(w);
+        self.state.save(w);
+        w.usize(self.set);
+        w.usize(self.way);
+        w.bool(self.needs_wb);
+        self.victim_line.save(w);
+        self.wait_line.save(w);
+        w.u32(self.pending_downgrades);
+        self.to_downgrade.save(w);
+        self.after.save(w);
+        w.bool(self.retry);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(MshrEntry {
+            child: ChildId::load(r)?,
+            line: PhysAddr::load(r)?,
+            want: MsiState::load(r)?,
+            state: MshrState::load(r)?,
+            set: r.usize()?,
+            way: r.usize()?,
+            needs_wb: r.bool()?,
+            victim_line: PhysAddr::load(r)?,
+            wait_line: PhysAddr::load(r)?,
+            pending_downgrades: r.u32()?,
+            to_downgrade: SnapState::load(r)?,
+            after: AfterDowngrade::load(r)?,
+            retry: r.bool()?,
+        })
+    }
+}
+
+impl SnapState for PipeMsg {
+    fn save(&self, w: &mut SnapWriter) {
+        match *self {
+            PipeMsg::Req(i) => {
+                w.u8(0);
+                w.u32(i);
+            }
+            PipeMsg::Reentry(i) => {
+                w.u8(1);
+                w.u32(i);
+            }
+            PipeMsg::DownResp(resp) => {
+                w.u8(2);
+                resp.save(w);
+            }
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => PipeMsg::Req(r.u32()?),
+            1 => PipeMsg::Reentry(r.u32()?),
+            2 => PipeMsg::DownResp(DowngradeResp::load(r)?),
+            other => {
+                return Err(SnapError::BadValue {
+                    what: format!("PipeMsg tag {other}"),
+                })
+            }
+        })
+    }
+}
+
+impl SnapState for LlcStats {
+    fn save(&self, w: &mut SnapWriter) {
+        for v in [
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.writebacks,
+            self.downgrades_sent,
+            self.arb_wait_cycles,
+            self.conflicts,
+            self.dq_retries,
+            self.dq_double_cycles,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(LlcStats {
+            hits: r.u64()?,
+            misses: r.u64()?,
+            evictions: r.u64()?,
+            writebacks: r.u64()?,
+            downgrades_sent: r.u64()?,
+            arb_wait_cycles: r.u64()?,
+            conflicts: r.u64()?,
+            dq_retries: r.u64()?,
+            dq_double_cycles: r.u64()?,
+        })
+    }
+}
+
+impl SnapState for CoreLink {
+    fn save(&self, w: &mut SnapWriter) {
+        self.up_req.save(w);
+        self.up_resp.save(w);
+        self.down.save(w);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(CoreLink {
+            up_req: SnapState::load(r)?,
+            up_resp: SnapState::load(r)?,
+            down: SnapState::load(r)?,
+        })
+    }
+}
+
+impl CoreLink {
+    /// Whether all three FIFOs are empty.
+    pub fn is_empty(&self) -> bool {
+        self.up_req.is_empty() && self.up_resp.is_empty() && self.down.is_empty()
+    }
+}
+
+impl Llc {
+    /// Serializes the LLC: its configuration (for restore-time matching),
+    /// the directory arrays, MSHRs, the cache-access pipeline, and every
+    /// queue and counter.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.cfg.save(w);
+        w.usize(self.sets.len());
+        w.usize(self.cfg.ways);
+        for set in &self.sets {
+            for line in set {
+                line.save(w);
+            }
+        }
+        self.mshrs.save(w);
+        self.pipe.save(w);
+        self.uqs.save(w);
+        self.dq.save(w);
+        w.u64(self.dq_port_busy_until);
+        w.usize(self.downgrade_scan);
+        self.stats.save(w);
+    }
+
+    /// Restores state saved by [`Llc::save_state`].
+    ///
+    /// Returns the lines that had to be *dropped* during a cross-config
+    /// re-home (empty on the verbatim path); the caller must invalidate
+    /// those lines in the L1s to preserve inclusivity.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::ConfigMismatch`] when geometry (sets × ways) differs;
+    /// [`SnapError::NotQuiescent`] when configs differ and the snapshot
+    /// still has in-flight LLC state.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<Vec<PhysAddr>, SnapError> {
+        let snap_cfg = LlcConfig::load(r)?;
+        let (sets, ways) = (r.usize()?, r.usize()?);
+        if sets != self.sets.len() || ways != self.cfg.ways {
+            return Err(SnapError::ConfigMismatch {
+                what: format!(
+                    "LLC geometry {sets} sets x {ways} ways vs {} x {}",
+                    self.sets.len(),
+                    self.cfg.ways
+                ),
+            });
+        }
+        let mut lines = vec![vec![LlcLine::default(); ways]; sets];
+        for set in &mut lines {
+            for line in set.iter_mut() {
+                *line = LlcLine::load(r)?;
+            }
+        }
+        let mshrs: Vec<Option<MshrEntry>> = SnapState::load(r)?;
+        let pipe: VecDeque<(u64, PipeMsg)> = SnapState::load(r)?;
+        let uqs: Vec<VecDeque<u32>> = SnapState::load(r)?;
+        let dq: VecDeque<u32> = SnapState::load(r)?;
+        let dq_port_busy_until = r.u64()?;
+        let downgrade_scan = r.usize()?;
+        let stats = LlcStats::load(r)?;
+
+        if snap_cfg == self.cfg {
+            if mshrs.len() != self.mshrs.len() || uqs.len() != self.uqs.len() {
+                return Err(SnapError::BadValue {
+                    what: "LLC MSHR/UQ count does not match its own configuration".into(),
+                });
+            }
+            self.sets = lines;
+            self.mshrs = mshrs;
+            self.pipe = pipe;
+            self.uqs = uqs;
+            self.dq = dq;
+            self.dq_port_busy_until = dq_port_busy_until;
+            self.downgrade_scan = downgrade_scan;
+            self.stats = stats;
+            return Ok(Vec::new());
+        }
+
+        // Cross-config fork: only a quiescent LLC can change organization.
+        let inflight = mshrs.iter().any(Option::is_some)
+            || !pipe.is_empty()
+            || !dq.is_empty()
+            || uqs.iter().any(|q| !q.is_empty());
+        if inflight {
+            return Err(SnapError::NotQuiescent {
+                what: "LLC MSHRs/pipeline/queues".into(),
+            });
+        }
+        for m in &mut self.mshrs {
+            *m = None;
+        }
+        self.pipe.clear();
+        self.dq.clear();
+        for q in &mut self.uqs {
+            q.clear();
+        }
+        self.dq_port_busy_until = dq_port_busy_until;
+        self.downgrade_scan = 0;
+        self.stats = stats;
+
+        let mut dropped = Vec::new();
+        if snap_cfg.indexing == self.cfg.indexing {
+            self.sets = lines;
+        } else {
+            // Re-home every resident line under the target index function.
+            for set in &mut self.sets {
+                set.fill(LlcLine::default());
+            }
+            for line in lines.into_iter().flatten() {
+                if !line.valid {
+                    continue;
+                }
+                let addr = PhysAddr::new(line.tag << LINE_SHIFT);
+                let set = self.set_index(addr);
+                match self.sets[set].iter_mut().find(|l| !l.valid) {
+                    Some(slot) => {
+                        *slot = LlcLine {
+                            locked_by: None,
+                            ..line
+                        }
+                    }
+                    None => dropped.push(addr),
+                }
+            }
+        }
+        Ok(dropped)
+    }
+}

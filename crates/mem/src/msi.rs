@@ -143,6 +143,108 @@ impl ParentMsg {
     }
 }
 
+// ---------------------------------------------------------------- snapshot
+
+use mi6_snapshot::{SnapError, SnapReader, SnapState, SnapWriter};
+
+impl SnapState for MsiState {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u8(match self {
+            MsiState::I => 0,
+            MsiState::S => 1,
+            MsiState::M => 2,
+        });
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(MsiState::I),
+            1 => Ok(MsiState::S),
+            2 => Ok(MsiState::M),
+            other => Err(SnapError::BadValue {
+                what: format!("MSI state {other}"),
+            }),
+        }
+    }
+}
+
+impl SnapState for ChildId {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u16(self.0);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(ChildId(r.u16()?))
+    }
+}
+
+impl SnapState for UpgradeReq {
+    fn save(&self, w: &mut SnapWriter) {
+        self.child.save(w);
+        self.line.save(w);
+        self.want.save(w);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(UpgradeReq {
+            child: ChildId::load(r)?,
+            line: PhysAddr::load(r)?,
+            want: MsiState::load(r)?,
+        })
+    }
+}
+
+impl SnapState for DowngradeResp {
+    fn save(&self, w: &mut SnapWriter) {
+        self.child.save(w);
+        self.line.save(w);
+        self.now.save(w);
+        w.bool(self.dirty);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(DowngradeResp {
+            child: ChildId::load(r)?,
+            line: PhysAddr::load(r)?,
+            now: MsiState::load(r)?,
+            dirty: r.bool()?,
+        })
+    }
+}
+
+impl SnapState for ParentMsg {
+    fn save(&self, w: &mut SnapWriter) {
+        match *self {
+            ParentMsg::UpgradeResp { line, granted } => {
+                w.u8(0);
+                line.save(w);
+                granted.save(w);
+            }
+            ParentMsg::DowngradeReq { line, to } => {
+                w.u8(1);
+                line.save(w);
+                to.save(w);
+            }
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(ParentMsg::UpgradeResp {
+                line: PhysAddr::load(r)?,
+                granted: MsiState::load(r)?,
+            }),
+            1 => Ok(ParentMsg::DowngradeReq {
+                line: PhysAddr::load(r)?,
+                to: MsiState::load(r)?,
+            }),
+            other => Err(SnapError::BadValue {
+                what: format!("ParentMsg tag {other}"),
+            }),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -167,6 +167,48 @@ impl PhysMem {
     }
 }
 
+// ---------------------------------------------------------------- snapshot
+
+use mi6_snapshot::{SnapError, SnapReader, SnapState, SnapWriter};
+
+/// Pages are written in ascending page-index order so identical memory
+/// contents always produce identical snapshot bytes (the backing map is
+/// hash-ordered).
+impl SnapState for PhysMem {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.size);
+        let mut indices: Vec<u64> = self.pages.keys().copied().collect();
+        indices.sort_unstable();
+        w.usize(indices.len());
+        for idx in indices {
+            w.u64(idx);
+            w.bytes(&self.pages[&idx][..]);
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let size = r.u64()?;
+        if !size.is_multiple_of(PAGE_SIZE) {
+            return Err(SnapError::BadValue {
+                what: format!("memory size {size} not page aligned"),
+            });
+        }
+        let n = r.len()?;
+        let mut pages = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let idx = r.u64()?;
+            if idx >= size / PAGE_SIZE {
+                return Err(SnapError::BadValue {
+                    what: format!("page index {idx} outside memory"),
+                });
+            }
+            let data: [u8; PAGE_BYTES] = r.bytes(PAGE_BYTES)?.try_into().expect("fixed-size page");
+            pages.insert(idx, Box::new(data));
+        }
+        Ok(PhysMem { size, pages })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -207,6 +207,103 @@ impl MemSystem {
     }
 }
 
+// ---------------------------------------------------------------- snapshot
+
+use mi6_snapshot::{SnapError, SnapReader, SnapState, SnapWriter};
+
+impl MemSystem {
+    /// Whether the whole hierarchy is idle: no L1 misses in flight, no LLC
+    /// MSHR/pipeline/queue entries, no DRAM requests, empty links, and no
+    /// undelivered completions. A snapshot taken here can be forked across
+    /// LLC organizations.
+    pub fn quiescent(&self) -> bool {
+        (0..self.cores()).all(|c| self.core_quiescent(c))
+            && self.llc.quiescent()
+            && self.dram.inflight() == 0
+            && self.links.iter().all(CoreLink::is_empty)
+            && self
+                .completions
+                .iter()
+                .all(|ports| ports.iter().all(Vec::is_empty))
+    }
+
+    /// Serializes the hierarchy's mutable state: physical memory, both L1s
+    /// per core, the links, the LLC, DRAM, and undelivered completions.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.cores());
+        self.phys.save(w);
+        for l1 in self.l1is.iter().chain(&self.l1ds) {
+            l1.save_state(w);
+        }
+        self.links.save(w);
+        self.llc.save_state(w);
+        self.dram.save(w);
+        for ports in &self.completions {
+            ports[0].save(w);
+            ports[1].save(w);
+        }
+    }
+
+    /// Restores state saved by [`MemSystem::save_state`] into this
+    /// hierarchy. On a cross-configuration fork the LLC re-homes its
+    /// lines; any dropped lines are invalidated in the L1s here so the
+    /// hierarchy stays inclusive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError::ConfigMismatch`] on geometry mismatches and
+    /// [`SnapError::NotQuiescent`] when a cross-configuration snapshot
+    /// still has in-flight traffic.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let cores = r.usize()?;
+        if cores != self.cores() {
+            return Err(SnapError::ConfigMismatch {
+                what: format!("{cores} cores vs {}", self.cores()),
+            });
+        }
+        let phys = PhysMem::load(r)?;
+        if phys.size() != self.phys.size() {
+            return Err(SnapError::ConfigMismatch {
+                what: format!(
+                    "physical memory {} bytes vs {}",
+                    phys.size(),
+                    self.phys.size()
+                ),
+            });
+        }
+        self.phys = phys;
+        for i in 0..cores {
+            self.l1is[i].restore_state(r)?;
+        }
+        for i in 0..cores {
+            self.l1ds[i].restore_state(r)?;
+        }
+        let links: Vec<CoreLink> = SnapState::load(r)?;
+        if links.len() != cores {
+            return Err(SnapError::BadValue {
+                what: "link count does not match core count".into(),
+            });
+        }
+        self.links = links;
+        let dropped = self.llc.restore_state(r)?;
+        let dram = Dram::load(r)?;
+        self.dram = dram;
+        for i in 0..cores {
+            self.completions[i][0] = SnapState::load(r)?;
+            self.completions[i][1] = SnapState::load(r)?;
+        }
+        // Inclusivity after a re-home: lines the LLC could not keep must
+        // leave the L1s too (silently — the directory entry is gone).
+        for line in dropped {
+            for i in 0..cores {
+                self.l1is[i].drop_line(line);
+                self.l1ds[i].drop_line(line);
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

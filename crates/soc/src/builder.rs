@@ -26,6 +26,45 @@ use crate::machine::{Machine, MachineConfig};
 use crate::variant::Variant;
 use mi6_core::{CoreConfig, SecurityConfig};
 use mi6_mem::MemConfig;
+use mi6_snapshot::SnapError;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Error from [`SimBuilder::build`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// A placed workload did not fit its core's physical window.
+    Load(LoadError),
+    /// `restore_from` could not read the checkpoint file.
+    Io(String),
+    /// The checkpoint failed to decode or does not match the configured
+    /// machine.
+    Restore(SnapError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Load(e) => write!(f, "loading workload: {e}"),
+            BuildError::Io(e) => write!(f, "reading checkpoint: {e}"),
+            BuildError::Restore(e) => write!(f, "restoring checkpoint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<LoadError> for BuildError {
+    fn from(e: LoadError) -> BuildError {
+        BuildError::Load(e)
+    }
+}
+
+impl From<SnapError> for BuildError {
+    fn from(e: SnapError) -> BuildError {
+        BuildError::Restore(e)
+    }
+}
 
 /// Default cycles between supervisor timer interrupts (calibrated so
 /// FLUSH's stall fraction lands near the paper's 0.4 % average, Figure 6).
@@ -46,6 +85,9 @@ pub struct SimBuilder {
     sec_cfg: Option<SecurityConfig>,
     mem_cfg: Option<MemConfig>,
     programs: Vec<(usize, Program)>,
+    ckpt_every: u64,
+    ckpt_dir: Option<PathBuf>,
+    restore_path: Option<PathBuf>,
 }
 
 impl SimBuilder {
@@ -60,6 +102,9 @@ impl SimBuilder {
             sec_cfg: None,
             mem_cfg: None,
             programs: Vec::new(),
+            ckpt_every: 0,
+            ckpt_dir: None,
+            restore_path: None,
         }
     }
 
@@ -138,13 +183,42 @@ impl SimBuilder {
         self
     }
 
-    /// Assembles the machine and loads every placed workload.
+    /// Writes an automatic checkpoint every `cycles` cycles while the
+    /// machine runs (0 disables; the default). Checkpoints land in the
+    /// [`SimBuilder::checkpoint_dir`] as `ckpt-<cycle>.mi6snap`, so a
+    /// preempted run can resume from the newest one via
+    /// [`SimBuilder::restore_from`].
+    pub fn checkpoint_every(mut self, cycles: u64) -> SimBuilder {
+        self.ckpt_every = cycles;
+        self
+    }
+
+    /// Sets the directory automatic checkpoints are written to
+    /// (default: the current directory).
+    pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> SimBuilder {
+        self.ckpt_dir = Some(dir.into());
+        self
+    }
+
+    /// Restores the machine from a checkpoint file right after `build()`
+    /// assembles it. The checkpoint must match the configured machine
+    /// exactly (same variant and knobs); it overwrites any placed
+    /// workloads with the snapshot's memory and images.
+    pub fn restore_from(mut self, path: impl Into<PathBuf>) -> SimBuilder {
+        self.restore_path = Some(path.into());
+        self
+    }
+
+    /// Assembles the machine, loads every placed workload, and applies
+    /// [`SimBuilder::restore_from`] when set.
     ///
     /// # Errors
     ///
-    /// Returns [`LoadError`] if a placed program exceeds its core's
-    /// physical window or page-table space.
-    pub fn build(self) -> Result<Machine, LoadError> {
+    /// Returns [`BuildError::Load`] if a placed program exceeds its
+    /// core's physical window or page-table space, and
+    /// [`BuildError::Io`]/[`BuildError::Restore`] when a requested
+    /// checkpoint restore fails.
+    pub fn build(self) -> Result<Machine, BuildError> {
         let cfg = MachineConfig {
             variant: self.variant,
             cores: self.cores,
@@ -161,6 +235,12 @@ impl SimBuilder {
         for (core, program) in &self.programs {
             machine.load_user_program(*core, program)?;
         }
+        if let Some(path) = &self.restore_path {
+            let bytes = std::fs::read(path)
+                .map_err(|e| BuildError::Io(format!("{}: {e}", path.display())))?;
+            machine.restore(&bytes)?;
+        }
+        machine.set_checkpointing(self.ckpt_every, self.ckpt_dir);
         Ok(machine)
     }
 }
@@ -215,6 +295,45 @@ mod tests {
             .unwrap();
         assert_eq!(m.config().timer_interval, 0);
         let _ = m;
+    }
+
+    #[test]
+    fn checkpoint_knobs_round_trip_through_files() {
+        let dir = std::env::temp_dir().join(format!("mi6-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // A machine that auto-checkpoints every 2k cycles.
+        let mut m = SimBuilder::base()
+            .without_timer()
+            .checkpoint_every(2_000)
+            .checkpoint_dir(&dir)
+            .build()
+            .unwrap();
+        m.run_cycles(6_500);
+        let mut ckpts: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        ckpts.sort();
+        assert_eq!(ckpts.len(), 3, "checkpoints at 2k, 4k, 6k");
+        // Resume from the newest checkpoint and converge with the original.
+        let mut resumed = SimBuilder::base()
+            .without_timer()
+            .restore_from(ckpts.last().unwrap())
+            .build()
+            .unwrap();
+        assert_eq!(resumed.now(), 6_000);
+        resumed.run_cycles(500);
+        assert_eq!(resumed.now(), m.now());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restore_from_missing_file_is_io_error() {
+        let err = SimBuilder::base()
+            .restore_from("/nonexistent/mi6.snap")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::Io(_)), "{err}");
     }
 
     #[test]

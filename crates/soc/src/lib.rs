@@ -44,7 +44,7 @@ pub mod loader;
 pub mod machine;
 pub mod variant;
 
-pub use builder::{SimBuilder, DEFAULT_TIMER_INTERVAL};
+pub use builder::{BuildError, SimBuilder, DEFAULT_TIMER_INTERVAL};
 pub use loader::{LoadError, Program, UserImage};
 pub use machine::{Machine, MachineConfig, MachineStats, RunError};
 pub use variant::Variant;

@@ -115,8 +115,16 @@ impl MachineStats {
 }
 
 /// Per-core spacing of the physical windows handed to user programs.
+///
+/// The stride is 17 DRAM regions (17 × 32 MiB), *not* a power of two:
+/// PART's set partitioning keys on the low `region_bits` of the region
+/// ID, so a 16-region stride would land every core's window in the same
+/// LLC partition and multi-core runs would get no cross-core set
+/// isolation at all. A 17-region stride walks core `c` to region `17c`,
+/// spreading cores across partitions exactly as the monitor's region
+/// allocator would.
 const USER_PHYS_BASE: u64 = 0x0100_0000; // 16 MiB
-const USER_PHYS_STRIDE: u64 = 0x2000_0000; // 512 MiB per core
+const USER_PHYS_STRIDE: u64 = 17 * 0x0200_0000; // 544 MiB per core
 const TABLE_BASE: u64 = 0x0020_0000; // 2 MiB
 const TABLE_STRIDE: u64 = 0x0010_0000; // 1 MiB of tables per core
 
@@ -128,6 +136,10 @@ pub struct Machine {
     mem: MemSystem,
     now: u64,
     loaded: Vec<Option<UserImage>>,
+    /// Cycles between automatic checkpoints (0 = off; builder knob).
+    ckpt_every: u64,
+    /// Directory automatic checkpoints are written to (default `.`).
+    ckpt_dir: Option<std::path::PathBuf>,
 }
 
 impl Machine {
@@ -160,6 +172,8 @@ impl Machine {
             mem,
             now: 0,
             loaded: vec![None; cfg.cores],
+            ckpt_every: 0,
+            ckpt_dir: None,
         }
     }
 
@@ -241,8 +255,26 @@ impl Machine {
             self.now + interval
         };
         // MI6 hardware state: region bitvector and monitor fetch window.
+        Machine::install_security_csrs(core, &self.mem, phys_base, &image);
+        core.regs = [0; 32];
+        core.regs[mi6_isa::Reg::SP.index() as usize] = image.sp;
+        core.halted = false;
+        core.reset_to(image.entry, PrivLevel::User);
+        self.loaded[i] = Some(image);
+        Ok(())
+    }
+
+    /// Programs the MI6 security CSRs of one core for a loaded image:
+    /// the DRAM-region bitvector covering the kernel (region 0) plus the
+    /// image's physical range, and the monitor fetch window. No-ops for
+    /// toggles the core's security configuration leaves off. Called at
+    /// program load and again after a cross-variant restore (the
+    /// snapshot's CSRs reflect the *source* variant's toggles — e.g. a
+    /// BASE warm-up leaves `mregions` fully permissive, which would
+    /// silently disable a forked MI6 machine's region checks).
+    fn install_security_csrs(core: &mut Core, mem: &MemSystem, phys_base: u64, image: &UserImage) {
         if core.security().region_checks {
-            let map = self.mem.region_map();
+            let map = mem.region_map();
             let mut bv = RegionBitvec::none();
             // Kernel + tables live below USER_PHYS_BASE: region 0.
             bv.allow(RegionId(0));
@@ -258,12 +290,6 @@ impl Machine {
             core.csrs.mfetchbase = M_STUB_BASE;
             core.csrs.mfetchbound = KERNEL_BASE; // the stub only
         }
-        core.regs = [0; 32];
-        core.regs[mi6_isa::Reg::SP.index() as usize] = image.sp;
-        core.halted = false;
-        core.reset_to(image.entry, PrivLevel::User);
-        self.loaded[i] = Some(image);
-        Ok(())
     }
 
     /// The image loaded on core `i`, if any.
@@ -278,6 +304,9 @@ impl Machine {
         }
         self.mem.tick(self.now);
         self.now += 1;
+        if self.ckpt_every != 0 && self.now.is_multiple_of(self.ckpt_every) {
+            self.write_auto_checkpoint();
+        }
     }
 
     /// Runs for `cycles` cycles (or until every core halts).
@@ -354,6 +383,276 @@ impl Machine {
     pub fn csrs_mut(&mut self, i: usize) -> &mut mi6_isa::csr::CsrFile {
         let _ = csr::MSTATUS; // keep the import local and explicit
         &mut self.cores[i].csrs
+    }
+}
+
+// ---------------------------------------------------------------- snapshot
+
+use mi6_snapshot::{fnv1a64, SnapError, SnapReader, SnapState, SnapWriter, FORMAT_VERSION, MAGIC};
+
+impl Machine {
+    /// Configures automatic checkpointing: every `cycles` cycles a
+    /// snapshot is written to the checkpoint directory (0 disables).
+    pub(crate) fn set_checkpointing(&mut self, every: u64, dir: Option<std::path::PathBuf>) {
+        self.ckpt_every = every;
+        self.ckpt_dir = dir;
+    }
+
+    /// The strict configuration fingerprint: variant, core count, timer,
+    /// and every core/security/memory knob. A snapshot restores verbatim
+    /// only into a machine with the same strict fingerprint.
+    pub fn strict_fingerprint(&self) -> u64 {
+        let mut w = SnapWriter::new();
+        w.u8(self.cfg.variant.index());
+        w.u64(self.cfg.cores as u64);
+        w.u64(self.cfg.timer_interval);
+        self.cores[0].config().save(&mut w);
+        self.cores[0].security().save(&mut w);
+        self.mem.config().save(&mut w);
+        fnv1a64(&w.finish())
+    }
+
+    /// The structural fingerprint: everything that determines the *shape*
+    /// of the machine's state arrays (core structure, cache geometry,
+    /// DRAM, core count, timer) but not the security toggles or LLC
+    /// organization. Two variants with equal structural fingerprints can
+    /// exchange memory-quiescent snapshots ([`Machine::restore_forked`]).
+    pub fn structural_fingerprint(&self) -> u64 {
+        let mut w = SnapWriter::new();
+        w.u64(self.cfg.cores as u64);
+        w.u64(self.cfg.timer_interval);
+        self.cores[0].config().save(&mut w);
+        let mem = self.mem.config();
+        mem.l1i.save(&mut w);
+        mem.l1d.save(&mut w);
+        w.u64(mem.llc.size_bytes);
+        w.u64(mem.llc.ways as u64);
+        mem.dram.save(&mut w);
+        fnv1a64(&w.finish())
+    }
+
+    /// Whether neither the cores nor the hierarchy have memory traffic in
+    /// flight. Snapshots taken here can be forked across variants.
+    pub fn mem_quiescent(&self) -> bool {
+        self.cores.iter().all(Core::mem_quiescent) && self.mem.quiescent()
+    }
+
+    /// Ticks until [`Machine::mem_quiescent`] holds (at most `max_cycles`
+    /// extra cycles), returning how many cycles were consumed. The
+    /// warm-fork runner calls this before snapshotting so the state can be
+    /// restored into differently organized LLCs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError::NotQuiescent`] if the machine never settles
+    /// within the budget (pathological — quiescent windows occur whenever
+    /// the caches absorb the working set for a few dozen cycles).
+    pub fn run_until_mem_quiescent(&mut self, max_cycles: u64) -> Result<u64, SnapError> {
+        for waited in 0..=max_cycles {
+            if self.mem_quiescent() {
+                return Ok(waited);
+            }
+            self.tick();
+        }
+        Err(SnapError::NotQuiescent {
+            what: format!("memory traffic after {max_cycles} extra cycles"),
+        })
+    }
+
+    /// Reaches memory quiescence by *draining*: every cycle, cores whose
+    /// front end is idle are held back from starting new fetches while
+    /// in-flight work (fetches, loads, walks, the store buffer, the
+    /// hierarchy) completes. Unlike [`Machine::run_until_mem_quiescent`]
+    /// this converges even for streaming workloads that always keep a
+    /// miss in flight, at the cost of perturbing timing by the drain
+    /// stall — acceptable for warm-forking, where every variant continues
+    /// from the same drained state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError::NotQuiescent`] if the machine still has
+    /// memory traffic after `max_cycles` (pathological).
+    pub fn drain_to_quiescence(&mut self, max_cycles: u64) -> Result<u64, SnapError> {
+        for waited in 0..=max_cycles {
+            if self.mem_quiescent() {
+                return Ok(waited);
+            }
+            for core in &mut self.cores {
+                core.drain_stall_fetch(self.now);
+            }
+            self.tick();
+        }
+        Err(SnapError::NotQuiescent {
+            what: format!("memory traffic after draining for {max_cycles} cycles"),
+        })
+    }
+
+    /// Serializes the complete machine state: a versioned header with both
+    /// configuration fingerprints, then every core, the memory hierarchy,
+    /// and the loaded user images. Identical states produce identical
+    /// bytes.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.tag(&MAGIC);
+        w.u32(FORMAT_VERSION);
+        w.u64(self.strict_fingerprint());
+        w.u64(self.structural_fingerprint());
+        w.u8(self.cfg.variant.index());
+        w.u64(self.cfg.cores as u64);
+        w.u64(self.now);
+        w.bool(self.mem_quiescent());
+        for core in &self.cores {
+            w.tag(b"CORE");
+            core.save_state(&mut w);
+        }
+        w.tag(b"MEMS");
+        self.mem.save_state(&mut w);
+        w.tag(b"IMGS");
+        self.loaded.save(&mut w);
+        w.finish()
+    }
+
+    /// Writes [`Machine::snapshot`] to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError::Io`] when the file cannot be written.
+    pub fn snapshot_to(&self, path: impl AsRef<std::path::Path>) -> Result<(), SnapError> {
+        std::fs::write(path, self.snapshot())?;
+        Ok(())
+    }
+
+    /// Restores a snapshot into this machine. The snapshot must come from
+    /// a machine with the same strict configuration fingerprint (same
+    /// variant, knobs, and geometry); the restored machine then continues
+    /// bit-identically to the one that was snapshotted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] on corrupt input, a format-version mismatch,
+    /// or a configuration mismatch.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        self.restore_inner(bytes, true)
+    }
+
+    /// Restores a snapshot taken on a *different* variant with the same
+    /// structural fingerprint (the warm-fork path). Unless the strict
+    /// fingerprints happen to match, the snapshot must be
+    /// memory-quiescent; the LLC re-homes its lines if the indexing
+    /// function changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError::ConfigMismatch`] when machine shapes differ
+    /// and [`SnapError::NotQuiescent`] for a non-quiescent cross-variant
+    /// snapshot.
+    pub fn restore_forked(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        self.restore_inner(bytes, false)
+    }
+
+    fn restore_inner(&mut self, bytes: &[u8], strict: bool) -> Result<(), SnapError> {
+        let mut r = SnapReader::new(bytes);
+        if r.bytes(4)? != MAGIC {
+            return Err(SnapError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(SnapError::BadVersion {
+                found: version,
+                expected: FORMAT_VERSION,
+            });
+        }
+        let strict_fp = r.u64()?;
+        let struct_fp = r.u64()?;
+        let variant_idx = r.u8()?;
+        let snap_variant = Variant::from_index(variant_idx);
+        let cores = r.u64()?;
+        let now = r.u64()?;
+        let quiescent = r.bool()?;
+        let variant_names = || {
+            format!(
+                "snapshot from {} machine, restoring into {}",
+                snap_variant.map(|v| v.name()).unwrap_or("unknown"),
+                self.cfg.variant.name()
+            )
+        };
+        let exact = strict_fp == self.strict_fingerprint();
+        if strict && !exact {
+            return Err(SnapError::ConfigMismatch {
+                what: format!(
+                    "{} (strict fingerprint {strict_fp:#018x} vs {:#018x}; use \
+                     restore_forked to fork a warmed state across variants)",
+                    variant_names(),
+                    self.strict_fingerprint()
+                ),
+            });
+        }
+        if !exact {
+            if struct_fp != self.structural_fingerprint() {
+                return Err(SnapError::ConfigMismatch {
+                    what: format!(
+                        "{} (structural fingerprint {struct_fp:#018x} vs {:#018x})",
+                        variant_names(),
+                        self.structural_fingerprint()
+                    ),
+                });
+            }
+            if !quiescent {
+                return Err(SnapError::NotQuiescent {
+                    what: "memory traffic in the snapshot".into(),
+                });
+            }
+        }
+        if cores != self.cfg.cores as u64 {
+            return Err(SnapError::ConfigMismatch {
+                what: format!("{cores} cores vs {}", self.cfg.cores),
+            });
+        }
+        for core in &mut self.cores {
+            r.expect_tag(b"CORE")?;
+            core.restore_state(&mut r)?;
+        }
+        r.expect_tag(b"MEMS")?;
+        self.mem.restore_state(&mut r)?;
+        r.expect_tag(b"IMGS")?;
+        let loaded: Vec<Option<UserImage>> = SnapState::load(&mut r)?;
+        if loaded.len() != self.cfg.cores {
+            return Err(SnapError::BadValue {
+                what: "loaded-image count does not match core count".into(),
+            });
+        }
+        self.loaded = loaded;
+        r.expect_end()?;
+        self.now = now;
+        // A cross-variant fork carries the *source* variant's security
+        // CSRs; reprogram them for this machine's toggles (a BASE-warmed
+        // `mregions` of all-ones must not neuter a forked MI6 machine).
+        if !exact {
+            for i in 0..self.cfg.cores {
+                if let Some(image) = self.loaded[i] {
+                    let (phys_base, _) = Machine::user_phys_window(i);
+                    Machine::install_security_csrs(
+                        &mut self.cores[i],
+                        &self.mem,
+                        phys_base,
+                        &image,
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn write_auto_checkpoint(&self) {
+        let dir = self
+            .ckpt_dir
+            .clone()
+            .unwrap_or_else(|| std::path::PathBuf::from("."));
+        std::fs::create_dir_all(&dir)
+            .unwrap_or_else(|e| panic!("cannot create checkpoint dir {}: {e}", dir.display()));
+        let path = dir.join(format!("ckpt-{:012}.mi6snap", self.now));
+        self.snapshot_to(&path)
+            .unwrap_or_else(|e| panic!("cannot write checkpoint {}: {e}", path.display()));
     }
 }
 
@@ -465,6 +764,98 @@ mod tests {
         let (b0, l0) = Machine::user_phys_window(0);
         let (b1, _) = Machine::user_phys_window(1);
         assert!(l0 <= b1 && b0 < b1);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_continues_bit_identically() {
+        // Run half the program, snapshot, restore into a fresh machine,
+        // and check both finish with identical stats.
+        let mut a = crate::SimBuilder::base()
+            .timer_interval(5_000)
+            .build()
+            .unwrap();
+        a.load_user_program(0, &hello_program(5)).unwrap();
+        a.run_cycles(4_000);
+        assert!(!a.all_halted(), "snapshot point must be mid-run");
+        let snap = a.snapshot();
+        let mut b = crate::SimBuilder::base()
+            .timer_interval(5_000)
+            .build()
+            .unwrap();
+        b.restore(&snap).unwrap();
+        assert_eq!(b.now(), a.now());
+        let sa = a.run_to_completion(10_000_000).unwrap();
+        let sb = b.run_to_completion(10_000_000).unwrap();
+        assert_eq!(format!("{sa:?}"), format!("{sb:?}"));
+        assert_eq!(b.exit_value(0), 42);
+        // Identical states must serialize to identical bytes.
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn snapshot_refuses_mismatched_machine() {
+        let mut a = crate::SimBuilder::base().without_timer().build().unwrap();
+        a.load_user_program(0, &hello_program(1)).unwrap();
+        a.run_cycles(500);
+        let snap = a.snapshot();
+        // Different variant: strict restore refuses.
+        let mut b = crate::SimBuilder::new(Variant::SecureMi6)
+            .without_timer()
+            .build()
+            .unwrap();
+        let err = b.restore(&snap).unwrap_err();
+        assert!(
+            matches!(err, mi6_snapshot::SnapError::ConfigMismatch { .. }),
+            "{err}"
+        );
+        // Different core count: even a forked restore refuses.
+        let mut c = crate::SimBuilder::base()
+            .cores(2)
+            .without_timer()
+            .build()
+            .unwrap();
+        assert!(c.restore_forked(&snap).is_err());
+        // Corrupt version: clear error.
+        let mut bad = snap.clone();
+        bad[4] = 0xff;
+        let mut d = crate::SimBuilder::base().without_timer().build().unwrap();
+        assert!(matches!(
+            d.restore(&bad),
+            Err(mi6_snapshot::SnapError::BadVersion { .. })
+        ));
+        assert!(matches!(
+            d.restore(b"nonsense"),
+            Err(mi6_snapshot::SnapError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn quiescent_snapshot_forks_across_variants() {
+        let mut warm = crate::SimBuilder::base().without_timer().build().unwrap();
+        warm.load_user_program(0, &hello_program(50)).unwrap();
+        warm.run_cycles(2_000);
+        warm.run_until_mem_quiescent(100_000).unwrap();
+        assert!(warm.mem_quiescent());
+        let snap = warm.snapshot();
+        // Fork the warmed state into the full-MI6 machine (different LLC
+        // organization and security toggles, same geometry).
+        let mut fork = crate::SimBuilder::new(Variant::SecureMi6)
+            .without_timer()
+            .build()
+            .unwrap();
+        fork.restore_forked(&snap).unwrap();
+        assert_eq!(fork.now(), warm.now());
+        // The BASE warm-up left `mregions` fully permissive; the forked
+        // MI6 machine must get its region protection reprogrammed, not
+        // inherit a neutered bitvec.
+        let bv = RegionBitvec(fork.core(0).csrs.mregions);
+        assert!(bv.allows(RegionId(0)), "kernel region allowed");
+        assert!(bv.count() < 64, "region checks restored on fork");
+        let stats = fork.run_to_completion(20_000_000).unwrap();
+        assert!(fork.all_halted());
+        assert_eq!(fork.exit_value(0), 42);
+        assert_eq!(stats.core[0].region_faults, 0, "no spurious faults");
+        assert!(stats.core[0].committed_instructions > 0);
     }
 
     #[test]

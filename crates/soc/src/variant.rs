@@ -109,6 +109,20 @@ impl Variant {
         CoreConfig::paper()
     }
 
+    /// Position of this variant in [`Variant::ALL`] (the stable id used
+    /// by the snapshot header).
+    pub fn index(self) -> u8 {
+        Variant::ALL
+            .iter()
+            .position(|v| *v == self)
+            .expect("every variant is in ALL") as u8
+    }
+
+    /// The variant at `index` in [`Variant::ALL`], if in range.
+    pub fn from_index(index: u8) -> Option<Variant> {
+        Variant::ALL.get(index as usize).copied()
+    }
+
     /// The paper's name for this variant.
     pub fn name(self) -> &'static str {
         match self {

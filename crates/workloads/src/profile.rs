@@ -42,6 +42,14 @@ impl WorkloadParams {
         self.target_kinsts = target_kinsts;
         self
     }
+
+    /// Custom data-layout seed (distinct seeds give statistically
+    /// independent runs of the same benchmark — the `--seeds` knob of
+    /// `mi6-experiments`).
+    pub fn with_seed(mut self, seed: u64) -> WorkloadParams {
+        self.seed = seed;
+        self
+    }
 }
 
 impl Default for WorkloadParams {

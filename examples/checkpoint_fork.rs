@@ -1,0 +1,90 @@
+//! Checkpoint/fork demo: warm one machine up, then fork the warmed state
+//! across two variants and diff what each one does with it.
+//!
+//! ```text
+//! cargo run --release --example checkpoint_fork
+//! ```
+//!
+//! The flow is the warm-fork methodology `mi6-experiments --fork-base`
+//! uses at grid scale:
+//!
+//! 1. run gcc's warm-up phase once, on the insecure BASE machine;
+//! 2. drain to a memory-quiescent point and snapshot (`Machine::snapshot`);
+//! 3. restore the *same* bytes into a BASE machine (exact resume — bit-
+//!    identical to never having stopped) and into the full-MI6 machine
+//!    (`Machine::restore_forked` — the LLC re-homes its lines under the
+//!    partitioned index function);
+//! 4. run both forks to completion and compare.
+
+use mi6::soc::{SimBuilder, Variant};
+use mi6::workloads::{Workload, WorkloadParams};
+
+const WARMUP_CYCLES: u64 = 100_000;
+const TIMER: u64 = 50_000;
+
+fn main() {
+    let params = WorkloadParams::evaluation().with_target_kinsts(200);
+
+    // 1. Warm up once, on BASE.
+    let mut warm = SimBuilder::new(Variant::Base)
+        .timer_interval(TIMER)
+        .workload(0, Workload::Gcc.build(&params))
+        .build()
+        .expect("build warm machine");
+    warm.run_cycles(WARMUP_CYCLES);
+    assert!(!warm.all_halted(), "warm-up consumed the whole workload");
+
+    // 2. Reach a memory-quiescent point and snapshot.
+    let drained = warm
+        .drain_to_quiescence(1_000_000)
+        .expect("machine quiesces");
+    let snapshot = warm.snapshot();
+    println!(
+        "warmed {} cycles on BASE (+{drained} drain), snapshot: {} KiB",
+        warm.now(),
+        snapshot.len() / 1024
+    );
+
+    // 3. Fork the warmed state into both variants.
+    let mut results = Vec::new();
+    for variant in [Variant::Base, Variant::SecureMi6] {
+        let mut fork = SimBuilder::new(variant)
+            .timer_interval(TIMER)
+            .build()
+            .expect("build fork");
+        fork.restore_forked(&snapshot).expect("restore warm state");
+        let stats = fork
+            .run_to_completion(2_000_000_000)
+            .expect("fork completes");
+        println!(
+            "  forked into {variant:<10} finished at cycle {:>9}  \
+             (IPC {:.3}, LLC MPKI {:.1})",
+            stats.cycles,
+            stats.core[0].ipc(),
+            stats.llc_mpki(),
+        );
+        results.push((variant, stats));
+    }
+
+    // 4. Diff the forks: identical warmed past, divergent futures.
+    let (base, mi6) = (&results[0].1, &results[1].1);
+    // Both forks run the same user program; totals differ only by the
+    // timer-trap handler work their different runtimes accumulate.
+    let (a, b) = (
+        base.core[0].committed_instructions,
+        mi6.core[0].committed_instructions,
+    );
+    assert!(
+        a.abs_diff(b) * 100 < a,
+        "forks ran different programs: {a} vs {b} instructions"
+    );
+    let overhead = mi6.cycles as f64 / base.cycles as f64 - 1.0;
+    println!(
+        "same warmed prefix, one warm-up simulated once: MI6 costs {:.1}% over BASE \
+         ({} vs {} cycles, +{} LLC misses)",
+        overhead * 100.0,
+        mi6.cycles,
+        base.cycles,
+        mi6.llc.misses.saturating_sub(base.llc.misses),
+    );
+}

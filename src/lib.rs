@@ -39,5 +39,6 @@ pub use mi6_core as core;
 pub use mi6_isa as isa;
 pub use mi6_mem as mem;
 pub use mi6_monitor as monitor;
+pub use mi6_snapshot as snapshot;
 pub use mi6_soc as soc;
 pub use mi6_workloads as workloads;

@@ -62,6 +62,81 @@ fn fpma_matches_golden() {
 const GOLDEN_BASE: [u64; 8] = [69857, 35161, 587, 681, 3, 2052, 73, 2052];
 const GOLDEN_FPMA: [u64; 8] = [79544, 35161, 743, 804, 3, 2054, 147, 2056];
 
+/// The snapshot round-trip property: interrupting the reference run at an
+/// arbitrary mid-pipeline cycle, serializing the whole machine, restoring
+/// into a freshly built one, and continuing must reproduce the exact
+/// golden fingerprint of the uninterrupted run — for both BASE and the
+/// F+P+M+A enclave configuration.
+#[test]
+fn snapshot_roundtrip_reproduces_golden_fingerprints() {
+    for (variant, golden) in [(Variant::Base, GOLDEN_BASE), (Variant::Fpma, GOLDEN_FPMA)] {
+        let mut warm = SimBuilder::new(variant)
+            .timer_interval(50_000)
+            .workload(
+                0,
+                Workload::Gcc.build(&WorkloadParams::tiny().with_target_kinsts(40)),
+            )
+            .build()
+            .unwrap();
+        // Deep mid-run: past several timer traps, with the pipeline and
+        // memory hierarchy full of in-flight state.
+        warm.run_cycles(55_000);
+        assert!(
+            !warm.all_halted(),
+            "{variant}: snapshot point must be mid-run"
+        );
+        let snap = warm.snapshot();
+        // Restore into a *fresh* machine built from the same configuration
+        // (no workload placed — the snapshot carries memory and images).
+        let mut resumed = SimBuilder::new(variant)
+            .timer_interval(50_000)
+            .build()
+            .unwrap();
+        resumed.restore(&snap).unwrap();
+        let stats = resumed.run_to_completion(300_000_000).unwrap();
+        assert_eq!(
+            fingerprint(&stats),
+            golden,
+            "{variant}: snapshot+restore diverged from the uninterrupted run\nfull stats: {stats:?}"
+        );
+    }
+}
+
+/// A snapshot must refuse to load into a machine whose configuration or
+/// snapshot-format version does not match, with a clear error.
+#[test]
+fn snapshot_refuses_mismatched_config_and_version() {
+    let mut m = SimBuilder::new(Variant::Base)
+        .timer_interval(50_000)
+        .workload(
+            0,
+            Workload::Gcc.build(&WorkloadParams::tiny().with_target_kinsts(40)),
+        )
+        .build()
+        .unwrap();
+    m.run_cycles(10_000);
+    let snap = m.snapshot();
+    // Wrong variant.
+    let mut other = SimBuilder::new(Variant::Fpma)
+        .timer_interval(50_000)
+        .build()
+        .unwrap();
+    let err = other.restore(&snap).unwrap_err().to_string();
+    assert!(err.contains("does not match"), "unhelpful error: {err}");
+    // Wrong timer interval (same variant).
+    let mut other = SimBuilder::new(Variant::Base).build().unwrap();
+    assert!(other.restore(&snap).is_err());
+    // Corrupt format version.
+    let mut bad = snap.clone();
+    bad[4] ^= 0xff;
+    let mut same = SimBuilder::new(Variant::Base)
+        .timer_interval(50_000)
+        .build()
+        .unwrap();
+    let err = same.restore(&bad).unwrap_err().to_string();
+    assert!(err.contains("version"), "unhelpful error: {err}");
+}
+
 #[test]
 fn reruns_are_bit_identical() {
     for variant in [Variant::Base, Variant::Fpma] {
