@@ -1,44 +1,67 @@
 //! `mi6-experiments` — the one CLI behind every evaluation figure.
 //!
 //! Replaces the ten per-figure binaries: each figure is a declarative
-//! variant×workload grid (see `mi6_bench::figures`) whose points run in
-//! parallel across OS threads, stream JSON as they finish, and render the
-//! same tables the old binaries printed.
+//! variant×workload grid (see `mi6_bench::figures`) whose points run on
+//! the `mi6-grid` work-stealing scheduler, stream JSON as they finish,
+//! and render the same tables the old binaries printed.
 //!
 //! ```text
 //! mi6-experiments --figure 13              # one figure
 //! mi6-experiments --all                    # figures 4..13
 //! mi6-experiments --figure 5 --kinsts 500  # shorter runs
 //! mi6-experiments --figure 13 --threads 4 --json results.jsonl
-//! mi6-experiments --figure 13 --seeds 3    # mean ± min/max over 3 seeds
+//! mi6-experiments --figure 13 --seeds 3    # mean ± 95% CI over 3 seeds
 //! mi6-experiments --figure 13 --warmup 500000 --checkpoint-dir ckpts
 //! mi6-experiments --scenario enclave-attacker
+//!
+//! # Sharded: three hosts, no coordination — each runs its own shard ...
+//! mi6-experiments --all --shard 0/3 --out shards/     # host A
+//! mi6-experiments --all --shard 1/3 --out shards/     # host B
+//! mi6-experiments --all --shard 2/3 --out shards/     # host C
+//! # ... then anyone with all the shard files renders the figures:
+//! mi6-experiments merge --out shards/ --all
 //! ```
 //!
 //! Options: `--figure N` (4..13, repeatable), `--all`, `--kinsts N`
 //! (thousands of instructions per run; default 2000), `--timer N`
 //! (scheduler tick in cycles; default 250000), `--threads N` (default:
-//! all hardware threads), `--json PATH` (append one JSON object per grid
-//! point; `-` makes stdout a pure JSONL stream and suppresses the figure
-//! tables), `--seeds N` (run every point with N workload seeds and report
-//! mean ± min/max), `--warmup N` + `--checkpoint-dir D` (simulate each
-//! point's first N cycles once, snapshot into D, and start grid runs from
-//! the warmed state — results are bit-identical to cold runs and repeat
-//! invocations skip the warm-up), `--fork-base` (warm once per workload
-//! on BASE and fork the quiescent state across every variant), and
-//! `--scenario enclave-attacker` (the two-core enclave-vs-attacker grid).
+//! all hardware threads), `--workload NAME` (repeatable; restrict or
+//! extend the workload set — `enclave-ws` runs the adversarial chase in
+//! a plain grid), `--json PATH` (append one JSON object per grid point;
+//! `-` makes stdout a pure JSONL stream and suppresses the figure
+//! tables), `--seeds N` (run every point with N workload seeds and
+//! report means with 95% Student-t confidence intervals), `--warmup N` +
+//! `--checkpoint-dir D` (simulate each point's first N cycles once,
+//! snapshot into D, and start grid runs from the warmed state — results
+//! are bit-identical to cold runs and repeat invocations skip the
+//! warm-up), `--fork-base` (warm once per workload on BASE and fork the
+//! quiescent state across every variant), `--scenario enclave-attacker`
+//! (the two-core enclave-vs-attacker grid), and the sharding surface:
+//!
+//! - `--shard i/N --out DIR` — run only the points the deterministic
+//!   planner assigns to shard `i` of `N`, journaling each completed
+//!   point to `DIR/shard-i-of-N.jsonl`. Restarting the same command
+//!   resumes from the journal (finished points are never recomputed).
+//! - `--deadline SECS` — stop claiming new points and cancel in-flight
+//!   simulations once the wall-clock budget expires (exit code 3; the
+//!   journal resumes the rest later).
+//! - `--batch N` — points claimed per scheduler queue visit (default:
+//!   auto; batches amortize synchronization over many short runs).
+//! - `merge --out DIR` + the same grid flags — validate that the shard
+//!   files cover the requested grid exactly (missing or duplicated
+//!   points are hard errors) and render the figures, byte-identical to
+//!   an unsharded run.
 
 use mi6_bench::runner::default_threads;
-use mi6_bench::{
-    figure_points, mean_results, render_figure, render_seed_spread, run_grid_with, scenario,
-    HarnessOpts, PointResult, WarmFork, FIGURES,
-};
-use std::collections::BTreeMap;
+use mi6_bench::sharding::{load_shard_dir, merge_shards, open_shard_journal};
+use mi6_bench::{plan_grid, scenario, GridSchedule, HarnessOpts, WarmFork, FIGURES};
+use mi6_grid::ShardSpec;
+use mi6_workloads::Workload;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::PathBuf;
 use std::process::exit;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Cli {
     figures: Vec<u32>,
@@ -50,18 +73,40 @@ struct Cli {
     checkpoint_dir: Option<PathBuf>,
     fork_base: bool,
     scenario: Option<String>,
+    workloads: Vec<Workload>,
+    shard: Option<ShardSpec>,
+    out: Option<PathBuf>,
+    deadline_secs: Option<u64>,
+    batch: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: mi6-experiments (--figure N)... | --all | --scenario enclave-attacker \
-         [--kinsts N] [--timer N] [--threads N] [--seeds N] [--json PATH|-] \
-         [--warmup CYCLES --checkpoint-dir DIR [--fork-base]]"
+         [--kinsts N] [--timer N] [--threads N] [--seeds N] [--workload NAME]... \
+         [--json PATH|-] [--warmup CYCLES --checkpoint-dir DIR [--fork-base]] \
+         [--shard i/N --out DIR] [--deadline SECS] [--batch N]\n\
+         \x20      mi6-experiments merge --out DIR ((--figure N)... | --all) \
+         [--kinsts N] [--timer N] [--seeds N] [--workload NAME]..."
     );
     exit(2);
 }
 
-fn parse_args() -> Cli {
+fn parse_args(args: &[String], merge: bool) -> Cli {
+    // Merge re-derives the expected grid from flags; anything that only
+    // shapes *how* a run executes would be silently meaningless there,
+    // so reject it loudly rather than ignore it.
+    const RUN_ONLY: [&str; 9] = [
+        "--json",
+        "--threads",
+        "--deadline",
+        "--batch",
+        "--shard",
+        "--scenario",
+        "--warmup",
+        "--checkpoint-dir",
+        "--fork-base",
+    ];
     let mut cli = Cli {
         figures: Vec::new(),
         opts: HarnessOpts::default(),
@@ -72,8 +117,12 @@ fn parse_args() -> Cli {
         checkpoint_dir: None,
         fork_base: false,
         scenario: None,
+        workloads: Vec::new(),
+        shard: None,
+        out: None,
+        deadline_secs: None,
+        batch: 0,
     };
-    let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     let value = |args: &[String], i: usize, flag: &str| -> String {
         args.get(i + 1)
@@ -84,9 +133,17 @@ fn parse_args() -> Cli {
             .clone()
     };
     while i < args.len() {
+        if merge && RUN_ONLY.contains(&args[i].as_str()) {
+            eprintln!(
+                "`{}` applies to runs, not merge (merge takes --out plus the grid-shape \
+                 flags: --figure/--all, --kinsts, --timer, --seeds, --workload)",
+                args[i]
+            );
+            usage();
+        }
         match args[i].as_str() {
             "--figure" => {
-                let v = value(&args, i, "--figure");
+                let v = value(args, i, "--figure");
                 let fig: u32 = v.parse().unwrap_or_else(|_| {
                     eprintln!("--figure expects a number, got `{v}`");
                     usage()
@@ -100,25 +157,25 @@ fn parse_args() -> Cli {
             }
             "--all" => cli.figures.extend(FIGURES),
             "--kinsts" => {
-                cli.opts.kinsts = value(&args, i, "--kinsts")
+                cli.opts.kinsts = value(args, i, "--kinsts")
                     .parse()
                     .unwrap_or_else(|_| usage());
                 i += 1;
             }
             "--timer" => {
-                cli.opts.timer = value(&args, i, "--timer")
+                cli.opts.timer = value(args, i, "--timer")
                     .parse()
                     .unwrap_or_else(|_| usage());
                 i += 1;
             }
             "--threads" => {
-                cli.threads = value(&args, i, "--threads")
+                cli.threads = value(args, i, "--threads")
                     .parse()
                     .unwrap_or_else(|_| usage());
                 i += 1;
             }
             "--seeds" => {
-                cli.seeds = value(&args, i, "--seeds")
+                cli.seeds = value(args, i, "--seeds")
                     .parse()
                     .unwrap_or_else(|_| usage());
                 if cli.seeds == 0 {
@@ -127,23 +184,64 @@ fn parse_args() -> Cli {
                 }
                 i += 1;
             }
+            "--workload" => {
+                let v = value(args, i, "--workload");
+                let w = Workload::from_name(&v).unwrap_or_else(|| {
+                    let names: Vec<&str> = Workload::WITH_ADVERSARIAL
+                        .iter()
+                        .map(|w| w.name())
+                        .collect();
+                    eprintln!("unknown workload `{v}` (available: {})", names.join(", "));
+                    usage()
+                });
+                if !cli.workloads.contains(&w) {
+                    cli.workloads.push(w);
+                }
+                i += 1;
+            }
             "--warmup" => {
-                cli.warmup = value(&args, i, "--warmup")
+                cli.warmup = value(args, i, "--warmup")
                     .parse()
                     .unwrap_or_else(|_| usage());
                 i += 1;
             }
             "--checkpoint-dir" => {
-                cli.checkpoint_dir = Some(PathBuf::from(value(&args, i, "--checkpoint-dir")));
+                cli.checkpoint_dir = Some(PathBuf::from(value(args, i, "--checkpoint-dir")));
                 i += 1;
             }
             "--fork-base" => cli.fork_base = true,
             "--scenario" => {
-                cli.scenario = Some(value(&args, i, "--scenario"));
+                cli.scenario = Some(value(args, i, "--scenario"));
                 i += 1;
             }
             "--json" => {
-                cli.json = Some(value(&args, i, "--json"));
+                cli.json = Some(value(args, i, "--json"));
+                i += 1;
+            }
+            "--shard" => {
+                let v = value(args, i, "--shard");
+                cli.shard = Some(v.parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                }));
+                i += 1;
+            }
+            "--out" => {
+                cli.out = Some(PathBuf::from(value(args, i, "--out")));
+                i += 1;
+            }
+            "--deadline" => {
+                cli.deadline_secs =
+                    Some(value(args, i, "--deadline").parse().unwrap_or_else(|_| {
+                        eprintln!("--deadline expects whole seconds");
+                        usage()
+                    }));
+                i += 1;
+            }
+            "--batch" => {
+                cli.batch = value(args, i, "--batch")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
                 i += 1;
             }
             "--help" | "-h" => usage(),
@@ -159,8 +257,8 @@ fn parse_args() -> Cli {
             eprintln!("unknown scenario `{name}` (available: enclave-attacker)");
             usage();
         }
-        if !cli.figures.is_empty() {
-            eprintln!("--scenario and --figure are mutually exclusive");
+        if !cli.figures.is_empty() || cli.shard.is_some() {
+            eprintln!("--scenario excludes --figure and --shard");
             usage();
         }
     } else if cli.figures.is_empty() {
@@ -174,13 +272,80 @@ fn parse_args() -> Cli {
         eprintln!("--fork-base needs --warmup (the shared warm-up length)");
         usage();
     }
+    if cli.shard.is_some() && cli.out.is_none() {
+        eprintln!("--shard needs --out (the shard journal directory)");
+        usage();
+    }
+    if cli.workloads.is_empty() {
+        cli.workloads = Workload::ALL.to_vec();
+    }
     cli.figures.sort_unstable();
     cli.figures.dedup();
     cli
 }
 
 fn main() {
-    let cli = parse_args();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("merge") {
+        merge_main(&args[1..]);
+    } else {
+        run_main(&args);
+    }
+}
+
+/// `merge`: validate shard coverage and render figures from journals.
+fn merge_main(args: &[String]) {
+    let cli = parse_args(args, true);
+    let Some(dir) = &cli.out else {
+        eprintln!("merge needs --out (the shard journal directory)");
+        usage();
+    };
+    let plan = plan_grid(&cli.figures, cli.opts, cli.seeds, &cli.workloads);
+    let loaded = load_shard_dir(dir).unwrap_or_else(|e| {
+        eprintln!("cannot read shard dir {}: {e}", dir.display());
+        exit(1);
+    });
+    if loaded.files == 0 {
+        eprintln!("no *.jsonl shard files in {}", dir.display());
+        exit(1);
+    }
+    if loaded.skipped_lines > 0 {
+        eprintln!(
+            "warning: skipped {} unparseable journal line(s) (torn by a killed shard?)",
+            loaded.skipped_lines
+        );
+    }
+    match merge_shards(&plan, &loaded) {
+        Err(err) => {
+            eprintln!(
+                "cannot merge the requested grid:\n{err}\
+                 run the missing shard(s) to completion (the journal resumes them), \
+                 or delete stray journals, then re-merge"
+            );
+            exit(1);
+        }
+        Ok((results, cov)) => {
+            eprintln!(
+                "merge: {} file(s), {} point(s) covering the grid exactly{}",
+                loaded.files,
+                plan.points.len(),
+                if cov.extra.is_empty() {
+                    String::new()
+                } else {
+                    format!(
+                        " ({} extra point(s) outside this grid ignored)",
+                        cov.extra.len()
+                    )
+                }
+            );
+            print!("{}", plan.render(&results));
+        }
+    }
+}
+
+/// Plain and sharded grid runs (plus the scenario path).
+fn run_main(args: &[String]) {
+    let cli = parse_args(args, false);
     if cli.scenario.is_some() {
         eprintln!(
             "mi6-experiments: enclave-attacker scenario ({}k instructions)",
@@ -209,34 +374,7 @@ fn main() {
         }
     });
 
-    // One deduplicated grid across every requested figure and seed: a
-    // BASE pass shared by e.g. figures 5 and 7 runs once per seed.
-    let mut unique: BTreeMap<String, usize> = BTreeMap::new();
-    let mut points = Vec::new();
-    // Per figure: per seed: indices into `points`, in figure_points order.
-    let mut fig_indices: Vec<(u32, Vec<Vec<usize>>)> = Vec::new();
-    for &fig in &cli.figures {
-        let mut per_seed = Vec::with_capacity(cli.seeds as usize);
-        for s in 0..cli.seeds {
-            let opts = cli.opts.with_seed(cli.opts.seed_at(s));
-            let fig_points = figure_points(fig, opts);
-            let mut indices = Vec::with_capacity(fig_points.len());
-            for p in &fig_points {
-                let key = format!(
-                    "{}/{}/{}/{}/{:x}",
-                    p.variant, p.workload, p.opts.kinsts, p.opts.timer, p.opts.seed
-                );
-                let idx = *unique.entry(key).or_insert_with(|| {
-                    points.push(*p);
-                    points.len() - 1
-                });
-                indices.push(idx);
-            }
-            per_seed.push(indices);
-        }
-        fig_indices.push((fig, per_seed));
-    }
-
+    let plan = plan_grid(&cli.figures, cli.opts, cli.seeds, &cli.workloads);
     let warm = cli
         .checkpoint_dir
         .as_ref()
@@ -246,13 +384,51 @@ fn main() {
             dir: dir.clone(),
             fork_base: cli.fork_base,
         });
+    let deadline = cli
+        .deadline_secs
+        .map(|s| Instant::now() + Duration::from_secs(s));
+
+    // A shard run journals completions; a plain run renders tables.
+    let (points, mut journal) = match cli.shard {
+        None => (plan.points.clone(), None),
+        Some(spec) => {
+            let dir = cli.out.as_ref().expect("validated in parse_args");
+            let sj = open_shard_journal(dir, spec).unwrap_or_else(|e| {
+                eprintln!("cannot open shard journal in {}: {e}", dir.display());
+                exit(1);
+            });
+            if sj.torn_tail {
+                eprintln!(
+                    "  journal had a torn trailing line (killed mid-write); recomputing that point"
+                );
+            }
+            if sj.bad_lines > 0 {
+                eprintln!(
+                    "  warning: {} unparseable journal line(s) ignored",
+                    sj.bad_lines
+                );
+            }
+            let owned = plan.shard_points(spec);
+            let todo: Vec<_> = owned
+                .iter()
+                .filter(|p| !sj.done.contains_key(&p.key()))
+                .copied()
+                .collect();
+            eprintln!(
+                "mi6-experiments: shard {spec} owns {} of {} unique points; {} journaled, {} to run",
+                owned.len(),
+                plan.points.len(),
+                owned.len() - todo.len(),
+                todo.len(),
+            );
+            (todo, Some(sj.journal))
+        }
+    };
+
     eprintln!(
-        "mi6-experiments: {} grid points ({} unique, {} seed(s)) on {} threads{}",
-        fig_indices
-            .iter()
-            .map(|(_, per_seed)| per_seed.iter().map(Vec::len).sum::<usize>())
-            .sum::<usize>(),
-        points.len(),
+        "mi6-experiments: {} grid points ({} unique, {} seed(s)) on {} threads{}{}",
+        plan.gross_points(),
+        plan.points.len(),
         cli.seeds,
         cli.threads,
         match &warm {
@@ -263,16 +439,32 @@ fn main() {
             Some(w) => format!(", warm-starting from {}-cycle checkpoints", w.warmup_cycles),
             None => String::new(),
         },
+        match cli.deadline_secs {
+            Some(s) => format!(", deadline {s}s"),
+            None => String::new(),
+        },
     );
     let t0 = Instant::now();
     let mut done = 0usize;
     let total = points.len();
-    let results = run_grid_with(&points, cli.threads, warm.as_ref(), |res| {
+    let schedule = GridSchedule {
+        threads: cli.threads,
+        batch: cli.batch,
+        warm: warm.as_ref(),
+        deadline,
+    };
+    let outcome = mi6_bench::run_grid_scheduled(&points, &schedule, |res| {
         done += 1;
         eprintln!(
-            "  [{done}/{total}] {} on {}: {} cycles ({} ms)",
-            res.record.name, res.point.variant, res.record.cycles, res.wall_ms,
+            "  [{done}/{total}] {} on {}: {} cycles ({} ms, worker {})",
+            res.record.name, res.point.variant, res.record.cycles, res.wall_ms, res.worker,
         );
+        if let Some(j) = journal.as_mut() {
+            j.append(&res.to_json()).unwrap_or_else(|e| {
+                eprintln!("cannot append to shard journal: {e}");
+                exit(1);
+            });
+        }
         if let Some(out) = json.as_mut() {
             writeln!(out, "{}", res.to_json()).expect("json write");
         }
@@ -285,7 +477,7 @@ fn main() {
     // core, so this ratio only approximates the parallel speedup on a
     // host with >= `threads` free cores; compare wall clock between
     // `--threads 1` and `--threads N` runs for an honest number.
-    let sim_ms: u64 = results.iter().map(|r| r.wall_ms).sum();
+    let sim_ms: u64 = outcome.results.iter().flatten().map(|r| r.wall_ms).sum();
     if total > 0 {
         eprintln!(
             "grid done in {:.1}s wall ({:.1}s summed over points, ~{:.2}x parallelism)",
@@ -295,22 +487,46 @@ fn main() {
         );
     }
 
+    if let Some(spec) = cli.shard {
+        let journal_path = cli
+            .out
+            .as_ref()
+            .expect("validated in parse_args")
+            .join(spec.file_name());
+        if outcome.cancelled > 0 {
+            eprintln!(
+                "shard {spec} incomplete: {} point(s) remain (deadline). \
+                 Rerun the same command to resume from {}",
+                outcome.cancelled,
+                journal_path.display()
+            );
+            exit(3);
+        }
+        eprintln!(
+            "shard {spec} complete: journal {} covers all its points; \
+             merge with `mi6-experiments merge --out DIR <same grid flags>`",
+            journal_path.display()
+        );
+        return;
+    }
+    if outcome.cancelled > 0 {
+        eprintln!(
+            "grid incomplete: {} point(s) cancelled by the deadline; \
+             no tables rendered (use --shard/--out for resumable runs)",
+            outcome.cancelled
+        );
+        exit(3);
+    }
     if json_on_stdout {
         eprintln!(
             "figure tables suppressed: stdout is the JSON stream (use --json FILE to get both)"
         );
         return;
     }
-    for (fig, per_seed_idx) in fig_indices {
-        let per_seed: Vec<Vec<PointResult>> = per_seed_idx
-            .iter()
-            .map(|indices| indices.iter().map(|&i| results[i].clone()).collect())
-            .collect();
-        if per_seed.len() == 1 || per_seed[0].is_empty() {
-            render_figure(fig, &per_seed[0]);
-        } else {
-            render_figure(fig, &mean_results(&per_seed));
-            render_seed_spread(fig, &per_seed);
-        }
-    }
+    let results: Vec<_> = outcome
+        .results
+        .into_iter()
+        .map(|r| r.expect("no cancellations"))
+        .collect();
+    print!("{}", plan.render(&results));
 }

@@ -5,15 +5,21 @@
 //! the results back to [`render_figure`], which reproduces the old
 //! per-figure binary output. Figure 4 is the configuration table and needs
 //! no simulation.
+//!
+//! Everything renders to `String`: the CLI prints the tables, and the
+//! shard `merge` path re-renders them from journaled JSON — the two must
+//! be byte-identical, which a printing API can't assert.
 
-use crate::runner::{variant_points, GridPoint, PointResult};
+use crate::runner::{variant_points_for, GridPoint, PointResult};
 use crate::{
-    mean, print_metric_figure, print_overhead_figure, HarnessOpts, RunRecord, PAPER_FIG10,
+    mean, render_metric_figure, render_overhead_figure, HarnessOpts, RunRecord, PAPER_FIG10,
     PAPER_FIG11, PAPER_FIG12, PAPER_FIG13, PAPER_FIG5, PAPER_FIG8,
 };
 use mi6_core::CoreConfig;
 use mi6_mem::MemConfig;
 use mi6_soc::Variant;
+use mi6_workloads::Workload;
+use std::fmt::Write;
 
 /// Figure ids the CLI accepts.
 pub const FIGURES: std::ops::RangeInclusive<u32> = 4..=13;
@@ -50,15 +56,26 @@ fn figure_variant(figure: u32) -> Option<Variant> {
 ///
 /// Panics if `figure` is outside [`FIGURES`].
 pub fn figure_points(figure: u32, opts: HarnessOpts) -> Vec<GridPoint> {
+    figure_points_for(figure, opts, &Workload::ALL)
+}
+
+/// [`figure_points`] over an explicit workload set (the CLI's
+/// `--workload` restriction; this is also how the adversarial
+/// `enclave-ws` runs in a plain figure grid or shard).
+///
+/// # Panics
+///
+/// Panics if `figure` is outside [`FIGURES`].
+pub fn figure_points_for(figure: u32, opts: HarnessOpts, workloads: &[Workload]) -> Vec<GridPoint> {
     assert!(FIGURES.contains(&figure), "unknown figure {figure}");
     let opts = figure_opts(figure, opts);
     match figure {
         4 => Vec::new(),
-        6 => variant_points(Variant::Flush, opts),
+        6 => variant_points_for(Variant::Flush, opts, workloads),
         f => {
             let variant = figure_variant(f).expect("simulating figure");
-            let mut points = variant_points(Variant::Base, opts);
-            points.extend(variant_points(variant, opts));
+            let mut points = variant_points_for(Variant::Base, opts, workloads);
+            points.extend(variant_points_for(variant, opts, workloads));
             points
         }
     }
@@ -73,11 +90,11 @@ fn records(results: &[PointResult], variant: Variant) -> Vec<RunRecord> {
 }
 
 /// Renders figure `figure` from the results of its [`figure_points`] grid.
-pub fn render_figure(figure: u32, results: &[PointResult]) {
+pub fn render_figure(figure: u32, results: &[PointResult]) -> String {
     let base = records(results, Variant::Base);
     match figure {
-        4 => print_config_table(),
-        5 => print_overhead_figure(
+        4 => config_table(),
+        5 => render_overhead_figure(
             "Figure 5: FLUSH runtime overhead vs BASE",
             PAPER_FIG5,
             &base,
@@ -85,27 +102,35 @@ pub fn render_figure(figure: u32, results: &[PointResult]) {
         ),
         6 => {
             let flush = records(results, Variant::Flush);
-            println!("\n=== Figure 6: flush stall time (% of execution) ===");
-            println!(
+            let mut out = String::new();
+            writeln!(out, "\n=== Figure 6: flush stall time (% of execution) ===").unwrap();
+            writeln!(
+                out,
                 "{:<12} {:>12} {:>10}",
                 "benchmark", "stall cycles", "stall %"
-            );
+            )
+            .unwrap();
             for r in &flush {
-                println!(
+                writeln!(
+                    out,
                     "{:<12} {:>12} {:>9.2}%",
                     r.name,
                     r.flush_stall_cycles,
                     r.flush_stall_pct()
-                );
+                )
+                .unwrap();
             }
-            println!(
+            writeln!(
+                out,
                 "{:<12} {:>12} {:>9.2}%   (paper avg 0.4%, max xalancbmk 3.2%)",
                 "average",
                 "",
                 mean(flush.iter().map(|r| r.flush_stall_pct()))
-            );
+            )
+            .unwrap();
+            out
         }
-        7 => print_metric_figure(
+        7 => render_metric_figure(
             "Figure 7: branch MPKI, BASE vs FLUSH",
             "MPKI",
             (18.3, 24.3),
@@ -114,13 +139,13 @@ pub fn render_figure(figure: u32, results: &[PointResult]) {
             &records(results, Variant::Flush),
             |r| r.branch_mpki,
         ),
-        8 => print_overhead_figure(
+        8 => render_overhead_figure(
             "Figure 8: PART runtime overhead vs BASE",
             PAPER_FIG8,
             &base,
             &records(results, Variant::Part),
         ),
-        9 => print_metric_figure(
+        9 => render_metric_figure(
             "Figure 9: LLC MPKI, BASE vs PART",
             "LLC MPKI",
             (17.4, 19.6),
@@ -129,25 +154,25 @@ pub fn render_figure(figure: u32, results: &[PointResult]) {
             &records(results, Variant::Part),
             |r| r.llc_mpki,
         ),
-        10 => print_overhead_figure(
+        10 => render_overhead_figure(
             "Figure 10: MISS runtime overhead vs BASE",
             PAPER_FIG10,
             &base,
             &records(results, Variant::Miss),
         ),
-        11 => print_overhead_figure(
+        11 => render_overhead_figure(
             "Figure 11: ARB runtime overhead vs BASE",
             PAPER_FIG11,
             &base,
             &records(results, Variant::Arb),
         ),
-        12 => print_overhead_figure(
+        12 => render_overhead_figure(
             "Figure 12: NONSPEC runtime overhead vs BASE (truncated runs)",
             PAPER_FIG12,
             &base,
             &records(results, Variant::NonSpec),
         ),
-        13 => print_overhead_figure(
+        13 => render_overhead_figure(
             "Figure 13: F+P+M+A (enclave) runtime overhead vs BASE",
             PAPER_FIG13,
             &base,
@@ -191,93 +216,162 @@ pub fn mean_results(per_seed: &[Vec<PointResult>]) -> Vec<PointResult> {
                 point: per_seed[0][i].point,
                 record: mean_record(&records),
                 wall_ms: per_seed.iter().map(|s| s[i].wall_ms).sum::<u64>() / per_seed.len() as u64,
+                worker: 0,
+                warm: per_seed[0][i].warm.clone(),
             }
         })
         .collect()
 }
 
-/// Prints the per-point seed spread (mean ± half-range, with min/max) of
-/// a `--seeds N` sweep for one figure.
-pub fn render_seed_spread(figure: u32, per_seed: &[Vec<PointResult>]) {
-    let seeds = per_seed.len();
-    if seeds < 2 || per_seed[0].is_empty() {
-        return;
-    }
-    println!("\n--- figure {figure}: cycle spread over {seeds} seeds ---");
-    println!(
-        "{:<10} {:<12} {:>14} {:>10} {:>14} {:>14}",
-        "variant", "benchmark", "mean", "±", "min", "max"
-    );
-    for i in 0..per_seed[0].len() {
-        let cycles: Vec<u64> = per_seed.iter().map(|s| s[i].record.cycles).collect();
-        let (min, max) = (
-            *cycles.iter().min().expect("seeds >= 2"),
-            *cycles.iter().max().expect("seeds >= 2"),
-        );
-        let mean = cycles.iter().sum::<u64>() / cycles.len() as u64;
-        let point = per_seed[0][i].point;
-        println!(
-            "{:<10} {:<12} {:>14} {:>10} {:>14} {:>14}",
-            point.variant.name(),
-            point.workload.name(),
-            mean,
-            (max - min) / 2,
-            min,
-            max
-        );
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom
+/// (small-N table baked in; converges to the normal 1.960 beyond 30 —
+/// seed sweeps are small-N by construction).
+fn t95(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => TABLE[df - 1],
+        _ => 1.960,
     }
 }
 
+/// Renders the per-point cycle-count confidence intervals of a
+/// `--seeds N` sweep for one figure: mean ± the 95% Student-t interval
+/// (df = N−1), with N printed alongside so a reader can judge the
+/// interval's weight, plus the observed min/max.
+pub fn render_seed_ci(figure: u32, per_seed: &[Vec<PointResult>]) -> String {
+    let seeds = per_seed.len();
+    let mut out = String::new();
+    if seeds < 2 || per_seed[0].is_empty() {
+        return out;
+    }
+    writeln!(
+        out,
+        "\n--- figure {figure}: cycles, mean ± 95% CI (Student t, N={seeds} seeds) ---"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<10} {:<12} {:>3} {:>14} {:>12} {:>14} {:>14}",
+        "variant", "benchmark", "N", "mean", "±95% CI", "min", "max"
+    )
+    .unwrap();
+    for i in 0..per_seed[0].len() {
+        let cycles: Vec<f64> = per_seed.iter().map(|s| s[i].record.cycles as f64).collect();
+        let n = cycles.len() as f64;
+        let mean = cycles.iter().sum::<f64>() / n;
+        let var = cycles.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / (n - 1.0);
+        let half = t95(cycles.len() - 1) * (var / n).sqrt();
+        let (min, max) = cycles
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &c| {
+                (lo.min(c), hi.max(c))
+            });
+        let point = per_seed[0][i].point;
+        writeln!(
+            out,
+            "{:<10} {:<12} {:>3} {:>14.0} {:>12.0} {:>14.0} {:>14.0}",
+            point.variant.name(),
+            point.workload.name(),
+            seeds,
+            mean,
+            half,
+            min,
+            max
+        )
+        .unwrap();
+    }
+    out
+}
+
 /// Figure 4: the insecure baseline (BASE) configuration table.
-fn print_config_table() {
+fn config_table() -> String {
     let core = CoreConfig::paper();
     let mem = MemConfig::paper_base();
-    println!("=== Figure 4: insecure baseline (BASE) configuration ===");
-    println!("Front-end    {}-wide fetch/decode/rename", core.fetch_width);
-    println!("             {}-entry direct-mapped BTB", core.btb_entries);
-    println!("             tournament predictor (Alpha 21264 style)");
-    println!(
+    let mut out = String::new();
+    writeln!(
+        out,
+        "=== Figure 4: insecure baseline (BASE) configuration ==="
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "Front-end    {}-wide fetch/decode/rename",
+        core.fetch_width
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "             {}-entry direct-mapped BTB",
+        core.btb_entries
+    )
+    .unwrap();
+    writeln!(out, "             tournament predictor (Alpha 21264 style)").unwrap();
+    writeln!(
+        out,
         "             {}-entry return address stack",
         core.ras_entries
-    );
-    println!(
+    )
+    .unwrap();
+    writeln!(
+        out,
         "Exec engine  {}-entry ROB, {}-way insert/commit",
         core.rob_entries, core.commit_width
-    );
-    println!(
+    )
+    .unwrap();
+    writeln!(
+        out,
         "             4 pipelines: 2 ALU, 1 MEM, 1 FP/MUL/DIV; {}-entry IQ each",
         core.iq_entries
-    );
-    println!(
+    )
+    .unwrap();
+    writeln!(
+        out,
         "Ld-St unit   {}-entry LQ, {}-entry SQ, {}-entry SB (64B wide)",
         core.lq_entries, core.sq_entries, core.sb_entries
-    );
-    println!(
+    )
+    .unwrap();
+    writeln!(
+        out,
         "L1 TLBs      {}-entry fully associative (I and D); D-TLB max {} requests",
         core.l1_tlb_entries, core.dtlb_max_misses
-    );
-    println!(
+    )
+    .unwrap();
+    writeln!(
+        out,
         "L2 TLB       {}-entry, {}-way; translation cache {} entries/step",
         core.l2_tlb_entries, core.l2_tlb_ways, core.tcache_entries
-    );
-    println!(
+    )
+    .unwrap();
+    writeln!(
+        out,
         "L1 caches    {} KiB, {}-way, max {} requests (I and D)",
         mem.l1d.size_bytes >> 10,
         mem.l1d.ways,
         mem.l1d.mshrs
-    );
-    println!(
+    )
+    .unwrap();
+    writeln!(
+        out,
         "L2 (LLC)     {} MiB, {}-way, {:?} MSHRs, coherent+inclusive",
         mem.llc.size_bytes >> 20,
         mem.llc.ways,
         mem.llc.mshrs
-    );
-    println!(
+    )
+    .unwrap();
+    writeln!(
+        out,
         "Memory       {} GiB, {}-cycle latency, max {} requests",
         mem.dram.size_bytes >> 30,
         mem.dram.latency,
         mem.dram.max_inflight
-    );
+    )
+    .unwrap();
+    out
 }
 
 #[cfg(test)]
@@ -306,6 +400,17 @@ mod tests {
     }
 
     #[test]
+    fn figure_grids_can_run_the_adversarial_workload() {
+        let opts = HarnessOpts::default();
+        let sel = [Workload::EnclaveWs, Workload::Mcf];
+        let points = figure_points_for(13, opts, &sel);
+        assert_eq!(points.len(), 4);
+        assert!(points
+            .iter()
+            .any(|p| p.workload == Workload::EnclaveWs && p.variant == Variant::Fpma));
+    }
+
+    #[test]
     fn steady_state_figures_disable_the_timer() {
         let opts = HarnessOpts::default();
         for fig in [8u32, 9, 10, 11, 12] {
@@ -325,5 +430,48 @@ mod tests {
         for p in figure_points(12, opts) {
             assert_eq!(p.opts.kinsts, 500);
         }
+    }
+
+    #[test]
+    fn t_table_is_sane() {
+        assert!(t95(1) > 12.0);
+        assert!(t95(4) > t95(9));
+        assert!((t95(100) - 1.960).abs() < 1e-9);
+        // df = N-1 for N=2 seeds is the first row.
+        assert_eq!(t95(1), 12.706);
+    }
+
+    #[test]
+    fn seed_ci_renders_with_n() {
+        let p = GridPoint {
+            variant: Variant::Base,
+            workload: Workload::Hmmer,
+            opts: HarnessOpts::default(),
+        };
+        let mk = |cycles: u64| {
+            vec![PointResult {
+                point: p,
+                record: RunRecord {
+                    name: "hmmer",
+                    cycles,
+                    instructions: 1000,
+                    branch_mpki: 0.0,
+                    llc_mpki: 0.0,
+                    flush_stall_cycles: 0,
+                    traps: 0,
+                },
+                wall_ms: 1,
+                worker: 0,
+                warm: "cold".to_string(),
+            }]
+        };
+        let per_seed = vec![mk(1000), mk(1100), mk(900)];
+        let out = render_seed_ci(13, &per_seed);
+        assert!(out.contains("95% CI"), "{out}");
+        assert!(out.contains("N=3"), "{out}");
+        // mean 1000, sd 100, t95(2)=4.303 → half = 4.303*100/sqrt(3) ≈ 248.
+        assert!(out.contains(" 248"), "{out}");
+        // One seed renders nothing (no spread to report).
+        assert!(render_seed_ci(13, &per_seed[..1]).is_empty());
     }
 }

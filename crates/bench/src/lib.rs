@@ -17,19 +17,30 @@
 //! --figure 13`. The CLI accepts `--kinsts N` (thousands of instructions
 //! per run; default 2000), `--timer N` (scheduler tick in cycles; default
 //! 250000), `--threads N` (worker threads; default: all cores), and
-//! `--json PATH` (stream one JSON object per grid point).
+//! `--json PATH` (stream one JSON object per grid point). The grid also
+//! shards across processes and hosts with no coordination: `--shard i/N
+//! --out DIR` journals one shard resumably, and the `merge` subcommand
+//! validates coverage and renders figures byte-identical to an unsharded
+//! run (see [`sharding`] and `mi6-grid`).
 
 pub mod figures;
 pub mod microbench;
 pub mod runner;
 pub mod scenario;
+pub mod sharding;
 
-pub use figures::{figure_points, mean_results, render_figure, render_seed_spread, FIGURES};
-pub use runner::{run_grid, run_grid_with, GridPoint, PointResult, WarmFork};
+pub use figures::{figure_points, mean_results, render_figure, render_seed_ci, FIGURES};
+pub use runner::{
+    run_grid, run_grid_scheduled, run_grid_with, GridOutcome, GridPoint, GridSchedule, PointResult,
+    WarmFork,
+};
+pub use sharding::{plan_grid, GridPlan};
 
 #[allow(unused_imports)] // `Machine` anchors intra-doc links.
-use mi6_soc::{Machine, MachineStats, SimBuilder, Variant};
+use mi6_soc::{Machine, MachineStats, RunError, SimBuilder, Variant};
 use mi6_workloads::{Workload, WorkloadParams};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
 /// One workload run's summary.
 #[derive(Clone, Debug)]
@@ -143,18 +154,36 @@ pub fn splitmix64(x: u64) -> u64 {
 
 /// Runs one workload on one variant to completion.
 pub fn run_workload(variant: Variant, workload: Workload, opts: &HarnessOpts) -> RunRecord {
+    run_workload_cancellable(variant, workload, opts, None).expect("no cancel flag to raise")
+}
+
+/// [`run_workload`] with a cooperative cancel flag: the machine polls the
+/// flag while running (the `SimBuilder::cancel_flag` hook), and a raised
+/// flag makes the run return `None` within a few thousand simulated
+/// cycles — how a `--deadline` interrupts in-flight grid points.
+pub fn run_workload_cancellable(
+    variant: Variant,
+    workload: Workload,
+    opts: &HarnessOpts,
+    cancel: Option<Arc<AtomicBool>>,
+) -> Option<RunRecord> {
     let params = WorkloadParams::evaluation()
         .with_target_kinsts(opts.kinsts)
         .with_seed(opts.seed);
-    let mut machine = SimBuilder::new(variant)
+    let mut builder = SimBuilder::new(variant)
         .timer_interval(opts.timer)
-        .workload(0, workload.build(&params))
+        .workload(0, workload.build(&params));
+    if let Some(flag) = cancel {
+        builder = builder.cancel_flag(flag);
+    }
+    let mut machine = builder
         .build()
         .unwrap_or_else(|e| panic!("loading {workload}: {e}"));
-    let stats = machine
-        .run_to_completion(opts.cycle_cap())
-        .unwrap_or_else(|e| panic!("running {workload} on {variant}: {e}"));
-    RunRecord::from_stats(workload.name(), &stats)
+    match machine.run_to_completion(opts.cycle_cap()) {
+        Ok(stats) => Some(RunRecord::from_stats(workload.name(), &stats)),
+        Err(RunError::Cancelled { .. }) => None,
+        Err(e) => panic!("running {workload} on {variant}: {e}"),
+    }
 }
 
 /// Continues one workload to completion from a warm checkpoint.
@@ -171,8 +200,25 @@ pub fn run_workload_restored(
     snapshot: &[u8],
     forked: bool,
 ) -> RunRecord {
-    let mut machine = SimBuilder::new(variant)
-        .timer_interval(opts.timer)
+    run_workload_restored_cancellable(variant, workload, opts, snapshot, forked, None)
+        .expect("no cancel flag to raise")
+}
+
+/// [`run_workload_restored`] with a cooperative cancel flag (see
+/// [`run_workload_cancellable`]).
+pub fn run_workload_restored_cancellable(
+    variant: Variant,
+    workload: Workload,
+    opts: &HarnessOpts,
+    snapshot: &[u8],
+    forked: bool,
+    cancel: Option<Arc<AtomicBool>>,
+) -> Option<RunRecord> {
+    let mut builder = SimBuilder::new(variant).timer_interval(opts.timer);
+    if let Some(flag) = cancel {
+        builder = builder.cancel_flag(flag);
+    }
+    let mut machine = builder
         .build()
         .unwrap_or_else(|e| panic!("building {variant}: {e}"));
     let restored = if forked {
@@ -181,10 +227,11 @@ pub fn run_workload_restored(
         machine.restore(snapshot)
     };
     restored.unwrap_or_else(|e| panic!("restoring {workload} warm state on {variant}: {e}"));
-    let stats = machine
-        .run_to_completion(opts.cycle_cap())
-        .unwrap_or_else(|e| panic!("running {workload} on {variant} from checkpoint: {e}"));
-    RunRecord::from_stats(workload.name(), &stats)
+    match machine.run_to_completion(opts.cycle_cap()) {
+        Ok(stats) => Some(RunRecord::from_stats(workload.name(), &stats)),
+        Err(RunError::Cancelled { .. }) => None,
+        Err(e) => panic!("running {workload} on {variant} from checkpoint: {e}"),
+    }
 }
 
 /// Runs all eleven workloads on a variant, serially (the parallel path is
@@ -208,19 +255,27 @@ pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
     v.iter().sum::<f64>() / v.len() as f64
 }
 
-/// Prints an overhead figure: per-benchmark runtime increase of `variant`
-/// over `base`, next to the paper's reported percentages.
-pub fn print_overhead_figure(
+/// Renders an overhead figure: per-benchmark runtime increase of
+/// `variant` over `base`, next to the paper's reported percentages.
+///
+/// All figure tables render to `String` (and are printed by the CLI) so
+/// the sharded path has something exact to reproduce: a merge of shard
+/// journals must produce *byte-identical* tables to the unsharded run.
+pub fn render_overhead_figure(
     title: &str,
     paper: &[(&str, f64)],
     base: &[RunRecord],
     variant: &[RunRecord],
-) {
-    println!("\n=== {title} ===");
-    println!(
+) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "\n=== {title} ===").unwrap();
+    writeln!(
+        out,
         "{:<12} {:>14} {:>14} {:>10} {:>10}",
         "benchmark", "BASE cycles", "variant cycles", "measured", "paper"
-    );
+    )
+    .unwrap();
     let mut overheads = Vec::new();
     for (b, v) in base.iter().zip(variant) {
         assert_eq!(b.name, v.name);
@@ -231,13 +286,16 @@ pub fn print_overhead_figure(
             .find(|(n, _)| *n == b.name)
             .map(|(_, p)| format!("{p:.1}%"))
             .unwrap_or_else(|| "-".into());
-        println!(
+        writeln!(
+            out,
             "{:<12} {:>14} {:>14} {:>9.1}% {:>10}",
             b.name, b.cycles, v.cycles, overhead, paper_pct
-        );
+        )
+        .unwrap();
     }
     let paper_avg = paper.iter().find(|(n, _)| *n == "average").map(|(_, p)| *p);
-    println!(
+    writeln!(
+        out,
         "{:<12} {:>14} {:>14} {:>9.1}% {:>10}",
         "average",
         "",
@@ -246,12 +304,14 @@ pub fn print_overhead_figure(
         paper_avg
             .map(|p| format!("{p:.1}%"))
             .unwrap_or_else(|| "-".into())
-    );
+    )
+    .unwrap();
+    out
 }
 
-/// Prints a metric figure (e.g. MPKI) for two variants side by side with
+/// Renders a metric figure (e.g. MPKI) for two variants side by side with
 /// the paper's average values.
-pub fn print_metric_figure(
+pub fn render_metric_figure(
     title: &str,
     metric_name: &str,
     paper_avgs: (f64, f64),
@@ -259,20 +319,32 @@ pub fn print_metric_figure(
     base: &[RunRecord],
     variant: &[RunRecord],
     metric: impl Fn(&RunRecord) -> f64,
-) {
-    println!("\n=== {title} ===");
-    println!("{:<12} {:>12} {:>12}", "benchmark", labels.0, labels.1);
+) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "\n=== {title} ===").unwrap();
+    writeln!(out, "{:<12} {:>12} {:>12}", "benchmark", labels.0, labels.1).unwrap();
     for (b, v) in base.iter().zip(variant) {
-        println!("{:<12} {:>12.1} {:>12.1}", b.name, metric(b), metric(v));
+        writeln!(
+            out,
+            "{:<12} {:>12.1} {:>12.1}",
+            b.name,
+            metric(b),
+            metric(v)
+        )
+        .unwrap();
     }
-    println!(
+    writeln!(
+        out,
         "{:<12} {:>12.1} {:>12.1}   (paper: {:.1} -> {:.1} {metric_name})",
         "average",
         mean(base.iter().map(&metric)),
         mean(variant.iter().map(&metric)),
         paper_avgs.0,
         paper_avgs.1,
-    );
+    )
+    .unwrap();
+    out
 }
 
 /// The paper's Figure 5 numbers (FLUSH overhead %, approximate bar

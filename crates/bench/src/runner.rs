@@ -1,19 +1,25 @@
 //! The parallel experiment runner.
 //!
 //! A figure is a grid of (variant, workload, opts) points. [`run_grid`]
-//! fans the points out across OS threads with a shared work queue, streams
-//! each finished point through a caller-supplied callback (the CLI writes
-//! one JSON object per point), and returns the results in point order so
-//! figure rendering stays deterministic regardless of completion order.
+//! fans the points out across the `mi6-grid` work-stealing scheduler —
+//! per-worker queues, batched claims that amortize synchronization over
+//! many short simulations, steal-on-empty — streams each finished point
+//! through a caller-supplied callback (the CLI writes one JSON object per
+//! point), and returns the results in point order so figure rendering
+//! stays deterministic regardless of completion order.
+//!
+//! [`run_grid_scheduled`] is the full surface: an optional warm-fork
+//! phase, an optional deadline (in-flight machines are interrupted via
+//! the `SimBuilder::cancel_flag` hook and the shard journal resumes the
+//! rest later), and per-point worker attribution.
 
-use crate::{run_workload, run_workload_restored, HarnessOpts, RunRecord};
+use crate::{run_workload_cancellable, run_workload_restored_cancellable, HarnessOpts, RunRecord};
+use mi6_grid::Scheduler;
 use mi6_soc::{SimBuilder, Variant};
 use mi6_workloads::{Workload, WorkloadParams};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
-use std::thread;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One point of the variant×workload grid.
@@ -27,6 +33,26 @@ pub struct GridPoint {
     pub opts: HarnessOpts,
 }
 
+impl GridPoint {
+    /// The point's canonical key: `variant/workload/kinsts/timer/seed-hex`.
+    ///
+    /// The key is the identity a point has *everywhere* — it dedupes
+    /// shared passes across figures, assigns the point to a shard
+    /// (`mi6_grid::shard_of`), identifies it in the shard journal, and is
+    /// what `merge` validates coverage over. Its format is an on-disk
+    /// contract; never change it without a migration story.
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}/{}/{}/{:x}",
+            self.variant.name(),
+            self.workload.name(),
+            self.opts.kinsts,
+            self.opts.timer,
+            self.opts.seed
+        )
+    }
+}
+
 /// A completed grid point.
 #[derive(Clone, Debug)]
 pub struct PointResult {
@@ -36,18 +62,33 @@ pub struct PointResult {
     pub record: RunRecord,
     /// Host wall-clock time the simulation took, in milliseconds.
     pub wall_ms: u64,
+    /// The scheduler worker that ran the point (0 when not run by the
+    /// scheduler, e.g. a merge-reconstructed result predating workers).
+    pub worker: usize,
+    /// Warm-up provenance: `"cold"`, `"exact:<cycles>"`, or
+    /// `"forkbase:<cycles>"`. Cold and exact runs are bit-identical and
+    /// mix freely; fork-base results measure a different (shared-prefix)
+    /// methodology, so `merge` hard-errors when shards mix fork-base
+    /// with anything else.
+    pub warm: String,
 }
 
 impl PointResult {
     /// One JSON object describing this point (hand-rolled: the harness is
     /// dependency-free, and every field is numeric or a known-safe name).
+    ///
+    /// Floats are formatted with `{}` (shortest round-trip form), so a
+    /// merge that re-parses this line reproduces the in-memory value
+    /// bit-for-bit — sharded figure tables must be byte-identical to
+    /// unsharded ones.
     pub fn to_json(&self) -> String {
         format!(
             concat!(
                 "{{\"variant\":\"{}\",\"workload\":\"{}\",\"kinsts\":{},",
                 "\"timer\":{},\"seed\":{},\"cycles\":{},\"instructions\":{},",
-                "\"branch_mpki\":{:.3},\"llc_mpki\":{:.3},",
-                "\"flush_stall_cycles\":{},\"traps\":{},\"wall_ms\":{}}}"
+                "\"branch_mpki\":{},\"llc_mpki\":{},",
+                "\"flush_stall_cycles\":{},\"traps\":{},\"wall_ms\":{},",
+                "\"worker\":{},\"warm\":\"{}\"}}"
             ),
             self.point.variant.name(),
             self.record.name,
@@ -61,13 +102,71 @@ impl PointResult {
             self.record.flush_stall_cycles,
             self.record.traps,
             self.wall_ms,
+            self.worker,
+            self.warm,
         )
+    }
+
+    /// Parses one [`PointResult::to_json`] line back (the merge path).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first defect: malformed JSON (e.g. a
+    /// journal line torn by a mid-write kill), a missing field, or an
+    /// unknown variant/workload name.
+    pub fn from_json(line: &str) -> Result<PointResult, String> {
+        let obj = mi6_grid::parse_object(line).map_err(|e| e.to_string())?;
+        let str_field = |name: &str| -> Result<&str, String> {
+            obj.get(name)
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| format!("missing string field `{name}`"))
+        };
+        let u64_field = |name: &str| -> Result<u64, String> {
+            obj.get(name)
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("missing integer field `{name}`"))
+        };
+        let f64_field = |name: &str| -> Result<f64, String> {
+            obj.get(name)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("missing number field `{name}`"))
+        };
+        let variant_name = str_field("variant")?;
+        let variant = Variant::from_name(variant_name)
+            .ok_or_else(|| format!("unknown variant `{variant_name}`"))?;
+        let workload_name = str_field("workload")?;
+        let workload = Workload::from_name(workload_name)
+            .ok_or_else(|| format!("unknown workload `{workload_name}`"))?;
+        let point = GridPoint {
+            variant,
+            workload,
+            opts: HarnessOpts {
+                kinsts: u64_field("kinsts")?,
+                timer: u64_field("timer")?,
+                seed: u64_field("seed")?,
+            },
+        };
+        Ok(PointResult {
+            point,
+            record: RunRecord {
+                name: workload.name(),
+                cycles: u64_field("cycles")?,
+                instructions: u64_field("instructions")?,
+                branch_mpki: f64_field("branch_mpki")?,
+                llc_mpki: f64_field("llc_mpki")?,
+                flush_stall_cycles: u64_field("flush_stall_cycles")?,
+                traps: u64_field("traps")?,
+            },
+            wall_ms: u64_field("wall_ms")?,
+            worker: u64_field("worker")? as usize,
+            warm: str_field("warm")?.to_string(),
+        })
     }
 }
 
 /// Default worker count: one per available hardware thread.
 pub fn default_threads() -> usize {
-    thread::available_parallelism()
+    std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
 }
@@ -80,8 +179,9 @@ pub fn default_threads() -> usize {
 /// - **exact** (`fork_base == false`): one snapshot per (variant,
 ///   workload, seed), restored strictly. Results are bit-identical to
 ///   non-forked runs; the checkpoint directory acts as a cross-invocation
-///   cache (re-running a figure, sharing BASE passes between figures, and
-///   resuming after preemption all skip the warm-up simulation).
+///   cache (re-running a figure, sharing BASE passes between figures,
+///   resuming after preemption, and *sharing warm-ups between shard
+///   hosts* all skip the warm-up simulation).
 /// - **fork-base** (`fork_base == true`): one snapshot per (workload,
 ///   seed), warmed on BASE and run to a memory-quiescent point, then
 ///   *forked into every variant* — the reference-warming methodology:
@@ -183,6 +283,47 @@ impl WarmFork {
     }
 }
 
+/// How [`run_grid_scheduled`] runs a point set.
+#[derive(Clone, Debug)]
+pub struct GridSchedule<'w> {
+    /// Worker thread count.
+    pub threads: usize,
+    /// Points claimed per queue visit (0 = auto; see
+    /// [`mi6_grid::Scheduler`]).
+    pub batch: usize,
+    /// Optional warm-fork phase.
+    pub warm: Option<&'w WarmFork>,
+    /// Stop claiming new points and cancel in-flight machines once this
+    /// instant passes; unfinished points stay un-journaled so a resumed
+    /// shard recomputes exactly them.
+    pub deadline: Option<Instant>,
+}
+
+impl<'w> GridSchedule<'w> {
+    /// A schedule with `threads` workers and nothing else.
+    pub fn new(threads: usize) -> GridSchedule<'w> {
+        GridSchedule {
+            threads,
+            batch: 0,
+            warm: None,
+            deadline: None,
+        }
+    }
+}
+
+/// What a scheduled grid run produced.
+#[derive(Debug)]
+pub struct GridOutcome {
+    /// Per-point results in `points` order; `None` = cancelled/unstarted.
+    pub results: Vec<Option<PointResult>>,
+    /// Points that finished.
+    pub completed: usize,
+    /// Points that did not (deadline).
+    pub cancelled: usize,
+    /// Whether the deadline fired.
+    pub deadline_hit: bool,
+}
+
 /// Runs every grid point across `threads` worker threads.
 ///
 /// `on_result` is invoked on the caller's thread as each point finishes
@@ -203,17 +344,40 @@ pub fn run_grid_with(
     points: &[GridPoint],
     threads: usize,
     warm: Option<&WarmFork>,
-    mut on_result: impl FnMut(&PointResult),
+    on_result: impl FnMut(&PointResult),
 ) -> Vec<PointResult> {
+    let mut schedule = GridSchedule::new(threads);
+    schedule.warm = warm;
+    run_grid_scheduled(points, &schedule, on_result)
+        .results
+        .into_iter()
+        .map(|r| r.expect("every grid point completed (no deadline set)"))
+        .collect()
+}
+
+/// The full scheduled grid run: warm-fork phase (if configured), then the
+/// measurement phase on the work-stealing scheduler, with per-point
+/// cancellation against the deadline.
+pub fn run_grid_scheduled(
+    points: &[GridPoint],
+    schedule: &GridSchedule<'_>,
+    mut on_result: impl FnMut(&PointResult),
+) -> GridOutcome {
     let n = points.len();
     if n == 0 {
-        return Vec::new();
+        return GridOutcome {
+            results: Vec::new(),
+            completed: 0,
+            cancelled: 0,
+            deadline_hit: false,
+        };
     }
-    if let Some(warm) = warm {
+    let warm_sched = Scheduler::new(schedule.threads).with_deadline(schedule.deadline);
+    if let Some(warm) = schedule.warm {
         std::fs::create_dir_all(&warm.dir)
             .unwrap_or_else(|e| panic!("cannot create {}: {e}", warm.dir.display()));
         // One warm-up per unique snapshot file; skip files that already
-        // exist (the cache / preemption-resume path).
+        // exist (the cache / preemption-resume / cross-host path).
         let mut pending: BTreeMap<PathBuf, GridPoint> = BTreeMap::new();
         for p in points {
             let path = warm.snapshot_path(p);
@@ -228,85 +392,84 @@ pub fn run_grid_with(
                 todo.len(),
                 warm.warmup_cycles
             );
-            let next = AtomicUsize::new(0);
-            let workers = threads.max(1).min(todo.len());
-            thread::scope(|s| {
-                for _ in 0..workers {
-                    let next = &next;
-                    let todo = &todo;
-                    s.spawn(move || loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= todo.len() {
-                            break;
-                        }
-                        let (path, point) = &todo[i];
-                        warm.create_snapshot(point, path);
-                    });
-                }
-            });
+            // Deadline granularity here is one warm-up: a warm-up that
+            // has started always completes and publishes its snapshot
+            // (later invocations reuse it), but no new ones are claimed
+            // past the deadline.
+            warm_sched.run(
+                &todo,
+                |_ctx, _i, (path, point)| {
+                    warm.create_snapshot(point, path);
+                    Some(())
+                },
+                |_, _| {},
+            );
         }
     }
-    let workers = threads.max(1).min(n);
-    let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, PointResult)>();
-    let mut results: Vec<Option<PointResult>> = (0..n).map(|_| None).collect();
-    thread::scope(|s| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            let next = &next;
-            s.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+    let warm_tag = match schedule.warm {
+        None => "cold".to_string(),
+        Some(w) if w.fork_base => format!("forkbase:{}", w.warmup_cycles),
+        Some(w) => format!("exact:{}", w.warmup_cycles),
+    };
+    let sched = Scheduler::new(schedule.threads)
+        .with_batch(schedule.batch)
+        .with_deadline(schedule.deadline);
+    let outcome = sched.run(
+        points,
+        |ctx, _i, point| {
+            let t0 = Instant::now();
+            let cancel = Some(Arc::clone(&ctx.cancel));
+            let record = match schedule.warm {
+                None => {
+                    run_workload_cancellable(point.variant, point.workload, &point.opts, cancel)?
                 }
-                let point = points[i];
-                let t0 = Instant::now();
-                let record = match warm {
-                    None => run_workload(point.variant, point.workload, &point.opts),
-                    Some(warm) => {
-                        let path = warm.snapshot_path(&point);
-                        let snapshot = std::fs::read(&path)
-                            .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
-                        run_workload_restored(
-                            point.variant,
-                            point.workload,
-                            &point.opts,
-                            &snapshot,
-                            warm.fork_base,
-                        )
-                    }
-                };
-                let wall_ms = t0.elapsed().as_millis() as u64;
-                if tx
-                    .send((
-                        i,
-                        PointResult {
-                            point,
-                            record,
-                            wall_ms,
-                        },
-                    ))
-                    .is_err()
-                {
-                    break;
+                Some(warm) => {
+                    let path = warm.snapshot_path(point);
+                    let snapshot = std::fs::read(&path)
+                        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+                    run_workload_restored_cancellable(
+                        point.variant,
+                        point.workload,
+                        &point.opts,
+                        &snapshot,
+                        warm.fork_base,
+                        cancel,
+                    )?
                 }
-            });
-        }
-        drop(tx);
-        while let Ok((i, res)) = rx.recv() {
-            on_result(&res);
-            results[i] = Some(res);
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("every grid point completed"))
-        .collect()
+            };
+            Some(PointResult {
+                point: *point,
+                record,
+                wall_ms: t0.elapsed().as_millis() as u64,
+                worker: ctx.worker,
+                warm: warm_tag.clone(),
+            })
+        },
+        |_, res| on_result(res),
+    );
+    GridOutcome {
+        results: outcome.results,
+        completed: outcome.completed,
+        cancelled: outcome.cancelled,
+        deadline_hit: outcome.deadline_hit,
+    }
 }
 
-/// The full variant×workload grid for one variant (all eleven workloads).
+/// The full variant×workload grid for one variant (all eleven paper
+/// workloads).
 pub fn variant_points(variant: Variant, opts: HarnessOpts) -> Vec<GridPoint> {
-    Workload::ALL
+    variant_points_for(variant, opts, &Workload::ALL)
+}
+
+/// One variant's grid over an explicit workload set (how `--workload`
+/// restricts a figure, and how the adversarial `enclave-ws` runs in a
+/// plain grid).
+pub fn variant_points_for(
+    variant: Variant,
+    opts: HarnessOpts,
+    workloads: &[Workload],
+) -> Vec<GridPoint> {
+    workloads
         .iter()
         .map(|&workload| GridPoint {
             variant,
@@ -454,7 +617,69 @@ mod tests {
         assert!(json.contains("\"variant\":\"BASE\""));
         assert!(json.contains("\"workload\":\"hmmer\""));
         assert!(json.contains("\"cycles\":"));
+        assert!(json.contains("\"wall_ms\":"));
+        assert!(json.contains("\"worker\":"));
+        assert!(json.contains("\"warm\":\"cold\""));
         // Seed sweeps are distinguishable in the JSONL stream.
         assert!(json.contains(&format!("\"seed\":{}", crate::DEFAULT_SEED)));
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let points = [GridPoint {
+            variant: Variant::Fpma,
+            workload: Workload::Sjeng,
+            opts: tiny_opts().with_seed(0xDEAD_BEEF_1234_5678),
+        }];
+        let results = run_grid(&points, 1, |_| {});
+        let parsed = PointResult::from_json(&results[0].to_json()).unwrap();
+        assert_eq!(parsed.point.key(), results[0].point.key());
+        assert_eq!(parsed.record.cycles, results[0].record.cycles);
+        assert_eq!(parsed.record.instructions, results[0].record.instructions);
+        // Floats round-trip bit-for-bit: merged figure tables must be
+        // byte-identical to unsharded ones.
+        assert_eq!(parsed.record.branch_mpki, results[0].record.branch_mpki);
+        assert_eq!(parsed.record.llc_mpki, results[0].record.llc_mpki);
+        assert_eq!(parsed.wall_ms, results[0].wall_ms);
+        assert_eq!(parsed.worker, results[0].worker);
+        assert_eq!(parsed.warm, "cold");
+        // And a torn line is rejected, not misparsed.
+        let json = results[0].to_json();
+        assert!(PointResult::from_json(&json[..json.len() - 8]).is_err());
+    }
+
+    #[test]
+    fn point_key_is_the_documented_contract() {
+        let p = GridPoint {
+            variant: Variant::Fpma,
+            workload: Workload::Gcc,
+            opts: HarnessOpts {
+                kinsts: 2000,
+                timer: 0,
+                seed: 0xC0FFEE,
+            },
+        };
+        assert_eq!(p.key(), "F+P+M+A/gcc/2000/0/c0ffee");
+    }
+
+    #[test]
+    fn expired_deadline_cancels_everything_cleanly() {
+        let points = variant_points(Variant::Base, tiny_opts());
+        let mut schedule = GridSchedule::new(2);
+        schedule.deadline = Some(Instant::now());
+        let mut streamed = 0usize;
+        let out = run_grid_scheduled(&points, &schedule, |_| streamed += 1);
+        assert!(out.deadline_hit);
+        assert_eq!(out.completed, 0);
+        assert_eq!(out.cancelled, points.len());
+        assert_eq!(streamed, 0);
+        assert!(out.results.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn worker_ids_are_recorded() {
+        let points = variant_points(Variant::Base, tiny_opts());
+        let results = run_grid(&points, 3, |_| {});
+        assert!(results.iter().all(|r| r.worker < 3));
     }
 }

@@ -19,41 +19,23 @@
 use crate::{mean, HarnessOpts};
 use mi6_isa::{Assembler, Inst, Reg};
 use mi6_soc::{kernel, loader, Program, SimBuilder, Variant};
-use mi6_workloads::{generate, BranchStyle, Profile, Workload, WorkloadParams};
+use mi6_workloads::{Workload, WorkloadParams};
 use std::sync::mpsc;
 use std::thread;
 
+/// The enclave victim workload (promoted to `mi6-workloads` so plain
+/// figure grids and shards can run it like any other workload; see
+/// [`Workload::EnclaveWs`] for why the 256 KiB chase arena is the
+/// maximally eviction-sensitive shape).
+pub const VICTIM: Workload = Workload::EnclaveWs;
 /// Display name of the enclave victim.
 pub const VICTIM_NAME: &str = "enclave-ws";
 /// The attacker workload (streaming LLC thrasher).
 pub const ATTACKER: Workload = Workload::Libquantum;
 
-/// The enclave victim: a dependent pointer chase over a 256 KiB arena —
-/// the access pattern *maximally* sensitive to attacker eviction (every
-/// load's latency is fully exposed, and each lap revisits every line).
-///
-/// The arena size is deliberate: it fits the shared 1 MiB LLC (so on
-/// BASE the victim's steady state is all-hits and the attacker's stream
-/// is what destroys it) *and* fits the 256 KiB LLC partition MI6's
-/// region-keyed indexing leaves a one-region enclave (so MI6's
-/// protection, not its capacity loss, dominates the contrast). This is
-/// the "adversarial enclave workload driving the SecureMi6 LLC
-/// mechanisms" shape from the roadmap.
+/// The enclave victim's program ([`Workload::EnclaveWs`] at this scale).
 pub fn victim_program(params: &WorkloadParams) -> Program {
-    let profile = Profile {
-        stream_bytes: 0,
-        stream_lines_per_iter: 0,
-        chase_bytes: 256 << 10,
-        chase_nodes_per_iter: 8,
-        ws_bytes: 0,
-        ws_accesses_per_iter: 0,
-        branch_sites: 2,
-        branch_style: BranchStyle::Easy,
-        ilp_ops: 2,
-        muldiv_ops: 0,
-        syscall_every: 0,
-    };
-    generate(VICTIM_NAME, &profile, params)
+    VICTIM.build(params)
 }
 
 /// One (variant, colocation) measurement of the victim core.

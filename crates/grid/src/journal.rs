@@ -1,0 +1,139 @@
+//! The resumable shard journal.
+//!
+//! One JSONL file per shard: workers append a completed point's JSON line
+//! as soon as it finishes, so the file is always a prefix of the shard's
+//! work. Restarting a shard opens the journal, replays the parseable
+//! lines (skipping finished points), and appends from there. A process
+//! killed mid-write leaves at most one torn trailing line, which fails to
+//! parse and is simply recomputed — [`Journal::open`] reports it so the
+//! caller can log it.
+//!
+//! The journal is line-oriented and append-only on purpose: `O_APPEND`
+//! single-`write` appends are atomic enough for one writer per shard
+//! file, and the merge step re-validates global coverage anyway
+//! ([`crate::merge`]), so even operator error (two hosts accidentally
+//! running the same shard) is caught before any figure is rendered.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// An append-only JSONL shard journal.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+}
+
+/// What [`Journal::open`] found on disk.
+#[derive(Debug)]
+pub struct JournalReplay {
+    /// Every complete line already journaled, in file order.
+    pub lines: Vec<String>,
+    /// Whether a torn (unterminated) trailing line was found and ignored.
+    pub torn_tail: bool,
+}
+
+impl Journal {
+    /// Opens (creating if needed) a journal for appending and replays its
+    /// existing complete lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be read or
+    /// created (the parent directory must already exist).
+    pub fn open(path: impl Into<PathBuf>) -> std::io::Result<(Journal, JournalReplay)> {
+        let path = path.into();
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&path)?;
+        let mut contents = String::new();
+        file.read_to_string(&mut contents)?;
+        let torn_tail = !contents.is_empty() && !contents.ends_with('\n');
+        let mut lines: Vec<String> = contents.lines().map(str::to_string).collect();
+        if torn_tail {
+            // The unterminated tail is a kill artifact, not a record:
+            // drop it and truncate it away so the next append starts on
+            // a fresh line instead of gluing onto the fragment.
+            lines.pop();
+            let keep = contents.rfind('\n').map(|i| i + 1).unwrap_or(0);
+            file.set_len(keep as u64)?;
+        }
+        Ok((Journal { path, file }, JournalReplay { lines, torn_tail }))
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record line (the line must not contain `\n`) and
+    /// flushes it to the OS, so a later kill cannot lose it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error on a failed write.
+    pub fn append(&mut self, line: &str) -> std::io::Result<()> {
+        debug_assert!(!line.contains('\n'), "journal records are single lines");
+        // One write call per record: an O_APPEND write of a small buffer
+        // lands contiguously, so concurrent *readers* (merge on a live
+        // dir) see only whole or torn-tail lines, never interleaving.
+        let mut buf = String::with_capacity(line.len() + 1);
+        buf.push_str(line);
+        buf.push('\n');
+        self.file.write_all(buf.as_bytes())?;
+        self.file.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mi6-grid-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn append_then_replay() {
+        let path = scratch("roundtrip.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut j, replay) = Journal::open(&path).unwrap();
+            assert!(replay.lines.is_empty() && !replay.torn_tail);
+            j.append("{\"a\":1}").unwrap();
+            j.append("{\"a\":2}").unwrap();
+        }
+        let (mut j, replay) = Journal::open(&path).unwrap();
+        assert_eq!(replay.lines, vec!["{\"a\":1}", "{\"a\":2}"]);
+        assert!(!replay.torn_tail);
+        // Appending after a replay continues the file.
+        j.append("{\"a\":3}").unwrap();
+        let (_, replay) = Journal::open(&path).unwrap();
+        assert_eq!(replay.lines.len(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_reported() {
+        let path = scratch("torn.jsonl");
+        std::fs::write(&path, "{\"a\":1}\n{\"a\":2}\n{\"a\":3,\"tr").unwrap();
+        let (mut j, replay) = Journal::open(&path).unwrap();
+        assert_eq!(replay.lines, vec!["{\"a\":1}", "{\"a\":2}"]);
+        assert!(replay.torn_tail);
+        // The torn fragment was truncated away, so the recomputed record
+        // lands on its own fresh line.
+        j.append("{\"a\":3}").unwrap();
+        let (_, replay) = Journal::open(&path).unwrap();
+        assert_eq!(
+            replay.lines,
+            vec!["{\"a\":1}", "{\"a\":2}", "{\"a\":3}"],
+            "append after torn tail must not glue onto the fragment"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,271 @@
+//! A minimal parser for flat JSON objects — the grid interchange format.
+//!
+//! Shard journals hold one hand-rolled JSON object per line with string
+//! and number values only (see `PointResult::to_json` in `mi6-bench`).
+//! This parser covers exactly that subset: one object, string keys,
+//! string/number/bool values, no nesting. Integers are kept as exact
+//! `u64`s (seeds are full 64-bit values a round-trip through `f64` would
+//! corrupt); other numbers are `f64`s parsed with `str::parse`, which is
+//! the exact inverse of the `{}` formatting the writer uses.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One parsed value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// A string (escapes `\"` and `\\` only, as the writer emits).
+    Str(String),
+    /// A non-negative integer that fits `u64` exactly.
+    Int(u64),
+    /// Any other number.
+    Float(f64),
+    /// `true` / `false`.
+    Bool(bool),
+}
+
+impl JsonValue {
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact `u64`, if it is an integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integers convert).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Int(n) => Some(*n as f64),
+            JsonValue::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+}
+
+/// Parse error: what went wrong and the byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub what: String,
+    /// Byte offset in the input.
+    pub at: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.what, self.at)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: &str) -> JsonError {
+        JsonError {
+            what: what.to_string(),
+            at: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    let esc = self.bytes.get(self.pos + 1);
+                    match esc {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        _ => return Err(self.err("unsupported escape")),
+                    }
+                    self.pos += 2;
+                }
+                Some(&b) => {
+                    if !b.is_ascii() {
+                        // Multi-byte UTF-8: copy the whole char.
+                        let s = &self.bytes[self.pos..];
+                        let ch = std::str::from_utf8(s)
+                            .ok()
+                            .and_then(|s| s.chars().next())
+                            .ok_or_else(|| self.err("invalid utf-8"))?;
+                        out.push(ch);
+                        self.pos += ch.len_utf8();
+                    } else {
+                        out.push(b as char);
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') if self.bytes[self.pos..].starts_with(b"true") => {
+                self.pos += 4;
+                Ok(JsonValue::Bool(true))
+            }
+            Some(b'f') if self.bytes[self.pos..].starts_with(b"false") => {
+                self.pos += 5;
+                Ok(JsonValue::Bool(false))
+            }
+            Some(_) => {
+                let start = self.pos;
+                while self.bytes.get(self.pos).is_some_and(|b| {
+                    b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+                }) {
+                    self.pos += 1;
+                }
+                let token = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid number"))?;
+                if token.is_empty() {
+                    return Err(self.err("expected a value"));
+                }
+                if token.bytes().all(|b| b.is_ascii_digit()) {
+                    if let Ok(n) = token.parse::<u64>() {
+                        return Ok(JsonValue::Int(n));
+                    }
+                }
+                token
+                    .parse::<f64>()
+                    .map(JsonValue::Float)
+                    .map_err(|_| JsonError {
+                        what: format!("bad number `{token}`"),
+                        at: start,
+                    })
+            }
+            None => Err(self.err("expected a value")),
+        }
+    }
+}
+
+/// Parses one flat JSON object into key→value map form.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] on malformed input — including a truncated line,
+/// which is how a journal torn by a mid-write kill is detected.
+pub fn parse_object(line: &str) -> Result<BTreeMap<String, JsonValue>, JsonError> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.expect(b'{')?;
+    let mut map = BTreeMap::new();
+    p.skip_ws();
+    if p.bytes.get(p.pos) == Some(&b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            let key = p.string()?;
+            p.expect(b':')?;
+            let value = p.value()?;
+            map.insert(key, value);
+            p.skip_ws();
+            match p.bytes.get(p.pos) {
+                Some(b',') => p.pos += 1,
+                Some(b'}') => {
+                    p.pos += 1;
+                    break;
+                }
+                _ => return Err(p.err("expected `,` or `}`")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing bytes after object"));
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_point_line() {
+        let line = "{\"variant\":\"F+P+M+A\",\"workload\":\"gcc\",\"kinsts\":2000,\
+                    \"seed\":13835058055282163712,\"branch_mpki\":13.537,\"ok\":true}";
+        let obj = parse_object(line).unwrap();
+        assert_eq!(obj["variant"].as_str(), Some("F+P+M+A"));
+        assert_eq!(obj["kinsts"].as_u64(), Some(2000));
+        // A seed above 2^53: exact through the Int path, corrupted via f64.
+        assert_eq!(obj["seed"].as_u64(), Some(13835058055282163712));
+        assert_eq!(obj["branch_mpki"].as_f64(), Some(13.537));
+        assert_eq!(obj["ok"], JsonValue::Bool(true));
+    }
+
+    #[test]
+    fn float_round_trips_exactly() {
+        for x in [0.1f64, 18.046512341, 1e-12, 123456.789012345] {
+            let line = format!("{{\"x\":{x}}}");
+            let obj = parse_object(&line).unwrap();
+            assert_eq!(obj["x"].as_f64(), Some(x), "{line}");
+        }
+    }
+
+    #[test]
+    fn rejects_torn_lines() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":1",
+            "{\"a\":}",
+            "{\"a\":1,\"b\":\"xyz",
+            "{\"a\":1}{",
+            "not json",
+        ] {
+            assert!(parse_object(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn empty_object_and_escapes() {
+        assert!(parse_object("{}").unwrap().is_empty());
+        let obj = parse_object("{\"s\":\"a\\\"b\\\\c\"}").unwrap();
+        assert_eq!(obj["s"].as_str(), Some("a\"b\\c"));
+    }
+}

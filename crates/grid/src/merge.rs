@@ -1,0 +1,136 @@
+//! Coverage validation for merging shard files.
+//!
+//! A merge is only meaningful if the shard set covers every expected grid
+//! point exactly once. [`validate_coverage`] compares the expected key
+//! set against the keys observed across all shard journals and reports
+//! **missing** points (a shard was never run, or was killed and not
+//! resumed) and **duplicated** points (the same point journaled twice —
+//! overlapping shard specs, or one shard run by two hosts) — both hard
+//! errors for the caller. Keys present in the journals but not expected
+//! (e.g. merging only figure 13 out of an `--all` shard directory) are
+//! reported informationally and ignored.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The coverage defects of a shard set.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Coverage {
+    /// Expected keys observed zero times.
+    pub missing: Vec<String>,
+    /// Expected keys observed more than once (with their counts).
+    pub duplicate: Vec<(String, usize)>,
+    /// Observed keys that were not expected (ignored by the merge; listed
+    /// so a config mismatch is visible).
+    pub extra: Vec<String>,
+}
+
+impl Coverage {
+    /// Whether the shard set covers the expectation exactly.
+    pub fn is_exact(&self) -> bool {
+        self.missing.is_empty() && self.duplicate.is_empty()
+    }
+}
+
+impl fmt::Display for Coverage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn list(f: &mut fmt::Formatter<'_>, what: &str, keys: &[String]) -> fmt::Result {
+            if keys.is_empty() {
+                return Ok(());
+            }
+            writeln!(f, "{} {} point(s):", keys.len(), what)?;
+            for k in keys.iter().take(10) {
+                writeln!(f, "  {k}")?;
+            }
+            if keys.len() > 10 {
+                writeln!(f, "  ... and {} more", keys.len() - 10)?;
+            }
+            Ok(())
+        }
+        list(f, "missing", &self.missing)?;
+        let dups: Vec<String> = self
+            .duplicate
+            .iter()
+            .map(|(k, n)| format!("{k} (x{n})"))
+            .collect();
+        list(f, "duplicated", &dups)?;
+        list(f, "unexpected (ignored)", &self.extra)
+    }
+}
+
+/// Validates that `observed` covers `expected` exactly once each.
+///
+/// # Errors
+///
+/// Returns the full [`Coverage`] report when any expected key is missing
+/// or duplicated. Extra observed keys alone do not fail validation; the
+/// `Ok` value carries them so the caller can mention the subset.
+pub fn validate_coverage<'a>(
+    expected: impl IntoIterator<Item = &'a str>,
+    observed: impl IntoIterator<Item = &'a str>,
+) -> Result<Coverage, Coverage> {
+    let expected: BTreeSet<&str> = expected.into_iter().collect();
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for k in observed {
+        *counts.entry(k).or_insert(0) += 1;
+    }
+    let cov = Coverage {
+        missing: expected
+            .iter()
+            .filter(|k| !counts.contains_key(**k))
+            .map(|k| k.to_string())
+            .collect(),
+        duplicate: counts
+            .iter()
+            .filter(|(k, n)| expected.contains(**k) && **n > 1)
+            .map(|(k, n)| (k.to_string(), *n))
+            .collect(),
+        extra: counts
+            .keys()
+            .filter(|k| !expected.contains(**k))
+            .map(|k| k.to_string())
+            .collect(),
+    };
+    if cov.is_exact() {
+        Ok(cov)
+    } else {
+        Err(cov)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_coverage_passes() {
+        let cov = validate_coverage(["a", "b", "c"], ["c", "a", "b"]).unwrap();
+        assert!(cov.is_exact() && cov.extra.is_empty());
+    }
+
+    #[test]
+    fn missing_point_is_an_error() {
+        let err = validate_coverage(["a", "b", "c"], ["a", "c"]).unwrap_err();
+        assert_eq!(err.missing, vec!["b"]);
+        assert!(err.duplicate.is_empty());
+        assert!(format!("{err}").contains("missing"));
+    }
+
+    #[test]
+    fn duplicated_point_is_an_error() {
+        let err = validate_coverage(["a", "b"], ["a", "b", "a"]).unwrap_err();
+        assert_eq!(err.duplicate, vec![("a".to_string(), 2)]);
+        assert!(err.missing.is_empty());
+    }
+
+    #[test]
+    fn extra_points_are_tolerated() {
+        // Merging a subset (one figure) out of a larger (--all) shard dir.
+        let cov = validate_coverage(["a"], ["a", "z1", "z2"]).unwrap();
+        assert_eq!(cov.extra, vec!["z1", "z2"]);
+        // But a duplicated *extra* key still doesn't fail: it's outside
+        // the expectation.
+        let cov = validate_coverage(["a"], ["a", "z", "z"]).unwrap();
+        assert_eq!(cov.extra, vec!["z"]);
+    }
+}

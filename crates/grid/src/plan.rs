@@ -1,0 +1,148 @@
+//! The deterministic shard planner.
+//!
+//! A grid point is identified by a canonical key string (the caller's
+//! format; `mi6-bench` uses `variant/workload/kinsts/timer/seed-hex`).
+//! [`shard_of`] hashes the key with FNV-1a and reduces it modulo the
+//! shard count, so the assignment depends only on the key bytes and `N` —
+//! every process and host computes the identical partition with no
+//! coordination. A host told to run shard `i/N` filters the full grid
+//! down to its own points; any set of hosts covering all of `0..N` covers
+//! the grid exactly once.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// FNV-1a 64-bit hash (stable across platforms and builds; the shard
+/// assignment must never change under a compiler or stdlib upgrade).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The shard (in `0..total`) a point key belongs to.
+///
+/// # Panics
+///
+/// Panics if `total` is zero.
+pub fn shard_of(key: &str, total: u32) -> u32 {
+    assert!(total > 0, "a grid has at least one shard");
+    (fnv1a64(key.as_bytes()) % total as u64) as u32
+}
+
+/// One shard of an `N`-way split: `index/total`, parsed from the CLI's
+/// `--shard i/N`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This shard's index, in `0..total`.
+    pub index: u32,
+    /// Total number of shards the grid is split into.
+    pub total: u32,
+}
+
+impl ShardSpec {
+    /// A spec covering the whole grid (shard 0 of 1).
+    pub fn whole() -> ShardSpec {
+        ShardSpec { index: 0, total: 1 }
+    }
+
+    /// Whether a point key belongs to this shard.
+    pub fn contains(&self, key: &str) -> bool {
+        shard_of(key, self.total) == self.index
+    }
+
+    /// The shard journal's file name (`shard-i-of-N.jsonl`).
+    pub fn file_name(&self) -> String {
+        format!("shard-{}-of-{}.jsonl", self.index, self.total)
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.total)
+    }
+}
+
+/// Error from parsing a `ShardSpec`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardSpecError(String);
+
+impl fmt::Display for ShardSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad shard spec `{}` (expected i/N with i < N)", self.0)
+    }
+}
+
+impl std::error::Error for ShardSpecError {}
+
+impl FromStr for ShardSpec {
+    type Err = ShardSpecError;
+
+    fn from_str(s: &str) -> Result<ShardSpec, ShardSpecError> {
+        let err = || ShardSpecError(s.to_string());
+        let (i, n) = s.split_once('/').ok_or_else(err)?;
+        let index: u32 = i.parse().map_err(|_| err())?;
+        let total: u32 = n.parse().map_err(|_| err())?;
+        if total == 0 || index >= total {
+            return Err(err());
+        }
+        Ok(ShardSpec { index, total })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        let s: ShardSpec = "2/5".parse().unwrap();
+        assert_eq!(s, ShardSpec { index: 2, total: 5 });
+        assert_eq!(s.to_string(), "2/5");
+        assert_eq!(s.file_name(), "shard-2-of-5.jsonl");
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        for bad in ["", "3", "3/3", "5/3", "-1/3", "a/b", "1/0"] {
+            assert!(bad.parse::<ShardSpec>().is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn shards_partition_the_keys() {
+        let keys: Vec<String> = (0..500).map(|i| format!("point-{i}")).collect();
+        for total in [1u32, 2, 3, 7] {
+            let shards: Vec<ShardSpec> =
+                (0..total).map(|index| ShardSpec { index, total }).collect();
+            for k in &keys {
+                let owners = shards.iter().filter(|s| s.contains(k)).count();
+                assert_eq!(owners, 1, "{k} owned by {owners} shards of {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_is_stable() {
+        // Pinned values: the shard assignment is an on-disk contract
+        // between hosts — it must never drift.
+        assert_eq!(shard_of("BASE/hmmer/2000/250000/c0ffee", 3), 1);
+        assert_eq!(shard_of("F+P+M+A/gcc/2000/0/c0ffee", 3), 1);
+        assert_eq!(u64::from(shard_of("", 7)), fnv1a64(b"") % 7);
+    }
+
+    #[test]
+    fn assignment_is_roughly_balanced() {
+        let total = 4u32;
+        let mut counts = [0usize; 4];
+        for i in 0..1000 {
+            counts[shard_of(&format!("key-{i}"), total) as usize] += 1;
+        }
+        for c in counts {
+            assert!((150..=350).contains(&c), "unbalanced: {counts:?}");
+        }
+    }
+}

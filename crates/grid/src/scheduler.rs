@@ -1,0 +1,418 @@
+//! The in-process work-stealing scheduler.
+//!
+//! Replaces the old shared-atomic-counter grid loop: each worker owns a
+//! deque of task indices, claims a *batch* from its own queue per lock
+//! acquisition (many short simulations amortize the synchronization and
+//! keep a warm worker on adjacent grid points), and steals half a victim's
+//! remaining queue from the back when its own runs dry. Completed results
+//! stream to the caller's thread in completion order.
+//!
+//! Cancellation is cooperative and two-level: the shared cancel flag is
+//! checked between tasks by every worker, and the caller is expected to
+//! also hand it to whatever the task runs (the simulator polls it
+//! mid-machine via `SimBuilder::cancel_flag`, so even a long point stops
+//! within a few thousand simulated cycles). An optional deadline arms the
+//! flag automatically: the first worker to notice the deadline has passed
+//! cancels the whole pool, in-flight points return `None`, and unstarted
+//! points are never claimed — a journaled shard then resumes exactly
+//! where it stopped.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::Instant;
+
+/// What a worker passes to each task it runs.
+pub struct WorkerCtx {
+    /// The running worker's id, in `0..workers` (recorded per point so
+    /// shard balance is measurable from the output alone).
+    pub worker: usize,
+    /// The pool-wide cancel flag; hand it to the machine being run so
+    /// cancellation can interrupt a point mid-simulation.
+    pub cancel: Arc<AtomicBool>,
+}
+
+/// Scheduler configuration.
+#[derive(Clone, Debug)]
+pub struct Scheduler {
+    /// Worker thread count (clamped to at least 1 and at most the task
+    /// count).
+    pub workers: usize,
+    /// Tasks claimed per visit to the worker's own queue; 0 picks a
+    /// heuristic (≈ queue/8, at least 1). Larger batches amortize queue
+    /// locking across many short runs at the cost of coarser stealing.
+    pub batch: usize,
+    /// Stop dispatching and cancel in-flight tasks once this instant
+    /// passes.
+    pub deadline: Option<Instant>,
+    /// An externally shared cancel flag (e.g. a Ctrl-C handler); the
+    /// scheduler creates its own when absent.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl Scheduler {
+    /// A scheduler with `workers` threads, auto batching, and no deadline.
+    pub fn new(workers: usize) -> Scheduler {
+        Scheduler {
+            workers,
+            batch: 0,
+            deadline: None,
+            cancel: None,
+        }
+    }
+
+    /// Sets the claim batch size (0 = auto).
+    pub fn with_batch(mut self, batch: usize) -> Scheduler {
+        self.batch = batch;
+        self
+    }
+
+    /// Sets the deadline.
+    pub fn with_deadline(mut self, deadline: Option<Instant>) -> Scheduler {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Runs every task, streaming completions to `on_done` on the
+    /// caller's thread (in completion order; use the returned vector for
+    /// task order). `run` returns `None` for a task cancelled mid-flight;
+    /// such tasks (and never-started ones) are `None` in the result.
+    pub fn run<T, R>(
+        &self,
+        tasks: &[T],
+        run: impl Fn(&WorkerCtx, usize, &T) -> Option<R> + Sync,
+        mut on_done: impl FnMut(usize, &R),
+    ) -> SchedulerOutcome<R>
+    where
+        T: Sync,
+        R: Send,
+    {
+        let n = tasks.len();
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        if n == 0 {
+            return SchedulerOutcome {
+                results,
+                completed: 0,
+                cancelled: 0,
+                deadline_hit: false,
+            };
+        }
+        let workers = self.workers.clamp(1, n);
+        let batch = if self.batch == 0 {
+            (n / (workers * 8)).max(1)
+        } else {
+            self.batch
+        };
+        // Cap the claim size at one worker's fair share: claimed tasks
+        // live in a private deque stealers cannot see, so an oversized
+        // batch (e.g. --batch 64 on a 22-point grid) would let the first
+        // worker vacuum the whole grid and silently serialize it.
+        let batch = batch.clamp(1, n.div_ceil(workers));
+        let cancel = self
+            .cancel
+            .clone()
+            .unwrap_or_else(|| Arc::new(AtomicBool::new(false)));
+        let deadline_hit = AtomicBool::new(false);
+
+        // Deal contiguous runs of the task list out round-robin so each
+        // worker starts on a compact span (adjacent grid points share
+        // workload shape) and stealing moves whole spans.
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| {
+                Mutex::new(
+                    (0..n)
+                        .filter(|i| (i / batch) % workers == w)
+                        .collect::<VecDeque<usize>>(),
+                )
+            })
+            .collect();
+
+        let (tx, rx) = mpsc::channel::<(usize, Option<R>)>();
+        thread::scope(|s| {
+            for w in 0..workers {
+                let tx = tx.clone();
+                let queues = &queues;
+                let cancel = Arc::clone(&cancel);
+                let deadline = self.deadline;
+                let deadline_hit = &deadline_hit;
+                let run = &run;
+                s.spawn(move || {
+                    let ctx = WorkerCtx { worker: w, cancel };
+                    let mut claimed: VecDeque<usize> = VecDeque::new();
+                    loop {
+                        if let Some(d) = deadline {
+                            if Instant::now() >= d && !ctx.cancel.swap(true, Ordering::SeqCst) {
+                                deadline_hit.store(true, Ordering::SeqCst);
+                            }
+                        }
+                        if ctx.cancel.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        if claimed.is_empty() {
+                            // Refill from our own queue first, then steal
+                            // half (rounded up) from the back of the first
+                            // non-empty victim.
+                            let mut own = queues[w].lock().unwrap();
+                            for _ in 0..batch {
+                                match own.pop_front() {
+                                    Some(i) => claimed.push_back(i),
+                                    None => break,
+                                }
+                            }
+                            drop(own);
+                            if claimed.is_empty() {
+                                for v in 1..workers {
+                                    let victim = (w + v) % workers;
+                                    let mut q = queues[victim].lock().unwrap();
+                                    let take = q.len().div_ceil(2);
+                                    for _ in 0..take {
+                                        if let Some(i) = q.pop_back() {
+                                            claimed.push_front(i);
+                                        }
+                                    }
+                                    if !claimed.is_empty() {
+                                        break;
+                                    }
+                                }
+                            }
+                            if claimed.is_empty() {
+                                break; // every queue drained: done
+                            }
+                        }
+                        let i = claimed.pop_front().expect("refilled above");
+                        if tx.send((i, run(&ctx, i, &tasks[i]))).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            // The collector doubles as the deadline watchdog: workers
+            // only check the clock *between* tasks, so if every worker
+            // is mid-task when the deadline passes, nobody would arm the
+            // cancel flag and in-flight machines would run to natural
+            // completion. Waiting with a timeout pinned to the deadline
+            // guarantees the flag is raised the moment the budget
+            // expires, no matter what the workers are doing.
+            let mut watchdog = self.deadline;
+            loop {
+                let received = match watchdog {
+                    Some(d) => match rx.recv_timeout(d.saturating_duration_since(Instant::now())) {
+                        Ok(msg) => Some(msg),
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            if !cancel.swap(true, Ordering::SeqCst) {
+                                deadline_hit.store(true, Ordering::SeqCst);
+                            }
+                            watchdog = None; // armed; plain recv from here
+                            continue;
+                        }
+                        Err(mpsc::RecvTimeoutError::Disconnected) => None,
+                    },
+                    None => rx.recv().ok(),
+                };
+                let Some((i, res)) = received else { break };
+                if let Some(r) = res {
+                    on_done(i, &r);
+                    results[i] = Some(r);
+                }
+            }
+        });
+        let completed = results.iter().filter(|r| r.is_some()).count();
+        SchedulerOutcome {
+            results,
+            completed,
+            cancelled: n - completed,
+            deadline_hit: deadline_hit.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// What [`Scheduler::run`] produced.
+#[derive(Debug)]
+pub struct SchedulerOutcome<R> {
+    /// Per-task results, in task order; `None` = cancelled or unstarted.
+    pub results: Vec<Option<R>>,
+    /// Tasks that finished.
+    pub completed: usize,
+    /// Tasks that did not (interrupted mid-run or never started).
+    pub cancelled: usize,
+    /// Whether the deadline fired.
+    pub deadline_hit: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_every_task_once() {
+        let tasks: Vec<u64> = (0..100).collect();
+        let runs = AtomicUsize::new(0);
+        let mut streamed = 0usize;
+        let out = Scheduler::new(4).run(
+            &tasks,
+            |_, _, &t| {
+                runs.fetch_add(1, Ordering::Relaxed);
+                Some(t * t)
+            },
+            |_, _| streamed += 1,
+        );
+        assert_eq!(runs.load(Ordering::Relaxed), 100);
+        assert_eq!(streamed, 100);
+        assert_eq!(out.completed, 100);
+        assert_eq!(out.cancelled, 0);
+        assert!(!out.deadline_hit);
+        for (i, r) in out.results.iter().enumerate() {
+            assert_eq!(*r, Some((i as u64) * (i as u64)));
+        }
+    }
+
+    #[test]
+    fn stealing_drains_skewed_work() {
+        // One pathological task distribution: worker 0's span is slow,
+        // everyone else's work is instant. With stealing, wall time is
+        // bounded by the slow tasks spread over all workers.
+        let tasks: Vec<u64> = (0..32).collect();
+        let out = Scheduler::new(8).with_batch(1).run(
+            &tasks,
+            |ctx, _, &t| {
+                if t < 8 {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Some(ctx.worker)
+            },
+            |_, _| {},
+        );
+        assert_eq!(out.completed, 32);
+        // More than one worker ended up running tasks.
+        let workers: std::collections::BTreeSet<usize> =
+            out.results.iter().map(|r| r.unwrap()).collect();
+        assert!(workers.len() > 1, "no stealing happened: {workers:?}");
+    }
+
+    #[test]
+    fn batching_claims_contiguous_spans() {
+        let tasks: Vec<usize> = (0..64).collect();
+        let out = Scheduler::new(1).with_batch(16).run(
+            &tasks,
+            |ctx, i, _| Some((ctx.worker, i)),
+            |_, _| {},
+        );
+        assert_eq!(out.completed, 64);
+    }
+
+    #[test]
+    fn oversized_batch_cannot_serialize_the_pool() {
+        // --batch larger than the task count: without the fair-share
+        // cap, worker 0 would claim everything into its private deque
+        // and the other workers would exit immediately.
+        let tasks: Vec<u64> = (0..32).collect();
+        let out = Scheduler::new(4).with_batch(64).run(
+            &tasks,
+            |ctx, _, _| {
+                std::thread::sleep(Duration::from_millis(5));
+                Some(ctx.worker)
+            },
+            |_, _| {},
+        );
+        assert_eq!(out.completed, 32);
+        let workers: std::collections::BTreeSet<usize> =
+            out.results.iter().map(|r| r.unwrap()).collect();
+        assert!(workers.len() > 1, "one worker ran everything: {workers:?}");
+    }
+
+    #[test]
+    fn deadline_cancels_remaining_tasks() {
+        let tasks: Vec<u64> = (0..64).collect();
+        let deadline = Instant::now() + Duration::from_millis(30);
+        let out = Scheduler::new(2)
+            .with_batch(1)
+            .with_deadline(Some(deadline))
+            .run(
+                &tasks,
+                |ctx, _, _| {
+                    // Simulate a cancellable point: poll the flag.
+                    for _ in 0..100 {
+                        if ctx.cancel.load(Ordering::SeqCst) {
+                            return None;
+                        }
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Some(())
+                },
+                |_, _| {},
+            );
+        assert!(out.deadline_hit);
+        assert!(out.cancelled > 0, "deadline cancelled nothing");
+        assert_eq!(out.completed + out.cancelled, 64);
+        // Unfinished tasks are None, finished ones Some, and the sum adds up.
+        assert_eq!(
+            out.results.iter().filter(|r| r.is_none()).count(),
+            out.cancelled
+        );
+    }
+
+    #[test]
+    fn deadline_interrupts_a_mid_flight_task() {
+        // One long task claimed *before* the deadline passes: only the
+        // collector-side watchdog can arm the cancel flag mid-task (the
+        // worker loop is busy inside `run`), which is exactly how a
+        // machine-level `SimBuilder::cancel_flag` poll gets triggered.
+        let tasks = [0u64];
+        let t0 = Instant::now();
+        let out = Scheduler::new(1)
+            .with_deadline(Some(Instant::now() + Duration::from_millis(50)))
+            .run(
+                &tasks,
+                |ctx, _, _| {
+                    for _ in 0..2_000 {
+                        if ctx.cancel.load(Ordering::SeqCst) {
+                            return None;
+                        }
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Some(())
+                },
+                |_, _| {},
+            );
+        assert!(out.deadline_hit);
+        assert_eq!(out.completed, 0);
+        assert_eq!(out.cancelled, 1);
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "watchdog failed to cancel the in-flight task"
+        );
+    }
+
+    #[test]
+    fn external_cancel_flag_stops_the_pool() {
+        let tasks: Vec<u64> = (0..1000).collect();
+        let flag = Arc::new(AtomicBool::new(false));
+        let mut sched = Scheduler::new(2).with_batch(1);
+        sched.cancel = Some(Arc::clone(&flag));
+        let done = AtomicUsize::new(0);
+        let out = sched.run(
+            &tasks,
+            |_, _, _| {
+                if done.fetch_add(1, Ordering::SeqCst) == 10 {
+                    flag.store(true, Ordering::SeqCst);
+                }
+                std::thread::sleep(Duration::from_millis(1));
+                Some(())
+            },
+            |_, _| {},
+        );
+        assert!(out.completed < 1000, "cancel flag ignored");
+        assert!(!out.deadline_hit);
+    }
+
+    #[test]
+    fn empty_task_list() {
+        let out = Scheduler::new(4).run(&[] as &[u64], |_, _, _| Some(()), |_, _| {});
+        assert_eq!(out.completed, 0);
+        assert!(out.results.is_empty());
+    }
+}

@@ -29,6 +29,8 @@ use mi6_mem::MemConfig;
 use mi6_snapshot::SnapError;
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
 /// Error from [`SimBuilder::build`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -88,6 +90,7 @@ pub struct SimBuilder {
     ckpt_every: u64,
     ckpt_dir: Option<PathBuf>,
     restore_path: Option<PathBuf>,
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl SimBuilder {
@@ -105,6 +108,7 @@ impl SimBuilder {
             ckpt_every: 0,
             ckpt_dir: None,
             restore_path: None,
+            cancel: None,
         }
     }
 
@@ -200,6 +204,18 @@ impl SimBuilder {
         self
     }
 
+    /// Installs a cooperative cancellation flag: while the machine runs
+    /// (`run_to_completion`), the flag is polled every few thousand
+    /// cycles, and raising it makes the run return
+    /// [`crate::RunError::Cancelled`] instead of simulating on. The grid
+    /// scheduler hands every machine of a batch the same flag, so a
+    /// deadline (or a per-point cancel) interrupts in-flight simulations
+    /// mid-machine, not just between points.
+    pub fn cancel_flag(mut self, flag: Arc<AtomicBool>) -> SimBuilder {
+        self.cancel = Some(flag);
+        self
+    }
+
     /// Restores the machine from a checkpoint file right after `build()`
     /// assembles it. The checkpoint must match the configured machine
     /// exactly (same variant and knobs); it overwrites any placed
@@ -241,6 +257,7 @@ impl SimBuilder {
             machine.restore(&bytes)?;
         }
         machine.set_checkpointing(self.ckpt_every, self.ckpt_dir);
+        machine.set_cancel_flag(self.cancel);
         Ok(machine)
     }
 }
@@ -334,6 +351,43 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, BuildError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn cancel_flag_interrupts_a_run() {
+        use crate::loader;
+        use crate::machine::RunError;
+        use mi6_isa::{Assembler, Inst, Reg};
+        // A long-spinning user program stands in for a grid point.
+        let mut asm = Assembler::new(loader::CODE_VA);
+        asm.li(Reg::S1, 10_000_000);
+        let top = asm.here();
+        asm.push(Inst::addi(Reg::S1, Reg::S1, -1));
+        asm.bnez(Reg::S1, top);
+        asm.li(Reg::A7, crate::kernel::sys::EXIT);
+        asm.push(Inst::Ecall);
+        let spin = Program {
+            name: "spin".into(),
+            code: asm.assemble().expect("assembles"),
+            data_size: 4096,
+            data_init: vec![],
+            stack_size: 4096,
+        };
+        let flag = Arc::new(AtomicBool::new(false));
+        let mut m = SimBuilder::base()
+            .without_timer()
+            .workload(0, spin)
+            .cancel_flag(Arc::clone(&flag))
+            .build()
+            .unwrap();
+        // Not raised: runs normally.
+        m.run_cycles(10_000);
+        assert!(!m.all_halted());
+        flag.store(true, std::sync::atomic::Ordering::SeqCst);
+        let err = m.run_to_completion(1_000_000_000).unwrap_err();
+        assert!(matches!(err, RunError::Cancelled { .. }), "{err}");
+        // The machine stopped within one poll window of where it was.
+        assert!(m.now() < 10_000 + 5_000, "stopped late: {}", m.now());
     }
 
     #[test]

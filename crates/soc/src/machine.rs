@@ -59,6 +59,12 @@ pub enum RunError {
         /// Cycles executed.
         cycles: u64,
     },
+    /// The cancel flag ([`crate::SimBuilder::cancel_flag`]) was raised
+    /// mid-run.
+    Cancelled {
+        /// Machine cycle at which the cancellation was observed.
+        at_cycle: u64,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -66,6 +72,9 @@ impl fmt::Display for RunError {
         match self {
             RunError::Timeout { cycles } => {
                 write!(f, "machine did not halt within {cycles} cycles")
+            }
+            RunError::Cancelled { at_cycle } => {
+                write!(f, "run cancelled at cycle {at_cycle}")
             }
         }
     }
@@ -140,7 +149,17 @@ pub struct Machine {
     ckpt_every: u64,
     /// Directory automatic checkpoints are written to (default `.`).
     ckpt_dir: Option<std::path::PathBuf>,
+    /// Cooperative cancellation flag, polled by [`Machine::run_to_completion`]
+    /// every [`CANCEL_POLL_MASK`]+1 cycles (builder knob; runtime-only,
+    /// never snapshotted).
+    cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
+
+/// `run_to_completion` polls the cancel flag whenever
+/// `now & CANCEL_POLL_MASK == 0`: every 4096 cycles, frequent enough that
+/// a cancelled grid point stops within microseconds of host time, rare
+/// enough to stay invisible in the simulation hot loop.
+const CANCEL_POLL_MASK: u64 = 0xFFF;
 
 impl Machine {
     /// Assembles a machine from fully resolved component configurations
@@ -174,6 +193,7 @@ impl Machine {
             loaded: vec![None; cfg.cores],
             ckpt_every: 0,
             ckpt_dir: None,
+            cancel: None,
         }
     }
 
@@ -334,6 +354,13 @@ impl Machine {
             if self.now >= end {
                 return Err(RunError::Timeout { cycles: max_cycles });
             }
+            if self.now & CANCEL_POLL_MASK == 0 {
+                if let Some(cancel) = &self.cancel {
+                    if cancel.load(std::sync::atomic::Ordering::Relaxed) {
+                        return Err(RunError::Cancelled { at_cycle: self.now });
+                    }
+                }
+            }
             self.tick();
         }
         Ok(self.stats())
@@ -396,6 +423,13 @@ impl Machine {
     pub(crate) fn set_checkpointing(&mut self, every: u64, dir: Option<std::path::PathBuf>) {
         self.ckpt_every = every;
         self.ckpt_dir = dir;
+    }
+
+    pub(crate) fn set_cancel_flag(
+        &mut self,
+        flag: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    ) {
+        self.cancel = flag;
     }
 
     /// The strict configuration fingerprint: variant, core count, timer,

@@ -123,6 +123,13 @@ impl Variant {
         Variant::ALL.get(index as usize).copied()
     }
 
+    /// The variant whose paper name is `name` (the inverse of
+    /// [`Variant::name`]; how shard-journal JSON lines map back to
+    /// variants).
+    pub fn from_name(name: &str) -> Option<Variant> {
+        Variant::ALL.into_iter().find(|v| v.name() == name)
+    }
+
     /// The paper's name for this variant.
     pub fn name(self) -> &'static str {
         match self {
@@ -206,5 +213,13 @@ mod tests {
     fn names_unique() {
         let names: std::collections::HashSet<_> = Variant::ALL.iter().map(|v| v.name()).collect();
         assert_eq!(names.len(), Variant::ALL.len());
+    }
+
+    #[test]
+    fn from_name_inverts_name() {
+        for v in Variant::ALL {
+            assert_eq!(Variant::from_name(v.name()), Some(v));
+        }
+        assert_eq!(Variant::from_name("NOPE"), None);
     }
 }

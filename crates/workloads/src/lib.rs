@@ -66,6 +66,19 @@ pub enum Workload {
     Astar,
     /// 483.xalancbmk
     Xalancbmk,
+    /// The adversarial enclave victim: a dependent pointer chase over a
+    /// 256 KiB arena — the access pattern *maximally* sensitive to LLC
+    /// eviction (every load's latency is fully exposed, and each lap
+    /// revisits every line). The arena size is deliberate: it fits the
+    /// shared 1 MiB LLC (so on BASE its steady state is all-hits and an
+    /// attacker's stream is what destroys it) *and* fits the 256 KiB
+    /// partition MI6's region-keyed indexing leaves a one-region enclave
+    /// (so MI6's protection, not its capacity loss, dominates the
+    /// contrast). Promoted out of the `enclave-attacker` scenario so
+    /// plain figure grids and shards can run it like any other workload;
+    /// not part of [`Workload::ALL`] because the paper's figures don't
+    /// include it.
+    EnclaveWs,
 }
 
 impl Workload {
@@ -84,6 +97,32 @@ impl Workload {
         Workload::Xalancbmk,
     ];
 
+    /// [`Workload::ALL`] plus the adversarial additions — what a grid can
+    /// run, as opposed to what the paper's figures chart.
+    pub const WITH_ADVERSARIAL: [Workload; 12] = [
+        Workload::Bzip2,
+        Workload::Gcc,
+        Workload::Mcf,
+        Workload::Gobmk,
+        Workload::Hmmer,
+        Workload::Sjeng,
+        Workload::Libquantum,
+        Workload::H264ref,
+        Workload::Omnetpp,
+        Workload::Astar,
+        Workload::Xalancbmk,
+        Workload::EnclaveWs,
+    ];
+
+    /// The workload whose display name is `name` (the inverse of
+    /// [`Workload::name`]; how shard-journal JSON lines and `--workload`
+    /// flags map back to workloads).
+    pub fn from_name(name: &str) -> Option<Workload> {
+        Workload::WITH_ADVERSARIAL
+            .into_iter()
+            .find(|w| w.name() == name)
+    }
+
     /// The benchmark's display name (as in the paper's figures).
     pub fn name(self) -> &'static str {
         match self {
@@ -98,6 +137,7 @@ impl Workload {
             Workload::Omnetpp => "omnetpp",
             Workload::Astar => "astar",
             Workload::Xalancbmk => "xalancbmk",
+            Workload::EnclaveWs => "enclave-ws",
         }
     }
 
@@ -222,6 +262,14 @@ impl Workload {
                 syscall_every: 48,
                 ..base
             },
+            Workload::EnclaveWs => Profile {
+                chase_bytes: 256 << 10,
+                chase_nodes_per_iter: 8,
+                branch_sites: 2,
+                branch_style: BranchStyle::Easy,
+                ilp_ops: 2,
+                ..base
+            },
         }
     }
 
@@ -244,7 +292,7 @@ mod tests {
 
     #[test]
     fn all_workloads_assemble() {
-        for w in Workload::ALL {
+        for w in Workload::WITH_ADVERSARIAL {
             let p = w.build(&WorkloadParams::tiny());
             assert!(!p.code.is_empty(), "{w}");
             assert!(
@@ -264,6 +312,57 @@ mod tests {
             .unwrap_or_else(|e| panic!("{w}: {e}"));
         m.run_to_completion(60_000_000)
             .unwrap_or_else(|e| panic!("{w}: {e}"))
+    }
+
+    #[test]
+    fn from_name_inverts_name() {
+        for w in Workload::WITH_ADVERSARIAL {
+            assert_eq!(Workload::from_name(w.name()), Some(w));
+        }
+        assert_eq!(Workload::from_name("perlbench"), None);
+        // The adversarial victim is runnable but not in the paper set.
+        assert_eq!(Workload::from_name("enclave-ws"), Some(Workload::EnclaveWs));
+        assert!(!Workload::ALL.contains(&Workload::EnclaveWs));
+    }
+
+    #[test]
+    fn adversarial_set_is_a_strict_superset_of_all() {
+        // WITH_ADVERSARIAL is what from_name (and thus --workload and
+        // shard-journal parsing) consults: a workload added to ALL but
+        // forgotten here would journal fine yet fail to parse back,
+        // making merges report it missing forever.
+        for w in Workload::ALL {
+            assert!(
+                Workload::WITH_ADVERSARIAL.contains(&w),
+                "{w} missing from WITH_ADVERSARIAL"
+            );
+        }
+        assert_eq!(Workload::WITH_ADVERSARIAL.len(), Workload::ALL.len() + 1);
+    }
+
+    #[test]
+    fn enclave_ws_becomes_llc_resident() {
+        // Long enough for several laps over the 256 KiB arena: after the
+        // compulsory first lap, the chase is all-hits in the shared LLC
+        // (that residency is exactly what the scenario's attacker
+        // destroys), so LLC MPKI must collapse far below a chase that
+        // overflows the LLC (mcf, 16 MiB arena).
+        let run = |w: Workload| {
+            let mut m = SimBuilder::base().without_timer().build().unwrap();
+            m.load_user_program(0, &w.build(&WorkloadParams::tiny().with_target_kinsts(400)))
+                .unwrap();
+            m.run_to_completion(400_000_000).unwrap()
+        };
+        let ws = run(Workload::EnclaveWs);
+        let inst = ws.core[0].committed_instructions;
+        assert!(inst > 200_000, "inst {inst}");
+        let mcf = run(Workload::Mcf);
+        assert!(
+            ws.llc_mpki() < mcf.llc_mpki() / 2.0,
+            "enclave-ws {} vs mcf {}",
+            ws.llc_mpki(),
+            mcf.llc_mpki()
+        );
     }
 
     #[test]
