@@ -1,0 +1,164 @@
+//! `mi6-bench` — the simulator hot-loop microbenchmark.
+//!
+//! Runs store- and load-heavy kernels for a fixed instruction budget and
+//! reports *simulated cycles per wall-clock second* — the number the LSQ
+//! index refactor (and any future hot-loop work) is measured by. The
+//! kernels deliberately keep their working sets cache-resident so the
+//! simulated core's LQ/SQ stay full of short-latency memory ops: that is
+//! the regime where per-op-per-cycle ROB scans dominate the host profile.
+//!
+//! ```text
+//! mi6-bench                      # all kernels, default budget
+//! mi6-bench --kinsts 500         # longer runs (kilo-instructions)
+//! mi6-bench --kernel store-heavy # one kernel
+//! mi6-bench --reps 5             # best-of-5 wall-clock timing
+//! ```
+//!
+//! Each kernel prints one line, e.g.
+//! `store-heavy   1234567 cycles  0.41 s  3.0 Mcycles/s  (best of 3)`;
+//! the figure to track across commits is the `Mcycles/s` column
+//! (EXPERIMENTS.md records the before/after of each optimisation, and CI
+//! runs this binary non-gating so the trajectory stays visible).
+
+use mi6_soc::{SimBuilder, Variant};
+use mi6_workloads::{generate, BranchStyle, Profile, WorkloadParams};
+use std::process::exit;
+use std::time::Instant;
+
+/// The measurement kernels. All working sets fit the 1 MiB LLC (and
+/// mostly the 32 KiB L1D), so memory ops complete quickly and the
+/// load/store queues stay saturated — maximum pressure on the LSQ
+/// bookkeeping rather than on the DRAM model.
+fn kernels() -> Vec<(&'static str, Profile)> {
+    let quiet = Profile {
+        stream_bytes: 0,
+        stream_lines_per_iter: 0,
+        chase_bytes: 0,
+        chase_nodes_per_iter: 0,
+        ws_bytes: 0,
+        ws_accesses_per_iter: 0,
+        branch_sites: 2,
+        branch_style: BranchStyle::Easy,
+        ilp_ops: 2,
+        muldiv_ops: 0,
+        syscall_every: 0,
+    };
+    vec![
+        // Random loads *and stores* into an L1-resident working set: every
+        // odd access site is a store, so the SQ churns and every load's
+        // forwarding/blocking checks run against a full store queue.
+        (
+            "store-heavy",
+            Profile {
+                ws_bytes: 16 << 10,
+                ws_accesses_per_iter: 24,
+                ..quiet
+            },
+        ),
+        // Streaming plus an LLC-resident pointer chase: a load-dominated
+        // mix that keeps the LQ full (the violation-scan victim).
+        (
+            "load-heavy",
+            Profile {
+                stream_bytes: 64 << 10,
+                stream_lines_per_iter: 4,
+                chase_bytes: 128 << 10,
+                chase_nodes_per_iter: 8,
+                ..quiet
+            },
+        ),
+        // A gcc-shaped blend (large working set, mixed branches): closer
+        // to what the figure grids actually simulate.
+        (
+            "mixed",
+            Profile {
+                ws_bytes: 1 << 20,
+                ws_accesses_per_iter: 8,
+                stream_bytes: 64 << 10,
+                stream_lines_per_iter: 2,
+                branch_sites: 32,
+                branch_style: BranchStyle::Medium,
+                ilp_ops: 4,
+                ..quiet
+            },
+        ),
+    ]
+}
+
+fn usage() -> ! {
+    eprintln!("usage: mi6-bench [--kinsts N] [--reps N] [--kernel NAME]...");
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut kinsts: u64 = 300;
+    let mut reps: u32 = 3;
+    let mut only: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage()).clone();
+        match arg.as_str() {
+            "--kinsts" => kinsts = val().parse().unwrap_or_else(|_| usage()),
+            "--reps" => reps = val().parse().unwrap_or_else(|_| usage()),
+            "--kernel" => only.push(val()),
+            _ => usage(),
+        }
+    }
+    if reps == 0 {
+        usage();
+    }
+    let kernels = kernels();
+    for k in &only {
+        if !kernels.iter().any(|(name, _)| name == k) {
+            // A typo'd --kernel must not let a CI perf job "pass" while
+            // measuring nothing.
+            eprintln!("mi6-bench: unknown kernel `{k}`");
+            let names: Vec<&str> = kernels.iter().map(|(n, _)| *n).collect();
+            eprintln!("known kernels: {}", names.join(", "));
+            exit(2);
+        }
+    }
+    let params = WorkloadParams::evaluation().with_target_kinsts(kinsts);
+    println!("mi6-bench: {kinsts}k instructions per kernel, best of {reps} rep(s), variant BASE");
+    println!(
+        "{:<14} {:>12} {:>12} {:>8} {:>12} {:>10}",
+        "kernel", "cycles", "insts", "wall s", "Mcycles/s", "Minst/s"
+    );
+    for (name, profile) in kernels {
+        if !only.is_empty() && !only.iter().any(|k| k == name) {
+            continue;
+        }
+        let program = generate(name, &profile, &params);
+        let mut best: Option<(f64, u64, u64)> = None; // (secs, cycles, insts)
+        for _ in 0..reps {
+            let mut machine = SimBuilder::new(Variant::Base)
+                .without_timer()
+                .build()
+                .expect("BASE builds");
+            machine
+                .load_user_program(0, &program)
+                .unwrap_or_else(|e| panic!("loading {name}: {e}"));
+            let t0 = Instant::now();
+            let stats = machine
+                .run_to_completion(kinsts.saturating_mul(1_000_000).max(400_000_000))
+                .unwrap_or_else(|e| panic!("running {name}: {e}"));
+            let secs = t0.elapsed().as_secs_f64();
+            let sample = (secs, stats.cycles, stats.core[0].committed_instructions);
+            best = Some(match best {
+                Some(b) if b.0 <= secs => b,
+                _ => sample,
+            });
+        }
+        let (secs, cycles, insts) = best.expect("reps > 0");
+        println!(
+            "{:<14} {:>12} {:>12} {:>8.2} {:>12.2} {:>10.2}",
+            name,
+            cycles,
+            insts,
+            secs,
+            cycles as f64 / secs / 1e6,
+            insts as f64 / secs / 1e6,
+        );
+    }
+}

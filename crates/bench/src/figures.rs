@@ -212,11 +212,16 @@ pub fn mean_results(per_seed: &[Vec<PointResult>]) -> Vec<PointResult> {
     (0..n)
         .map(|i| {
             let records: Vec<&RunRecord> = per_seed.iter().map(|s| &s[i].record).collect();
+            let wall_sum: u64 = per_seed.iter().map(|s| s[i].wall_ms).sum();
             PointResult {
                 point: per_seed[0][i].point,
                 record: mean_record(&records),
-                wall_ms: per_seed.iter().map(|s| s[i].wall_ms).sum::<u64>() / per_seed.len() as u64,
-                worker: 0,
+                // Round, don't truncate: the shard-balance report sums
+                // these, and systematic truncation biases it low.
+                wall_ms: (wall_sum as f64 / per_seed.len() as f64).round() as u64,
+                // A mean across seeds was run by several workers; mark it
+                // so per-worker accounting can skip it.
+                worker: crate::runner::AGGREGATED_WORKER,
                 warm: per_seed[0][i].warm.clone(),
             }
         })
@@ -439,6 +444,41 @@ mod tests {
         assert!((t95(100) - 1.960).abs() < 1e-9);
         // df = N-1 for N=2 seeds is the first row.
         assert_eq!(t95(1), 12.706);
+    }
+
+    #[test]
+    fn mean_results_rounds_wall_ms_and_marks_aggregates() {
+        let p = GridPoint {
+            variant: Variant::Base,
+            workload: Workload::Hmmer,
+            opts: HarnessOpts::default(),
+        };
+        let mk = |wall_ms: u64| {
+            vec![PointResult {
+                point: p,
+                record: RunRecord {
+                    name: "hmmer",
+                    cycles: 1000,
+                    instructions: 1000,
+                    branch_mpki: 0.0,
+                    llc_mpki: 0.0,
+                    flush_stall_cycles: 0,
+                    traps: 0,
+                },
+                wall_ms,
+                worker: 3,
+                warm: "cold".to_string(),
+            }]
+        };
+        let mean = mean_results(&[mk(1), mk(2)]);
+        // 1.5 rounds to 2 — truncating to 1 would bias the shard-balance
+        // report low.
+        assert_eq!(mean[0].wall_ms, 2);
+        // Aggregated points carry the sentinel, not a fake worker 0.
+        assert_eq!(mean[0].worker, crate::runner::AGGREGATED_WORKER);
+        // JSON round-trips the sentinel (merge tooling must not choke).
+        let parsed = PointResult::from_json(&mean[0].to_json()).unwrap();
+        assert_eq!(parsed.worker, crate::runner::AGGREGATED_WORKER);
     }
 
     #[test]

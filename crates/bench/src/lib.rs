@@ -32,7 +32,7 @@ pub mod sharding;
 pub use figures::{figure_points, mean_results, render_figure, render_seed_ci, FIGURES};
 pub use runner::{
     run_grid, run_grid_scheduled, run_grid_with, GridOutcome, GridPoint, GridSchedule, PointResult,
-    WarmFork,
+    WarmFork, AGGREGATED_WORKER,
 };
 pub use sharding::{plan_grid, GridPlan};
 

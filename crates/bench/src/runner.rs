@@ -53,6 +53,13 @@ impl GridPoint {
     }
 }
 
+/// The `worker` value marking a result aggregated across seeds (see
+/// `mi6_bench::mean_results`) rather than produced by one scheduler
+/// worker. Distinct from any real worker id so the shard-balance report
+/// built from journal `wall_ms`/`worker` fields can exclude aggregated
+/// points instead of silently crediting them all to worker 0.
+pub const AGGREGATED_WORKER: usize = u32::MAX as usize;
+
 /// A completed grid point.
 #[derive(Clone, Debug)]
 pub struct PointResult {
@@ -63,7 +70,8 @@ pub struct PointResult {
     /// Host wall-clock time the simulation took, in milliseconds.
     pub wall_ms: u64,
     /// The scheduler worker that ran the point (0 when not run by the
-    /// scheduler, e.g. a merge-reconstructed result predating workers).
+    /// scheduler, e.g. a merge-reconstructed result predating workers;
+    /// [`AGGREGATED_WORKER`] for seed-aggregated means).
     pub worker: usize,
     /// Warm-up provenance: `"cold"`, `"exact:<cycles>"`, or
     /// `"forkbase:<cycles>"`. Cold and exact runs are bit-identical and

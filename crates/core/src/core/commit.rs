@@ -104,9 +104,9 @@ impl Core {
             debug_assert_eq!(head.stage, Stage::Done);
             // Stores: write memory and enter the store buffer.
             if inst.is_store() {
-                let m = self.rob.front().expect("head").mem.clone().expect("mem");
+                let m = self.rob.front().expect("head").mem.expect("mem");
                 let paddr = m.paddr.expect("resolved");
-                let line = paddr & !63;
+                let line = line_of(paddr);
                 let have_slot = self.sb.iter().any(|s| s.line == line && !s.issued)
                     || self.sb.len() < self.cfg.sb_entries;
                 if !have_slot {
@@ -152,6 +152,10 @@ impl Core {
             }
             // Register writeback.
             let entry = self.rob.pop_front().expect("head");
+            // Retirement is the LSQ index removal point for mem ops.
+            if let Some(m) = &entry.mem {
+                self.lsq.remove_op(m, seq);
+            }
             if let Some(d) = entry.dest {
                 self.regs[d.index() as usize] = entry.result;
                 if self.rat[d.index() as usize] == Some(seq) {

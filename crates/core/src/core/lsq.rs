@@ -2,6 +2,13 @@
 //! region checks, store-queue forwarding, memory-order violation
 //! detection, and the store buffer that drains committed stores to the
 //! L1D.
+//!
+//! All forwarding/blocking/violation queries go through the per-line
+//! [`LsqIndex`] (see `lsq_index.rs`) instead of scanning the ROB: memory
+//! ops are size-aligned and at most 8 bytes, so an op never spans a
+//! 64-byte line and one line lookup sees every possibly-overlapping op.
+//! The query results are bit-for-bit identical to the old O(ROB) scans —
+//! the golden fingerprints in `tests/golden_stats.rs` pin that.
 
 use super::*;
 
@@ -9,26 +16,27 @@ impl Core {
     // ----------------------------------------------------- memory pipeline
 
     /// Reads the architectural value for a load, overlaying older
-    /// uncommitted stores from the store queue.
+    /// uncommitted stores from the store queue (oldest first, so a
+    /// younger store's bytes win).
     pub(super) fn load_value(&self, mem: &MemSystem, seq: u64, paddr: u64, bytes: u64) -> u64 {
         let mut buf = [0u8; 8];
         for (i, b) in buf.iter_mut().enumerate().take(bytes as usize) {
             *b = mem.phys.read_u8(PhysAddr::new(paddr + i as u64));
         }
-        for e in &self.rob {
-            if e.seq >= seq {
+        let line = line_of(paddr);
+        for s in self.lsq.stores() {
+            if s.seq >= seq {
                 break;
             }
-            let Some(m) = &e.mem else { continue };
-            if !m.is_store {
+            if s.line != line {
                 continue;
             }
-            let (Some(sp), Some(data)) = (m.paddr, m.store_data) else {
-                continue;
-            };
+            let sm = self.indexed_store(s.seq);
+            let sp = sm.paddr.expect("indexed store resolved");
+            let Some(data) = sm.store_data else { continue };
             for i in 0..bytes {
                 let a = paddr + i;
-                if a >= sp && a < sp + m.bytes {
+                if a >= sp && a < sp + sm.bytes {
                     buf[i as usize] = (data >> (8 * (a - sp))) as u8;
                 }
             }
@@ -41,38 +49,58 @@ impl Core {
     /// address — RiscyOO speculates past those; violations are caught when
     /// the store resolves).
     pub(super) fn older_store_blocks(&self, seq: u64, paddr: u64, bytes: u64) -> bool {
-        for e in &self.rob {
-            if e.seq >= seq {
+        let line = line_of(paddr);
+        for s in self.lsq.stores() {
+            if s.seq >= seq {
                 break;
             }
-            let Some(m) = &e.mem else { continue };
-            if !m.is_store {
+            if s.line != line {
                 continue;
             }
-            if let Some(sp) = m.paddr {
-                let overlap = paddr < sp + m.bytes && sp < paddr + bytes;
-                if overlap && m.store_data.is_none() {
-                    return true;
-                }
+            let sm = self.indexed_store(s.seq);
+            let sp = sm.paddr.expect("indexed store resolved");
+            let overlap = paddr < sp + sm.bytes && sp < paddr + bytes;
+            if overlap && sm.store_data.is_none() {
+                return true;
             }
         }
         false
     }
 
+    /// The `MemState` of an indexed store (index membership implies the
+    /// seq is live in the ROB with a resolved address).
+    fn indexed_store(&self, seq: u64) -> &MemState {
+        let idx = self.rob_index(seq).expect("indexed store in ROB");
+        self.rob[idx].mem.as_ref().expect("indexed store has mem")
+    }
+
+    /// Completes a memory op with a fault: record the exception and mark
+    /// the op `Stage::Done` *and* `MemPhase::Done` together (the Done⇒Done
+    /// invariant is what guarantees the LSQ index never tracks dead ops),
+    /// then drop it from the mem-op worklist.
+    fn fault_mem_op(&mut self, idx: usize, e: Exception, tval: u64) {
+        let entry = &mut self.rob[idx];
+        entry.exception = Some((e, tval));
+        entry.stage = Stage::Done;
+        entry.mem.as_mut().expect("mem").phase = MemPhase::Done;
+        let seq = entry.seq;
+        self.lsq.memop_remove(seq);
+    }
+
     pub(super) fn advance_mem_ops(&mut self, now: u64, mem: &mut MemSystem) {
-        // Collect transitions first to keep borrows simple.
-        let seqs: Vec<u64> = self
-            .rob
-            .iter()
-            .filter(|e| e.stage == Stage::MemOp)
-            .map(|e| e.seq)
-            .collect();
-        for seq in seqs {
+        // Iterate a stable copy of the worklist (a violation squash can
+        // shrink it mid-loop); the scratch buffer makes this allocation-
+        // free after warm-up. Worklist order is ascending seq — the same
+        // order the old full-ROB scan processed ops in.
+        let mut seqs = std::mem::take(&mut self.lsq.scratch);
+        seqs.clear();
+        seqs.extend_from_slice(self.lsq.memops());
+        for &seq in &seqs {
             let Some(idx) = self.rob_index(seq) else {
-                continue;
+                continue; // squashed earlier this cycle
             };
             let (pc, inst) = (self.rob[idx].pc, self.rob[idx].inst);
-            let m = self.rob[idx].mem.clone().expect("mem state");
+            let m = self.rob[idx].mem.expect("mem state");
             match m.phase {
                 MemPhase::AddrGen { done_at } => {
                     if now >= done_at {
@@ -82,9 +110,7 @@ impl Core {
                             } else {
                                 Exception::LoadMisaligned
                             };
-                            self.rob[idx].exception = Some((e, m.vaddr));
-                            self.rob[idx].stage = Stage::Done;
-                            self.rob[idx].mem.as_mut().expect("mem").phase = MemPhase::Done;
+                            self.fault_mem_op(idx, e, m.vaddr);
                             continue;
                         }
                         self.rob[idx].mem.as_mut().expect("mem").phase = MemPhase::Translate;
@@ -101,8 +127,7 @@ impl Core {
                     } else {
                         match self.try_translate(m.vaddr, kind, WalkClient::Rob(seq)) {
                             Err(e) => {
-                                self.rob[idx].exception = Some((e, m.vaddr));
-                                self.rob[idx].stage = Stage::Done;
+                                self.fault_mem_op(idx, e, m.vaddr);
                                 continue;
                             }
                             Ok(TranslateOutcome::Walking) => {
@@ -122,17 +147,15 @@ impl Core {
                         // reaches commit (Section 5.3).
                         if !region_ok {
                             self.stats.region_suppressed += 1;
-                            self.rob[idx].exception = Some((Exception::DramRegionFault, m.vaddr));
+                            self.fault_mem_op(idx, Exception::DramRegionFault, m.vaddr);
                         } else {
                             let e = if m.is_store {
                                 Exception::StoreAccessFault
                             } else {
                                 Exception::LoadAccessFault
                             };
-                            self.rob[idx].exception = Some((e, m.vaddr));
+                            self.fault_mem_op(idx, e, m.vaddr);
                         }
-                        self.rob[idx].stage = Stage::Done;
-                        self.rob[idx].mem.as_mut().expect("mem").phase = MemPhase::Done;
                         continue;
                     }
                     {
@@ -145,6 +168,12 @@ impl Core {
                         } else {
                             MemPhase::ReadyToAccess
                         };
+                    }
+                    // Address resolution is the store-index insertion
+                    // point (faulted ops above never resolve an address,
+                    // so they are never indexed).
+                    if m.is_store {
+                        self.lsq.insert_store(line_of(paddr), seq);
                     }
                     if self.rob[idx].mem.as_ref().expect("mem").phase == MemPhase::ReadyToAccess {
                         self.mem_ready_to_access(now, mem, seq);
@@ -164,8 +193,7 @@ impl Core {
                                     MemPhase::Translate;
                             }
                             WalkResult::Fault(e) => {
-                                self.rob[idx].exception = Some((e, m.vaddr));
-                                self.rob[idx].stage = Stage::Done;
+                                self.fault_mem_op(idx, e, m.vaddr);
                             }
                         }
                     }
@@ -189,12 +217,16 @@ impl Core {
                         entry.result = exec::extend_load(&inst, raw);
                         entry.stage = Stage::Done;
                         entry.mem.as_mut().expect("mem").phase = MemPhase::Done;
+                        self.lsq.memop_remove(seq);
                         let _ = pc;
                     }
                 }
                 MemPhase::Done => {}
             }
         }
+        self.lsq.scratch = seqs;
+        #[cfg(debug_assertions)]
+        self.debug_check_lsq();
     }
 
     /// A memory op has its physical address: stores record it (and check
@@ -203,37 +235,33 @@ impl Core {
         let Some(idx) = self.rob_index(seq) else {
             return;
         };
-        let m = self.rob[idx].mem.clone().expect("mem state");
+        let m = self.rob[idx].mem.expect("mem state");
         let paddr = m.paddr.expect("translated");
+        let line = line_of(paddr);
         if m.is_store {
             // Store: address + data recorded; done (data written at
             // commit). First check younger loads that already executed to
-            // an overlapping address — memory-order violation.
+            // an overlapping address — memory-order violation. The load
+            // index holds exactly the issued, address-resolved loads; its
+            // lists are ascending, so the first match is the *oldest*
+            // violating load (squashing from it subsumes the rest).
             let mut violating: Option<(u64, u64)> = None; // (seq, pc)
-            for e in self.rob.iter() {
-                if e.seq <= seq {
+            for l in self.lsq.loads() {
+                if l.seq <= seq || l.line != line {
                     continue;
                 }
-                let Some(lm) = &e.mem else { continue };
-                if lm.is_store {
-                    continue;
-                }
-                let issued = matches!(
-                    lm.phase,
-                    MemPhase::WaitMem | MemPhase::WaitValue { .. } | MemPhase::Done
-                );
-                if !issued {
-                    continue;
-                }
-                let Some(lp) = lm.paddr else { continue };
+                let lidx = self.rob_index(l.seq).expect("indexed load in ROB");
+                let lm = self.rob[lidx].mem.as_ref().expect("indexed load");
+                let lp = lm.paddr.expect("indexed load resolved");
                 let overlap = lp < paddr + m.bytes && paddr < lp + lm.bytes;
                 if overlap {
-                    violating = Some((e.seq, e.pc));
+                    violating = Some((l.seq, self.rob[lidx].pc));
                     break;
                 }
             }
             self.rob[idx].stage = Stage::Done;
             self.rob[idx].mem.as_mut().expect("mem").phase = MemPhase::Done;
+            self.lsq.memop_remove(seq);
             if let Some((lseq, lpc)) = violating {
                 self.stats.mem_order_violations += 1;
                 self.squash_from(now, lseq, lpc);
@@ -246,14 +274,11 @@ impl Core {
         }
         // Full-cover forwarding from the youngest older store?
         let mut forwarded = false;
-        for e in self.rob.iter().rev() {
-            if e.seq >= seq {
+        for s in self.lsq.stores().iter().rev() {
+            if s.seq >= seq || s.line != line {
                 continue;
             }
-            let Some(sm) = &e.mem else { continue };
-            if !sm.is_store {
-                continue;
-            }
+            let sm = self.indexed_store(s.seq);
             let (Some(sp), Some(_)) = (sm.paddr, sm.store_data) else {
                 continue;
             };
@@ -269,6 +294,7 @@ impl Core {
         if forwarded {
             let ms = self.rob[idx].mem.as_mut().expect("mem");
             ms.phase = MemPhase::WaitValue { ready_at: now + 1 };
+            self.lsq.insert_load(line, seq);
             return;
         }
         let token = TOKEN_LOAD | (seq & TOKEN_MASK);
@@ -276,10 +302,12 @@ impl Core {
             L1Access::Hit { ready_at } => {
                 let ms = self.rob[idx].mem.as_mut().expect("mem");
                 ms.phase = MemPhase::WaitValue { ready_at };
+                self.lsq.insert_load(line, seq);
             }
             L1Access::Miss => {
                 let ms = self.rob[idx].mem.as_mut().expect("mem");
                 ms.phase = MemPhase::WaitMem;
+                self.lsq.insert_load(line, seq);
             }
             L1Access::Blocked => {} // retry next cycle
         }
@@ -294,9 +322,16 @@ impl Core {
             let line = entry.line;
             match mem.access(now, self.id, Port::Data, token, PhysAddr::new(line), true) {
                 L1Access::Hit { ready_at } => {
+                    // The entry occupies the SB for the modeled L1 hit
+                    // latency: park a completion and retire it at
+                    // `ready_at`, exactly like a miss whose completion
+                    // arrives from the hierarchy. (Marking it done
+                    // immediately — as this code once did — let drained
+                    // stores free their SB slot and satisfy fences
+                    // without paying the hit latency; the golden
+                    // fingerprints were updated with this fix.)
                     entry.issued = true;
-                    entry.done = true;
-                    let _ = ready_at;
+                    self.data_completions.insert(token, ready_at);
                 }
                 L1Access::Miss => {
                     entry.issued = true;
@@ -304,13 +339,285 @@ impl Core {
                 L1Access::Blocked => {}
             }
         }
-        // Retire completed entries.
+        // Retire entries whose data is in the L1 (`ready_at` reached; for
+        // miss completions `ready_at` has always passed by delivery, so
+        // the check only holds hits for their modeled latency).
         let completions = &mut self.data_completions;
         for entry in self.sb.iter_mut() {
-            if entry.issued && !entry.done && completions.remove(&entry.token).is_some() {
-                entry.done = true;
+            if entry.issued && !entry.done {
+                if let Some(&ready_at) = completions.get(&entry.token) {
+                    if now >= ready_at {
+                        completions.remove(&entry.token);
+                        entry.done = true;
+                    }
+                }
             }
         }
         self.sb.retain(|s| !s.done);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! Forwarding / blocking / violation edge cases the LSQ index must
+    //! preserve exactly, driven on fabricated ROB state (the integration
+    //! proof of equivalence is `tests/golden_stats.rs`; these pin the
+    //! corner cases a fingerprint might not happen to exercise).
+
+    use super::*;
+    use mi6_mem::MemConfig;
+
+    fn test_core() -> (Core, MemSystem) {
+        (
+            Core::new(0, CoreConfig::paper(), SecurityConfig::insecure()),
+            MemSystem::new(MemConfig::paper_base(), 1),
+        )
+    }
+
+    /// Pushes a fabricated in-flight mem op, maintaining the LSQ index at
+    /// the same points the pipeline does (address resolved ⇒ stores
+    /// indexed; issued ⇒ loads indexed; `Stage::MemOp` ⇒ worklist).
+    fn push_mem_op(
+        core: &mut Core,
+        seq: u64,
+        is_store: bool,
+        paddr: u64,
+        bytes: u64,
+        store_data: Option<u64>,
+        phase: MemPhase,
+    ) {
+        let inst = if is_store {
+            Inst::sd(Reg::T0, Reg::T1, 0)
+        } else {
+            Inst::ld(Reg::T0, Reg::T1, 0)
+        };
+        let stage = if phase == MemPhase::Done {
+            Stage::Done
+        } else {
+            Stage::MemOp
+        };
+        core.rob.push_back(RobEntry {
+            seq,
+            pc: 0x1000 + seq * 4,
+            inst,
+            stage,
+            srcs: [None, None],
+            dest: None,
+            prev_map: None,
+            result: 0,
+            branch: None,
+            mem: Some(MemState {
+                vaddr: paddr,
+                paddr: Some(paddr),
+                bytes,
+                is_store,
+                store_data,
+                phase,
+            }),
+            exception: None,
+        });
+        core.next_seq = seq + 1;
+        if is_store {
+            core.sq_used += 1;
+            core.lsq.insert_store(line_of(paddr), seq);
+        } else {
+            core.lq_used += 1;
+            if matches!(
+                phase,
+                MemPhase::WaitMem | MemPhase::WaitValue { .. } | MemPhase::Done
+            ) {
+                core.lsq.insert_load(line_of(paddr), seq);
+            }
+        }
+        if stage == Stage::MemOp {
+            core.lsq.memop_insert(seq);
+        }
+        core.lsq.assert_matches(&core.rob);
+    }
+
+    fn load_phase(core: &Core, seq: u64) -> MemPhase {
+        let idx = core.rob_index(seq).expect("in ROB");
+        core.rob[idx].mem.as_ref().expect("mem").phase
+    }
+
+    #[test]
+    fn unknown_data_store_blocks_only_overlapping_loads() {
+        let (mut core, _mem) = test_core();
+        // An address-resolved store whose data is still unknown.
+        push_mem_op(&mut core, 0, true, 0x100, 8, None, MemPhase::ReadyToAccess);
+        // Overlap (full and partial) blocks...
+        assert!(core.older_store_blocks(1, 0x100, 8));
+        assert!(core.older_store_blocks(1, 0x104, 4));
+        // ...same line but disjoint bytes does not...
+        assert!(!core.older_store_blocks(1, 0x108, 8));
+        // ...and the store never blocks an *older* load.
+        assert!(!core.older_store_blocks(0, 0x100, 8));
+        // Once the data resolves, nothing blocks.
+        core.rob[0].mem.as_mut().unwrap().store_data = Some(7);
+        assert!(!core.older_store_blocks(1, 0x100, 8));
+    }
+
+    #[test]
+    fn partial_overlap_does_not_forward() {
+        let (mut core, mut mem) = test_core();
+        // Older store covers only the high half of the load's bytes.
+        push_mem_op(
+            &mut core,
+            0,
+            true,
+            0x104,
+            4,
+            Some(0xABCD),
+            MemPhase::ReadyToAccess,
+        );
+        push_mem_op(&mut core, 1, false, 0x100, 8, None, MemPhase::ReadyToAccess);
+        core.mem_ready_to_access(10, &mut mem, 1);
+        // Not forwarded: the load went to the (cold) L1 and missed.
+        assert_eq!(load_phase(&core, 1), MemPhase::WaitMem);
+        core.lsq.assert_matches(&core.rob);
+    }
+
+    #[test]
+    fn youngest_overlapping_store_decides_forwarding() {
+        let (mut core, mut mem) = test_core();
+        // Oldest store fully covers the load; a younger store overlaps
+        // only partially. The *youngest* overlapping store decides, so no
+        // forward happens even though the older one could serve it.
+        push_mem_op(
+            &mut core,
+            0,
+            true,
+            0x100,
+            8,
+            Some(0x1111_1111_1111_1111),
+            MemPhase::Done,
+        );
+        push_mem_op(
+            &mut core,
+            1,
+            true,
+            0x100,
+            4,
+            Some(0x2222_2222),
+            MemPhase::Done,
+        );
+        push_mem_op(&mut core, 2, false, 0x100, 8, None, MemPhase::ReadyToAccess);
+        core.mem_ready_to_access(10, &mut mem, 2);
+        assert_eq!(load_phase(&core, 2), MemPhase::WaitMem);
+
+        // Flip the ages: now the youngest overlapping store covers fully
+        // and forwarding fires (one-cycle value delivery).
+        let (mut core, mut mem) = test_core();
+        push_mem_op(
+            &mut core,
+            0,
+            true,
+            0x100,
+            4,
+            Some(0x2222_2222),
+            MemPhase::Done,
+        );
+        push_mem_op(
+            &mut core,
+            1,
+            true,
+            0x100,
+            8,
+            Some(0x1111_1111_1111_1111),
+            MemPhase::Done,
+        );
+        push_mem_op(&mut core, 2, false, 0x100, 8, None, MemPhase::ReadyToAccess);
+        core.mem_ready_to_access(10, &mut mem, 2);
+        assert_eq!(load_phase(&core, 2), MemPhase::WaitValue { ready_at: 11 });
+        core.lsq.assert_matches(&core.rob);
+    }
+
+    #[test]
+    fn load_value_overlays_stores_youngest_wins() {
+        let (mut core, mem) = test_core();
+        push_mem_op(
+            &mut core,
+            0,
+            true,
+            0x100,
+            8,
+            Some(0x1111_1111_1111_1111),
+            MemPhase::Done,
+        );
+        push_mem_op(
+            &mut core,
+            1,
+            true,
+            0x100,
+            4,
+            Some(0x2222_2222),
+            MemPhase::Done,
+        );
+        // Low half from the younger store, high half from the older one;
+        // memory itself (zeros) is fully shadowed.
+        assert_eq!(core.load_value(&mem, 2, 0x100, 8), 0x1111_1111_2222_2222);
+        // Only stores *older* than the reader overlay.
+        assert_eq!(core.load_value(&mem, 1, 0x100, 8), 0x1111_1111_1111_1111);
+        assert_eq!(core.load_value(&mem, 0, 0x100, 8), 0);
+    }
+
+    #[test]
+    fn violation_squash_targets_oldest_violating_load() {
+        let (mut core, mut mem) = test_core();
+        // The store resolves its address after three younger loads went
+        // ahead: two overlapping (seqs 1 and 2, both already issued) and
+        // one overlapping but NOT yet issued (seq 3 — no violation: it
+        // will re-check the store queue when it issues).
+        push_mem_op(
+            &mut core,
+            0,
+            true,
+            0x100,
+            8,
+            Some(9),
+            MemPhase::ReadyToAccess,
+        );
+        push_mem_op(&mut core, 1, false, 0x100, 8, None, MemPhase::Done);
+        push_mem_op(
+            &mut core,
+            2,
+            false,
+            0x104,
+            4,
+            None,
+            MemPhase::WaitValue { ready_at: 20 },
+        );
+        push_mem_op(&mut core, 3, false, 0x100, 8, None, MemPhase::ReadyToAccess);
+        core.mem_ready_to_access(10, &mut mem, 0);
+        assert_eq!(core.stats.mem_order_violations, 1);
+        // Squashed from the *oldest* violating load (seq 1), which also
+        // removes every younger one; the store itself survives, done.
+        assert_eq!(core.rob.len(), 1);
+        assert_eq!(core.rob[0].seq, 0);
+        assert_eq!(core.rob[0].stage, Stage::Done);
+        assert_eq!(core.fetch_pc, 0x1000 + 4);
+        assert_eq!(core.stats.squashed_instructions, 3);
+        core.lsq.assert_matches(&core.rob);
+        core.debug_check_lsq();
+    }
+
+    #[test]
+    fn non_overlapping_issued_load_is_no_violation() {
+        let (mut core, mut mem) = test_core();
+        push_mem_op(
+            &mut core,
+            0,
+            true,
+            0x100,
+            8,
+            Some(9),
+            MemPhase::ReadyToAccess,
+        );
+        // Issued younger load on the same line, disjoint bytes.
+        push_mem_op(&mut core, 1, false, 0x108, 8, None, MemPhase::Done);
+        core.mem_ready_to_access(10, &mut mem, 0);
+        assert_eq!(core.stats.mem_order_violations, 0);
+        assert_eq!(core.rob.len(), 2);
+        core.lsq.assert_matches(&core.rob);
     }
 }

@@ -1,0 +1,237 @@
+//! The incrementally maintained LSQ index.
+//!
+//! The simulator hot loop used to re-scan the whole ROB for every memory
+//! op every cycle: `older_store_blocks`, the forwarding scan, the
+//! `load_value` store overlay, and the memory-order-violation scan were
+//! all O(ROB) per op per cycle, and `advance_mem_ops` walked the full ROB
+//! just to find its work (cloning a fresh seq vector as it went). This
+//! module replaces those scans with three small structures:
+//!
+//! - **`stores`**: the in-flight stores whose address has resolved
+//!   (`MemState::paddr` is `Some`), as ascending-seq `(seq, line)` pairs.
+//! - **`loads`**: the loads that have *issued* (phase `WaitMem`,
+//!   `WaitValue`, or `Done`) with a resolved address — exactly the set
+//!   the violation scan must consider when a store's address resolves.
+//! - **`memops`**: ascending seqs of ROB entries in `Stage::MemOp` — the
+//!   per-cycle worklist of `advance_mem_ops` (plus a reusable scratch
+//!   buffer so the per-cycle iteration allocates nothing).
+//!
+//! Queries filter by physical cache line: memory ops are size-aligned
+//! (misaligned accesses fault at address generation) and at most 8 bytes
+//! wide, so an op never spans a 64-byte line — every store that can
+//! overlap a load lives on the load's own line, and a line-filtered pass
+//! is exhaustive. The pairs are stored flat rather than in a line-keyed
+//! hash map deliberately: the store queue holds at most `sq_entries`
+//! (14) resolved stores, so the whole index fits in two or three cache
+//! lines and a filtered pass is cheaper than one SipHash probe — the
+//! same reason the hardware SQ is a CAM, not a hash table. The map is
+//! conceptually per-line; only its encoding is flat.
+//!
+//! Maintenance points: store address resolution and load issue (insert),
+//! commit and squash (remove), mem-op issue and completion/fault (the
+//! worklist). The index is **derived** state: it mirrors the ROB, is
+//! never serialized, and [`LsqIndex::rebuild`] reconstructs it from the
+//! deserialized ROB inside `Core::restore_state` — the `mi6-snapshot`
+//! format is untouched. Debug builds periodically compare the live index
+//! against a from-scratch rebuild (see `Core::debug_check_lsq`).
+
+use super::*;
+
+/// The 64-byte cache line containing `paddr` (the query filter).
+pub(super) fn line_of(paddr: u64) -> u64 {
+    paddr & !63
+}
+
+/// One indexed memory op: its ROB seq and the cache line it touches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(super) struct LsqEntry {
+    pub(super) seq: u64,
+    pub(super) line: u64,
+}
+
+/// Inserts into an ascending-seq list.
+fn sorted_insert(v: &mut Vec<LsqEntry>, seq: u64, line: u64) {
+    match v.binary_search_by_key(&seq, |e| e.seq) {
+        Err(i) => v.insert(i, LsqEntry { seq, line }),
+        Ok(_) => debug_assert!(false, "seq {seq} already indexed"),
+    }
+}
+
+/// Removes from an ascending-seq list; returns the removed entry.
+fn sorted_remove(v: &mut Vec<LsqEntry>, seq: u64) -> Option<LsqEntry> {
+    match v.binary_search_by_key(&seq, |e| e.seq) {
+        Ok(i) => Some(v.remove(i)),
+        Err(_) => None,
+    }
+}
+
+#[derive(Debug, Default)]
+pub(super) struct LsqIndex {
+    /// In-flight stores with resolved addresses, ascending seq.
+    stores: Vec<LsqEntry>,
+    /// Issued loads with resolved addresses, ascending seq.
+    loads: Vec<LsqEntry>,
+    /// Ascending seqs of ROB entries in `Stage::MemOp`.
+    memops: Vec<u64>,
+    /// Reused each cycle by `advance_mem_ops` (kept here so its capacity
+    /// survives between cycles; otherwise unused).
+    pub(super) scratch: Vec<u64>,
+}
+
+impl LsqIndex {
+    /// The resolved in-flight stores, oldest first (filter by `line`).
+    pub(super) fn stores(&self) -> &[LsqEntry] {
+        &self.stores
+    }
+
+    /// The issued loads, oldest first (filter by `line`).
+    pub(super) fn loads(&self) -> &[LsqEntry] {
+        &self.loads
+    }
+
+    /// Indexes a store whose address just resolved.
+    pub(super) fn insert_store(&mut self, line: u64, seq: u64) {
+        sorted_insert(&mut self.stores, seq, line);
+    }
+
+    /// Drops a store leaving the ROB (commit or squash). The store must
+    /// be indexed — a resolved address is the membership condition.
+    pub(super) fn remove_store(&mut self, line: u64, seq: u64) {
+        let removed = sorted_remove(&mut self.stores, seq);
+        debug_assert_eq!(
+            removed,
+            Some(LsqEntry { seq, line }),
+            "store seq {seq} missing from the index"
+        );
+        let _ = (removed, line);
+    }
+
+    /// Indexes a load at issue (forwarded, L1 hit, or L1 miss).
+    pub(super) fn insert_load(&mut self, line: u64, seq: u64) {
+        sorted_insert(&mut self.loads, seq, line);
+    }
+
+    /// Drops a load leaving the ROB. Tolerates absence: a load with a
+    /// resolved address that never issued (blocked on an older store or
+    /// on the L1 port) is not indexed.
+    pub(super) fn remove_load(&mut self, line: u64, seq: u64) {
+        let removed = sorted_remove(&mut self.loads, seq);
+        debug_assert!(
+            removed.is_none() || removed == Some(LsqEntry { seq, line }),
+            "load seq {seq} indexed under the wrong line"
+        );
+        let _ = (removed, line);
+    }
+
+    /// Drops a mem op leaving the ROB (commit or squash) from the
+    /// store/load index. The membership rule lives here, in one place:
+    /// indexed iff the address resolved (stores must be present; loads
+    /// tolerate absence — a resolved load that never issued is not
+    /// indexed).
+    pub(super) fn remove_op(&mut self, m: &MemState, seq: u64) {
+        if let Some(p) = m.paddr {
+            if m.is_store {
+                self.remove_store(line_of(p), seq);
+            } else {
+                self.remove_load(line_of(p), seq);
+            }
+        }
+    }
+
+    /// The current `Stage::MemOp` worklist, oldest first.
+    pub(super) fn memops(&self) -> &[u64] {
+        &self.memops
+    }
+
+    /// Adds a memory op entering `Stage::MemOp` (issue).
+    pub(super) fn memop_insert(&mut self, seq: u64) {
+        match self.memops.binary_search(&seq) {
+            Err(i) => self.memops.insert(i, seq),
+            Ok(_) => debug_assert!(false, "mem-op seq {seq} already queued"),
+        }
+    }
+
+    /// Drops a memory op leaving `Stage::MemOp` (completion, fault, or
+    /// squash).
+    pub(super) fn memop_remove(&mut self, seq: u64) {
+        match self.memops.binary_search(&seq) {
+            Ok(i) => {
+                self.memops.remove(i);
+            }
+            Err(_) => debug_assert!(false, "mem-op seq {seq} missing from worklist"),
+        }
+    }
+
+    /// Whether a ROB entry's load belongs in the load index: issued with
+    /// a resolved address (faulted loads never resolve one).
+    fn load_indexed(m: &MemState) -> bool {
+        m.paddr.is_some()
+            && matches!(
+                m.phase,
+                MemPhase::WaitMem | MemPhase::WaitValue { .. } | MemPhase::Done
+            )
+    }
+
+    /// Reconstructs the index from a ROB — how `Core::restore_state`
+    /// derives it after deserialization instead of reading it from the
+    /// snapshot (the on-disk format carries no index).
+    pub(super) fn rebuild(rob: &VecDeque<RobEntry>) -> LsqIndex {
+        let mut index = LsqIndex::default();
+        // ROB order is ascending seq order, so plain pushes stay sorted.
+        for e in rob {
+            if e.stage == Stage::MemOp {
+                index.memops.push(e.seq);
+            }
+            let Some(m) = &e.mem else { continue };
+            if m.is_store {
+                if let Some(p) = m.paddr {
+                    index.stores.push(LsqEntry {
+                        seq: e.seq,
+                        line: line_of(p),
+                    });
+                }
+            } else if Self::load_indexed(m) {
+                index.loads.push(LsqEntry {
+                    seq: e.seq,
+                    line: line_of(m.paddr.expect("indexed load resolved")),
+                });
+            }
+        }
+        index
+    }
+
+    /// Panics unless the index is exactly what [`LsqIndex::rebuild`]
+    /// would derive from `rob` (debug builds only; see
+    /// `Core::debug_check_lsq`).
+    #[cfg(any(debug_assertions, test))]
+    pub(super) fn assert_matches(&self, rob: &VecDeque<RobEntry>) {
+        let fresh = LsqIndex::rebuild(rob);
+        assert_eq!(self.stores, fresh.stores, "store index diverged from ROB");
+        assert_eq!(self.loads, fresh.loads, "load index diverged from ROB");
+        assert_eq!(self.memops, fresh.memops, "mem-op worklist diverged");
+    }
+}
+
+impl Core {
+    /// Debug-build invariants of the LSQ index and the mem-op lifecycle:
+    /// a mem op in `Stage::Done` is always in `MemPhase::Done` (so the
+    /// index never tracks dead ops), and — periodically, because it costs
+    /// a full rebuild — the incremental index matches a from-scratch one.
+    #[cfg(any(debug_assertions, test))]
+    pub(super) fn debug_check_lsq(&self) {
+        for e in &self.rob {
+            if let Some(m) = &e.mem {
+                debug_assert!(
+                    e.stage != Stage::Done || m.phase == MemPhase::Done,
+                    "mem op seq {} pc {:#x} is Stage::Done but {:?}",
+                    e.seq,
+                    e.pc,
+                    m.phase
+                );
+            }
+        }
+        if self.stats.cycles.is_multiple_of(1024) {
+            self.lsq.assert_matches(&self.rob);
+        }
+    }
+}

@@ -38,10 +38,13 @@ use std::collections::{HashMap, HashSet, VecDeque};
 mod commit;
 mod fetch;
 mod lsq;
+mod lsq_index;
 mod rename;
 mod rob;
 mod snapshot;
 mod walker;
+
+use lsq_index::{line_of, LsqIndex};
 
 /// Tag bits distinguishing token owners on the two memory ports.
 const TOKEN_TAG_SHIFT: u32 = 62;
@@ -93,7 +96,7 @@ enum MemPhase {
     Done,
 }
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 struct MemState {
     vaddr: u64,
     paddr: Option<u64>,
@@ -294,6 +297,9 @@ pub struct Core {
     sb: Vec<SbEntry>,
     next_sb_token: u64,
     committed_ghist: u16,
+    /// Derived per-line store/load index and mem-op worklist (mirrors the
+    /// ROB; never serialized — rebuilt on restore).
+    lsq: LsqIndex,
 
     // Data-side translation.
     dtlb: Tlb,
@@ -350,6 +356,7 @@ impl Core {
             sb: Vec::new(),
             next_sb_token: 0,
             committed_ghist: 0,
+            lsq: LsqIndex::default(),
             dtlb: Tlb::new(cfg.l1_tlb_entries, 1),
             l2_tlb: Tlb::new(cfg.l2_tlb_entries, cfg.l2_tlb_entries / cfg.l2_tlb_ways),
             tcache: TranslationCache::new(cfg.tcache_entries),

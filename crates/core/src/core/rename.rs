@@ -108,7 +108,15 @@ impl Core {
                     bytes,
                     is_store: fetched.inst.is_store(),
                     store_data: None,
-                    phase: MemPhase::AddrGen { done_at: 0 },
+                    // A poisoned mem op is born Stage::Done and never
+                    // does address generation; born MemPhase::Done too,
+                    // keeping the Done⇒Done invariant the LSQ index
+                    // relies on to never track dead ops.
+                    phase: if poisoned {
+                        MemPhase::Done
+                    } else {
+                        MemPhase::AddrGen { done_at: 0 }
+                    },
                 }
             });
             let result = if matches!(fetched.inst, Inst::Jal { .. }) {
@@ -145,12 +153,14 @@ impl Core {
             if pipe == Pipe::MulDiv && now < self.muldiv_busy_until {
                 continue;
             }
-            let iq = &self.iqs[pipe as usize];
             // Oldest-first: find the lowest seq whose sources are ready.
+            // Issue queues are ascending by construction — rename pushes
+            // strictly increasing seqs and squash `retain`s in place — so
+            // in-order iteration needs no per-cycle clone-and-sort.
+            debug_assert!(self.iqs[pipe as usize].is_sorted());
             let mut chosen: Option<u64> = None;
-            let mut sorted: Vec<u64> = iq.clone();
-            sorted.sort_unstable();
-            for &seq in &sorted {
+            for k in 0..self.iqs[pipe as usize].len() {
+                let seq = self.iqs[pipe as usize][k];
                 let Some(idx) = self.rob_index(seq) else {
                     continue;
                 };
@@ -227,6 +237,7 @@ impl Core {
                     }
                     m.phase = MemPhase::AddrGen { done_at: now + 1 };
                     entry.stage = Stage::MemOp;
+                    self.lsq.memop_insert(seq);
                 }
             }
         }

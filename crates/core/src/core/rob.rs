@@ -13,10 +13,16 @@ impl Core {
 
     pub(super) fn rob_index(&self, seq: u64) -> Option<usize> {
         // Seqs are strictly increasing but NOT contiguous (a squash leaves
-        // a gap before the next rename), so binary-search.
+        // a gap before the next rename), so binary-search — after an O(1)
+        // guess: between squashes seqs ARE contiguous, so `seq - head` is
+        // exact almost always (this is the hottest lookup in the core).
         let head = self.rob.front()?.seq;
         if seq < head {
             return None;
+        }
+        let guess = (seq - head) as usize;
+        if guess < self.rob.len() && self.rob[guess].seq == seq {
+            return Some(guess);
         }
         let (a, b) = self.rob.as_slices();
         match a.binary_search_by_key(&seq, |e| e.seq) {
@@ -74,12 +80,17 @@ impl Core {
             for iq in &mut self.iqs {
                 iq.retain(|&s| s != e.seq);
             }
-            // Release LQ/SQ slots and orphan in-flight tokens.
+            // Release LQ/SQ slots, drop the entry from the LSQ index and
+            // mem-op worklist, and orphan in-flight tokens.
             if let Some(m) = &e.mem {
                 if m.is_store {
                     self.sq_used -= 1;
                 } else {
                     self.lq_used -= 1;
+                }
+                self.lsq.remove_op(m, e.seq);
+                if e.stage == Stage::MemOp {
+                    self.lsq.memop_remove(e.seq);
                 }
                 if m.phase == MemPhase::WaitMem {
                     // If the L1 already answered, drop the completion now;

@@ -571,6 +571,9 @@ impl Core {
         self.purge = PurgePhase::load(r)?;
         self.purge_resume = SnapState::load(r)?;
         self.stats = CoreStats::load(r)?;
+        // The LSQ index is derived state: the snapshot format carries no
+        // trace of it — rebuild it from the deserialized ROB.
+        self.lsq = LsqIndex::rebuild(&self.rob);
         Ok(())
     }
 }

@@ -15,6 +15,9 @@ impl Llc {
                 let resp = links[core].up_resp.pop(now).expect("peeked");
                 return Some(PipeMsg::DownResp(resp));
             }
+            if llc.live_mshrs == 0 {
+                return None; // idle LLC: nothing to scan for
+            }
             for (i, slot) in llc.mshrs.iter().enumerate() {
                 if let Some(m) = slot {
                     if m.child.core() == core && m.state == MshrState::FillReady {
@@ -47,13 +50,14 @@ impl Llc {
                     let someone_waiting = (0..self.cores).any(|c| {
                         c != turn
                             && (links[c].up_resp.peek(now).is_some()
-                                || self.mshrs.iter().flatten().any(|m| {
-                                    m.child.core() == c
-                                        && matches!(
-                                            m.state,
-                                            MshrState::WaitPipe | MshrState::FillReady
-                                        )
-                                }))
+                                || (self.live_mshrs > 0
+                                    && self.mshrs.iter().flatten().any(|m| {
+                                        m.child.core() == c
+                                            && matches!(
+                                                m.state,
+                                                MshrState::WaitPipe | MshrState::FillReady
+                                            )
+                                    })))
                     });
                     if someone_waiting {
                         self.stats.arb_wait_cycles += 1;
@@ -72,14 +76,14 @@ impl Llc {
                         break;
                     }
                 }
-                if chosen.is_none() {
+                if chosen.is_none() && self.live_mshrs > 0 {
                     chosen = self
                         .mshrs
                         .iter()
                         .position(|m| m.as_ref().is_some_and(|m| m.state == MshrState::FillReady))
                         .map(|i| PipeMsg::Reentry(i as u32));
                 }
-                if chosen.is_none() {
+                if chosen.is_none() && self.live_mshrs > 0 {
                     chosen = self.mshrs.iter().enumerate().find_map(|(i, m)| {
                         m.as_ref().and_then(|m| {
                             (m.state == MshrState::WaitPipe).then_some(if m.retry {
@@ -111,6 +115,9 @@ impl Llc {
         links: &mut [CoreLink],
         port_used: &mut [bool],
     ) {
+        if self.live_mshrs == 0 {
+            return; // nothing can be waiting on a downgrade
+        }
         let n = self.mshrs.len();
         match self.cfg.downgrade {
             DowngradeOrg::Single => {

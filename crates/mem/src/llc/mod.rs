@@ -192,6 +192,12 @@ pub struct Llc {
     /// Rotating scan start for the single Downgrade-L1 logic.
     downgrade_scan: usize,
     set_bits: u32,
+    /// Live entries in `mshrs` (derived; lets the per-cycle tick skip the
+    /// MSHR scans entirely while the LLC is idle — recomputed on restore,
+    /// never serialized).
+    live_mshrs: usize,
+    /// Reusable per-cycle port-usage buffer (host-side scratch only).
+    port_scratch: Vec<bool>,
     /// Exported statistics.
     pub stats: LlcStats,
 }
@@ -218,6 +224,8 @@ impl Llc {
             dq_port_busy_until: 0,
             downgrade_scan: 0,
             set_bits: sets.trailing_zeros(),
+            live_mshrs: 0,
+            port_scratch: Vec::new(),
             stats: LlcStats::default(),
         }
     }
@@ -263,8 +271,13 @@ impl Llc {
             entry.state = MshrState::FillReady;
         }
         self.process_exit(now);
-        let mut port_used = self.dequeue_uq(now, links);
+        // Reuse the port-usage buffer across cycles (no per-cycle alloc).
+        let mut port_used = std::mem::take(&mut self.port_scratch);
+        port_used.clear();
+        port_used.resize(self.cores, false);
+        self.dequeue_uq(now, links, &mut port_used);
         self.send_downgrades(now, links, &mut port_used);
+        self.port_scratch = port_used;
         self.dequeue_dq(now, dram);
         self.accept_requests(now, links);
         self.arbitrate_entry(now, links);

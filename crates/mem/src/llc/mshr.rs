@@ -45,6 +45,7 @@ impl Llc {
             };
             let popped = link.up_req.pop(now);
             debug_assert!(popped.is_some());
+            self.live_mshrs += 1;
             self.mshrs[idx] = Some(MshrEntry {
                 child: req.child,
                 line: req.line,
@@ -65,6 +66,7 @@ impl Llc {
 
     pub(super) fn free_mshr(&mut self, m: u32) {
         let entry = self.mshrs[m as usize].take().expect("double free");
+        self.live_mshrs -= 1;
         if entry.way != usize::MAX {
             let line = &mut self.sets[entry.set][entry.way];
             if line.locked_by == Some(m) {

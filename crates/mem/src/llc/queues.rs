@@ -24,11 +24,11 @@ impl Llc {
         debug_assert!(total <= self.mshrs.len(), "UQs sized to MSHR count");
     }
 
-    /// UQ dequeue: sends upgrade responses to the cores. Returns which
-    /// core ports were used this cycle (downgrade requests contend for the
-    /// remainder — paper Section 5.4.2 "UQ and Downgrade requests").
-    pub(super) fn dequeue_uq(&mut self, now: u64, links: &mut [CoreLink]) -> Vec<bool> {
-        let mut port_used = vec![false; self.cores];
+    /// UQ dequeue: sends upgrade responses to the cores, marking which
+    /// core ports were used this cycle in `port_used` (downgrade requests
+    /// contend for the remainder — paper Section 5.4.2 "UQ and Downgrade
+    /// requests").
+    pub(super) fn dequeue_uq(&mut self, now: u64, links: &mut [CoreLink], port_used: &mut [bool]) {
         let mut freed = Vec::new();
         match self.cfg.uq {
             UqOrg::Shared => {
@@ -37,7 +37,7 @@ impl Llc {
                 // the head's core port is busy, responses to other cores
                 // behind it wait too.
                 if let Some(&m) = self.uqs[0].front() {
-                    if self.try_send_upgrade_resp(now, links, m, &mut port_used) {
+                    if self.try_send_upgrade_resp(now, links, m, port_used) {
                         self.uqs[0].pop_front();
                         freed.push(m);
                     }
@@ -46,7 +46,7 @@ impl Llc {
             UqOrg::PerCore => {
                 for qi in 0..self.uqs.len() {
                     if let Some(&m) = self.uqs[qi].front() {
-                        if self.try_send_upgrade_resp(now, links, m, &mut port_used) {
+                        if self.try_send_upgrade_resp(now, links, m, port_used) {
                             self.uqs[qi].pop_front();
                             freed.push(m);
                         }
@@ -57,7 +57,6 @@ impl Llc {
         for m in freed {
             self.free_mshr(m);
         }
-        port_used
     }
 
     pub(super) fn try_send_upgrade_resp(

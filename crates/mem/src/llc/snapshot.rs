@@ -289,6 +289,9 @@ impl Llc {
                 });
             }
             self.sets = lines;
+            // `live_mshrs` is derived state: recompute it rather than
+            // serialize it (the snapshot format is unchanged).
+            self.live_mshrs = mshrs.iter().filter(|m| m.is_some()).count();
             self.mshrs = mshrs;
             self.pipe = pipe;
             self.uqs = uqs;
@@ -312,6 +315,7 @@ impl Llc {
         for m in &mut self.mshrs {
             *m = None;
         }
+        self.live_mshrs = 0;
         self.pipe.clear();
         self.dq.clear();
         for q in &mut self.uqs {
