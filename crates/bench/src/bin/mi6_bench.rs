@@ -12,6 +12,7 @@
 //! mi6-bench --kinsts 500         # longer runs (kilo-instructions)
 //! mi6-bench --kernel store-heavy # one kernel
 //! mi6-bench --reps 5             # best-of-5 wall-clock timing
+//! mi6-bench --json BENCH_hotloop.json   # also write machine-readable results
 //! ```
 //!
 //! Each kernel prints one line, e.g.
@@ -82,11 +83,24 @@ fn kernels() -> Vec<(&'static str, Profile)> {
                 ..quiet
             },
         ),
+        // A dependent pointer chase through a 4 MiB arena — 4x the LLC,
+        // so nearly every node misses to DRAM and the machine is provably
+        // inert for most of each miss. This is the regime the event-driven
+        // idle-skip targets: simulated cycles/sec here tracks how well the
+        // clock fast-forwards, not how fast a busy tick is.
+        (
+            "miss-heavy",
+            Profile {
+                chase_bytes: 4 << 20,
+                chase_nodes_per_iter: 8,
+                ..quiet
+            },
+        ),
     ]
 }
 
 fn usage() -> ! {
-    eprintln!("usage: mi6-bench [--kinsts N] [--reps N] [--kernel NAME]...");
+    eprintln!("usage: mi6-bench [--kinsts N] [--reps N] [--kernel NAME]... [--json PATH]");
     exit(2);
 }
 
@@ -95,6 +109,7 @@ fn main() {
     let mut kinsts: u64 = 300;
     let mut reps: u32 = 3;
     let mut only: Vec<String> = Vec::new();
+    let mut json_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut val = || it.next().unwrap_or_else(|| usage()).clone();
@@ -102,6 +117,7 @@ fn main() {
             "--kinsts" => kinsts = val().parse().unwrap_or_else(|_| usage()),
             "--reps" => reps = val().parse().unwrap_or_else(|_| usage()),
             "--kernel" => only.push(val()),
+            "--json" => json_path = Some(val()),
             _ => usage(),
         }
     }
@@ -125,6 +141,7 @@ fn main() {
         "{:<14} {:>12} {:>12} {:>8} {:>12} {:>10}",
         "kernel", "cycles", "insts", "wall s", "Mcycles/s", "Minst/s"
     );
+    let mut rows: Vec<(&str, u64, u64, f64)> = Vec::new(); // (name, cycles, insts, secs)
     for (name, profile) in kernels {
         if !only.is_empty() && !only.iter().any(|k| k == name) {
             continue;
@@ -160,5 +177,31 @@ fn main() {
             cycles as f64 / secs / 1e6,
             insts as f64 / secs / 1e6,
         );
+        rows.push((name, cycles, insts, secs));
+    }
+    if let Some(path) = json_path {
+        // Machine-readable companion to the table: CI uploads this as the
+        // perf-trajectory artifact, so keep the shape append-only.
+        let kernels_json: Vec<String> = rows
+            .iter()
+            .map(|(name, cycles, insts, secs)| {
+                format!(
+                    "{{\"name\":\"{name}\",\"cycles\":{cycles},\"instructions\":{insts},\
+                     \"wall_s\":{secs},\"cycles_per_sec\":{cps},\"ns_per_cycle\":{npc}}}",
+                    cps = *cycles as f64 / secs,
+                    npc = secs * 1e9 / *cycles as f64,
+                )
+            })
+            .collect();
+        let doc = format!(
+            "{{\"bench\":\"hotloop\",\"kinsts\":{kinsts},\"reps\":{reps},\"variant\":\"BASE\",\
+             \"kernels\":[{}]}}\n",
+            kernels_json.join(","),
+        );
+        std::fs::write(&path, doc).unwrap_or_else(|e| {
+            eprintln!("mi6-bench: cannot write {path}: {e}");
+            exit(1);
+        });
+        eprintln!("mi6-bench: wrote {path}");
     }
 }

@@ -51,9 +51,14 @@
 //!   files cover the requested grid exactly (missing or duplicated
 //!   points are hard errors) and render the figures, byte-identical to
 //!   an unsharded run.
+//! - `merge --out DIR --balance` — the shard-balance report: per-worker
+//!   `wall_ms` totals from the journals (seed-aggregated sentinel points
+//!   excluded) plus the busiest worker's skew over the mean. Needs no
+//!   grid flags and no full coverage, so it works mid-campaign; combine
+//!   with grid flags to also render the figures.
 
 use mi6_bench::runner::default_threads;
-use mi6_bench::sharding::{load_shard_dir, merge_shards, open_shard_journal};
+use mi6_bench::sharding::{balance_report, load_shard_dir, merge_shards, open_shard_journal};
 use mi6_bench::{plan_grid, scenario, GridSchedule, HarnessOpts, WarmFork, FIGURES};
 use mi6_grid::ShardSpec;
 use mi6_workloads::Workload;
@@ -78,6 +83,7 @@ struct Cli {
     out: Option<PathBuf>,
     deadline_secs: Option<u64>,
     batch: usize,
+    balance: bool,
 }
 
 fn usage() -> ! {
@@ -86,8 +92,8 @@ fn usage() -> ! {
          [--kinsts N] [--timer N] [--threads N] [--seeds N] [--workload NAME]... \
          [--json PATH|-] [--warmup CYCLES --checkpoint-dir DIR [--fork-base]] \
          [--shard i/N --out DIR] [--deadline SECS] [--batch N]\n\
-         \x20      mi6-experiments merge --out DIR ((--figure N)... | --all) \
-         [--kinsts N] [--timer N] [--seeds N] [--workload NAME]..."
+         \x20      mi6-experiments merge --out DIR (((--figure N)... | --all) \
+         [--kinsts N] [--timer N] [--seeds N] [--workload NAME]... | --balance)"
     );
     exit(2);
 }
@@ -122,6 +128,7 @@ fn parse_args(args: &[String], merge: bool) -> Cli {
         out: None,
         deadline_secs: None,
         batch: 0,
+        balance: false,
     };
     let mut i = 0;
     let value = |args: &[String], i: usize, flag: &str| -> String {
@@ -244,6 +251,13 @@ fn parse_args(args: &[String], merge: bool) -> Cli {
                     .unwrap_or_else(|_| usage());
                 i += 1;
             }
+            "--balance" => {
+                if !merge {
+                    eprintln!("--balance applies to merge (per-worker wall-time accounting)");
+                    usage();
+                }
+                cli.balance = true;
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -261,7 +275,7 @@ fn parse_args(args: &[String], merge: bool) -> Cli {
             eprintln!("--scenario excludes --figure and --shard");
             usage();
         }
-    } else if cli.figures.is_empty() {
+    } else if cli.figures.is_empty() && !cli.balance {
         usage();
     }
     if cli.warmup > 0 && cli.checkpoint_dir.is_none() {
@@ -300,7 +314,6 @@ fn merge_main(args: &[String]) {
         eprintln!("merge needs --out (the shard journal directory)");
         usage();
     };
-    let plan = plan_grid(&cli.figures, cli.opts, cli.seeds, &cli.workloads);
     let loaded = load_shard_dir(dir).unwrap_or_else(|e| {
         eprintln!("cannot read shard dir {}: {e}", dir.display());
         exit(1);
@@ -315,6 +328,16 @@ fn merge_main(args: &[String]) {
             loaded.skipped_lines
         );
     }
+    if cli.balance {
+        // The balance report reads every journaled point as-is: it does
+        // not need (or check) grid coverage, so it works mid-campaign
+        // while shards are still running.
+        print!("{}", balance_report(&loaded));
+        if cli.figures.is_empty() {
+            return;
+        }
+    }
+    let plan = plan_grid(&cli.figures, cli.opts, cli.seeds, &cli.workloads);
     match merge_shards(&plan, &loaded) {
         Err(err) => {
             eprintln!(

@@ -12,10 +12,19 @@ pub use std::hint::black_box;
 /// Minimum measured batch duration before a result is reported.
 const MIN_BATCH: Duration = Duration::from_millis(100);
 
+/// Warmup budget: stop early once this much time is spent, so one
+/// expensive closure (e.g. a whole-machine tick) cannot stall the suite
+/// for a thousand iterations before measurement even starts.
+const MAX_WARMUP: Duration = Duration::from_millis(10);
+
 /// Times `f`, auto-scaling the iteration count, and prints ns/iter.
 pub fn bench(name: &str, mut f: impl FnMut()) {
+    let warm0 = Instant::now();
     for _ in 0..1_000 {
         f();
+        if warm0.elapsed() >= MAX_WARMUP {
+            break;
+        }
     }
     let mut iters: u64 = 1_000;
     loop {

@@ -1,0 +1,99 @@
+//! The decode cache: pre-decoded instructions keyed by physical address.
+//!
+//! Fetch decodes every delivered instruction once and caches the result —
+//! decoding is untimed (the modeled pipeline charges fetch latency
+//! elsewhere), so the cache is purely a host-side memoization. It used to
+//! be a `HashMap<u64, Inst>`, which put a SipHash probe on the per-
+//! instruction fetch path; this direct-mapped probe array replaces the
+//! hash with a shift-and-mask. Collisions simply evict (the next fetch of
+//! the evicted address re-decodes), which is timing-invisible by
+//! construction.
+//!
+//! The snapshot format is unchanged: serialization still writes sorted
+//! `(paddr, Inst)` pairs exactly as `save_sorted_map` did for the
+//! `HashMap`, and restore re-inserts each pair. Distinct live entries
+//! always occupy distinct slots, so a save/restore round trip is
+//! lossless.
+
+use mi6_isa::Inst;
+
+/// Number of direct-mapped slots. Covers 16 KiB of code with no
+/// collisions (4-byte instructions); must stay a power of two.
+const SLOTS: usize = 4096;
+
+#[derive(Debug)]
+pub(super) struct DecodeCache {
+    /// `Some((paddr, inst))` when the slot holds a decoded instruction.
+    slots: Vec<Option<(u64, Inst)>>,
+}
+
+impl DecodeCache {
+    pub(super) fn new() -> DecodeCache {
+        DecodeCache {
+            slots: vec![None; SLOTS],
+        }
+    }
+
+    /// The slot for `paddr` (instructions are 4-byte aligned, so the low
+    /// two bits carry no information).
+    fn index(paddr: u64) -> usize {
+        (paddr >> 2) as usize & (SLOTS - 1)
+    }
+
+    pub(super) fn get(&self, paddr: u64) -> Option<Inst> {
+        match self.slots[Self::index(paddr)] {
+            Some((tag, inst)) if tag == paddr => Some(inst),
+            _ => None,
+        }
+    }
+
+    pub(super) fn insert(&mut self, paddr: u64, inst: Inst) {
+        self.slots[Self::index(paddr)] = Some((paddr, inst));
+    }
+
+    /// Invalidates everything (FenceI).
+    pub(super) fn clear(&mut self) {
+        self.slots.fill(None);
+    }
+
+    /// The live entries sorted by address — the exact sequence
+    /// `save_sorted_map` serialized when this was a `HashMap`.
+    pub(super) fn sorted_entries(&self) -> Vec<(u64, Inst)> {
+        let mut entries: Vec<(u64, Inst)> = self.slots.iter().filter_map(|s| *s).collect();
+        entries.sort_unstable_by_key(|(k, _)| *k);
+        entries
+    }
+
+    /// Rebuilds the cache from serialized entries.
+    pub(super) fn fill_from(&mut self, entries: Vec<(u64, Inst)>) {
+        self.clear();
+        for (paddr, inst) in entries {
+            self.insert(paddr, inst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collision_evicts_and_roundtrips() {
+        let mut c = DecodeCache::new();
+        c.insert(0x1000, Inst::NOP);
+        assert_eq!(c.get(0x1000), Some(Inst::NOP));
+        // Same slot, different tag: evicts.
+        let alias = 0x1000 + (SLOTS as u64 * 4);
+        assert_eq!(DecodeCache::index(alias), DecodeCache::index(0x1000));
+        c.insert(alias, Inst::NOP);
+        assert_eq!(c.get(0x1000), None);
+        assert_eq!(c.get(alias), Some(Inst::NOP));
+        // Round trip through the serialized form.
+        c.insert(0x2000, Inst::NOP);
+        let entries = c.sorted_entries();
+        assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        let mut d = DecodeCache::new();
+        d.fill_from(entries);
+        assert_eq!(d.sorted_entries(), c.sorted_entries());
+    }
+}

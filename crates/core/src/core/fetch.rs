@@ -8,8 +8,8 @@ impl Core {
     // -------------------------------------------------------------- fetch
 
     pub(super) fn decode_at(&mut self, mem: &MemSystem, paddr: u64) -> Result<Inst, Exception> {
-        if let Some(inst) = self.decode_cache.get(&paddr) {
-            return Ok(*inst);
+        if let Some(inst) = self.decode_cache.get(paddr) {
+            return Ok(inst);
         }
         let word = mem.phys.read_u32(PhysAddr::new(paddr));
         match mi6_isa::decode(word) {

@@ -99,6 +99,16 @@ impl Core {
             let Some(idx) = self.rob_index(seq) else {
                 continue; // squashed earlier this cycle
             };
+            // Fast-path the pure time-waits before copying any entry
+            // state: most ops spend most of their cycles in one of these,
+            // where the only question is "is it time yet".
+            match self.rob[idx].mem.as_ref().expect("mem state").phase {
+                MemPhase::AddrGen { done_at } if now < done_at => continue,
+                MemPhase::TlbLatency { ready_at } if now < ready_at => continue,
+                MemPhase::WaitValue { ready_at } if now < ready_at => continue,
+                MemPhase::Done => continue,
+                _ => {}
+            }
             let (pc, inst) = (self.rob[idx].pc, self.rob[idx].inst);
             let m = self.rob[idx].mem.expect("mem state");
             match m.phase {

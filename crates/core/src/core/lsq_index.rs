@@ -73,9 +73,17 @@ pub(super) struct LsqIndex {
     loads: Vec<LsqEntry>,
     /// Ascending seqs of ROB entries in `Stage::MemOp`.
     memops: Vec<u64>,
+    /// Ascending seqs of ROB entries in `Stage::Exec` — the per-cycle
+    /// worklist of `tick_writeback`, maintained exactly like `memops`
+    /// (insert at issue, remove at completion or squash).
+    execs: Vec<u64>,
     /// Reused each cycle by `advance_mem_ops` (kept here so its capacity
     /// survives between cycles; otherwise unused).
     pub(super) scratch: Vec<u64>,
+    /// Reused each cycle by `tick_writeback` (which runs before
+    /// `advance_mem_ops`, but gets its own buffer so the two sweeps never
+    /// alias).
+    pub(super) exec_scratch: Vec<u64>,
 }
 
 impl LsqIndex {
@@ -162,6 +170,29 @@ impl LsqIndex {
         }
     }
 
+    /// The current `Stage::Exec` worklist, oldest first.
+    pub(super) fn execs(&self) -> &[u64] {
+        &self.execs
+    }
+
+    /// Adds an op entering `Stage::Exec` (issue).
+    pub(super) fn exec_insert(&mut self, seq: u64) {
+        match self.execs.binary_search(&seq) {
+            Err(i) => self.execs.insert(i, seq),
+            Ok(_) => debug_assert!(false, "exec seq {seq} already queued"),
+        }
+    }
+
+    /// Drops an op leaving `Stage::Exec` (writeback completion or squash).
+    pub(super) fn exec_remove(&mut self, seq: u64) {
+        match self.execs.binary_search(&seq) {
+            Ok(i) => {
+                self.execs.remove(i);
+            }
+            Err(_) => debug_assert!(false, "exec seq {seq} missing from worklist"),
+        }
+    }
+
     /// Whether a ROB entry's load belongs in the load index: issued with
     /// a resolved address (faulted loads never resolve one).
     fn load_indexed(m: &MemState) -> bool {
@@ -181,6 +212,9 @@ impl LsqIndex {
         for e in rob {
             if e.stage == Stage::MemOp {
                 index.memops.push(e.seq);
+            }
+            if matches!(e.stage, Stage::Exec { .. }) {
+                index.execs.push(e.seq);
             }
             let Some(m) = &e.mem else { continue };
             if m.is_store {
@@ -209,6 +243,7 @@ impl LsqIndex {
         assert_eq!(self.stores, fresh.stores, "store index diverged from ROB");
         assert_eq!(self.loads, fresh.loads, "load index diverged from ROB");
         assert_eq!(self.memops, fresh.memops, "mem-op worklist diverged");
+        assert_eq!(self.execs, fresh.execs, "exec worklist diverged");
     }
 }
 

@@ -36,6 +36,7 @@ use mi6_mem::{L1Access, MemSystem, Port, RegionBitvec};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 mod commit;
+mod decode_cache;
 mod fetch;
 mod lsq;
 mod lsq_index;
@@ -44,6 +45,7 @@ mod rob;
 mod snapshot;
 mod walker;
 
+use decode_cache::DecodeCache;
 use lsq_index::{line_of, LsqIndex};
 
 /// Tag bits distinguishing token owners on the two memory ports.
@@ -53,6 +55,30 @@ const TOKEN_FETCH: u64 = 1 << TOKEN_TAG_SHIFT;
 const TOKEN_PTW: u64 = 2 << TOKEN_TAG_SHIFT;
 const TOKEN_SB: u64 = 3 << TOKEN_TAG_SHIFT;
 const TOKEN_MASK: u64 = (1 << TOKEN_TAG_SHIFT) - 1;
+
+/// Multiply-shift hasher for memory-access tokens (a tag in the top bits
+/// plus a low sequence number). The token maps sit on the per-completion
+/// hot path, where SipHash is pure overhead; Fibonacci hashing spreads
+/// these keys just as well.
+#[derive(Clone, Default)]
+struct TokenHasher(u64);
+
+impl std::hash::Hasher for TokenHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _: &[u8]) {
+        unreachable!("token keys hash via write_u64");
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+}
+
+type TokenMap<V> = HashMap<u64, V, std::hash::BuildHasherDefault<TokenHasher>>;
+type TokenSet = HashSet<u64, std::hash::BuildHasherDefault<TokenHasher>>;
 
 /// Extra latency charged for an L2 TLB hit after an L1 TLB miss.
 const L2_TLB_LATENCY: u64 = 4;
@@ -284,7 +310,7 @@ pub struct Core {
     fetch_stall_until: u64,
     next_fetch_token: u64,
     itlb: Tlb,
-    decode_cache: HashMap<u64, Inst>,
+    decode_cache: DecodeCache,
 
     // Backend.
     rob: VecDeque<RobEntry>,
@@ -311,10 +337,10 @@ pub struct Core {
     next_ptw_token: u64,
 
     // Tokens owned by squashed instructions; completions are dropped.
-    zombies: HashSet<u64>,
+    zombies: TokenSet,
     // Completions that arrived this cycle, keyed by token.
-    data_completions: HashMap<u64, u64>,
-    ifetch_completions: HashMap<u64, u64>,
+    data_completions: TokenMap<u64>,
+    ifetch_completions: TokenMap<u64>,
 
     purge: PurgePhase,
     /// Pending trap redirect after purge completes (handler pc, priv).
@@ -345,7 +371,7 @@ impl Core {
             fetch_stall_until: 0,
             next_fetch_token: 0,
             itlb: Tlb::new(cfg.l1_tlb_entries, 1),
-            decode_cache: HashMap::new(),
+            decode_cache: DecodeCache::new(),
             rob: VecDeque::new(),
             next_seq: 0,
             rat: [None; 32],
@@ -364,9 +390,9 @@ impl Core {
             walker_active: None,
             walk_results: Vec::new(),
             next_ptw_token: 0,
-            zombies: HashSet::new(),
-            data_completions: HashMap::new(),
-            ifetch_completions: HashMap::new(),
+            zombies: TokenSet::default(),
+            data_completions: TokenMap::default(),
+            ifetch_completions: TokenMap::default(),
             purge: PurgePhase::Idle,
             purge_resume: None,
             stats: CoreStats::default(),
@@ -512,5 +538,208 @@ impl Core {
         self.tick_rename(now);
         self.tick_fetch(now, mem);
         self.tick_store_buffer(now, mem);
+    }
+
+    /// The earliest future cycle at which this core could do any work, or
+    /// `None` when it might act at `now` itself (tick normally).
+    /// `Some(u64::MAX)` means inert until external input (a memory
+    /// completion) arrives — the memory system bounds those separately.
+    ///
+    /// Used by the event-driven idle-skip in `Machine::run_to_completion`.
+    /// The contract mirrors [`Core::tick`] sub-tick by sub-tick: every
+    /// state that acts (or counts a stall statistic) on its own clock
+    /// returns `None`; every purely time-gated state contributes its wake
+    /// cycle; states waiting on the memory hierarchy contribute nothing.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        if self.halted {
+            return Some(u64::MAX);
+        }
+        // Purge sequencing polls the hierarchy and counts
+        // `flush_stall_cycles` every cycle: never skip through it.
+        if self.purge != PurgePhase::Idle {
+            return None;
+        }
+        // Parked completions are consumed by their waiters (loads, fetch,
+        // walker, store buffer) as soon as they look.
+        if !self.data_completions.is_empty() || !self.ifetch_completions.is_empty() {
+            return None;
+        }
+        // The walker acts every cycle while a walk is queued or active,
+        // and delivered results are consumed the next cycle.
+        if self.walker_active.is_some()
+            || !self.walker_queue.is_empty()
+            || !self.walk_results.is_empty()
+        {
+            return None;
+        }
+        // Commit: a pending enabled interrupt traps this cycle; a done
+        // head retires (or raises its exception, or is a stalled `wfi`
+        // polling for wake-up) this cycle. The stored `mip` is only
+        // refreshed inside the tick, so evaluate against the timer pending
+        // bits as this cycle's tick would recompute them — otherwise a
+        // skip landing exactly on `mtimecmp` would sail past the trap.
+        let mut mip = self.csrs.mip;
+        for (cmp, irq) in [
+            (self.csrs.mtimecmp, mi6_isa::Interrupt::MachineTimer),
+            (self.csrs.stimecmp, mi6_isa::Interrupt::SupervisorTimer),
+        ] {
+            if now >= cmp {
+                mip |= 1 << irq.code();
+            } else {
+                mip &= !(1 << irq.code());
+            }
+        }
+        if self
+            .csrs
+            .pending_interrupt_with(self.priv_level, mip)
+            .is_some()
+        {
+            return None;
+        }
+        if self.rob.front().is_some_and(RobEntry::is_done) {
+            return None;
+        }
+        let mut next = u64::MAX;
+        // Timer pending bits flip exactly when `now` reaches the compare
+        // CSRs (which only move at commit, and commits end a skip). A
+        // compare already in the past has already set its bit.
+        if self.csrs.mtimecmp > now {
+            next = next.min(self.csrs.mtimecmp);
+        }
+        if self.csrs.stimecmp > now {
+            next = next.min(self.csrs.stimecmp);
+        }
+        // Writeback: only exec-worklist entries can complete.
+        for &seq in self.lsq.execs() {
+            let idx = self.rob_index(seq).expect("exec worklist entry in ROB");
+            let Stage::Exec { done_at } = self.rob[idx].stage else {
+                return None;
+            };
+            if done_at <= now {
+                return None;
+            }
+            next = next.min(done_at);
+        }
+        // Memory ops: each phase either acts on its own clock (`None`),
+        // waits out a known latency (candidate), or waits on the memory
+        // hierarchy (no constraint from this core).
+        for &seq in self.lsq.memops() {
+            let idx = self.rob_index(seq).expect("mem-op worklist entry in ROB");
+            match self.rob[idx].mem.as_ref().expect("mem state").phase {
+                MemPhase::AddrGen { done_at } => {
+                    if done_at <= now {
+                        return None;
+                    }
+                    next = next.min(done_at);
+                }
+                MemPhase::TlbLatency { ready_at } | MemPhase::WaitValue { ready_at } => {
+                    if ready_at <= now {
+                        return None;
+                    }
+                    next = next.min(ready_at);
+                }
+                // Translate retries the TLB, ReadyToAccess retries
+                // forwarding / the L1 port, WaitWalk polls the walker (its
+                // live states already returned `None` above), and Done
+                // should never be on the worklist — all conservatively
+                // "might act now".
+                MemPhase::Translate
+                | MemPhase::ReadyToAccess
+                | MemPhase::WaitWalk
+                | MemPhase::Done => return None,
+                MemPhase::WaitMem => {}
+            }
+        }
+        // Issue: an entry with ready sources issues this cycle — except on
+        // a busy (unpipelined) mul/div unit, where the issue happens when
+        // the unit frees.
+        for pipe in [Pipe::Alu0, Pipe::Alu1, Pipe::MulDiv, Pipe::Mem] {
+            let gated = pipe == Pipe::MulDiv && now < self.muldiv_busy_until;
+            for &seq in &self.iqs[pipe as usize] {
+                let Some(idx) = self.rob_index(seq) else {
+                    continue;
+                };
+                if self.srcs_ready(&self.rob[idx]).is_some() {
+                    if gated {
+                        next = next.min(self.muldiv_busy_until);
+                        break;
+                    }
+                    return None;
+                }
+            }
+        }
+        // Rename: replicate `tick_rename`'s first-iteration gates on the
+        // fetch-queue head. A head that would rename acts now; a NONSPEC
+        // serialize stall counts a statistic per cycle, so it must tick
+        // for real; every other blocked shape is passive until a commit,
+        // issue, or fetch event (all accounted above/below).
+        if self.rob.len() < self.cfg.rob_entries {
+            if let Some(front) = self.fetch_queue.front() {
+                let inst = front.inst;
+                let poisoned = front.poison.is_some();
+                let serialize =
+                    !poisoned && (inst.is_system() || (self.nonspec_gate() && inst.is_mem()));
+                if serialize && !self.rob.is_empty() {
+                    if self.nonspec_gate() && inst.is_mem() {
+                        return None;
+                    }
+                } else {
+                    let pipe = if poisoned {
+                        None
+                    } else {
+                        match inst {
+                            _ if inst.is_mem() => Some(Pipe::Mem),
+                            _ if inst.is_muldiv_fp() => Some(Pipe::MulDiv),
+                            Inst::Jal { .. } => None,
+                            _ if inst.is_system() => None,
+                            _ if self.iqs[0].len() <= self.iqs[1].len() => Some(Pipe::Alu0),
+                            _ => Some(Pipe::Alu1),
+                        }
+                    };
+                    let iq_full =
+                        pipe.is_some_and(|p| self.iqs[p as usize].len() >= self.cfg.iq_entries);
+                    let lq_full = inst.is_load() && self.lq_used >= self.cfg.lq_entries;
+                    let sq_full = inst.is_store() && self.sq_used >= self.cfg.sq_entries;
+                    if !iq_full && !lq_full && !sq_full {
+                        return None;
+                    }
+                }
+            }
+        }
+        // Fetch: time-gated states contribute their wake cycle; Idle acts
+        // now (translation attempt); Stalled waits for a squash and
+        // WaitICache/WaitWalk wait on completions/the walker (both `None`
+        // above when live).
+        if self.fetch_stall_until > now {
+            next = next.min(self.fetch_stall_until);
+        } else if self.fetch_queue.len() + self.cfg.fetch_width <= self.cfg.fetch_queue {
+            match &self.fetch_state {
+                FetchState::Idle => return None,
+                FetchState::TlbDelay { ready_at, .. } | FetchState::Deliver { ready_at, .. } => {
+                    if *ready_at <= now {
+                        return None;
+                    }
+                    next = next.min(*ready_at);
+                }
+                FetchState::Stalled | FetchState::WaitWalk | FetchState::WaitICache { .. } => {}
+            }
+        }
+        // Store buffer: the head unissued entry retries the L1D port every
+        // cycle; issued entries wait on completions (bounded above).
+        if self.sb.iter().any(|s| !s.issued) {
+            return None;
+        }
+        Some(next)
+    }
+
+    /// Accounts `skipped` cycles of event-driven fast-forward. The only
+    /// per-cycle state a provably inert, non-halted core mutates is its
+    /// cycle counter (`csrs.cycle` is rewritten from `now` at the next
+    /// real tick, and the timer pending bits compare against absolute
+    /// cycles, so both self-heal).
+    pub fn note_skipped_cycles(&mut self, skipped: u64) {
+        if !self.halted {
+            self.stats.cycles += skipped;
+        }
     }
 }

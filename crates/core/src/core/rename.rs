@@ -158,23 +158,25 @@ impl Core {
             // strictly increasing seqs and squash `retain`s in place — so
             // in-order iteration needs no per-cycle clone-and-sort.
             debug_assert!(self.iqs[pipe as usize].is_sorted());
-            let mut chosen: Option<u64> = None;
+            let mut chosen: Option<(usize, u64)> = None;
             for k in 0..self.iqs[pipe as usize].len() {
                 let seq = self.iqs[pipe as usize][k];
                 let Some(idx) = self.rob_index(seq) else {
                     continue;
                 };
-                if self.srcs_ready(&self.rob[idx]).is_some() {
-                    chosen = Some(seq);
+                if self.poll_srcs(idx).is_some() {
+                    chosen = Some((k, seq));
                     break;
                 }
             }
-            let Some(seq) = chosen else {
+            let Some((k, seq)) = chosen else {
                 continue;
             };
-            self.iqs[pipe as usize].retain(|&s| s != seq);
+            // The scan above already found the position — remove it
+            // directly instead of re-walking the queue with `retain`.
+            self.iqs[pipe as usize].remove(k);
             let idx = self.rob_index(seq).expect("chosen entry exists");
-            let (a, b) = self.srcs_ready(&self.rob[idx]).expect("ready");
+            let (a, b) = self.poll_srcs(idx).expect("ready");
             let entry = &mut self.rob[idx];
             match pipe {
                 Pipe::Alu0 | Pipe::Alu1 => {
@@ -240,35 +242,50 @@ impl Core {
                     self.lsq.memop_insert(seq);
                 }
             }
+            if !matches!(pipe, Pipe::Mem) {
+                // Every non-mem arm above entered `Stage::Exec`: index the
+                // op so `tick_writeback` finds it without a ROB scan.
+                self.lsq.exec_insert(seq);
+            }
         }
     }
 
     // ---------------------------------------------------------- writeback
 
     /// Completes executing instructions and resolves branches.
+    ///
+    /// Visits only the exec worklist — the ascending-seq index of
+    /// `Stage::Exec` entries maintained by `tick_issue` and `squash_from`
+    /// — instead of scanning the whole ROB. Ascending seq order preserves
+    /// the oldest-mispredict-wins rule of the original scan.
     pub(super) fn tick_writeback(&mut self, now: u64) {
-        // Find resolved branches / finished ALU ops.
         let mut mispredict: Option<(u64, u64)> = None; // (squash-from, new pc)
-        for idx in 0..self.rob.len() {
-            let e = &self.rob[idx];
-            let Stage::Exec { done_at } = e.stage else {
+        let mut seqs = std::mem::take(&mut self.lsq.exec_scratch);
+        seqs.clear();
+        seqs.extend_from_slice(self.lsq.execs());
+        for &seq in &seqs {
+            let idx = self.rob_index(seq).expect("exec worklist entry in ROB");
+            let entry = &mut self.rob[idx];
+            let Stage::Exec { done_at } = entry.stage else {
+                debug_assert!(false, "exec worklist seq {seq} not in Stage::Exec");
                 continue;
             };
             if now < done_at {
                 continue;
             }
-            let seq = e.seq;
-            let entry = &mut self.rob[idx];
             entry.stage = Stage::Done;
-            if let Some(b) = entry.branch {
+            let branch = entry.branch;
+            let is_cond = entry.inst.is_cond_branch();
+            self.lsq.exec_remove(seq);
+            if let Some(b) = branch {
                 let actual_taken = b.actual_taken.expect("resolved at execute");
-                let wrong = if entry.inst.is_cond_branch() {
+                let wrong = if is_cond {
                     actual_taken != b.pred_taken
                 } else {
                     b.actual_target != b.pred_target
                 };
                 if wrong && mispredict.is_none() {
-                    if entry.inst.is_cond_branch() {
+                    if is_cond {
                         self.stats.branch_mispredicts += 1;
                     } else {
                         self.stats.jump_mispredicts += 1;
@@ -277,8 +294,121 @@ impl Core {
                 }
             }
         }
+        self.lsq.exec_scratch = seqs;
         if let Some((from, target)) = mispredict {
             self.squash_from(now, from, target);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! Exec-worklist maintenance under squashes: every path that removes a
+    //! `Stage::Exec` entry from the ROB must also drop it from the
+    //! worklist. `tests/golden_stats.rs` proves timing equivalence on real
+    //! programs; these pin the index bookkeeping on fabricated squash
+    //! shapes a fingerprint might not happen to exercise.
+
+    use super::*;
+    use mi6_isa::BranchCond;
+
+    fn test_core() -> Core {
+        Core::new(0, CoreConfig::paper(), SecurityConfig::insecure())
+    }
+
+    /// Pushes a fabricated op mid-execute, maintaining the exec worklist
+    /// at the same point `tick_issue` does.
+    fn push_exec_op(core: &mut Core, seq: u64, done_at: u64, branch: Option<BranchState>) {
+        let inst = if branch.is_some() {
+            Inst::Branch {
+                cond: BranchCond::Eq,
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+                off: 16,
+            }
+        } else {
+            Inst::addi(Reg::T0, Reg::T1, 1)
+        };
+        core.rob.push_back(RobEntry {
+            seq,
+            pc: 0x1000 + seq * 4,
+            inst,
+            stage: Stage::Exec { done_at },
+            srcs: [None, None],
+            dest: None,
+            prev_map: None,
+            result: 0,
+            branch,
+            mem: None,
+            exception: None,
+        });
+        core.next_seq = seq + 1;
+        core.lsq.exec_insert(seq);
+        core.lsq.assert_matches(&core.rob);
+    }
+
+    fn resolved_branch(pred_taken: bool, actual_taken: bool) -> BranchState {
+        BranchState {
+            pred_taken,
+            pred_target: 0x2000,
+            tournament: None,
+            actual_taken: Some(actual_taken),
+            actual_target: 0x2000,
+        }
+    }
+
+    #[test]
+    fn squash_drops_younger_exec_entries_from_worklist() {
+        let mut core = test_core();
+        for seq in 0..4 {
+            push_exec_op(&mut core, seq, 100, None);
+        }
+        core.squash_from(50, 2, 0x4000);
+        assert_eq!(core.lsq.execs(), &[0, 1]);
+        core.lsq.assert_matches(&core.rob);
+    }
+
+    #[test]
+    fn mispredict_at_writeback_scrubs_squashed_exec_entries() {
+        let mut core = test_core();
+        // A mispredicted branch completing now, with younger ops still
+        // mid-execute: the branch leaves the worklist at completion, the
+        // younger entries leave it inside `squash_from`.
+        push_exec_op(&mut core, 0, 10, Some(resolved_branch(false, true)));
+        push_exec_op(&mut core, 1, 30, None);
+        push_exec_op(&mut core, 2, 40, None);
+        core.tick_writeback(10);
+        assert!(core.lsq.execs().is_empty());
+        assert_eq!(core.stats.branch_mispredicts, 1);
+        assert_eq!(core.stats.squashed_instructions, 2);
+        assert_eq!(core.rob.len(), 1);
+        assert!(matches!(core.rob[0].stage, Stage::Done));
+        core.lsq.assert_matches(&core.rob);
+    }
+
+    #[test]
+    fn oldest_mispredict_wins_and_worklist_stays_consistent() {
+        let mut core = test_core();
+        // Two mispredicted branches resolving the same cycle: the older
+        // one squashes the younger, which has already completed by then —
+        // its worklist removal must not double-fire.
+        push_exec_op(&mut core, 0, 10, Some(resolved_branch(false, true)));
+        push_exec_op(&mut core, 1, 10, Some(resolved_branch(true, false)));
+        core.tick_writeback(10);
+        assert!(core.lsq.execs().is_empty());
+        assert_eq!(core.stats.branch_mispredicts, 1);
+        assert_eq!(core.rob.len(), 1);
+        core.lsq.assert_matches(&core.rob);
+    }
+
+    #[test]
+    fn purge_squash_clears_exec_worklist() {
+        let mut core = test_core();
+        push_exec_op(&mut core, 0, 100, None);
+        push_exec_op(&mut core, 1, 120, None);
+        core.start_purge(5, 0x8000, PrivLevel::Supervisor);
+        assert!(core.lsq.execs().is_empty());
+        assert!(core.rob.is_empty());
+        core.lsq.assert_matches(&core.rob);
     }
 }

@@ -59,11 +59,41 @@ impl Core {
         Some((a, b))
     }
 
+    /// [`Core::srcs_ready`], but memoizing: each `Src::Wait` that resolves
+    /// is rewritten to `Src::Ready` so later polls of the same entry skip
+    /// the ROB walk. Sound because a producer's value is final once
+    /// observable — a squash that removes the producer removes every
+    /// younger entry, including this consumer — so this changes the
+    /// in-memory representation only, never an issue decision.
+    pub(super) fn poll_srcs(&mut self, idx: usize) -> Option<(u64, u64)> {
+        let mut vals = [0u64; 2];
+        for (i, slot) in vals.iter_mut().enumerate() {
+            let Some(src) = self.rob[idx].srcs[i] else {
+                continue;
+            };
+            if let Src::Ready(v) = src {
+                *slot = v;
+                continue;
+            }
+            let v = self.producer_value(src)?;
+            self.rob[idx].srcs[i] = Some(Src::Ready(v));
+            *slot = v;
+        }
+        Some((vals[0], vals[1]))
+    }
+
     // ------------------------------------------------------------- squash
 
     /// Squashes all entries with `seq >= from_seq`; redirects fetch to
     /// `new_pc`.
     pub(super) fn squash_from(&mut self, now: u64, from_seq: u64, new_pc: u64) {
+        // Issue queues are ascending by seq, so every squashed entry sits
+        // in one contiguous tail: one truncation per queue replaces a
+        // per-entry `retain` rescan.
+        for iq in &mut self.iqs {
+            let cut = iq.partition_point(|&s| s < from_seq);
+            iq.truncate(cut);
+        }
         while let Some(back) = self.rob.back() {
             if back.seq < from_seq {
                 break;
@@ -76,9 +106,9 @@ impl Core {
                     self.rat[d.index() as usize] = e.prev_map;
                 }
             }
-            // Remove from issue queues.
-            for iq in &mut self.iqs {
-                iq.retain(|&s| s != e.seq);
+            // Drop the entry from the exec worklist if it was mid-execute.
+            if matches!(e.stage, Stage::Exec { .. }) {
+                self.lsq.exec_remove(e.seq);
             }
             // Release LQ/SQ slots, drop the entry from the LSQ index and
             // mem-op worklist, and orphan in-flight tokens.

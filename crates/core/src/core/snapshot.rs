@@ -427,13 +427,18 @@ impl SnapState for SbEntry {
 }
 
 /// Serializes a hash map as sorted `(key, value)` pairs.
-fn save_sorted_map<V: SnapState + Clone>(map: &HashMap<u64, V>, w: &mut SnapWriter) {
+fn save_sorted_map<V: SnapState + Clone, S: std::hash::BuildHasher>(
+    map: &HashMap<u64, V, S>,
+    w: &mut SnapWriter,
+) {
     let mut entries: Vec<(u64, V)> = map.iter().map(|(k, v)| (*k, v.clone())).collect();
     entries.sort_unstable_by_key(|(k, _)| *k);
     entries.save(w);
 }
 
-fn load_map<V: SnapState>(r: &mut SnapReader<'_>) -> Result<HashMap<u64, V>, SnapError> {
+fn load_map<V: SnapState, S: std::hash::BuildHasher + Default>(
+    r: &mut SnapReader<'_>,
+) -> Result<HashMap<u64, V, S>, SnapError> {
     let entries: Vec<(u64, V)> = SnapState::load(r)?;
     Ok(entries.into_iter().collect())
 }
@@ -490,7 +495,10 @@ impl Core {
         w.u64(self.fetch_stall_until);
         w.u64(self.next_fetch_token);
         self.itlb.save(w);
-        save_sorted_map(&self.decode_cache, w);
+        // The decode cache serializes as sorted (paddr, Inst) pairs —
+        // the same byte sequence `save_sorted_map` produced when it was
+        // a HashMap, so the snapshot format is unchanged.
+        self.decode_cache.sorted_entries().save(w);
         // Backend.
         self.rob.save(w);
         w.u64(self.next_seq);
@@ -545,7 +553,7 @@ impl Core {
         self.fetch_stall_until = r.u64()?;
         self.next_fetch_token = r.u64()?;
         self.itlb = SnapState::load(r)?;
-        self.decode_cache = load_map(r)?;
+        self.decode_cache.fill_from(SnapState::load(r)?);
         self.rob = SnapState::load(r)?;
         w_check(self.rob.len() <= self.cfg.rob_entries, "ROB occupancy")?;
         self.next_seq = r.u64()?;

@@ -451,7 +451,16 @@ impl CsrFile {
     /// strictly higher privilege than `cur` or targets `cur` with the
     /// corresponding global interrupt-enable bit set.
     pub fn pending_interrupt(&self, cur: PrivLevel) -> Option<Interrupt> {
-        let ready = self.mip & self.mie;
+        self.pending_interrupt_with(cur, self.mip)
+    }
+
+    /// [`CsrFile::pending_interrupt`] evaluated against an explicit `mip`
+    /// value instead of the stored one. The core's next-event probe uses
+    /// this to ask "would an interrupt be takeable once the timer pending
+    /// bits are recomputed for the current cycle?" without mutating state
+    /// (the stored `mip` is only refreshed inside the tick).
+    pub fn pending_interrupt_with(&self, cur: PrivLevel, mip: u64) -> Option<Interrupt> {
+        let ready = mip & self.mie;
         let takeable = |i: Interrupt| -> bool {
             if ready >> i.code() & 1 == 0 {
                 return false;

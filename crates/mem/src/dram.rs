@@ -73,6 +73,13 @@ impl Dram {
         self.inflight.len()
     }
 
+    /// The completion cycle of the oldest outstanding request (requests
+    /// complete in acceptance order, so this is the earliest one). Used
+    /// by the event-driven idle-skip.
+    pub fn next_ready(&self) -> Option<u64> {
+        self.inflight.front().map(|&(ready, _)| ready)
+    }
+
     /// Submits a request at cycle `now`. Returns `false` under
     /// backpressure (the caller must retry; this is the major timing leak
     /// MI6's MSHR sizing eliminates).

@@ -174,6 +174,17 @@ impl L1Cache {
         self.flush_pos.is_some()
     }
 
+    /// Whether this cache does nothing on its own clock: no backpressured
+    /// downgrade responses to retry, no flush sweep, and no completions
+    /// awaiting collection. Outstanding MSHRs are passive (they wake on
+    /// parent messages, which the event-driven idle-skip bounds via the
+    /// link FIFOs).
+    pub fn is_inert(&self) -> bool {
+        self.pending_downgrades.is_empty()
+            && self.flush_pos.is_none()
+            && self.completions.is_empty()
+    }
+
     /// Begins a full invalidation sweep (the purge path). The core must
     /// have drained in-flight misses first.
     ///

@@ -64,6 +64,13 @@ impl<T> DelayFifo<T> {
         true
     }
 
+    /// The cycle at which the head message becomes (or became) visible
+    /// to the consumer, regardless of the current cycle. Used by the
+    /// event-driven idle-skip to bound how far the clock may jump.
+    pub fn next_ready(&self) -> Option<u64> {
+        self.items.front().map(|&(ready, _)| ready)
+    }
+
     /// The head message, if it has propagated by cycle `now`.
     pub fn peek(&self, now: u64) -> Option<&T> {
         match self.items.front() {

@@ -15,24 +15,25 @@ impl Llc {
                 let resp = links[core].up_resp.pop(now).expect("peeked");
                 return Some(PipeMsg::DownResp(resp));
             }
-            if llc.live_mshrs == 0 {
-                return None; // idle LLC: nothing to scan for
-            }
-            for (i, slot) in llc.mshrs.iter().enumerate() {
-                if let Some(m) = slot {
-                    if m.child.core() == core && m.state == MshrState::FillReady {
-                        return Some(PipeMsg::Reentry(i as u32));
+            if llc.fill_ready > 0 {
+                for (i, slot) in llc.mshrs.iter().enumerate() {
+                    if let Some(m) = slot {
+                        if m.child.core() == core && m.state == MshrState::FillReady {
+                            return Some(PipeMsg::Reentry(i as u32));
+                        }
                     }
                 }
             }
-            for (i, slot) in llc.mshrs.iter().enumerate() {
-                if let Some(m) = slot {
-                    if m.child.core() == core && m.state == MshrState::WaitPipe {
-                        return Some(if m.retry {
-                            PipeMsg::Reentry(i as u32)
-                        } else {
-                            PipeMsg::Req(i as u32)
-                        });
+            if llc.wait_pipe > 0 {
+                for (i, slot) in llc.mshrs.iter().enumerate() {
+                    if let Some(m) = slot {
+                        if m.child.core() == core && m.state == MshrState::WaitPipe {
+                            return Some(if m.retry {
+                                PipeMsg::Reentry(i as u32)
+                            } else {
+                                PipeMsg::Req(i as u32)
+                            });
+                        }
                     }
                 }
             }
@@ -50,7 +51,7 @@ impl Llc {
                     let someone_waiting = (0..self.cores).any(|c| {
                         c != turn
                             && (links[c].up_resp.peek(now).is_some()
-                                || (self.live_mshrs > 0
+                                || (self.wait_pipe + self.fill_ready > 0
                                     && self.mshrs.iter().flatten().any(|m| {
                                         m.child.core() == c
                                             && matches!(
@@ -76,14 +77,14 @@ impl Llc {
                         break;
                     }
                 }
-                if chosen.is_none() && self.live_mshrs > 0 {
+                if chosen.is_none() && self.fill_ready > 0 {
                     chosen = self
                         .mshrs
                         .iter()
                         .position(|m| m.as_ref().is_some_and(|m| m.state == MshrState::FillReady))
                         .map(|i| PipeMsg::Reentry(i as u32));
                 }
-                if chosen.is_none() && self.live_mshrs > 0 {
+                if chosen.is_none() && self.wait_pipe > 0 {
                     chosen = self.mshrs.iter().enumerate().find_map(|(i, m)| {
                         m.as_ref().and_then(|m| {
                             (m.state == MshrState::WaitPipe).then_some(if m.retry {
@@ -100,7 +101,13 @@ impl Llc {
         if let Some(msg) = msg {
             if let PipeMsg::Req(i) | PipeMsg::Reentry(i) = msg {
                 let entry = self.mshrs[i as usize].as_mut().expect("live MSHR");
+                let was = entry.state;
                 entry.state = MshrState::InPipe;
+                match was {
+                    MshrState::WaitPipe => self.wait_pipe -= 1,
+                    MshrState::FillReady => self.fill_ready -= 1,
+                    other => debug_assert!(false, "admitted MSHR from state {other:?}"),
+                }
             }
             self.pipe
                 .push_back((now + self.cfg.pipeline_latency as u64, msg));
@@ -115,8 +122,8 @@ impl Llc {
         links: &mut [CoreLink],
         port_used: &mut [bool],
     ) {
-        if self.live_mshrs == 0 {
-            return; // nothing can be waiting on a downgrade
+        if self.downgrades_pending == 0 {
+            return; // no MSHR has an unsent downgrade request
         }
         let n = self.mshrs.len();
         match self.cfg.downgrade {
@@ -178,6 +185,9 @@ impl Llc {
         debug_assert!(pushed);
         port_used[core] = true;
         entry.to_downgrade.remove(0);
+        if entry.to_downgrade.is_empty() {
+            self.downgrades_pending -= 1;
+        }
         self.stats.downgrades_sent += 1;
         true
     }

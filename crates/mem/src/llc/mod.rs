@@ -196,6 +196,16 @@ pub struct Llc {
     /// MSHR scans entirely while the LLC is idle — recomputed on restore,
     /// never serialized).
     live_mshrs: usize,
+    /// MSHRs in `WaitPipe` (derived, like `live_mshrs`): gates the
+    /// arbiter's request scans.
+    wait_pipe: usize,
+    /// MSHRs in `FillReady` (derived): gates the arbiter's fill scans.
+    fill_ready: usize,
+    /// MSHRs in `WaitDowngrade` with unsent downgrade requests (derived):
+    /// gates `send_downgrades` entirely.
+    downgrades_pending: usize,
+    /// Total entries across all UQs (derived): gates `dequeue_uq`.
+    uq_total: usize,
     /// Reusable per-cycle port-usage buffer (host-side scratch only).
     port_scratch: Vec<bool>,
     /// Exported statistics.
@@ -225,6 +235,10 @@ impl Llc {
             downgrade_scan: 0,
             set_bits: sets.trailing_zeros(),
             live_mshrs: 0,
+            wait_pipe: 0,
+            fill_ready: 0,
+            downgrades_pending: 0,
+            uq_total: 0,
             port_scratch: Vec::new(),
             stats: LlcStats::default(),
         }
@@ -261,6 +275,10 @@ impl Llc {
     /// accepted, and the entry arbiter admits at most one message.
     pub fn tick(&mut self, now: u64, links: &mut [CoreLink], dram: &mut Dram) {
         debug_assert_eq!(links.len(), self.cores);
+        #[cfg(debug_assertions)]
+        if now.is_multiple_of(1024) {
+            self.debug_check_derived();
+        }
         // DRAM responses: buffered into their MSHR, never backpressured.
         for resp in dram.tick(now) {
             let entry = self.mshrs[resp.tag as usize]
@@ -269,18 +287,127 @@ impl Llc {
             debug_assert_eq!(entry.state, MshrState::WaitDram);
             debug_assert_eq!(entry.line, resp.line);
             entry.state = MshrState::FillReady;
+            self.fill_ready += 1;
         }
         self.process_exit(now);
-        // Reuse the port-usage buffer across cycles (no per-cycle alloc).
-        let mut port_used = std::mem::take(&mut self.port_scratch);
-        port_used.clear();
-        port_used.resize(self.cores, false);
-        self.dequeue_uq(now, links, &mut port_used);
-        self.send_downgrades(now, links, &mut port_used);
-        self.port_scratch = port_used;
+        // Each sub-tick below is gated by its dirty counter (inside the
+        // respective method), so an idle or lightly loaded LLC touches
+        // only the structures with pending work.
+        if self.uq_total > 0 || self.downgrades_pending > 0 {
+            // Reuse the port-usage buffer across cycles (no per-cycle
+            // alloc).
+            let mut port_used = std::mem::take(&mut self.port_scratch);
+            port_used.clear();
+            port_used.resize(self.cores, false);
+            self.dequeue_uq(now, links, &mut port_used);
+            self.send_downgrades(now, links, &mut port_used);
+            self.port_scratch = port_used;
+        }
         self.dequeue_dq(now, dram);
         self.accept_requests(now, links);
         self.arbitrate_entry(now, links);
+    }
+
+    /// The earliest future cycle at which [`Llc::tick`] could do any work,
+    /// or `None` when it might act at `now` itself. `Some(u64::MAX)` means
+    /// fully quiescent pending external input. Used by the event-driven
+    /// idle-skip; new link traffic and DRAM completions are accounted
+    /// separately by [`crate::MemSystem::next_event`].
+    pub(crate) fn next_event(&self, now: u64) -> Option<u64> {
+        // Any of these states drives per-cycle work (arbitration scans,
+        // queue draining, downgrade sends — including the exact
+        // `arb_wait_cycles` accounting): never skip through them.
+        if self.wait_pipe > 0
+            || self.fill_ready > 0
+            || self.uq_total > 0
+            || self.downgrades_pending > 0
+        {
+            return None;
+        }
+        let mut next = u64::MAX;
+        // The pipeline exit processes its head when the head's exit cycle
+        // arrives. (Blocked / downgrade-waiting / DRAM-waiting MSHRs are
+        // passive: their wake-ups come from the pipeline, the links, or
+        // DRAM, each bounded elsewhere.)
+        if let Some(&(ready, _)) = self.pipe.front() {
+            if ready <= now {
+                return None;
+            }
+            next = next.min(ready);
+        }
+        // A non-empty DQ issues to DRAM as soon as its port frees up.
+        if !self.dq.is_empty() {
+            if self.dq_port_busy_until <= now {
+                return None;
+            }
+            next = next.min(self.dq_port_busy_until);
+        }
+        Some(next)
+    }
+
+    /// Recomputes every derived counter from the authoritative structures
+    /// — the single definition of what each counter means. Called after
+    /// restore (the counters are never serialized) and by the periodic
+    /// debug cross-check.
+    pub(super) fn recompute_derived(&mut self) {
+        self.live_mshrs = self.mshrs.iter().filter(|m| m.is_some()).count();
+        self.wait_pipe = self
+            .mshrs
+            .iter()
+            .flatten()
+            .filter(|m| m.state == MshrState::WaitPipe)
+            .count();
+        self.fill_ready = self
+            .mshrs
+            .iter()
+            .flatten()
+            .filter(|m| m.state == MshrState::FillReady)
+            .count();
+        self.downgrades_pending = self
+            .mshrs
+            .iter()
+            .flatten()
+            .filter(|m| m.state == MshrState::WaitDowngrade && !m.to_downgrade.is_empty())
+            .count();
+        self.uq_total = self.uqs.iter().map(VecDeque::len).sum();
+    }
+
+    /// Panics unless the incrementally maintained counters match a
+    /// from-scratch recount (debug builds, every 1024 cycles — the same
+    /// cadence as the core's LSQ-index cross-check).
+    #[cfg(debug_assertions)]
+    fn debug_check_derived(&self) {
+        let counted = (
+            self.mshrs.iter().filter(|m| m.is_some()).count(),
+            self.mshrs
+                .iter()
+                .flatten()
+                .filter(|m| m.state == MshrState::WaitPipe)
+                .count(),
+            self.mshrs
+                .iter()
+                .flatten()
+                .filter(|m| m.state == MshrState::FillReady)
+                .count(),
+            self.mshrs
+                .iter()
+                .flatten()
+                .filter(|m| m.state == MshrState::WaitDowngrade && !m.to_downgrade.is_empty())
+                .count(),
+            self.uqs.iter().map(VecDeque::len).sum::<usize>(),
+        );
+        let live = (
+            self.live_mshrs,
+            self.wait_pipe,
+            self.fill_ready,
+            self.downgrades_pending,
+            self.uq_total,
+        );
+        assert_eq!(
+            live, counted,
+            "LLC derived counters diverged (live vs recount: \
+             live_mshrs, wait_pipe, fill_ready, downgrades_pending, uq_total)"
+        );
     }
 
     /// Applies an L1 purge-flush invalidation directly to the directory.

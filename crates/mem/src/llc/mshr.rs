@@ -46,6 +46,7 @@ impl Llc {
             let popped = link.up_req.pop(now);
             debug_assert!(popped.is_some());
             self.live_mshrs += 1;
+            self.wait_pipe += 1;
             self.mshrs[idx] = Some(MshrEntry {
                 child: req.child,
                 line: req.line,
@@ -74,10 +75,13 @@ impl Llc {
             }
         }
         // Wake MSHRs blocked on us.
+        let mut woken = 0;
         for o in self.mshrs.iter_mut().flatten() {
             if o.state == MshrState::Blocked(m) {
                 o.state = MshrState::WaitPipe;
+                woken += 1;
             }
         }
+        self.wait_pipe += woken;
     }
 }

@@ -45,6 +45,7 @@ impl Llc {
         // Wake MSHRs waiting on this downgrade (request or voluntary).
         let bit = 1u32 << resp.child.index();
         let mut to_continue = Vec::new();
+        let mut emptied = 0;
         for (i, slot) in self.mshrs.iter_mut().enumerate() {
             if let Some(m) = slot {
                 if m.state == MshrState::WaitDowngrade
@@ -52,14 +53,22 @@ impl Llc {
                     && m.pending_downgrades & bit != 0
                 {
                     m.pending_downgrades &= !bit;
-                    // Also cancel an unsent downgrade to this child.
+                    // Also cancel an unsent downgrade to this child (a
+                    // voluntary eviction can answer a request we never
+                    // sent — that empties `to_downgrade` here, not in
+                    // `try_send_one_downgrade`).
+                    let had_unsent = !m.to_downgrade.is_empty();
                     m.to_downgrade.retain(|&(c, _, _)| c != resp.child);
+                    if had_unsent && m.to_downgrade.is_empty() {
+                        emptied += 1;
+                    }
                     if m.pending_downgrades == 0 {
                         to_continue.push(i as u32);
                     }
                 }
             }
         }
+        self.downgrades_pending -= emptied;
         for m in to_continue {
             self.after_downgrades(m);
         }
@@ -194,6 +203,7 @@ impl Llc {
                 entry.pending_downgrades = conflicting;
                 entry.to_downgrade = to_downgrade;
                 entry.after = AfterDowngrade::Grant;
+                self.downgrades_pending += 1;
                 return;
             }
             let entry = self.mshrs[m as usize].as_mut().expect("live MSHR");
@@ -249,6 +259,7 @@ impl Llc {
             entry.pending_downgrades = victim.sharers;
             entry.to_downgrade = to_downgrade;
             entry.after = AfterDowngrade::Replace;
+            self.downgrades_pending += 1;
         } else {
             entry.after = AfterDowngrade::Replace;
             entry.pending_downgrades = 0;

@@ -20,8 +20,8 @@ impl Llc {
             UqOrg::PerCore => entry.child.core(),
         };
         self.uqs[qi].push_back(m);
-        let total: usize = self.uqs.iter().map(VecDeque::len).sum();
-        debug_assert!(total <= self.mshrs.len(), "UQs sized to MSHR count");
+        self.uq_total += 1;
+        debug_assert!(self.uq_total <= self.mshrs.len(), "UQs sized to MSHR count");
     }
 
     /// UQ dequeue: sends upgrade responses to the cores, marking which
@@ -29,7 +29,9 @@ impl Llc {
     /// contend for the remainder — paper Section 5.4.2 "UQ and Downgrade
     /// requests").
     pub(super) fn dequeue_uq(&mut self, now: u64, links: &mut [CoreLink], port_used: &mut [bool]) {
-        let mut freed = Vec::new();
+        if self.uq_total == 0 {
+            return; // nothing queued anywhere
+        }
         match self.cfg.uq {
             UqOrg::Shared => {
                 // One dequeue attempt per cycle; head-of-line blocking
@@ -39,7 +41,8 @@ impl Llc {
                 if let Some(&m) = self.uqs[0].front() {
                     if self.try_send_upgrade_resp(now, links, m, port_used) {
                         self.uqs[0].pop_front();
-                        freed.push(m);
+                        self.uq_total -= 1;
+                        self.free_mshr(m);
                     }
                 }
             }
@@ -48,14 +51,12 @@ impl Llc {
                     if let Some(&m) = self.uqs[qi].front() {
                         if self.try_send_upgrade_resp(now, links, m, port_used) {
                             self.uqs[qi].pop_front();
-                            freed.push(m);
+                            self.uq_total -= 1;
+                            self.free_mshr(m);
                         }
                     }
                 }
             }
-        }
-        for m in freed {
-            self.free_mshr(m);
         }
     }
 
@@ -172,6 +173,7 @@ impl Llc {
                     let entry = self.mshrs[m as usize].as_mut().expect("live MSHR");
                     entry.retry = true;
                     entry.state = MshrState::WaitPipe;
+                    self.wait_pipe += 1;
                 } else {
                     let ok = dram.submit(
                         now,

@@ -289,9 +289,6 @@ impl Llc {
                 });
             }
             self.sets = lines;
-            // `live_mshrs` is derived state: recompute it rather than
-            // serialize it (the snapshot format is unchanged).
-            self.live_mshrs = mshrs.iter().filter(|m| m.is_some()).count();
             self.mshrs = mshrs;
             self.pipe = pipe;
             self.uqs = uqs;
@@ -299,6 +296,10 @@ impl Llc {
             self.dq_port_busy_until = dq_port_busy_until;
             self.downgrade_scan = downgrade_scan;
             self.stats = stats;
+            // The dirty counters (`live_mshrs`, `wait_pipe`, ...) are
+            // derived state: recompute them rather than serialize them
+            // (the snapshot format is unchanged).
+            self.recompute_derived();
             return Ok(Vec::new());
         }
 
@@ -315,12 +316,13 @@ impl Llc {
         for m in &mut self.mshrs {
             *m = None;
         }
-        self.live_mshrs = 0;
         self.pipe.clear();
         self.dq.clear();
         for q in &mut self.uqs {
             q.clear();
         }
+        // Everything in flight is gone: all derived counters are zero.
+        self.recompute_derived();
         self.dq_port_busy_until = dq_port_busy_until;
         self.downgrade_scan = 0;
         self.stats = stats;

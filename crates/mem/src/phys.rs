@@ -11,8 +11,32 @@
 
 use mi6_isa::{PhysAddr, PAGE_SIZE};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 const PAGE_BYTES: usize = PAGE_SIZE as usize;
+
+/// Multiply-shift hasher for page indices. Page numbers are small dense
+/// integers and this map sits on the functional load/store/fetch path,
+/// where SipHash is pure overhead; Fibonacci hashing spreads dense keys
+/// across the table just as well.
+#[derive(Clone, Default)]
+pub(crate) struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _: &[u8]) {
+        unreachable!("page keys hash via write_u64");
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+}
+
+type PageMap = HashMap<u64, Box<[u8; PAGE_BYTES]>, BuildHasherDefault<PageHasher>>;
 
 /// Byte-addressable sparse physical memory.
 ///
@@ -31,7 +55,7 @@ const PAGE_BYTES: usize = PAGE_SIZE as usize;
 #[derive(Clone, Debug, Default)]
 pub struct PhysMem {
     size: u64,
-    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+    pages: PageMap,
 }
 
 impl PhysMem {
@@ -47,7 +71,7 @@ impl PhysMem {
         );
         PhysMem {
             size,
-            pages: HashMap::new(),
+            pages: PageMap::default(),
         }
     }
 
@@ -96,21 +120,52 @@ impl PhysMem {
     /// page boundaries.
     pub fn read_bytes(&self, addr: PhysAddr, n: usize) -> u64 {
         debug_assert!(n <= 8);
-        let mut out = 0u64;
-        for i in 0..n {
-            out |= (self.read_u8(PhysAddr::new(addr.raw() + i as u64)) as u64) << (8 * i);
+        let off = (addr.raw() % PAGE_SIZE) as usize;
+        if off + n <= PAGE_BYTES {
+            // Within one page: a single map lookup and a slice copy,
+            // instead of a hash lookup per byte.
+            match self.pages.get(&(addr.raw() / PAGE_SIZE)) {
+                None => 0,
+                Some(data) => {
+                    let mut buf = [0u8; 8];
+                    buf[..n].copy_from_slice(&data[off..off + n]);
+                    u64::from_le_bytes(buf)
+                }
+            }
+        } else {
+            let mut out = 0u64;
+            for i in 0..n {
+                out |= (self.read_u8(PhysAddr::new(addr.raw() + i as u64)) as u64) << (8 * i);
+            }
+            out
         }
-        out
     }
 
     /// Writes the low `n <= 8` bytes of `value`, little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access ends outside the memory.
     pub fn write_bytes(&mut self, addr: PhysAddr, value: u64, n: usize) {
         debug_assert!(n <= 8);
-        for i in 0..n {
-            self.write_u8(
-                PhysAddr::new(addr.raw() + i as u64),
-                (value >> (8 * i)) as u8,
+        let off = (addr.raw() % PAGE_SIZE) as usize;
+        if off + n <= PAGE_BYTES {
+            assert!(
+                addr.raw() + n as u64 <= self.size,
+                "physical write out of range: {addr}"
             );
+            let data = self
+                .pages
+                .entry(addr.raw() / PAGE_SIZE)
+                .or_insert_with(|| Box::new([0u8; PAGE_BYTES]));
+            data[off..off + n].copy_from_slice(&value.to_le_bytes()[..n]);
+        } else {
+            for i in 0..n {
+                self.write_u8(
+                    PhysAddr::new(addr.raw() + i as u64),
+                    (value >> (8 * i)) as u8,
+                );
+            }
         }
     }
 
@@ -194,7 +249,7 @@ impl SnapState for PhysMem {
             });
         }
         let n = r.len()?;
-        let mut pages = HashMap::with_capacity(n);
+        let mut pages = PageMap::with_capacity_and_hasher(n, BuildHasherDefault::default());
         for _ in 0..n {
             let idx = r.u64()?;
             if idx >= size / PAGE_SIZE {

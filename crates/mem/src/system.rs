@@ -173,6 +173,41 @@ impl MemSystem {
         }
     }
 
+    /// The earliest future cycle at which [`MemSystem::tick`] could do any
+    /// work, or `None` when the hierarchy might act at `now` itself (tick
+    /// normally). `Some(u64::MAX)` means fully quiescent pending new core
+    /// requests. Used by the event-driven idle-skip in
+    /// `Machine::run_to_completion`.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        // Undelivered completions are picked up by the cores each cycle.
+        if self
+            .completions
+            .iter()
+            .any(|ports| !ports[0].is_empty() || !ports[1].is_empty())
+        {
+            return None;
+        }
+        let mut next = u64::MAX;
+        for link in &self.links {
+            if merge_front(&mut next, now, link.down.next_ready())
+                || merge_front(&mut next, now, link.up_req.next_ready())
+                || merge_front(&mut next, now, link.up_resp.next_ready())
+            {
+                return None;
+            }
+        }
+        for l1 in self.l1is.iter().chain(&self.l1ds) {
+            if !l1.is_inert() {
+                return None;
+            }
+        }
+        next = next.min(self.llc.next_event(now)?);
+        if merge_front(&mut next, now, self.dram.next_ready()) {
+            return None;
+        }
+        Some(next)
+    }
+
     /// L1 statistics for a core port.
     pub fn l1_stats(&self, core: usize, port: Port) -> crate::l1::L1Stats {
         match port {
@@ -204,6 +239,20 @@ impl MemSystem {
     /// The line base address for a byte address.
     pub fn line_of(addr: PhysAddr) -> PhysAddr {
         PhysAddr::new(addr.raw() >> LINE_SHIFT << LINE_SHIFT)
+    }
+}
+
+/// Folds one FIFO-front ready time into a running next-event minimum.
+/// Returns `true` when the front is already due — the consumer acts this
+/// cycle, so the caller must report `None` (no skip).
+fn merge_front(next: &mut u64, now: u64, front: Option<u64>) -> bool {
+    match front {
+        Some(t) if t <= now => true,
+        Some(t) => {
+            *next = (*next).min(t);
+            false
+        }
+        None => false,
     }
 }
 

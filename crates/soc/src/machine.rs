@@ -350,6 +350,24 @@ impl Machine {
     /// `max_cycles`.
     pub fn run_to_completion(&mut self, max_cycles: u64) -> Result<MachineStats, RunError> {
         let end = self.now + max_cycles;
+        // Event-driven idle-skip: when every core is provably stalled on
+        // known-time events (DRAM returns, link FIFO arrivals, pipeline
+        // exits, the timer), jump the clock straight to the next event
+        // instead of ticking empty stages. Disabled under
+        // auto-checkpointing, which must observe every `ckpt_every`
+        // boundary.
+        //
+        // The inertness proof itself walks every core's in-flight state,
+        // which is pure overhead while the machine is busy — so failed
+        // probes back off exponentially (capped). This only delays when a
+        // skip *starts*, never whether one is sound, so it cannot change
+        // simulated timing: detection lags an inert window by at most
+        // 2x the preceding busy stretch (classic doubling argument),
+        // which keeps long DRAM-miss windows almost fully skipped while
+        // busy phases pay ~1/64th of the probe cost.
+        let may_skip = self.ckpt_every == 0;
+        let mut probe_at = self.now;
+        let mut backoff = 0u64;
         while !self.all_halted() {
             if self.now >= end {
                 return Err(RunError::Timeout { cycles: max_cycles });
@@ -361,9 +379,45 @@ impl Machine {
                     }
                 }
             }
+            if may_skip && self.now >= probe_at {
+                if let Some(next) = self.next_event_cycle() {
+                    self.fast_forward(next.min(end));
+                    backoff = 0;
+                    probe_at = self.now;
+                    continue;
+                }
+                backoff = (backoff * 2).clamp(1, 64);
+                probe_at = self.now + backoff;
+            }
             self.tick();
         }
         Ok(self.stats())
+    }
+
+    /// The earliest future cycle at which any component could do work, or
+    /// `None` when some component might act at `self.now` (tick normally).
+    /// `Some(u64::MAX)` means the machine is inert without external input
+    /// — the caller clamps to its own horizon and times out there.
+    fn next_event_cycle(&self) -> Option<u64> {
+        let mut next = u64::MAX;
+        for core in &self.cores {
+            next = next.min(core.next_event(self.now)?);
+        }
+        next = next.min(self.mem.next_event(self.now)?);
+        debug_assert!(next > self.now, "next event must be in the future");
+        Some(next)
+    }
+
+    /// Fast-forwards the clock to `target` without ticking: every
+    /// component has proven itself inert until then, so the only
+    /// per-cycle state to account for is the cores' cycle counters.
+    fn fast_forward(&mut self, target: u64) {
+        debug_assert!(target > self.now);
+        let skipped = target - self.now;
+        for core in &mut self.cores {
+            core.note_skipped_cycles(skipped);
+        }
+        self.now = target;
     }
 
     /// Snapshot of all statistics.

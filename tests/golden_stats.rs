@@ -7,7 +7,7 @@
 //! the constants in the same commit and say so.
 
 use mi6::soc::{MachineStats, SimBuilder, Variant};
-use mi6::workloads::{Workload, WorkloadParams};
+use mi6::workloads::{generate, BranchStyle, Profile, Workload, WorkloadParams};
 
 /// The fixed-seed reference run: gcc at 40 kinsts with a 50k-cycle timer
 /// (exercises traps, the LLC, the branch predictors, and page walks).
@@ -67,6 +67,53 @@ fn fpma_matches_golden() {
 /// constants exactly before the SB fix landed.
 const GOLDEN_BASE: [u64; 8] = [69858, 35161, 587, 681, 3, 2052, 73, 2052];
 const GOLDEN_FPMA: [u64; 8] = [79544, 35161, 743, 804, 3, 2054, 147, 2056];
+
+/// The idle-heavy reference run: a dependent pointer chase over a 4 MiB
+/// arena (4× the LLC), so nearly every load goes to DRAM and the core
+/// spends most cycles fully stalled — exactly the regime the event-driven
+/// fast-forward skips through. Captured *before* the fast-forward landed,
+/// so this golden pins it to cycle-exactness where it is riskiest. The
+/// timer keeps firing mid-stall, pinning trap delivery during skips too.
+fn idle_reference_run() -> MachineStats {
+    let profile = Profile {
+        stream_bytes: 0,
+        stream_lines_per_iter: 0,
+        chase_bytes: 4 << 20,
+        chase_nodes_per_iter: 8,
+        ws_bytes: 0,
+        ws_accesses_per_iter: 0,
+        branch_sites: 1,
+        branch_style: BranchStyle::Easy,
+        ilp_ops: 0,
+        muldiv_ops: 0,
+        syscall_every: 0,
+    };
+    let program = generate(
+        "idle-heavy",
+        &profile,
+        &WorkloadParams::tiny().with_target_kinsts(20),
+    );
+    let mut m = SimBuilder::new(Variant::Base)
+        .timer_interval(50_000)
+        .workload(0, program)
+        .build()
+        .unwrap();
+    m.run_to_completion(300_000_000).unwrap()
+}
+
+#[test]
+fn idle_heavy_matches_golden() {
+    let stats = idle_reference_run();
+    assert_eq!(
+        fingerprint(&stats),
+        GOLDEN_IDLE,
+        "idle-heavy fingerprint changed — the fast-forward is not cycle-exact\nfull stats: {stats:?}"
+    );
+}
+
+/// Captured from the tick-every-cycle implementation (before the
+/// next-event fast-forward); the fast-forward must reproduce it exactly.
+const GOLDEN_IDLE: [u64; 8] = [881769, 18546, 64, 779, 19, 5873, 389, 5873];
 
 /// The snapshot round-trip property: interrupting the reference run at an
 /// arbitrary mid-pipeline cycle, serializing the whole machine, restoring
