@@ -13,6 +13,9 @@
 //! mi6-bench --kernel store-heavy # one kernel
 //! mi6-bench --reps 5             # best-of-5 wall-clock timing
 //! mi6-bench --json BENCH_hotloop.json   # also write machine-readable results
+//! mi6-bench --compare BENCH_hotloop.json # non-gating warn on >20% regression
+//! mi6-bench --profile            # per-stage lap breakdown (needs the
+//!                                # `lap-profile` feature compiled in)
 //! ```
 //!
 //! Each kernel prints one line, e.g.
@@ -100,8 +103,22 @@ fn kernels() -> Vec<(&'static str, Profile)> {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: mi6-bench [--kinsts N] [--reps N] [--kernel NAME]... [--json PATH]");
+    eprintln!(
+        "usage: mi6-bench [--kinsts N] [--reps N] [--kernel NAME]... [--json PATH] \
+         [--profile] [--compare BASELINE]"
+    );
     exit(2);
+}
+
+/// Pulls `"cycles_per_sec":<f64>` for one kernel out of a baseline JSON
+/// written by `--json` (hand-rolled: the workspace carries no JSON
+/// dependency, and the shape is our own append-only format).
+fn baseline_cps(doc: &str, kernel: &str) -> Option<f64> {
+    let at = doc.find(&format!("\"name\":\"{kernel}\""))?;
+    let rest = &doc[at..];
+    let rest = &rest[rest.find("\"cycles_per_sec\":")? + "\"cycles_per_sec\":".len()..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
 }
 
 fn main() {
@@ -110,6 +127,8 @@ fn main() {
     let mut reps: u32 = 3;
     let mut only: Vec<String> = Vec::new();
     let mut json_path: Option<String> = None;
+    let mut compare_path: Option<String> = None;
+    let mut profile = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut val = || it.next().unwrap_or_else(|| usage()).clone();
@@ -118,11 +137,25 @@ fn main() {
             "--reps" => reps = val().parse().unwrap_or_else(|_| usage()),
             "--kernel" => only.push(val()),
             "--json" => json_path = Some(val()),
+            "--compare" => compare_path = Some(val()),
+            "--profile" => profile = true,
             _ => usage(),
         }
     }
     if reps == 0 {
         usage();
+    }
+    if profile && !mi6_core::LAP_COMPILED {
+        // Zeros masquerading as a breakdown would be worse than an error.
+        eprintln!(
+            "mi6-bench: --profile needs the lap timers compiled in; rebuild with\n  \
+             cargo run --release -p mi6-bench --features lap-profile --bin mi6-bench -- --profile"
+        );
+        exit(2);
+    }
+    if profile && compare_path.is_some() {
+        eprintln!("mi6-bench: --profile wall times include timer overhead; refusing --compare");
+        exit(2);
     }
     let kernels = kernels();
     for k in &only {
@@ -141,13 +174,15 @@ fn main() {
         "{:<14} {:>12} {:>12} {:>8} {:>12} {:>10}",
         "kernel", "cycles", "insts", "wall s", "Mcycles/s", "Minst/s"
     );
-    let mut rows: Vec<(&str, u64, u64, f64)> = Vec::new(); // (name, cycles, insts, secs)
-    for (name, profile) in kernels {
+    // (name, cycles, insts, secs, per-stage lap of the best rep)
+    let mut rows: Vec<(&str, u64, u64, f64, mi6_core::LapProfile)> = Vec::new();
+    for (name, kernel_profile) in kernels {
         if !only.is_empty() && !only.iter().any(|k| k == name) {
             continue;
         }
-        let program = generate(name, &profile, &params);
+        let program = generate(name, &kernel_profile, &params);
         let mut best: Option<(f64, u64, u64)> = None; // (secs, cycles, insts)
+        let mut best_lap = mi6_core::LapProfile::default();
         for _ in 0..reps {
             let mut machine = SimBuilder::new(Variant::Base)
                 .without_timer()
@@ -161,11 +196,10 @@ fn main() {
                 .run_to_completion(kinsts.saturating_mul(1_000_000).max(400_000_000))
                 .unwrap_or_else(|e| panic!("running {name}: {e}"));
             let secs = t0.elapsed().as_secs_f64();
-            let sample = (secs, stats.cycles, stats.core[0].committed_instructions);
-            best = Some(match best {
-                Some(b) if b.0 <= secs => b,
-                _ => sample,
-            });
+            if best.is_none_or(|b| secs < b.0) {
+                best = Some((secs, stats.cycles, stats.core[0].committed_instructions));
+                best_lap = machine.core(0).lap;
+            }
         }
         let (secs, cycles, insts) = best.expect("reps > 0");
         println!(
@@ -177,17 +211,40 @@ fn main() {
             cycles as f64 / secs / 1e6,
             insts as f64 / secs / 1e6,
         );
-        rows.push((name, cycles, insts, secs));
+        if profile {
+            let total = best_lap.total().max(1) as f64;
+            for (i, stage) in mi6_core::LAP_STAGES.iter().enumerate() {
+                let ns = best_lap.nanos[i];
+                println!(
+                    "    {:<18} {:>9.1} ms {:>6.1}%",
+                    stage,
+                    ns as f64 / 1e6,
+                    ns as f64 * 100.0 / total
+                );
+            }
+        }
+        rows.push((name, cycles, insts, secs, best_lap));
     }
     if let Some(path) = json_path {
         // Machine-readable companion to the table: CI uploads this as the
-        // perf-trajectory artifact, so keep the shape append-only.
+        // perf-trajectory artifact, so keep the shape append-only (the
+        // `lap_ns` object only appears under --profile).
         let kernels_json: Vec<String> = rows
             .iter()
-            .map(|(name, cycles, insts, secs)| {
+            .map(|(name, cycles, insts, secs, lap)| {
+                let laps = if profile {
+                    let stages: Vec<String> = mi6_core::LAP_STAGES
+                        .iter()
+                        .zip(lap.nanos)
+                        .map(|(stage, ns)| format!("\"{stage}\":{ns}"))
+                        .collect();
+                    format!(",\"lap_ns\":{{{}}}", stages.join(","))
+                } else {
+                    String::new()
+                };
                 format!(
                     "{{\"name\":\"{name}\",\"cycles\":{cycles},\"instructions\":{insts},\
-                     \"wall_s\":{secs},\"cycles_per_sec\":{cps},\"ns_per_cycle\":{npc}}}",
+                     \"wall_s\":{secs},\"cycles_per_sec\":{cps},\"ns_per_cycle\":{npc}{laps}}}",
                     cps = *cycles as f64 / secs,
                     npc = secs * 1e9 / *cycles as f64,
                 )
@@ -203,5 +260,38 @@ fn main() {
             exit(1);
         });
         eprintln!("mi6-bench: wrote {path}");
+    }
+    if let Some(path) = compare_path {
+        // Non-gating regression check against a committed baseline (the
+        // repo-root BENCH_hotloop.json): warn on >20 % cycles/sec loss per
+        // kernel, but always exit 0 — shared CI runners are far too noisy
+        // to gate on, the warning keeps the trajectory visible. The
+        // `::warning::` lines surface as GitHub Actions annotations.
+        let doc = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("mi6-bench: cannot read baseline {path}: {e}");
+            exit(1);
+        });
+        for (name, cycles, _, secs, _) in &rows {
+            let fresh = *cycles as f64 / secs;
+            let Some(base) = baseline_cps(&doc, name) else {
+                eprintln!("mi6-bench: baseline {path} has no kernel `{name}`; skipping");
+                continue;
+            };
+            if fresh < base * 0.8 {
+                println!(
+                    "::warning::mi6-bench {name}: {:.2} Mcycles/s is {:.0}% below the \
+                     committed baseline ({:.2} Mcycles/s in {path})",
+                    fresh / 1e6,
+                    (1.0 - fresh / base) * 100.0,
+                    base / 1e6,
+                );
+            } else {
+                eprintln!(
+                    "mi6-bench: {name} {:.2} Mcycles/s vs baseline {:.2} — ok",
+                    fresh / 1e6,
+                    base / 1e6
+                );
+            }
+        }
     }
 }

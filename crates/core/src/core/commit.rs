@@ -7,6 +7,33 @@ use super::*;
 impl Core {
     // ------------------------------------------------------------- commit
 
+    /// Pops the ROB head at retirement: writes the destination register,
+    /// clears the RAT mapping, and wakes any consumer still registered
+    /// against the head's slot (system ops produce their result only
+    /// here; `Done` heads usually broadcast earlier, at completion).
+    fn retire_pop(&mut self) -> RobEntry {
+        let ph = self.rob.phys(0);
+        let mut ws = std::mem::take(&mut self.wake_lists[ph]);
+        let entry = self.rob.pop_front().expect("head");
+        if let Some(d) = entry.dest {
+            self.regs[d.index() as usize] = entry.result;
+            if self.rat[d.index() as usize] == Some(entry.seq) {
+                self.rat[d.index() as usize] = None;
+            }
+        }
+        self.drain_waiters(&mut ws, entry.result);
+        self.wake_lists[ph] = ws;
+        entry
+    }
+
+    /// Pops the ROB head on a redirect path (trap, `mret`/`sret`,
+    /// `purge`): every registered consumer is younger and about to be
+    /// squashed, so the slot's wake list is simply discarded.
+    fn pop_head_discard_wakes(&mut self) {
+        self.wake_lists[self.rob.phys(0)].clear();
+        self.rob.pop_front();
+    }
+
     pub(super) fn begin_purge_sequence(&mut self, now: u64, resume: Option<(u64, PrivLevel)>) {
         // Scrub the zero-cost-to-reset front-end structures immediately;
         // the timed sweeps (L1s, L2 TLB sets, predictor tables) are
@@ -72,21 +99,24 @@ impl Core {
     pub(super) fn tick_commit(&mut self, now: u64, mem: &mut MemSystem) {
         // Asynchronous interrupts preempt at the commit boundary.
         if let Some(irq) = self.csrs.pending_interrupt(self.priv_level) {
-            let epc = self.rob.front().map(|e| e.pc).unwrap_or(self.fetch_pc);
+            let epc = if self.rob.is_empty() {
+                self.fetch_pc
+            } else {
+                self.rob.pc(0)
+            };
             self.take_trap(now, TrapCause::Interrupt(irq), epc, 0);
             return;
         }
         let mut committed = 0;
         while committed < self.cfg.commit_width {
-            let Some(head) = self.rob.front() else { break };
-            if !head.is_done() {
+            if self.rob.is_empty() || !self.rob.is_done(0) {
                 break;
             }
-            let seq = head.seq;
-            let pc = head.pc;
-            let inst = head.inst;
+            let seq = self.rob.seq(0);
+            let pc = self.rob.pc(0);
+            let inst = self.rob.inst(0);
             // Exceptions (including poisoned fetches and region faults).
-            if let Some((e, tval)) = head.exception {
+            if let Some((e, tval)) = self.rob.exception(0) {
                 if e == Exception::DramRegionFault {
                     self.stats.region_faults += 1;
                 }
@@ -94,22 +124,21 @@ impl Core {
                 return;
             }
             // System instructions execute here, serialized.
-            if head.stage == Stage::AtCommit {
+            if self.rob.stage(0) == Stage::AtCommit {
                 if !self.commit_system(now, mem, seq) {
                     return; // stalled (fence/wfi) or redirected (trap)
                 }
                 committed += 1;
                 continue;
             }
-            debug_assert_eq!(head.stage, Stage::Done);
+            debug_assert_eq!(self.rob.stage(0), Stage::Done);
             // Stores: write memory and enter the store buffer.
             if inst.is_store() {
-                let m = self.rob.front().expect("head").mem.expect("mem");
+                let m = *self.rob.mem(0).expect("mem");
                 let paddr = m.paddr.expect("resolved");
                 let line = line_of(paddr);
-                let have_slot = self.sb.iter().any(|s| s.line == line && !s.issued)
-                    || self.sb.len() < self.cfg.sb_entries;
-                if !have_slot {
+                let merges = self.sb.iter().any(|s| s.line == line && !s.issued);
+                if !merges && self.sb.len() >= self.cfg.sb_entries {
                     break; // store buffer full: stall commit
                 }
                 mem.phys.write_bytes(
@@ -117,7 +146,7 @@ impl Core {
                     m.store_data.expect("data"),
                     m.bytes as usize,
                 );
-                if !self.sb.iter().any(|s| s.line == line && !s.issued) {
+                if !merges {
                     let token = TOKEN_SB | (self.next_sb_token & TOKEN_MASK);
                     self.next_sb_token += 1;
                     self.sb.push(SbEntry {
@@ -135,7 +164,7 @@ impl Core {
                 self.stats.loads += 1;
             }
             // Branch training.
-            if let Some(b) = self.rob.front().expect("head").branch {
+            if let Some(b) = self.rob.branch(0) {
                 let taken = b.actual_taken.unwrap_or(b.pred_taken);
                 if inst.is_cond_branch() {
                     self.stats.committed_branches += 1;
@@ -150,17 +179,12 @@ impl Core {
                     self.btb.update(pc, b.actual_target);
                 }
             }
-            // Register writeback.
-            let entry = self.rob.pop_front().expect("head");
+            // Register writeback (and wakeup of any consumer registered
+            // before this producer reached `Done`).
+            let entry = self.retire_pop();
             // Retirement is the LSQ index removal point for mem ops.
             if let Some(m) = &entry.mem {
                 self.lsq.remove_op(m, seq);
-            }
-            if let Some(d) = entry.dest {
-                self.regs[d.index() as usize] = entry.result;
-                if self.rat[d.index() as usize] == Some(seq) {
-                    self.rat[d.index() as usize] = None;
-                }
             }
             self.pc = entry
                 .branch
@@ -180,16 +204,10 @@ impl Core {
     /// if it retired (the caller continues committing).
     pub(super) fn commit_system(&mut self, now: u64, mem: &mut MemSystem, seq: u64) -> bool {
         let idx = self.rob_index(seq).expect("head");
-        let inst = self.rob[idx].inst;
-        let pc = self.rob[idx].pc;
+        let inst = self.rob.inst(idx);
+        let pc = self.rob.pc(idx);
         let retire_simple = |core: &mut Core| {
-            let entry = core.rob.pop_front().expect("head");
-            if let Some(d) = entry.dest {
-                core.regs[d.index() as usize] = entry.result;
-                if core.rat[d.index() as usize] == Some(entry.seq) {
-                    core.rat[d.index() as usize] = None;
-                }
-            }
+            let entry = core.retire_pop();
             core.pc = entry.pc + 4;
             core.stats.committed_instructions += 1;
             core.csrs.instret += 1;
@@ -202,33 +220,33 @@ impl Core {
                 // monitor do).
                 self.stats.committed_instructions += 1;
                 self.csrs.instret += 1;
-                self.rob.pop_front();
+                self.pop_head_discard_wakes();
                 self.take_trap(now, TrapCause::Exception(e), pc, 0);
                 false
             }
             Inst::Ebreak => {
                 if self.priv_level == PrivLevel::Machine {
                     self.halted = true;
-                    self.rob.pop_front();
+                    self.pop_head_discard_wakes();
                     self.stats.committed_instructions += 1;
                     return false;
                 }
                 self.stats.committed_instructions += 1;
                 self.csrs.instret += 1;
-                self.rob.pop_front();
+                self.pop_head_discard_wakes();
                 self.take_trap(now, TrapCause::Exception(Exception::Breakpoint), pc, pc);
                 false
             }
             Inst::Sret => {
                 if self.priv_level < PrivLevel::Supervisor {
-                    self.rob.pop_front();
+                    self.pop_head_discard_wakes();
                     self.take_trap(now, Exception::IllegalInst.into(), pc, 0);
                     return false;
                 }
                 self.stats.trap_returns += 1;
                 self.stats.committed_instructions += 1;
                 self.csrs.instret += 1;
-                self.rob.pop_front();
+                self.pop_head_discard_wakes();
                 let (lvl, epc) = self.csrs.sret();
                 self.squash_from(now, self.head_seq(), epc);
                 self.pc = epc;
@@ -241,14 +259,14 @@ impl Core {
             }
             Inst::Mret => {
                 if self.priv_level < PrivLevel::Machine {
-                    self.rob.pop_front();
+                    self.pop_head_discard_wakes();
                     self.take_trap(now, Exception::IllegalInst.into(), pc, 0);
                     return false;
                 }
                 self.stats.trap_returns += 1;
                 self.stats.committed_instructions += 1;
                 self.csrs.instret += 1;
-                self.rob.pop_front();
+                self.pop_head_discard_wakes();
                 let (lvl, epc) = self.csrs.mret();
                 self.squash_from(now, self.head_seq(), epc);
                 self.pc = epc;
@@ -298,7 +316,7 @@ impl Core {
                 let old = match self.csrs.read(csr, self.priv_level) {
                     Ok(v) => v,
                     Err(_) => {
-                        self.rob.pop_front();
+                        self.pop_head_discard_wakes();
                         self.take_trap(now, Exception::IllegalInst.into(), pc, csr as u64);
                         return false;
                     }
@@ -311,29 +329,29 @@ impl Core {
                 };
                 if let Some(v) = new {
                     if let Err(_e) = self.csrs.write(csr, v, self.priv_level) {
-                        self.rob.pop_front();
+                        self.pop_head_discard_wakes();
                         self.take_trap(now, Exception::IllegalInst.into(), pc, csr as u64);
                         return false;
                     }
                 }
                 let idx = self.rob_index(seq).expect("head");
-                self.rob[idx].result = old;
+                self.rob.set_result(idx, old);
                 if rd.is_zero() {
-                    self.rob[idx].dest = None;
+                    self.rob.clear_dest(idx);
                 }
                 retire_simple(self);
                 true
             }
             Inst::Purge => {
                 if self.priv_level != PrivLevel::Machine {
-                    self.rob.pop_front();
+                    self.pop_head_discard_wakes();
                     self.take_trap(now, Exception::IllegalInst.into(), pc, 0);
                     return false;
                 }
                 self.stats.purges += 1;
                 self.stats.committed_instructions += 1;
                 self.csrs.instret += 1;
-                self.rob.pop_front();
+                self.pop_head_discard_wakes();
                 let next = pc + 4;
                 self.squash_from(now, self.head_seq(), next);
                 self.pc = next;

@@ -71,7 +71,7 @@ impl Core {
     /// seq is live in the ROB with a resolved address).
     fn indexed_store(&self, seq: u64) -> &MemState {
         let idx = self.rob_index(seq).expect("indexed store in ROB");
-        self.rob[idx].mem.as_ref().expect("indexed store has mem")
+        self.rob.mem(idx).expect("indexed store has mem")
     }
 
     /// Completes a memory op with a fault: record the exception and mark
@@ -79,11 +79,14 @@ impl Core {
     /// invariant is what guarantees the LSQ index never tracks dead ops),
     /// then drop it from the mem-op worklist.
     fn fault_mem_op(&mut self, idx: usize, e: Exception, tval: u64) {
-        let entry = &mut self.rob[idx];
-        entry.exception = Some((e, tval));
-        entry.stage = Stage::Done;
-        entry.mem.as_mut().expect("mem").phase = MemPhase::Done;
-        let seq = entry.seq;
+        self.rob.set_exception(idx, Some((e, tval)));
+        self.rob.set_stage(idx, Stage::Done);
+        // Consumers see `Stage::Done` and issue with the (never-written)
+        // result, exactly as the polled scheme allowed — the trap at
+        // commit squashes them before the value matters.
+        self.wake_consumers(idx);
+        self.rob.mem_mut(idx).expect("mem").phase = MemPhase::Done;
+        let seq = self.rob.seq(idx);
         self.lsq.memop_remove(seq);
     }
 
@@ -102,15 +105,14 @@ impl Core {
             // Fast-path the pure time-waits before copying any entry
             // state: most ops spend most of their cycles in one of these,
             // where the only question is "is it time yet".
-            match self.rob[idx].mem.as_ref().expect("mem state").phase {
+            match self.rob.mem(idx).expect("mem state").phase {
                 MemPhase::AddrGen { done_at } if now < done_at => continue,
                 MemPhase::TlbLatency { ready_at } if now < ready_at => continue,
                 MemPhase::WaitValue { ready_at } if now < ready_at => continue,
                 MemPhase::Done => continue,
                 _ => {}
             }
-            let (pc, inst) = (self.rob[idx].pc, self.rob[idx].inst);
-            let m = self.rob[idx].mem.expect("mem state");
+            let m = *self.rob.mem(idx).expect("mem state");
             match m.phase {
                 MemPhase::AddrGen { done_at } => {
                     if now >= done_at {
@@ -123,7 +125,7 @@ impl Core {
                             self.fault_mem_op(idx, e, m.vaddr);
                             continue;
                         }
-                        self.rob[idx].mem.as_mut().expect("mem").phase = MemPhase::Translate;
+                        self.rob.mem_mut(idx).expect("mem").phase = MemPhase::Translate;
                     }
                 }
                 MemPhase::Translate => {
@@ -141,7 +143,10 @@ impl Core {
                                 continue;
                             }
                             Ok(TranslateOutcome::Walking) => {
-                                self.rob[idx].mem.as_mut().expect("mem").phase = MemPhase::WaitWalk;
+                                self.rob.mem_mut(idx).expect("mem").phase = MemPhase::WaitWalk;
+                                // Park: the op leaves the worklist until
+                                // the walker delivers its result.
+                                self.lsq.memop_remove(seq);
                                 continue;
                             }
                             Ok(TranslateOutcome::Busy) => continue, // retry in Translate
@@ -169,7 +174,7 @@ impl Core {
                         continue;
                     }
                     {
-                        let ms = self.rob[idx].mem.as_mut().expect("mem");
+                        let ms = self.rob.mem_mut(idx).expect("mem");
                         ms.paddr = Some(paddr);
                         ms.phase = if extra > 0 {
                             MemPhase::TlbLatency {
@@ -185,13 +190,13 @@ impl Core {
                     if m.is_store {
                         self.lsq.insert_store(line_of(paddr), seq);
                     }
-                    if self.rob[idx].mem.as_ref().expect("mem").phase == MemPhase::ReadyToAccess {
+                    if self.rob.mem(idx).expect("mem").phase == MemPhase::ReadyToAccess {
                         self.mem_ready_to_access(now, mem, seq);
                     }
                 }
                 MemPhase::TlbLatency { ready_at } => {
                     if now >= ready_at {
-                        self.rob[idx].mem.as_mut().expect("mem").phase = MemPhase::ReadyToAccess;
+                        self.rob.mem_mut(idx).expect("mem").phase = MemPhase::ReadyToAccess;
                         self.mem_ready_to_access(now, mem, seq);
                     }
                 }
@@ -199,8 +204,7 @@ impl Core {
                     if let Some(result) = self.take_walk_result(WalkClient::Rob(seq)) {
                         match result {
                             WalkResult::Ok => {
-                                self.rob[idx].mem.as_mut().expect("mem").phase =
-                                    MemPhase::Translate;
+                                self.rob.mem_mut(idx).expect("mem").phase = MemPhase::Translate;
                             }
                             WalkResult::Fault(e) => {
                                 self.fault_mem_op(idx, e, m.vaddr);
@@ -215,7 +219,7 @@ impl Core {
                     let token = TOKEN_LOAD | (seq & TOKEN_MASK);
                     if let Some(&ready_at) = self.data_completions.get(&token) {
                         self.data_completions.remove(&token);
-                        let ms = self.rob[idx].mem.as_mut().expect("mem");
+                        let ms = self.rob.mem_mut(idx).expect("mem");
                         ms.phase = MemPhase::WaitValue { ready_at };
                     }
                 }
@@ -223,20 +227,18 @@ impl Core {
                     if now >= ready_at {
                         let paddr = m.paddr.expect("translated");
                         let raw = self.load_value(mem, seq, paddr, m.bytes);
-                        let entry = &mut self.rob[idx];
-                        entry.result = exec::extend_load(&inst, raw);
-                        entry.stage = Stage::Done;
-                        entry.mem.as_mut().expect("mem").phase = MemPhase::Done;
+                        let inst = self.rob.inst(idx);
+                        self.rob.set_result(idx, exec::extend_load(&inst, raw));
+                        self.rob.set_stage(idx, Stage::Done);
+                        self.wake_consumers(idx);
+                        self.rob.mem_mut(idx).expect("mem").phase = MemPhase::Done;
                         self.lsq.memop_remove(seq);
-                        let _ = pc;
                     }
                 }
                 MemPhase::Done => {}
             }
         }
         self.lsq.scratch = seqs;
-        #[cfg(debug_assertions)]
-        self.debug_check_lsq();
     }
 
     /// A memory op has its physical address: stores record it (and check
@@ -245,7 +247,7 @@ impl Core {
         let Some(idx) = self.rob_index(seq) else {
             return;
         };
-        let m = self.rob[idx].mem.expect("mem state");
+        let m = *self.rob.mem(idx).expect("mem state");
         let paddr = m.paddr.expect("translated");
         let line = line_of(paddr);
         if m.is_store {
@@ -261,16 +263,16 @@ impl Core {
                     continue;
                 }
                 let lidx = self.rob_index(l.seq).expect("indexed load in ROB");
-                let lm = self.rob[lidx].mem.as_ref().expect("indexed load");
+                let lm = self.rob.mem(lidx).expect("indexed load");
                 let lp = lm.paddr.expect("indexed load resolved");
                 let overlap = lp < paddr + m.bytes && paddr < lp + lm.bytes;
                 if overlap {
-                    violating = Some((l.seq, self.rob[lidx].pc));
+                    violating = Some((l.seq, self.rob.pc(lidx)));
                     break;
                 }
             }
-            self.rob[idx].stage = Stage::Done;
-            self.rob[idx].mem.as_mut().expect("mem").phase = MemPhase::Done;
+            self.rob.set_stage(idx, Stage::Done);
+            self.rob.mem_mut(idx).expect("mem").phase = MemPhase::Done;
             self.lsq.memop_remove(seq);
             if let Some((lseq, lpc)) = violating {
                 self.stats.mem_order_violations += 1;
@@ -302,7 +304,7 @@ impl Core {
             }
         }
         if forwarded {
-            let ms = self.rob[idx].mem.as_mut().expect("mem");
+            let ms = self.rob.mem_mut(idx).expect("mem");
             ms.phase = MemPhase::WaitValue { ready_at: now + 1 };
             self.lsq.insert_load(line, seq);
             return;
@@ -310,14 +312,17 @@ impl Core {
         let token = TOKEN_LOAD | (seq & TOKEN_MASK);
         match mem.access(now, self.id, Port::Data, token, PhysAddr::new(paddr), false) {
             L1Access::Hit { ready_at } => {
-                let ms = self.rob[idx].mem.as_mut().expect("mem");
+                let ms = self.rob.mem_mut(idx).expect("mem");
                 ms.phase = MemPhase::WaitValue { ready_at };
                 self.lsq.insert_load(line, seq);
             }
             L1Access::Miss => {
-                let ms = self.rob[idx].mem.as_mut().expect("mem");
+                let ms = self.rob.mem_mut(idx).expect("mem");
                 ms.phase = MemPhase::WaitMem;
                 self.lsq.insert_load(line, seq);
+                // Park: nothing to do until the L1 completion arrives
+                // (the tick completion sweep re-inserts by token seq).
+                self.lsq.memop_remove(seq);
             }
             L1Access::Blocked => {} // retry next cycle
         }
@@ -442,12 +447,12 @@ mod tests {
         if stage == Stage::MemOp {
             core.lsq.memop_insert(seq);
         }
-        core.lsq.assert_matches(&core.rob);
+        core.assert_lsq_matches();
     }
 
     fn load_phase(core: &Core, seq: u64) -> MemPhase {
         let idx = core.rob_index(seq).expect("in ROB");
-        core.rob[idx].mem.as_ref().expect("mem").phase
+        core.rob.mem(idx).expect("mem").phase
     }
 
     #[test]
@@ -463,7 +468,7 @@ mod tests {
         // ...and the store never blocks an *older* load.
         assert!(!core.older_store_blocks(0, 0x100, 8));
         // Once the data resolves, nothing blocks.
-        core.rob[0].mem.as_mut().unwrap().store_data = Some(7);
+        core.rob.mem_mut(0).unwrap().store_data = Some(7);
         assert!(!core.older_store_blocks(1, 0x100, 8));
     }
 
@@ -484,7 +489,7 @@ mod tests {
         core.mem_ready_to_access(10, &mut mem, 1);
         // Not forwarded: the load went to the (cold) L1 and missed.
         assert_eq!(load_phase(&core, 1), MemPhase::WaitMem);
-        core.lsq.assert_matches(&core.rob);
+        core.assert_lsq_matches();
     }
 
     #[test]
@@ -539,7 +544,7 @@ mod tests {
         push_mem_op(&mut core, 2, false, 0x100, 8, None, MemPhase::ReadyToAccess);
         core.mem_ready_to_access(10, &mut mem, 2);
         assert_eq!(load_phase(&core, 2), MemPhase::WaitValue { ready_at: 11 });
-        core.lsq.assert_matches(&core.rob);
+        core.assert_lsq_matches();
     }
 
     #[test]
@@ -603,11 +608,11 @@ mod tests {
         // Squashed from the *oldest* violating load (seq 1), which also
         // removes every younger one; the store itself survives, done.
         assert_eq!(core.rob.len(), 1);
-        assert_eq!(core.rob[0].seq, 0);
-        assert_eq!(core.rob[0].stage, Stage::Done);
+        assert_eq!(core.rob.seq(0), 0);
+        assert_eq!(core.rob.stage(0), Stage::Done);
         assert_eq!(core.fetch_pc, 0x1000 + 4);
         assert_eq!(core.stats.squashed_instructions, 3);
-        core.lsq.assert_matches(&core.rob);
+        core.assert_lsq_matches();
         core.debug_check_lsq();
     }
 
@@ -628,6 +633,63 @@ mod tests {
         core.mem_ready_to_access(10, &mut mem, 0);
         assert_eq!(core.stats.mem_order_violations, 0);
         assert_eq!(core.rob.len(), 2);
-        core.lsq.assert_matches(&core.rob);
+        core.assert_lsq_matches();
+    }
+
+    #[test]
+    fn snapshot_restore_rebuilds_parked_worklists() {
+        use mi6_snapshot::{SnapReader, SnapWriter};
+        let (mut core, mut mem) = test_core();
+        // A data-ready store, a load that misses the (cold) L1 and parks
+        // in WaitMem, and a load still in address generation.
+        push_mem_op(
+            &mut core,
+            0,
+            true,
+            0x100,
+            8,
+            Some(1),
+            MemPhase::ReadyToAccess,
+        );
+        push_mem_op(&mut core, 1, false, 0x400, 8, None, MemPhase::ReadyToAccess);
+        core.mem_ready_to_access(10, &mut mem, 1);
+        assert_eq!(load_phase(&core, 1), MemPhase::WaitMem);
+        push_mem_op(
+            &mut core,
+            2,
+            false,
+            0x800,
+            8,
+            None,
+            MemPhase::AddrGen { done_at: 20 },
+        );
+        core.assert_lsq_matches();
+        let memops_before: Vec<u64> = core.lsq.memops().to_vec();
+        assert!(
+            !memops_before.contains(&1),
+            "the missing load must be parked off the worklist"
+        );
+        assert!(memops_before.contains(&2));
+        // The LSQ index (and its parked/awake split) is derived state:
+        // never serialized, rebuilt on restore from the SoA ROB plus the
+        // pending-completion context.
+        let mut w = SnapWriter::new();
+        core.save_state(&mut w);
+        let bytes = w.finish();
+        let (mut fresh, _mem2) = test_core();
+        let mut r = SnapReader::new(&bytes);
+        fresh.restore_state(&mut r).unwrap();
+        fresh.assert_lsq_matches();
+        assert_eq!(fresh.lsq.memops(), &memops_before[..]);
+        assert_eq!(fresh.lsq.execs(), core.lsq.execs());
+        // And the SoA arrays themselves round-tripped in lock step.
+        assert_eq!(fresh.rob.len(), core.rob.len());
+        for i in 0..core.rob.len() {
+            assert_eq!(
+                format!("{:?}", fresh.rob.entry(i)),
+                format!("{:?}", core.rob.entry(i)),
+                "ROB index {i}"
+            );
+        }
     }
 }

@@ -12,9 +12,15 @@
 //! - **`loads`**: the loads that have *issued* (phase `WaitMem`,
 //!   `WaitValue`, or `Done`) with a resolved address — exactly the set
 //!   the violation scan must consider when a store's address resolves.
-//! - **`memops`**: ascending seqs of ROB entries in `Stage::MemOp` — the
-//!   per-cycle worklist of `advance_mem_ops` (plus a reusable scratch
-//!   buffer so the per-cycle iteration allocates nothing).
+//! - **`memops`**: ascending seqs of the *actionable* ROB entries in
+//!   `Stage::MemOp` — the per-cycle worklist of `advance_mem_ops` (plus
+//!   a reusable scratch buffer so the per-cycle iteration allocates
+//!   nothing). Ops waiting on the memory hierarchy are **parked**: a
+//!   load in `WaitMem` leaves the worklist until its L1 completion
+//!   arrives (the token embeds the seq, so the tick completion sweep
+//!   re-inserts by key), and an op in `WaitWalk` leaves it until the
+//!   walker delivers its result. The worklist is therefore proportional
+//!   to ops with something to do this cycle, not ops in flight.
 //!
 //! Queries filter by physical cache line: memory ops are size-aligned
 //! (misaligned accesses fault at address generation) and at most 8 bytes
@@ -146,12 +152,14 @@ impl LsqIndex {
         }
     }
 
-    /// The current `Stage::MemOp` worklist, oldest first.
+    /// The current actionable `Stage::MemOp` worklist, oldest first
+    /// (parked `WaitMem`/`WaitWalk` ops excluded).
     pub(super) fn memops(&self) -> &[u64] {
         &self.memops
     }
 
-    /// Adds a memory op entering `Stage::MemOp` (issue).
+    /// Adds a memory op entering `Stage::MemOp` (issue), or re-entering
+    /// the worklist when its wake (L1 completion, walk result) arrives.
     pub(super) fn memop_insert(&mut self, seq: u64) {
         match self.memops.binary_search(&seq) {
             Err(i) => self.memops.insert(i, seq),
@@ -160,7 +168,7 @@ impl LsqIndex {
     }
 
     /// Drops a memory op leaving `Stage::MemOp` (completion, fault, or
-    /// squash).
+    /// squash) or parking in `WaitMem`/`WaitWalk`.
     pub(super) fn memop_remove(&mut self, seq: u64) {
         match self.memops.binary_search(&seq) {
             Ok(i) => {
@@ -203,30 +211,61 @@ impl LsqIndex {
             )
     }
 
+    /// Whether a `Stage::MemOp` entry belongs on the worklist: parked
+    /// ops (`WaitMem` with the L1 answer still in flight, `WaitWalk`
+    /// with no delivered walk result) are excluded; an op whose wake has
+    /// arrived but not yet been consumed is back on it.
+    fn memop_awake(
+        seq: u64,
+        phase: MemPhase,
+        completions: &TokenMap<u64>,
+        walk_results: &[(WalkClient, WalkResult)],
+    ) -> bool {
+        match phase {
+            MemPhase::WaitMem => completions.contains_key(&(TOKEN_LOAD | (seq & TOKEN_MASK))),
+            MemPhase::WaitWalk => walk_results.iter().any(|(c, _)| *c == WalkClient::Rob(seq)),
+            _ => true,
+        }
+    }
+
     /// Reconstructs the index from a ROB — how `Core::restore_state`
     /// derives it after deserialization instead of reading it from the
-    /// snapshot (the on-disk format carries no index).
-    pub(super) fn rebuild(rob: &VecDeque<RobEntry>) -> LsqIndex {
+    /// snapshot (the on-disk format carries no index). The completion
+    /// map and delivered walk results decide which `Stage::MemOp`
+    /// entries are parked (see [`LsqIndex::memop_awake`]).
+    pub(super) fn rebuild(
+        rob: &Rob,
+        completions: &TokenMap<u64>,
+        walk_results: &[(WalkClient, WalkResult)],
+    ) -> LsqIndex {
         let mut index = LsqIndex::default();
         // ROB order is ascending seq order, so plain pushes stay sorted.
-        for e in rob {
-            if e.stage == Stage::MemOp {
-                index.memops.push(e.seq);
+        for i in 0..rob.len() {
+            let seq = rob.seq(i);
+            if rob.stage(i) == Stage::MemOp
+                && Self::memop_awake(
+                    seq,
+                    rob.mem(i).expect("mem op has mem state").phase,
+                    completions,
+                    walk_results,
+                )
+            {
+                index.memops.push(seq);
             }
-            if matches!(e.stage, Stage::Exec { .. }) {
-                index.execs.push(e.seq);
+            if matches!(rob.stage(i), Stage::Exec { .. }) {
+                index.execs.push(seq);
             }
-            let Some(m) = &e.mem else { continue };
+            let Some(m) = rob.mem(i) else { continue };
             if m.is_store {
                 if let Some(p) = m.paddr {
                     index.stores.push(LsqEntry {
-                        seq: e.seq,
+                        seq,
                         line: line_of(p),
                     });
                 }
             } else if Self::load_indexed(m) {
                 index.loads.push(LsqEntry {
-                    seq: e.seq,
+                    seq,
                     line: line_of(m.paddr.expect("indexed load resolved")),
                 });
             }
@@ -238,8 +277,13 @@ impl LsqIndex {
     /// would derive from `rob` (debug builds only; see
     /// `Core::debug_check_lsq`).
     #[cfg(any(debug_assertions, test))]
-    pub(super) fn assert_matches(&self, rob: &VecDeque<RobEntry>) {
-        let fresh = LsqIndex::rebuild(rob);
+    pub(super) fn assert_matches(
+        &self,
+        rob: &Rob,
+        completions: &TokenMap<u64>,
+        walk_results: &[(WalkClient, WalkResult)],
+    ) {
+        let fresh = LsqIndex::rebuild(rob, completions, walk_results);
         assert_eq!(self.stores, fresh.stores, "store index diverged from ROB");
         assert_eq!(self.loads, fresh.loads, "load index diverged from ROB");
         assert_eq!(self.memops, fresh.memops, "mem-op worklist diverged");
@@ -254,19 +298,28 @@ impl Core {
     /// a full rebuild — the incremental index matches a from-scratch one.
     #[cfg(any(debug_assertions, test))]
     pub(super) fn debug_check_lsq(&self) {
-        for e in &self.rob {
-            if let Some(m) = &e.mem {
+        for i in 0..self.rob.len() {
+            if let Some(m) = self.rob.mem(i) {
                 debug_assert!(
-                    e.stage != Stage::Done || m.phase == MemPhase::Done,
+                    self.rob.stage(i) != Stage::Done || m.phase == MemPhase::Done,
                     "mem op seq {} pc {:#x} is Stage::Done but {:?}",
-                    e.seq,
-                    e.pc,
+                    self.rob.seq(i),
+                    self.rob.pc(i),
                     m.phase
                 );
             }
         }
         if self.stats.cycles.is_multiple_of(1024) {
-            self.lsq.assert_matches(&self.rob);
+            self.assert_lsq_matches();
         }
+        self.assert_wakeup_matches();
+    }
+
+    /// [`LsqIndex::assert_matches`] with this core's parking context
+    /// (completion map and delivered walk results) supplied.
+    #[cfg(any(debug_assertions, test))]
+    pub(super) fn assert_lsq_matches(&self) {
+        self.lsq
+            .assert_matches(&self.rob, &self.data_completions, &self.walk_results);
     }
 }

@@ -47,6 +47,7 @@ mod walker;
 
 use decode_cache::DecodeCache;
 use lsq_index::{line_of, LsqIndex};
+use rob::Rob;
 
 /// Tag bits distinguishing token owners on the two memory ports.
 const TOKEN_TAG_SHIFT: u32 = 62;
@@ -100,6 +101,10 @@ enum Pipe {
     Mem,
     MulDiv,
 }
+
+/// A registered wakeup: when the producer completes, resolve source
+/// `slot` of consumer `seq` (waiting in `pipe`'s issue queue).
+type Waiter = (u64, u8, Pipe);
 
 /// Progress of a memory instruction after it leaves the MEM issue queue.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -171,12 +176,6 @@ struct RobEntry {
     branch: Option<BranchState>,
     mem: Option<MemState>,
     exception: Option<(Exception, u64)>,
-}
-
-impl RobEntry {
-    fn is_done(&self) -> bool {
-        matches!(self.stage, Stage::Done | Stage::AtCommit) || self.exception.is_some()
-    }
 }
 
 /// A pending or active page-table walk.
@@ -313,10 +312,19 @@ pub struct Core {
     decode_cache: DecodeCache,
 
     // Backend.
-    rob: VecDeque<RobEntry>,
+    rob: Rob,
     next_seq: u64,
     rat: [Option<u64>; 32],
     iqs: [Vec<u64>; 4],
+    /// Event-driven issue wakeup (derived state, never serialized —
+    /// rebuilt on restore). `wake_lists[rob.phys(pidx)]` holds the
+    /// consumers registered against that producer; `ready_iq[pipe]` is
+    /// the ascending-seq set of IQ entries whose sources are all
+    /// resolved. Invariant: an `InIq` entry is in its pipe's ready set
+    /// iff `srcs_ready` would return `Some` — `tick_issue` and
+    /// `next_event` read the sets instead of polling the queues.
+    wake_lists: Box<[Vec<Waiter>]>,
+    ready_iq: [Vec<u64>; 4],
     muldiv_busy_until: u64,
     lq_used: usize,
     sq_used: usize,
@@ -348,11 +356,18 @@ pub struct Core {
 
     /// Exported statistics.
     pub stats: CoreStats,
+
+    /// Lap-profiler accumulator (host wall time per sub-tick; only
+    /// written under `--features lap-profile`). Runtime-only: never
+    /// serialized, no effect on simulated timing.
+    pub lap: crate::lap::LapProfile,
 }
 
 impl Core {
     /// Creates a core in reset: PC 0, machine mode, empty pipeline.
     pub fn new(id: usize, cfg: CoreConfig, sec: SecurityConfig) -> Core {
+        let rob = Rob::new(cfg.rob_entries);
+        let wake_lists = vec![Vec::new(); rob.capacity()].into_boxed_slice();
         Core {
             id,
             cfg,
@@ -372,10 +387,12 @@ impl Core {
             next_fetch_token: 0,
             itlb: Tlb::new(cfg.l1_tlb_entries, 1),
             decode_cache: DecodeCache::new(),
-            rob: VecDeque::new(),
+            rob,
             next_seq: 0,
             rat: [None; 32],
             iqs: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
+            wake_lists,
+            ready_iq: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
             muldiv_busy_until: 0,
             lq_used: 0,
             sq_used: 0,
@@ -396,6 +413,7 @@ impl Core {
             purge: PurgePhase::Idle,
             purge_resume: None,
             stats: CoreStats::default(),
+            lap: crate::lap::LapProfile::default(),
         }
     }
 
@@ -471,15 +489,15 @@ impl Core {
     /// A one-line diagnostic snapshot of pipeline state (for debugging
     /// stuck simulations from tests and examples).
     pub fn debug_state(&self) -> String {
-        let head = self.rob.front().map(|e| {
+        let head = (!self.rob.is_empty()).then(|| {
             format!(
                 "seq={} pc={:#x} `{}` stage={:?} mem={:?} exc={:?}",
-                e.seq,
-                e.pc,
-                e.inst,
-                e.stage,
-                e.mem.as_ref().map(|m| (m.phase, m.paddr)),
-                e.exception
+                self.rob.seq(0),
+                self.rob.pc(0),
+                self.rob.inst(0),
+                self.rob.stage(0),
+                self.rob.mem(0).map(|m| (m.phase, m.paddr)),
+                self.rob.exception(0)
             )
         });
         format!(
@@ -503,6 +521,29 @@ impl Core {
         if self.halted {
             return;
         }
+        // Lap profiler: under `--features lap-profile`, `lap!(slot)`
+        // charges the host time since the previous mark to `slot`. Marks
+        // sit after every sub-stage (gated or not), so a gated-off stage
+        // is charged only its emptiness check. Compiles to nothing by
+        // default.
+        #[cfg(feature = "lap-profile")]
+        let mut lap_last = std::time::Instant::now();
+        macro_rules! lap {
+            ($slot:expr) => {
+                #[cfg(feature = "lap-profile")]
+                {
+                    let t = std::time::Instant::now();
+                    self.lap.nanos[$slot] += t.duration_since(lap_last).as_nanos() as u64;
+                    // The last mark's write is dead by construction.
+                    #[allow(unused_assignments)]
+                    {
+                        lap_last = t;
+                    }
+                }
+            };
+        }
+        #[cfg(feature = "lap-profile")]
+        use crate::lap::slot;
         self.stats.cycles += 1;
         self.csrs.cycle = now;
         // Timer interrupts (simplified CLINT: compare CSRs against `now`).
@@ -516,6 +557,13 @@ impl Core {
         for c in mem.take_completions(self.id, Port::Data) {
             if !self.zombies.remove(&c.token) {
                 self.data_completions.insert(c.token, c.ready_at);
+                // A load completion wakes its parked op: the token embeds
+                // the seq, so re-insertion is a key lookup. The WaitMem
+                // arm of `advance_mem_ops` consumes the completion later
+                // this same tick — exactly when it did before parking.
+                if c.token & !TOKEN_MASK == TOKEN_LOAD {
+                    self.lsq.memop_insert(c.token & TOKEN_MASK);
+                }
             }
         }
         for c in mem.take_completions(self.id, Port::IFetch) {
@@ -523,21 +571,53 @@ impl Core {
                 self.ifetch_completions.insert(c.token, c.ready_at);
             }
         }
+        lap!(slot::COLLECT);
         if self.purge != PurgePhase::Idle {
             self.tick_purge(now, mem);
+            lap!(slot::PURGE);
             return;
         }
         self.tick_commit(now, mem);
+        lap!(slot::COMMIT);
         if self.purge != PurgePhase::Idle || self.halted {
             return;
         }
-        self.tick_writeback(now);
-        self.advance_mem_ops(now, mem);
-        self.tick_walker(now, mem);
-        self.tick_issue(now);
-        self.tick_rename(now);
+        // Per-stage dirty gating: each sub-tick below is a no-op when its
+        // worklist/queue is empty (no stat counted, no state touched — the
+        // same emptiness facts `next_event` relies on), so skip the call
+        // entirely. Unlike the whole-machine idle-skip this fires every
+        // cycle, trimming the per-cycle cost to the stages that actually
+        // hold work. `tick_fetch` is never gated: it owns a multi-state
+        // machine (stall counters, redirect timing) with no cheap
+        // emptiness test.
+        if !self.lsq.execs().is_empty() {
+            self.tick_writeback(now);
+        }
+        lap!(slot::WRITEBACK);
+        if !self.lsq.memops().is_empty() {
+            self.advance_mem_ops(now, mem);
+        }
+        lap!(slot::MEM_OPS);
+        if self.walker_active.is_some() || !self.walker_queue.is_empty() {
+            self.tick_walker(now, mem);
+        }
+        lap!(slot::WALKER);
+        if self.ready_iq.iter().any(|rq| !rq.is_empty()) {
+            self.tick_issue(now);
+        }
+        lap!(slot::ISSUE);
+        if !self.fetch_queue.is_empty() {
+            self.tick_rename(now);
+        }
+        lap!(slot::RENAME);
         self.tick_fetch(now, mem);
-        self.tick_store_buffer(now, mem);
+        lap!(slot::FETCH);
+        if !self.sb.is_empty() {
+            self.tick_store_buffer(now, mem);
+        }
+        lap!(slot::STORE_BUFFER);
+        #[cfg(debug_assertions)]
+        self.debug_check_lsq();
     }
 
     /// The earliest future cycle at which this core could do any work, or
@@ -596,7 +676,7 @@ impl Core {
         {
             return None;
         }
-        if self.rob.front().is_some_and(RobEntry::is_done) {
+        if !self.rob.is_empty() && self.rob.is_done(0) {
             return None;
         }
         let mut next = u64::MAX;
@@ -612,7 +692,7 @@ impl Core {
         // Writeback: only exec-worklist entries can complete.
         for &seq in self.lsq.execs() {
             let idx = self.rob_index(seq).expect("exec worklist entry in ROB");
-            let Stage::Exec { done_at } = self.rob[idx].stage else {
+            let Stage::Exec { done_at } = self.rob.stage(idx) else {
                 return None;
             };
             if done_at <= now {
@@ -625,7 +705,7 @@ impl Core {
         // hierarchy (no constraint from this core).
         for &seq in self.lsq.memops() {
             let idx = self.rob_index(seq).expect("mem-op worklist entry in ROB");
-            match self.rob[idx].mem.as_ref().expect("mem state").phase {
+            match self.rob.mem(idx).expect("mem state").phase {
                 MemPhase::AddrGen { done_at } => {
                     if done_at <= now {
                         return None;
@@ -652,20 +732,17 @@ impl Core {
         }
         // Issue: an entry with ready sources issues this cycle — except on
         // a busy (unpipelined) mul/div unit, where the issue happens when
-        // the unit frees.
+        // the unit frees. The ready sets hold exactly the IQ entries whose
+        // sources are resolved, so this is a per-pipe emptiness test, not
+        // an IQ scan.
         for pipe in [Pipe::Alu0, Pipe::Alu1, Pipe::MulDiv, Pipe::Mem] {
-            let gated = pipe == Pipe::MulDiv && now < self.muldiv_busy_until;
-            for &seq in &self.iqs[pipe as usize] {
-                let Some(idx) = self.rob_index(seq) else {
-                    continue;
-                };
-                if self.srcs_ready(&self.rob[idx]).is_some() {
-                    if gated {
-                        next = next.min(self.muldiv_busy_until);
-                        break;
-                    }
-                    return None;
-                }
+            if self.ready_iq[pipe as usize].is_empty() {
+                continue;
+            }
+            if pipe == Pipe::MulDiv && now < self.muldiv_busy_until {
+                next = next.min(self.muldiv_busy_until);
+            } else {
+                return None;
             }
         }
         // Rename: replicate `tick_rename`'s first-iteration gates on the
@@ -732,14 +809,19 @@ impl Core {
         Some(next)
     }
 
-    /// Accounts `skipped` cycles of event-driven fast-forward. The only
-    /// per-cycle state a provably inert, non-halted core mutates is its
-    /// cycle counter (`csrs.cycle` is rewritten from `now` at the next
-    /// real tick, and the timer pending bits compare against absolute
-    /// cycles, so both self-heal).
-    pub fn note_skipped_cycles(&mut self, skipped: u64) {
+    /// Accounts `skipped` cycles of event-driven fast-forward that lands
+    /// at cycle `target`. The only per-cycle state a provably inert,
+    /// non-halted core mutates is its cycle counters: `stats.cycles`
+    /// accumulates, and `csrs.cycle` is settled to `target - 1` — exactly
+    /// the value a core that ticked through every cycle would hold after
+    /// its tick at `target - 1`. Execution never observes the difference
+    /// (`csrs.cycle` is rewritten from `now` at the top of every real
+    /// tick, before any instruction runs), but checkpoints written at the
+    /// landing cycle must be byte-identical to a tick-every-cycle twin's.
+    pub fn note_skipped_cycles(&mut self, skipped: u64, target: u64) {
         if !self.halted {
             self.stats.cycles += skipped;
+            self.csrs.cycle = target - 1;
         }
     }
 }

@@ -141,8 +141,146 @@ impl Core {
                 self.iqs[p as usize].push(seq);
             }
             self.rob.push_back(entry);
+            // Wakeup registration: resolve each source against the ROB
+            // once, here, instead of re-polling every cycle. A producer
+            // already `Done` is memoized immediately (exactly what
+            // `poll_srcs` would do on first poll); an outstanding one gets
+            // a consumer record in its wake list. An op with no
+            // outstanding producers is born ready.
+            if let Some(p) = pipe {
+                let cidx = self.rob.len() - 1;
+                debug_assert!(self.wake_lists[self.rob.phys(cidx)].is_empty());
+                let mut outstanding = 0;
+                for slot in 0..2 {
+                    let Some(Src::Wait { seq: pseq, reg }) = self.rob.srcs(cidx)[slot] else {
+                        continue;
+                    };
+                    match self.rob_index(pseq) {
+                        // A squash can restore a RAT mapping to a producer
+                        // that has since retired: its value lives in the
+                        // register file (the `producer_value` fallback).
+                        None => {
+                            let v = self.regs[reg.index() as usize];
+                            self.rob.srcs_mut(cidx)[slot] = Some(Src::Ready(v));
+                        }
+                        Some(pidx) if self.rob.stage(pidx) == Stage::Done => {
+                            let v = self.rob.result(pidx);
+                            self.rob.srcs_mut(cidx)[slot] = Some(Src::Ready(v));
+                        }
+                        Some(pidx) => {
+                            self.wake_lists[self.rob.phys(pidx)].push((seq, slot as u8, p));
+                            outstanding += 1;
+                        }
+                    }
+                }
+                if outstanding == 0 {
+                    Self::ready_insert(&mut self.ready_iq[p as usize], seq);
+                }
+            }
             renamed += 1;
             let _ = now;
+        }
+    }
+
+    // ----------------------------------------------------------- wakeup
+
+    /// Sorted-insert into a ready set, skipping duplicates (both sources
+    /// of one consumer can resolve off the same broadcast).
+    pub(super) fn ready_insert(list: &mut Vec<u64>, seq: u64) {
+        if let Err(pos) = list.binary_search(&seq) {
+            list.insert(pos, seq);
+        }
+    }
+
+    /// The producer at `idx` just finished (stage `Done`, result final):
+    /// resolve every consumer registered against its slot. Consumers
+    /// whose last outstanding source this was enter their pipe's ready
+    /// set.
+    pub(super) fn wake_consumers(&mut self, idx: usize) {
+        let ph = self.rob.phys(idx);
+        if self.wake_lists[ph].is_empty() {
+            return;
+        }
+        let mut ws = std::mem::take(&mut self.wake_lists[ph]);
+        let value = self.rob.result(idx);
+        self.drain_waiters(&mut ws, value);
+        self.wake_lists[ph] = ws; // keep the allocation for the next tenant
+    }
+
+    /// Resolves each registered consumer with the producer's `value`.
+    /// Records of squashed consumers are skipped (seqs are never reused,
+    /// so a stale record can only miss, never alias a live entry).
+    pub(super) fn drain_waiters(&mut self, ws: &mut Vec<Waiter>, value: u64) {
+        for &(cseq, slot, pipe) in ws.iter() {
+            let Some(cidx) = self.rob_index(cseq) else {
+                continue;
+            };
+            if self.rob.stage(cidx) != Stage::InIq {
+                continue;
+            }
+            self.rob.srcs_mut(cidx)[slot as usize] = Some(Src::Ready(value));
+            if self.srcs_ready(cidx).is_some() {
+                Self::ready_insert(&mut self.ready_iq[pipe as usize], cseq);
+            }
+        }
+        ws.clear();
+    }
+
+    /// Rebuilds the wakeup matrix and ready sets from the (restored) ROB
+    /// and issue queues — both are derived state the snapshot never
+    /// carries. Sources already resolvable (producer `Done` in the ROB,
+    /// or retired with the value in the register file) make the entry
+    /// ready; each genuinely outstanding source registers a consumer
+    /// record.
+    pub(super) fn rebuild_wakeup(&mut self) {
+        for l in self.wake_lists.iter_mut() {
+            l.clear();
+        }
+        for rq in &mut self.ready_iq {
+            rq.clear();
+        }
+        for pipe in [Pipe::Alu0, Pipe::Alu1, Pipe::MulDiv, Pipe::Mem] {
+            for k in 0..self.iqs[pipe as usize].len() {
+                let cseq = self.iqs[pipe as usize][k];
+                let cidx = self.rob_index(cseq).expect("IQ entry in ROB");
+                if self.srcs_ready(cidx).is_some() {
+                    Self::ready_insert(&mut self.ready_iq[pipe as usize], cseq);
+                    continue;
+                }
+                for slot in 0..2 {
+                    let Some(Src::Wait { seq: pseq, .. }) = self.rob.srcs(cidx)[slot] else {
+                        continue;
+                    };
+                    if let Some(pidx) = self.rob_index(pseq) {
+                        if self.rob.stage(pidx) != Stage::Done {
+                            self.wake_lists[self.rob.phys(pidx)].push((cseq, slot as u8, pipe));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Validates the ready-set invariant against a fresh poll of every
+    /// issue queue (debug builds; mirrors `assert_lsq_matches`).
+    #[cfg(any(debug_assertions, test))]
+    pub(super) fn assert_wakeup_matches(&self) {
+        for pipe in [Pipe::Alu0, Pipe::Alu1, Pipe::MulDiv, Pipe::Mem] {
+            for &seq in &self.iqs[pipe as usize] {
+                let idx = self.rob_index(seq).expect("IQ entry in ROB");
+                let ready = self.srcs_ready(idx).is_some();
+                let in_set = self.ready_iq[pipe as usize].binary_search(&seq).is_ok();
+                assert_eq!(
+                    ready, in_set,
+                    "seq {seq} ({pipe:?}): polled readiness {ready} but ready-set membership {in_set}"
+                );
+            }
+            for &seq in &self.ready_iq[pipe as usize] {
+                assert!(
+                    self.iqs[pipe as usize].binary_search(&seq).is_ok(),
+                    "ready set holds seq {seq} not in its {pipe:?} IQ"
+                );
+            }
         }
     }
 
@@ -153,62 +291,52 @@ impl Core {
             if pipe == Pipe::MulDiv && now < self.muldiv_busy_until {
                 continue;
             }
-            // Oldest-first: find the lowest seq whose sources are ready.
-            // Issue queues are ascending by construction — rename pushes
-            // strictly increasing seqs and squash `retain`s in place — so
-            // in-order iteration needs no per-cycle clone-and-sort.
-            debug_assert!(self.iqs[pipe as usize].is_sorted());
-            let mut chosen: Option<(usize, u64)> = None;
-            for k in 0..self.iqs[pipe as usize].len() {
-                let seq = self.iqs[pipe as usize][k];
-                let Some(idx) = self.rob_index(seq) else {
-                    continue;
-                };
-                if self.poll_srcs(idx).is_some() {
-                    chosen = Some((k, seq));
-                    break;
-                }
-            }
-            let Some((k, seq)) = chosen else {
+            // Oldest-first: the ready set is ascending by seq and holds
+            // exactly the queue entries whose sources are resolved, so
+            // its head IS the op the old oldest-first readiness scan
+            // would pick.
+            let Some(&seq) = self.ready_iq[pipe as usize].first() else {
                 continue;
             };
-            // The scan above already found the position — remove it
-            // directly instead of re-walking the queue with `retain`.
-            self.iqs[pipe as usize].remove(k);
+            self.ready_iq[pipe as usize].remove(0);
+            let q = &mut self.iqs[pipe as usize];
+            let k = q.binary_search(&seq).expect("ready op in its IQ");
+            q.remove(k);
             let idx = self.rob_index(seq).expect("chosen entry exists");
             let (a, b) = self.poll_srcs(idx).expect("ready");
-            let entry = &mut self.rob[idx];
+            let inst = self.rob.inst(idx);
+            let pc = self.rob.pc(idx);
             match pipe {
                 Pipe::Alu0 | Pipe::Alu1 => {
                     let done_at = now + 1;
-                    match entry.inst {
+                    match inst {
                         Inst::Branch { cond, .. } => {
                             let taken = cond.eval(a, b);
-                            let b_state = entry.branch.as_mut().expect("branch state");
+                            let b_state = self.rob.branch_mut(idx).as_mut().expect("branch state");
                             b_state.actual_taken = Some(taken);
                             b_state.actual_target = if taken {
                                 b_state.pred_target
                             } else {
-                                entry.pc.wrapping_add(4)
+                                pc.wrapping_add(4)
                             };
-                            entry.stage = Stage::Exec { done_at };
+                            self.rob.set_stage(idx, Stage::Exec { done_at });
                         }
                         Inst::Jalr { off, .. } => {
                             let target = a.wrapping_add(off as i64 as u64) & !1;
-                            let b_state = entry.branch.as_mut().expect("jalr state");
+                            let b_state = self.rob.branch_mut(idx).as_mut().expect("jalr state");
                             b_state.actual_taken = Some(true);
                             b_state.actual_target = target;
-                            entry.result = entry.pc.wrapping_add(4);
-                            entry.stage = Stage::Exec { done_at };
+                            self.rob.set_result(idx, pc.wrapping_add(4));
+                            self.rob.set_stage(idx, Stage::Exec { done_at });
                         }
                         _ => {
-                            entry.result = exec::eval(&entry.inst, a, b, entry.pc);
-                            entry.stage = Stage::Exec { done_at };
+                            self.rob.set_result(idx, exec::eval(&inst, a, b, pc));
+                            self.rob.set_stage(idx, Stage::Exec { done_at });
                         }
                     }
                 }
                 Pipe::MulDiv => {
-                    let lat = match entry.inst {
+                    let lat = match inst {
                         Inst::Div { .. }
                         | Inst::Divu { .. }
                         | Inst::Rem { .. }
@@ -218,27 +346,30 @@ impl Core {
                         _ => self.cfg.mul_latency,
                     };
                     let pipelined = matches!(
-                        entry.inst,
+                        inst,
                         Inst::Mul { .. }
                             | Inst::Mulh { .. }
                             | Inst::Fadd { .. }
                             | Inst::Fmul { .. }
                     );
-                    entry.result = exec::eval(&entry.inst, a, b, entry.pc);
-                    entry.stage = Stage::Exec {
-                        done_at: now + lat as u64,
-                    };
+                    self.rob.set_result(idx, exec::eval(&inst, a, b, pc));
+                    self.rob.set_stage(
+                        idx,
+                        Stage::Exec {
+                            done_at: now + lat as u64,
+                        },
+                    );
                     self.muldiv_busy_until = if pipelined { now + 1 } else { now + lat as u64 };
                 }
                 Pipe::Mem => {
-                    let vaddr = exec::effective_address(&entry.inst, a);
-                    let m = entry.mem.as_mut().expect("mem state");
+                    let vaddr = exec::effective_address(&inst, a);
+                    let m = self.rob.mem_mut(idx).expect("mem state");
                     m.vaddr = vaddr;
                     if m.is_store {
                         m.store_data = Some(b);
                     }
                     m.phase = MemPhase::AddrGen { done_at: now + 1 };
-                    entry.stage = Stage::MemOp;
+                    self.rob.set_stage(idx, Stage::MemOp);
                     self.lsq.memop_insert(seq);
                 }
             }
@@ -265,17 +396,17 @@ impl Core {
         seqs.extend_from_slice(self.lsq.execs());
         for &seq in &seqs {
             let idx = self.rob_index(seq).expect("exec worklist entry in ROB");
-            let entry = &mut self.rob[idx];
-            let Stage::Exec { done_at } = entry.stage else {
+            let Stage::Exec { done_at } = self.rob.stage(idx) else {
                 debug_assert!(false, "exec worklist seq {seq} not in Stage::Exec");
                 continue;
             };
             if now < done_at {
                 continue;
             }
-            entry.stage = Stage::Done;
-            let branch = entry.branch;
-            let is_cond = entry.inst.is_cond_branch();
+            self.rob.set_stage(idx, Stage::Done);
+            self.wake_consumers(idx);
+            let branch = self.rob.branch(idx);
+            let is_cond = self.rob.inst(idx).is_cond_branch();
             self.lsq.exec_remove(seq);
             if let Some(b) = branch {
                 let actual_taken = b.actual_taken.expect("resolved at execute");
@@ -344,7 +475,7 @@ mod tests {
         });
         core.next_seq = seq + 1;
         core.lsq.exec_insert(seq);
-        core.lsq.assert_matches(&core.rob);
+        core.assert_lsq_matches();
     }
 
     fn resolved_branch(pred_taken: bool, actual_taken: bool) -> BranchState {
@@ -365,7 +496,7 @@ mod tests {
         }
         core.squash_from(50, 2, 0x4000);
         assert_eq!(core.lsq.execs(), &[0, 1]);
-        core.lsq.assert_matches(&core.rob);
+        core.assert_lsq_matches();
     }
 
     #[test]
@@ -382,8 +513,8 @@ mod tests {
         assert_eq!(core.stats.branch_mispredicts, 1);
         assert_eq!(core.stats.squashed_instructions, 2);
         assert_eq!(core.rob.len(), 1);
-        assert!(matches!(core.rob[0].stage, Stage::Done));
-        core.lsq.assert_matches(&core.rob);
+        assert!(matches!(core.rob.stage(0), Stage::Done));
+        core.assert_lsq_matches();
     }
 
     #[test]
@@ -398,7 +529,7 @@ mod tests {
         assert!(core.lsq.execs().is_empty());
         assert_eq!(core.stats.branch_mispredicts, 1);
         assert_eq!(core.rob.len(), 1);
-        core.lsq.assert_matches(&core.rob);
+        core.assert_lsq_matches();
     }
 
     #[test]
@@ -409,6 +540,6 @@ mod tests {
         core.start_purge(5, 0x8000, PrivLevel::Supervisor);
         assert!(core.lsq.execs().is_empty());
         assert!(core.rob.is_empty());
-        core.lsq.assert_matches(&core.rob);
+        core.assert_lsq_matches();
     }
 }

@@ -1,14 +1,315 @@
-//! ROB bookkeeping: sequence-number lookup, operand readiness, and the
-//! squash path (RAT undo, issue-queue scrub, zombie tokens, speculative
-//! global-history rebuild).
+//! The struct-of-arrays reorder buffer, plus ROB bookkeeping: sequence
+//! lookup, operand readiness, and the squash path (RAT undo, issue-queue
+//! scrub, zombie tokens, speculative global-history rebuild).
+//!
+//! # Why a struct-of-arrays ring
+//!
+//! The per-cycle hot paths (`rob_index`, the stage checks in issue /
+//! writeback / commit / `next_event`) probe one field of many ROB
+//! entries. A `VecDeque<RobEntry>` strides a ~200-byte struct for every
+//! such probe, so each one costs a fresh cache line of mostly-unwanted
+//! payload. [`Rob`] splits the same logical entries into parallel flat
+//! ring buffers sharing a single head/len pair:
+//!
+//! - **`seqs`** — the lookup key, dense so `Core::rob_index` can
+//!   binary-search it at one key per cache line of 8;
+//! - **`stages`** — the stage tags, dense for the same reason (they are
+//!   the most-polled field: commit eligibility, issue/writeback guards,
+//!   `next_event`);
+//! - **`body`** — everything else (operands, result, mem-op state, pc,
+//!   decoded instruction, rename undo, branch state, exception) as one
+//!   per-entry record. These fields are touched only for the specific
+//!   entry an event names — issue, wakeup, fault, commit — so keeping
+//!   them together means rename's push and commit's pop scatter/gather
+//!   across three arrays, not eight.
+//!
+//! Beyond cache density, the fixed ring gives every live entry a
+//! **stable physical slot** ([`Rob::phys`]) for its whole lifetime —
+//! head advances at commit without moving survivors. The wakeup matrix
+//! (`Core::wake_lists`) leans on that: consumer registrations are
+//! per-slot `Vec`s whose allocations are reused across generations of
+//! tenants, with no hashing and no reallocation in steady state.
+//!
+//! The arrays move in lock step; [`RobEntry`] remains the logical form —
+//! rename pushes one, commit/squash pop one, and the snapshot codec
+//! serializes entries field-by-field in the exact byte order the old
+//! `VecDeque<RobEntry>` produced, so the on-disk format is unchanged and
+//! the SoA views are derived state rebuilt on restore.
 
 use super::*;
+
+/// Per-entry payload: every field except the two dense probe arrays
+/// (`seqs`, `stages`). Touched only for the specific entry an event
+/// names, never in a scan.
+#[derive(Clone, Debug)]
+pub(super) struct RobBody {
+    srcs: [Option<Src>; 2],
+    result: u64,
+    mem: Option<MemState>,
+    pc: u64,
+    inst: Inst,
+    dest: Option<Reg>,
+    prev_map: Option<u64>,
+    branch: Option<BranchState>,
+    exception: Option<(Exception, u64)>,
+}
+
+/// The reorder buffer: parallel fixed-capacity ring buffers (see the
+/// module docs). Capacity is the configured `rob_entries` rounded up to
+/// a power of two; `(head + idx) & mask` maps a logical index to its
+/// physical slot, and the mask keeps every access in bounds by
+/// construction.
+#[derive(Debug)]
+pub(super) struct Rob {
+    head: usize,
+    len: usize,
+    mask: usize,
+    seqs: Box<[u64]>,
+    stages: Box<[Stage]>,
+    body: Box<[RobBody]>,
+}
+
+impl Rob {
+    pub(super) fn new(rob_entries: usize) -> Rob {
+        let cap = rob_entries.next_power_of_two().max(2);
+        let filler = RobBody {
+            srcs: [None, None],
+            result: 0,
+            mem: None,
+            pc: 0,
+            inst: Inst::addi(Reg::ZERO, Reg::ZERO, 0),
+            dest: None,
+            prev_map: None,
+            branch: None,
+            exception: None,
+        };
+        Rob {
+            head: 0,
+            len: 0,
+            mask: cap - 1,
+            seqs: vec![0; cap].into_boxed_slice(),
+            stages: vec![Stage::Done; cap].into_boxed_slice(),
+            body: vec![filler; cap].into_boxed_slice(),
+        }
+    }
+
+    pub(super) fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// The stable physical slot of logical index `idx` — fixed for an
+    /// entry's whole lifetime (the wakeup matrix is keyed by it).
+    #[inline]
+    pub(super) fn phys(&self, idx: usize) -> usize {
+        debug_assert!(idx < self.len);
+        (self.head + idx) & self.mask
+    }
+
+    pub(super) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(super) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drops every entry (restore path; live pops go through
+    /// `pop_front`/`pop_back`).
+    pub(super) fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+
+    pub(super) fn head_seq(&self) -> Option<u64> {
+        (self.len > 0).then(|| self.seqs[self.head])
+    }
+
+    pub(super) fn back_seq(&self) -> Option<u64> {
+        (self.len > 0).then(|| self.seqs[(self.head + self.len - 1) & self.mask])
+    }
+
+    /// The live seqs in ring order as (front, wrapped) slices, for
+    /// binary search.
+    pub(super) fn seq_slices(&self) -> (&[u64], &[u64]) {
+        let cap = self.mask + 1;
+        let end = self.head + self.len;
+        if end <= cap {
+            (&self.seqs[self.head..end], &[])
+        } else {
+            (&self.seqs[self.head..], &self.seqs[..end - cap])
+        }
+    }
+
+    #[inline]
+    pub(super) fn seq(&self, idx: usize) -> u64 {
+        self.seqs[self.phys(idx)]
+    }
+
+    #[inline]
+    pub(super) fn stage(&self, idx: usize) -> Stage {
+        self.stages[self.phys(idx)]
+    }
+
+    #[inline]
+    pub(super) fn set_stage(&mut self, idx: usize, stage: Stage) {
+        self.stages[self.phys(idx)] = stage;
+    }
+
+    #[inline]
+    pub(super) fn srcs(&self, idx: usize) -> &[Option<Src>; 2] {
+        &self.body[self.phys(idx)].srcs
+    }
+
+    #[inline]
+    pub(super) fn srcs_mut(&mut self, idx: usize) -> &mut [Option<Src>; 2] {
+        let ph = self.phys(idx);
+        &mut self.body[ph].srcs
+    }
+
+    #[inline]
+    pub(super) fn result(&self, idx: usize) -> u64 {
+        self.body[self.phys(idx)].result
+    }
+
+    #[inline]
+    pub(super) fn set_result(&mut self, idx: usize, v: u64) {
+        let ph = self.phys(idx);
+        self.body[ph].result = v;
+    }
+
+    #[inline]
+    pub(super) fn mem(&self, idx: usize) -> Option<&MemState> {
+        self.body[self.phys(idx)].mem.as_ref()
+    }
+
+    #[inline]
+    pub(super) fn mem_mut(&mut self, idx: usize) -> Option<&mut MemState> {
+        let ph = self.phys(idx);
+        self.body[ph].mem.as_mut()
+    }
+
+    /// The live `mem` fields in ROB order (quiescence scan).
+    pub(super) fn mems(&self) -> impl Iterator<Item = &Option<MemState>> {
+        let cap = self.mask + 1;
+        let end = self.head + self.len;
+        let (a, b) = if end <= cap {
+            (&self.body[self.head..end], &self.body[..0])
+        } else {
+            (&self.body[self.head..], &self.body[..end - cap])
+        };
+        a.iter().map(|e| &e.mem).chain(b.iter().map(|e| &e.mem))
+    }
+
+    #[inline]
+    pub(super) fn pc(&self, idx: usize) -> u64 {
+        self.body[self.phys(idx)].pc
+    }
+
+    #[inline]
+    pub(super) fn inst(&self, idx: usize) -> Inst {
+        self.body[self.phys(idx)].inst
+    }
+
+    #[inline]
+    pub(super) fn branch(&self, idx: usize) -> Option<BranchState> {
+        self.body[self.phys(idx)].branch
+    }
+
+    #[inline]
+    pub(super) fn branch_mut(&mut self, idx: usize) -> &mut Option<BranchState> {
+        let ph = self.phys(idx);
+        &mut self.body[ph].branch
+    }
+
+    #[inline]
+    pub(super) fn exception(&self, idx: usize) -> Option<(Exception, u64)> {
+        self.body[self.phys(idx)].exception
+    }
+
+    #[inline]
+    pub(super) fn set_exception(&mut self, idx: usize, e: Option<(Exception, u64)>) {
+        let ph = self.phys(idx);
+        self.body[ph].exception = e;
+    }
+
+    #[inline]
+    pub(super) fn clear_dest(&mut self, idx: usize) {
+        let ph = self.phys(idx);
+        self.body[ph].dest = None;
+    }
+
+    /// Commit-eligible: finished, or holding an exception to raise.
+    #[inline]
+    pub(super) fn is_done(&self, idx: usize) -> bool {
+        let ph = self.phys(idx);
+        matches!(self.stages[ph], Stage::Done | Stage::AtCommit)
+            || self.body[ph].exception.is_some()
+    }
+
+    /// Gathers logical entry `idx` from the parallel arrays (snapshot
+    /// serialization and pop paths).
+    pub(super) fn entry(&self, idx: usize) -> RobEntry {
+        let ph = self.phys(idx);
+        let b = &self.body[ph];
+        RobEntry {
+            seq: self.seqs[ph],
+            pc: b.pc,
+            inst: b.inst,
+            stage: self.stages[ph],
+            srcs: b.srcs,
+            dest: b.dest,
+            prev_map: b.prev_map,
+            result: b.result,
+            branch: b.branch,
+            mem: b.mem,
+            exception: b.exception,
+        }
+    }
+
+    pub(super) fn push_back(&mut self, e: RobEntry) {
+        assert!(self.len <= self.mask, "ROB overflow");
+        let ph = (self.head + self.len) & self.mask;
+        self.len += 1;
+        self.seqs[ph] = e.seq;
+        self.stages[ph] = e.stage;
+        self.body[ph] = RobBody {
+            srcs: e.srcs,
+            result: e.result,
+            mem: e.mem,
+            pc: e.pc,
+            inst: e.inst,
+            dest: e.dest,
+            prev_map: e.prev_map,
+            branch: e.branch,
+            exception: e.exception,
+        };
+    }
+
+    pub(super) fn pop_front(&mut self) -> Option<RobEntry> {
+        if self.len == 0 {
+            return None;
+        }
+        let e = self.entry(0);
+        self.head = (self.head + 1) & self.mask;
+        self.len -= 1;
+        Some(e)
+    }
+
+    pub(super) fn pop_back(&mut self) -> Option<RobEntry> {
+        if self.len == 0 {
+            return None;
+        }
+        let e = self.entry(self.len - 1);
+        self.len -= 1;
+        Some(e)
+    }
+}
 
 impl Core {
     // ---------------------------------------------------------------- ROB
 
     pub(super) fn head_seq(&self) -> u64 {
-        self.rob.front().map(|e| e.seq).unwrap_or(self.next_seq)
+        self.rob.head_seq().unwrap_or(self.next_seq)
     }
 
     pub(super) fn rob_index(&self, seq: u64) -> Option<usize> {
@@ -16,21 +317,18 @@ impl Core {
         // a gap before the next rename), so binary-search — after an O(1)
         // guess: between squashes seqs ARE contiguous, so `seq - head` is
         // exact almost always (this is the hottest lookup in the core).
-        let head = self.rob.front()?.seq;
+        let head = self.rob.head_seq()?;
         if seq < head {
             return None;
         }
         let guess = (seq - head) as usize;
-        if guess < self.rob.len() && self.rob[guess].seq == seq {
+        if guess < self.rob.len() && self.rob.seq(guess) == seq {
             return Some(guess);
         }
-        let (a, b) = self.rob.as_slices();
-        match a.binary_search_by_key(&seq, |e| e.seq) {
+        let (a, b) = self.rob.seq_slices();
+        match a.binary_search(&seq) {
             Ok(i) => Some(i),
-            Err(_) => b
-                .binary_search_by_key(&seq, |e| e.seq)
-                .ok()
-                .map(|i| a.len() + i),
+            Err(_) => b.binary_search(&seq).ok().map(|i| a.len() + i),
         }
     }
 
@@ -39,20 +337,18 @@ impl Core {
             Src::Ready(v) => Some(v),
             Src::Wait { seq, reg } => match self.rob_index(seq) {
                 None => Some(self.regs[reg.index() as usize]),
-                Some(idx) => {
-                    let e = &self.rob[idx];
-                    (e.stage == Stage::Done).then_some(e.result)
-                }
+                Some(idx) => (self.rob.stage(idx) == Stage::Done).then(|| self.rob.result(idx)),
             },
         }
     }
 
-    pub(super) fn srcs_ready(&self, entry: &RobEntry) -> Option<(u64, u64)> {
-        let a = match entry.srcs[0] {
+    pub(super) fn srcs_ready(&self, idx: usize) -> Option<(u64, u64)> {
+        let srcs = *self.rob.srcs(idx);
+        let a = match srcs[0] {
             None => 0,
             Some(s) => self.producer_value(s)?,
         };
-        let b = match entry.srcs[1] {
+        let b = match srcs[1] {
             None => 0,
             Some(s) => self.producer_value(s)?,
         };
@@ -67,17 +363,17 @@ impl Core {
     /// in-memory representation only, never an issue decision.
     pub(super) fn poll_srcs(&mut self, idx: usize) -> Option<(u64, u64)> {
         let mut vals = [0u64; 2];
-        for (i, slot) in vals.iter_mut().enumerate() {
-            let Some(src) = self.rob[idx].srcs[i] else {
+        for (i, val) in vals.iter_mut().enumerate() {
+            let Some(src) = self.rob.srcs(idx)[i] else {
                 continue;
             };
             if let Src::Ready(v) = src {
-                *slot = v;
+                *val = v;
                 continue;
             }
             let v = self.producer_value(src)?;
-            self.rob[idx].srcs[i] = Some(Src::Ready(v));
-            *slot = v;
+            self.rob.srcs_mut(idx)[i] = Some(Src::Ready(v));
+            *val = v;
         }
         Some((vals[0], vals[1]))
     }
@@ -87,17 +383,25 @@ impl Core {
     /// Squashes all entries with `seq >= from_seq`; redirects fetch to
     /// `new_pc`.
     pub(super) fn squash_from(&mut self, now: u64, from_seq: u64, new_pc: u64) {
-        // Issue queues are ascending by seq, so every squashed entry sits
-        // in one contiguous tail: one truncation per queue replaces a
-        // per-entry `retain` rescan.
+        // Issue queues and ready sets are ascending by seq, so every
+        // squashed entry sits in one contiguous tail: one truncation per
+        // list replaces a per-entry `retain` rescan.
         for iq in &mut self.iqs {
             let cut = iq.partition_point(|&s| s < from_seq);
             iq.truncate(cut);
         }
-        while let Some(back) = self.rob.back() {
-            if back.seq < from_seq {
+        for rq in &mut self.ready_iq {
+            let cut = rq.partition_point(|&s| s < from_seq);
+            rq.truncate(cut);
+        }
+        while let Some(back) = self.rob.back_seq() {
+            if back < from_seq {
                 break;
             }
+            // A squashed producer's registered consumers are all younger,
+            // hence squashed too: discard the slot's wake list so the next
+            // tenant starts clean.
+            self.wake_lists[self.rob.phys(self.rob.len() - 1)].clear();
             let e = self.rob.pop_back().expect("non-empty");
             self.stats.squashed_instructions += 1;
             // Undo RAT.
@@ -120,20 +424,38 @@ impl Core {
                 }
                 self.lsq.remove_op(m, e.seq);
                 if e.stage == Stage::MemOp {
-                    self.lsq.memop_remove(e.seq);
-                }
-                if m.phase == MemPhase::WaitMem {
-                    // If the L1 already answered, drop the completion now;
-                    // otherwise mark the token so the answer is dropped at
-                    // arrival. (Leaving an already-arrived completion
-                    // behind would leak it forever — nothing consumes it.)
-                    let token = TOKEN_LOAD | (e.seq & TOKEN_MASK);
-                    if self.data_completions.remove(&token).is_none() {
-                        self.zombies.insert(token);
+                    // A parked op (WaitMem with the L1 answer still in
+                    // flight, WaitWalk with no delivered result) is not on
+                    // the worklist; one whose wake already arrived is. The
+                    // wake check must happen BEFORE the completion/result
+                    // is dropped below, or the membership test reads
+                    // already-scrubbed state.
+                    let awake = match m.phase {
+                        MemPhase::WaitMem => {
+                            // If the L1 already answered, drop the
+                            // completion now; otherwise mark the token so
+                            // the answer is dropped at arrival. (Leaving
+                            // an already-arrived completion behind would
+                            // leak it forever — nothing consumes it.)
+                            let token = TOKEN_LOAD | (e.seq & TOKEN_MASK);
+                            if self.data_completions.remove(&token).is_some() {
+                                true
+                            } else {
+                                self.zombies.insert(token);
+                                false
+                            }
+                        }
+                        MemPhase::WaitWalk => {
+                            let client = WalkClient::Rob(e.seq);
+                            let woke = self.walk_results.iter().any(|(c, _)| *c == client);
+                            self.cancel_walk(client);
+                            woke
+                        }
+                        _ => true,
+                    };
+                    if awake {
+                        self.lsq.memop_remove(e.seq);
                     }
-                }
-                if m.phase == MemPhase::WaitWalk {
-                    self.cancel_walk(WalkClient::Rob(e.seq));
                 }
             }
         }
@@ -162,9 +484,9 @@ impl Core {
     /// resolved, predicted otherwise).
     pub(super) fn rebuild_ghist(&mut self) {
         let mut g = self.committed_ghist;
-        for e in &self.rob {
-            if let Some(b) = &e.branch {
-                if e.inst.is_cond_branch() {
+        for i in 0..self.rob.len() {
+            if let Some(b) = self.rob.branch(i) {
+                if self.rob.inst(i).is_cond_branch() {
                     g = (g << 1) | b.actual_taken.unwrap_or(b.pred_taken) as u16;
                 }
             }

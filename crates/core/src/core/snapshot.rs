@@ -195,6 +195,31 @@ impl SnapState for RobEntry {
     }
 }
 
+/// The ROB serializes in its logical entry form — a length then each
+/// entry's fields in [`RobEntry::save`] order, exactly the bytes the old
+/// `VecDeque<RobEntry>` field produced — so the struct-of-arrays ring
+/// layout is invisible on disk (no `FORMAT_VERSION` bump; the arrays are
+/// re-split entry by entry on load). The ring has a fixed configured
+/// capacity, so loading is in-place rather than via `SnapState::load`.
+impl Rob {
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.len());
+        for i in 0..self.len() {
+            self.entry(i).save(w);
+        }
+    }
+
+    fn load_into(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.usize()?;
+        w_check(n <= self.capacity(), "ROB occupancy")?;
+        self.clear();
+        for _ in 0..n {
+            self.push_back(RobEntry::load(r)?);
+        }
+        Ok(())
+    }
+}
+
 impl SnapState for WalkClient {
     fn save(&self, w: &mut SnapWriter) {
         match *self {
@@ -453,8 +478,8 @@ impl Core {
         !matches!(self.fetch_state, FetchState::WaitICache { .. })
             && self
                 .rob
-                .iter()
-                .all(|e| !matches!(e.mem.as_ref().map(|m| m.phase), Some(MemPhase::WaitMem)))
+                .mems()
+                .all(|m| !matches!(m.as_ref().map(|m| m.phase), Some(MemPhase::WaitMem)))
             && !matches!(
                 self.walker_active.as_ref().map(|aw| aw.pending),
                 Some(WalkPending::Token(_))
@@ -500,7 +525,7 @@ impl Core {
         // a HashMap, so the snapshot format is unchanged.
         self.decode_cache.sorted_entries().save(w);
         // Backend.
-        self.rob.save(w);
+        self.rob.save_state(w);
         w.u64(self.next_seq);
         self.rat.save(w);
         self.iqs.save(w);
@@ -554,7 +579,7 @@ impl Core {
         self.next_fetch_token = r.u64()?;
         self.itlb = SnapState::load(r)?;
         self.decode_cache.fill_from(SnapState::load(r)?);
-        self.rob = SnapState::load(r)?;
+        self.rob.load_into(r)?;
         w_check(self.rob.len() <= self.cfg.rob_entries, "ROB occupancy")?;
         self.next_seq = r.u64()?;
         self.rat = SnapState::load(r)?;
@@ -580,8 +605,11 @@ impl Core {
         self.purge_resume = SnapState::load(r)?;
         self.stats = CoreStats::load(r)?;
         // The LSQ index is derived state: the snapshot format carries no
-        // trace of it — rebuild it from the deserialized ROB.
-        self.lsq = LsqIndex::rebuild(&self.rob);
+        // trace of it — rebuild it from the deserialized ROB (with the
+        // completion map and walk results deciding which ops are parked).
+        self.lsq = LsqIndex::rebuild(&self.rob, &self.data_completions, &self.walk_results);
+        // So are the issue wakeup matrix and the per-pipe ready sets.
+        self.rebuild_wakeup();
         Ok(())
     }
 }

@@ -5,6 +5,18 @@
 use super::*;
 
 impl Core {
+    /// Delivers a finished walk to its client. A ROB client has been
+    /// *parked* off the mem-op worklist since it entered `WaitWalk`, so
+    /// delivery re-inserts it; `advance_mem_ops` consumes the result next
+    /// cycle (the walker runs after the mem-op sweep), exactly as it did
+    /// when parked ops stayed on the worklist polling.
+    fn deliver_walk_result(&mut self, client: WalkClient, result: WalkResult) {
+        if let WalkClient::Rob(seq) = client {
+            self.lsq.memop_insert(seq);
+        }
+        self.walk_results.push((client, result));
+    }
+
     pub(super) fn cancel_walk(&mut self, client: WalkClient) {
         self.walker_queue.retain(|r| r.client != client);
         if let Some(active) = &mut self.walker_active {
@@ -137,10 +149,10 @@ impl Core {
                 // a violating PTW access is suppressed, never emitted.
                 if !self.region_allowed(mem, pte_addr) {
                     self.stats.region_suppressed += 1;
-                    self.walk_results.push((
+                    self.deliver_walk_result(
                         walk.req.client,
                         WalkResult::Fault(Exception::DramRegionFault),
-                    ));
+                    );
                     return; // walker freed
                 }
                 let token = TOKEN_PTW | (self.next_ptw_token & TOKEN_MASK);
@@ -186,8 +198,7 @@ impl Core {
                     AccessKind::Store => Exception::StorePageFault,
                 };
                 if !pte.valid() {
-                    self.walk_results
-                        .push((walk.req.client, WalkResult::Fault(fault())));
+                    self.deliver_walk_result(walk.req.client, WalkResult::Fault(fault()));
                     self.stats.page_walks += 1;
                     return;
                 }
@@ -210,7 +221,7 @@ impl Core {
                         AccessKind::Fetch => self.itlb.insert(entry),
                         _ => self.dtlb.insert(entry),
                     }
-                    self.walk_results.push((walk.req.client, WalkResult::Ok));
+                    self.deliver_walk_result(walk.req.client, WalkResult::Ok);
                     self.stats.page_walks += 1;
                 } else {
                     let next_table = pte.ppn() << PAGE_SHIFT;

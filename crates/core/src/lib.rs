@@ -22,11 +22,13 @@ pub mod branch;
 pub mod config;
 pub mod core;
 pub mod exec;
+pub mod lap;
 pub mod stats;
 pub mod tlb;
 
 pub use crate::core::Core;
 pub use branch::{Btb, Prediction, Ras, Tournament};
 pub use config::{CoreConfig, SecurityConfig};
+pub use lap::{LapProfile, LAP_COMPILED, LAP_STAGES};
 pub use stats::CoreStats;
 pub use tlb::{Tlb, TlbEntry, TranslationCache};

@@ -144,6 +144,10 @@ pub struct Machine {
     cores: Vec<Core>,
     mem: MemSystem,
     now: u64,
+    /// Real `tick()` calls executed (runtime-only, never snapshotted):
+    /// `now - ticks` is the number of fast-forwarded cycles, which tests
+    /// use to prove the idle-skip actually engaged.
+    ticks: u64,
     loaded: Vec<Option<UserImage>>,
     /// Cycles between automatic checkpoints (0 = off; builder knob).
     ckpt_every: u64,
@@ -190,6 +194,7 @@ impl Machine {
             cores,
             mem,
             now: 0,
+            ticks: 0,
             loaded: vec![None; cfg.cores],
             ckpt_every: 0,
             ckpt_dir: None,
@@ -205,6 +210,13 @@ impl Machine {
     /// Current cycle.
     pub fn now(&self) -> u64 {
         self.now
+    }
+
+    /// Real `tick()` calls executed so far (runtime-only; not restored by
+    /// snapshots). `now() - ticks()` cycles were fast-forwarded by the
+    /// event-driven idle-skip.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
     }
 
     /// Access to a core (e.g. for CSR inspection in tests).
@@ -324,6 +336,7 @@ impl Machine {
         }
         self.mem.tick(self.now);
         self.now += 1;
+        self.ticks += 1;
         if self.ckpt_every != 0 && self.now.is_multiple_of(self.ckpt_every) {
             self.write_auto_checkpoint();
         }
@@ -353,9 +366,12 @@ impl Machine {
         // Event-driven idle-skip: when every core is provably stalled on
         // known-time events (DRAM returns, link FIFO arrivals, pipeline
         // exits, the timer), jump the clock straight to the next event
-        // instead of ticking empty stages. Disabled under
-        // auto-checkpointing, which must observe every `ckpt_every`
-        // boundary.
+        // instead of ticking empty stages. Under auto-checkpointing the
+        // skip is capped at the next `ckpt_every` boundary, and a landing
+        // exactly on one writes the checkpoint there — byte-identical to a
+        // tick-every-cycle run, because [`Core::note_skipped_cycles`]
+        // settles the one per-cycle register (`csrs.cycle`) a real tick
+        // would have written.
         //
         // The inertness proof itself walks every core's in-flight state,
         // which is pure overhead while the machine is busy — so failed
@@ -365,7 +381,6 @@ impl Machine {
         // 2x the preceding busy stretch (classic doubling argument),
         // which keeps long DRAM-miss windows almost fully skipped while
         // busy phases pay ~1/64th of the probe cost.
-        let may_skip = self.ckpt_every == 0;
         let mut probe_at = self.now;
         let mut backoff = 0u64;
         while !self.all_halted() {
@@ -379,9 +394,18 @@ impl Machine {
                     }
                 }
             }
-            if may_skip && self.now >= probe_at {
+            if self.now >= probe_at {
                 if let Some(next) = self.next_event_cycle() {
-                    self.fast_forward(next.min(end));
+                    let mut target = next.min(end);
+                    if let Some(periods) = self.now.checked_div(self.ckpt_every) {
+                        // Never skip past a checkpoint boundary; a landing
+                        // exactly on one writes the checkpoint below.
+                        target = target.min((periods + 1) * self.ckpt_every);
+                    }
+                    self.fast_forward(target);
+                    if self.ckpt_every != 0 && self.now.is_multiple_of(self.ckpt_every) {
+                        self.write_auto_checkpoint();
+                    }
                     backoff = 0;
                     probe_at = self.now;
                     continue;
@@ -415,7 +439,7 @@ impl Machine {
         debug_assert!(target > self.now);
         let skipped = target - self.now;
         for core in &mut self.cores {
-            core.note_skipped_cycles(skipped);
+            core.note_skipped_cycles(skipped, target);
         }
         self.now = target;
     }
@@ -878,6 +902,74 @@ mod tests {
         assert_eq!(b.exit_value(0), 42);
         // Identical states must serialize to identical bytes.
         assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn checkpointed_idle_skip_lands_on_identical_checkpoints() {
+        // Two identical machines with auto-checkpointing: one driven by
+        // `run_to_completion` (idle-skip capped at checkpoint boundaries),
+        // one ticked every cycle. They must emit the same checkpoint
+        // files with byte-identical contents, and end in byte-identical
+        // states — the boundary cap plus `note_skipped_cycles` settling
+        // `csrs.cycle` is exactly what makes a skip landing on a boundary
+        // indistinguishable from having ticked up to it.
+        let pid = std::process::id();
+        let dir_a = std::env::temp_dir().join(format!("mi6-ckpt-skip-{pid}"));
+        let dir_b = std::env::temp_dir().join(format!("mi6-ckpt-tick-{pid}"));
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+        let build = |dir: &std::path::Path| {
+            let mut m = crate::SimBuilder::base()
+                .without_timer()
+                .checkpoint_every(128)
+                .checkpoint_dir(dir)
+                .build()
+                .unwrap();
+            m.load_user_program(0, &hello_program(50)).unwrap();
+            m
+        };
+        let mut a = build(&dir_a);
+        let mut b = build(&dir_b);
+        let _ = a.run_to_completion(3_072); // Timeout is fine; ckpts still land.
+        b.run_cycles(3_072);
+        assert_eq!(a.now(), b.now());
+        assert!(
+            a.ticks() < a.now(),
+            "idle-skip never engaged ({} ticks for {} cycles)",
+            a.ticks(),
+            a.now()
+        );
+        assert_eq!(b.ticks(), b.now(), "twin ticked every cycle");
+        assert_eq!(a.snapshot(), b.snapshot(), "final states diverged");
+        let list = |dir: &std::path::Path| -> Vec<std::path::PathBuf> {
+            let mut v: Vec<_> = std::fs::read_dir(dir)
+                .unwrap()
+                .map(|e| e.unwrap().path())
+                .collect();
+            v.sort();
+            v
+        };
+        let (ca, cb) = (list(&dir_a), list(&dir_b));
+        assert!(!ca.is_empty(), "no checkpoints written");
+        assert_eq!(
+            ca.iter()
+                .map(|p| p.file_name().unwrap())
+                .collect::<Vec<_>>(),
+            cb.iter()
+                .map(|p| p.file_name().unwrap())
+                .collect::<Vec<_>>(),
+            "checkpoint cycles diverged"
+        );
+        for (pa, pb) in ca.iter().zip(&cb) {
+            assert_eq!(
+                std::fs::read(pa).unwrap(),
+                std::fs::read(pb).unwrap(),
+                "checkpoint bytes diverged at {}",
+                pa.display()
+            );
+        }
+        std::fs::remove_dir_all(&dir_a).unwrap();
+        std::fs::remove_dir_all(&dir_b).unwrap();
     }
 
     #[test]

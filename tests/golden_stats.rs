@@ -155,6 +155,35 @@ fn snapshot_roundtrip_reproduces_golden_fingerprints() {
     }
 }
 
+/// A committed snapshot fixture, captured at cycle 55,000 of the BASE
+/// reference run *before* the struct-of-arrays ROB landed (PR 7), must
+/// still restore and finish on the golden fingerprint. This pins two
+/// things at once: the SoA `Rob` reads the exact byte format the
+/// array-of-structs implementation wrote (no `FORMAT_VERSION` bump), and
+/// the derived LSQ index — including parked mem-op worklist membership —
+/// is rebuilt correctly from deep mid-run state with loads, walks, and
+/// traps in flight.
+#[test]
+fn pre_soa_fixture_restores_and_matches_golden() {
+    let bytes = std::fs::read(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/pre_soa_base.mi6snap"
+    ))
+    .expect("fixture exists");
+    let mut m = SimBuilder::new(Variant::Base)
+        .timer_interval(50_000)
+        .build()
+        .unwrap();
+    m.restore(&bytes).unwrap();
+    assert_eq!(m.now(), 55_000, "fixture was captured at cycle 55k");
+    let stats = m.run_to_completion(300_000_000).unwrap();
+    assert_eq!(
+        fingerprint(&stats),
+        GOLDEN_BASE,
+        "pre-SoA snapshot diverged after restore\nfull stats: {stats:?}"
+    );
+}
+
 /// A snapshot must refuse to load into a machine whose configuration or
 /// snapshot-format version does not match, with a clear error.
 #[test]
