@@ -13,7 +13,9 @@
 //! mi6-bench --kernel store-heavy # one kernel
 //! mi6-bench --reps 5             # best-of-5 wall-clock timing
 //! mi6-bench --json BENCH_hotloop.json   # also write machine-readable results
-//! mi6-bench --compare BENCH_hotloop.json # non-gating warn on >20% regression
+//! mi6-bench --compare BENCH_hotloop.json # non-gating warn on regression
+//! mi6-bench --compare BENCH_hotloop.json --compare-threshold 10  # tighter gate
+//! mi6-bench --kernel mixed --trace pipeview.txt  # Konata/O3PipeView trace
 //! mi6-bench --profile            # per-stage lap breakdown (needs the
 //!                                # `lap-profile` feature compiled in)
 //! ```
@@ -105,7 +107,8 @@ fn kernels() -> Vec<(&'static str, Profile)> {
 fn usage() -> ! {
     eprintln!(
         "usage: mi6-bench [--kinsts N] [--reps N] [--kernel NAME]... [--json PATH] \
-         [--profile] [--compare BASELINE]"
+         [--profile] [--compare BASELINE [--compare-threshold PCT]] \
+         [--trace PATH [--trace-limit OPS]]"
     );
     exit(2);
 }
@@ -128,6 +131,9 @@ fn main() {
     let mut only: Vec<String> = Vec::new();
     let mut json_path: Option<String> = None;
     let mut compare_path: Option<String> = None;
+    let mut compare_threshold: f64 = 20.0;
+    let mut trace_path: Option<String> = None;
+    let mut trace_limit: u64 = 0;
     let mut profile = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -138,12 +144,34 @@ fn main() {
             "--kernel" => only.push(val()),
             "--json" => json_path = Some(val()),
             "--compare" => compare_path = Some(val()),
+            "--compare-threshold" => {
+                compare_threshold = val().parse().unwrap_or_else(|_| usage());
+                if !(compare_threshold > 0.0 && compare_threshold < 100.0) {
+                    eprintln!("mi6-bench: --compare-threshold wants a percentage in (0, 100)");
+                    exit(2);
+                }
+            }
+            "--trace" => trace_path = Some(val()),
+            "--trace-limit" => trace_limit = val().parse().unwrap_or_else(|_| usage()),
             "--profile" => profile = true,
             _ => usage(),
         }
     }
     if reps == 0 {
         usage();
+    }
+    if trace_path.is_some() {
+        // A trace interleaves every core's lifecycle records into one
+        // file, and its I/O sits inside the timed region — so scope a
+        // traced run to a single kernel and keep it out of perf gating.
+        if only.len() != 1 {
+            eprintln!("mi6-bench: --trace wants exactly one --kernel (one trace file per run)");
+            exit(2);
+        }
+        if compare_path.is_some() {
+            eprintln!("mi6-bench: --trace wall times include trace I/O; refusing --compare");
+            exit(2);
+        }
     }
     if profile && !mi6_core::LAP_COMPILED {
         // Zeros masquerading as a breakdown would be worse than an error.
@@ -171,11 +199,19 @@ fn main() {
     let params = WorkloadParams::evaluation().with_target_kinsts(kinsts);
     println!("mi6-bench: {kinsts}k instructions per kernel, best of {reps} rep(s), variant BASE");
     println!(
-        "{:<14} {:>12} {:>12} {:>8} {:>12} {:>10}",
-        "kernel", "cycles", "insts", "wall s", "Mcycles/s", "Minst/s"
+        "{:<14} {:>12} {:>12} {:>8} {:>12} {:>10} {:>7}",
+        "kernel", "cycles", "insts", "wall s", "Mcycles/s", "Minst/s", "skip %"
     );
-    // (name, cycles, insts, secs, per-stage lap of the best rep)
-    let mut rows: Vec<(&str, u64, u64, f64, mi6_core::LapProfile)> = Vec::new();
+    struct Row {
+        name: &'static str,
+        cycles: u64,
+        insts: u64,
+        secs: f64,
+        ticked: u64,
+        skipped: u64,
+        lap: mi6_core::LapProfile,
+    }
+    let mut rows: Vec<Row> = Vec::new();
     for (name, kernel_profile) in kernels {
         if !only.is_empty() && !only.iter().any(|k| k == name) {
             continue;
@@ -183,11 +219,15 @@ fn main() {
         let program = generate(name, &kernel_profile, &params);
         let mut best: Option<(f64, u64, u64)> = None; // (secs, cycles, insts)
         let mut best_lap = mi6_core::LapProfile::default();
+        let mut best_ticked = 0u64;
         for _ in 0..reps {
-            let mut machine = SimBuilder::new(Variant::Base)
-                .without_timer()
-                .build()
-                .expect("BASE builds");
+            let mut builder = SimBuilder::new(Variant::Base).without_timer();
+            if let Some(path) = &trace_path {
+                // Every rep simulates the same deterministic run, so each
+                // rewrite of the trace file produces identical bytes.
+                builder = builder.trace_path(path).trace_limit(trace_limit);
+            }
+            let mut machine = builder.build().expect("BASE builds");
             machine
                 .load_user_program(0, &program)
                 .unwrap_or_else(|e| panic!("loading {name}: {e}"));
@@ -199,17 +239,20 @@ fn main() {
             if best.is_none_or(|b| secs < b.0) {
                 best = Some((secs, stats.cycles, stats.core[0].committed_instructions));
                 best_lap = machine.core(0).lap;
+                best_ticked = machine.ticks();
             }
         }
         let (secs, cycles, insts) = best.expect("reps > 0");
+        let skipped = cycles.saturating_sub(best_ticked);
         println!(
-            "{:<14} {:>12} {:>12} {:>8.2} {:>12.2} {:>10.2}",
+            "{:<14} {:>12} {:>12} {:>8.2} {:>12.2} {:>10.2} {:>6.1}%",
             name,
             cycles,
             insts,
             secs,
             cycles as f64 / secs / 1e6,
             insts as f64 / secs / 1e6,
+            skipped as f64 * 100.0 / cycles.max(1) as f64,
         );
         if profile {
             let total = best_lap.total().max(1) as f64;
@@ -223,7 +266,29 @@ fn main() {
                 );
             }
         }
-        rows.push((name, cycles, insts, secs, best_lap));
+        rows.push(Row {
+            name,
+            cycles,
+            insts,
+            secs,
+            ticked: best_ticked,
+            skipped,
+            lap: best_lap,
+        });
+    }
+    if let Some(path) = &trace_path {
+        // Validate the trace we just wrote before anyone feeds it to
+        // Konata: a malformed record should fail here, not in the viewer.
+        match mi6_obs::check_trace_file(std::path::Path::new(path)) {
+            Ok(sum) => eprintln!(
+                "mi6-bench: trace {path}: {} op(s), {} squashed — O3PipeView schema ok",
+                sum.ops, sum.squashed
+            ),
+            Err(e) => {
+                eprintln!("mi6-bench: trace {path} failed validation: {e}");
+                exit(1);
+            }
+        }
     }
     if let Some(path) = json_path {
         // Machine-readable companion to the table: CI uploads this as the
@@ -231,11 +296,11 @@ fn main() {
         // `lap_ns` object only appears under --profile).
         let kernels_json: Vec<String> = rows
             .iter()
-            .map(|(name, cycles, insts, secs, lap)| {
+            .map(|r| {
                 let laps = if profile {
                     let stages: Vec<String> = mi6_core::LAP_STAGES
                         .iter()
-                        .zip(lap.nanos)
+                        .zip(r.lap.nanos)
                         .map(|(stage, ns)| format!("\"{stage}\":{ns}"))
                         .collect();
                     format!(",\"lap_ns\":{{{}}}", stages.join(","))
@@ -244,9 +309,16 @@ fn main() {
                 };
                 format!(
                     "{{\"name\":\"{name}\",\"cycles\":{cycles},\"instructions\":{insts},\
-                     \"wall_s\":{secs},\"cycles_per_sec\":{cps},\"ns_per_cycle\":{npc}{laps}}}",
-                    cps = *cycles as f64 / secs,
-                    npc = secs * 1e9 / *cycles as f64,
+                     \"wall_s\":{secs},\"cycles_per_sec\":{cps},\"ns_per_cycle\":{npc},\
+                     \"cycles_ticked\":{ticked},\"cycles_skipped\":{skipped}{laps}}}",
+                    name = r.name,
+                    cycles = r.cycles,
+                    insts = r.insts,
+                    secs = r.secs,
+                    cps = r.cycles as f64 / r.secs,
+                    npc = r.secs * 1e9 / r.cycles as f64,
+                    ticked = r.ticked,
+                    skipped = r.skipped,
                 )
             })
             .collect();
@@ -263,31 +335,34 @@ fn main() {
     }
     if let Some(path) = compare_path {
         // Non-gating regression check against a committed baseline (the
-        // repo-root BENCH_hotloop.json): warn on >20 % cycles/sec loss per
-        // kernel, but always exit 0 — shared CI runners are far too noisy
-        // to gate on, the warning keeps the trajectory visible. The
+        // repo-root BENCH_hotloop.json): warn when a kernel's cycles/sec
+        // falls more than `--compare-threshold` percent (default 20) below
+        // it, but always exit 0 — shared CI runners are far too noisy to
+        // gate on, the warning keeps the trajectory visible. The
         // `::warning::` lines surface as GitHub Actions annotations.
         let doc = std::fs::read_to_string(&path).unwrap_or_else(|e| {
             eprintln!("mi6-bench: cannot read baseline {path}: {e}");
             exit(1);
         });
-        for (name, cycles, _, secs, _) in &rows {
-            let fresh = *cycles as f64 / secs;
+        let floor = 1.0 - compare_threshold / 100.0;
+        for r in &rows {
+            let (name, fresh) = (r.name, r.cycles as f64 / r.secs);
             let Some(base) = baseline_cps(&doc, name) else {
                 eprintln!("mi6-bench: baseline {path} has no kernel `{name}`; skipping");
                 continue;
             };
-            if fresh < base * 0.8 {
+            if fresh < base * floor {
                 println!(
                     "::warning::mi6-bench {name}: {:.2} Mcycles/s is {:.0}% below the \
-                     committed baseline ({:.2} Mcycles/s in {path})",
+                     committed baseline ({:.2} Mcycles/s in {path}, threshold {compare_threshold}%)",
                     fresh / 1e6,
                     (1.0 - fresh / base) * 100.0,
                     base / 1e6,
                 );
             } else {
                 eprintln!(
-                    "mi6-bench: {name} {:.2} Mcycles/s vs baseline {:.2} — ok",
+                    "mi6-bench: {name} {:.2} Mcycles/s vs baseline {:.2} — ok \
+                     (threshold {compare_threshold}%)",
                     fresh / 1e6,
                     base / 1e6
                 );

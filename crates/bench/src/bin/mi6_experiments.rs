@@ -36,7 +36,12 @@
 //! are bit-identical to cold runs and repeat invocations skip the
 //! warm-up), `--fork-base` (warm once per workload on BASE and fork the
 //! quiescent state across every variant), `--scenario enclave-attacker`
-//! (the two-core enclave-vs-attacker grid), and the sharding surface:
+//! (the two-core enclave-vs-attacker grid), `--metrics-every N` +
+//! `--out DIR` (sample the microarchitectural metrics registry every N
+//! cycles into one JSONL artifact per grid/scenario point under DIR —
+//! journal lines record the artifact path, and the scenario prints a
+//! victim-vs-attacker occupancy timeline from them), and the sharding
+//! surface:
 //!
 //! - `--shard i/N --out DIR` — run only the points the deterministic
 //!   planner assigns to shard `i` of `N`, journaling each completed
@@ -59,7 +64,7 @@
 
 use mi6_bench::runner::default_threads;
 use mi6_bench::sharding::{balance_report, load_shard_dir, merge_shards, open_shard_journal};
-use mi6_bench::{plan_grid, scenario, GridSchedule, HarnessOpts, WarmFork, FIGURES};
+use mi6_bench::{plan_grid, scenario, GridMetrics, GridSchedule, HarnessOpts, WarmFork, FIGURES};
 use mi6_grid::ShardSpec;
 use mi6_workloads::Workload;
 use std::fs::File;
@@ -84,13 +89,15 @@ struct Cli {
     deadline_secs: Option<u64>,
     batch: usize,
     balance: bool,
+    metrics_every: u64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: mi6-experiments (--figure N)... | --all | --scenario enclave-attacker \
          [--kinsts N] [--timer N] [--threads N] [--seeds N] [--workload NAME]... \
-         [--json PATH|-] [--warmup CYCLES --checkpoint-dir DIR [--fork-base]] \
+         [--json PATH|-] [--metrics-every CYCLES --out DIR] \
+         [--warmup CYCLES --checkpoint-dir DIR [--fork-base]] \
          [--shard i/N --out DIR] [--deadline SECS] [--batch N]\n\
          \x20      mi6-experiments merge --out DIR (((--figure N)... | --all) \
          [--kinsts N] [--timer N] [--seeds N] [--workload NAME]... | --balance)"
@@ -102,7 +109,7 @@ fn parse_args(args: &[String], merge: bool) -> Cli {
     // Merge re-derives the expected grid from flags; anything that only
     // shapes *how* a run executes would be silently meaningless there,
     // so reject it loudly rather than ignore it.
-    const RUN_ONLY: [&str; 9] = [
+    const RUN_ONLY: [&str; 10] = [
         "--json",
         "--threads",
         "--deadline",
@@ -112,6 +119,7 @@ fn parse_args(args: &[String], merge: bool) -> Cli {
         "--warmup",
         "--checkpoint-dir",
         "--fork-base",
+        "--metrics-every",
     ];
     let mut cli = Cli {
         figures: Vec::new(),
@@ -129,6 +137,7 @@ fn parse_args(args: &[String], merge: bool) -> Cli {
         deadline_secs: None,
         batch: 0,
         balance: false,
+        metrics_every: 0,
     };
     let mut i = 0;
     let value = |args: &[String], i: usize, flag: &str| -> String {
@@ -251,6 +260,16 @@ fn parse_args(args: &[String], merge: bool) -> Cli {
                     .unwrap_or_else(|_| usage());
                 i += 1;
             }
+            "--metrics-every" => {
+                cli.metrics_every = value(args, i, "--metrics-every")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                if cli.metrics_every == 0 {
+                    eprintln!("--metrics-every must be at least 1 cycle");
+                    usage();
+                }
+                i += 1;
+            }
             "--balance" => {
                 if !merge {
                     eprintln!("--balance applies to merge (per-worker wall-time accounting)");
@@ -288,6 +307,10 @@ fn parse_args(args: &[String], merge: bool) -> Cli {
     }
     if cli.shard.is_some() && cli.out.is_none() {
         eprintln!("--shard needs --out (the shard journal directory)");
+        usage();
+    }
+    if cli.metrics_every > 0 && cli.out.is_none() {
+        eprintln!("--metrics-every needs --out (where per-point metrics JSONL artifacts land)");
         usage();
     }
     if cli.workloads.is_empty() {
@@ -374,8 +397,37 @@ fn run_main(args: &[String]) {
             "mi6-experiments: enclave-attacker scenario ({}k instructions)",
             cli.opts.kinsts
         );
-        let points = scenario::run_enclave_attacker(&cli.opts, cli.threads);
+        let obs = (cli.metrics_every > 0).then(|| scenario::ScenarioObs {
+            dir: cli.out.clone().expect("validated in parse_args"),
+            every: cli.metrics_every,
+        });
+        let points = scenario::run_enclave_attacker(&cli.opts, cli.threads, obs.as_ref());
         scenario::render_enclave_attacker(&points);
+        // With metrics on, follow the summary table with the time-series
+        // view the artifacts exist for: per-bucket MSHR occupancy and
+        // arbiter grants for victim vs attacker.
+        if obs.is_some() {
+            print!("{}", scenario::render_occupancy_timeline(&points));
+        }
+        if let Some(path) = cli.json.as_deref() {
+            let mut out: Box<dyn Write> = if path == "-" {
+                Box::new(std::io::stdout())
+            } else {
+                let file = File::options()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .unwrap_or_else(|e| {
+                        eprintln!("cannot open {path}: {e}");
+                        exit(1);
+                    });
+                Box::new(BufWriter::new(file))
+            };
+            for p in &points {
+                writeln!(out, "{}", p.to_json()).expect("json write");
+            }
+            out.flush().expect("json flush");
+        }
         return;
     }
     // `--json -` makes stdout a pure JSONL stream: the figure tables are
@@ -475,6 +527,14 @@ fn run_main(args: &[String]) {
         batch: cli.batch,
         warm: warm.as_ref(),
         deadline,
+        metrics: (cli.metrics_every > 0).then(|| GridMetrics {
+            every: cli.metrics_every,
+            dir: cli
+                .out
+                .clone()
+                .expect("validated in parse_args")
+                .join("metrics"),
+        }),
     };
     let outcome = mi6_bench::run_grid_scheduled(&points, &schedule, |res| {
         done += 1;

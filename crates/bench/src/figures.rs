@@ -188,14 +188,24 @@ pub fn render_figure(figure: u32, results: &[PointResult]) -> String {
 fn mean_record(records: &[&RunRecord]) -> RunRecord {
     let n = records.len() as f64;
     let avg = |f: &dyn Fn(&RunRecord) -> f64| records.iter().map(|r| f(r)).sum::<f64>() / n;
+    let avg_u64 = |f: &dyn Fn(&RunRecord) -> u64| avg(&|r| f(r) as f64).round() as u64;
     RunRecord {
         name: records[0].name,
-        cycles: avg(&|r| r.cycles as f64).round() as u64,
-        instructions: avg(&|r| r.instructions as f64).round() as u64,
+        cycles: avg_u64(&|r| r.cycles),
+        instructions: avg_u64(&|r| r.instructions),
         branch_mpki: avg(&|r| r.branch_mpki),
         llc_mpki: avg(&|r| r.llc_mpki),
-        flush_stall_cycles: avg(&|r| r.flush_stall_cycles as f64).round() as u64,
-        traps: avg(&|r| r.traps as f64).round() as u64,
+        flush_stall_cycles: avg_u64(&|r| r.flush_stall_cycles),
+        traps: avg_u64(&|r| r.traps),
+        stalls: mi6_core::StallStats {
+            rename_rob_full: avg_u64(&|r| r.stalls.rename_rob_full),
+            rename_iq_full: avg_u64(&|r| r.stalls.rename_iq_full),
+            rename_lq_full: avg_u64(&|r| r.stalls.rename_lq_full),
+            rename_sq_full: avg_u64(&|r| r.stalls.rename_sq_full),
+            commit_sb_full: avg_u64(&|r| r.stalls.commit_sb_full),
+        },
+        cycles_ticked: avg_u64(&|r| r.cycles_ticked),
+        cycles_skipped: avg_u64(&|r| r.cycles_skipped),
     }
 }
 
@@ -223,6 +233,9 @@ pub fn mean_results(per_seed: &[Vec<PointResult>]) -> Vec<PointResult> {
                 // so per-worker accounting can skip it.
                 worker: crate::runner::AGGREGATED_WORKER,
                 warm: per_seed[0][i].warm.clone(),
+                // Per-seed metrics artifacts don't aggregate; the mean
+                // carries none.
+                metrics: None,
             }
         })
         .collect()
@@ -464,10 +477,14 @@ mod tests {
                     llc_mpki: 0.0,
                     flush_stall_cycles: 0,
                     traps: 0,
+                    stalls: Default::default(),
+                    cycles_ticked: 0,
+                    cycles_skipped: 0,
                 },
                 wall_ms,
                 worker: 3,
                 warm: "cold".to_string(),
+                metrics: None,
             }]
         };
         let mean = mean_results(&[mk(1), mk(2)]);
@@ -499,10 +516,14 @@ mod tests {
                     llc_mpki: 0.0,
                     flush_stall_cycles: 0,
                     traps: 0,
+                    stalls: Default::default(),
+                    cycles_ticked: 0,
+                    cycles_skipped: 0,
                 },
                 wall_ms: 1,
                 worker: 0,
                 warm: "cold".to_string(),
+                metrics: None,
             }]
         };
         let per_seed = vec![mk(1000), mk(1100), mk(900)];

@@ -31,14 +31,16 @@ pub mod sharding;
 
 pub use figures::{figure_points, mean_results, render_figure, render_seed_ci, FIGURES};
 pub use runner::{
-    run_grid, run_grid_scheduled, run_grid_with, GridOutcome, GridPoint, GridSchedule, PointResult,
-    WarmFork, AGGREGATED_WORKER,
+    run_grid, run_grid_scheduled, run_grid_with, GridMetrics, GridOutcome, GridPoint, GridSchedule,
+    PointResult, WarmFork, AGGREGATED_WORKER,
 };
 pub use sharding::{plan_grid, GridPlan};
 
+use mi6_core::StallStats;
 #[allow(unused_imports)] // `Machine` anchors intra-doc links.
 use mi6_soc::{Machine, MachineStats, RunError, SimBuilder, Variant};
 use mi6_workloads::{Workload, WorkloadParams};
+use std::path::PathBuf;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
@@ -59,10 +61,25 @@ pub struct RunRecord {
     pub flush_stall_cycles: u64,
     /// Traps taken.
     pub traps: u64,
+    /// Core 0's stall-attribution counters (rename blocked on ROB/IQ/
+    /// LQ/SQ-full, commit on SB-full). Runtime-only on the machine side,
+    /// so a restored run reports only its own post-restore stalls.
+    pub stalls: StallStats,
+    /// Cycles the machine actually ticked structure-by-structure.
+    pub cycles_ticked: u64,
+    /// Cycles the machine fast-forwarded through provably inert spans
+    /// (`cycles_ticked + cycles_skipped` covers this run's own cycles,
+    /// excluding any restored warm prefix).
+    pub cycles_skipped: u64,
 }
 
 impl RunRecord {
-    fn from_stats(name: &'static str, stats: &MachineStats) -> RunRecord {
+    fn from_run(
+        name: &'static str,
+        machine: &Machine,
+        stats: &MachineStats,
+        start_cycle: u64,
+    ) -> RunRecord {
         RunRecord {
             name,
             cycles: stats.cycles,
@@ -71,6 +88,9 @@ impl RunRecord {
             llc_mpki: stats.llc_mpki(),
             flush_stall_cycles: stats.core[0].flush_stall_cycles,
             traps: stats.core[0].traps,
+            stalls: machine.core(0).stalls,
+            cycles_ticked: machine.ticks(),
+            cycles_skipped: (machine.now() - start_cycle).saturating_sub(machine.ticks()),
         }
     }
 
@@ -152,6 +172,18 @@ pub fn splitmix64(x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// A per-run metrics attachment (the observability tentpole's grid
+/// wiring): sample the time-series metrics registry every `every` cycles
+/// into `path`. Sampling is runtime-only and never perturbs simulated
+/// timing, so observed and unobserved runs report identical counters.
+#[derive(Clone, Debug)]
+pub struct MetricsSpec {
+    /// JSONL output file (one `(cycle, core, metric)` row per sample).
+    pub path: PathBuf,
+    /// Sampling interval in cycles.
+    pub every: u64,
+}
+
 /// Runs one workload on one variant to completion.
 pub fn run_workload(variant: Variant, workload: Workload, opts: &HarnessOpts) -> RunRecord {
     run_workload_cancellable(variant, workload, opts, None).expect("no cancel flag to raise")
@@ -167,6 +199,18 @@ pub fn run_workload_cancellable(
     opts: &HarnessOpts,
     cancel: Option<Arc<AtomicBool>>,
 ) -> Option<RunRecord> {
+    run_workload_observed(variant, workload, opts, cancel, None)
+}
+
+/// [`run_workload_cancellable`] with an optional [`MetricsSpec`] attached
+/// to the machine for the duration of the run.
+pub fn run_workload_observed(
+    variant: Variant,
+    workload: Workload,
+    opts: &HarnessOpts,
+    cancel: Option<Arc<AtomicBool>>,
+    metrics: Option<&MetricsSpec>,
+) -> Option<RunRecord> {
     let params = WorkloadParams::evaluation()
         .with_target_kinsts(opts.kinsts)
         .with_seed(opts.seed);
@@ -176,11 +220,14 @@ pub fn run_workload_cancellable(
     if let Some(flag) = cancel {
         builder = builder.cancel_flag(flag);
     }
+    if let Some(m) = metrics {
+        builder = builder.metrics(m.path.clone(), m.every);
+    }
     let mut machine = builder
         .build()
         .unwrap_or_else(|e| panic!("loading {workload}: {e}"));
     match machine.run_to_completion(opts.cycle_cap()) {
-        Ok(stats) => Some(RunRecord::from_stats(workload.name(), &stats)),
+        Ok(stats) => Some(RunRecord::from_run(workload.name(), &machine, &stats, 0)),
         Err(RunError::Cancelled { .. }) => None,
         Err(e) => panic!("running {workload} on {variant}: {e}"),
     }
@@ -214,9 +261,27 @@ pub fn run_workload_restored_cancellable(
     forked: bool,
     cancel: Option<Arc<AtomicBool>>,
 ) -> Option<RunRecord> {
+    run_workload_restored_observed(variant, workload, opts, snapshot, forked, cancel, None)
+}
+
+/// [`run_workload_restored_cancellable`] with an optional [`MetricsSpec`]
+/// (metrics cover only the measured continuation, not the warm prefix).
+#[allow(clippy::too_many_arguments)]
+pub fn run_workload_restored_observed(
+    variant: Variant,
+    workload: Workload,
+    opts: &HarnessOpts,
+    snapshot: &[u8],
+    forked: bool,
+    cancel: Option<Arc<AtomicBool>>,
+    metrics: Option<&MetricsSpec>,
+) -> Option<RunRecord> {
     let mut builder = SimBuilder::new(variant).timer_interval(opts.timer);
     if let Some(flag) = cancel {
         builder = builder.cancel_flag(flag);
+    }
+    if let Some(m) = metrics {
+        builder = builder.metrics(m.path.clone(), m.every);
     }
     let mut machine = builder
         .build()
@@ -227,8 +292,14 @@ pub fn run_workload_restored_cancellable(
         machine.restore(snapshot)
     };
     restored.unwrap_or_else(|e| panic!("restoring {workload} warm state on {variant}: {e}"));
+    let start_cycle = machine.now();
     match machine.run_to_completion(opts.cycle_cap()) {
-        Ok(stats) => Some(RunRecord::from_stats(workload.name(), &stats)),
+        Ok(stats) => Some(RunRecord::from_run(
+            workload.name(),
+            &machine,
+            &stats,
+            start_cycle,
+        )),
         Err(RunError::Cancelled { .. }) => None,
         Err(e) => panic!("running {workload} on {variant} from checkpoint: {e}"),
     }

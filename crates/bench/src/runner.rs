@@ -13,7 +13,10 @@
 //! the `SimBuilder::cancel_flag` hook and the shard journal resumes the
 //! rest later), and per-point worker attribution.
 
-use crate::{run_workload_cancellable, run_workload_restored_cancellable, HarnessOpts, RunRecord};
+use crate::{
+    run_workload_observed, run_workload_restored_observed, HarnessOpts, MetricsSpec, RunRecord,
+};
+use mi6_core::StallStats;
 use mi6_grid::Scheduler;
 use mi6_soc::{SimBuilder, Variant};
 use mi6_workloads::{Workload, WorkloadParams};
@@ -79,6 +82,10 @@ pub struct PointResult {
     /// methodology, so `merge` hard-errors when shards mix fork-base
     /// with anything else.
     pub warm: String,
+    /// Path of the per-point metrics JSONL artifact, when the run was
+    /// sampled (`--metrics-every`); `None` for unobserved runs. The
+    /// journal field is append-only: readers tolerate its absence.
+    pub metrics: Option<String>,
 }
 
 impl PointResult {
@@ -90,13 +97,24 @@ impl PointResult {
     /// bit-for-bit — sharded figure tables must be byte-identical to
     /// unsharded ones.
     pub fn to_json(&self) -> String {
+        // New fields go at the end (the journal shape is append-only):
+        // stall attribution, ticked-vs-skipped cycle accounting, and the
+        // optional metrics-artifact path, all absent from old journals
+        // and defaulted by `from_json`.
+        let metrics = match &self.metrics {
+            Some(p) => format!(",\"metrics\":\"{p}\""),
+            None => String::new(),
+        };
         format!(
             concat!(
                 "{{\"variant\":\"{}\",\"workload\":\"{}\",\"kinsts\":{},",
                 "\"timer\":{},\"seed\":{},\"cycles\":{},\"instructions\":{},",
                 "\"branch_mpki\":{},\"llc_mpki\":{},",
                 "\"flush_stall_cycles\":{},\"traps\":{},\"wall_ms\":{},",
-                "\"worker\":{},\"warm\":\"{}\"}}"
+                "\"worker\":{},\"warm\":\"{}\",",
+                "\"stall_rob_full\":{},\"stall_iq_full\":{},\"stall_lq_full\":{},",
+                "\"stall_sq_full\":{},\"stall_sb_full\":{},",
+                "\"cycles_ticked\":{},\"cycles_skipped\":{}{}}}"
             ),
             self.point.variant.name(),
             self.record.name,
@@ -112,6 +130,14 @@ impl PointResult {
             self.wall_ms,
             self.worker,
             self.warm,
+            self.record.stalls.rename_rob_full,
+            self.record.stalls.rename_iq_full,
+            self.record.stalls.rename_lq_full,
+            self.record.stalls.rename_sq_full,
+            self.record.stalls.commit_sb_full,
+            self.record.cycles_ticked,
+            self.record.cycles_skipped,
+            metrics,
         )
     }
 
@@ -154,6 +180,9 @@ impl PointResult {
                 seed: u64_field("seed")?,
             },
         };
+        // Post-observability journal fields: absent from old journals,
+        // so they default instead of erroring (append-only tolerance).
+        let opt_u64 = |name: &str| -> u64 { obj.get(name).and_then(|v| v.as_u64()).unwrap_or(0) };
         Ok(PointResult {
             point,
             record: RunRecord {
@@ -164,10 +193,23 @@ impl PointResult {
                 llc_mpki: f64_field("llc_mpki")?,
                 flush_stall_cycles: u64_field("flush_stall_cycles")?,
                 traps: u64_field("traps")?,
+                stalls: StallStats {
+                    rename_rob_full: opt_u64("stall_rob_full"),
+                    rename_iq_full: opt_u64("stall_iq_full"),
+                    rename_lq_full: opt_u64("stall_lq_full"),
+                    rename_sq_full: opt_u64("stall_sq_full"),
+                    commit_sb_full: opt_u64("stall_sb_full"),
+                },
+                cycles_ticked: opt_u64("cycles_ticked"),
+                cycles_skipped: opt_u64("cycles_skipped"),
             },
             wall_ms: u64_field("wall_ms")?,
             worker: u64_field("worker")? as usize,
             warm: str_field("warm")?.to_string(),
+            metrics: obj
+                .get("metrics")
+                .and_then(|v| v.as_str())
+                .map(str::to_string),
         })
     }
 }
@@ -291,6 +333,26 @@ impl WarmFork {
     }
 }
 
+/// Per-grid metrics sampling: every point's run gets its own JSONL
+/// artifact in `dir`, named after the point's canonical key, and the
+/// artifact path is attributed in the point's journal line.
+#[derive(Clone, Debug)]
+pub struct GridMetrics {
+    /// Sampling interval in cycles.
+    pub every: u64,
+    /// Directory the per-point `<key>.metrics.jsonl` files land in.
+    pub dir: PathBuf,
+}
+
+impl GridMetrics {
+    /// The metrics artifact backing one point (`/` in the key becomes
+    /// `-` so the whole key stays one path component).
+    pub fn artifact_path(&self, point: &GridPoint) -> PathBuf {
+        self.dir
+            .join(format!("{}.metrics.jsonl", point.key().replace('/', "-")))
+    }
+}
+
 /// How [`run_grid_scheduled`] runs a point set.
 #[derive(Clone, Debug)]
 pub struct GridSchedule<'w> {
@@ -305,6 +367,8 @@ pub struct GridSchedule<'w> {
     /// instant passes; unfinished points stay un-journaled so a resumed
     /// shard recomputes exactly them.
     pub deadline: Option<Instant>,
+    /// Optional per-point metrics sampling (`--metrics-every`).
+    pub metrics: Option<GridMetrics>,
 }
 
 impl<'w> GridSchedule<'w> {
@@ -315,6 +379,7 @@ impl<'w> GridSchedule<'w> {
             batch: 0,
             warm: None,
             deadline: None,
+            metrics: None,
         }
     }
 }
@@ -419,6 +484,10 @@ pub fn run_grid_scheduled(
         Some(w) if w.fork_base => format!("forkbase:{}", w.warmup_cycles),
         Some(w) => format!("exact:{}", w.warmup_cycles),
     };
+    if let Some(metrics) = &schedule.metrics {
+        std::fs::create_dir_all(&metrics.dir)
+            .unwrap_or_else(|e| panic!("cannot create {}: {e}", metrics.dir.display()));
+    }
     let sched = Scheduler::new(schedule.threads)
         .with_batch(schedule.batch)
         .with_deadline(schedule.deadline);
@@ -427,21 +496,30 @@ pub fn run_grid_scheduled(
         |ctx, _i, point| {
             let t0 = Instant::now();
             let cancel = Some(Arc::clone(&ctx.cancel));
+            let metrics = schedule.metrics.as_ref().map(|g| MetricsSpec {
+                path: g.artifact_path(point),
+                every: g.every,
+            });
             let record = match schedule.warm {
-                None => {
-                    run_workload_cancellable(point.variant, point.workload, &point.opts, cancel)?
-                }
+                None => run_workload_observed(
+                    point.variant,
+                    point.workload,
+                    &point.opts,
+                    cancel,
+                    metrics.as_ref(),
+                )?,
                 Some(warm) => {
                     let path = warm.snapshot_path(point);
                     let snapshot = std::fs::read(&path)
                         .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
-                    run_workload_restored_cancellable(
+                    run_workload_restored_observed(
                         point.variant,
                         point.workload,
                         &point.opts,
                         &snapshot,
                         warm.fork_base,
                         cancel,
+                        metrics.as_ref(),
                     )?
                 }
             };
@@ -451,6 +529,7 @@ pub fn run_grid_scheduled(
                 wall_ms: t0.elapsed().as_millis() as u64,
                 worker: ctx.worker,
                 warm: warm_tag.clone(),
+                metrics: metrics.map(|m| m.path.display().to_string()),
             })
         },
         |_, res| on_result(res),

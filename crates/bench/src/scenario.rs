@@ -17,9 +17,11 @@
 //! out of the victim's sets and bounds the interference.
 
 use crate::{mean, HarnessOpts};
+use mi6_core::StallStats;
 use mi6_isa::{Assembler, Inst, Reg};
 use mi6_soc::{kernel, loader, Program, SimBuilder, Variant};
 use mi6_workloads::{Workload, WorkloadParams};
+use std::path::PathBuf;
 use std::sync::mpsc;
 use std::thread;
 
@@ -39,7 +41,7 @@ pub fn victim_program(params: &WorkloadParams) -> Program {
 }
 
 /// One (variant, colocation) measurement of the victim core.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ScenarioPoint {
     /// Machine variant.
     pub variant: Variant,
@@ -49,6 +51,71 @@ pub struct ScenarioPoint {
     pub victim_cycles: u64,
     /// Victim instructions committed.
     pub victim_instructions: u64,
+    /// The victim core's stall-attribution counters.
+    pub victim_stalls: StallStats,
+    /// Machine cycles actually ticked vs fast-forwarded through inert
+    /// spans (whole-machine accounting, both cores).
+    pub cycles_ticked: u64,
+    /// See [`ScenarioPoint::cycles_ticked`].
+    pub cycles_skipped: u64,
+    /// Per-point metrics JSONL artifact, when sampling was on.
+    pub metrics_path: Option<PathBuf>,
+}
+
+impl ScenarioPoint {
+    /// One JSON object for the `--json` stream (append-only shape, like
+    /// the grid journal's).
+    pub fn to_json(&self) -> String {
+        let metrics = match &self.metrics_path {
+            Some(p) => format!(",\"metrics\":\"{}\"", p.display()),
+            None => String::new(),
+        };
+        format!(
+            concat!(
+                "{{\"scenario\":\"enclave-attacker\",\"variant\":\"{}\",",
+                "\"contended\":{},\"victim_cycles\":{},\"victim_instructions\":{},",
+                "\"stall_rob_full\":{},\"stall_iq_full\":{},\"stall_lq_full\":{},",
+                "\"stall_sq_full\":{},\"stall_sb_full\":{},",
+                "\"cycles_ticked\":{},\"cycles_skipped\":{}{}}}"
+            ),
+            self.variant.name(),
+            self.contended,
+            self.victim_cycles,
+            self.victim_instructions,
+            self.victim_stalls.rename_rob_full,
+            self.victim_stalls.rename_iq_full,
+            self.victim_stalls.rename_lq_full,
+            self.victim_stalls.rename_sq_full,
+            self.victim_stalls.commit_sb_full,
+            self.cycles_ticked,
+            self.cycles_skipped,
+            metrics,
+        )
+    }
+}
+
+/// Metrics sampling for a scenario run: every point writes its own
+/// `enclave-attacker-<variant>-<solo|contended>.metrics.jsonl` in `dir`.
+#[derive(Clone, Debug)]
+pub struct ScenarioObs {
+    /// Directory the per-point artifacts land in.
+    pub dir: PathBuf,
+    /// Sampling interval in cycles.
+    pub every: u64,
+}
+
+impl ScenarioObs {
+    fn artifact_path(&self, variant: Variant, contended: bool) -> PathBuf {
+        let v: String = variant
+            .name()
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_lowercase();
+        let mode = if contended { "contended" } else { "solo" };
+        self.dir
+            .join(format!("enclave-attacker-{v}-{mode}.metrics.jsonl"))
+    }
 }
 
 /// A program that exits immediately — parks the second core so a solo run
@@ -67,7 +134,12 @@ fn park_program() -> Program {
     }
 }
 
-fn run_point(variant: Variant, contended: bool, opts: &HarnessOpts) -> ScenarioPoint {
+fn run_point(
+    variant: Variant,
+    contended: bool,
+    opts: &HarnessOpts,
+    obs: Option<&ScenarioObs>,
+) -> ScenarioPoint {
     let victim_params = WorkloadParams::evaluation()
         .with_target_kinsts(opts.kinsts)
         .with_seed(opts.seed);
@@ -81,11 +153,16 @@ fn run_point(variant: Variant, contended: bool, opts: &HarnessOpts) -> ScenarioP
     } else {
         park_program()
     };
-    let mut machine = SimBuilder::new(variant)
+    let metrics_path = obs.map(|o| o.artifact_path(variant, contended));
+    let mut builder = SimBuilder::new(variant)
         .cores(2)
         .timer_interval(opts.timer)
         .workload(0, victim_program(&victim_params))
-        .workload(1, attacker)
+        .workload(1, attacker);
+    if let Some(path) = &metrics_path {
+        builder = builder.metrics(path.clone(), obs.expect("path implies obs").every);
+    }
+    let mut machine = builder
         .build()
         .unwrap_or_else(|e| panic!("building {variant} scenario: {e}"));
     let cap = opts.kinsts.saturating_mul(6_000_000).max(400_000_000);
@@ -100,13 +177,26 @@ fn run_point(variant: Variant, contended: bool, opts: &HarnessOpts) -> ScenarioP
         // running afterwards.
         victim_cycles: stats.core[0].cycles,
         victim_instructions: stats.core[0].committed_instructions,
+        victim_stalls: machine.core(0).stalls,
+        cycles_ticked: machine.ticks(),
+        cycles_skipped: machine.now().saturating_sub(machine.ticks()),
+        metrics_path,
     }
 }
 
 /// Runs the enclave-plus-attacker grid — (BASE, MI6) × (solo, contended)
 /// — across up to four worker threads and returns the points in a fixed
-/// order: for each variant, solo then contended.
-pub fn run_enclave_attacker(opts: &HarnessOpts, threads: usize) -> Vec<ScenarioPoint> {
+/// order: for each variant, solo then contended. With `obs`, every point
+/// also writes a time-series metrics artifact (see [`ScenarioObs`]).
+pub fn run_enclave_attacker(
+    opts: &HarnessOpts,
+    threads: usize,
+    obs: Option<&ScenarioObs>,
+) -> Vec<ScenarioPoint> {
+    if let Some(o) = obs {
+        std::fs::create_dir_all(&o.dir)
+            .unwrap_or_else(|e| panic!("cannot create {}: {e}", o.dir.display()));
+    }
     let grid: Vec<(Variant, bool)> = [Variant::Base, Variant::SecureMi6]
         .into_iter()
         .flat_map(|v| [(v, false), (v, true)])
@@ -126,7 +216,10 @@ pub fn run_enclave_attacker(opts: &HarnessOpts, threads: usize) -> Vec<ScenarioP
                     break;
                 }
                 let (variant, contended) = grid[i];
-                if tx.send((i, run_point(variant, contended, opts))).is_err() {
+                if tx
+                    .send((i, run_point(variant, contended, opts, obs)))
+                    .is_err()
+                {
                     break;
                 }
             });
@@ -188,6 +281,105 @@ pub fn render_enclave_attacker(points: &[ScenarioPoint]) {
     }
 }
 
+/// One parsed metrics row: `(cycle, core, metric, value)`; `core` is
+/// `None` for machine-level rows.
+fn parse_metrics_row(line: &str) -> Option<(u64, Option<u64>, String, u64)> {
+    let body = line.strip_prefix('{')?.strip_suffix('}')?;
+    let (mut cycle, mut core, mut metric, mut value) = (None, None, None, None);
+    for field in body.split(',') {
+        let (k, v) = field.split_once(':')?;
+        match k {
+            "\"cycle\"" => cycle = v.parse().ok(),
+            "\"core\"" => core = v.parse().ok(),
+            "\"metric\"" => metric = Some(v.trim_matches('"').to_string()),
+            "\"value\"" => value = v.parse().ok(),
+            _ => return None,
+        }
+    }
+    Some((cycle?, core, metric?, value?))
+}
+
+/// Renders the attacker-vs-victim occupancy timeline of each *contended*
+/// point from its metrics artifact: per time window, the mean MSHR
+/// occupancy and summed arbiter grants of the victim (core 0) and the
+/// attacker (core 1). This is the per-mechanism contention picture the
+/// scalar slowdown table averages away: on BASE the attacker holds the
+/// shared MSHRs and wins most grants; under MI6's per-core quotas and
+/// round-robin arbitration the two cores' curves stay bounded.
+pub fn render_occupancy_timeline(points: &[ScenarioPoint]) -> String {
+    use std::fmt::Write;
+    const BUCKETS: usize = 8;
+    let mut out = String::new();
+    for p in points.iter().filter(|p| p.contended) {
+        let Some(path) = &p.metrics_path else {
+            continue;
+        };
+        let Ok(doc) = std::fs::read_to_string(path) else {
+            writeln!(out, "(cannot read {})", path.display()).unwrap();
+            continue;
+        };
+        let rows: Vec<_> = doc.lines().filter_map(parse_metrics_row).collect();
+        let Some(last) = rows.iter().map(|r| r.0).max().filter(|&l| l > 0) else {
+            continue;
+        };
+        let width = last.div_ceil(BUCKETS as u64).max(1);
+        // Per window and core: (occupancy sum, sample count) and grants.
+        let mut mshr = [[(0u64, 0u64); 2]; BUCKETS];
+        let mut grants = [[0u64; 2]; BUCKETS];
+        for (cycle, core, metric, value) in &rows {
+            let Some(c) = core.map(|c| c as usize).filter(|&c| c < 2) else {
+                continue;
+            };
+            let b = (((cycle - 1) / width) as usize).min(BUCKETS - 1);
+            match metric.as_str() {
+                "mshr_occupancy" => {
+                    mshr[b][c].0 += value;
+                    mshr[b][c].1 += 1;
+                }
+                "arb_grants" => grants[b][c] += value,
+                _ => {}
+            }
+        }
+        writeln!(
+            out,
+            "\n--- {} contended: MSHR occupancy and LLC arbiter grants over time ---",
+            p.variant.name()
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "{:<19} {:>12} {:>14} {:>14} {:>16}",
+            "cycles", "victim MSHRs", "attacker MSHRs", "victim grants", "attacker grants"
+        )
+        .unwrap();
+        for b in 0..BUCKETS {
+            let occ = |c: usize| {
+                let (sum, n) = mshr[b][c];
+                if n == 0 {
+                    0.0
+                } else {
+                    sum as f64 / n as f64
+                }
+            };
+            writeln!(
+                out,
+                "{:<19} {:>12.2} {:>14.2} {:>14} {:>16}",
+                format!(
+                    "{}-{}",
+                    b as u64 * width,
+                    ((b as u64 + 1) * width).min(last)
+                ),
+                occ(0),
+                occ(1),
+                grants[b][0],
+                grants[b][1]
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,7 +389,7 @@ mod tests {
         // 50k instructions gives the chase several laps over its arena,
         // so LLC reuse (and its destruction by the attacker) is visible.
         let opts = HarnessOpts::default().with_kinsts(50).with_timer(0);
-        let points = run_enclave_attacker(&opts, 4);
+        let points = run_enclave_attacker(&opts, 4, None);
         assert_eq!(points.len(), 4);
         // Fixed order: (BASE solo, BASE contended, MI6 solo, MI6 contended).
         assert!(!points[0].contended && points[1].contended);
@@ -214,5 +406,38 @@ mod tests {
         // MI6 barely (Section 5.2's partitioned LLC).
         assert!(base > 1.3, "attacker barely affects BASE: {base:.3}");
         assert!(mi6 < 1.1, "MI6 fails to isolate the enclave: {mi6:.3}");
+    }
+
+    #[test]
+    fn scenario_metrics_artifacts_are_schema_valid() {
+        let dir = std::env::temp_dir().join(format!("mi6-scn-obs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = HarnessOpts::default().with_kinsts(10).with_timer(0);
+        let obs = ScenarioObs {
+            dir: dir.clone(),
+            every: 2_000,
+        };
+        let points = run_enclave_attacker(&opts, 4, Some(&obs));
+        assert_eq!(points.len(), 4);
+        for p in &points {
+            let path = p.metrics_path.as_ref().expect("sampled run has artifact");
+            let summary = mi6_obs::check_metrics_file(path)
+                .unwrap_or_else(|e| panic!("invalid metrics artifact: {e}"));
+            assert!(summary.rows > 0);
+            assert!(
+                summary.metrics.iter().any(|m| m == "mshr_occupancy"),
+                "{:?}",
+                summary.metrics
+            );
+            assert!(summary.metrics.iter().any(|m| m == "arb_grants"));
+            // Whole-machine cycle accounting is exhaustive: every cycle
+            // was either ticked or skipped.
+            assert!(p.cycles_ticked > 0);
+        }
+        // The timeline renders one table per contended point.
+        let timeline = render_occupancy_timeline(&points);
+        assert_eq!(timeline.matches("contended:").count(), 2, "{timeline}");
+        assert!(timeline.contains("attacker MSHRs"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

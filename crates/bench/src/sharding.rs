@@ -368,10 +368,14 @@ mod tests {
                 llc_mpki: 0.0,
                 flush_stall_cycles: 0,
                 traps: 0,
+                stalls: Default::default(),
+                cycles_ticked: 0,
+                cycles_skipped: 0,
             },
             wall_ms: 0,
             worker: 0,
             warm: warm.to_string(),
+            metrics: None,
         }
     }
 
@@ -493,10 +497,14 @@ mod tests {
                         llc_mpki: 0.25,
                         flush_stall_cycles: 0,
                         traps: 0,
+                        stalls: Default::default(),
+                        cycles_ticked: 0,
+                        cycles_skipped: 0,
                     },
                     wall_ms: 3,
                     worker: 1,
                     warm: "cold".to_string(),
+                    metrics: None,
                 };
                 sj.journal.append(&res.to_json()).unwrap();
             }

@@ -15,6 +15,11 @@ impl Core {
         let ph = self.rob.phys(0);
         let mut ws = std::mem::take(&mut self.wake_lists[ph]);
         let entry = self.rob.pop_front().expect("head");
+        if let Some(t) = self.tracer.as_deref_mut() {
+            // `csrs.cycle` is rewritten from `now` at the top of every
+            // tick, so it is the current cycle on every commit path.
+            t.retire(entry.seq, self.csrs.cycle);
+        }
         if let Some(d) = entry.dest {
             self.regs[d.index() as usize] = entry.result;
             if self.rat[d.index() as usize] == Some(entry.seq) {
@@ -30,6 +35,10 @@ impl Core {
     /// `purge`): every registered consumer is younger and about to be
     /// squashed, so the slot's wake list is simply discarded.
     fn pop_head_discard_wakes(&mut self) {
+        if let Some(t) = self.tracer.as_deref_mut() {
+            let seq = self.rob.seq(0);
+            t.retire(seq, self.csrs.cycle);
+        }
         self.wake_lists[self.rob.phys(0)].clear();
         self.rob.pop_front();
     }
@@ -139,6 +148,9 @@ impl Core {
                 let line = line_of(paddr);
                 let merges = self.sb.iter().any(|s| s.line == line && !s.issued);
                 if !merges && self.sb.len() >= self.cfg.sb_entries {
+                    if committed == 0 {
+                        self.stalls.commit_sb_full += 1;
+                    }
                     break; // store buffer full: stall commit
                 }
                 mem.phys.write_bytes(

@@ -27,6 +27,9 @@ impl Core {
             inst: Inst::NOP,
             pred: None,
             poison: Some((exception, tval)),
+            // `csrs.cycle` is rewritten from `now` at the top of every
+            // tick, so it is the current cycle on every fetch path.
+            fetched_at: self.csrs.cycle,
         });
         self.fetch_state = FetchState::Stalled;
     }
@@ -229,6 +232,7 @@ impl Core {
                 inst,
                 pred,
                 poison: None,
+                fetched_at: self.csrs.cycle,
             });
             pc = next_pc;
             if redirect {

@@ -88,6 +88,11 @@ impl Core {
         self.rob.mem_mut(idx).expect("mem").phase = MemPhase::Done;
         let seq = self.rob.seq(idx);
         self.lsq.memop_remove(seq);
+        if let Some(t) = self.tracer.as_deref_mut() {
+            let now = self.csrs.cycle;
+            t.mem_phase(seq, "fault", now);
+            t.complete(seq, now);
+        }
     }
 
     pub(super) fn advance_mem_ops(&mut self, now: u64, mem: &mut MemSystem) {
@@ -144,6 +149,9 @@ impl Core {
                             }
                             Ok(TranslateOutcome::Walking) => {
                                 self.rob.mem_mut(idx).expect("mem").phase = MemPhase::WaitWalk;
+                                if let Some(t) = self.tracer.as_deref_mut() {
+                                    t.mem_phase(seq, "walk", now);
+                                }
                                 // Park: the op leaves the worklist until
                                 // the walker delivers its result.
                                 self.lsq.memop_remove(seq);
@@ -184,6 +192,9 @@ impl Core {
                             MemPhase::ReadyToAccess
                         };
                     }
+                    if let Some(t) = self.tracer.as_deref_mut() {
+                        t.mem_phase(seq, "xlat", now);
+                    }
                     // Address resolution is the store-index insertion
                     // point (faulted ops above never resolve an address,
                     // so they are never indexed).
@@ -221,6 +232,9 @@ impl Core {
                         self.data_completions.remove(&token);
                         let ms = self.rob.mem_mut(idx).expect("mem");
                         ms.phase = MemPhase::WaitValue { ready_at };
+                        if let Some(t) = self.tracer.as_deref_mut() {
+                            t.mem_phase(seq, "mem", now);
+                        }
                     }
                 }
                 MemPhase::WaitValue { ready_at } => {
@@ -231,6 +245,9 @@ impl Core {
                         self.rob.set_result(idx, exec::extend_load(&inst, raw));
                         self.rob.set_stage(idx, Stage::Done);
                         self.wake_consumers(idx);
+                        if let Some(t) = self.tracer.as_deref_mut() {
+                            t.complete(seq, now);
+                        }
                         self.rob.mem_mut(idx).expect("mem").phase = MemPhase::Done;
                         self.lsq.memop_remove(seq);
                     }
@@ -274,6 +291,9 @@ impl Core {
             self.rob.set_stage(idx, Stage::Done);
             self.rob.mem_mut(idx).expect("mem").phase = MemPhase::Done;
             self.lsq.memop_remove(seq);
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.complete(seq, now);
+            }
             if let Some((lseq, lpc)) = violating {
                 self.stats.mem_order_violations += 1;
                 self.squash_from(now, lseq, lpc);
@@ -307,6 +327,9 @@ impl Core {
             let ms = self.rob.mem_mut(idx).expect("mem");
             ms.phase = MemPhase::WaitValue { ready_at: now + 1 };
             self.lsq.insert_load(line, seq);
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.mem_phase(seq, "fwd", now);
+            }
             return;
         }
         let token = TOKEN_LOAD | (seq & TOKEN_MASK);
@@ -315,11 +338,17 @@ impl Core {
                 let ms = self.rob.mem_mut(idx).expect("mem");
                 ms.phase = MemPhase::WaitValue { ready_at };
                 self.lsq.insert_load(line, seq);
+                if let Some(t) = self.tracer.as_deref_mut() {
+                    t.mem_phase(seq, "l1", now);
+                }
             }
             L1Access::Miss => {
                 let ms = self.rob.mem_mut(idx).expect("mem");
                 ms.phase = MemPhase::WaitMem;
                 self.lsq.insert_load(line, seq);
+                if let Some(t) = self.tracer.as_deref_mut() {
+                    t.mem_phase(seq, "miss", now);
+                }
                 // Park: nothing to do until the L1 completion arrives
                 // (the tick completion sweep re-inserts by token seq).
                 self.lsq.memop_remove(seq);

@@ -26,7 +26,7 @@
 use crate::branch::{Btb, Prediction, Ras, Tournament};
 use crate::config::{CoreConfig, SecurityConfig};
 use crate::exec;
-use crate::stats::CoreStats;
+use crate::stats::{CoreStats, StallStats};
 use crate::tlb::{Tlb, TlbEntry, TranslationCache};
 use mi6_isa::csr::CsrFile;
 use mi6_isa::paging::{leaf_span, AccessKind, LEVELS};
@@ -259,6 +259,10 @@ struct FetchedInst {
     inst: Inst,
     pred: Option<BranchState>,
     poison: Option<(Exception, u64)>,
+    /// Cycle the front end delivered this instruction (the tracer's
+    /// fetch stamp). Observability-only: never serialized — restored
+    /// fetch-queue entries read 0 — and never read by timing logic.
+    fetched_at: u64,
 }
 
 /// Purge / flush-on-trap sequencing.
@@ -361,6 +365,14 @@ pub struct Core {
     /// written under `--features lap-profile`). Runtime-only: never
     /// serialized, no effect on simulated timing.
     pub lap: crate::lap::LapProfile,
+
+    /// Instruction lifecycle tracer, attached by the SoC when tracing is
+    /// on (`None` = off; every hook gates on that, so the disabled cost
+    /// is one pointer test). Runtime-only: never serialized, no effect
+    /// on simulated timing.
+    pub tracer: Option<Box<mi6_obs::Tracer>>,
+    /// Stall-attribution counters. Runtime-only: never serialized.
+    pub stalls: StallStats,
 }
 
 impl Core {
@@ -414,6 +426,8 @@ impl Core {
             purge_resume: None,
             stats: CoreStats::default(),
             lap: crate::lap::LapProfile::default(),
+            tracer: None,
+            stalls: StallStats::default(),
         }
     }
 
@@ -438,6 +452,18 @@ impl Core {
     /// Whether the pipeline holds no in-flight instructions.
     pub fn pipeline_empty(&self) -> bool {
         self.rob.is_empty() && self.fetch_queue.is_empty()
+    }
+
+    /// Instantaneous backend occupancies for the metrics sampler:
+    /// `(rob, iq_total, lq, sq, sb)`.
+    pub fn occupancy(&self) -> (usize, usize, usize, usize, usize) {
+        (
+            self.rob.len(),
+            self.iqs.iter().map(Vec::len).sum(),
+            self.lq_used,
+            self.sq_used,
+            self.sb.len(),
+        )
     }
 
     /// Whether a purge/flush sequence is in progress.

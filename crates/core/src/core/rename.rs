@@ -11,6 +11,11 @@ impl Core {
         let mut renamed = 0;
         while renamed < self.cfg.fetch_width {
             if self.rob.len() >= self.cfg.rob_entries {
+                // Stall attribution counts whole blocked cycles (first
+                // rename slot blocked with work in hand), not lost slots.
+                if renamed == 0 && !self.fetch_queue.is_empty() {
+                    self.stalls.rename_rob_full += 1;
+                }
                 break;
             }
             let Some(front) = self.fetch_queue.front() else {
@@ -51,18 +56,36 @@ impl Core {
             if let Some(p) = pipe {
                 let iq = &self.iqs[p as usize];
                 if iq.len() >= self.cfg.iq_entries {
+                    if renamed == 0 {
+                        self.stalls.rename_iq_full += 1;
+                    }
                     break;
                 }
             }
             if inst.is_load() && self.lq_used >= self.cfg.lq_entries {
+                if renamed == 0 {
+                    self.stalls.rename_lq_full += 1;
+                }
                 break;
             }
             if inst.is_store() && self.sq_used >= self.cfg.sq_entries {
+                if renamed == 0 {
+                    self.stalls.rename_sq_full += 1;
+                }
                 break;
             }
             let fetched = self.fetch_queue.pop_front().expect("peeked");
             let seq = self.next_seq;
             self.next_seq += 1;
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.start(
+                    seq,
+                    fetched.pc,
+                    fetched.inst.to_string(),
+                    fetched.fetched_at,
+                    now,
+                );
+            }
             // Sources.
             let (s1, s2) = fetched.inst.sources();
             let mk_src = |r: Option<Reg>, core: &Core| -> Option<Src> {
@@ -178,7 +201,6 @@ impl Core {
                 }
             }
             renamed += 1;
-            let _ = now;
         }
     }
 
@@ -303,6 +325,9 @@ impl Core {
             let k = q.binary_search(&seq).expect("ready op in its IQ");
             q.remove(k);
             let idx = self.rob_index(seq).expect("chosen entry exists");
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.issue(seq, now);
+            }
             let (a, b) = self.poll_srcs(idx).expect("ready");
             let inst = self.rob.inst(idx);
             let pc = self.rob.pc(idx);
@@ -405,6 +430,9 @@ impl Core {
             }
             self.rob.set_stage(idx, Stage::Done);
             self.wake_consumers(idx);
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.complete(seq, now);
+            }
             let branch = self.rob.branch(idx);
             let is_cond = self.rob.inst(idx).is_cond_branch();
             self.lsq.exec_remove(seq);

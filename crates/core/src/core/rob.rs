@@ -404,6 +404,9 @@ impl Core {
             self.wake_lists[self.rob.phys(self.rob.len() - 1)].clear();
             let e = self.rob.pop_back().expect("non-empty");
             self.stats.squashed_instructions += 1;
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.squash(e.seq);
+            }
             // Undo RAT.
             if let Some(d) = e.dest {
                 if self.rat[d.index() as usize] == Some(e.seq) {

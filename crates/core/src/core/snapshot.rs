@@ -403,6 +403,10 @@ impl SnapState for FetchedInst {
             inst: Inst::load(r)?,
             pred: SnapState::load(r)?,
             poison: SnapState::load(r)?,
+            // Observability-only, never serialized: restored entries
+            // trace a fetch stamp of 0 ("unknown"), keeping the snapshot
+            // format unchanged.
+            fetched_at: 0,
         })
     }
 }
@@ -610,6 +614,14 @@ impl Core {
         self.lsq = LsqIndex::rebuild(&self.rob, &self.data_completions, &self.walk_results);
         // So are the issue wakeup matrix and the per-pipe ready sets.
         self.rebuild_wakeup();
+        // Observability state is runtime-only: the restored in-flight ops
+        // were never seen by the tracer, so its hooks must ignore them
+        // (guaranteed by forgetting all live records), and the stall
+        // counters restart from zero.
+        if let Some(t) = &mut self.tracer {
+            t.reset_in_flight();
+        }
+        self.stalls = StallStats::default();
         Ok(())
     }
 }

@@ -30,5 +30,5 @@ pub use crate::core::Core;
 pub use branch::{Btb, Prediction, Ras, Tournament};
 pub use config::{CoreConfig, SecurityConfig};
 pub use lap::{LapProfile, LAP_COMPILED, LAP_STAGES};
-pub use stats::CoreStats;
+pub use stats::{CoreStats, StallStats};
 pub use tlb::{Tlb, TlbEntry, TranslationCache};

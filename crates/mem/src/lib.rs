@@ -50,6 +50,7 @@ pub mod l1;
 pub mod link;
 pub mod llc;
 pub mod msi;
+pub mod obs;
 pub mod phys;
 pub mod region;
 pub mod system;
@@ -63,6 +64,7 @@ pub use l1::{L1Access, L1Cache, L1Completion, L1Stats, ReqToken};
 pub use link::DelayFifo;
 pub use llc::{CoreLink, Llc, LlcStats};
 pub use msi::{ChildId, DowngradeResp, MsiState, ParentMsg, UpgradeReq};
+pub use obs::MemObs;
 pub use phys::PhysMem;
 pub use region::{RegionBitvec, RegionId, RegionMap};
 pub use system::{MemSystem, Port};

@@ -98,6 +98,9 @@ impl Llc {
                 chosen
             }
         };
+        if self.obs.is_some() {
+            self.note_arbitration(now, links, msg);
+        }
         if let Some(msg) = msg {
             if let PipeMsg::Req(i) | PipeMsg::Reentry(i) = msg {
                 let entry = self.mshrs[i as usize].as_mut().expect("live MSHR");
@@ -111,6 +114,38 @@ impl Llc {
             }
             self.pipe
                 .push_back((now + self.cfg.pipeline_latency as u64, msg));
+        }
+    }
+
+    /// Attributes this cycle's arbitration outcome per core: one grant
+    /// for the admitted message's core, one denial for every other core
+    /// that had an admissible message waiting. Pure measurement — only
+    /// called while observability is attached, and never alters timing.
+    fn note_arbitration(&mut self, now: u64, links: &[CoreLink], msg: Option<PipeMsg>) {
+        let granted = msg.map(|m| match m {
+            PipeMsg::Req(i) | PipeMsg::Reentry(i) => self.mshrs[i as usize]
+                .as_ref()
+                .expect("live MSHR")
+                .child
+                .core(),
+            PipeMsg::DownResp(resp) => resp.child.core(),
+        });
+        let obs = self.obs.as_deref_mut().expect("caller checked");
+        if let Some(core) = granted {
+            obs.arb_grants[core] += 1;
+        }
+        for (c, link) in links.iter().enumerate() {
+            if Some(c) == granted {
+                continue;
+            }
+            let waiting = link.up_resp.peek(now).is_some()
+                || self.mshrs.iter().flatten().any(|m| {
+                    m.child.core() == c
+                        && matches!(m.state, MshrState::WaitPipe | MshrState::FillReady)
+                });
+            if waiting {
+                obs.arb_denials[c] += 1;
+            }
         }
     }
 

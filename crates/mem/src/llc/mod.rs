@@ -33,6 +33,7 @@ use crate::config::{
 use crate::dram::{Dram, DramReq};
 use crate::link::DelayFifo;
 use crate::msi::{ChildId, DowngradeResp, MsiState, ParentMsg, UpgradeReq};
+use crate::obs::MemObs;
 use crate::region::RegionMap;
 use mi6_isa::PhysAddr;
 use std::collections::VecDeque;
@@ -208,6 +209,9 @@ pub struct Llc {
     uq_total: usize,
     /// Reusable per-cycle port-usage buffer (host-side scratch only).
     port_scratch: Vec<bool>,
+    /// Observability counters, attached only while metrics sampling is on
+    /// (runtime-only: never serialized, reset on restore).
+    pub obs: Option<Box<MemObs>>,
     /// Exported statistics.
     pub stats: LlcStats,
 }
@@ -240,6 +244,7 @@ impl Llc {
             downgrades_pending: 0,
             uq_total: 0,
             port_scratch: Vec::new(),
+            obs: None,
             stats: LlcStats::default(),
         }
     }
@@ -430,6 +435,31 @@ impl Llc {
                 entry.dirty = true;
             }
         }
+    }
+
+    /// Per-core count of live MSHR entries, written into `out`
+    /// (observability probe; `out` is resized to the core count).
+    pub fn mshr_occupancy(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.resize(self.cores, 0);
+        for m in self.mshrs.iter().flatten() {
+            out[m.child.core()] += 1;
+        }
+    }
+
+    /// The MSHR quota visible to one core: its partition size under
+    /// per-core MSHRs, otherwise the whole (shared or banked) pool.
+    pub fn mshr_quota_per_core(&self) -> u64 {
+        match self.cfg.mshrs {
+            MshrOrg::PerCore { per_core } => per_core as u64,
+            MshrOrg::Shared { total } | MshrOrg::Banked { total, .. } => total as u64,
+        }
+    }
+
+    /// Depths of the internal queues as (cache-access pipeline, DQ,
+    /// total UQ entries).
+    pub fn queue_depths(&self) -> (usize, usize, usize) {
+        (self.pipe.len(), self.dq.len(), self.uq_total)
     }
 
     /// Whether the LLC has no in-flight work (test aid).

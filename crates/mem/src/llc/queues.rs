@@ -85,6 +85,19 @@ impl Llc {
         true
     }
 
+    /// Submits one request to DRAM, noting per-region activity when
+    /// observability is attached. Timing is identical to a bare
+    /// [`Dram::submit`].
+    fn submit_dram(&mut self, dram: &mut Dram, now: u64, req: DramReq) -> bool {
+        let ok = dram.submit(now, req);
+        if ok {
+            if let Some(obs) = self.obs.as_deref_mut() {
+                obs.note_dram(self.region_map.region_of(req.line).index(), req.is_write);
+            }
+        }
+        ok
+    }
+
     /// DQ dequeue: sends DRAM requests.
     pub(super) fn dequeue_dq(&mut self, now: u64, dram: &mut Dram) {
         if now < self.dq_port_busy_until {
@@ -103,7 +116,8 @@ impl Llc {
                     if !dram.can_accept() {
                         return; // DRAM backpressure: retry next cycle
                     }
-                    let ok = dram.submit(
+                    let ok = self.submit_dram(
+                        dram,
                         now,
                         DramReq {
                             line: victim_line,
@@ -119,7 +133,8 @@ impl Llc {
                         entry.needs_wb = false;
                         return;
                     }
-                    let ok = dram.submit(
+                    let ok = self.submit_dram(
+                        dram,
                         now,
                         DramReq {
                             line,
@@ -138,7 +153,8 @@ impl Llc {
                     if !dram.can_accept() {
                         return;
                     }
-                    let ok = dram.submit(
+                    let ok = self.submit_dram(
+                        dram,
                         now,
                         DramReq {
                             line,
@@ -160,7 +176,8 @@ impl Llc {
                     // Send only the writeback; set the retry bit and
                     // re-enter the pipeline as a pure miss. Dequeue takes
                     // exactly one cycle (Section 5.4.3).
-                    let ok = dram.submit(
+                    let ok = self.submit_dram(
+                        dram,
                         now,
                         DramReq {
                             line: victim_line,
@@ -175,7 +192,8 @@ impl Llc {
                     entry.state = MshrState::WaitPipe;
                     self.wait_pipe += 1;
                 } else {
-                    let ok = dram.submit(
+                    let ok = self.submit_dram(
+                        dram,
                         now,
                         DramReq {
                             line,

@@ -298,8 +298,12 @@ impl Llc {
             self.stats = stats;
             // The dirty counters (`live_mshrs`, `wait_pipe`, ...) are
             // derived state: recompute them rather than serialize them
-            // (the snapshot format is unchanged).
+            // (the snapshot format is unchanged). Observability counters
+            // are runtime-only and do not survive a reload.
             self.recompute_derived();
+            if let Some(obs) = &mut self.obs {
+                obs.reset();
+            }
             return Ok(Vec::new());
         }
 
@@ -323,6 +327,9 @@ impl Llc {
         }
         // Everything in flight is gone: all derived counters are zero.
         self.recompute_derived();
+        if let Some(obs) = &mut self.obs {
+            obs.reset();
+        }
         self.dq_port_busy_until = dq_port_busy_until;
         self.downgrade_scan = 0;
         self.stats = stats;

@@ -1,0 +1,52 @@
+//! Runtime-only observability counters for the memory hierarchy.
+//!
+//! [`MemObs`] is attached to the LLC only when the SoC enables metrics
+//! sampling (via [`crate::MemSystem::enable_obs`]). Everything here is
+//! measurement-only state: it is never serialized into snapshots — so
+//! turning observability on cannot perturb checkpoint bytes — and it is
+//! zeroed on restore (observed history does not survive a state reload).
+//! When the struct is absent, the hot paths pay a single `Option` check.
+
+/// Per-core arbiter and per-region DRAM activity counters.
+#[derive(Debug)]
+pub struct MemObs {
+    /// Pipeline-entry admissions granted by the LLC arbiter, per core.
+    pub arb_grants: Vec<u64>,
+    /// Cycles a core had an admissible message (a downgrade response or
+    /// an MSHR awaiting pipeline entry) while the admission slot went to
+    /// another core or idled, per core.
+    pub arb_denials: Vec<u64>,
+    /// DRAM read requests accepted, per DRAM region.
+    pub dram_region_reads: Vec<u64>,
+    /// DRAM writebacks accepted, per DRAM region.
+    pub dram_region_writes: Vec<u64>,
+}
+
+impl MemObs {
+    /// Creates zeroed counters for `cores` cores and `regions` regions.
+    pub fn new(cores: usize, regions: usize) -> MemObs {
+        MemObs {
+            arb_grants: vec![0; cores],
+            arb_denials: vec![0; cores],
+            dram_region_reads: vec![0; regions],
+            dram_region_writes: vec![0; regions],
+        }
+    }
+
+    /// Zeroes every counter.
+    pub fn reset(&mut self) {
+        self.arb_grants.fill(0);
+        self.arb_denials.fill(0);
+        self.dram_region_reads.fill(0);
+        self.dram_region_writes.fill(0);
+    }
+
+    /// Notes one request accepted by the DRAM controller.
+    pub(crate) fn note_dram(&mut self, region: usize, is_write: bool) {
+        if is_write {
+            self.dram_region_writes[region] += 1;
+        } else {
+            self.dram_region_reads[region] += 1;
+        }
+    }
+}

@@ -230,6 +230,51 @@ impl MemSystem {
         )
     }
 
+    /// Attaches observability counters to the LLC (idempotent). Only the
+    /// metrics-sampling path calls this; when no counters are attached
+    /// the arbiter and DRAM paths pay a single `Option` check.
+    pub fn enable_obs(&mut self) {
+        if self.llc.obs.is_none() {
+            self.llc.obs = Some(Box::new(crate::obs::MemObs::new(
+                self.cores(),
+                self.cfg.dram.regions,
+            )));
+        }
+    }
+
+    /// The observability counters, when attached.
+    pub fn obs(&self) -> Option<&crate::obs::MemObs> {
+        self.llc.obs.as_deref()
+    }
+
+    /// Per-core live-MSHR occupancy, written into `out` (observability
+    /// probe).
+    pub fn mshr_occupancy(&self, out: &mut Vec<u64>) {
+        self.llc.mshr_occupancy(out);
+    }
+
+    /// The MSHR quota visible to one core under the active organization.
+    pub fn mshr_quota_per_core(&self) -> u64 {
+        self.llc.mshr_quota_per_core()
+    }
+
+    /// LLC internal queue depths as (cache-access pipeline, DQ, total
+    /// UQ entries).
+    pub fn llc_queue_depths(&self) -> (usize, usize, usize) {
+        self.llc.queue_depths()
+    }
+
+    /// Link FIFO depths for one core as (up-req, up-resp, down).
+    pub fn link_depths(&self, core: usize) -> (usize, usize, usize) {
+        let l = &self.links[core];
+        (l.up_req.len(), l.up_resp.len(), l.down.len())
+    }
+
+    /// Outstanding DRAM requests.
+    pub fn dram_inflight(&self) -> usize {
+        self.dram.inflight()
+    }
+
     /// The LLC set index of an address under the active indexing function
     /// (exposed for the PART experiment's working-set analysis).
     pub fn llc_set_index(&self, addr: PhysAddr) -> usize {

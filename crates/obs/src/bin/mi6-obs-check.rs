@@ -1,0 +1,65 @@
+//! Schema checker for observability artifacts — the CI gate that proves
+//! an emitted trace really is Konata-loadable O3PipeView and a metrics
+//! file really is well-formed JSONL.
+//!
+//! ```text
+//! mi6-obs-check trace FILE...
+//! mi6-obs-check metrics FILE...
+//! ```
+//!
+//! Exits non-zero (with the offending line in the message) on the first
+//! schema violation; prints a one-line summary per valid file.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = || {
+        eprintln!("usage: mi6-obs-check trace|metrics FILE...");
+        ExitCode::from(2)
+    };
+    let Some((mode, files)) = args.split_first() else {
+        return usage();
+    };
+    if files.is_empty() {
+        return usage();
+    }
+    let mut failed = false;
+    for f in files {
+        let path = Path::new(f);
+        let outcome = match mode.as_str() {
+            "trace" => mi6_obs::check_trace_file(path).map(|s| {
+                format!(
+                    "{}: OK — {} ops ({} squashed)",
+                    path.display(),
+                    s.ops,
+                    s.squashed
+                )
+            }),
+            "metrics" => mi6_obs::check_metrics_file(path).map(|s| {
+                format!(
+                    "{}: OK — {} rows, {} metrics, cycles {}..{}",
+                    path.display(),
+                    s.rows,
+                    s.metrics.len(),
+                    s.cycle_range.0,
+                    s.cycle_range.1
+                )
+            }),
+            _ => return usage(),
+        };
+        match outcome {
+            Ok(line) => println!("{line}"),
+            Err(e) => {
+                eprintln!("FAIL {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

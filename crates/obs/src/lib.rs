@@ -1,0 +1,661 @@
+//! # mi6-obs — observability for the MI6 simulator
+//!
+//! Two pillars, both **runtime-only**: nothing in this crate is ever
+//! serialized into snapshots, and everything is gated behind an `Option`
+//! at the attachment point so the simulation pays nothing when it is off.
+//!
+//! 1. [`Tracer`] — per-instruction lifecycle tracing in the
+//!    Konata-compatible O3PipeView text format (one record per op:
+//!    fetch/decode/rename/dispatch/issue/complete/retire cycle stamps,
+//!    with the memory-phase sub-timeline folded into the disassembly
+//!    field). One tracer per core; the machine drains their line buffers
+//!    into a single file.
+//! 2. [`MetricsSink`] — an append-only JSONL time series keyed
+//!    `(cycle, core, metric)`: occupancy gauges sampled every N cycles
+//!    and flow counters emitted as per-window deltas.
+//!
+//! The schema checkers ([`check_trace_str`], [`check_metrics_str`]) are
+//! what CI runs over emitted artifacts (via the `mi6-obs-check` binary),
+//! and what the timing-neutrality tests use to prove the files are
+//! well-formed without pinning their exact contents.
+//!
+//! Observability state is deliberately tolerant of snapshot restores: a
+//! restored machine has in-flight ops the tracer never saw, so every
+//! hook ignores unknown sequence numbers instead of asserting.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+
+/// Simulated-cycle → O3PipeView-tick scale. gem5 emits picosecond ticks
+/// at 500 ps/cycle; Konata infers the cycle time from the GCD of the
+/// stamps, so any constant works — we keep gem5's for familiarity.
+pub const CYCLE_TICKS: u64 = 500;
+
+// ------------------------------------------------------------------ tracer
+
+/// One in-flight instruction's collected stamps. `u64::MAX` = stage
+/// never reached (emitted as tick 0, which Konata renders as "skipped").
+#[derive(Debug)]
+struct OpRecord {
+    pc: u64,
+    disasm: String,
+    /// Memory-phase sub-timeline (e.g. ` tlb@12 walk@20 mem@31`),
+    /// appended to the disassembly field so the O3PipeView line count
+    /// per record stays fixed.
+    phases: String,
+    fetch: u64,
+    rename: u64,
+    issue: u64,
+    complete: u64,
+}
+
+/// Per-core instruction lifecycle tracer emitting O3PipeView records.
+///
+/// Records are keyed by the core's monotonically increasing ROB sequence
+/// number: a `VecDeque` plus a base sequence is enough because rename
+/// creates records in ascending order, retire pops the front, and squash
+/// pops a suffix from the back. Hooks for sequence numbers the tracer
+/// has never seen (ops that were in flight across a snapshot restore)
+/// are silently ignored.
+#[derive(Debug)]
+pub struct Tracer {
+    /// `uid = seq * uid_stride + uid_offset` keeps O3PipeView ids unique
+    /// when several cores share one output file.
+    uid_stride: u64,
+    uid_offset: u64,
+    base_seq: u64,
+    live: VecDeque<Option<OpRecord>>,
+    buf: String,
+    emitted_ops: u64,
+    squashed_ops: u64,
+    /// Stop emitting (but keep counting) after this many records;
+    /// 0 = unlimited. Keeps long bench runs from writing gigabytes.
+    cap: u64,
+}
+
+impl Tracer {
+    /// A tracer for core `core` of `cores`, emitting at most `cap`
+    /// records (0 = unlimited).
+    pub fn new(core: usize, cores: usize, cap: u64) -> Tracer {
+        Tracer {
+            uid_stride: cores.max(1) as u64,
+            uid_offset: core as u64,
+            base_seq: 0,
+            live: VecDeque::new(),
+            buf: String::new(),
+            emitted_ops: 0,
+            squashed_ops: 0,
+            cap,
+        }
+    }
+
+    fn slot(&mut self, seq: u64) -> Option<&mut OpRecord> {
+        if seq < self.base_seq {
+            return None;
+        }
+        let idx = (seq - self.base_seq) as usize;
+        self.live.get_mut(idx)?.as_mut()
+    }
+
+    /// Rename hook: a new op entered the ROB. `fetched_at` is the cycle
+    /// its fetch group was delivered (carried on the fetch-queue entry).
+    pub fn start(&mut self, seq: u64, pc: u64, disasm: String, fetched_at: u64, now: u64) {
+        if self.live.is_empty() {
+            self.base_seq = seq;
+        } else {
+            // A squash pops a tail of records but the core's sequence
+            // numbering never rolls back, so the next rename arrives with
+            // a gap. Pad with placeholders to keep `seq - base_seq` a
+            // valid index.
+            let expected = self.base_seq + self.live.len() as u64;
+            debug_assert!(seq >= expected, "rename went backwards: {seq} < {expected}");
+            for _ in expected..seq {
+                self.live.push_back(None);
+            }
+        }
+        self.live.push_back(Some(OpRecord {
+            pc,
+            disasm,
+            phases: String::new(),
+            fetch: fetched_at,
+            rename: now,
+            issue: u64::MAX,
+            complete: u64::MAX,
+        }));
+    }
+
+    /// Issue hook: the op left its issue queue for an execution pipe.
+    pub fn issue(&mut self, seq: u64, now: u64) {
+        if let Some(op) = self.slot(seq) {
+            op.issue = now;
+        }
+    }
+
+    /// Memory-phase hook: annotates the op with `tag@cycle` (translate
+    /// done, page walk start, cache access, value return, fault…).
+    pub fn mem_phase(&mut self, seq: u64, tag: &str, now: u64) {
+        if let Some(op) = self.slot(seq) {
+            let _ = write!(op.phases, " {tag}@{now}");
+        }
+    }
+
+    /// Completion hook: the op's result became visible (writeback, load
+    /// value return, store address resolution, or fault marking).
+    pub fn complete(&mut self, seq: u64, now: u64) {
+        if let Some(op) = self.slot(seq) {
+            if op.complete == u64::MAX {
+                op.complete = now;
+            }
+        }
+    }
+
+    /// Retire hook: the op committed. Emits its record. Commit is
+    /// in-order, so anything older than `seq` still in the deque is a
+    /// placeholder for an already-emitted squashed op.
+    pub fn retire(&mut self, seq: u64, now: u64) {
+        if seq < self.base_seq || seq >= self.base_seq + self.live.len() as u64 {
+            return;
+        }
+        while self.base_seq < seq {
+            let stale = self.live.pop_front().expect("range checked");
+            debug_assert!(stale.is_none(), "live record skipped by in-order commit");
+            self.base_seq += 1;
+        }
+        if let Some(op) = self.live.pop_front().flatten() {
+            self.emit(&op, seq, now);
+        }
+        self.base_seq = seq + 1;
+    }
+
+    /// Squash hook: the op was discarded by a pipeline flush. Emits the
+    /// record with retire tick 0 (Konata renders it as flushed). Squash
+    /// walks the ROB tail in descending seq order, so anything younger
+    /// than `seq` still in the deque is a placeholder from an earlier
+    /// squash.
+    pub fn squash(&mut self, seq: u64) {
+        if seq < self.base_seq {
+            return;
+        }
+        let idx = (seq - self.base_seq) as usize;
+        if idx >= self.live.len() {
+            return;
+        }
+        while self.live.len() > idx + 1 {
+            let stale = self.live.pop_back().expect("length checked");
+            debug_assert!(stale.is_none(), "live record above a squash point");
+        }
+        if let Some(op) = self.live.pop_back().expect("length checked") {
+            self.squashed_ops += 1;
+            self.emit(&op, seq, 0);
+        }
+    }
+
+    fn emit(&mut self, op: &OpRecord, seq: u64, retire_cycle: u64) {
+        if self.cap != 0 && self.emitted_ops >= self.cap {
+            self.emitted_ops += 1;
+            return;
+        }
+        self.emitted_ops += 1;
+        let t = |c: u64| {
+            if c == u64::MAX {
+                0
+            } else {
+                c * CYCLE_TICKS
+            }
+        };
+        let uid = seq * self.uid_stride + self.uid_offset;
+        let _ = write!(
+            self.buf,
+            "O3PipeView:fetch:{}:0x{:016x}:0:{}:{}{}\n\
+             O3PipeView:decode:{}\n\
+             O3PipeView:rename:{}\n\
+             O3PipeView:dispatch:{}\n\
+             O3PipeView:issue:{}\n\
+             O3PipeView:complete:{}\n\
+             O3PipeView:retire:{}:store:0\n",
+            t(op.fetch),
+            op.pc,
+            uid,
+            op.disasm,
+            op.phases,
+            t(op.rename),
+            t(op.rename),
+            t(op.rename),
+            t(op.issue),
+            t(op.complete),
+            t(retire_cycle),
+        );
+    }
+
+    /// Buffered output bytes awaiting a drain.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Takes the buffered lines (the machine appends them to the trace
+    /// file).
+    pub fn take(&mut self) -> String {
+        std::mem::take(&mut self.buf)
+    }
+
+    /// Records emitted so far (including any beyond the cap).
+    pub fn emitted(&self) -> u64 {
+        self.emitted_ops
+    }
+
+    /// Records emitted as squashed.
+    pub fn squashed(&self) -> u64 {
+        self.squashed_ops
+    }
+
+    /// Forgets all in-flight records (snapshot restore: the restored ops
+    /// were never observed, so their hooks must be ignored, which the
+    /// empty state guarantees).
+    pub fn reset_in_flight(&mut self) {
+        self.live.clear();
+        self.base_seq = 0;
+    }
+}
+
+// ------------------------------------------------------------- metrics sink
+
+/// Append-only JSONL time-series writer. One row per sample:
+///
+/// ```json
+/// {"cycle":12000,"core":1,"metric":"mshr_occ","value":3}
+/// {"cycle":12000,"metric":"skipped_cycles","value":4096}
+/// ```
+///
+/// `core` is omitted for machine-wide metrics. [`MetricsSink::gauge`]
+/// writes instantaneous values; [`MetricsSink::counter`] takes a
+/// monotonically increasing total and writes the delta since the last
+/// sample of that `(core, metric)` key, so consumers read flows per
+/// window directly.
+#[derive(Debug, Default)]
+pub struct MetricsSink {
+    buf: String,
+    prev: BTreeMap<(i64, &'static str), u64>,
+    rows: u64,
+}
+
+impl MetricsSink {
+    /// An empty sink.
+    pub fn new() -> MetricsSink {
+        MetricsSink::default()
+    }
+
+    fn row(&mut self, cycle: u64, core: Option<usize>, metric: &str, value: u64) {
+        self.rows += 1;
+        match core {
+            Some(c) => {
+                let _ = writeln!(
+                    self.buf,
+                    "{{\"cycle\":{cycle},\"core\":{c},\"metric\":\"{metric}\",\"value\":{value}}}"
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    self.buf,
+                    "{{\"cycle\":{cycle},\"metric\":\"{metric}\",\"value\":{value}}}"
+                );
+            }
+        }
+    }
+
+    /// Samples an instantaneous occupancy/level.
+    pub fn gauge(&mut self, cycle: u64, core: Option<usize>, metric: &str, value: u64) {
+        self.row(cycle, core, metric, value);
+    }
+
+    /// Samples a monotonically increasing counter; emits the delta since
+    /// this key's previous sample.
+    pub fn counter(&mut self, cycle: u64, core: Option<usize>, metric: &'static str, total: u64) {
+        let key = (core.map(|c| c as i64).unwrap_or(-1), metric);
+        let prev = self.prev.insert(key, total).unwrap_or(0);
+        self.row(cycle, core, metric, total.saturating_sub(prev));
+    }
+
+    /// Rows written so far.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Buffered output bytes awaiting a drain.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Takes the buffered rows (the machine appends them to the metrics
+    /// file).
+    pub fn take(&mut self) -> String {
+        std::mem::take(&mut self.buf)
+    }
+}
+
+// ------------------------------------------------------------ trace checker
+
+/// Summary returned by a successful [`check_trace_str`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Complete O3PipeView records.
+    pub ops: u64,
+    /// Records with retire tick 0 (squashed).
+    pub squashed: u64,
+}
+
+fn parse_tick(s: &str, what: &str, line: usize) -> Result<u64, String> {
+    s.parse::<u64>()
+        .map_err(|_| format!("line {line}: {what} tick `{s}` is not an integer"))
+}
+
+/// Validates a Konata/O3PipeView trace: every record is exactly seven
+/// lines (fetch/decode/rename/dispatch/issue/complete/retire) with
+/// integer ticks, a hex PC, a unique id, a non-empty disassembly, and
+/// stamps that are non-decreasing across the stages that were reached
+/// (tick 0 = stage skipped).
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line.
+pub fn check_trace_str(s: &str) -> Result<TraceSummary, String> {
+    let mut lines = s.lines().enumerate().peekable();
+    let mut ops = 0u64;
+    let mut squashed = 0u64;
+    let mut seen_ids = std::collections::BTreeSet::new();
+    while let Some((n, line)) = lines.next() {
+        let n1 = n + 1;
+        let rest = line
+            .strip_prefix("O3PipeView:fetch:")
+            .ok_or_else(|| format!("line {n1}: expected O3PipeView:fetch record, got `{line}`"))?;
+        // fetch:<tick>:0x<pc>:0:<uid>:<disasm>
+        let mut f = rest.splitn(5, ':');
+        let fetch = parse_tick(f.next().unwrap_or(""), "fetch", n1)?;
+        let pc = f
+            .next()
+            .ok_or_else(|| format!("line {n1}: missing pc field"))?;
+        let pc_hex = pc
+            .strip_prefix("0x")
+            .ok_or_else(|| format!("line {n1}: pc `{pc}` missing 0x prefix"))?;
+        u64::from_str_radix(pc_hex, 16).map_err(|_| format!("line {n1}: pc `{pc}` not hex"))?;
+        let upc = f
+            .next()
+            .ok_or_else(|| format!("line {n1}: missing micro-pc field"))?;
+        if upc != "0" {
+            return Err(format!("line {n1}: micro-pc `{upc}` should be 0"));
+        }
+        let uid = parse_tick(f.next().unwrap_or(""), "id", n1)?;
+        if !seen_ids.insert(uid) {
+            return Err(format!("line {n1}: duplicate op id {uid}"));
+        }
+        let disasm = f.next().unwrap_or("");
+        if disasm.is_empty() {
+            return Err(format!("line {n1}: empty disassembly"));
+        }
+        let mut stage = |name: &'static str| -> Result<u64, String> {
+            let (m, l) = lines
+                .next()
+                .ok_or_else(|| format!("record at line {n1}: truncated before {name}"))?;
+            let rest = l
+                .strip_prefix("O3PipeView:")
+                .ok_or_else(|| format!("line {}: expected O3PipeView:{name}, got `{l}`", m + 1))?;
+            let rest = rest
+                .strip_prefix(name)
+                .and_then(|r| r.strip_prefix(':'))
+                .ok_or_else(|| format!("line {}: expected stage {name}, got `{l}`", m + 1))?;
+            let tick = rest.split(':').next().unwrap_or("");
+            parse_tick(tick, name, m + 1)
+        };
+        let decode = stage("decode")?;
+        let rename = stage("rename")?;
+        let dispatch = stage("dispatch")?;
+        let issue = stage("issue")?;
+        let complete = stage("complete")?;
+        let retire = stage("retire")?;
+        // Reached stages must be in program order (0 = never reached).
+        let mut last = fetch;
+        for (name, tick) in [
+            ("decode", decode),
+            ("rename", rename),
+            ("dispatch", dispatch),
+            ("issue", issue),
+            ("complete", complete),
+            ("retire", retire),
+        ] {
+            if tick != 0 {
+                if tick < last {
+                    return Err(format!(
+                        "record at line {n1}: {name} tick {tick} precedes {last}"
+                    ));
+                }
+                last = tick;
+            }
+        }
+        ops += 1;
+        if retire == 0 {
+            squashed += 1;
+        }
+    }
+    if ops == 0 {
+        return Err("trace contains no records".into());
+    }
+    Ok(TraceSummary { ops, squashed })
+}
+
+/// [`check_trace_str`] over a file.
+///
+/// # Errors
+///
+/// Returns the I/O or schema error message.
+pub fn check_trace_file(path: &std::path::Path) -> Result<TraceSummary, String> {
+    let s = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    check_trace_str(&s).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+// ---------------------------------------------------------- metrics checker
+
+/// Summary returned by a successful [`check_metrics_str`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSummary {
+    /// Total rows.
+    pub rows: u64,
+    /// Distinct metric names seen.
+    pub metrics: Vec<String>,
+    /// First and last cycle stamps.
+    pub cycle_range: (u64, u64),
+}
+
+/// Validates a metrics JSONL file: every line is exactly
+/// `{"cycle":N[,"core":C],"metric":"name","value":V}` with integer
+/// cycle/core/value, non-decreasing cycles, and metric names restricted
+/// to `[a-z0-9_]`.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line.
+pub fn check_metrics_str(s: &str) -> Result<MetricsSummary, String> {
+    let mut rows = 0u64;
+    let mut names = std::collections::BTreeSet::new();
+    let mut first = u64::MAX;
+    let mut last_cycle = 0u64;
+    for (n, line) in s.lines().enumerate() {
+        let n1 = n + 1;
+        let err = |what: &str| format!("line {n1}: {what} in `{line}`");
+        let body = line
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .ok_or_else(|| err("row is not a JSON object"))?;
+        let mut cycle = None;
+        let mut core = None;
+        let mut metric = None;
+        let mut value = None;
+        for field in body.split(',') {
+            let (k, v) = field
+                .split_once(':')
+                .ok_or_else(|| err("malformed field"))?;
+            match k {
+                "\"cycle\"" => cycle = Some(v.parse::<u64>().map_err(|_| err("bad cycle"))?),
+                "\"core\"" => core = Some(v.parse::<u64>().map_err(|_| err("bad core"))?),
+                "\"metric\"" => {
+                    let name = v
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .ok_or_else(|| err("metric is not a string"))?;
+                    if name.is_empty()
+                        || !name
+                            .bytes()
+                            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+                    {
+                        return Err(err("metric name must match [a-z0-9_]+"));
+                    }
+                    metric = Some(name.to_string());
+                }
+                "\"value\"" => value = Some(v.parse::<i64>().map_err(|_| err("bad value"))?),
+                _ => return Err(err("unknown key")),
+            }
+        }
+        let cycle = cycle.ok_or_else(|| err("missing cycle"))?;
+        let metric = metric.ok_or_else(|| err("missing metric"))?;
+        value.ok_or_else(|| err("missing value"))?;
+        let _ = core;
+        if cycle < last_cycle {
+            return Err(err("cycle stamps must be non-decreasing"));
+        }
+        first = first.min(cycle);
+        last_cycle = cycle;
+        names.insert(metric);
+        rows += 1;
+    }
+    if rows == 0 {
+        return Err("metrics file contains no rows".into());
+    }
+    Ok(MetricsSummary {
+        rows,
+        metrics: names.into_iter().collect(),
+        cycle_range: (first, last_cycle),
+    })
+}
+
+/// [`check_metrics_str`] over a file.
+///
+/// # Errors
+///
+/// Returns the I/O or schema error message.
+pub fn check_metrics_file(path: &std::path::Path) -> Result<MetricsSummary, String> {
+    let s = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    check_metrics_str(&s).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracer_emits_valid_o3pipeview() {
+        let mut t = Tracer::new(0, 1, 0);
+        t.start(0, 0x1000, "addi x5, x0, 1".into(), 10, 12);
+        t.issue(0, 14);
+        t.complete(0, 15);
+        t.start(1, 0x1004, "ld x6, 0(x5)".into(), 10, 12);
+        t.issue(1, 15);
+        t.mem_phase(1, "tlb", 16);
+        t.mem_phase(1, "mem", 18);
+        t.complete(1, 22);
+        t.retire(0, 16);
+        t.retire(1, 23);
+        // A squashed op that never issued.
+        t.start(2, 0x1008, "beq x6, x0, 8".into(), 13, 14);
+        t.squash(2);
+        let out = t.take();
+        let sum = check_trace_str(&out).unwrap();
+        assert_eq!(
+            sum,
+            TraceSummary {
+                ops: 3,
+                squashed: 1
+            }
+        );
+        assert!(out.contains("ld x6, 0(x5) tlb@16 mem@18"));
+        assert_eq!(t.emitted(), 3);
+    }
+
+    #[test]
+    fn tracer_ignores_unknown_seqs_and_respects_cap() {
+        let mut t = Tracer::new(1, 2, 1);
+        // Hooks for ops in flight across a restore are silently dropped.
+        t.issue(7, 10);
+        t.complete(7, 11);
+        t.retire(7, 12);
+        t.squash(7);
+        assert_eq!(t.emitted(), 0);
+        t.start(8, 0x2000, "nop".into(), 1, 2);
+        t.start(9, 0x2004, "nop".into(), 1, 2);
+        t.retire(8, 5);
+        t.retire(9, 6);
+        assert_eq!(t.emitted(), 2, "both counted");
+        let out = t.take();
+        assert_eq!(out.matches("O3PipeView:fetch").count(), 1, "cap = 1");
+        // Odd uid: core 1 of 2.
+        assert!(out.contains(":0:17:nop"), "uid = seq*2+1: {out}");
+    }
+
+    /// A squash drops a tail of seqs but the core keeps numbering from
+    /// where it left off; the tracer must stay aligned across the gap
+    /// and keep emitting for every later rename, retire, and squash.
+    #[test]
+    fn tracer_survives_post_squash_seq_gaps() {
+        let mut t = Tracer::new(0, 1, 0);
+        for seq in 0..4 {
+            t.start(seq, 0x1000 + seq * 4, "nop".into(), 1, 2);
+        }
+        // Mispredict at 1: ops 3 and 2 squash (descending walk).
+        t.squash(3);
+        t.squash(2);
+        // Rename resumes at 4 (seqs 2..3 are never reused)...
+        t.start(4, 0x2000, "nop".into(), 5, 6);
+        t.retire(0, 7);
+        t.retire(1, 8);
+        t.retire(4, 9);
+        // ... and a later squash after another gap still lands.
+        t.start(7, 0x3000, "nop".into(), 10, 11);
+        t.squash(7);
+        let sum = check_trace_str(&t.take()).unwrap();
+        assert_eq!(
+            sum,
+            TraceSummary {
+                ops: 6,
+                squashed: 3
+            }
+        );
+        assert_eq!(t.emitted(), 6);
+    }
+
+    #[test]
+    fn metrics_sink_counter_emits_deltas() {
+        let mut m = MetricsSink::new();
+        m.gauge(100, Some(0), "rob_occ", 12);
+        m.counter(100, Some(0), "arb_grants", 5);
+        m.counter(200, Some(0), "arb_grants", 9);
+        m.counter(200, None, "skipped_cycles", 64);
+        let out = m.take();
+        assert!(out.contains("{\"cycle\":100,\"core\":0,\"metric\":\"arb_grants\",\"value\":5}"));
+        assert!(out.contains("{\"cycle\":200,\"core\":0,\"metric\":\"arb_grants\",\"value\":4}"));
+        assert!(out.contains("{\"cycle\":200,\"metric\":\"skipped_cycles\",\"value\":64}"));
+        let sum = check_metrics_str(&out).unwrap();
+        assert_eq!(sum.rows, 4);
+        assert_eq!(sum.cycle_range, (100, 200));
+    }
+
+    #[test]
+    fn checkers_reject_malformed_input() {
+        assert!(check_trace_str("").is_err());
+        assert!(check_trace_str("O3PipeView:fetch:100:0x1000:0:1:nop\n").is_err());
+        assert!(check_metrics_str("{\"cycle\":1,\"metric\":\"x\"}\n").is_err());
+        assert!(check_metrics_str("{\"cycle\":2,\"metric\":\"a\",\"value\":1}\n{\"cycle\":1,\"metric\":\"a\",\"value\":1}\n").is_err());
+        assert!(check_metrics_str("{\"cycle\":1,\"metric\":\"BAD\",\"value\":1}\n").is_err());
+        // Out-of-order stamps within one record.
+        let bad = "O3PipeView:fetch:500:0x1000:0:1:nop\nO3PipeView:decode:400\n\
+                   O3PipeView:rename:500\nO3PipeView:dispatch:500\nO3PipeView:issue:0\n\
+                   O3PipeView:complete:0\nO3PipeView:retire:0:store:0\n";
+        assert!(check_trace_str(bad).is_err());
+    }
+}

@@ -91,6 +91,10 @@ pub struct SimBuilder {
     ckpt_dir: Option<PathBuf>,
     restore_path: Option<PathBuf>,
     cancel: Option<Arc<AtomicBool>>,
+    trace_path: Option<PathBuf>,
+    trace_limit: u64,
+    metrics_path: Option<PathBuf>,
+    metrics_every: u64,
 }
 
 impl SimBuilder {
@@ -109,6 +113,10 @@ impl SimBuilder {
             ckpt_dir: None,
             restore_path: None,
             cancel: None,
+            trace_path: None,
+            trace_limit: 0,
+            metrics_path: None,
+            metrics_every: 0,
         }
     }
 
@@ -216,6 +224,36 @@ impl SimBuilder {
         self
     }
 
+    /// Writes an instruction lifecycle trace (O3PipeView format, loadable
+    /// in Konata) to `path` while the machine runs. Per-op per-stage cycle
+    /// stamps are buffered in each core and drained to the file in bulk;
+    /// tracing is runtime-only and never affects simulated timing or
+    /// snapshot bytes.
+    pub fn trace_path(mut self, path: impl Into<PathBuf>) -> SimBuilder {
+        self.trace_path = Some(path.into());
+        self
+    }
+
+    /// Caps the number of retired/squashed ops emitted per core to the
+    /// trace file (0 = unlimited, the default). Ops past the cap are
+    /// still counted but not written, bounding trace size on long runs.
+    pub fn trace_limit(mut self, ops: u64) -> SimBuilder {
+        self.trace_limit = ops;
+        self
+    }
+
+    /// Samples microarchitectural occupancy metrics (ROB/IQ/SB, MSHRs,
+    /// LLC queues, arbiter grants, DRAM region activity, ...) every
+    /// `every` cycles into `path` as JSONL rows keyed
+    /// `(cycle, core, metric)`. Sampling is runtime-only: it never
+    /// affects simulated timing or snapshot bytes.
+    pub fn metrics(mut self, path: impl Into<PathBuf>, every: u64) -> SimBuilder {
+        assert!(every > 0, "metrics sampling interval must be positive");
+        self.metrics_path = Some(path.into());
+        self.metrics_every = every;
+        self
+    }
+
     /// Restores the machine from a checkpoint file right after `build()`
     /// assembles it. The checkpoint must match the configured machine
     /// exactly (same variant and knobs); it overwrites any placed
@@ -258,6 +296,14 @@ impl SimBuilder {
         }
         machine.set_checkpointing(self.ckpt_every, self.ckpt_dir);
         machine.set_cancel_flag(self.cancel);
+        machine
+            .set_observability(
+                self.trace_path.as_deref(),
+                self.trace_limit,
+                self.metrics_path.as_deref(),
+                self.metrics_every,
+            )
+            .map_err(BuildError::Io)?;
         Ok(machine)
     }
 }

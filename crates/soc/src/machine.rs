@@ -87,6 +87,11 @@ impl std::error::Error for RunError {}
 pub struct MachineStats {
     /// Total cycles simulated.
     pub cycles: u64,
+    /// Cycles this process actually ticked (a runtime counter, not part
+    /// of snapshots: a restored machine restarts it at zero). The rest
+    /// of `cycles` was fast-forwarded by the idle skip — or, after a
+    /// restore, inherited from the snapshot's warm prefix.
+    pub cycles_ticked: u64,
     /// Per-core pipeline counters.
     pub core: Vec<CoreStats>,
     /// Per-core L1 instruction cache counters.
@@ -157,7 +162,38 @@ pub struct Machine {
     /// every [`CANCEL_POLL_MASK`]+1 cycles (builder knob; runtime-only,
     /// never snapshotted).
     cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    /// Observability session (builder knobs; runtime-only, never
+    /// snapshotted — enabling it cannot change snapshot bytes).
+    obs: Option<Box<ObsState>>,
 }
+
+/// Trace and metrics outputs attached to a machine. All measurement-only:
+/// the per-core [`mi6_obs::Tracer`]s live on the cores and buffer
+/// O3PipeView lines which [`Machine::tick`] drains into `trace`; the
+/// metrics sampler reads occupancy/flow probes every
+/// [`MetricsState::every`] cycles.
+#[derive(Debug)]
+struct ObsState {
+    /// Konata/O3PipeView trace output (tracing enabled iff `Some`).
+    trace: Option<std::io::BufWriter<std::fs::File>>,
+    /// Metrics sampler (sampling enabled iff `Some`).
+    metrics: Option<MetricsState>,
+    /// Reusable buffer for per-core MSHR occupancy sampling.
+    scratch: Vec<u64>,
+}
+
+/// The time-series metrics half of an observability session.
+#[derive(Debug)]
+struct MetricsState {
+    sink: mi6_obs::MetricsSink,
+    out: std::io::BufWriter<std::fs::File>,
+    /// Sampling period in cycles (always > 0).
+    every: u64,
+}
+
+/// Tracer line buffers are drained to the file once they exceed this many
+/// bytes (and unconditionally by [`Machine::flush_observability`]).
+const TRACE_DRAIN_BYTES: usize = 64 * 1024;
 
 /// `run_to_completion` polls the cancel flag whenever
 /// `now & CANCEL_POLL_MASK == 0`: every 4096 cycles, frequent enough that
@@ -199,6 +235,7 @@ impl Machine {
             ckpt_every: 0,
             ckpt_dir: None,
             cancel: None,
+            obs: None,
         }
     }
 
@@ -337,8 +374,156 @@ impl Machine {
         self.mem.tick(self.now);
         self.now += 1;
         self.ticks += 1;
+        if self.obs.is_some() {
+            self.obs_after_tick();
+        }
         if self.ckpt_every != 0 && self.now.is_multiple_of(self.ckpt_every) {
             self.write_auto_checkpoint();
+        }
+    }
+
+    /// Post-tick observability work: drain tracer buffers that grew past
+    /// the drain threshold and take a metrics sample when a sampling
+    /// boundary was crossed. Off the hot path — [`Machine::tick`] only
+    /// enters when an observability session exists.
+    fn obs_after_tick(&mut self) {
+        self.drain_traces(false);
+        if self
+            .metrics_every()
+            .is_some_and(|every| self.now.is_multiple_of(every))
+        {
+            self.sample_metrics();
+        }
+    }
+
+    /// The metrics sampling period, when sampling is on.
+    fn metrics_every(&self) -> Option<u64> {
+        Some(self.obs.as_ref()?.metrics.as_ref()?.every)
+    }
+
+    /// Appends buffered tracer lines to the trace file. Unless `force`,
+    /// only buffers past [`TRACE_DRAIN_BYTES`] are drained, so the
+    /// per-cycle cost is a length check per core.
+    fn drain_traces(&mut self, force: bool) {
+        use std::io::Write;
+        let Some(obs) = self.obs.as_deref_mut() else {
+            return;
+        };
+        let Some(out) = &mut obs.trace else {
+            return;
+        };
+        for core in &mut self.cores {
+            if let Some(t) = core.tracer.as_deref_mut() {
+                if t.pending() > 0 && (force || t.pending() >= TRACE_DRAIN_BYTES) {
+                    out.write_all(t.take().as_bytes()).expect("trace write");
+                }
+            }
+        }
+    }
+
+    /// Takes one metrics sample at the current cycle and appends the rows
+    /// to the metrics file.
+    fn sample_metrics(&mut self) {
+        let Some(mut obs) = self.obs.take() else {
+            return;
+        };
+        if let Some(m) = obs.metrics.as_mut() {
+            self.sample_into(m, &mut obs.scratch);
+        }
+        self.obs = Some(obs);
+    }
+
+    /// Writes one sample into the sink: per-core pipeline occupancy and
+    /// stall/flow counters, LLC MSHR occupancy vs quota, queue depths,
+    /// arbiter grants/denials, DRAM totals and per-region activity, and
+    /// the ticked/fast-forwarded cycle split.
+    fn sample_into(&self, m: &mut MetricsState, scratch: &mut Vec<u64>) {
+        use std::io::Write;
+        let cycle = self.now;
+        let sink = &mut m.sink;
+        for (i, core) in self.cores.iter().enumerate() {
+            let (rob, iq, lq, sq, sb) = core.occupancy();
+            let c = Some(i);
+            sink.gauge(cycle, c, "rob_occupancy", rob as u64);
+            sink.gauge(cycle, c, "iq_occupancy", iq as u64);
+            sink.gauge(cycle, c, "lq_occupancy", lq as u64);
+            sink.gauge(cycle, c, "sq_occupancy", sq as u64);
+            sink.gauge(cycle, c, "sb_occupancy", sb as u64);
+            sink.counter(cycle, c, "committed", core.stats.committed_instructions);
+            sink.counter(cycle, c, "stall_rob_full", core.stalls.rename_rob_full);
+            sink.counter(cycle, c, "stall_iq_full", core.stalls.rename_iq_full);
+            sink.counter(cycle, c, "stall_lq_full", core.stalls.rename_lq_full);
+            sink.counter(cycle, c, "stall_sq_full", core.stalls.rename_sq_full);
+            sink.counter(cycle, c, "stall_sb_full", core.stalls.commit_sb_full);
+        }
+        // LLC MSHR occupancy vs the per-core quota.
+        self.mem.mshr_occupancy(scratch);
+        for (i, &occ) in scratch.iter().enumerate() {
+            sink.gauge(cycle, Some(i), "mshr_occupancy", occ);
+        }
+        sink.gauge(cycle, None, "mshr_quota", self.mem.mshr_quota_per_core());
+        // Queue depths: LLC internals plus each core's request link.
+        let (pipe, dq, uq) = self.mem.llc_queue_depths();
+        sink.gauge(cycle, None, "llc_pipe_depth", pipe as u64);
+        sink.gauge(cycle, None, "llc_dq_depth", dq as u64);
+        sink.gauge(cycle, None, "llc_uq_depth", uq as u64);
+        for i in 0..self.cfg.cores {
+            let (up_req, _, _) = self.mem.link_depths(i);
+            sink.gauge(cycle, Some(i), "link_up_req_depth", up_req as u64);
+        }
+        // Arbiter flow and per-region DRAM activity (the region index
+        // rides in the `core` field; the metric name disambiguates).
+        if let Some(mo) = self.mem.obs() {
+            for (i, (&g, &d)) in mo.arb_grants.iter().zip(&mo.arb_denials).enumerate() {
+                sink.counter(cycle, Some(i), "arb_grants", g);
+                sink.counter(cycle, Some(i), "arb_denials", d);
+            }
+            for (r, &reads) in mo.dram_region_reads.iter().enumerate() {
+                if reads > 0 {
+                    sink.counter(cycle, Some(r), "dram_region_reads", reads);
+                }
+            }
+            for (r, &writes) in mo.dram_region_writes.iter().enumerate() {
+                if writes > 0 {
+                    sink.counter(cycle, Some(r), "dram_region_writes", writes);
+                }
+            }
+        }
+        let (reads, writes, _) = self.mem.dram_stats();
+        sink.gauge(
+            cycle,
+            None,
+            "dram_inflight",
+            self.mem.dram_inflight() as u64,
+        );
+        sink.counter(cycle, None, "dram_reads", reads);
+        sink.counter(cycle, None, "dram_writes", writes);
+        // Ticked vs fast-forwarded cycles: idle-skip spans show up as
+        // windows where `cycles_skipped` dominates.
+        sink.counter(cycle, None, "cycles_ticked", self.ticks);
+        sink.counter(cycle, None, "cycles_skipped", self.now - self.ticks);
+        let rows = m.sink.take();
+        m.out.write_all(rows.as_bytes()).expect("metrics write");
+    }
+
+    /// Drains every tracer buffer and pending metrics rows to their files
+    /// and flushes both. Called automatically at the end of
+    /// [`Machine::run_to_completion`]; callers driving
+    /// [`Machine::tick`]/[`Machine::run_cycles`] directly should call it
+    /// when done.
+    pub fn flush_observability(&mut self) {
+        use std::io::Write;
+        self.drain_traces(true);
+        let Some(obs) = self.obs.as_deref_mut() else {
+            return;
+        };
+        if let Some(out) = &mut obs.trace {
+            out.flush().expect("trace flush");
+        }
+        if let Some(m) = &mut obs.metrics {
+            let rows = m.sink.take();
+            m.out.write_all(rows.as_bytes()).expect("metrics write");
+            m.out.flush().expect("metrics flush");
         }
     }
 
@@ -362,6 +547,13 @@ impl Machine {
     /// Returns [`RunError::Timeout`] if the machine has not halted after
     /// `max_cycles`.
     pub fn run_to_completion(&mut self, max_cycles: u64) -> Result<MachineStats, RunError> {
+        let result = self.run_loop(max_cycles);
+        self.flush_observability();
+        result?;
+        Ok(self.stats())
+    }
+
+    fn run_loop(&mut self, max_cycles: u64) -> Result<(), RunError> {
         let end = self.now + max_cycles;
         // Event-driven idle-skip: when every core is provably stalled on
         // known-time events (DRAM returns, link FIFO arrivals, pipeline
@@ -402,9 +594,21 @@ impl Machine {
                         // exactly on one writes the checkpoint below.
                         target = target.min((periods + 1) * self.ckpt_every);
                     }
+                    if let Some(every) = self.metrics_every() {
+                        // Likewise never skip past a sampling boundary, so
+                        // idle windows still produce their samples (with
+                        // `cycles_skipped` carrying the span).
+                        target = target.min((self.now / every + 1) * every);
+                    }
                     self.fast_forward(target);
                     if self.ckpt_every != 0 && self.now.is_multiple_of(self.ckpt_every) {
                         self.write_auto_checkpoint();
+                    }
+                    if self
+                        .metrics_every()
+                        .is_some_and(|every| self.now.is_multiple_of(every))
+                    {
+                        self.sample_metrics();
                     }
                     backoff = 0;
                     probe_at = self.now;
@@ -415,7 +619,7 @@ impl Machine {
             }
             self.tick();
         }
-        Ok(self.stats())
+        Ok(())
     }
 
     /// The earliest future cycle at which any component could do work, or
@@ -448,6 +652,7 @@ impl Machine {
     pub fn stats(&self) -> MachineStats {
         MachineStats {
             cycles: self.now,
+            cycles_ticked: self.ticks,
             core: self.cores.iter().map(|c| c.stats).collect(),
             l1i: (0..self.cfg.cores)
                 .map(|i| self.mem.l1_stats(i, Port::IFetch))
@@ -508,6 +713,49 @@ impl Machine {
         flag: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
     ) {
         self.cancel = flag;
+    }
+
+    /// Attaches an observability session (builder backend): a per-core
+    /// O3PipeView tracer feeding `trace` and/or a metrics sampler writing
+    /// JSONL to `metrics` every `metrics_every` cycles. No-op when both
+    /// paths are `None`; everything installed here is runtime-only.
+    pub(crate) fn set_observability(
+        &mut self,
+        trace: Option<&std::path::Path>,
+        trace_limit: u64,
+        metrics: Option<&std::path::Path>,
+        metrics_every: u64,
+    ) -> Result<(), String> {
+        if trace.is_none() && metrics.is_none() {
+            return Ok(());
+        }
+        let open = |p: &std::path::Path| {
+            std::fs::File::create(p)
+                .map(std::io::BufWriter::new)
+                .map_err(|e| format!("{}: {e}", p.display()))
+        };
+        let trace_out = trace.map(open).transpose()?;
+        if trace_out.is_some() {
+            let cores = self.cfg.cores;
+            for (i, core) in self.cores.iter_mut().enumerate() {
+                core.tracer = Some(Box::new(mi6_obs::Tracer::new(i, cores, trace_limit)));
+            }
+        }
+        let metrics_out = metrics.map(open).transpose()?;
+        let metrics_state = metrics_out.map(|out| {
+            self.mem.enable_obs();
+            MetricsState {
+                sink: mi6_obs::MetricsSink::new(),
+                out,
+                every: metrics_every.max(1),
+            }
+        });
+        self.obs = Some(Box::new(ObsState {
+            trace: trace_out,
+            metrics: metrics_state,
+            scratch: Vec::new(),
+        }));
+        Ok(())
     }
 
     /// The strict configuration fingerprint: variant, core count, timer,
@@ -897,7 +1145,12 @@ mod tests {
         b.restore(&snap).unwrap();
         assert_eq!(b.now(), a.now());
         let sa = a.run_to_completion(10_000_000).unwrap();
-        let sb = b.run_to_completion(10_000_000).unwrap();
+        let mut sb = b.run_to_completion(10_000_000).unwrap();
+        // `cycles_ticked` is a runtime counter that restarts at restore
+        // (B never ticked the warm prefix); everything simulated must
+        // still match exactly.
+        assert_eq!(sa.cycles_ticked, sb.cycles_ticked + 4_000);
+        sb.cycles_ticked = sa.cycles_ticked;
         assert_eq!(format!("{sa:?}"), format!("{sb:?}"));
         assert_eq!(b.exit_value(0), 42);
         // Identical states must serialize to identical bytes.

@@ -118,9 +118,19 @@ fn fast_forward_matches_tick_every_cycle_per_stage() {
             twin.tick();
         }
         assert_eq!(skip.now(), twin.now(), "{name}: halt cycles diverged");
+        // `cycles_ticked` is the one field that legitimately differs: it
+        // reports the ticked/fast-forwarded split this test exists to
+        // create. Align it, then demand everything else identical.
+        let mut twin_stats = twin.stats();
+        assert_eq!(
+            twin_stats.cycles_ticked,
+            twin.now(),
+            "{name}: twin must not skip"
+        );
+        twin_stats.cycles_ticked = stats.cycles_ticked;
         assert_eq!(
             format!("{:?}", stats),
-            format!("{:?}", twin.stats()),
+            format!("{:?}", twin_stats),
             "{name}: stats diverged"
         );
         assert_eq!(
@@ -128,7 +138,6 @@ fn fast_forward_matches_tick_every_cycle_per_stage() {
             twin.snapshot(),
             "{name}: final machine state diverged"
         );
-        assert_eq!(twin.ticks(), twin.now(), "{name}: twin must not skip");
         total_skipped += skip.now() - skip.ticks();
     }
     // The suite as a whole must actually exercise fast-forwarding (the
