@@ -107,7 +107,7 @@ fn kernels() -> Vec<(&'static str, Profile)> {
 fn usage() -> ! {
     eprintln!(
         "usage: mi6-bench [--kinsts N] [--reps N] [--kernel NAME]... [--json PATH] \
-         [--profile] [--compare BASELINE [--compare-threshold PCT]] \
+         [--stacks PATH] [--profile] [--compare BASELINE [--compare-threshold PCT]] \
          [--trace PATH [--trace-limit OPS]]"
     );
     exit(2);
@@ -130,6 +130,7 @@ fn main() {
     let mut reps: u32 = 3;
     let mut only: Vec<String> = Vec::new();
     let mut json_path: Option<String> = None;
+    let mut stacks_path: Option<String> = None;
     let mut compare_path: Option<String> = None;
     let mut compare_threshold: f64 = 20.0;
     let mut trace_path: Option<String> = None;
@@ -143,6 +144,7 @@ fn main() {
             "--reps" => reps = val().parse().unwrap_or_else(|_| usage()),
             "--kernel" => only.push(val()),
             "--json" => json_path = Some(val()),
+            "--stacks" => stacks_path = Some(val()),
             "--compare" => compare_path = Some(val()),
             "--compare-threshold" => {
                 compare_threshold = val().parse().unwrap_or_else(|_| usage());
@@ -199,8 +201,8 @@ fn main() {
     let params = WorkloadParams::evaluation().with_target_kinsts(kinsts);
     println!("mi6-bench: {kinsts}k instructions per kernel, best of {reps} rep(s), variant BASE");
     println!(
-        "{:<14} {:>12} {:>12} {:>8} {:>12} {:>10} {:>7}",
-        "kernel", "cycles", "insts", "wall s", "Mcycles/s", "Minst/s", "skip %"
+        "{:<14} {:>12} {:>12} {:>8} {:>12} {:>10} {:>7} {:>6}  top stack",
+        "kernel", "cycles", "insts", "wall s", "Mcycles/s", "Minst/s", "skip %", "CPI"
     );
     struct Row {
         name: &'static str,
@@ -210,6 +212,8 @@ fn main() {
         ticked: u64,
         skipped: u64,
         lap: mi6_core::LapProfile,
+        cpi: mi6_core::CpiStack,
+        width: u64,
     }
     let mut rows: Vec<Row> = Vec::new();
     for (name, kernel_profile) in kernels {
@@ -220,6 +224,8 @@ fn main() {
         let mut best: Option<(f64, u64, u64)> = None; // (secs, cycles, insts)
         let mut best_lap = mi6_core::LapProfile::default();
         let mut best_ticked = 0u64;
+        let mut best_cpi = mi6_core::CpiStack::default();
+        let mut best_width = 1u64;
         for _ in 0..reps {
             let mut builder = SimBuilder::new(Variant::Base).without_timer();
             if let Some(path) = &trace_path {
@@ -240,12 +246,27 @@ fn main() {
                 best = Some((secs, stats.cycles, stats.core[0].committed_instructions));
                 best_lap = machine.core(0).lap;
                 best_ticked = machine.ticks();
+                best_cpi = machine.core(0).cpi.clone();
+                best_width = machine.core(0).config().commit_width as u64;
             }
         }
         let (secs, cycles, insts) = best.expect("reps > 0");
         let skipped = cycles.saturating_sub(best_ticked);
+        // Where the cycles went: the two biggest non-base CPI-stack
+        // categories, as shares of all commit slots.
+        let top: Vec<String> = best_cpi
+            .top_blockers()
+            .into_iter()
+            .map(|(cat, slots)| {
+                format!(
+                    "{} {:.0}%",
+                    cat.name(),
+                    slots as f64 * 100.0 / best_cpi.total_slots().max(1) as f64
+                )
+            })
+            .collect();
         println!(
-            "{:<14} {:>12} {:>12} {:>8.2} {:>12.2} {:>10.2} {:>6.1}%",
+            "{:<14} {:>12} {:>12} {:>8.2} {:>12.2} {:>10.2} {:>6.1}% {:>6.2}  {}",
             name,
             cycles,
             insts,
@@ -253,6 +274,8 @@ fn main() {
             cycles as f64 / secs / 1e6,
             insts as f64 / secs / 1e6,
             skipped as f64 * 100.0 / cycles.max(1) as f64,
+            cycles as f64 / insts.max(1) as f64,
+            top.join(", "),
         );
         if profile {
             let total = best_lap.total().max(1) as f64;
@@ -274,6 +297,8 @@ fn main() {
             ticked: best_ticked,
             skipped,
             lap: best_lap,
+            cpi: best_cpi,
+            width: best_width,
         });
     }
     if let Some(path) = &trace_path {
@@ -289,6 +314,25 @@ fn main() {
                 exit(1);
             }
         }
+    }
+    if let Some(path) = stacks_path {
+        // One CPI-stack artifact row per kernel (the best rep's stack —
+        // every rep simulates the identical run, so they all agree).
+        let doc: String = rows
+            .iter()
+            .map(|r| {
+                mi6_obs::stacks_row(r.name, "BASE", 0, r.cpi.cycles, r.width, &r.cpi.slots) + "\n"
+            })
+            .collect();
+        if let Err(e) = mi6_obs::check_stacks_str(&doc) {
+            eprintln!("mi6-bench: refusing to write invalid stacks artifact: {e}");
+            exit(1);
+        }
+        std::fs::write(&path, doc).unwrap_or_else(|e| {
+            eprintln!("mi6-bench: cannot write {path}: {e}");
+            exit(1);
+        });
+        eprintln!("mi6-bench: wrote {path}");
     }
     if let Some(path) = json_path {
         // Machine-readable companion to the table: CI uploads this as the

@@ -90,13 +90,14 @@ struct Cli {
     batch: usize,
     balance: bool,
     metrics_every: u64,
+    stacks: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: mi6-experiments (--figure N)... | --all | --scenario enclave-attacker \
          [--kinsts N] [--timer N] [--threads N] [--seeds N] [--workload NAME]... \
-         [--json PATH|-] [--metrics-every CYCLES --out DIR] \
+         [--json PATH|-] [--stacks PATH] [--metrics-every CYCLES --out DIR] \
          [--warmup CYCLES --checkpoint-dir DIR [--fork-base]] \
          [--shard i/N --out DIR] [--deadline SECS] [--batch N]\n\
          \x20      mi6-experiments merge --out DIR (((--figure N)... | --all) \
@@ -109,8 +110,9 @@ fn parse_args(args: &[String], merge: bool) -> Cli {
     // Merge re-derives the expected grid from flags; anything that only
     // shapes *how* a run executes would be silently meaningless there,
     // so reject it loudly rather than ignore it.
-    const RUN_ONLY: [&str; 10] = [
+    const RUN_ONLY: [&str; 11] = [
         "--json",
+        "--stacks",
         "--threads",
         "--deadline",
         "--batch",
@@ -138,6 +140,7 @@ fn parse_args(args: &[String], merge: bool) -> Cli {
         batch: 0,
         balance: false,
         metrics_every: 0,
+        stacks: None,
     };
     let mut i = 0;
     let value = |args: &[String], i: usize, flag: &str| -> String {
@@ -234,6 +237,10 @@ fn parse_args(args: &[String], merge: bool) -> Cli {
                 cli.json = Some(value(args, i, "--json"));
                 i += 1;
             }
+            "--stacks" => {
+                cli.stacks = Some(PathBuf::from(value(args, i, "--stacks")));
+                i += 1;
+            }
             "--shard" => {
                 let v = value(args, i, "--shard");
                 cli.shard = Some(v.parse().unwrap_or_else(|e| {
@@ -321,6 +328,20 @@ fn parse_args(args: &[String], merge: bool) -> Cli {
     cli
 }
 
+/// Writes a CPI-stacks JSONL artifact, refusing to emit anything the
+/// schema checker would reject (the same gate CI applies downstream).
+fn write_stacks(path: &PathBuf, doc: &str) {
+    if let Err(e) = mi6_obs::check_stacks_str(doc) {
+        eprintln!("refusing to write invalid stacks artifact: {e}");
+        exit(1);
+    }
+    std::fs::write(path, doc).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", path.display());
+        exit(1);
+    });
+    eprintln!("mi6-experiments: wrote {}", path.display());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("merge") {
@@ -385,6 +406,7 @@ fn merge_main(args: &[String]) {
                 }
             );
             print!("{}", plan.render(&results));
+            print!("{}", mi6_bench::render_cpi_decomposition(&results));
         }
     }
 }
@@ -403,6 +425,13 @@ fn run_main(args: &[String]) {
         });
         let points = scenario::run_enclave_attacker(&cli.opts, cli.threads, obs.as_ref());
         scenario::render_enclave_attacker(&points);
+        // Always-on CPI accounting: show where the victim's cycles went
+        // per variant and colocation mode.
+        print!("{}", scenario::render_enclave_cpi(&points));
+        if let Some(path) = &cli.stacks {
+            let doc: String = points.iter().map(|p| p.stacks_row() + "\n").collect();
+            write_stacks(path, &doc);
+        }
         // With metrics on, follow the summary table with the time-series
         // view the artifacts exist for: per-bucket MSHR occupancy and
         // arbiter grants for victim vs attacker.
@@ -536,8 +565,19 @@ fn run_main(args: &[String]) {
                 .join("metrics"),
         }),
     };
+    let mut stack_rows: Vec<String> = Vec::new();
     let outcome = mi6_bench::run_grid_scheduled(&points, &schedule, |res| {
         done += 1;
+        if cli.stacks.is_some() {
+            stack_rows.push(mi6_obs::stacks_row(
+                res.record.name,
+                res.point.variant.name(),
+                0,
+                res.record.cpi.cycles,
+                res.record.commit_width,
+                &res.record.cpi.slots,
+            ));
+        }
         eprintln!(
             "  [{done}/{total}] {} on {}: {} cycles ({} ms, worker {})",
             res.record.name, res.point.variant, res.record.cycles, res.wall_ms, res.worker,
@@ -554,6 +594,15 @@ fn run_main(args: &[String]) {
     });
     if let Some(out) = json.as_mut() {
         out.flush().expect("json flush");
+    }
+    if let Some(path) = &cli.stacks {
+        // Completed points only; a deadline-cancelled point has no stack.
+        let doc: String = stack_rows.iter().map(|r| r.clone() + "\n").collect();
+        if doc.is_empty() {
+            eprintln!("no completed points; skipping stacks artifact");
+        } else {
+            write_stacks(path, &doc);
+        }
     }
     let wall = t0.elapsed();
     // Per-point elapsed times double-count when threads time-slice a
@@ -612,4 +661,5 @@ fn run_main(args: &[String]) {
         .map(|r| r.expect("no cancellations"))
         .collect();
     print!("{}", plan.render(&results));
+    print!("{}", mi6_bench::render_cpi_decomposition(&results));
 }

@@ -182,6 +182,99 @@ pub fn render_figure(figure: u32, results: &[PointResult]) -> String {
     }
 }
 
+/// Renders the per-mechanism CPI-stack decomposition across every
+/// (variant, workload) pair in `results`: for each workload, one table
+/// whose columns are the variants measured and whose rows are the
+/// CPI-stack categories (per-category CPI contribution =
+/// `slots / (commit_width × instructions)`, so a column sums to that
+/// run's CPI). This is the *where did the overhead go* companion to the
+/// overhead figures: FLUSH's cost lands in `squash_*`/`flush`/`frontend`,
+/// PART's in `mem_llc`/`mem_dram` (smaller effective LLC), MISS's in
+/// `mshr_quota_deny`, and ARB's extra pipeline latency in `mem_llc` —
+/// `arb_deny` itself only attributes on the full MI6 machine, whose
+/// round-robin arbiter actually parks requests (the ARB variant models
+/// the arbiter's latency, not its scheduling).
+///
+/// Rows all-zero across every variant are dropped; records without a
+/// stack (pre-CPI-stack journals) are skipped.
+pub fn render_cpi_decomposition(results: &[PointResult]) -> String {
+    use mi6_core::CpiCategory;
+    // (variant, workload-name) → record, first occurrence wins (the same
+    // unique point can back several figures).
+    let mut by_workload: Vec<(&str, Vec<(Variant, &RunRecord)>)> = Vec::new();
+    let mut variants: Vec<Variant> = Vec::new();
+    for r in results {
+        if r.record.cpi.cycles == 0 || r.record.instructions == 0 {
+            continue;
+        }
+        if !variants.contains(&r.point.variant) {
+            variants.push(r.point.variant);
+        }
+        let per = match by_workload.iter_mut().find(|(n, _)| *n == r.record.name) {
+            Some((_, per)) => per,
+            None => {
+                by_workload.push((r.record.name, Vec::new()));
+                &mut by_workload.last_mut().expect("just pushed").1
+            }
+        };
+        if !per.iter().any(|(v, _)| *v == r.point.variant) {
+            per.push((r.point.variant, &r.record));
+        }
+    }
+    if variants.len() < 2 {
+        return String::new();
+    }
+    // Paper order, restricted to what was measured.
+    variants.sort_by_key(|v| Variant::ALL.iter().position(|a| a == v));
+    let mut out = String::new();
+    writeln!(
+        out,
+        "\n=== CPI stacks: per-mechanism cycle attribution (CPI per category) ==="
+    )
+    .unwrap();
+    for (name, per) in &by_workload {
+        let cpi_of = |r: &RunRecord, cat: CpiCategory| {
+            r.cpi.get(cat) as f64 / (r.commit_width * r.instructions) as f64
+        };
+        writeln!(out, "\n--- {name} ---").unwrap();
+        write!(out, "{:<18}", "category").unwrap();
+        let cols: Vec<(Variant, &RunRecord)> = variants
+            .iter()
+            .filter_map(|v| per.iter().find(|(pv, _)| pv == v).copied())
+            .collect();
+        for (v, _) in &cols {
+            write!(out, " {:>12}", v.name()).unwrap();
+        }
+        writeln!(out).unwrap();
+        for cat in CpiCategory::ALL {
+            if cols.iter().all(|(_, r)| r.cpi.get(cat) == 0) {
+                continue;
+            }
+            write!(out, "{:<18}", cat.name()).unwrap();
+            for (_, r) in &cols {
+                write!(out, " {:>12.4}", cpi_of(r, cat)).unwrap();
+            }
+            writeln!(out).unwrap();
+        }
+        write!(out, "{:<18}", "total CPI").unwrap();
+        for (_, r) in &cols {
+            let total: f64 = CpiCategory::ALL.iter().map(|&c| cpi_of(r, c)).sum();
+            write!(out, " {:>12.4}", total).unwrap();
+        }
+        writeln!(out).unwrap();
+        // The overhead line ties the stack back to the runtime figures.
+        if let Some((_, base)) = cols.iter().find(|(v, _)| *v == Variant::Base) {
+            write!(out, "{:<18}", "overhead vs BASE").unwrap();
+            for (_, r) in &cols {
+                let pct = (r.cycles as f64 / base.cycles as f64 - 1.0) * 100.0;
+                write!(out, " {:>11.1}%", pct).unwrap();
+            }
+            writeln!(out).unwrap();
+        }
+    }
+    out
+}
+
 /// Element-wise mean of one grid point's records across seeds (used to
 /// render a figure from a `--seeds N` sweep; derived rates are averaged
 /// directly, counters arithmetically).
@@ -197,13 +290,28 @@ fn mean_record(records: &[&RunRecord]) -> RunRecord {
         llc_mpki: avg(&|r| r.llc_mpki),
         flush_stall_cycles: avg_u64(&|r| r.flush_stall_cycles),
         traps: avg_u64(&|r| r.traps),
-        stalls: mi6_core::StallStats {
-            rename_rob_full: avg_u64(&|r| r.stalls.rename_rob_full),
-            rename_iq_full: avg_u64(&|r| r.stalls.rename_iq_full),
-            rename_lq_full: avg_u64(&|r| r.stalls.rename_lq_full),
-            rename_sq_full: avg_u64(&|r| r.stalls.rename_sq_full),
-            commit_sb_full: avg_u64(&|r| r.stalls.commit_sb_full),
+        cpi: {
+            // Slot-wise mean keeps the categories comparable across
+            // seeds; the sum invariant only holds exactly when the
+            // rounding happens to cancel, so downstream checks apply to
+            // raw per-run stacks, never to seed means.
+            let mut slots = [0u64; mi6_core::CPI_CATEGORIES];
+            for (i, slot) in slots.iter_mut().enumerate() {
+                *slot = avg_u64(&|r| r.cpi.slots[i]);
+            }
+            mi6_core::CpiStack::from_raw(
+                avg_u64(&|r| r.cpi.cycles),
+                slots,
+                [
+                    avg_u64(&|r| r.cpi.rename_rob_full),
+                    avg_u64(&|r| r.cpi.rename_iq_full),
+                    avg_u64(&|r| r.cpi.rename_lq_full),
+                    avg_u64(&|r| r.cpi.rename_sq_full),
+                    avg_u64(&|r| r.cpi.commit_sb_full),
+                ],
+            )
         },
+        commit_width: records[0].commit_width,
         cycles_ticked: avg_u64(&|r| r.cycles_ticked),
         cycles_skipped: avg_u64(&|r| r.cycles_skipped),
     }
@@ -477,7 +585,8 @@ mod tests {
                     llc_mpki: 0.0,
                     flush_stall_cycles: 0,
                     traps: 0,
-                    stalls: Default::default(),
+                    cpi: Default::default(),
+                    commit_width: 2,
                     cycles_ticked: 0,
                     cycles_skipped: 0,
                 },
@@ -516,7 +625,8 @@ mod tests {
                     llc_mpki: 0.0,
                     flush_stall_cycles: 0,
                     traps: 0,
-                    stalls: Default::default(),
+                    cpi: Default::default(),
+                    commit_width: 2,
                     cycles_ticked: 0,
                     cycles_skipped: 0,
                 },

@@ -29,14 +29,16 @@ pub mod runner;
 pub mod scenario;
 pub mod sharding;
 
-pub use figures::{figure_points, mean_results, render_figure, render_seed_ci, FIGURES};
+pub use figures::{
+    figure_points, mean_results, render_cpi_decomposition, render_figure, render_seed_ci, FIGURES,
+};
 pub use runner::{
     run_grid, run_grid_scheduled, run_grid_with, GridMetrics, GridOutcome, GridPoint, GridSchedule,
     PointResult, WarmFork, AGGREGATED_WORKER,
 };
 pub use sharding::{plan_grid, GridPlan};
 
-use mi6_core::StallStats;
+use mi6_core::CpiStack;
 #[allow(unused_imports)] // `Machine` anchors intra-doc links.
 use mi6_soc::{Machine, MachineStats, RunError, SimBuilder, Variant};
 use mi6_workloads::{Workload, WorkloadParams};
@@ -61,10 +63,15 @@ pub struct RunRecord {
     pub flush_stall_cycles: u64,
     /// Traps taken.
     pub traps: u64,
-    /// Core 0's stall-attribution counters (rename blocked on ROB/IQ/
-    /// LQ/SQ-full, commit on SB-full). Runtime-only on the machine side,
-    /// so a restored run reports only its own post-restore stalls.
-    pub stalls: StallStats,
+    /// Core 0's CPI stack: every commit slot of every accounted cycle
+    /// attributed to retired work or its oldest blocking reason, plus the
+    /// structural-pressure event counters. Runtime-only on the machine
+    /// side, so a restored run reports only its own post-restore stack
+    /// (the stack's own `cycles` counter keeps the sum invariant exact
+    /// relative to the restore point).
+    pub cpi: CpiStack,
+    /// The commit width the stack was accounted against (slots per cycle).
+    pub commit_width: u64,
     /// Cycles the machine actually ticked structure-by-structure.
     pub cycles_ticked: u64,
     /// Cycles the machine fast-forwarded through provably inert spans
@@ -88,7 +95,8 @@ impl RunRecord {
             llc_mpki: stats.llc_mpki(),
             flush_stall_cycles: stats.core[0].flush_stall_cycles,
             traps: stats.core[0].traps,
-            stalls: machine.core(0).stalls,
+            cpi: machine.core(0).cpi.clone(),
+            commit_width: machine.core(0).config().commit_width as u64,
             cycles_ticked: machine.ticks(),
             cycles_skipped: (machine.now() - start_cycle).saturating_sub(machine.ticks()),
         }

@@ -16,7 +16,7 @@
 use crate::{
     run_workload_observed, run_workload_restored_observed, HarnessOpts, MetricsSpec, RunRecord,
 };
-use mi6_core::StallStats;
+use mi6_core::{CpiCategory, CpiStack};
 use mi6_grid::Scheduler;
 use mi6_soc::{SimBuilder, Variant};
 use mi6_workloads::{Workload, WorkloadParams};
@@ -98,13 +98,28 @@ impl PointResult {
     /// unsharded ones.
     pub fn to_json(&self) -> String {
         // New fields go at the end (the journal shape is append-only):
-        // stall attribution, ticked-vs-skipped cycle accounting, and the
-        // optional metrics-artifact path, all absent from old journals
-        // and defaulted by `from_json`.
+        // stall attribution (the `stall_*` keys survive under their
+        // historical names, now sourced from the CPI stack's pressure
+        // counters), ticked-vs-skipped cycle accounting, the CPI-stack
+        // slots, and the optional metrics-artifact path, all absent from
+        // old journals and defaulted by `from_json`.
         let metrics = match &self.metrics {
             Some(p) => format!(",\"metrics\":\"{p}\""),
             None => String::new(),
         };
+        let mut cpi = format!(
+            "\"cpi_cycles\":{},\"cpi_commit_width\":{}",
+            self.record.cpi.cycles, self.record.commit_width
+        );
+        for cat in CpiCategory::ALL {
+            use std::fmt::Write as _;
+            let _ = write!(
+                cpi,
+                ",\"{}\":{}",
+                cat.metric_name(),
+                self.record.cpi.get(cat)
+            );
+        }
         format!(
             concat!(
                 "{{\"variant\":\"{}\",\"workload\":\"{}\",\"kinsts\":{},",
@@ -114,7 +129,7 @@ impl PointResult {
                 "\"worker\":{},\"warm\":\"{}\",",
                 "\"stall_rob_full\":{},\"stall_iq_full\":{},\"stall_lq_full\":{},",
                 "\"stall_sq_full\":{},\"stall_sb_full\":{},",
-                "\"cycles_ticked\":{},\"cycles_skipped\":{}{}}}"
+                "\"cycles_ticked\":{},\"cycles_skipped\":{},{}{}}}"
             ),
             self.point.variant.name(),
             self.record.name,
@@ -130,13 +145,14 @@ impl PointResult {
             self.wall_ms,
             self.worker,
             self.warm,
-            self.record.stalls.rename_rob_full,
-            self.record.stalls.rename_iq_full,
-            self.record.stalls.rename_lq_full,
-            self.record.stalls.rename_sq_full,
-            self.record.stalls.commit_sb_full,
+            self.record.cpi.rename_rob_full,
+            self.record.cpi.rename_iq_full,
+            self.record.cpi.rename_lq_full,
+            self.record.cpi.rename_sq_full,
+            self.record.cpi.commit_sb_full,
             self.record.cycles_ticked,
             self.record.cycles_skipped,
+            cpi,
             metrics,
         )
     }
@@ -193,13 +209,26 @@ impl PointResult {
                 llc_mpki: f64_field("llc_mpki")?,
                 flush_stall_cycles: u64_field("flush_stall_cycles")?,
                 traps: u64_field("traps")?,
-                stalls: StallStats {
-                    rename_rob_full: opt_u64("stall_rob_full"),
-                    rename_iq_full: opt_u64("stall_iq_full"),
-                    rename_lq_full: opt_u64("stall_lq_full"),
-                    rename_sq_full: opt_u64("stall_sq_full"),
-                    commit_sb_full: opt_u64("stall_sb_full"),
-                },
+                cpi: CpiStack::from_raw(
+                    opt_u64("cpi_cycles"),
+                    {
+                        let mut slots = [0u64; mi6_core::CPI_CATEGORIES];
+                        for (i, cat) in CpiCategory::ALL.into_iter().enumerate() {
+                            slots[i] = opt_u64(cat.metric_name());
+                        }
+                        slots
+                    },
+                    [
+                        opt_u64("stall_rob_full"),
+                        opt_u64("stall_iq_full"),
+                        opt_u64("stall_lq_full"),
+                        opt_u64("stall_sq_full"),
+                        opt_u64("stall_sb_full"),
+                    ],
+                ),
+                // 0 = "stack absent" (pre-CPI-stack journal); renderers
+                // key stack columns off `cpi.cycles > 0`.
+                commit_width: opt_u64("cpi_commit_width"),
                 cycles_ticked: opt_u64("cycles_ticked"),
                 cycles_skipped: opt_u64("cycles_skipped"),
             },
@@ -709,6 +738,17 @@ mod tests {
         assert!(json.contains("\"warm\":\"cold\""));
         // Seed sweeps are distinguishable in the JSONL stream.
         assert!(json.contains(&format!("\"seed\":{}", crate::DEFAULT_SEED)));
+        // The CPI stack rides along: its own cycle counter, the width it
+        // was accounted against, and one key per category.
+        assert!(json.contains("\"cpi_cycles\":"));
+        assert!(json.contains("\"cpi_commit_width\":2"));
+        for cat in CpiCategory::ALL {
+            assert!(
+                json.contains(&format!("\"{}\":", cat.metric_name())),
+                "missing {}",
+                cat.metric_name()
+            );
+        }
     }
 
     #[test]
@@ -730,6 +770,21 @@ mod tests {
         assert_eq!(parsed.wall_ms, results[0].wall_ms);
         assert_eq!(parsed.worker, results[0].worker);
         assert_eq!(parsed.warm, "cold");
+        // The journaled CPI-stack state (slots, pressure counters, its
+        // own cycle counter) survives the round trip, invariant intact.
+        // (In-flight attribution bookkeeping is deliberately not
+        // journaled, so compare the journaled fields, not the struct.)
+        assert_eq!(parsed.record.cpi.slots, results[0].record.cpi.slots);
+        assert_eq!(parsed.record.cpi.cycles, results[0].record.cpi.cycles);
+        assert_eq!(
+            parsed.record.cpi.pressure(),
+            results[0].record.cpi.pressure()
+        );
+        assert_eq!(parsed.record.commit_width, results[0].record.commit_width);
+        assert_eq!(
+            parsed.record.cpi.total_slots(),
+            parsed.record.cpi.cycles * parsed.record.commit_width
+        );
         // And a torn line is rejected, not misparsed.
         let json = results[0].to_json();
         assert!(PointResult::from_json(&json[..json.len() - 8]).is_err());

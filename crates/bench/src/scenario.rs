@@ -17,7 +17,7 @@
 //! out of the victim's sets and bounds the interference.
 
 use crate::{mean, HarnessOpts};
-use mi6_core::StallStats;
+use mi6_core::{CpiCategory, CpiStack};
 use mi6_isa::{Assembler, Inst, Reg};
 use mi6_soc::{kernel, loader, Program, SimBuilder, Variant};
 use mi6_workloads::{Workload, WorkloadParams};
@@ -51,8 +51,11 @@ pub struct ScenarioPoint {
     pub victim_cycles: u64,
     /// Victim instructions committed.
     pub victim_instructions: u64,
-    /// The victim core's stall-attribution counters.
-    pub victim_stalls: StallStats,
+    /// The victim core's CPI stack (slot attribution plus the
+    /// structural-pressure event counters).
+    pub victim_cpi: CpiStack,
+    /// Commit width the victim's stack was accounted against.
+    pub victim_commit_width: u64,
     /// Machine cycles actually ticked vs fast-forwarded through inert
     /// spans (whole-machine accounting, both cores).
     pub cycles_ticked: u64,
@@ -70,26 +73,58 @@ impl ScenarioPoint {
             Some(p) => format!(",\"metrics\":\"{}\"", p.display()),
             None => String::new(),
         };
+        // `stall_*` keep their historical key names (now sourced from the
+        // CPI stack's pressure counters); the stack itself is appended at
+        // the end, per the append-only journal contract.
+        let mut cpi = format!(
+            "\"cpi_cycles\":{},\"cpi_commit_width\":{}",
+            self.victim_cpi.cycles, self.victim_commit_width
+        );
+        for cat in CpiCategory::ALL {
+            use std::fmt::Write as _;
+            let _ = write!(
+                cpi,
+                ",\"{}\":{}",
+                cat.metric_name(),
+                self.victim_cpi.get(cat)
+            );
+        }
         format!(
             concat!(
                 "{{\"scenario\":\"enclave-attacker\",\"variant\":\"{}\",",
                 "\"contended\":{},\"victim_cycles\":{},\"victim_instructions\":{},",
                 "\"stall_rob_full\":{},\"stall_iq_full\":{},\"stall_lq_full\":{},",
                 "\"stall_sq_full\":{},\"stall_sb_full\":{},",
-                "\"cycles_ticked\":{},\"cycles_skipped\":{}{}}}"
+                "\"cycles_ticked\":{},\"cycles_skipped\":{},{}{}}}"
             ),
             self.variant.name(),
             self.contended,
             self.victim_cycles,
             self.victim_instructions,
-            self.victim_stalls.rename_rob_full,
-            self.victim_stalls.rename_iq_full,
-            self.victim_stalls.rename_lq_full,
-            self.victim_stalls.rename_sq_full,
-            self.victim_stalls.commit_sb_full,
+            self.victim_cpi.rename_rob_full,
+            self.victim_cpi.rename_iq_full,
+            self.victim_cpi.rename_lq_full,
+            self.victim_cpi.rename_sq_full,
+            self.victim_cpi.commit_sb_full,
             self.cycles_ticked,
             self.cycles_skipped,
+            cpi,
             metrics,
+        )
+    }
+
+    /// This point's CPI-stack artifact row (the `--stacks` JSONL; see
+    /// [`mi6_obs::stacks_row`]). Solo/contended is encoded in the name so
+    /// the four scenario points stay distinguishable in one file.
+    pub fn stacks_row(&self) -> String {
+        let mode = if self.contended { "contended" } else { "solo" };
+        mi6_obs::stacks_row(
+            &format!("{VICTIM_NAME}-{mode}"),
+            self.variant.name(),
+            0,
+            self.victim_cpi.cycles,
+            self.victim_commit_width,
+            &self.victim_cpi.slots,
         )
     }
 }
@@ -177,7 +212,8 @@ fn run_point(
         // running afterwards.
         victim_cycles: stats.core[0].cycles,
         victim_instructions: stats.core[0].committed_instructions,
-        victim_stalls: machine.core(0).stalls,
+        victim_cpi: machine.core(0).cpi.clone(),
+        victim_commit_width: machine.core(0).config().commit_width as u64,
         cycles_ticked: machine.ticks(),
         cycles_skipped: machine.now().saturating_sub(machine.ticks()),
         metrics_path,
@@ -279,6 +315,51 @@ pub fn render_enclave_attacker(points: &[ScenarioPoint]) {
             mean(slowdowns.iter().copied())
         );
     }
+}
+
+/// Renders the victim's CPI-stack decomposition across the four scenario
+/// points: per category, the victim's CPI contribution
+/// (`slots / (commit_width × instructions)`), so the columns of one point
+/// sum to its CPI. This answers *where* the attacker-induced cycles go on
+/// BASE (DRAM-served loads after LLC eviction, shared-MSHR pressure) and
+/// which MI6 mechanism absorbs them (partitioned sets keep loads
+/// LLC/L1-served; per-core quotas and round-robin arbitration show up as
+/// the explicit `mshr_quota_deny` / `arb_deny` categories instead of
+/// unbounded memory time).
+pub fn render_enclave_cpi(points: &[ScenarioPoint]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let cpi_of = |p: &ScenarioPoint, cat: CpiCategory| {
+        p.victim_cpi.get(cat) as f64 / (p.victim_commit_width * p.victim_instructions) as f64
+    };
+    writeln!(
+        out,
+        "\n--- victim CPI stack (cycles per instruction, by blocking reason) ---"
+    )
+    .unwrap();
+    write!(out, "{:<18}", "category").unwrap();
+    for p in points {
+        let mode = if p.contended { "cont" } else { "solo" };
+        write!(out, " {:>15}", format!("{} {}", p.variant.name(), mode)).unwrap();
+    }
+    writeln!(out).unwrap();
+    for cat in CpiCategory::ALL {
+        if points.iter().all(|p| p.victim_cpi.get(cat) == 0) {
+            continue;
+        }
+        write!(out, "{:<18}", cat.name()).unwrap();
+        for p in points {
+            write!(out, " {:>15.4}", cpi_of(p, cat)).unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    write!(out, "{:<18}", "total CPI").unwrap();
+    for p in points {
+        let total: f64 = CpiCategory::ALL.iter().map(|&c| cpi_of(p, c)).sum();
+        write!(out, " {:>15.4}", total).unwrap();
+    }
+    writeln!(out).unwrap();
+    out
 }
 
 /// One parsed metrics row: `(cycle, core, metric, value)`; `core` is
@@ -396,7 +477,28 @@ mod tests {
         assert_eq!(points[2].variant, Variant::SecureMi6);
         for p in &points {
             assert!(p.victim_instructions > 10_000, "{p:?}");
+            // Every commit slot of every accounted cycle is attributed.
+            assert_eq!(
+                p.victim_cpi.total_slots(),
+                p.victim_cpi.cycles * p.victim_commit_width,
+                "{p:?}"
+            );
         }
+        // The stack artifact rows pass the schema checker, and the
+        // decomposition table shows the MI6 stall mechanisms explicitly.
+        let doc: String = points.iter().map(|p| p.stacks_row() + "\n").collect();
+        let sum = mi6_obs::check_stacks_str(&doc).unwrap();
+        assert_eq!(sum.rows, 4);
+        let table = render_enclave_cpi(&points);
+        assert!(table.contains("total CPI"), "{table}");
+        // Contention on BASE must surface as memory-side categories.
+        assert!(
+            points[1].victim_cpi.get(CpiCategory::MemDram)
+                + points[1].victim_cpi.get(CpiCategory::MemPending)
+                > points[0].victim_cpi.get(CpiCategory::MemDram)
+                    + points[0].victim_cpi.get(CpiCategory::MemPending),
+            "{table}"
+        );
         let slowdown = |solo: &ScenarioPoint, cont: &ScenarioPoint| {
             cont.victim_cycles as f64 / solo.victim_cycles as f64
         };

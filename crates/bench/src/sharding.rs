@@ -368,7 +368,8 @@ mod tests {
                 llc_mpki: 0.0,
                 flush_stall_cycles: 0,
                 traps: 0,
-                stalls: Default::default(),
+                cpi: Default::default(),
+                commit_width: 2,
                 cycles_ticked: 0,
                 cycles_skipped: 0,
             },
@@ -497,7 +498,8 @@ mod tests {
                         llc_mpki: 0.25,
                         flush_stall_cycles: 0,
                         traps: 0,
-                        stalls: Default::default(),
+                        cpi: Default::default(),
+                        commit_width: 2,
                         cycles_ticked: 0,
                         cycles_skipped: 0,
                     },

@@ -4,6 +4,18 @@
 
 use super::*;
 
+/// Why the commit loop stopped before filling every slot this cycle.
+enum CommitBlock {
+    /// All `commit_width` slots retired.
+    Full,
+    /// ROB empty (frontend bubble or post-squash refill).
+    Empty,
+    /// Head blocked for a known reason.
+    Head(CpiCategory),
+    /// Head load waiting on memory, serve level not yet known.
+    WaitMem(u64),
+}
+
 impl Core {
     // ------------------------------------------------------------- commit
 
@@ -96,7 +108,9 @@ impl Core {
     pub(super) fn take_trap(&mut self, now: u64, cause: TrapCause, epc: u64, tval: u64) {
         self.stats.traps += 1;
         let (lvl, handler) = self.csrs.take_trap(cause, epc, tval, self.priv_level);
-        self.squash_from(now, self.head_seq(), handler);
+        let from = self.head_seq();
+        self.squash_from(now, from, handler);
+        self.cpi.note_squash(CpiCategory::SquashTrap, from);
         self.pc = handler;
         if self.sec.flush_on_trap {
             self.begin_purge_sequence(now, Some((handler, lvl)));
@@ -105,7 +119,68 @@ impl Core {
         }
     }
 
+    /// Commits up to `commit_width` instructions, then charges the
+    /// cycle's commit slots: one `Base` slot per retirement, and every
+    /// leftover slot to the oldest blocking reason reported by
+    /// [`Core::tick_commit_inner`] (the top-down CPI-stack rule).
     pub(super) fn tick_commit(&mut self, now: u64, mem: &mut MemSystem) {
+        let width = self.cfg.commit_width as u64;
+        let (committed, block) = self.tick_commit_inner(now, mem);
+        self.cpi.cycles += 1;
+        self.cpi.charge(CpiCategory::Base, committed);
+        let leftover = width - committed;
+        if leftover == 0 {
+            return;
+        }
+        match block {
+            CommitBlock::Full => {}
+            CommitBlock::Empty => {
+                let reason = self.cpi.empty_reason();
+                self.cpi.charge(reason, leftover);
+            }
+            CommitBlock::Head(cat) => self.cpi.charge(cat, leftover),
+            CommitBlock::WaitMem(seq) => self.cpi.charge_wait_mem(seq, leftover),
+        }
+    }
+
+    /// The blocking reason for the ROB head that `is_done` rejected.
+    fn head_block_reason(&self, now: u64, mem: &MemSystem) -> CommitBlock {
+        match self.rob.stage(0) {
+            Stage::InIq | Stage::Exec { .. } => CommitBlock::Head(CpiCategory::Exec),
+            Stage::MemOp => {
+                let seq = self.rob.seq(0);
+                let m = self.rob.mem(0).expect("mem op");
+                match m.phase {
+                    // Address generation is plain ALU work.
+                    MemPhase::AddrGen { .. } => CommitBlock::Head(CpiCategory::Exec),
+                    MemPhase::Translate | MemPhase::TlbLatency { .. } | MemPhase::WaitWalk => {
+                        CommitBlock::Head(CpiCategory::Tlb)
+                    }
+                    MemPhase::ReadyToAccess => CommitBlock::Head(CpiCategory::MemL1),
+                    MemPhase::WaitMem => match mem.mem_stall_reason(now, self.id) {
+                        Some(MemStallReason::MshrQuotaDeny) => {
+                            CommitBlock::Head(CpiCategory::MshrQuotaDeny)
+                        }
+                        Some(MemStallReason::ArbDeny) => CommitBlock::Head(CpiCategory::ArbDeny),
+                        // Serve level unknown until the fill arrives:
+                        // park the slots in MemPending against the seq.
+                        None => CommitBlock::WaitMem(seq),
+                    },
+                    MemPhase::WaitValue { .. } => CommitBlock::Head(
+                        self.cpi.resolved_level(seq).unwrap_or(CpiCategory::MemL1),
+                    ),
+                    MemPhase::Done => CommitBlock::Head(CpiCategory::Exec),
+                }
+            }
+            // `is_done` admits AtCommit/Done heads, so only a stale
+            // stage can land here; charge it as execution latency.
+            Stage::AtCommit | Stage::Done => CommitBlock::Head(CpiCategory::Exec),
+        }
+    }
+
+    /// The pre-existing commit loop, unchanged in behaviour; returns how
+    /// many slots retired and why the rest could not.
+    fn tick_commit_inner(&mut self, now: u64, mem: &mut MemSystem) -> (u64, CommitBlock) {
         // Asynchronous interrupts preempt at the commit boundary.
         if let Some(irq) = self.csrs.pending_interrupt(self.priv_level) {
             let epc = if self.rob.is_empty() {
@@ -114,12 +189,15 @@ impl Core {
                 self.rob.pc(0)
             };
             self.take_trap(now, TrapCause::Interrupt(irq), epc, 0);
-            return;
+            return (0, CommitBlock::Empty);
         }
-        let mut committed = 0;
-        while committed < self.cfg.commit_width {
-            if self.rob.is_empty() || !self.rob.is_done(0) {
-                break;
+        let mut committed: u64 = 0;
+        while committed < self.cfg.commit_width as u64 {
+            if self.rob.is_empty() {
+                return (committed, CommitBlock::Empty);
+            }
+            if !self.rob.is_done(0) {
+                return (committed, self.head_block_reason(now, mem));
             }
             let seq = self.rob.seq(0);
             let pc = self.rob.pc(0);
@@ -130,14 +208,26 @@ impl Core {
                     self.stats.region_faults += 1;
                 }
                 self.take_trap(now, TrapCause::Exception(e), pc, tval);
-                return;
+                return (committed, CommitBlock::Empty);
             }
             // System instructions execute here, serialized.
             if self.rob.stage(0) == Stage::AtCommit {
                 if !self.commit_system(now, mem, seq) {
-                    return; // stalled (fence/wfi) or redirected (trap)
+                    // Stalled (fence/wfi) or redirected (trap): a redirect
+                    // empties the ROB and charges its squash shadow; a
+                    // stalled fence is store-buffer drain, anything else
+                    // (wfi, halted ebreak) is serialized execution.
+                    let block = if self.rob.is_empty() {
+                        CommitBlock::Empty
+                    } else if matches!(self.rob.inst(0), Inst::Fence) {
+                        CommitBlock::Head(CpiCategory::SbFull)
+                    } else {
+                        CommitBlock::Head(CpiCategory::Exec)
+                    };
+                    return (committed, block);
                 }
                 committed += 1;
+                self.cpi.clear_shadow(seq);
                 continue;
             }
             debug_assert_eq!(self.rob.stage(0), Stage::Done);
@@ -149,9 +239,10 @@ impl Core {
                 let merges = self.sb.iter().any(|s| s.line == line && !s.issued);
                 if !merges && self.sb.len() >= self.cfg.sb_entries {
                     if committed == 0 {
-                        self.stalls.commit_sb_full += 1;
+                        self.cpi.commit_sb_full += 1;
                     }
-                    break; // store buffer full: stall commit
+                    // Store buffer full: stall commit.
+                    return (committed, CommitBlock::Head(CpiCategory::SbFull));
                 }
                 mem.phys.write_bytes(
                     PhysAddr::new(paddr),
@@ -209,7 +300,9 @@ impl Core {
             self.stats.committed_instructions += 1;
             self.csrs.instret += 1;
             committed += 1;
+            self.cpi.clear_shadow(seq);
         }
+        (committed, CommitBlock::Full)
     }
 
     /// Executes a system instruction at the head of the ROB. Returns true
@@ -260,7 +353,9 @@ impl Core {
                 self.csrs.instret += 1;
                 self.pop_head_discard_wakes();
                 let (lvl, epc) = self.csrs.sret();
-                self.squash_from(now, self.head_seq(), epc);
+                let from = self.head_seq();
+                self.squash_from(now, from, epc);
+                self.cpi.note_squash(CpiCategory::SquashTrap, from);
                 self.pc = epc;
                 if self.sec.flush_on_trap {
                     self.begin_purge_sequence(now, Some((epc, lvl)));
@@ -280,7 +375,9 @@ impl Core {
                 self.csrs.instret += 1;
                 self.pop_head_discard_wakes();
                 let (lvl, epc) = self.csrs.mret();
-                self.squash_from(now, self.head_seq(), epc);
+                let from = self.head_seq();
+                self.squash_from(now, from, epc);
+                self.cpi.note_squash(CpiCategory::SquashTrap, from);
                 self.pc = epc;
                 if self.sec.flush_on_trap {
                     self.begin_purge_sequence(now, Some((epc, lvl)));
@@ -365,7 +462,9 @@ impl Core {
                 self.csrs.instret += 1;
                 self.pop_head_discard_wakes();
                 let next = pc + 4;
-                self.squash_from(now, self.head_seq(), next);
+                let from = self.head_seq();
+                self.squash_from(now, from, next);
+                self.cpi.note_squash(CpiCategory::Flush, from);
                 self.pc = next;
                 self.begin_purge_sequence(now, Some((next, self.priv_level)));
                 false

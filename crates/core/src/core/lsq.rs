@@ -232,6 +232,13 @@ impl Core {
                         self.data_completions.remove(&token);
                         let ms = self.rob.mem_mut(idx).expect("mem");
                         ms.phase = MemPhase::WaitValue { ready_at };
+                        // The fill's serve level is known now: move any
+                        // MemPending slots charged for this load to it.
+                        let level = self
+                            .data_levels
+                            .remove(&(seq & TOKEN_MASK))
+                            .unwrap_or(CpiCategory::MemLlc);
+                        self.cpi.resolve_serve_level(seq, level);
                         if let Some(t) = self.tracer.as_deref_mut() {
                             t.mem_phase(seq, "mem", now);
                         }
@@ -297,6 +304,7 @@ impl Core {
             if let Some((lseq, lpc)) = violating {
                 self.stats.mem_order_violations += 1;
                 self.squash_from(now, lseq, lpc);
+                self.cpi.note_squash(CpiCategory::SquashOrder, lseq);
             }
             return;
         }
@@ -327,6 +335,7 @@ impl Core {
             let ms = self.rob.mem_mut(idx).expect("mem");
             ms.phase = MemPhase::WaitValue { ready_at: now + 1 };
             self.lsq.insert_load(line, seq);
+            self.cpi.resolve_serve_level(seq, CpiCategory::MemL1);
             if let Some(t) = self.tracer.as_deref_mut() {
                 t.mem_phase(seq, "fwd", now);
             }
@@ -338,6 +347,7 @@ impl Core {
                 let ms = self.rob.mem_mut(idx).expect("mem");
                 ms.phase = MemPhase::WaitValue { ready_at };
                 self.lsq.insert_load(line, seq);
+                self.cpi.resolve_serve_level(seq, CpiCategory::MemL1);
                 if let Some(t) = self.tracer.as_deref_mut() {
                     t.mem_phase(seq, "l1", now);
                 }

@@ -25,14 +25,15 @@
 
 use crate::branch::{Btb, Prediction, Ras, Tournament};
 use crate::config::{CoreConfig, SecurityConfig};
+use crate::cpi::{CpiCategory, CpiStack};
 use crate::exec;
-use crate::stats::{CoreStats, StallStats};
+use crate::stats::CoreStats;
 use crate::tlb::{Tlb, TlbEntry, TranslationCache};
 use mi6_isa::csr::CsrFile;
 use mi6_isa::paging::{leaf_span, AccessKind, LEVELS};
 use mi6_isa::trap::{Exception, TrapCause};
 use mi6_isa::{Inst, PageTableEntry, PhysAddr, PrivLevel, Reg, VirtAddr, PAGE_SHIFT};
-use mi6_mem::{L1Access, MemSystem, Port, RegionBitvec};
+use mi6_mem::{L1Access, MemStallReason, MemSystem, Port, RegionBitvec, ServeLevel};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 mod commit;
@@ -353,6 +354,10 @@ pub struct Core {
     // Completions that arrived this cycle, keyed by token.
     data_completions: TokenMap<u64>,
     ifetch_completions: TokenMap<u64>,
+    // Serve level of each in-flight load completion, keyed by seq.
+    // Runtime-only CPI-stack side data: never serialized, cleared on
+    // restore alongside `cpi`.
+    data_levels: TokenMap<CpiCategory>,
 
     purge: PurgePhase,
     /// Pending trap redirect after purge completes (handler pc, priv).
@@ -371,8 +376,9 @@ pub struct Core {
     /// is one pointer test). Runtime-only: never serialized, no effect
     /// on simulated timing.
     pub tracer: Option<Box<mi6_obs::Tracer>>,
-    /// Stall-attribution counters. Runtime-only: never serialized.
-    pub stalls: StallStats,
+    /// CPI-stack commit-slot attribution plus structural-pressure
+    /// counters. Runtime-only: never serialized, reset on restore.
+    pub cpi: CpiStack,
 }
 
 impl Core {
@@ -422,12 +428,13 @@ impl Core {
             zombies: TokenSet::default(),
             data_completions: TokenMap::default(),
             ifetch_completions: TokenMap::default(),
+            data_levels: TokenMap::default(),
             purge: PurgePhase::Idle,
             purge_resume: None,
             stats: CoreStats::default(),
             lap: crate::lap::LapProfile::default(),
             tracer: None,
-            stalls: StallStats::default(),
+            cpi: CpiStack::default(),
         }
     }
 
@@ -507,7 +514,9 @@ impl Core {
     /// for the full purge duration and resumes at `resume_pc` in
     /// `resume_priv`.
     pub fn start_purge(&mut self, now: u64, resume_pc: u64, resume_priv: PrivLevel) {
-        self.squash_from(now, self.head_seq(), resume_pc);
+        let from = self.head_seq();
+        self.squash_from(now, from, resume_pc);
+        self.cpi.note_squash(CpiCategory::Flush, from);
         self.stats.purges += 1;
         self.begin_purge_sequence(now, Some((resume_pc, resume_priv)));
     }
@@ -589,6 +598,14 @@ impl Core {
                 // this same tick — exactly when it did before parking.
                 if c.token & !TOKEN_MASK == TOKEN_LOAD {
                     self.lsq.memop_insert(c.token & TOKEN_MASK);
+                    // Remember where the fill came from so the CPI stack
+                    // can split miss cycles by serve level.
+                    let cat = match c.level {
+                        ServeLevel::L1 => CpiCategory::MemL1,
+                        ServeLevel::Llc => CpiCategory::MemLlc,
+                        ServeLevel::Dram => CpiCategory::MemDram,
+                    };
+                    self.data_levels.insert(c.token & TOKEN_MASK, cat);
                 }
             }
         }
@@ -599,6 +616,11 @@ impl Core {
         }
         lap!(slot::COLLECT);
         if self.purge != PurgePhase::Idle {
+            // Every commit slot of a purge/flush drain cycle is the
+            // flush mechanism's cost.
+            self.cpi.cycles += 1;
+            self.cpi
+                .charge(CpiCategory::Flush, self.cfg.commit_width as u64);
             self.tick_purge(now, mem);
             lap!(slot::PURGE);
             return;
@@ -848,6 +870,11 @@ impl Core {
         if !self.halted {
             self.stats.cycles += skipped;
             self.csrs.cycle = target - 1;
+            // Fast-forwarded cycles are explicit idle slots in the CPI
+            // stack, keeping the sum invariant exact under idle-skip.
+            self.cpi.cycles += skipped;
+            self.cpi
+                .charge(CpiCategory::Idle, skipped * self.cfg.commit_width as u64);
         }
     }
 }

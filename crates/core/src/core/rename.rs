@@ -14,7 +14,7 @@ impl Core {
                 // Stall attribution counts whole blocked cycles (first
                 // rename slot blocked with work in hand), not lost slots.
                 if renamed == 0 && !self.fetch_queue.is_empty() {
-                    self.stalls.rename_rob_full += 1;
+                    self.cpi.rename_rob_full += 1;
                 }
                 break;
             }
@@ -57,20 +57,20 @@ impl Core {
                 let iq = &self.iqs[p as usize];
                 if iq.len() >= self.cfg.iq_entries {
                     if renamed == 0 {
-                        self.stalls.rename_iq_full += 1;
+                        self.cpi.rename_iq_full += 1;
                     }
                     break;
                 }
             }
             if inst.is_load() && self.lq_used >= self.cfg.lq_entries {
                 if renamed == 0 {
-                    self.stalls.rename_lq_full += 1;
+                    self.cpi.rename_lq_full += 1;
                 }
                 break;
             }
             if inst.is_store() && self.sq_used >= self.cfg.sq_entries {
                 if renamed == 0 {
-                    self.stalls.rename_sq_full += 1;
+                    self.cpi.rename_sq_full += 1;
                 }
                 break;
             }
@@ -456,6 +456,7 @@ impl Core {
         self.lsq.exec_scratch = seqs;
         if let Some((from, target)) = mispredict {
             self.squash_from(now, from, target);
+            self.cpi.note_squash(CpiCategory::SquashMispredict, from);
         }
     }
 }

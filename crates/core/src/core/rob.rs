@@ -441,6 +441,7 @@ impl Core {
                             // an already-arrived completion behind would
                             // leak it forever — nothing consumes it.)
                             let token = TOKEN_LOAD | (e.seq & TOKEN_MASK);
+                            self.data_levels.remove(&(e.seq & TOKEN_MASK));
                             if self.data_completions.remove(&token).is_some() {
                                 true
                             } else {

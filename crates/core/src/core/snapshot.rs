@@ -616,12 +616,14 @@ impl Core {
         self.rebuild_wakeup();
         // Observability state is runtime-only: the restored in-flight ops
         // were never seen by the tracer, so its hooks must ignore them
-        // (guaranteed by forgetting all live records), and the stall
-        // counters restart from zero.
+        // (guaranteed by forgetting all live records), and the CPI stack
+        // restarts from zero (its own cycle counter keeps the sum
+        // invariant exact relative to the restore point).
         if let Some(t) = &mut self.tracer {
             t.reset_in_flight();
         }
-        self.stalls = StallStats::default();
+        self.cpi = CpiStack::default();
+        self.data_levels = TokenMap::default();
         Ok(())
     }
 }

@@ -21,6 +21,7 @@
 pub mod branch;
 pub mod config;
 pub mod core;
+pub mod cpi;
 pub mod exec;
 pub mod lap;
 pub mod stats;
@@ -29,6 +30,7 @@ pub mod tlb;
 pub use crate::core::Core;
 pub use branch::{Btb, Prediction, Ras, Tournament};
 pub use config::{CoreConfig, SecurityConfig};
+pub use cpi::{CpiCategory, CpiStack, CPI_CATEGORIES};
 pub use lap::{LapProfile, LAP_COMPILED, LAP_STAGES};
-pub use stats::{CoreStats, StallStats};
+pub use stats::CoreStats;
 pub use tlb::{Tlb, TlbEntry, TranslationCache};

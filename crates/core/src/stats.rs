@@ -47,28 +47,6 @@ pub struct CoreStats {
     pub squashed_instructions: u64,
 }
 
-/// Stall-attribution counters: cycles a pipeline stage had work in hand
-/// but could not advance, keyed by the blocking structure. These are the
-/// top-down metrics the lifecycle tracer's per-op stamps aggregate to.
-///
-/// Deliberately **not** part of [`CoreStats`]: that struct's byte layout
-/// is pinned by committed snapshot fixtures, while these counters are
-/// runtime-only — never serialized, reset to zero on a snapshot restore,
-/// and therefore free to grow without a `FORMAT_VERSION` bump.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct StallStats {
-    /// Cycles rename held a fetched instruction but the ROB was full.
-    pub rename_rob_full: u64,
-    /// Cycles rename was blocked by a full issue queue.
-    pub rename_iq_full: u64,
-    /// Cycles rename was blocked by a full load queue.
-    pub rename_lq_full: u64,
-    /// Cycles rename was blocked by a full store queue.
-    pub rename_sq_full: u64,
-    /// Cycles commit stalled on a full store buffer.
-    pub commit_sb_full: u64,
-}
-
 impl CoreStats {
     /// Branch mispredictions per thousand committed instructions
     /// (the Figure 7 metric).

@@ -39,6 +39,22 @@ pub enum L1Access {
     Blocked,
 }
 
+/// Where a miss was ultimately served from. Observability-only (the
+/// CPI stack splits miss cycles by level): never read by timing logic
+/// and never serialized — a completion restored from a snapshot
+/// defaults to `Llc` (it provably went past the L1; the DRAM bit is
+/// not worth a format bump).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ServeLevel {
+    /// L1 hit or store-buffer forward (cores record these themselves).
+    L1,
+    /// LLC hit.
+    #[default]
+    Llc,
+    /// DRAM fill.
+    Dram,
+}
+
 /// A completed miss, reported by [`L1Cache::take_completions`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct L1Completion {
@@ -46,6 +62,8 @@ pub struct L1Completion {
     pub token: ReqToken,
     /// Cycle at which the value is usable.
     pub ready_at: u64,
+    /// Where the fill came from (observability-only).
+    pub level: ServeLevel,
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -353,7 +371,11 @@ impl L1Cache {
         up_resp: &mut DelayFifo<DowngradeResp>,
     ) {
         match msg {
-            ParentMsg::UpgradeResp { line, granted } => {
+            ParentMsg::UpgradeResp {
+                line,
+                granted,
+                from_dram,
+            } => {
                 let idx = self
                     .mshr_for(line)
                     .expect("upgrade response without a matching MSHR");
@@ -368,11 +390,17 @@ impl L1Cache {
                 entry.locked = false;
                 entry.dirty = m.any_store;
                 let ready_at = now + 1;
-                self.completions.extend(
-                    m.waiters
-                        .iter()
-                        .map(|&token| L1Completion { token, ready_at }),
-                );
+                let level = if from_dram {
+                    ServeLevel::Dram
+                } else {
+                    ServeLevel::Llc
+                };
+                self.completions
+                    .extend(m.waiters.iter().map(|&token| L1Completion {
+                        token,
+                        ready_at,
+                        level,
+                    }));
             }
             ParentMsg::DowngradeReq { line, to } => {
                 // Ignore if we no longer hold the line above `to` — a
@@ -529,6 +557,7 @@ impl SnapState for L1Completion {
         Ok(L1Completion {
             token: r.u64()?,
             ready_at: r.u64()?,
+            level: ServeLevel::default(),
         })
     }
 }
@@ -658,6 +687,7 @@ mod tests {
             ParentMsg::UpgradeResp {
                 line: PhysAddr::new(line),
                 granted: want,
+                from_dram: false,
             },
             up_resp,
         );
@@ -701,6 +731,7 @@ mod tests {
             ParentMsg::UpgradeResp {
                 line: PhysAddr::new(0x1000),
                 granted: MsiState::M,
+                from_dram: false,
             },
             &mut resp,
         );
@@ -729,6 +760,7 @@ mod tests {
             ParentMsg::UpgradeResp {
                 line: a,
                 granted: MsiState::S,
+                from_dram: false,
             },
             &mut resp,
         );

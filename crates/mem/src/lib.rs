@@ -60,11 +60,11 @@ pub use config::{
     MshrOrg, UqOrg, LINE_BYTES, LINE_SHIFT,
 };
 pub use dram::{Dram, DramReq, DramResp};
-pub use l1::{L1Access, L1Cache, L1Completion, L1Stats, ReqToken};
+pub use l1::{L1Access, L1Cache, L1Completion, L1Stats, ReqToken, ServeLevel};
 pub use link::DelayFifo;
 pub use llc::{CoreLink, Llc, LlcStats};
 pub use msi::{ChildId, DowngradeResp, MsiState, ParentMsg, UpgradeReq};
 pub use obs::MemObs;
 pub use phys::PhysMem;
 pub use region::{RegionBitvec, RegionId, RegionMap};
-pub use system::{MemSystem, Port};
+pub use system::{MemStallReason, MemSystem, Port};

@@ -117,6 +117,26 @@ impl Llc {
         }
     }
 
+    /// Whether `core` has an admissible message waiting while the
+    /// round-robin arbiter's slot belongs to another core. Read-only
+    /// CPI-stack probe (same waiting predicate as `note_arbitration`);
+    /// always false under the baseline mux, which admits whenever
+    /// anything is pending.
+    pub(crate) fn arb_denied(&self, now: u64, core: usize, link: &CoreLink) -> bool {
+        if !matches!(self.cfg.arbitration, LlcArbitration::RoundRobin) {
+            return false;
+        }
+        if (now % self.cores as u64) as usize == core {
+            return false;
+        }
+        link.up_resp.peek(now).is_some()
+            || (self.wait_pipe + self.fill_ready > 0
+                && self.mshrs.iter().flatten().any(|m| {
+                    m.child.core() == core
+                        && matches!(m.state, MshrState::WaitPipe | MshrState::FillReady)
+                }))
+    }
+
     /// Attributes this cycle's arbitration outcome per core: one grant
     /// for the admitted message's core, one denial for every other core
     /// that had an admissible message waiting. Pure measurement — only

@@ -109,6 +109,10 @@ struct MshrEntry {
     /// MI6 retry bit (Section 5.4.3): the entry re-enters the pipeline
     /// after sending only the writeback.
     retry: bool,
+    /// Whether the request was filled from DRAM. Observability-only
+    /// (CPI-stack serve levels): carried to the child in the upgrade
+    /// response, never read by timing logic, not serialized.
+    from_dram: bool,
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -292,6 +296,7 @@ impl Llc {
             debug_assert_eq!(entry.state, MshrState::WaitDram);
             debug_assert_eq!(entry.line, resp.line);
             entry.state = MshrState::FillReady;
+            entry.from_dram = true;
             self.fill_ready += 1;
         }
         self.process_exit(now);

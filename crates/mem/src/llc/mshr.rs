@@ -61,8 +61,21 @@ impl Llc {
                 to_downgrade: Vec::new(),
                 after: AfterDowngrade::Grant,
                 retry: false,
+                from_dram: false,
             });
         }
+    }
+
+    /// Whether `core`'s head upgrade request is stalled because its MSHR
+    /// allocation domain (per-core quota or target bank) has no free
+    /// entry. Read-only CPI-stack probe: mirrors the allocation test
+    /// [`Llc::accept_requests`] just ran for this cycle.
+    pub(crate) fn quota_denied(&self, now: u64, core: usize, link: &CoreLink) -> bool {
+        let Some(req) = link.up_req.peek(now) else {
+            return false;
+        };
+        let set = self.set_index(req.line);
+        self.find_free_mshr(core, set).is_none()
     }
 
     pub(super) fn free_mshr(&mut self, m: u32) {

@@ -77,6 +77,7 @@ impl Llc {
             ParentMsg::UpgradeResp {
                 line: entry.line,
                 granted: entry.want,
+                from_dram: entry.from_dram,
             },
         );
         let pushed = links[core].down.push(now, msg);

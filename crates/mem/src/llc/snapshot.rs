@@ -132,6 +132,10 @@ impl SnapState for MshrEntry {
             to_downgrade: SnapState::load(r)?,
             after: AfterDowngrade::load(r)?,
             retry: r.bool()?,
+            // Observability-only serve-level bit: not serialized (a
+            // restored fill reads as an LLC serve; not worth a format
+            // bump).
+            from_dram: false,
         })
     }
 }

@@ -124,6 +124,11 @@ pub enum ParentMsg {
         line: PhysAddr,
         /// Granted state.
         granted: MsiState,
+        /// Whether the fill came from DRAM rather than an LLC hit.
+        /// Observability-only (CPI-stack serve levels): never read by
+        /// timing logic and not serialized (defaults to `false` on
+        /// snapshot restore).
+        from_dram: bool,
     },
     /// The parent needs the child to downgrade the line to `to`.
     DowngradeReq {
@@ -215,7 +220,7 @@ impl SnapState for DowngradeResp {
 impl SnapState for ParentMsg {
     fn save(&self, w: &mut SnapWriter) {
         match *self {
-            ParentMsg::UpgradeResp { line, granted } => {
+            ParentMsg::UpgradeResp { line, granted, .. } => {
                 w.u8(0);
                 line.save(w);
                 granted.save(w);
@@ -233,6 +238,7 @@ impl SnapState for ParentMsg {
             0 => Ok(ParentMsg::UpgradeResp {
                 line: PhysAddr::load(r)?,
                 granted: MsiState::load(r)?,
+                from_dram: false,
             }),
             1 => Ok(ParentMsg::DowngradeReq {
                 line: PhysAddr::load(r)?,
@@ -273,7 +279,8 @@ mod tests {
         assert_eq!(
             ParentMsg::UpgradeResp {
                 line: a,
-                granted: MsiState::S
+                granted: MsiState::S,
+                from_dram: false
             }
             .line(),
             a

@@ -24,6 +24,20 @@ pub enum Port {
     Data,
 }
 
+/// Why a core's memory traffic is blocked *inside* the shared hierarchy,
+/// as opposed to plain miss latency. These are the two MI6 mechanisms
+/// that add queuing delay (Sections 5.4.3): the per-core MSHR quota /
+/// bank partition, and the round-robin LLC entry arbiter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemStallReason {
+    /// The core's head upgrade request cannot allocate an MSHR in its
+    /// quota/bank.
+    MshrQuotaDeny,
+    /// The core has an admissible LLC message but the round-robin slot
+    /// belongs to another core.
+    ArbDeny,
+}
+
 /// The memory hierarchy below the cores.
 #[derive(Debug)]
 pub struct MemSystem {
@@ -75,6 +89,22 @@ impl MemSystem {
     /// The DRAM-region map (shared by cores for access checks).
     pub fn region_map(&self) -> RegionMap {
         self.region_map
+    }
+
+    /// Read-only CPI-stack probe: why `core`'s memory traffic is stalled
+    /// by an MI6 isolation mechanism this cycle, if it is. Quota denial
+    /// dominates (the request cannot even enter the LLC); arbiter denial
+    /// covers admissible work waiting out another core's round-robin
+    /// slot. `None` means any wait is plain miss latency.
+    pub fn mem_stall_reason(&self, now: u64, core: usize) -> Option<MemStallReason> {
+        let link = &self.links[core];
+        if self.llc.quota_denied(now, core, link) {
+            return Some(MemStallReason::MshrQuotaDeny);
+        }
+        if self.llc.arb_denied(now, core, link) {
+            return Some(MemStallReason::ArbDeny);
+        }
+        None
     }
 
     /// Issues a timing access for the line containing `addr`.

@@ -5,6 +5,7 @@
 //! ```text
 //! mi6-obs-check trace FILE...
 //! mi6-obs-check metrics FILE...
+//! mi6-obs-check stacks FILE...
 //! ```
 //!
 //! Exits non-zero (with the offending line in the message) on the first
@@ -16,7 +17,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = || {
-        eprintln!("usage: mi6-obs-check trace|metrics FILE...");
+        eprintln!("usage: mi6-obs-check trace|metrics|stacks FILE...");
         ExitCode::from(2)
     };
     let Some((mode, files)) = args.split_first() else {
@@ -45,6 +46,15 @@ fn main() -> ExitCode {
                     s.metrics.len(),
                     s.cycle_range.0,
                     s.cycle_range.1
+                )
+            }),
+            "stacks" => mi6_obs::check_stacks_file(path).map(|s| {
+                format!(
+                    "{}: OK — {} rows, {} workloads, {} slots accounted",
+                    path.display(),
+                    s.rows,
+                    s.workloads.len(),
+                    s.total_slots
                 )
             }),
             _ => return usage(),

@@ -545,6 +545,177 @@ pub fn check_metrics_file(path: &std::path::Path) -> Result<MetricsSummary, Stri
     check_metrics_str(&s).map_err(|e| format!("{}: {e}", path.display()))
 }
 
+// ----------------------------------------------------------- stacks checker
+
+/// The CPI-stack category names, in canonical order. This list is the
+/// artifact schema: every stacks row carries exactly these slot keys.
+/// It is duplicated from `mi6_core::CpiCategory` on purpose (this crate
+/// is dependency-free); a cross-crate test pins the two in sync.
+pub const STACK_CATEGORIES: [&str; 16] = [
+    "base",
+    "idle",
+    "frontend",
+    "exec",
+    "tlb",
+    "mem_l1",
+    "mem_llc",
+    "mem_dram",
+    "mem_pending",
+    "sb_full",
+    "squash_mispredict",
+    "squash_order",
+    "squash_trap",
+    "flush",
+    "mshr_quota_deny",
+    "arb_deny",
+];
+
+/// Formats one CPI-stack artifact row (JSONL). `slots` must follow
+/// [`STACK_CATEGORIES`] order; the emitter and [`check_stacks_str`] are
+/// the two halves of the format contract.
+///
+/// # Panics
+///
+/// Panics if `slots` is not exactly one value per category.
+pub fn stacks_row(
+    name: &str,
+    variant: &str,
+    core: usize,
+    cycles: u64,
+    commit_width: u64,
+    slots: &[u64],
+) -> String {
+    assert_eq!(slots.len(), STACK_CATEGORIES.len());
+    let mut row = format!(
+        "{{\"name\":\"{name}\",\"variant\":\"{variant}\",\"core\":{core},\
+         \"cycles\":{cycles},\"commit_width\":{commit_width}"
+    );
+    for (cat, v) in STACK_CATEGORIES.iter().zip(slots) {
+        let _ = write!(row, ",\"{cat}\":{v}");
+    }
+    row.push('}');
+    row
+}
+
+/// Summary returned by a successful [`check_stacks_str`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StacksSummary {
+    /// Total rows.
+    pub rows: u64,
+    /// Distinct workload names seen.
+    pub workloads: Vec<String>,
+    /// Total commit slots across all rows.
+    pub total_slots: u64,
+}
+
+/// Validates a CPI-stacks JSONL artifact: every line is one flat object
+/// with string `name`/`variant`, integer `core`/`cycles`/`commit_width`
+/// (width >= 1), exactly one integer slot count per [`STACK_CATEGORIES`]
+/// entry, and the sum invariant `sum(slots) == cycles * commit_width`.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line.
+pub fn check_stacks_str(s: &str) -> Result<StacksSummary, String> {
+    let mut rows = 0u64;
+    let mut workloads = std::collections::BTreeSet::new();
+    let mut total_slots = 0u64;
+    for (n, line) in s.lines().enumerate() {
+        let n1 = n + 1;
+        let err = |what: &str| format!("line {n1}: {what} in `{line}`");
+        let body = line
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .ok_or_else(|| err("row is not a JSON object"))?;
+        let mut name = None;
+        let mut cycles = None;
+        let mut width = None;
+        let mut seen_variant = false;
+        let mut slots = std::collections::BTreeMap::new();
+        for field in body.split(',') {
+            let (k, v) = field
+                .split_once(':')
+                .ok_or_else(|| err("malformed field"))?;
+            let k = k
+                .strip_prefix('"')
+                .and_then(|k| k.strip_suffix('"'))
+                .ok_or_else(|| err("key is not a string"))?;
+            match k {
+                "name" | "variant" => {
+                    let v = v
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .ok_or_else(|| err("name/variant is not a string"))?;
+                    if v.is_empty() {
+                        return Err(err("empty name/variant"));
+                    }
+                    if k == "name" {
+                        name = Some(v.to_string());
+                    } else {
+                        seen_variant = true;
+                    }
+                }
+                "core" => {
+                    v.parse::<u64>().map_err(|_| err("bad core"))?;
+                }
+                "cycles" => cycles = Some(v.parse::<u64>().map_err(|_| err("bad cycles"))?),
+                "commit_width" => {
+                    width = Some(v.parse::<u64>().map_err(|_| err("bad commit_width"))?)
+                }
+                cat if STACK_CATEGORIES.contains(&cat) => {
+                    let v = v.parse::<u64>().map_err(|_| err("bad slot count"))?;
+                    if slots.insert(cat, v).is_some() {
+                        return Err(err("duplicate category"));
+                    }
+                }
+                _ => return Err(err("unknown key")),
+            }
+        }
+        let cycles = cycles.ok_or_else(|| err("missing cycles"))?;
+        let width = width.ok_or_else(|| err("missing commit_width"))?;
+        let name = name.ok_or_else(|| err("missing name"))?;
+        if !seen_variant {
+            return Err(err("missing variant"));
+        }
+        if width == 0 {
+            return Err(err("commit_width must be >= 1"));
+        }
+        for cat in STACK_CATEGORIES {
+            if !slots.contains_key(cat) {
+                return Err(err(&format!("missing category `{cat}`")));
+            }
+        }
+        let sum: u64 = slots.values().sum();
+        if sum != cycles * width {
+            return Err(err(&format!(
+                "sum invariant violated: slots sum to {sum}, expected cycles*width = {}",
+                cycles * width
+            )));
+        }
+        workloads.insert(name);
+        total_slots += sum;
+        rows += 1;
+    }
+    if rows == 0 {
+        return Err("stacks file contains no rows".into());
+    }
+    Ok(StacksSummary {
+        rows,
+        workloads: workloads.into_iter().collect(),
+        total_slots,
+    })
+}
+
+/// [`check_stacks_str`] over a file.
+///
+/// # Errors
+///
+/// Returns the I/O or schema error message.
+pub fn check_stacks_file(path: &std::path::Path) -> Result<StacksSummary, String> {
+    let s = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    check_stacks_str(&s).map_err(|e| format!("{}: {e}", path.display()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -657,5 +828,50 @@ mod tests {
                    O3PipeView:rename:500\nO3PipeView:dispatch:500\nO3PipeView:issue:0\n\
                    O3PipeView:complete:0\nO3PipeView:retire:0:store:0\n";
         assert!(check_trace_str(bad).is_err());
+    }
+
+    #[test]
+    fn stacks_row_round_trips_through_checker() {
+        let mut slots = [0u64; 16];
+        slots[0] = 150; // base
+        slots[1] = 40; // idle
+        slots[7] = 10; // mem_dram
+        let row = stacks_row("bzip2", "BASE", 0, 100, 2, &slots);
+        let mut out = row.clone();
+        out.push('\n');
+        slots[0] = 90;
+        slots[1] = 110;
+        slots[7] = 0;
+        out.push_str(&stacks_row("mcf", "FPMA", 1, 100, 2, &slots));
+        let sum = check_stacks_str(&out).unwrap();
+        assert_eq!(
+            sum,
+            StacksSummary {
+                rows: 2,
+                workloads: vec!["bzip2".into(), "mcf".into()],
+                total_slots: 400,
+            }
+        );
+    }
+
+    #[test]
+    fn stacks_checker_rejects_bad_rows() {
+        let mut slots = [0u64; 16];
+        slots[0] = 20;
+        let good = stacks_row("k", "BASE", 0, 10, 2, &slots);
+        assert!(check_stacks_str(&good).is_ok());
+        // Sum invariant broken.
+        slots[0] = 19;
+        let bad = stacks_row("k", "BASE", 0, 10, 2, &slots);
+        assert!(check_stacks_str(&bad).is_err());
+        // Empty file, missing category, unknown key, zero width.
+        assert!(check_stacks_str("").is_err());
+        let missing = good.replace(",\"arb_deny\":0", "");
+        assert!(check_stacks_str(&missing).is_err());
+        let unknown = good.replace("\"arb_deny\"", "\"mystery\"");
+        assert!(check_stacks_str(&unknown).is_err());
+        slots[0] = 0;
+        let zero_w = stacks_row("k", "BASE", 0, 10, 0, &slots);
+        assert!(check_stacks_str(&zero_w).is_err());
     }
 }

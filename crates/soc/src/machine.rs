@@ -9,7 +9,7 @@
 use crate::kernel::{self, kdata_base, KERNEL_BASE, M_STUB_BASE};
 use crate::loader::{self, FrameAllocator, LoadError, Program, UserImage};
 use crate::variant::Variant;
-use mi6_core::{Core, CoreStats};
+use mi6_core::{Core, CoreStats, CpiCategory, CpiStack};
 use mi6_isa::csr;
 use mi6_isa::{Exception, Interrupt, PhysAddr, PrivLevel};
 use mi6_mem::{L1Stats, LlcStats, MemSystem, Port, RegionBitvec, RegionId};
@@ -94,6 +94,11 @@ pub struct MachineStats {
     pub cycles_ticked: u64,
     /// Per-core pipeline counters.
     pub core: Vec<CoreStats>,
+    /// Per-core CPI stacks (commit-slot attribution plus structural
+    /// pressure counters). Runtime-only like `cycles_ticked`: a restored
+    /// machine restarts the stack at zero, and each stack's own `cycles`
+    /// counter covers exactly the slots it accounted.
+    pub cpi: Vec<CpiStack>,
     /// Per-core L1 instruction cache counters.
     pub l1i: Vec<L1Stats>,
     /// Per-core L1 data cache counters.
@@ -450,11 +455,16 @@ impl Machine {
             sink.gauge(cycle, c, "sq_occupancy", sq as u64);
             sink.gauge(cycle, c, "sb_occupancy", sb as u64);
             sink.counter(cycle, c, "committed", core.stats.committed_instructions);
-            sink.counter(cycle, c, "stall_rob_full", core.stalls.rename_rob_full);
-            sink.counter(cycle, c, "stall_iq_full", core.stalls.rename_iq_full);
-            sink.counter(cycle, c, "stall_lq_full", core.stalls.rename_lq_full);
-            sink.counter(cycle, c, "stall_sq_full", core.stalls.rename_sq_full);
-            sink.counter(cycle, c, "stall_sb_full", core.stalls.commit_sb_full);
+            sink.counter(cycle, c, "stall_rob_full", core.cpi.rename_rob_full);
+            sink.counter(cycle, c, "stall_iq_full", core.cpi.rename_iq_full);
+            sink.counter(cycle, c, "stall_lq_full", core.cpi.rename_lq_full);
+            sink.counter(cycle, c, "stall_sq_full", core.cpi.rename_sq_full);
+            sink.counter(cycle, c, "stall_sb_full", core.cpi.commit_sb_full);
+            // CPI-stack slot counters: the sink emits deltas, so each
+            // sample window carries its own slot attribution.
+            for cat in CpiCategory::ALL {
+                sink.counter(cycle, c, cat.metric_name(), core.cpi.get(cat));
+            }
         }
         // LLC MSHR occupancy vs the per-core quota.
         self.mem.mshr_occupancy(scratch);
@@ -654,6 +664,7 @@ impl Machine {
             cycles: self.now,
             cycles_ticked: self.ticks,
             core: self.cores.iter().map(|c| c.stats).collect(),
+            cpi: self.cores.iter().map(|c| c.cpi.clone()).collect(),
             l1i: (0..self.cfg.cores)
                 .map(|i| self.mem.l1_stats(i, Port::IFetch))
                 .collect(),
@@ -1151,6 +1162,17 @@ mod tests {
         // still match exactly.
         assert_eq!(sa.cycles_ticked, sb.cycles_ticked + 4_000);
         sb.cycles_ticked = sa.cycles_ticked;
+        // The CPI stack is runtime-only too: B's stack accounts exactly
+        // the post-restore cycles (its own cycle counter exists for this),
+        // still slot-exact over that window.
+        let width = b.core(0).config().commit_width as u64;
+        assert_eq!(sb.cpi[0].cycles + 4_000, sa.cpi[0].cycles);
+        for s in [&sa, &sb] {
+            assert_eq!(s.cpi[0].total_slots(), s.cpi[0].cycles * width);
+        }
+        let mut sa = sa;
+        sa.cpi.clear();
+        sb.cpi.clear();
         assert_eq!(format!("{sa:?}"), format!("{sb:?}"));
         assert_eq!(b.exit_value(0), 42);
         // Identical states must serialize to identical bytes.

@@ -29,8 +29,9 @@ fn fingerprint(stats: &MachineStats) -> [u64; 8] {
     ]
 }
 
-/// The golden reference run with full observability attached.
-fn observed_run(variant: Variant, trace: &PathBuf, metrics: &PathBuf) -> MachineStats {
+/// The golden reference run with full observability attached. Returns
+/// the stats and core 0's commit width (the CPI-stack slot divisor).
+fn observed_run(variant: Variant, trace: &PathBuf, metrics: &PathBuf) -> (MachineStats, u64) {
     let mut m = SimBuilder::new(variant)
         .timer_interval(50_000)
         .workload(
@@ -41,7 +42,9 @@ fn observed_run(variant: Variant, trace: &PathBuf, metrics: &PathBuf) -> Machine
         .metrics(metrics, 1_000)
         .build()
         .unwrap();
-    m.run_to_completion(300_000_000).unwrap()
+    let stats = m.run_to_completion(300_000_000).unwrap();
+    let width = m.core(0).config().commit_width as u64;
+    (stats, width)
 }
 
 fn tmp(name: &str) -> PathBuf {
@@ -53,11 +56,25 @@ fn tracing_and_metrics_do_not_perturb_golden_fingerprints() {
     for (variant, golden) in [(Variant::Base, GOLDEN_BASE), (Variant::Fpma, GOLDEN_FPMA)] {
         let trace = tmp(&format!("{variant:?}.trace"));
         let metrics = tmp(&format!("{variant:?}.metrics.jsonl"));
-        let stats = observed_run(variant, &trace, &metrics);
+        let (stats, width) = observed_run(variant, &trace, &metrics);
         assert_eq!(
             fingerprint(&stats),
             golden,
             "{variant}: enabling trace+metrics changed the timing\nfull stats: {stats:?}"
+        );
+
+        // The always-on CPI stack accounted every commit slot of every
+        // cycle — on the *golden* run, so the attribution demonstrably
+        // never perturbed timing while staying exhaustive.
+        let cpi = &stats.cpi[0];
+        assert_eq!(
+            cpi.total_slots(),
+            cpi.cycles * width,
+            "{variant}: CPI stack leaks slots: {cpi:?}"
+        );
+        assert_eq!(
+            cpi.cycles, stats.core[0].cycles,
+            "{variant}: stack cycle counter diverged from the core's"
         );
 
         // The trace must be a well-formed O3PipeView stream covering the
@@ -91,6 +108,16 @@ fn tracing_and_metrics_do_not_perturb_golden_fingerprints() {
             assert!(
                 msum.metrics.iter().any(|m| m == needed),
                 "{variant}: metric `{needed}` missing from {:?}",
+                msum.metrics
+            );
+        }
+        // Every CPI-stack category streams as a per-window counter, under
+        // the same names the stacks artifact uses.
+        for cat in mi6_obs::STACK_CATEGORIES {
+            let metric = format!("cpi_{cat}");
+            assert!(
+                msum.metrics.contains(&metric),
+                "{variant}: metric `{metric}` missing from {:?}",
                 msum.metrics
             );
         }

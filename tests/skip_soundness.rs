@@ -10,6 +10,7 @@
 //! manual tick-every-cycle loop, then demands *byte-identical* final
 //! machine state, not just equal stats.
 
+use mi6::core::{CpiCategory, CpiStack};
 use mi6::soc::{SimBuilder, Variant};
 use mi6::workloads::{generate, BranchStyle, Profile, WorkloadParams};
 
@@ -111,7 +112,7 @@ fn fast_forward_matches_tick_every_cycle_per_stage() {
         };
         let mut skip = build();
         let mut twin = build();
-        let stats = skip
+        let mut stats = skip
             .run_to_completion(200_000_000)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         while !twin.all_halted() && twin.now() < skip.now() {
@@ -128,6 +129,51 @@ fn fast_forward_matches_tick_every_cycle_per_stage() {
             "{name}: twin must not skip"
         );
         twin_stats.cycles_ticked = stats.cycles_ticked;
+        // The CPI stack attributes fast-forwarded cycles to the explicit
+        // `Idle` category, while the tick-every twin (which by definition
+        // never skips) charges those same cycles to the live blocking
+        // reason. That split is the *only* legitimate difference: both
+        // stacks account every slot, the twin has no Idle, the skip run's
+        // Idle is exactly the skipped cycles, and every other category
+        // can only lose slots to Idle, never gain.
+        let width = skip.core(0).config().commit_width as u64;
+        let skipped = skip.now() - skip.ticks();
+        let (s_cpi, t_cpi) = (&stats.cpi[0], &twin_stats.cpi[0]);
+        for (who, cpi) in [("skip", s_cpi), ("twin", t_cpi)] {
+            assert_eq!(
+                cpi.total_slots(),
+                cpi.cycles * width,
+                "{name}: {who} stack leaks slots: {cpi:?}"
+            );
+        }
+        assert_eq!(
+            s_cpi.get(CpiCategory::Idle),
+            skipped * width,
+            "{name}: Idle slots != skipped cycles × width"
+        );
+        assert_eq!(t_cpi.get(CpiCategory::Idle), 0, "{name}: twin went idle");
+        for cat in CpiCategory::ALL {
+            if cat != CpiCategory::Idle {
+                assert!(
+                    s_cpi.get(cat) <= t_cpi.get(cat),
+                    "{name}: skip charged {cat:?} more than the twin \
+                     ({} > {})",
+                    s_cpi.get(cat),
+                    t_cpi.get(cat)
+                );
+            }
+        }
+        for (i, (s, t)) in s_cpi.pressure().iter().zip(t_cpi.pressure()).enumerate() {
+            assert!(
+                *s <= t,
+                "{name}: skip pressure counter {i} exceeds the twin's"
+            );
+        }
+        // With the attribution relation pinned above, normalize the
+        // stacks out of the byte-compare (their runtime bookkeeping —
+        // pending-load residue — can also differ across skipped windows).
+        stats.cpi = vec![CpiStack::default(); stats.cpi.len()];
+        twin_stats.cpi = vec![CpiStack::default(); twin_stats.cpi.len()];
         assert_eq!(
             format!("{:?}", stats),
             format!("{:?}", twin_stats),
