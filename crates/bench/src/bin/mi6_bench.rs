@@ -18,6 +18,9 @@
 //! mi6-bench --kernel mixed --trace pipeview.txt  # Konata/O3PipeView trace
 //! mi6-bench --profile            # per-stage lap breakdown (needs the
 //!                                # `lap-profile` feature compiled in)
+//! mi6-bench --mux 8              # multiplexed-grid throughput: aggregate
+//!                                # Mcycles/s at 8 machines per worker vs
+//!                                # serial, plus warm-restore pool-vs-disk
 //! ```
 //!
 //! Each kernel prints one line, e.g.
@@ -26,9 +29,12 @@
 //! (EXPERIMENTS.md records the before/after of each optimisation, and CI
 //! runs this binary non-gating so the trajectory stays visible).
 
-use mi6_soc::{SimBuilder, Variant};
-use mi6_workloads::{generate, BranchStyle, Profile, WorkloadParams};
+use mi6_bench::runner::default_threads;
+use mi6_bench::{GridPoint, GridSchedule, HarnessOpts, WarmFork, SLICE_CYCLES};
+use mi6_soc::{SimBuilder, SnapshotPool, Variant};
+use mi6_workloads::{generate, BranchStyle, Profile, Workload, WorkloadParams};
 use std::process::exit;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The measurement kernels. All working sets fit the 1 MiB LLC (and
@@ -108,9 +114,102 @@ fn usage() -> ! {
     eprintln!(
         "usage: mi6-bench [--kinsts N] [--reps N] [--kernel NAME]... [--json PATH] \
          [--stacks PATH] [--profile] [--compare BASELINE [--compare-threshold PCT]] \
-         [--trace PATH [--trace-limit OPS]]"
+         [--trace PATH [--trace-limit OPS]] [--mux M]"
     );
     exit(2);
+}
+
+/// What `--mux M` measures: the multiplexed machine driver's aggregate
+/// throughput and the warm-snapshot pool's edge over on-disk restores.
+struct MuxBench {
+    threads: usize,
+    mux: usize,
+    points: usize,
+    serial_wall_s: f64,
+    mux_wall_s: f64,
+    serial_cps: f64,
+    mux_cps: f64,
+    pool_warm_wall_s: f64,
+    disk_warm_wall_s: f64,
+}
+
+/// Runs a small miss-heavy grid (BASE/FPMA/ARB × mcf/sjeng) four ways:
+/// cold serial, cold multiplexed (`mux` machines per worker on short
+/// slices), fork-base warmed from the in-memory [`SnapshotPool`], and
+/// fork-base warmed from on-disk snapshot files. The first pair is the
+/// driver's aggregate-throughput number; the second pair shows what
+/// serving restores from memory instead of the filesystem buys.
+fn run_mux_bench(kinsts: u64, mux: usize) -> MuxBench {
+    let threads = default_threads().clamp(1, 4);
+    let opts = HarnessOpts::default().with_kinsts(kinsts).with_timer(0);
+    let points: Vec<GridPoint> = [Variant::Base, Variant::Fpma, Variant::Arb]
+        .into_iter()
+        .flat_map(|variant| {
+            [Workload::Mcf, Workload::Sjeng]
+                .into_iter()
+                .map(move |workload| GridPoint {
+                    variant,
+                    workload,
+                    opts,
+                })
+        })
+        .collect();
+    // Short slices so every point is forced through several park/resume
+    // round-trips — the regime the driver exists for; a warm-up short
+    // enough that even tiny --kinsts runs survive it.
+    let slice = (kinsts.saturating_mul(1000) / 4).clamp(20_000, SLICE_CYCLES);
+    let warmup = (kinsts.saturating_mul(1000) / 4).clamp(1_000, 100_000);
+    let run = |schedule: &GridSchedule| -> (f64, u64) {
+        let t0 = Instant::now();
+        let out = mi6_bench::run_grid_scheduled(&points, schedule, |_| {});
+        let wall = t0.elapsed().as_secs_f64();
+        assert_eq!(out.completed, points.len(), "mux bench grid must complete");
+        let cycles: u64 = out.results.iter().flatten().map(|r| r.record.cycles).sum();
+        (wall, cycles)
+    };
+    let serial = run(&GridSchedule::new(threads));
+    let mut multiplexed_schedule = GridSchedule::new(threads);
+    multiplexed_schedule.mux = mux;
+    multiplexed_schedule.slice = slice;
+    let multiplexed = run(&multiplexed_schedule);
+    // Pool-vs-disk: identical fork-base warm phases, differing only in
+    // where the snapshot lives when the measurement runs restore it.
+    let pool_warm = WarmFork {
+        warmup_cycles: warmup,
+        dir: None,
+        fork_base: true,
+    };
+    let mut pool_schedule = GridSchedule::new(threads);
+    pool_schedule.mux = mux;
+    pool_schedule.slice = slice;
+    pool_schedule.warm = Some(&pool_warm);
+    pool_schedule.pool = Some(Arc::new(SnapshotPool::new()));
+    let (pool_wall, _) = run(&pool_schedule);
+    let dir = std::env::temp_dir().join(format!("mi6-muxbench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let disk_warm = WarmFork {
+        warmup_cycles: warmup,
+        dir: Some(dir.clone()),
+        fork_base: true,
+    };
+    let mut disk_schedule = GridSchedule::new(threads);
+    disk_schedule.mux = mux;
+    disk_schedule.slice = slice;
+    disk_schedule.warm = Some(&disk_warm);
+    disk_schedule.warm_from_disk = true;
+    let (disk_wall, _) = run(&disk_schedule);
+    let _ = std::fs::remove_dir_all(&dir);
+    MuxBench {
+        threads,
+        mux,
+        points: points.len(),
+        serial_wall_s: serial.0,
+        mux_wall_s: multiplexed.0,
+        serial_cps: serial.1 as f64 / serial.0.max(1e-9),
+        mux_cps: multiplexed.1 as f64 / multiplexed.0.max(1e-9),
+        pool_warm_wall_s: pool_wall,
+        disk_warm_wall_s: disk_wall,
+    }
 }
 
 /// Pulls `"cycles_per_sec":<f64>` for one kernel out of a baseline JSON
@@ -136,6 +235,7 @@ fn main() {
     let mut trace_path: Option<String> = None;
     let mut trace_limit: u64 = 0;
     let mut profile = false;
+    let mut mux: usize = 0;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut val = || it.next().unwrap_or_else(|| usage()).clone();
@@ -156,6 +256,13 @@ fn main() {
             "--trace" => trace_path = Some(val()),
             "--trace-limit" => trace_limit = val().parse().unwrap_or_else(|_| usage()),
             "--profile" => profile = true,
+            "--mux" => {
+                mux = val().parse().unwrap_or_else(|_| usage());
+                if mux < 2 {
+                    eprintln!("mi6-bench: --mux wants at least 2 machines per worker");
+                    exit(2);
+                }
+            }
             _ => usage(),
         }
     }
@@ -239,7 +346,7 @@ fn main() {
                 .unwrap_or_else(|e| panic!("loading {name}: {e}"));
             let t0 = Instant::now();
             let stats = machine
-                .run_to_completion(kinsts.saturating_mul(1_000_000).max(400_000_000))
+                .run_to_completion(mi6_workloads::budget::cycle_cap(kinsts))
                 .unwrap_or_else(|e| panic!("running {name}: {e}"));
             let secs = t0.elapsed().as_secs_f64();
             if best.is_none_or(|b| secs < b.0) {
@@ -300,6 +407,24 @@ fn main() {
             cpi: best_cpi,
             width: best_width,
         });
+    }
+    let mux_bench = (mux > 0).then(|| run_mux_bench(kinsts, mux));
+    if let Some(m) = &mux_bench {
+        println!(
+            "mux: {} grid points on {} threads — serial {:.2}s ({:.2} Mcycles/s) vs \
+             {} machines/worker {:.2}s ({:.2} Mcycles/s aggregate)",
+            m.points,
+            m.threads,
+            m.serial_wall_s,
+            m.serial_cps / 1e6,
+            m.mux,
+            m.mux_wall_s,
+            m.mux_cps / 1e6,
+        );
+        println!(
+            "mux: fork-base warm restores — snapshot pool {:.2}s vs on-disk {:.2}s",
+            m.pool_warm_wall_s, m.disk_warm_wall_s,
+        );
     }
     if let Some(path) = &trace_path {
         // Validate the trace we just wrote before anyone feeds it to
@@ -366,9 +491,29 @@ fn main() {
                 )
             })
             .collect();
+        let mux_json = mux_bench
+            .as_ref()
+            .map(|m| {
+                format!(
+                    ",\"mux\":{{\"machines_per_worker\":{},\"threads\":{},\"points\":{},\
+                     \"serial_wall_s\":{:.6},\"mux_wall_s\":{:.6},\
+                     \"serial_cycles_per_sec\":{:.1},\"mux_cycles_per_sec\":{:.1},\
+                     \"pool_warm_wall_s\":{:.6},\"disk_warm_wall_s\":{:.6}}}",
+                    m.mux,
+                    m.threads,
+                    m.points,
+                    m.serial_wall_s,
+                    m.mux_wall_s,
+                    m.serial_cps,
+                    m.mux_cps,
+                    m.pool_warm_wall_s,
+                    m.disk_warm_wall_s,
+                )
+            })
+            .unwrap_or_default();
         let doc = format!(
             "{{\"bench\":\"hotloop\",\"kinsts\":{kinsts},\"reps\":{reps},\"variant\":\"BASE\",\
-             \"kernels\":[{}]}}\n",
+             \"kernels\":[{}]{mux_json}}}\n",
             kernels_json.join(","),
         );
         std::fs::write(&path, doc).unwrap_or_else(|e| {

@@ -35,7 +35,11 @@
 //! snapshot into D, and start grid runs from the warmed state — results
 //! are bit-identical to cold runs and repeat invocations skip the
 //! warm-up), `--fork-base` (warm once per workload on BASE and fork the
-//! quiescent state across every variant), `--scenario enclave-attacker`
+//! quiescent state across every variant; without `--checkpoint-dir`,
+//! warm states live in an in-memory snapshot pool for the life of the
+//! invocation instead of on disk), `--mux M` (admit up to M in-flight
+//! machines per worker thread and time-slice between them — results
+//! stay byte-identical to `--mux 1`), `--scenario enclave-attacker`
 //! (the two-core enclave-vs-attacker grid), `--metrics-every N` +
 //! `--out DIR` (sample the microarchitectural metrics registry every N
 //! cycles into one JSONL artifact per grid/scenario point under DIR —
@@ -49,7 +53,9 @@
 //!   resumes from the journal (finished points are never recomputed).
 //! - `--deadline SECS` — stop claiming new points and cancel in-flight
 //!   simulations once the wall-clock budget expires (exit code 3; the
-//!   journal resumes the rest later).
+//!   journal resumes the rest later). Interrupted points journal a
+//!   `"partial":true` progress line; merge skips those and reports how
+//!   many it saw.
 //! - `--batch N` — points claimed per scheduler queue visit (default:
 //!   auto; batches amortize synchronization over many short runs).
 //! - `merge --out DIR` + the same grid flags — validate that the shard
@@ -65,18 +71,21 @@
 use mi6_bench::runner::default_threads;
 use mi6_bench::sharding::{balance_report, load_shard_dir, merge_shards, open_shard_journal};
 use mi6_bench::{plan_grid, scenario, GridMetrics, GridSchedule, HarnessOpts, WarmFork, FIGURES};
-use mi6_grid::ShardSpec;
+use mi6_grid::{ResultCache, ShardSpec};
+use mi6_soc::SnapshotPool;
 use mi6_workloads::Workload;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::PathBuf;
 use std::process::exit;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 struct Cli {
     figures: Vec<u32>,
     opts: HarnessOpts,
     threads: usize,
+    mux: usize,
     json: Option<String>,
     seeds: u64,
     warmup: u64,
@@ -96,9 +105,9 @@ struct Cli {
 fn usage() -> ! {
     eprintln!(
         "usage: mi6-experiments (--figure N)... | --all | --scenario enclave-attacker \
-         [--kinsts N] [--timer N] [--threads N] [--seeds N] [--workload NAME]... \
+         [--kinsts N] [--timer N] [--threads N] [--mux M] [--seeds N] [--workload NAME]... \
          [--json PATH|-] [--stacks PATH] [--metrics-every CYCLES --out DIR] \
-         [--warmup CYCLES --checkpoint-dir DIR [--fork-base]] \
+         [--warmup CYCLES [--checkpoint-dir DIR] [--fork-base]] \
          [--shard i/N --out DIR] [--deadline SECS] [--batch N]\n\
          \x20      mi6-experiments merge --out DIR (((--figure N)... | --all) \
          [--kinsts N] [--timer N] [--seeds N] [--workload NAME]... | --balance)"
@@ -110,7 +119,8 @@ fn parse_args(args: &[String], merge: bool) -> Cli {
     // Merge re-derives the expected grid from flags; anything that only
     // shapes *how* a run executes would be silently meaningless there,
     // so reject it loudly rather than ignore it.
-    const RUN_ONLY: [&str; 11] = [
+    const RUN_ONLY: [&str; 12] = [
+        "--mux",
         "--json",
         "--stacks",
         "--threads",
@@ -127,6 +137,7 @@ fn parse_args(args: &[String], merge: bool) -> Cli {
         figures: Vec::new(),
         opts: HarnessOpts::default(),
         threads: default_threads(),
+        mux: 1,
         json: None,
         seeds: 1,
         warmup: 0,
@@ -191,6 +202,14 @@ fn parse_args(args: &[String], merge: bool) -> Cli {
                 cli.threads = value(args, i, "--threads")
                     .parse()
                     .unwrap_or_else(|_| usage());
+                i += 1;
+            }
+            "--mux" => {
+                cli.mux = value(args, i, "--mux").parse().unwrap_or_else(|_| usage());
+                if cli.mux == 0 {
+                    eprintln!("--mux must be at least 1 machine per worker");
+                    usage();
+                }
                 i += 1;
             }
             "--seeds" => {
@@ -304,10 +323,6 @@ fn parse_args(args: &[String], merge: bool) -> Cli {
     } else if cli.figures.is_empty() && !cli.balance {
         usage();
     }
-    if cli.warmup > 0 && cli.checkpoint_dir.is_none() {
-        eprintln!("--warmup needs --checkpoint-dir (where warm snapshots are cached)");
-        usage();
-    }
     if cli.fork_base && cli.warmup == 0 {
         eprintln!("--fork-base needs --warmup (the shared warm-up length)");
         usage();
@@ -370,6 +385,13 @@ fn merge_main(args: &[String]) {
         eprintln!(
             "warning: skipped {} unparseable journal line(s) (torn by a killed shard?)",
             loaded.skipped_lines
+        );
+    }
+    if loaded.partial_lines > 0 {
+        eprintln!(
+            "{} partial-progress line(s) skipped (deadline-interrupted points; \
+             resume their shards to finish them)",
+            loaded.partial_lines
         );
     }
     if cli.balance {
@@ -479,15 +501,11 @@ fn run_main(args: &[String]) {
     });
 
     let plan = plan_grid(&cli.figures, cli.opts, cli.seeds, &cli.workloads);
-    let warm = cli
-        .checkpoint_dir
-        .as_ref()
-        .filter(|_| cli.warmup > 0)
-        .map(|dir| WarmFork {
-            warmup_cycles: cli.warmup,
-            dir: dir.clone(),
-            fork_base: cli.fork_base,
-        });
+    let warm = (cli.warmup > 0).then(|| WarmFork {
+        warmup_cycles: cli.warmup,
+        dir: cli.checkpoint_dir.clone(),
+        fork_base: cli.fork_base,
+    });
     let deadline = cli
         .deadline_secs
         .map(|s| Instant::now() + Duration::from_secs(s));
@@ -512,6 +530,12 @@ fn run_main(args: &[String]) {
                     sj.bad_lines
                 );
             }
+            if sj.partial_lines > 0 {
+                eprintln!(
+                    "  {} partial-progress line(s) from an interrupted run; recomputing those points",
+                    sj.partial_lines
+                );
+            }
             let owned = plan.shard_points(spec);
             let todo: Vec<_> = owned
                 .iter()
@@ -530,11 +554,16 @@ fn run_main(args: &[String]) {
     };
 
     eprintln!(
-        "mi6-experiments: {} grid points ({} unique, {} seed(s)) on {} threads{}{}",
+        "mi6-experiments: {} grid points ({} unique, {} seed(s)) on {} threads{}{}{}",
         plan.gross_points(),
         plan.points.len(),
         cli.seeds,
         cli.threads,
+        if cli.mux > 1 {
+            format!(" (mux {} machines/worker)", cli.mux)
+        } else {
+            String::new()
+        },
         match &warm {
             Some(w) if w.fork_base => format!(
                 ", forking all variants from {}-cycle BASE warm-ups",
@@ -564,6 +593,11 @@ fn run_main(args: &[String]) {
                 .expect("validated in parse_args")
                 .join("metrics"),
         }),
+        mux: cli.mux,
+        slice: 0, // auto (SLICE_CYCLES)
+        pool: Some(Arc::new(SnapshotPool::new())),
+        cache: Some(Arc::new(ResultCache::new())),
+        warm_from_disk: false,
     };
     let mut stack_rows: Vec<String> = Vec::new();
     let outcome = mi6_bench::run_grid_scheduled(&points, &schedule, |res| {
@@ -594,6 +628,23 @@ fn run_main(args: &[String]) {
     });
     if let Some(out) = json.as_mut() {
         out.flush().expect("json flush");
+    }
+    // Deadline-interrupted points leave a `"partial":true` progress line
+    // in the shard journal: merge skips them, resume recomputes them,
+    // and campaign tooling can see how far each one got.
+    if !outcome.partials.is_empty() {
+        if let Some(j) = journal.as_mut() {
+            for p in &outcome.partials {
+                j.append(&p.to_json()).unwrap_or_else(|e| {
+                    eprintln!("cannot append to shard journal: {e}");
+                    exit(1);
+                });
+            }
+        }
+        eprintln!(
+            "  {} interrupted point(s) recorded partial progress",
+            outcome.partials.len()
+        );
     }
     if let Some(path) = &cli.stacks {
         // Completed points only; a deadline-cancelled point has no stack.

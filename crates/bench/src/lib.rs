@@ -33,8 +33,8 @@ pub use figures::{
     figure_points, mean_results, render_cpi_decomposition, render_figure, render_seed_ci, FIGURES,
 };
 pub use runner::{
-    run_grid, run_grid_scheduled, run_grid_with, GridMetrics, GridOutcome, GridPoint, GridSchedule,
-    PointResult, WarmFork, AGGREGATED_WORKER,
+    is_partial_line, run_grid, run_grid_scheduled, run_grid_with, GridMetrics, GridOutcome,
+    GridPoint, GridSchedule, PartialPoint, PointResult, WarmFork, AGGREGATED_WORKER, SLICE_CYCLES,
 };
 pub use sharding::{plan_grid, GridPlan};
 
@@ -166,9 +166,11 @@ impl HarnessOpts {
         }
     }
 
-    /// The run-length cap handed to `run_to_completion`.
-    fn cycle_cap(&self) -> u64 {
-        self.kinsts.saturating_mul(1_000_000).max(400_000_000)
+    /// The run-length cap handed to `run_to_completion` (or armed via
+    /// `Machine::begin_run` by the sliced grid driver): the shared
+    /// [`mi6_workloads::budget`] scaling.
+    pub fn cycle_cap(&self) -> u64 {
+        mi6_workloads::budget::cycle_cap(self.kinsts)
     }
 }
 
@@ -219,6 +221,25 @@ pub fn run_workload_observed(
     cancel: Option<Arc<AtomicBool>>,
     metrics: Option<&MetricsSpec>,
 ) -> Option<RunRecord> {
+    let mut machine = build_workload_machine(variant, workload, opts, cancel, metrics);
+    match machine.run_to_completion(opts.cycle_cap()) {
+        Ok(stats) => Some(RunRecord::from_run(workload.name(), &machine, &stats, 0)),
+        Err(RunError::Cancelled { .. }) => None,
+        Err(e) => panic!("running {workload} on {variant}: {e}"),
+    }
+}
+
+/// Builds the machine for one cold run — workload loaded, cancel flag and
+/// metrics attached — without running it. This is the construction half
+/// of [`run_workload_observed`]; the sliced grid driver uses it directly
+/// so it can drive the machine through `Machine::step_slice`.
+pub fn build_workload_machine(
+    variant: Variant,
+    workload: Workload,
+    opts: &HarnessOpts,
+    cancel: Option<Arc<AtomicBool>>,
+    metrics: Option<&MetricsSpec>,
+) -> Machine {
     let params = WorkloadParams::evaluation()
         .with_target_kinsts(opts.kinsts)
         .with_seed(opts.seed);
@@ -231,14 +252,32 @@ pub fn run_workload_observed(
     if let Some(m) = metrics {
         builder = builder.metrics(m.path.clone(), m.every);
     }
-    let mut machine = builder
+    builder
         .build()
-        .unwrap_or_else(|e| panic!("loading {workload}: {e}"));
-    match machine.run_to_completion(opts.cycle_cap()) {
-        Ok(stats) => Some(RunRecord::from_run(workload.name(), &machine, &stats, 0)),
-        Err(RunError::Cancelled { .. }) => None,
-        Err(e) => panic!("running {workload} on {variant}: {e}"),
+        .unwrap_or_else(|e| panic!("loading {workload}: {e}"))
+}
+
+/// Builds the bare machine a warm snapshot restores into — no workload
+/// (the snapshot supplies memory and images), cancel flag and metrics
+/// attached. The construction half of [`run_workload_restored_observed`];
+/// callers restore via `Machine::restore`/`restore_forked` (or hand the
+/// blob to `SimBuilder::restore_from_bytes` themselves).
+pub fn build_restore_target(
+    variant: Variant,
+    opts: &HarnessOpts,
+    cancel: Option<Arc<AtomicBool>>,
+    metrics: Option<&MetricsSpec>,
+) -> Machine {
+    let mut builder = SimBuilder::new(variant).timer_interval(opts.timer);
+    if let Some(flag) = cancel {
+        builder = builder.cancel_flag(flag);
     }
+    if let Some(m) = metrics {
+        builder = builder.metrics(m.path.clone(), m.every);
+    }
+    builder
+        .build()
+        .unwrap_or_else(|e| panic!("building {variant}: {e}"))
 }
 
 /// Continues one workload to completion from a warm checkpoint.

@@ -1,29 +1,34 @@
 //! The parallel experiment runner.
 //!
 //! A figure is a grid of (variant, workload, opts) points. [`run_grid`]
-//! fans the points out across the `mi6-grid` work-stealing scheduler —
-//! per-worker queues, batched claims that amortize synchronization over
-//! many short simulations, steal-on-empty — streams each finished point
-//! through a caller-supplied callback (the CLI writes one JSON object per
-//! point), and returns the results in point order so figure rendering
-//! stays deterministic regardless of completion order.
+//! fans the points out across the `mi6-grid` slice-multiplexing machine
+//! driver: each point's machine is advanced in bounded slices
+//! (`Machine::step_slice`), so `--mux` can keep more machines in flight
+//! than there are worker threads, machines that prove themselves inert
+//! until a far-future cycle park in a wake-ordered heap instead of
+//! owning a thread, and a deadline lands between slices instead of only
+//! between points. The slice sequence is provably invisible in the
+//! results (see `Machine::step_slice`), so driver output is
+//! byte-identical to a serial run.
 //!
 //! [`run_grid_scheduled`] is the full surface: an optional warm-fork
-//! phase, an optional deadline (in-flight machines are interrupted via
-//! the `SimBuilder::cancel_flag` hook and the shard journal resumes the
-//! rest later), and per-point worker attribution.
+//! phase (served from the in-memory [`SnapshotPool`] and/or the on-disk
+//! checkpoint cache), a content-addressed [`ResultCache`] admission
+//! check that short-circuits already-journaled points, an optional
+//! deadline (interrupted machines record [`PartialPoint`] progress and
+//! the shard journal resumes the rest later), and per-point worker
+//! attribution.
 
-use crate::{
-    run_workload_observed, run_workload_restored_observed, HarnessOpts, MetricsSpec, RunRecord,
-};
+use crate::{build_restore_target, build_workload_machine, HarnessOpts, MetricsSpec, RunRecord};
 use mi6_core::{CpiCategory, CpiStack};
-use mi6_grid::Scheduler;
-use mi6_soc::{SimBuilder, Variant};
-use mi6_workloads::{Workload, WorkloadParams};
+use mi6_grid::{MachineDriver, ResultCache, Scheduler, SliceTask, Step, WorkerCtx};
+use mi6_soc::{Machine, PoolKey, SliceOutcome, SnapshotPool, Variant};
+use mi6_workloads::Workload;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// One point of the variant×workload grid.
 #[derive(Clone, Copy, Debug)]
@@ -41,7 +46,8 @@ impl GridPoint {
     ///
     /// The key is the identity a point has *everywhere* — it dedupes
     /// shared passes across figures, assigns the point to a shard
-    /// (`mi6_grid::shard_of`), identifies it in the shard journal, and is
+    /// (`mi6_grid::shard_of`), identifies it in the shard journal,
+    /// addresses the point's result in the [`ResultCache`], and is
     /// what `merge` validates coverage over. Its format is an on-disk
     /// contract; never change it without a migration story.
     pub fn key(&self) -> String {
@@ -70,10 +76,13 @@ pub struct PointResult {
     pub point: GridPoint,
     /// The run's counters.
     pub record: RunRecord,
-    /// Host wall-clock time the simulation took, in milliseconds.
+    /// Host wall-clock time the simulation took, in milliseconds. Under
+    /// `--mux` this is the point's *active* time summed over its slices,
+    /// excluding time parked or queued, so per-point costs stay
+    /// comparable across mux factors.
     pub wall_ms: u64,
-    /// The scheduler worker that ran the point (0 when not run by the
-    /// scheduler, e.g. a merge-reconstructed result predating workers;
+    /// The worker that ran the point's final slice (0 when not run by a
+    /// worker, e.g. a merge-reconstructed result predating workers;
     /// [`AGGREGATED_WORKER`] for seed-aggregated means).
     pub worker: usize,
     /// Warm-up provenance: `"cold"`, `"exact:<cycles>"`, or
@@ -162,10 +171,15 @@ impl PointResult {
     /// # Errors
     ///
     /// Returns a description of the first defect: malformed JSON (e.g. a
-    /// journal line torn by a mid-write kill), a missing field, or an
-    /// unknown variant/workload name.
+    /// journal line torn by a mid-write kill), a missing field, an
+    /// unknown variant/workload name, or a [`PartialPoint`] progress line
+    /// (flagged `"partial":true`), which is *not* a completed result and
+    /// must be recomputed, never merged.
     pub fn from_json(line: &str) -> Result<PointResult, String> {
         let obj = mi6_grid::parse_object(line).map_err(|e| e.to_string())?;
+        if obj.contains_key("partial") {
+            return Err("partial-progress line (interrupted point; recompute it)".to_string());
+        }
         let str_field = |name: &str| -> Result<&str, String> {
             obj.get(name)
                 .and_then(|v| v.as_str())
@@ -243,6 +257,60 @@ impl PointResult {
     }
 }
 
+/// Whether a journal line is a [`PartialPoint`] progress record
+/// (`"partial":true`) rather than a completed result. Journal readers
+/// count these separately from torn/garbage lines: partials are expected
+/// after a deadline and simply mean the point must be recomputed.
+pub fn is_partial_line(line: &str) -> bool {
+    mi6_grid::parse_object(line).is_ok_and(|obj| obj.contains_key("partial"))
+}
+
+/// Partial progress of a point interrupted by a deadline or cancel.
+///
+/// Journaled with a `"partial":true` marker so campaign tooling can see
+/// how far an interrupted shard got; [`PointResult::from_json`] rejects
+/// these lines, so a resumed shard recomputes the point and merge
+/// coverage never counts it.
+#[derive(Clone, Debug)]
+pub struct PartialPoint {
+    /// The interrupted point.
+    pub point: GridPoint,
+    /// Simulated cycle the run was interrupted at.
+    pub cycles: u64,
+    /// Instructions committed so far (core 0).
+    pub instructions: u64,
+    /// Active host milliseconds spent before the interruption.
+    pub wall_ms: u64,
+    /// The worker running (or last to run) the point.
+    pub worker: usize,
+    /// Warm-up provenance tag of the interrupted run.
+    pub warm: String,
+}
+
+impl PartialPoint {
+    /// One JSON progress line, shaped like a [`PointResult`] prefix plus
+    /// the terminal `"partial":true` marker.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"variant\":\"{}\",\"workload\":\"{}\",\"kinsts\":{},",
+                "\"timer\":{},\"seed\":{},\"cycles\":{},\"instructions\":{},",
+                "\"wall_ms\":{},\"worker\":{},\"warm\":\"{}\",\"partial\":true}}"
+            ),
+            self.point.variant.name(),
+            self.point.workload.name(),
+            self.point.opts.kinsts,
+            self.point.opts.timer,
+            self.point.opts.seed,
+            self.cycles,
+            self.instructions,
+            self.wall_ms,
+            self.worker,
+            self.warm,
+        )
+    }
+}
+
 /// Default worker count: one per available hardware thread.
 pub fn default_threads() -> usize {
     std::thread::available_parallelism()
@@ -251,7 +319,11 @@ pub fn default_threads() -> usize {
 }
 
 /// Warm-fork configuration: simulate each point's warm-up prefix once,
-/// snapshot it into `dir`, and start every grid run from the warmed state.
+/// snapshot it, and start every grid run from the warmed state. Warm
+/// states live in the in-memory [`SnapshotPool`] (when the schedule has
+/// one), on disk under `dir` (when set), or both — the pool serves
+/// restores without file I/O, the directory makes them durable across
+/// invocations and shard hosts.
 ///
 /// Two modes:
 ///
@@ -270,8 +342,10 @@ pub fn default_threads() -> usize {
 pub struct WarmFork {
     /// Cycles of warm-up to simulate before the snapshot.
     pub warmup_cycles: u64,
-    /// Directory the warm snapshots are cached in.
-    pub dir: PathBuf,
+    /// On-disk snapshot cache; `None` runs pool-only (warm states live
+    /// and die with the process, so the schedule must supply a
+    /// [`SnapshotPool`]).
+    pub dir: Option<PathBuf>,
     /// Warm on BASE once per workload and fork across variants.
     pub fork_base: bool,
 }
@@ -291,9 +365,10 @@ impl WarmFork {
         }
     }
 
-    /// The snapshot file backing a point (shared across variants in
-    /// fork-base mode).
-    pub fn snapshot_path(&self, point: &GridPoint) -> PathBuf {
+    /// The identity of a point's warm state (shared across variants in
+    /// fork-base mode): the snapshot file name, so the in-memory pool
+    /// and the on-disk cache name states identically.
+    pub fn warm_tag(&self, point: &GridPoint) -> String {
         let variant = if self.fork_base {
             "forkbase".to_string()
         } else {
@@ -305,36 +380,50 @@ impl WarmFork {
                 .collect::<String>()
                 .to_lowercase()
         };
-        self.dir.join(format!(
+        format!(
             "warm-{variant}-{}-k{}-t{}-s{:x}-c{}.mi6snap",
             point.workload.name(),
             point.opts.kinsts,
             point.opts.timer,
             point.opts.seed,
             self.warmup_cycles
-        ))
+        )
     }
 
-    /// Simulates one warm-up and writes its snapshot (atomically, so a
-    /// preempted run never leaves a torn file behind).
-    fn create_snapshot(&self, point: &GridPoint, path: &PathBuf) {
+    /// The snapshot file backing a point, when a checkpoint directory is
+    /// configured (`None` in pool-only mode).
+    pub fn snapshot_path(&self, point: &GridPoint) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(self.warm_tag(point)))
+    }
+
+    /// The pool key a point's warm state is filed under: the fingerprint
+    /// of the machine it restores into (strict for exact restores,
+    /// structural for cross-variant forks — computable on a freshly
+    /// built machine, before any restore) plus the warm tag.
+    fn pool_key(&self, point: &GridPoint, machine: &Machine) -> PoolKey {
+        PoolKey {
+            config: if self.fork_base {
+                machine.structural_fingerprint()
+            } else {
+                machine.strict_fingerprint()
+            },
+            tag: self.warm_tag(point),
+        }
+    }
+
+    /// Simulates one warm-up and publishes its snapshot to the pool (if
+    /// given) and to disk (if a directory is configured; written
+    /// atomically, so a preempted run never leaves a torn file behind).
+    fn create_snapshot(&self, point: &GridPoint, pool: Option<&SnapshotPool>) {
         let variant = self.warm_variant(point);
-        let opts = &point.opts;
-        let params = WorkloadParams::evaluation()
-            .with_target_kinsts(opts.kinsts)
-            .with_seed(opts.seed);
-        let mut machine = SimBuilder::new(variant)
-            .timer_interval(opts.timer)
-            .workload(0, point.workload.build(&params))
-            .build()
-            .unwrap_or_else(|e| panic!("warming {} on {variant}: {e}", point.workload));
+        let mut machine = build_workload_machine(variant, point.workload, &point.opts, None, None);
         machine.run_cycles(self.warmup_cycles);
         assert!(
             !machine.all_halted(),
             "--warmup {} exceeds the total runtime of {} at {}k instructions; lower it",
             self.warmup_cycles,
             point.workload,
-            opts.kinsts
+            point.opts.kinsts
         );
         if self.fork_base {
             // Opportunistic first: many workloads hit a natural quiescent
@@ -352,13 +441,19 @@ impl WarmFork {
                 point.workload
             );
         }
-        // Unique per process: the checkpoint dir is a shared cache, and
-        // two racing invocations writing the same temp name could publish
-        // a torn file through the other's rename.
-        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-        std::fs::write(&tmp, machine.snapshot())
-            .and_then(|()| std::fs::rename(&tmp, path))
-            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        let bytes = machine.snapshot();
+        if let Some(path) = self.snapshot_path(point) {
+            // Unique per process: the checkpoint dir is a shared cache,
+            // and two racing invocations writing the same temp name could
+            // publish a torn file through the other's rename.
+            let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+            std::fs::write(&tmp, &bytes)
+                .and_then(|()| std::fs::rename(&tmp, &path))
+                .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        }
+        if let Some(pool) = pool {
+            pool.insert(self.pool_key(point, &machine), bytes);
+        }
     }
 }
 
@@ -382,22 +477,49 @@ impl GridMetrics {
     }
 }
 
+/// Default measurement slice, in simulated cycles: long enough that
+/// slicing overhead vanishes (a slice boundary is one function return
+/// plus one queue push), short enough that `--mux` oversubscription
+/// actually interleaves points and a deadline lands promptly between
+/// slices.
+pub const SLICE_CYCLES: u64 = 4_000_000;
+
 /// How [`run_grid_scheduled`] runs a point set.
 #[derive(Clone, Debug)]
 pub struct GridSchedule<'w> {
     /// Worker thread count.
     pub threads: usize,
-    /// Points claimed per queue visit (0 = auto; see
-    /// [`mi6_grid::Scheduler`]).
+    /// Warm-ups claimed per queue visit in the warm-fork phase (0 =
+    /// auto; see [`mi6_grid::Scheduler`]). The measurement phase admits
+    /// machines one at a time — a slice is long enough that claim
+    /// batching has nothing left to amortize.
     pub batch: usize,
     /// Optional warm-fork phase.
     pub warm: Option<&'w WarmFork>,
-    /// Stop claiming new points and cancel in-flight machines once this
-    /// instant passes; unfinished points stay un-journaled so a resumed
-    /// shard recomputes exactly them.
+    /// Stop admitting new points and cancel in-flight machines once this
+    /// instant passes; unfinished points stay un-journaled (their
+    /// progress is reported as [`PartialPoint`]s) so a resumed shard
+    /// recomputes exactly them.
     pub deadline: Option<Instant>,
     /// Optional per-point metrics sampling (`--metrics-every`).
     pub metrics: Option<GridMetrics>,
+    /// In-flight machines per worker (the `--mux` oversubscription
+    /// factor; 0 or 1 = one machine per worker, the classic schedule).
+    pub mux: usize,
+    /// Measurement slice length in simulated cycles (0 = auto,
+    /// [`SLICE_CYCLES`]). Slicing is invisible in the results; this only
+    /// tunes scheduling granularity.
+    pub slice: u64,
+    /// In-memory warm-snapshot pool: warm states are published here by
+    /// the warm phase and restores are served from it without file I/O.
+    pub pool: Option<Arc<SnapshotPool>>,
+    /// Content-addressed result cache: points whose key is already
+    /// cached under this grid's warm tag are replayed without
+    /// simulation, and every computed result is inserted.
+    pub cache: Option<Arc<ResultCache>>,
+    /// Force warm restores to read snapshots from disk even when the
+    /// pool holds them (the bench's pool-vs-disk comparison switch).
+    pub warm_from_disk: bool,
 }
 
 impl<'w> GridSchedule<'w> {
@@ -409,6 +531,11 @@ impl<'w> GridSchedule<'w> {
             warm: None,
             deadline: None,
             metrics: None,
+            mux: 1,
+            slice: 0,
+            pool: None,
+            cache: None,
+            warm_from_disk: false,
         }
     }
 }
@@ -418,12 +545,15 @@ impl<'w> GridSchedule<'w> {
 pub struct GridOutcome {
     /// Per-point results in `points` order; `None` = cancelled/unstarted.
     pub results: Vec<Option<PointResult>>,
-    /// Points that finished.
+    /// Points that finished (simulated or replayed from the cache).
     pub completed: usize,
     /// Points that did not (deadline).
     pub cancelled: usize,
     /// Whether the deadline fired.
     pub deadline_hit: bool,
+    /// Partial progress of interrupted points (machines that had started
+    /// when the deadline/cancel landed), for journaling and reporting.
+    pub partials: Vec<PartialPoint>,
 }
 
 /// Runs every grid point across `threads` worker threads.
@@ -457,9 +587,173 @@ pub fn run_grid_with(
         .collect()
 }
 
-/// The full scheduled grid run: warm-fork phase (if configured), then the
-/// measurement phase on the work-stealing scheduler, with per-point
-/// cancellation against the deadline.
+/// One in-flight grid point driven in slices by the machine driver.
+///
+/// The machine is built lazily on the first slice (so a 10,000-point
+/// grid holds at most `workers × mux` machines), armed once with
+/// `begin_run`, then advanced slice by slice. `step_slice`'s contract
+/// makes the slice sequence invisible, so results are byte-identical to
+/// the old run-to-completion path.
+struct PointTask<'a> {
+    point: GridPoint,
+    schedule: &'a GridSchedule<'a>,
+    warm_tag: &'a str,
+    cancel: Arc<AtomicBool>,
+    /// Slice budget in simulated cycles.
+    slice: u64,
+    /// Interrupted-progress sink shared with the grid run.
+    partials: &'a Mutex<Vec<PartialPoint>>,
+    /// The machine and the cycle measurement started at (post-restore),
+    /// built on the first slice.
+    machine: Option<(Machine, u64)>,
+    /// Metrics attachment (resolved per point; the path is attributed in
+    /// the result).
+    metrics: Option<MetricsSpec>,
+    /// Minimum budget for the next slice: a parked idle-skip jump must
+    /// fit entirely in the slice that resumes it, or the task would
+    /// re-park forever.
+    boost: u64,
+    /// Worker that ran the most recent slice (partial attribution when
+    /// the task is abandoned in a queue).
+    last_worker: usize,
+    /// Active host time accumulated across slices.
+    wall: Duration,
+}
+
+impl PointTask<'_> {
+    /// Builds the point's machine (cold, or restored from the warm pool
+    /// or disk cache) and arms the run.
+    fn build(&self) -> (Machine, u64) {
+        let p = &self.point;
+        let cancel = Some(Arc::clone(&self.cancel));
+        let mut built = match self.schedule.warm {
+            None => (
+                build_workload_machine(
+                    p.variant,
+                    p.workload,
+                    &p.opts,
+                    cancel,
+                    self.metrics.as_ref(),
+                ),
+                0,
+            ),
+            Some(warm) => {
+                let mut machine =
+                    build_restore_target(p.variant, &p.opts, cancel, self.metrics.as_ref());
+                let blob = self.warm_blob(warm, &machine);
+                let restored = if warm.fork_base {
+                    machine.restore_forked(&blob)
+                } else {
+                    machine.restore(&blob)
+                };
+                restored.unwrap_or_else(|e| {
+                    panic!("restoring {} warm state on {}: {e}", p.workload, p.variant)
+                });
+                let start = machine.now();
+                (machine, start)
+            }
+        };
+        built.0.begin_run(p.opts.cycle_cap());
+        built
+    }
+
+    /// Fetches the point's warm snapshot: from the pool when allowed and
+    /// present, else from disk (publishing the bytes back into the pool
+    /// so sibling points skip the read).
+    fn warm_blob(&self, warm: &WarmFork, machine: &Machine) -> Arc<Vec<u8>> {
+        let pool = self
+            .schedule
+            .pool
+            .as_deref()
+            .filter(|_| !self.schedule.warm_from_disk);
+        let key = pool.map(|_| warm.pool_key(&self.point, machine));
+        if let (Some(pool), Some(key)) = (pool, &key) {
+            if let Some(blob) = pool.get(key) {
+                return blob;
+            }
+        }
+        let path = warm.snapshot_path(&self.point).unwrap_or_else(|| {
+            panic!(
+                "warm snapshot for {} is in neither the pool nor a checkpoint dir",
+                self.point.key()
+            )
+        });
+        let bytes =
+            std::fs::read(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+        match (pool, key) {
+            (Some(pool), Some(k)) => pool.insert(k.clone(), bytes),
+            _ => Arc::new(bytes),
+        }
+    }
+
+    /// Records the point's progress at an interruption.
+    fn record_partial(&self, worker: usize) {
+        let Some((machine, _)) = &self.machine else {
+            return;
+        };
+        self.partials.lock().unwrap().push(PartialPoint {
+            point: self.point,
+            cycles: machine.now(),
+            instructions: machine.stats().core[0].committed_instructions,
+            wall_ms: self.wall.as_millis() as u64,
+            worker,
+            warm: self.warm_tag.to_string(),
+        });
+    }
+}
+
+impl SliceTask for PointTask<'_> {
+    type Done = PointResult;
+
+    fn step(&mut self, ctx: &WorkerCtx) -> Step<PointResult> {
+        let t0 = Instant::now();
+        self.last_worker = ctx.worker;
+        if self.machine.is_none() {
+            self.machine = Some(self.build());
+        }
+        let (machine, start_cycle) = self.machine.as_mut().expect("just built");
+        let budget = self.slice.max(self.boost);
+        self.boost = 0;
+        let outcome = machine.step_slice(budget);
+        self.wall += t0.elapsed();
+        match outcome {
+            SliceOutcome::Completed(stats) => {
+                let record =
+                    RunRecord::from_run(self.point.workload.name(), machine, &stats, *start_cycle);
+                Step::Done(PointResult {
+                    point: self.point,
+                    record,
+                    wall_ms: self.wall.as_millis() as u64,
+                    worker: ctx.worker,
+                    warm: self.warm_tag.to_string(),
+                    metrics: self.metrics.as_ref().map(|m| m.path.display().to_string()),
+                })
+            }
+            SliceOutcome::BudgetExhausted { .. } => Step::Yield,
+            SliceOutcome::Blocked { until_cycle } => {
+                self.boost = until_cycle.saturating_sub(machine.now());
+                Step::Blocked { wake: until_cycle }
+            }
+            SliceOutcome::Cancelled { .. } => {
+                self.record_partial(ctx.worker);
+                Step::Abort
+            }
+            SliceOutcome::TimedOut { at_cycle } => panic!(
+                "{} on {} still running after {at_cycle} cycles",
+                self.point.workload, self.point.variant
+            ),
+        }
+    }
+
+    fn abandon(&mut self) {
+        self.record_partial(self.last_worker);
+    }
+}
+
+/// The full scheduled grid run: cache admission, then the warm-fork
+/// phase for the points that still need simulating (if configured), then
+/// the measurement phase on the slice-multiplexing machine driver, with
+/// per-point cancellation against the deadline.
 pub fn run_grid_scheduled(
     points: &[GridPoint],
     schedule: &GridSchedule<'_>,
@@ -472,103 +766,151 @@ pub fn run_grid_scheduled(
             completed: 0,
             cancelled: 0,
             deadline_hit: false,
+            partials: Vec::new(),
         };
-    }
-    let warm_sched = Scheduler::new(schedule.threads).with_deadline(schedule.deadline);
-    if let Some(warm) = schedule.warm {
-        std::fs::create_dir_all(&warm.dir)
-            .unwrap_or_else(|e| panic!("cannot create {}: {e}", warm.dir.display()));
-        // One warm-up per unique snapshot file; skip files that already
-        // exist (the cache / preemption-resume / cross-host path).
-        let mut pending: BTreeMap<PathBuf, GridPoint> = BTreeMap::new();
-        for p in points {
-            let path = warm.snapshot_path(p);
-            if !path.exists() {
-                pending.entry(path).or_insert(*p);
-            }
-        }
-        let todo: Vec<(PathBuf, GridPoint)> = pending.into_iter().collect();
-        if !todo.is_empty() {
-            eprintln!(
-                "  warm-fork: simulating {} warm-up prefix(es) of {} cycles",
-                todo.len(),
-                warm.warmup_cycles
-            );
-            // Deadline granularity here is one warm-up: a warm-up that
-            // has started always completes and publishes its snapshot
-            // (later invocations reuse it), but no new ones are claimed
-            // past the deadline.
-            warm_sched.run(
-                &todo,
-                |_ctx, _i, (path, point)| {
-                    warm.create_snapshot(point, path);
-                    Some(())
-                },
-                |_, _| {},
-            );
-        }
     }
     let warm_tag = match schedule.warm {
         None => "cold".to_string(),
         Some(w) if w.fork_base => format!("forkbase:{}", w.warmup_cycles),
         Some(w) => format!("exact:{}", w.warmup_cycles),
     };
+    // Result-cache admission: a point whose key is already cached under
+    // this grid's warm-up methodology is replayed, never simulated. The
+    // warm-tag check keeps fork-base and cold/exact results from
+    // cross-contaminating a grid (which would poison the merge's
+    // warm-consistency check).
+    let mut results: Vec<Option<PointResult>> = vec![None; n];
+    let mut todo: Vec<usize> = Vec::with_capacity(n);
+    match &schedule.cache {
+        None => todo.extend(0..n),
+        Some(cache) => {
+            for (i, p) in points.iter().enumerate() {
+                let hit = cache
+                    .get(&p.key())
+                    .and_then(|line| PointResult::from_json(&line).ok())
+                    .filter(|r| r.warm == warm_tag);
+                match hit {
+                    Some(r) => {
+                        on_result(&r);
+                        results[i] = Some(r);
+                    }
+                    None => todo.push(i),
+                }
+            }
+        }
+    }
+    let cached = n - todo.len();
+    if let Some(warm) = schedule.warm {
+        if !todo.is_empty() {
+            let need: Vec<GridPoint> = todo.iter().map(|&i| points[i]).collect();
+            run_warm_phase(&need, schedule, warm);
+        }
+    }
     if let Some(metrics) = &schedule.metrics {
         std::fs::create_dir_all(&metrics.dir)
             .unwrap_or_else(|e| panic!("cannot create {}: {e}", metrics.dir.display()));
     }
-    let sched = Scheduler::new(schedule.threads)
-        .with_batch(schedule.batch)
+    let cancel = Arc::new(AtomicBool::new(false));
+    let slice = if schedule.slice == 0 {
+        SLICE_CYCLES
+    } else {
+        schedule.slice
+    };
+    let partials = Mutex::new(Vec::new());
+    let mut driver = MachineDriver::new(schedule.threads)
+        .with_mux(schedule.mux.max(1))
         .with_deadline(schedule.deadline);
-    let outcome = sched.run(
-        points,
-        |ctx, _i, point| {
-            let t0 = Instant::now();
-            let cancel = Some(Arc::clone(&ctx.cancel));
-            let metrics = schedule.metrics.as_ref().map(|g| MetricsSpec {
-                path: g.artifact_path(point),
+    driver.cancel = Some(Arc::clone(&cancel));
+    let outcome = driver.run(
+        todo.len(),
+        |j| PointTask {
+            point: points[todo[j]],
+            schedule,
+            warm_tag: &warm_tag,
+            cancel: Arc::clone(&cancel),
+            slice,
+            partials: &partials,
+            machine: None,
+            metrics: schedule.metrics.as_ref().map(|g| MetricsSpec {
+                path: g.artifact_path(&points[todo[j]]),
                 every: g.every,
-            });
-            let record = match schedule.warm {
-                None => run_workload_observed(
-                    point.variant,
-                    point.workload,
-                    &point.opts,
-                    cancel,
-                    metrics.as_ref(),
-                )?,
-                Some(warm) => {
-                    let path = warm.snapshot_path(point);
-                    let snapshot = std::fs::read(&path)
-                        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
-                    run_workload_restored_observed(
-                        point.variant,
-                        point.workload,
-                        &point.opts,
-                        &snapshot,
-                        warm.fork_base,
-                        cancel,
-                        metrics.as_ref(),
-                    )?
-                }
-            };
-            Some(PointResult {
-                point: *point,
-                record,
-                wall_ms: t0.elapsed().as_millis() as u64,
-                worker: ctx.worker,
-                warm: warm_tag.clone(),
-                metrics: metrics.map(|m| m.path.display().to_string()),
-            })
+            }),
+            boost: 0,
+            last_worker: 0,
+            wall: Duration::ZERO,
         },
-        |_, res| on_result(res),
+        |_j, res| {
+            if let Some(cache) = &schedule.cache {
+                cache.insert(res.point.key(), res.to_json());
+            }
+            on_result(res);
+        },
     );
+    for (j, r) in outcome.results.into_iter().enumerate() {
+        results[todo[j]] = r;
+    }
     GridOutcome {
-        results: outcome.results,
-        completed: outcome.completed,
+        results,
+        completed: cached + outcome.completed,
         cancelled: outcome.cancelled,
         deadline_hit: outcome.deadline_hit,
+        partials: partials.into_inner().unwrap(),
     }
+}
+
+/// The warm-fork phase: one simulation per unique warm tag not already
+/// served by the pool or the disk cache, on the run-to-completion
+/// scheduler (warm-ups never idle, so slicing buys nothing there).
+fn run_warm_phase(points: &[GridPoint], schedule: &GridSchedule<'_>, warm: &WarmFork) {
+    let pool = schedule.pool.as_deref();
+    assert!(
+        warm.dir.is_some() || pool.is_some(),
+        "a warm-fork phase needs a checkpoint dir or a snapshot pool to keep warm states in"
+    );
+    assert!(
+        !(schedule.warm_from_disk && warm.dir.is_none()),
+        "warm_from_disk needs a checkpoint dir to read snapshots from"
+    );
+    if let Some(dir) = &warm.dir {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+    }
+    // One warm-up per unique warm state; skip states the measurement
+    // phase can already obtain (a pool entry, or a snapshot file from an
+    // earlier invocation / another shard host).
+    let mut pending: BTreeMap<String, GridPoint> = BTreeMap::new();
+    for p in points {
+        let tag = warm.warm_tag(p);
+        let on_disk = warm.snapshot_path(p).is_some_and(|path| path.exists());
+        let in_pool = !schedule.warm_from_disk && pool.is_some_and(|pl| pl.contains_tag(&tag));
+        if !on_disk && !in_pool {
+            pending.entry(tag).or_insert(*p);
+        }
+    }
+    let todo: Vec<(String, GridPoint)> = pending.into_iter().collect();
+    if todo.is_empty() {
+        return;
+    }
+    eprintln!(
+        "  warm-fork: simulating {} warm-up prefix(es) of {} cycles",
+        todo.len(),
+        warm.warmup_cycles
+    );
+    // Deadline granularity here is one warm-up: a warm-up that has
+    // started always completes and publishes its snapshot (later
+    // invocations reuse it), but no new ones are claimed past the
+    // deadline.
+    Scheduler::new(schedule.threads)
+        .with_batch(schedule.batch)
+        .with_deadline(schedule.deadline)
+        .run(
+            &todo,
+            |_ctx, _i, (_tag, point)| {
+                warm.create_snapshot(point, pool);
+                Some(())
+            },
+            |_, _| {},
+        );
 }
 
 /// The full variant×workload grid for one variant (all eleven paper
@@ -645,6 +987,35 @@ mod tests {
         }
     }
 
+    #[test]
+    fn multiplexed_grid_matches_serial_bit_for_bit() {
+        // Tiny slices force every point through many Yield/Blocked
+        // cycles and genuine interleaving (16 machines over 2 workers);
+        // the records must still be byte-identical to a serial
+        // one-machine-at-a-time run.
+        let mut points = variant_points(Variant::Base, tiny_opts())[..3].to_vec();
+        points.extend(variant_points(Variant::Arb, tiny_opts())[..3].to_vec());
+        let serial = run_grid(&points, 1, |_| {});
+        let mut schedule = GridSchedule::new(2);
+        schedule.mux = 8;
+        schedule.slice = 20_000;
+        let out = run_grid_scheduled(&points, &schedule, |_| {});
+        assert_eq!(out.completed, points.len());
+        assert!(out.partials.is_empty());
+        for (s, m) in serial.iter().zip(&out.results) {
+            let m = m.as_ref().expect("completed");
+            assert_eq!(s.record.cycles, m.record.cycles, "{}", s.record.name);
+            assert_eq!(s.record.instructions, m.record.instructions);
+            assert_eq!(s.record.cycles_ticked, m.record.cycles_ticked);
+            assert_eq!(s.record.cycles_skipped, m.record.cycles_skipped);
+            assert_eq!(s.record.branch_mpki, m.record.branch_mpki);
+            assert_eq!(s.record.llc_mpki, m.record.llc_mpki);
+            assert_eq!(s.record.flush_stall_cycles, m.record.flush_stall_cycles);
+            assert_eq!(s.record.traps, m.record.traps);
+            assert_eq!(s.record.cpi.slots, m.record.cpi.slots);
+        }
+    }
+
     fn scratch_dir(label: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("mi6-warm-{label}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -669,7 +1040,7 @@ mod tests {
         let cold = run_grid(&points, 2, |_| {});
         let warm = WarmFork {
             warmup_cycles: 4_000,
-            dir: dir.clone(),
+            dir: Some(dir.clone()),
             fork_base: false,
         };
         // First pass simulates the warm-ups; the second reuses the cache.
@@ -684,6 +1055,54 @@ mod tests {
         // One snapshot per (variant, workload).
         assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 2);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pool_only_warm_matches_cold_runs_bit_for_bit() {
+        // No checkpoint dir at all: warm states live only in the
+        // in-memory pool, and restores are served from it.
+        let points = [
+            GridPoint {
+                variant: Variant::Base,
+                workload: Workload::Hmmer,
+                opts: tiny_opts(),
+            },
+            GridPoint {
+                variant: Variant::Fpma,
+                workload: Workload::Hmmer,
+                opts: tiny_opts(),
+            },
+        ];
+        let cold = run_grid(&points, 2, |_| {});
+        let warm = WarmFork {
+            warmup_cycles: 4_000,
+            dir: None,
+            fork_base: false,
+        };
+        let pool = Arc::new(SnapshotPool::new());
+        let mut schedule = GridSchedule::new(2);
+        schedule.warm = Some(&warm);
+        schedule.pool = Some(Arc::clone(&pool));
+        let out = run_grid_scheduled(&points, &schedule, |_| {});
+        assert_eq!(out.completed, 2);
+        // One pooled warm state per (variant, workload), each served at
+        // least one restore.
+        assert_eq!(pool.len(), 2);
+        let (hits, _) = pool.stats();
+        assert!(hits >= 2, "restores were not served from the pool");
+        for (c, w) in cold.iter().zip(&out.results) {
+            let w = w.as_ref().expect("completed");
+            assert_eq!(c.record.cycles, w.record.cycles);
+            assert_eq!(c.record.instructions, w.record.instructions);
+            assert_eq!(c.record.traps, w.record.traps);
+            assert_eq!(w.warm, "exact:4000");
+        }
+        // A second grid over the same schedule re-serves from the pool
+        // without re-simulating any warm-up.
+        let before = pool.len();
+        let again = run_grid_scheduled(&points, &schedule, |_| {});
+        assert_eq!(again.completed, 2);
+        assert_eq!(pool.len(), before);
     }
 
     #[test]
@@ -703,7 +1122,7 @@ mod tests {
         ];
         let warm = WarmFork {
             warmup_cycles: 4_000,
-            dir: dir.clone(),
+            dir: Some(dir.clone()),
             fork_base: true,
         };
         let a = run_grid_with(&points, 2, Some(&warm), |_| {});
@@ -718,6 +1137,56 @@ mod tests {
         assert_eq!(a[1].record.cycles, b[1].record.cycles);
         assert!(a[1].record.instructions > 5_000);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn result_cache_short_circuits_repeated_points() {
+        let points = [
+            GridPoint {
+                variant: Variant::Base,
+                workload: Workload::Hmmer,
+                opts: tiny_opts(),
+            },
+            GridPoint {
+                variant: Variant::Fpma,
+                workload: Workload::Sjeng,
+                opts: tiny_opts(),
+            },
+        ];
+        let cache = Arc::new(ResultCache::new());
+        let mut schedule = GridSchedule::new(2);
+        schedule.cache = Some(Arc::clone(&cache));
+        let first = run_grid_scheduled(&points, &schedule, |_| {});
+        assert_eq!(first.completed, 2);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats(), (0, 2));
+        // Second grid over the same cache: every point replays, nothing
+        // simulates, and the journal lines are byte-identical.
+        let mut streamed = 0usize;
+        let second = run_grid_scheduled(&points, &schedule, |_| streamed += 1);
+        assert_eq!(streamed, 2);
+        assert_eq!(second.completed, 2);
+        assert_eq!(cache.stats(), (2, 2));
+        for (a, b) in first.results.iter().zip(&second.results) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.to_json(), b.to_json());
+        }
+        // A warm-tag mismatch is a miss, not a poisoned hit: the same
+        // points under a fork-base schedule ignore the cold entries.
+        let warm = WarmFork {
+            warmup_cycles: 2_000,
+            dir: None,
+            fork_base: true,
+        };
+        let mut fb = GridSchedule::new(2);
+        fb.warm = Some(&warm);
+        fb.pool = Some(Arc::new(SnapshotPool::new()));
+        fb.cache = Some(Arc::clone(&cache));
+        let forked = run_grid_scheduled(&points, &fb, |_| {});
+        assert_eq!(forked.completed, 2);
+        for r in forked.results.iter().flatten() {
+            assert_eq!(r.warm, "forkbase:2000");
+        }
     }
 
     #[test]
@@ -791,6 +1260,37 @@ mod tests {
     }
 
     #[test]
+    fn partial_lines_are_flagged_and_rejected() {
+        let partial = PartialPoint {
+            point: GridPoint {
+                variant: Variant::Base,
+                workload: Workload::Mcf,
+                opts: tiny_opts(),
+            },
+            cycles: 123_456,
+            instructions: 7_890,
+            wall_ms: 42,
+            worker: 1,
+            warm: "cold".to_string(),
+        };
+        let line = partial.to_json();
+        assert!(line.ends_with("\"partial\":true}"), "{line}");
+        assert!(is_partial_line(&line));
+        // A partial is never a mergeable result.
+        let err = PointResult::from_json(&line).unwrap_err();
+        assert!(err.contains("partial"), "{err}");
+        // Completed lines and garbage are not misclassified.
+        let points = [GridPoint {
+            variant: Variant::Base,
+            workload: Workload::Hmmer,
+            opts: tiny_opts(),
+        }];
+        let full = run_grid(&points, 1, |_| {}).remove(0).to_json();
+        assert!(!is_partial_line(&full));
+        assert!(!is_partial_line("not json at all"));
+    }
+
+    #[test]
     fn point_key_is_the_documented_contract() {
         let p = GridPoint {
             variant: Variant::Fpma,
@@ -816,6 +1316,32 @@ mod tests {
         assert_eq!(out.cancelled, points.len());
         assert_eq!(streamed, 0);
         assert!(out.results.iter().all(Option::is_none));
+        // Nothing was admitted, so there is no partial progress to report.
+        assert!(out.partials.is_empty());
+    }
+
+    #[test]
+    fn deadline_mid_grid_records_partial_progress() {
+        // One long point, interrupted mid-run: far too much work to
+        // finish inside the deadline, so the cancel lands while the
+        // machine is live and its progress must surface as a partial.
+        let points = [GridPoint {
+            variant: Variant::Base,
+            workload: Workload::Mcf,
+            opts: HarnessOpts::default().with_kinsts(20_000).with_timer(0),
+        }];
+        let mut schedule = GridSchedule::new(1);
+        schedule.deadline = Some(Instant::now() + Duration::from_millis(50));
+        let out = run_grid_scheduled(&points, &schedule, |_| {});
+        assert!(out.deadline_hit);
+        assert_eq!(out.completed, 0);
+        assert_eq!(out.cancelled, 1);
+        assert_eq!(out.partials.len(), 1);
+        let p = &out.partials[0];
+        assert_eq!(p.point.key(), points[0].key());
+        assert!(p.cycles > 0, "the machine had started");
+        assert_eq!(p.warm, "cold");
+        assert!(is_partial_line(&p.to_json()));
     }
 
     #[test]

@@ -121,6 +121,10 @@ pub struct ShardJournal {
     /// Replayed lines that failed to parse (besides a torn tail these
     /// indicate manual tampering; they are recomputed like missing ones).
     pub bad_lines: usize,
+    /// Replayed `"partial":true` progress lines (a previous invocation
+    /// hit its deadline mid-point). Expected, not an error: the points
+    /// they describe are simply recomputed.
+    pub partial_lines: usize,
     /// Whether a torn trailing line (mid-write kill) was dropped.
     pub torn_tail: bool,
 }
@@ -137,11 +141,13 @@ pub fn open_shard_journal(dir: &Path, spec: ShardSpec) -> std::io::Result<ShardJ
     let (journal, replay) = Journal::open(dir.join(spec.file_name()))?;
     let mut done = BTreeMap::new();
     let mut bad_lines = 0usize;
+    let mut partial_lines = 0usize;
     for line in &replay.lines {
         match PointResult::from_json(line) {
             Ok(res) => {
                 done.insert(res.point.key(), res);
             }
+            Err(_) if crate::is_partial_line(line) => partial_lines += 1,
             Err(_) => bad_lines += 1,
         }
     }
@@ -149,6 +155,7 @@ pub fn open_shard_journal(dir: &Path, spec: ShardSpec) -> std::io::Result<ShardJ
         journal,
         done,
         bad_lines,
+        partial_lines,
         torn_tail: replay.torn_tail,
     })
 }
@@ -163,6 +170,9 @@ pub struct LoadedShards {
     pub files: usize,
     /// Lines skipped as unparseable (torn tails of killed shards).
     pub skipped_lines: usize,
+    /// `"partial":true` progress lines skipped (deadline-interrupted
+    /// points awaiting recomputation; not counted toward coverage).
+    pub partial_lines: usize,
 }
 
 /// Reads every `shard-*.jsonl` journal in `dir`. Only files with the
@@ -194,6 +204,7 @@ pub fn load_shard_dir(dir: &Path) -> std::io::Result<LoadedShards> {
         for line in std::fs::read_to_string(&path)?.lines() {
             match PointResult::from_json(line) {
                 Ok(res) => loaded.results.push((res.point.key(), res)),
+                Err(_) if crate::is_partial_line(line) => loaded.partial_lines += 1,
                 Err(_) => loaded.skipped_lines += 1,
             }
         }
@@ -400,6 +411,7 @@ mod tests {
             results: full.clone(),
             files: 1,
             skipped_lines: 0,
+            partial_lines: 0,
         };
         let (merged, cov) = merge_shards(&plan, &loaded).unwrap();
         assert_eq!(merged.len(), plan.points.len());
@@ -409,6 +421,7 @@ mod tests {
             results: full[1..].to_vec(),
             files: 1,
             skipped_lines: 0,
+            partial_lines: 0,
         };
         let err = coverage_err(merge_shards(&plan, &loaded).unwrap_err());
         assert_eq!(err.missing, vec![full[0].0.clone()]);
@@ -419,6 +432,7 @@ mod tests {
             results: dup,
             files: 2,
             skipped_lines: 0,
+            partial_lines: 0,
         };
         let err = coverage_err(merge_shards(&plan, &loaded).unwrap_err());
         assert_eq!(err.duplicate.len(), 1);
@@ -441,6 +455,7 @@ mod tests {
             results: mixed,
             files: 2,
             skipped_lines: 0,
+            partial_lines: 0,
         };
         let err = merge_shards(&plan, &loaded).unwrap_err();
         assert!(
@@ -461,6 +476,7 @@ mod tests {
             results: ok,
             files: 2,
             skipped_lines: 0,
+            partial_lines: 0,
         };
         assert!(merge_shards(&plan, &loaded).is_ok());
         // ... and homogeneous fork-base shards also merge.
@@ -473,6 +489,7 @@ mod tests {
             results: all_fb,
             files: 2,
             skipped_lines: 0,
+            partial_lines: 0,
         };
         assert!(merge_shards(&plan, &loaded).is_ok());
     }
@@ -554,6 +571,7 @@ mod tests {
             results,
             files: 1,
             skipped_lines: 0,
+            partial_lines: 0,
         };
         let report = balance_report(&loaded);
         assert!(
@@ -591,6 +609,7 @@ mod tests {
                 .collect(),
             files: 1,
             skipped_lines: 0,
+            partial_lines: 0,
         };
         let (merged, cov) = merge_shards(&just6, &loaded).unwrap();
         assert_eq!(merged.len(), just6.points.len());

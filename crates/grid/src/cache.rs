@@ -1,0 +1,125 @@
+//! Content-addressed result cache.
+//!
+//! Every grid point has a canonical content key (`GridPoint::key()` in
+//! `mi6-bench`: variant, workload, run options, and seed — everything
+//! that determines the simulation's output, and nothing that doesn't).
+//! Because simulations are deterministic, that key *is* the result's
+//! address: two requests with the same key would produce byte-identical
+//! journal lines, so the second one never needs to run. [`ResultCache`]
+//! is that admission layer — shard journals already provide it across
+//! process restarts, the cache provides it within and across in-process
+//! grids, and the future `mi6-serve` daemon will sit directly on it.
+//!
+//! Values are stored as the journaled line itself (the same append-only
+//! JSON the shard journals hold), not a parsed struct: the cache stays
+//! format-agnostic and a hit is exactly the bytes a journal replay would
+//! have produced. Hit rules are the caller's: `mi6-bench` additionally
+//! rejects a hit whose warm-up tag differs from the running grid's, so a
+//! cold-run result never leaks into a fork-base grid (which would poison
+//! the merge's warm-consistency check).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A thread-safe map from canonical point key to journaled result line.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    lines: Mutex<HashMap<String, String>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> ResultCache {
+        ResultCache::default()
+    }
+
+    /// Looks up the journaled line for a point key, counting a hit or
+    /// miss.
+    pub fn get(&self, key: &str) -> Option<String> {
+        let found = self.lines.lock().unwrap().get(key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Records the journaled line for a point key. First write wins:
+    /// results are deterministic, so a concurrent duplicate insert is
+    /// byte-identical anyway and keeping the original is free.
+    pub fn insert(&self, key: impl Into<String>, line: impl Into<String>) {
+        self.lines
+            .lock()
+            .unwrap()
+            .entry(key.into())
+            .or_insert_with(|| line.into());
+    }
+
+    /// Bulk-loads `(key, line)` pairs — e.g. replaying an existing shard
+    /// journal into the cache at daemon startup.
+    pub fn preload(&self, entries: impl IntoIterator<Item = (String, String)>) {
+        let mut lines = self.lines.lock().unwrap();
+        for (key, line) in entries {
+            lines.entry(key).or_insert(line);
+        }
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.lines.lock().unwrap().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lines.lock().unwrap().is_empty()
+    }
+
+    /// Lifetime (hits, misses) of [`ResultCache::get`].
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_insert_and_counters() {
+        let cache = ResultCache::new();
+        assert!(cache.get("BASE/gcc/40/0/c0ffee").is_none());
+        cache.insert("BASE/gcc/40/0/c0ffee", "{\"variant\":\"BASE\"}");
+        assert_eq!(
+            cache.get("BASE/gcc/40/0/c0ffee").as_deref(),
+            Some("{\"variant\":\"BASE\"}")
+        );
+        assert!(cache.get("FLUSH/gcc/40/0/c0ffee").is_none());
+        assert_eq!(cache.stats(), (1, 2));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn first_insert_wins() {
+        let cache = ResultCache::new();
+        cache.insert("k", "original");
+        cache.insert("k", "duplicate");
+        assert_eq!(cache.get("k").as_deref(), Some("original"));
+    }
+
+    #[test]
+    fn preload_bulk_loads_a_journal() {
+        let cache = ResultCache::new();
+        cache.preload([
+            ("a".to_string(), "1".to_string()),
+            ("b".to_string(), "2".to_string()),
+        ]);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get("b").as_deref(), Some("2"));
+    }
+}

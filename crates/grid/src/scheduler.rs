@@ -7,6 +7,14 @@
 //! remaining queue from the back when its own runs dry. Completed results
 //! stream to the caller's thread in completion order.
 //!
+//! This is the run-to-completion half of the execution layer: one task
+//! owns a worker from first cycle to last, which suits short,
+//! always-busy work (warm-up simulations, unit tasks). Long or
+//! idle-heavy tasks should implement [`crate::SliceTask`] and go through
+//! the slice-multiplexing [`crate::MachineDriver`] instead, which shares
+//! this module's [`WorkerCtx`] so task code is oblivious to which engine
+//! runs it.
+//!
 //! Cancellation is cooperative and two-level: the shared cancel flag is
 //! checked between tasks by every worker, and the caller is expected to
 //! also hand it to whatever the task runs (the simulator polls it

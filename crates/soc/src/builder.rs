@@ -90,6 +90,7 @@ pub struct SimBuilder {
     ckpt_every: u64,
     ckpt_dir: Option<PathBuf>,
     restore_path: Option<PathBuf>,
+    restore_bytes: Option<(Arc<Vec<u8>>, bool)>,
     cancel: Option<Arc<AtomicBool>>,
     trace_path: Option<PathBuf>,
     trace_limit: u64,
@@ -112,6 +113,7 @@ impl SimBuilder {
             ckpt_every: 0,
             ckpt_dir: None,
             restore_path: None,
+            restore_bytes: None,
             cancel: None,
             trace_path: None,
             trace_limit: 0,
@@ -263,6 +265,18 @@ impl SimBuilder {
         self
     }
 
+    /// Restores the machine from an in-memory snapshot blob right after
+    /// `build()` — the [`crate::SnapshotPool`] path, which skips the
+    /// file round-trip [`SimBuilder::restore_from`] pays. With `forked`
+    /// the restore is the cross-variant [`crate::Machine::restore_forked`]
+    /// (structural-fingerprint match, security CSRs re-installed);
+    /// otherwise it is the exact [`crate::Machine::restore`].
+    /// Takes precedence over `restore_from` when both are set.
+    pub fn restore_from_bytes(mut self, snapshot: Arc<Vec<u8>>, forked: bool) -> SimBuilder {
+        self.restore_bytes = Some((snapshot, forked));
+        self
+    }
+
     /// Assembles the machine, loads every placed workload, and applies
     /// [`SimBuilder::restore_from`] when set.
     ///
@@ -289,7 +303,13 @@ impl SimBuilder {
         for (core, program) in &self.programs {
             machine.load_user_program(*core, program)?;
         }
-        if let Some(path) = &self.restore_path {
+        if let Some((bytes, forked)) = &self.restore_bytes {
+            if *forked {
+                machine.restore_forked(bytes)?;
+            } else {
+                machine.restore(bytes)?;
+            }
+        } else if let Some(path) = &self.restore_path {
             let bytes = std::fs::read(path)
                 .map_err(|e| BuildError::Io(format!("{}: {e}", path.display())))?;
             machine.restore(&bytes)?;

@@ -42,9 +42,11 @@ pub mod builder;
 pub mod kernel;
 pub mod loader;
 pub mod machine;
+pub mod pool;
 pub mod variant;
 
 pub use builder::{BuildError, SimBuilder, DEFAULT_TIMER_INTERVAL};
 pub use loader::{LoadError, Program, UserImage};
-pub use machine::{Machine, MachineConfig, MachineStats, RunError};
+pub use machine::{Machine, MachineConfig, MachineStats, RunError, SliceOutcome};
+pub use pool::{PoolKey, SnapshotPool};
 pub use variant::Variant;

@@ -52,28 +52,46 @@ impl MachineConfig {
 }
 
 /// Error from [`Machine::run_to_completion`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// Both variants carry the statistics accumulated up to the kill point,
+/// so a cancelled or timed-out run is not a total loss: grid journals can
+/// record how far the point got (cycles, committed instructions, the CPI
+/// stack) before it was stopped.
+#[derive(Clone, Debug)]
 pub enum RunError {
     /// The cycle cap was reached before all cores halted.
     Timeout {
         /// Cycles executed.
         cycles: u64,
+        /// Statistics at the moment the cap was hit.
+        partial: Box<MachineStats>,
     },
     /// The cancel flag ([`crate::SimBuilder::cancel_flag`]) was raised
     /// mid-run.
     Cancelled {
         /// Machine cycle at which the cancellation was observed.
         at_cycle: u64,
+        /// Statistics at the moment the cancellation was observed.
+        partial: Box<MachineStats>,
     },
+}
+
+impl RunError {
+    /// The partial statistics captured when the run was stopped.
+    pub fn partial(&self) -> &MachineStats {
+        match self {
+            RunError::Timeout { partial, .. } | RunError::Cancelled { partial, .. } => partial,
+        }
+    }
 }
 
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RunError::Timeout { cycles } => {
+            RunError::Timeout { cycles, .. } => {
                 write!(f, "machine did not halt within {cycles} cycles")
             }
-            RunError::Cancelled { at_cycle } => {
+            RunError::Cancelled { at_cycle, .. } => {
                 write!(f, "run cancelled at cycle {at_cycle}")
             }
         }
@@ -81,6 +99,46 @@ impl fmt::Display for RunError {
 }
 
 impl std::error::Error for RunError {}
+
+/// Outcome of one [`Machine::step_slice`] call.
+///
+/// The first three variants are terminal for the run; the last two mean
+/// the machine is resumable — call `step_slice` again to continue.
+#[derive(Clone, Debug)]
+pub enum SliceOutcome {
+    /// Every core halted; the run is complete.
+    Completed(MachineStats),
+    /// The run deadline set by [`Machine::begin_run`] was reached before
+    /// all cores halted (the slice-level analogue of
+    /// [`RunError::Timeout`]).
+    TimedOut {
+        /// Machine cycle at which the deadline was observed.
+        at_cycle: u64,
+    },
+    /// The cancel flag was observed raised at a poll boundary.
+    Cancelled {
+        /// Machine cycle at which the cancellation was observed.
+        at_cycle: u64,
+    },
+    /// The slice's cycle budget ran out while the machine was still busy.
+    /// Resume with any budget; work continues at `at_cycle`.
+    BudgetExhausted {
+        /// Machine cycle the slice stopped at (`now()`).
+        at_cycle: u64,
+    },
+    /// The machine is provably inert until `until_cycle` and the jump
+    /// there would overshoot this slice's budget. The clock was *not*
+    /// advanced: the caller should park the machine and resume it with a
+    /// budget of at least `until_cycle - now()` so the skip happens as
+    /// one jump, exactly as an unsliced run would perform it.
+    /// `until_cycle == u64::MAX` means inert pending external input.
+    Blocked {
+        /// First future cycle at which any component could do work
+        /// (already capped to the run deadline and any checkpoint or
+        /// metrics-sampling boundary).
+        until_cycle: u64,
+    },
+}
 
 /// Aggregated statistics after a run.
 #[derive(Clone, Debug, Default)]
@@ -170,6 +228,16 @@ pub struct Machine {
     /// Observability session (builder knobs; runtime-only, never
     /// snapshotted — enabling it cannot change snapshot bytes).
     obs: Option<Box<ObsState>>,
+    /// Absolute cycle the current run times out at, set by
+    /// [`Machine::begin_run`] (runtime-only, never snapshotted).
+    deadline: u64,
+    /// Next cycle the idle-skip inertness probe is allowed to run
+    /// (runtime-only). Lives on the machine rather than the run loop so
+    /// the tick/skip decision sequence — and therefore `ticks` — is
+    /// independent of where slice boundaries fall.
+    probe_at: u64,
+    /// Current exponential probe backoff (runtime-only; see `probe_at`).
+    probe_backoff: u64,
 }
 
 /// Trace and metrics outputs attached to a machine. All measurement-only:
@@ -241,6 +309,9 @@ impl Machine {
             ckpt_dir: None,
             cancel: None,
             obs: None,
+            deadline: u64::MAX,
+            probe_at: 0,
+            probe_backoff: 0,
         }
     }
 
@@ -552,19 +623,74 @@ impl Machine {
 
     /// Runs until every core halts.
     ///
+    /// A thin loop over [`Machine::begin_run`] and
+    /// [`Machine::step_slice`] with an unbounded slice budget — the
+    /// sliced path *is* the one-shot path.
+    ///
     /// # Errors
     ///
     /// Returns [`RunError::Timeout`] if the machine has not halted after
-    /// `max_cycles`.
+    /// `max_cycles`; both error variants carry the partial statistics at
+    /// the kill point.
     pub fn run_to_completion(&mut self, max_cycles: u64) -> Result<MachineStats, RunError> {
-        let result = self.run_loop(max_cycles);
-        self.flush_observability();
-        result?;
-        Ok(self.stats())
+        self.begin_run(max_cycles);
+        loop {
+            match self.step_slice(u64::MAX) {
+                SliceOutcome::Completed(stats) => return Ok(stats),
+                SliceOutcome::TimedOut { .. } => {
+                    return Err(RunError::Timeout {
+                        cycles: max_cycles,
+                        partial: Box::new(self.stats()),
+                    });
+                }
+                SliceOutcome::Cancelled { at_cycle } => {
+                    return Err(RunError::Cancelled {
+                        at_cycle,
+                        partial: Box::new(self.stats()),
+                    });
+                }
+                // Unreachable with an unbounded budget (`Blocked` only
+                // fires when a skip would overshoot the slice), but
+                // harmless: just keep stepping.
+                SliceOutcome::BudgetExhausted { .. } | SliceOutcome::Blocked { .. } => {}
+            }
+        }
     }
 
-    fn run_loop(&mut self, max_cycles: u64) -> Result<(), RunError> {
-        let end = self.now + max_cycles;
+    /// Arms a run: the machine will time out `max_cycles` from now, and
+    /// the idle-skip probe state is reset exactly as a fresh
+    /// `run_to_completion` call would. Call once before a `step_slice`
+    /// sequence; `run_to_completion` calls it for you.
+    pub fn begin_run(&mut self, max_cycles: u64) {
+        self.deadline = self.now.saturating_add(max_cycles);
+        self.probe_at = self.now;
+        self.probe_backoff = 0;
+    }
+
+    /// Advances the machine by at most `budget` cycles of simulated time
+    /// and reports why it stopped.
+    ///
+    /// This is the run loop, made resumable: calling it repeatedly with
+    /// any positive budgets performs the *identical* sequence of ticks
+    /// and idle-skip jumps as one call with an unbounded budget, so
+    /// sliced runs are bit-exact with one-shot runs (same `ticks()`,
+    /// same stats, same snapshot bytes, same checkpoint files). Three
+    /// things make that hold:
+    ///
+    /// - the probe/backoff state persists on the machine across slices,
+    ///   so slice boundaries cannot reset the probe cadence;
+    /// - an idle-skip jump is never split: a skip whose (checkpoint- and
+    ///   metrics-capped) target overshoots the slice returns
+    ///   [`SliceOutcome::Blocked`] *without advancing the clock*, and the
+    ///   resumed slice performs the whole jump;
+    /// - the cancel poll keys on `now & CANCEL_POLL_MASK`, which is a
+    ///   function of simulated time only (re-entering a slice at an
+    ///   already-polled cycle re-reads the flag, which has no simulated
+    ///   effect).
+    ///
+    /// Terminal outcomes (`Completed` / `TimedOut` / `Cancelled`) flush
+    /// observability sinks; resumable ones do not.
+    pub fn step_slice(&mut self, budget: u64) -> SliceOutcome {
         // Event-driven idle-skip: when every core is provably stalled on
         // known-time events (DRAM returns, link FIFO arrivals, pipeline
         // exits, the timer), jump the clock straight to the next event
@@ -583,22 +709,26 @@ impl Machine {
         // 2x the preceding busy stretch (classic doubling argument),
         // which keeps long DRAM-miss windows almost fully skipped while
         // busy phases pay ~1/64th of the probe cost.
-        let mut probe_at = self.now;
-        let mut backoff = 0u64;
+        let slice_end = self.now.saturating_add(budget.max(1));
         while !self.all_halted() {
-            if self.now >= end {
-                return Err(RunError::Timeout { cycles: max_cycles });
+            if self.now >= self.deadline {
+                self.flush_observability();
+                return SliceOutcome::TimedOut { at_cycle: self.now };
             }
             if self.now & CANCEL_POLL_MASK == 0 {
                 if let Some(cancel) = &self.cancel {
                     if cancel.load(std::sync::atomic::Ordering::Relaxed) {
-                        return Err(RunError::Cancelled { at_cycle: self.now });
+                        self.flush_observability();
+                        return SliceOutcome::Cancelled { at_cycle: self.now };
                     }
                 }
             }
-            if self.now >= probe_at {
+            if self.now >= slice_end {
+                return SliceOutcome::BudgetExhausted { at_cycle: self.now };
+            }
+            if self.now >= self.probe_at {
                 if let Some(next) = self.next_event_cycle() {
-                    let mut target = next.min(end);
+                    let mut target = next.min(self.deadline);
                     if let Some(periods) = self.now.checked_div(self.ckpt_every) {
                         // Never skip past a checkpoint boundary; a landing
                         // exactly on one writes the checkpoint below.
@@ -610,6 +740,15 @@ impl Machine {
                         // `cycles_skipped` carrying the span).
                         target = target.min((self.now / every + 1) * every);
                     }
+                    if target > slice_end || target == u64::MAX {
+                        // The jump overshoots this slice (or the machine
+                        // is inert forever with no finite deadline).
+                        // Don't split it — park and let the resume take
+                        // the identical single jump.
+                        return SliceOutcome::Blocked {
+                            until_cycle: target,
+                        };
+                    }
                     self.fast_forward(target);
                     if self.ckpt_every != 0 && self.now.is_multiple_of(self.ckpt_every) {
                         self.write_auto_checkpoint();
@@ -620,16 +759,17 @@ impl Machine {
                     {
                         self.sample_metrics();
                     }
-                    backoff = 0;
-                    probe_at = self.now;
+                    self.probe_backoff = 0;
+                    self.probe_at = self.now;
                     continue;
                 }
-                backoff = (backoff * 2).clamp(1, 64);
-                probe_at = self.now + backoff;
+                self.probe_backoff = (self.probe_backoff * 2).clamp(1, 64);
+                self.probe_at = self.now + self.probe_backoff;
             }
             self.tick();
         }
-        Ok(())
+        self.flush_observability();
+        SliceOutcome::Completed(self.stats())
     }
 
     /// The earliest future cycle at which any component could do work, or

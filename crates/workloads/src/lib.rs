@@ -41,6 +41,39 @@ pub use profile::{BranchStyle, Profile, WorkloadParams};
 
 use mi6_soc::loader::Program;
 
+/// Per-run cycle budgets.
+///
+/// Every driver of a workload needs a "the run is stuck" cap on simulated
+/// cycles; these used to be magic literals scattered across test modules
+/// and harnesses. The budgets are deliberately generous — they exist to
+/// catch hangs, not to bound normal runs, so a workload finishing anywhere
+/// near its budget is a bug.
+pub mod budget {
+    /// Cycles granted per thousand target instructions: a hung run is
+    /// one that fails to average even one commit per thousand cycles.
+    pub const CYCLES_PER_KINST: u64 = 1_000_000;
+    /// Floor for the scaled budget, so short runs (tiny kinst targets)
+    /// still get room for warm-up transients and kernel work.
+    pub const MIN_RUN_CYCLES: u64 = 400_000_000;
+    /// Budget for tiny smoke runs (`WorkloadParams::tiny`, ~40k
+    /// instructions).
+    pub const TINY_RUN_CYCLES: u64 = 60_000_000;
+    /// Budget for mid-size runs (~150k-instruction targets, e.g. the
+    /// trap-rate characterization).
+    pub const MID_RUN_CYCLES: u64 = 120_000_000;
+    /// Budget for long characterization runs (~400k-instruction
+    /// targets, e.g. LLC-residency checks).
+    pub const LONG_RUN_CYCLES: u64 = 400_000_000;
+
+    /// The standard harness budget for a `kinsts`-thousand-instruction
+    /// run: scaled by [`CYCLES_PER_KINST`], floored at
+    /// [`MIN_RUN_CYCLES`]. Both the benchmark harness and the grid
+    /// driver derive their `Machine::begin_run` deadlines from this.
+    pub fn cycle_cap(kinsts: u64) -> u64 {
+        kinsts.saturating_mul(CYCLES_PER_KINST).max(MIN_RUN_CYCLES)
+    }
+}
+
 /// One of the eleven SPEC-CINT2006-shaped workloads.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Workload {
@@ -310,7 +343,7 @@ mod tests {
         let mut m = SimBuilder::base().without_timer().build().unwrap();
         m.load_user_program(0, &w.build(&WorkloadParams::tiny()))
             .unwrap_or_else(|e| panic!("{w}: {e}"));
-        m.run_to_completion(60_000_000)
+        m.run_to_completion(budget::TINY_RUN_CYCLES)
             .unwrap_or_else(|e| panic!("{w}: {e}"))
     }
 
@@ -351,7 +384,7 @@ mod tests {
             let mut m = SimBuilder::base().without_timer().build().unwrap();
             m.load_user_program(0, &w.build(&WorkloadParams::tiny().with_target_kinsts(400)))
                 .unwrap();
-            m.run_to_completion(400_000_000).unwrap()
+            m.run_to_completion(budget::LONG_RUN_CYCLES).unwrap()
         };
         let ws = run(Workload::EnclaveWs);
         let inst = ws.core[0].committed_instructions;
@@ -406,7 +439,7 @@ mod tests {
             let mut m = SimBuilder::base().without_timer().build().unwrap();
             m.load_user_program(0, &w.build(&WorkloadParams::tiny().with_target_kinsts(150)))
                 .unwrap();
-            m.run_to_completion(120_000_000).unwrap()
+            m.run_to_completion(budget::MID_RUN_CYCLES).unwrap()
         };
         let xalan = run(Workload::Xalancbmk);
         let quiet = run(Workload::Libquantum);

@@ -1,0 +1,217 @@
+//! Slice-equivalence tests for the resumable run loop.
+//!
+//! `Machine::step_slice` promises that *any* sequence of positive budgets
+//! performs the identical ticks and idle-skip jumps as one unbounded
+//! call — same stats, same snapshot bytes, same golden fingerprints.
+//! These tests drive the sliced path with adversarial budget sequences
+//! (randomized, budget-1, and skip-spanning) against the same golden
+//! constants `golden_stats.rs` pins for the one-shot path, so a slice
+//! boundary that perturbs the probe cadence, splits a skip, or
+//! double-counts a cycle shows up as a fingerprint mismatch.
+
+use mi6::soc::{Machine, MachineStats, SimBuilder, SliceOutcome, Variant};
+use mi6::workloads::{generate, BranchStyle, Profile, Workload, WorkloadParams};
+
+/// Mirrors `tests/golden_stats.rs` — the contract both suites pin.
+const GOLDEN_BASE: [u64; 8] = [69858, 35161, 587, 681, 3, 2052, 73, 2052];
+const GOLDEN_FPMA: [u64; 8] = [79544, 35161, 743, 804, 3, 2054, 147, 2056];
+const GOLDEN_IDLE: [u64; 8] = [881769, 18546, 64, 779, 19, 5873, 389, 5873];
+
+const MAX_CYCLES: u64 = 300_000_000;
+
+fn fingerprint(stats: &MachineStats) -> [u64; 8] {
+    let core = &stats.core[0];
+    [
+        stats.cycles,
+        core.committed_instructions,
+        core.branch_mispredicts,
+        core.squashed_instructions,
+        core.traps,
+        stats.llc.misses,
+        stats.llc.hits,
+        stats.dram.0 + stats.dram.1,
+    ]
+}
+
+/// The gcc reference machine from `golden_stats.rs`.
+fn reference_machine(variant: Variant) -> Machine {
+    SimBuilder::new(variant)
+        .timer_interval(50_000)
+        .workload(
+            0,
+            Workload::Gcc.build(&WorkloadParams::tiny().with_target_kinsts(40)),
+        )
+        .build()
+        .unwrap()
+}
+
+/// The idle-heavy reference machine: a DRAM-bound pointer chase whose
+/// run is dominated by idle-skip jumps far longer than small slice
+/// budgets — the regime where splitting a jump would corrupt timing.
+fn idle_machine() -> Machine {
+    let profile = Profile {
+        stream_bytes: 0,
+        stream_lines_per_iter: 0,
+        chase_bytes: 4 << 20,
+        chase_nodes_per_iter: 8,
+        ws_bytes: 0,
+        ws_accesses_per_iter: 0,
+        branch_sites: 1,
+        branch_style: BranchStyle::Easy,
+        ilp_ops: 0,
+        muldiv_ops: 0,
+        syscall_every: 0,
+    };
+    let program = generate(
+        "idle-heavy",
+        &profile,
+        &WorkloadParams::tiny().with_target_kinsts(20),
+    );
+    SimBuilder::new(Variant::Base)
+        .timer_interval(50_000)
+        .workload(0, program)
+        .build()
+        .unwrap()
+}
+
+/// Same generator the rest of the workspace uses for deterministic
+/// pseudo-randomness (`splitmix64`).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Drives a machine to completion through `step_slice` with budgets
+/// drawn from `next_budget`, asserting the resumability contract at
+/// every stop: `Blocked` never advances the clock and is satisfied by
+/// granting *exactly* the jump length (the `target > slice_end`
+/// boundary is strict), and `BudgetExhausted` never overshoots the
+/// granted slice.
+fn run_sliced(machine: &mut Machine, mut next_budget: impl FnMut() -> u64) -> MachineStats {
+    machine.begin_run(MAX_CYCLES);
+    let mut slices = 0u64;
+    loop {
+        let before = machine.now();
+        let budget = next_budget().max(1);
+        slices += 1;
+        assert!(slices < 50_000_000, "sliced run failed to make progress");
+        match machine.step_slice(budget) {
+            SliceOutcome::Completed(stats) => return stats,
+            SliceOutcome::BudgetExhausted { at_cycle } => {
+                assert!(
+                    at_cycle <= before + budget,
+                    "slice overshot its budget: {before} + {budget} < {at_cycle}"
+                );
+            }
+            SliceOutcome::Blocked { until_cycle } => {
+                // The slice may have ticked busy cycles before the probe
+                // found the jump, but the jump itself is never split:
+                // the clock parks strictly short of the target, inside
+                // the granted budget.
+                assert!(
+                    machine.now() < until_cycle && machine.now() <= before + budget,
+                    "Blocked split a skip: now {} vs target {until_cycle} (slice {before}+{budget})",
+                    machine.now()
+                );
+                assert!(until_cycle > before + budget, "spurious Blocked");
+                // Grant exactly the jump length; the resume must take
+                // the whole jump in one fast-forward.
+                let after = machine.now();
+                match machine.step_slice(until_cycle - after) {
+                    SliceOutcome::Completed(stats) => return stats,
+                    SliceOutcome::Blocked { .. } => {
+                        panic!("an exact-length grant must cover the jump")
+                    }
+                    SliceOutcome::BudgetExhausted { .. } => {}
+                    out => panic!("unexpected outcome mid-run: {out:?}"),
+                }
+            }
+            out => panic!("unexpected outcome mid-run: {out:?}"),
+        }
+    }
+}
+
+#[test]
+fn randomized_slices_reproduce_golden_fingerprints() {
+    for (golden, build, name) in [
+        (
+            GOLDEN_BASE,
+            Box::new(|| reference_machine(Variant::Base)) as Box<dyn Fn() -> Machine>,
+            "BASE/gcc",
+        ),
+        (
+            GOLDEN_FPMA,
+            Box::new(|| reference_machine(Variant::Fpma)),
+            "F+P+M+A/gcc",
+        ),
+        (GOLDEN_IDLE, Box::new(idle_machine), "BASE/idle-heavy"),
+    ] {
+        // Several seeds per configuration: budgets span 1..~8193, so
+        // slices land inside busy stretches, mid-backoff, and right on
+        // skip boundaries.
+        for seed in [1u64, 0xC0FFEE, 0xDEAD_BEEF] {
+            let mut rng = seed;
+            let mut machine = build();
+            let stats = run_sliced(&mut machine, || 1 + (splitmix64(&mut rng) & 0x1FFF));
+            assert_eq!(
+                fingerprint(&stats),
+                golden,
+                "{name} (seed {seed:#x}): sliced run diverged from the one-shot golden\n\
+                 full stats: {stats:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn budget_of_one_cycle_reproduces_golden_fingerprints() {
+    // The pathological schedule: every slice grants a single cycle, so
+    // every tick and every skip decision happens at a slice boundary.
+    let mut machine = reference_machine(Variant::Base);
+    let stats = run_sliced(&mut machine, || 1);
+    assert_eq!(
+        fingerprint(&stats),
+        GOLDEN_BASE,
+        "budget=1 slicing diverged\nfull stats: {stats:?}"
+    );
+    // And on the idle-heavy run, where budget=1 forces a Blocked park
+    // before nearly every multi-thousand-cycle DRAM skip.
+    let mut machine = idle_machine();
+    let stats = run_sliced(&mut machine, || 1);
+    assert_eq!(
+        fingerprint(&stats),
+        GOLDEN_IDLE,
+        "budget=1 slicing diverged on the idle-heavy run\nfull stats: {stats:?}"
+    );
+}
+
+#[test]
+fn sliced_run_matches_one_shot_bit_for_bit() {
+    for variant in [Variant::Base, Variant::Fpma] {
+        let mut one_shot = reference_machine(variant);
+        let a = one_shot.run_to_completion(MAX_CYCLES).unwrap();
+        let mut rng = 7u64;
+        let mut sliced = reference_machine(variant);
+        let b = run_sliced(&mut sliced, || 1 + (splitmix64(&mut rng) & 0xFFF));
+        // Strongest practical equality: the full stats structure and the
+        // serialized machine state agree byte for byte.
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "{variant}: sliced stats differ from one-shot"
+        );
+        assert_eq!(
+            one_shot.snapshot(),
+            sliced.snapshot(),
+            "{variant}: sliced snapshot bytes differ from one-shot"
+        );
+        assert_eq!(
+            one_shot.ticks(),
+            sliced.ticks(),
+            "{variant}: ticked-cycle counts differ"
+        );
+    }
+}
